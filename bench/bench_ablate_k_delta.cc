@@ -1,0 +1,85 @@
+// Ablation B: sensitivity of the extended K-means to K (the paper's stated
+// future work is "a method to estimate the appropriate K value") and to the
+// convergence constant δ. Window 1, β = 30, non-incremental.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace nidc;
+  using namespace nidc::bench;
+
+  PrintHeader("Ablation — sensitivity to K and to the delta criterion",
+              "ICDE'06 paper, Sections 4.3 and 7 (future work: choosing K)");
+
+  BenchCorpus bc = MakeCorpus(EnvScale("NIDC_ABL_SCALE", 0.5));
+  const TimeWindow w = PaperWindows()[0];
+  const auto docs = bc.corpus->DocsInRange(w.begin, w.end);
+  std::printf("window %s, %zu documents, beta=30, life span 30d\n\n",
+              w.label.c_str(), docs.size());
+
+  std::printf("--- K sweep (delta = 1e-3) ---\n");
+  TablePrinter k_table({"K", "iterations", "G", "outliers", "marked",
+                        "micro F1", "macro F1", "time"});
+  for (size_t k : {4, 8, 16, 24, 32, 48, 64}) {
+    ExtendedKMeansOptions opts = Experiment2KMeans();
+    opts.k = k;
+    Stopwatch timer;
+    const StepResult run = ClusterWindow(bc, w, 30.0, opts);
+    const double seconds = timer.ElapsedSeconds();
+    const GlobalF1 f1 = Evaluate(bc, w, run);
+    k_table.AddRow({std::to_string(k),
+                    std::to_string(run.clustering.iterations),
+                    StringPrintf("%.4f", run.clustering.g),
+                    std::to_string(run.clustering.outliers.size()),
+                    StringPrintf("%zu/%zu", f1.num_marked, f1.num_evaluated),
+                    StringPrintf("%.2f", f1.micro_f1),
+                    StringPrintf("%.2f", f1.macro_f1),
+                    Stopwatch::FormatDuration(seconds)});
+  }
+  k_table.Print(std::cout);
+
+  std::printf("\n--- delta sweep (K = 24) ---\n");
+  TablePrinter d_table({"delta", "iterations", "converged", "G", "micro F1",
+                        "time"});
+  for (double delta : {0.3, 0.1, 0.01, 1e-3, 1e-4, 1e-6}) {
+    ExtendedKMeansOptions opts = Experiment2KMeans();
+    opts.delta = delta;
+    opts.max_iterations = 100;
+    Stopwatch timer;
+    const StepResult run = ClusterWindow(bc, w, 30.0, opts);
+    const double seconds = timer.ElapsedSeconds();
+    const GlobalF1 f1 = Evaluate(bc, w, run);
+    d_table.AddRow({StringPrintf("%g", delta),
+                    std::to_string(run.clustering.iterations),
+                    run.clustering.converged ? "yes" : "no",
+                    StringPrintf("%.4f", run.clustering.g),
+                    StringPrintf("%.2f", f1.micro_f1),
+                    Stopwatch::FormatDuration(seconds)});
+  }
+  d_table.Print(std::cout);
+
+  std::printf("\n--- assignment criterion ablation (K = 24) ---\n");
+  TablePrinter c_table({"criterion", "iterations", "G", "outliers",
+                        "micro F1", "macro F1", "micro recall"});
+  for (auto [criterion, label] :
+       {std::pair{AssignmentCriterion::kGIncrease, "G-greedy (default)"},
+        std::pair{AssignmentCriterion::kAvgSimIncrease,
+                  "avg_sim-greedy (paper-literal)"}}) {
+    ExtendedKMeansOptions opts = Experiment2KMeans();
+    opts.criterion = criterion;
+    const StepResult run = ClusterWindow(bc, w, 30.0, opts);
+    const GlobalF1 f1 = Evaluate(bc, w, run);
+    c_table.AddRow({label, std::to_string(run.clustering.iterations),
+                    StringPrintf("%.4f", run.clustering.g),
+                    std::to_string(run.clustering.outliers.size()),
+                    StringPrintf("%.2f", f1.micro_f1),
+                    StringPrintf("%.2f", f1.macro_f1),
+                    StringPrintf("%.2f", f1.micro_recall)});
+  }
+  c_table.Print(std::cout);
+  std::printf("\nThe avg_sim-literal rule only admits documents that raise "
+              "the intra-cluster mean, leaving most of the window on the "
+              "outlier list — the G-greedy reading reproduces the paper's "
+              "cluster sizes (see DESIGN.md).\n");
+  return 0;
+}

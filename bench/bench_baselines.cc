@@ -1,0 +1,129 @@
+// Ablation C: the novelty-based extended K-means against the related-work
+// baselines (§2.2) — classical spherical K-means on tf·idf, Yang et al.'s
+// single-pass INCR (time window + linear decay), and GAC-lite bucketed
+// group-average clustering. Windows 1 and 4, F1 plus wall-clock.
+
+#include "bench_common.h"
+#include "nidc/baselines/f2icm.h"
+#include "nidc/baselines/group_average_clustering.h"
+#include "nidc/baselines/single_pass_incr.h"
+#include "nidc/baselines/spherical_kmeans.h"
+#include "nidc/eval/clustering_metrics.h"
+
+namespace {
+
+using namespace nidc;
+using namespace nidc::bench;
+
+void RunWindow(const BenchCorpus& bc, size_t window_index) {
+  const TimeWindow w = PaperWindows()[window_index];
+  const auto docs = bc.corpus->DocsInRange(w.begin, w.end);
+  std::printf("---- window %s (%zu docs) ----\n", w.label.c_str(),
+              docs.size());
+
+  TablePrinter table({"Method", "Clusters", "micro F1", "macro F1",
+                      "purity", "NMI", "ARI", "time"});
+  auto add = [&](const char* name,
+                 const std::vector<std::vector<DocId>>& clusters,
+                 double seconds) {
+    const GlobalF1 f1 =
+        ComputeGlobalF1(MarkClusters(*bc.corpus, clusters, docs, {}));
+    const ClusteringMetrics metrics =
+        ComputeClusteringMetrics(*bc.corpus, clusters);
+    size_t nonempty = 0;
+    for (const auto& c : clusters) {
+      if (!c.empty()) ++nonempty;
+    }
+    table.AddRow({name, std::to_string(nonempty),
+                  StringPrintf("%.2f", f1.micro_f1),
+                  StringPrintf("%.2f", f1.macro_f1),
+                  StringPrintf("%.2f", metrics.purity),
+                  StringPrintf("%.2f", metrics.nmi),
+                  StringPrintf("%.2f", metrics.adjusted_rand),
+                  Stopwatch::FormatDuration(seconds)});
+  };
+
+  // Novelty-based extended K-means, both half lives.
+  for (double beta : {7.0, 30.0}) {
+    Stopwatch timer;
+    const StepResult run = ClusterWindow(bc, w, beta, Experiment2KMeans());
+    add(StringPrintf("extended K-means beta=%.0f", beta).c_str(),
+        run.clustering.clusters, timer.ElapsedSeconds());
+  }
+
+  // Baselines share one tf-idf snapshot (time-agnostic representation).
+  Stopwatch tfidf_timer;
+  TfIdfModel tfidf(*bc.corpus, docs);
+  const double tfidf_seconds = tfidf_timer.ElapsedSeconds();
+
+  {
+    Stopwatch timer;
+    SphericalKMeansOptions opts;
+    opts.k = 24;
+    opts.seed = 7;
+    auto run = RunSphericalKMeans(tfidf, opts);
+    if (run.ok()) {
+      add("spherical K-means (tf-idf)", run->clusters,
+          tfidf_seconds + timer.ElapsedSeconds());
+    }
+  }
+  {
+    Stopwatch timer;
+    SinglePassOptions opts;
+    opts.threshold = 0.25;
+    opts.window_days = 30.0;
+    auto run = RunSinglePass(*bc.corpus, tfidf, docs, opts);
+    if (run.ok()) {
+      add(StringPrintf("single-pass INCR (%zu seeded)", run->num_seeded)
+              .c_str(),
+          run->clusters, tfidf_seconds + timer.ElapsedSeconds());
+    }
+  }
+  {
+    // F2ICM predecessor (same novelty similarity, seed-based clustering).
+    Stopwatch timer;
+    ForgettingParams params;
+    params.half_life_days = 7.0;
+    params.life_span_days = 30.0;
+    ForgettingModel model(bc.corpus.get(), params);
+    model.RebuildFromScratch(docs, w.end);
+    SimilarityContext ctx(model);
+    F2IcmOptions opts;
+    opts.num_seeds = 24;
+    auto run = RunF2Icm(model, ctx, opts);
+    if (run.ok()) {
+      add(StringPrintf("F2ICM beta=7 (nc est %.0f)", run->nc_estimate)
+              .c_str(),
+          run->clusters, timer.ElapsedSeconds());
+    }
+  }
+  {
+    Stopwatch timer;
+    GacOptions opts;
+    opts.target_clusters = 24;
+    opts.bucket_size = 150;
+    auto run = RunGroupAverageClustering(tfidf, docs, opts);
+    if (run.ok()) {
+      add(StringPrintf("GAC-lite (%d passes)", run->passes).c_str(),
+          run->clusters, tfidf_seconds + timer.ElapsedSeconds());
+    }
+  }
+  table.Print(std::cout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Baseline comparison — extended K-means vs related work",
+              "ICDE'06 paper, Section 2.2 (GAC, INCR, conventional K-means)");
+
+  BenchCorpus bc = MakeCorpus(EnvScale("NIDC_BASE_SCALE", 0.5));
+  RunWindow(bc, 0);
+  RunWindow(bc, 3);
+
+  std::printf("Reading: on F1 (which ignores novelty) the time-agnostic\n"
+              "baselines and beta=30 should be competitive; beta=7's value\n"
+              "shows up in the hot-topic bench, not here.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Future-work probe: "experiments using the small and large forgetting
+// factor values on larger time window size to analyze the properties of the
+// method" (§7). Sweeps the half-life span β over a wide range and the
+// window length over {30, 60, 90} days, reporting F1, outlier mass and the
+// recent-vs-old probability split.
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace nidc;
+using namespace nidc::bench;
+
+// Probability mass held by the newest third of the window's documents.
+double RecentMassFraction(const ForgettingModel& model, const Corpus& corpus,
+                          const std::vector<DocId>& docs, DayTime begin,
+                          DayTime end) {
+  const double cutoff = end - (end - begin) / 3.0;
+  double recent = 0.0;
+  double total = 0.0;
+  for (DocId id : docs) {
+    const double pr = model.PrDoc(id);
+    total += pr;
+    if (corpus.doc(id).time >= cutoff) recent += pr;
+  }
+  return total > 0.0 ? recent / total : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace nidc;
+  using namespace nidc::bench;
+
+  PrintHeader("beta / window-size sweep",
+              "ICDE'06 paper, Section 7 (future work: forgetting factor on "
+              "larger windows)");
+
+  BenchCorpus bc = MakeCorpus(EnvScale("NIDC_BW_SCALE", 0.5));
+
+  for (double window_days : {30.0, 60.0, 90.0}) {
+    const TimeWindow w{0.0, window_days,
+                       StringPrintf("day0-day%.0f", window_days)};
+    const auto docs = bc.corpus->DocsInRange(w.begin, w.end);
+    std::printf("---- window length %.0f days (%zu docs) ----\n",
+                window_days, docs.size());
+    TablePrinter table({"beta (days)", "lambda", "micro F1", "macro F1",
+                        "outliers", "recent-third mass", "marked"});
+    for (double beta : {3.5, 7.0, 14.0, 30.0, 60.0, 120.0}) {
+      ForgettingParams params;
+      params.half_life_days = beta;
+      params.life_span_days = window_days;  // keep everything active
+      ExtendedKMeansOptions kmeans = Experiment2KMeans();
+      BatchClusterer clusterer(bc.corpus.get(), params, kmeans);
+      auto run = clusterer.Run(docs, w.end);
+      if (!run.ok()) continue;
+      const GlobalF1 f1 = ComputeGlobalF1(MarkClusters(
+          *bc.corpus, run->clustering.clusters, docs, {}));
+      const double recent = RecentMassFraction(
+          clusterer.model(), *bc.corpus, docs, w.begin, w.end);
+      table.AddRow({StringPrintf("%.1f", beta),
+                    StringPrintf("%.3f", params.Lambda()),
+                    StringPrintf("%.2f", f1.micro_f1),
+                    StringPrintf("%.2f", f1.macro_f1),
+                    std::to_string(run->clustering.outliers.size()),
+                    StringPrintf("%.2f", recent),
+                    StringPrintf("%zu/%zu", f1.num_marked,
+                                 f1.num_evaluated)});
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+
+  std::printf("Expected: F1 rises monotonically with beta toward the\n"
+              "conventional-clustering plateau; the recent-third mass (the\n"
+              "novelty bias) falls toward its uniform share (~1/3). The\n"
+              "crossover beta scales with the window length — a 7-day half\n"
+              "life that is aggressive for a 30-day window is extreme for\n"
+              "a 90-day one.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Extension bench: first story detection (a TDT task from the paper's §2.1
+// related work) with the forgetting model underneath. Streams the corpus
+// day by day and scores flagged first stories against ground truth: a
+// document is a true first story when it is the chronologically first of
+// its topic *or* its topic has been silent longer than the life span (the
+// forgetting-consistent reading of "new").
+
+#include <map>
+
+#include "bench_common.h"
+#include "nidc/core/first_story.h"
+
+int main() {
+  using namespace nidc;
+  using namespace nidc::bench;
+
+  PrintHeader("First story detection under the forgetting model",
+              "ICDE'06 paper, Section 2.1 (TDT first-story-detection task)");
+
+  BenchCorpus bc = MakeCorpus(EnvScale("NIDC_FSD_SCALE", 0.3));
+  ForgettingParams params;
+  params.half_life_days = 7.0;
+  params.life_span_days = 21.0;
+
+  TablePrinter table({"threshold", "flagged", "true first stories",
+                      "correct flags", "precision", "recall"});
+  for (double threshold : {0.05, 0.10, 0.15, 0.25, 0.40}) {
+    FirstStoryOptions options;
+    options.novelty_threshold = threshold;
+    FirstStoryDetector detector(bc.corpus.get(), params, options);
+
+    // Ground truth: first doc of a topic, or first after a gap > γ.
+    std::map<TopicId, DayTime> last_seen;
+    size_t truth = 0;
+    size_t flagged = 0;
+    size_t correct = 0;
+
+    DocumentStream stream(bc.corpus.get(), 0.0, 178.0, 1.0);
+    while (auto batch = stream.Next()) {
+      auto verdicts = detector.Observe(batch->docs, batch->end);
+      if (!verdicts.ok()) {
+        std::fprintf(stderr, "%s\n", verdicts.status().ToString().c_str());
+        return 1;
+      }
+      for (const FirstStoryVerdict& v : *verdicts) {
+        const Document& doc = bc.corpus->doc(v.doc);
+        const auto seen = last_seen.find(doc.topic);
+        const bool is_true_first =
+            seen == last_seen.end() ||
+            doc.time - seen->second > params.life_span_days;
+        last_seen[doc.topic] = doc.time;
+        if (is_true_first) ++truth;
+        if (v.is_first_story) ++flagged;
+        if (v.is_first_story && is_true_first) ++correct;
+      }
+    }
+    const double precision =
+        flagged > 0 ? static_cast<double>(correct) / flagged : 0.0;
+    const double recall =
+        truth > 0 ? static_cast<double>(correct) / truth : 0.0;
+    table.AddRow({StringPrintf("%.2f", threshold), std::to_string(flagged),
+                  std::to_string(truth), std::to_string(correct),
+                  StringPrintf("%.2f", precision),
+                  StringPrintf("%.2f", recall)});
+  }
+  table.Print(std::cout);
+  std::printf("\nThe threshold trades detection recall against false\n"
+              "alarms — the classic TDT FSD operating curve, here driven\n"
+              "by the novelty-weighted cosine over the active set.\n");
+  return 0;
+}

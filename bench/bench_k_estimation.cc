@@ -1,0 +1,65 @@
+// Future-work probe: "a method to estimate the appropriate K value" (§7).
+// Evaluates the two estimators of core/k_estimator.h against the ground
+// truth of every window: the cover-coefficient decoupling sum n_c (the
+// C²ICM/F²ICM estimate, computed under both half lives — forgetting shrinks
+// old topics' effective contribution) and the G-knee scan.
+
+#include "bench_common.h"
+#include "nidc/core/k_estimator.h"
+
+int main() {
+  using namespace nidc;
+  using namespace nidc::bench;
+
+  PrintHeader("K estimation — cover-coefficient n_c and G-knee vs truth",
+              "ICDE'06 paper, Section 7 (future work: choosing K)");
+
+  BenchCorpus bc = MakeCorpus(EnvScale("NIDC_KEST_SCALE", 0.5));
+  const auto windows = PaperWindows();
+
+  TablePrinter table({"Window", "Docs", "True topics", "n_c (b=30)",
+                      "n_c (b=7)", "G-knee (b=30)"});
+  for (const TimeWindow& w : windows) {
+    const auto docs = bc.corpus->DocsInRange(w.begin, w.end);
+    const size_t truth = ComputeWindowStats(*bc.corpus, w).num_topics;
+
+    size_t nc[2] = {0, 0};
+    size_t idx = 0;
+    for (double beta : {30.0, 7.0}) {
+      ForgettingParams params;
+      params.half_life_days = beta;
+      params.life_span_days = 30.0;
+      ForgettingModel model(bc.corpus.get(), params);
+      model.RebuildFromScratch(docs, w.end);
+      nc[idx++] = EstimateKByCoverCoefficient(model);
+    }
+
+    ForgettingParams params;
+    params.half_life_days = 30.0;
+    params.life_span_days = 30.0;
+    ForgettingModel model(bc.corpus.get(), params);
+    model.RebuildFromScratch(docs, w.end);
+    SimilarityContext ctx(model);
+    GKneeOptions gopts;
+    gopts.kmeans.seed = 7;
+    gopts.max_k = 64;
+    auto knee = EstimateKByGKnee(ctx, model.active_docs(), gopts);
+    const std::string knee_str =
+        knee.ok() ? std::to_string(knee->k) : std::string("-");
+
+    table.AddRow({w.label, std::to_string(docs.size()),
+                  std::to_string(truth), std::to_string(nc[0]),
+                  std::to_string(nc[1]), knee_str});
+  }
+  table.Print(std::cout);
+
+  std::printf("\nReading: n_c counts *vocabulary-coherent* groups, which\n"
+              "need not equal the annotated topic count — big diffuse\n"
+              "topics fragment (pushing n_c up) while coupled small topics\n"
+              "merge (pushing it down); on this corpus fragmentation\n"
+              "dominates and n_c lands above the truth but in the right\n"
+              "order of magnitude, a sensible default for K. The G-knee\n"
+              "grid gives the K past which the clustering index stops\n"
+              "improving materially.\n");
+  return 0;
+}

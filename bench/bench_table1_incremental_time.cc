@@ -1,0 +1,124 @@
+// Table 1: computation times of the incremental and non-incremental
+// approaches (paper §6.1, Experiment 1).
+//
+// Paper setting: original TDT2, Jan 4–18 (4,327 docs; Jan 18 alone: 205),
+// K = 32, β = 7 days, γ = 14 days (λ ≈ 0.9, ε = 0.25), Ruby on a 3.2 GHz
+// Pentium 4. Paper numbers:
+//   Non-incremental  Jan4-Jan18  stats 25min21sec  clustering 58min17sec
+//   Incremental      Jan18       stats  1min45sec  clustering 15min25sec
+//
+// Here: the same protocol on the synthetic corpus (NIDC_T1_SCALE scales the
+// corpus; the default 2.0 puts ~3.5k docs in the 15-day span, close to the
+// paper's 4,327). Absolute times are far smaller (C++ vs Ruby, 20 years of
+// hardware); the *shape* — incremental ≪ non-incremental in both phases —
+// is the reproduced result.
+
+#include "bench_common.h"
+
+namespace nidc {
+namespace {
+
+using bench::BenchCorpus;
+
+struct Phase {
+  double stats_seconds = 0.0;
+  double cluster_seconds = 0.0;
+  size_t docs = 0;
+};
+
+constexpr double kSpanDays = 15.0;  // Jan 4 .. Jan 18 inclusive
+
+ForgettingParams Table1Params() {
+  ForgettingParams p;
+  p.half_life_days = 7.0;   // λ ≈ 0.9
+  p.life_span_days = 14.0;  // ε = 0.25
+  return p;
+}
+
+ExtendedKMeansOptions Table1KMeans() {
+  ExtendedKMeansOptions opts;
+  opts.k = 32;
+  opts.seed = 1;
+  return opts;
+}
+
+// Non-incremental: statistics from scratch over the whole span, clustering
+// from a random start.
+Phase RunNonIncremental(const BenchCorpus& bc) {
+  BatchClusterer clusterer(bc.corpus.get(), Table1Params(), Table1KMeans());
+  const auto docs = bc.corpus->DocsInRange(0.0, kSpanDays);
+  auto result = clusterer.Run(docs, kSpanDays);
+  if (!result.ok()) {
+    std::fprintf(stderr, "non-incremental run failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return {result->stats_update_seconds, result->clustering_seconds,
+          docs.size()};
+}
+
+// Incremental: replay day-by-day through Jan 17, then time ONLY the final
+// day's step (the paper's "process only the data on Jan 18").
+Phase RunIncremental(const BenchCorpus& bc) {
+  IncrementalOptions opts;
+  opts.kmeans = Table1KMeans();
+  IncrementalClusterer clusterer(bc.corpus.get(), Table1Params(), opts);
+  DocumentStream stream(bc.corpus.get(), 0.0, kSpanDays, 1.0);
+  Phase last;
+  while (auto batch = stream.Next()) {
+    auto step = clusterer.Step(batch->docs, batch->end);
+    if (!step.ok()) {
+      std::fprintf(stderr, "incremental step failed: %s\n",
+                   step.status().ToString().c_str());
+      std::exit(1);
+    }
+    last = {step->stats_update_seconds, step->clustering_seconds,
+            batch->docs.size()};
+  }
+  return last;
+}
+
+}  // namespace
+}  // namespace nidc
+
+int main() {
+  using namespace nidc;
+  using namespace nidc::bench;
+
+  PrintHeader("Table 1 — incremental vs non-incremental computation time",
+              "ICDE'06 paper, Section 6.1, Table 1");
+
+  const double scale = EnvScale("NIDC_T1_SCALE", 2.0);
+  std::printf("Generating corpus at scale %.2f (NIDC_T1_SCALE to change)...\n",
+              scale);
+  BenchCorpus bc = MakeCorpus(scale);
+  std::printf("K=32, half-life β=7d (λ≈0.9), life span γ=14d (ε=0.25)\n\n");
+
+  const Phase non_incremental = RunNonIncremental(bc);
+  const Phase incremental = RunIncremental(bc);
+
+  TablePrinter table({"Approach", "Dataset", "Docs processed",
+                      "Statistics Updating", "Clustering"});
+  table.AddRow({"Non-incremental", "day0-day15",
+                std::to_string(non_incremental.docs),
+                Stopwatch::FormatDuration(non_incremental.stats_seconds),
+                Stopwatch::FormatDuration(non_incremental.cluster_seconds)});
+  table.AddRow({"Incremental", "day15 only",
+                std::to_string(incremental.docs),
+                Stopwatch::FormatDuration(incremental.stats_seconds),
+                Stopwatch::FormatDuration(incremental.cluster_seconds)});
+  table.Print(std::cout);
+
+  const double stats_speedup =
+      non_incremental.stats_seconds / std::max(incremental.stats_seconds, 1e-9);
+  const double cluster_speedup =
+      non_incremental.cluster_seconds /
+      std::max(incremental.cluster_seconds, 1e-9);
+  std::printf("\nMeasured speedups: statistics %.1fx, clustering %.1fx\n",
+              stats_speedup, cluster_speedup);
+  std::printf("Paper (Ruby, P4 3.2GHz): statistics 25min21s -> 1min45s "
+              "(14.5x), clustering 58min17s -> 15min25s (3.8x)\n");
+  std::printf("Expected shape: incremental wins both phases; the statistics\n"
+              "phase speedup tracks the existing:new document ratio.\n");
+  return 0;
+}

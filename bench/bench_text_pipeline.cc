@@ -1,0 +1,113 @@
+// Micro-benchmark for the text substrate: tokenizer, Porter stemmer, the
+// full analyzer pipeline, and the sparse-vector kernels the clustering hot
+// loop leans on.
+
+#include <benchmark/benchmark.h>
+
+#include "nidc/synth/tdt2_like_generator.h"
+#include "nidc/text/analyzer.h"
+
+namespace nidc {
+namespace {
+
+const std::vector<std::string>& SampleTexts() {
+  static auto* texts = [] {
+    GeneratorOptions opts;
+    opts.scale = 0.05;
+    Tdt2LikeGenerator generator(opts);
+    auto raw = generator.GenerateRaw().value();
+    auto* out = new std::vector<std::string>();
+    for (size_t i = 0; i < std::min<size_t>(raw.size(), 200); ++i) {
+      out->push_back(raw[i].text);
+    }
+    return out;
+  }();
+  return *texts;
+}
+
+void BM_Tokenizer(benchmark::State& state) {
+  Tokenizer tokenizer;
+  const auto& texts = SampleTexts();
+  size_t i = 0;
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string& text = texts[i++ % texts.size()];
+    bytes += text.size();
+    benchmark::DoNotOptimize(tokenizer.Tokenize(text));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_Tokenizer);
+
+void BM_PorterStemmer(benchmark::State& state) {
+  PorterStemmer stemmer;
+  const char* words[] = {"clustering",  "incremental", "documents",
+                         "similarity",  "probability", "forgetting",
+                         "novelty",     "elections",   "settlement",
+                         "inspections"};
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stemmer.Stem(words[i++ % 10]));
+  }
+}
+BENCHMARK(BM_PorterStemmer);
+
+void BM_AnalyzerPipeline(benchmark::State& state) {
+  Vocabulary vocab;
+  Analyzer analyzer(&vocab);
+  const auto& texts = SampleTexts();
+  size_t i = 0;
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string& text = texts[i++ % texts.size()];
+    bytes += text.size();
+    benchmark::DoNotOptimize(analyzer.Analyze(text));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_AnalyzerPipeline);
+
+void BM_SparseDot_SimilarSizes(benchmark::State& state) {
+  Rng rng(1);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<SparseVector::Entry> a_entries;
+  std::vector<SparseVector::Entry> b_entries;
+  for (size_t i = 0; i < n; ++i) {
+    a_entries.push_back({static_cast<TermId>(rng.NextBounded(n * 4)), 1.0});
+    b_entries.push_back({static_cast<TermId>(rng.NextBounded(n * 4)), 1.0});
+  }
+  const SparseVector a = SparseVector::FromEntries(std::move(a_entries));
+  const SparseVector b = SparseVector::FromEntries(std::move(b_entries));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Dot(b));
+  }
+}
+BENCHMARK(BM_SparseDot_SimilarSizes)->Arg(32)->Arg(256)->Arg(2048);
+
+void BM_SparseDot_SmallVsLarge(benchmark::State& state) {
+  // The clustering hot path: ψ (~60 terms) against a representative
+  // (thousands of terms); exercises the binary-search fast path.
+  Rng rng(2);
+  const size_t large = static_cast<size_t>(state.range(0));
+  std::vector<SparseVector::Entry> a_entries;
+  std::vector<SparseVector::Entry> b_entries;
+  for (size_t i = 0; i < 60; ++i) {
+    a_entries.push_back(
+        {static_cast<TermId>(rng.NextBounded(large * 2)), 1.0});
+  }
+  for (size_t i = 0; i < large; ++i) {
+    b_entries.push_back(
+        {static_cast<TermId>(rng.NextBounded(large * 2)), 1.0});
+  }
+  const SparseVector a = SparseVector::FromEntries(std::move(a_entries));
+  const SparseVector b = SparseVector::FromEntries(std::move(b_entries));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Dot(b));
+  }
+}
+BENCHMARK(BM_SparseDot_SmallVsLarge)->Arg(2048)->Arg(16384);
+
+}  // namespace
+}  // namespace nidc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Hot topics: the paper's §6.2.3 story as a runnable demo. Clusters the
+// Apr4-May3 window twice — half-life 7 days vs 30 days — and shows that the
+// short half-life surfaces the late-window bursts (Nigerian protests,
+// Denmark strike, the Unabomber resurgence) that the long half-life blurs
+// away.
+//
+//   $ ./hot_topics [scale=1.0]
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "nidc/core/incremental_clusterer.h"
+#include "nidc/eval/f1_measures.h"
+#include "nidc/synth/tdt2_like_generator.h"
+
+namespace {
+
+using namespace nidc;
+
+void Report(const Tdt2LikeGenerator& generator, const Corpus& corpus,
+            const std::vector<DocId>& docs, const StepResult& run,
+            double beta) {
+  std::printf("---- half-life %.0f days: %zu clusters, %zu outliers ----\n",
+              beta, run.clustering.NumNonEmpty(),
+              run.clustering.outliers.size());
+  auto marked = MarkClusters(corpus, run.clustering.clusters, docs, {});
+  for (const auto& mc : marked) {
+    if (!mc.marked()) continue;
+    std::printf("  cluster %2zu (%3zu docs) -> %-34s  P=%.2f R=%.2f\n",
+                mc.cluster_index, mc.cluster_size,
+                generator.TopicName(mc.topic).c_str(), mc.precision,
+                mc.recall);
+  }
+  for (TopicId probe : {20074, 20077, 20078}) {
+    bool detected = false;
+    for (const auto& mc : marked) {
+      if (mc.marked() && mc.topic == probe) detected = true;
+    }
+    std::printf("  %s %-28s under beta=%.0f\n",
+                detected ? "[DETECTED]" : "[ missed ]",
+                generator.TopicName(probe).c_str(), beta);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nidc;
+
+  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  GeneratorOptions gen_opts;
+  gen_opts.scale = scale;
+  Tdt2LikeGenerator generator(gen_opts);
+  auto corpus_or = generator.Generate();
+  if (!corpus_or.ok()) {
+    std::fprintf(stderr, "%s\n", corpus_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Corpus> corpus = std::move(corpus_or).value();
+
+  const TimeWindow w4 = PaperWindows()[3];  // Apr4-May3
+  const auto docs = corpus->DocsInRange(w4.begin, w4.end);
+  std::printf("Window %s: %zu documents. The Nigerian-protest and "
+              "Denmark-strike bursts sit in the last ten days; the "
+              "Unabomber resurgence (10 docs) in the last week.\n\n",
+              w4.label.c_str(), docs.size());
+
+  for (double beta : {7.0, 30.0}) {
+    ForgettingParams params;
+    params.half_life_days = beta;
+    params.life_span_days = 30.0;
+    ExtendedKMeansOptions kmeans;
+    kmeans.k = 24;
+    kmeans.seed = 7;
+    BatchClusterer clusterer(corpus.get(), params, kmeans);
+    auto run = clusterer.Run(docs, w4.end);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    Report(generator, *corpus, docs, *run, beta);
+  }
+
+  std::printf("The paper's reading: if you want conventional high-F1 "
+              "clusters, use a long half-life; if you want the answer to "
+              "\"what are recent topics?\", use a short one.\n");
+  return 0;
+}

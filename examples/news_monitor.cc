@@ -1,0 +1,89 @@
+// News monitor: replay the synthetic TDT2-like feed day by day and print a
+// rolling "what's hot right now" digest — the scenario the paper's
+// introduction motivates (clustering results that reflect the current trend
+// of hot topics).
+//
+//   $ ./news_monitor [days=45] [scale=0.4]
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "nidc/core/hot_topics.h"
+#include "nidc/core/incremental_clusterer.h"
+#include "nidc/corpus/stream.h"
+#include "nidc/synth/tdt2_like_generator.h"
+
+int main(int argc, char** argv) {
+  using namespace nidc;
+
+  const double days = argc > 1 ? std::atof(argv[1]) : 45.0;
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.4;
+
+  GeneratorOptions gen_opts;
+  gen_opts.scale = scale;
+  Tdt2LikeGenerator generator(gen_opts);
+  auto corpus_or = generator.Generate();
+  if (!corpus_or.ok()) {
+    std::fprintf(stderr, "%s\n", corpus_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Corpus> corpus = std::move(corpus_or).value();
+
+  ForgettingParams params;
+  params.half_life_days = 7.0;   // bias hard toward the last week
+  params.life_span_days = 21.0;  // drop anything three weeks stale
+  IncrementalOptions options;
+  options.kmeans.k = 10;
+  IncrementalClusterer monitor(corpus.get(), params, options);
+
+  std::printf("Monitoring %.0f days of the feed (%zu docs total, scale "
+              "%.2f); half-life 7d, life span 21d, K=10\n\n",
+              days, corpus->size(), scale);
+
+  DocumentStream stream(corpus.get(), 0.0, days, 1.0);
+  while (auto batch = stream.Next()) {
+    auto step = monitor.Step(batch->docs, batch->end);
+    if (!step.ok()) continue;  // nothing active yet
+
+    const int day = static_cast<int>(batch->end);
+    if (day % 5 != 0) continue;  // digest every 5 days
+
+    std::printf("== day %3d | +%zu new, %zu active, %zu expired, %zu "
+                "outliers ==\n",
+                day, step->num_new, step->num_active, step->expired.size(),
+                step->clustering.outliers.size());
+
+    // Rank clusters by recency-weighted mass: Σ Pr(d) over members.
+    HotTopicOptions digest_opts;
+    digest_opts.max_topics = 3;
+    const auto digest =
+        RankHotTopics(monitor.model(), step->clustering, digest_opts);
+    for (size_t i = 0; i < digest.size(); ++i) {
+      const HotTopic& hot = digest[i];
+      // Majority ground-truth topic, for the reader only (the clusterer
+      // never sees labels).
+      std::map<TopicId, size_t> votes;
+      for (DocId d : step->clustering.clusters[hot.cluster_index]) {
+        ++votes[corpus->doc(d).topic];
+      }
+      TopicId majority = kNoTopic;
+      size_t best = 0;
+      for (const auto& [topic, count] : votes) {
+        if (count > best) {
+          best = count;
+          majority = topic;
+        }
+      }
+      std::printf("   hot #%zu (mass %.2f, %zu docs) [%s]: ", i + 1,
+                  hot.mass, hot.size, generator.TopicName(majority).c_str());
+      for (const auto& t : hot.top_terms) std::printf("%s ", t.c_str());
+      std::printf("\n");
+    }
+  }
+  std::printf("\nNote how early-January stories (Asian crisis, Pope in "
+              "Cuba) fall out of the digest as their weight decays, while "
+              "fresh bursts take over — the paper's 'recent topics' "
+              "behaviour.\n");
+  return 0;
+}

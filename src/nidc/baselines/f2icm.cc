@@ -1,0 +1,65 @@
+#include "nidc/baselines/f2icm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+namespace nidc {
+
+Result<F2IcmResult> RunF2Icm(const ForgettingModel& model,
+                             const SimilarityContext& ctx,
+                             const F2IcmOptions& options) {
+  if (model.num_active() == 0) {
+    return Status::InvalidArgument("no active documents to cluster");
+  }
+  const CoverCoefficients cc = ComputeCoverCoefficients(model);
+
+  F2IcmResult result;
+  result.nc_estimate = cc.nc;
+  size_t num_seeds = options.num_seeds > 0 ? options.num_seeds
+                                           : cc.EstimatedClusterCount();
+  if (options.max_seeds > 0) num_seeds = std::min(num_seeds, options.max_seeds);
+  num_seeds = std::min(num_seeds, cc.docs.size());
+
+  // Select the num_seeds highest-power documents (stable order for ties).
+  std::vector<size_t> order(cc.docs.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return cc.seed_power[a] > cc.seed_power[b];
+  });
+  result.seeds.reserve(num_seeds);
+  std::unordered_map<DocId, size_t> seed_index;
+  for (size_t i = 0; i < num_seeds; ++i) {
+    const DocId seed = cc.docs[order[i]];
+    seed_index.emplace(seed, result.seeds.size());
+    result.seeds.push_back(seed);
+  }
+  result.clusters.assign(result.seeds.size(), {});
+  for (size_t s = 0; s < result.seeds.size(); ++s) {
+    result.clusters[s].push_back(result.seeds[s]);
+  }
+
+  // Single classification pass: every non-seed document joins the most
+  // similar seed (C²ICM classifies against seeds only).
+  for (DocId id : cc.docs) {
+    if (seed_index.contains(id)) continue;
+    double best_sim = 0.0;
+    int best = -1;
+    for (size_t s = 0; s < result.seeds.size(); ++s) {
+      const double sim = ctx.Sim(id, result.seeds[s]);
+      if (sim > best_sim) {
+        best_sim = sim;
+        best = static_cast<int>(s);
+      }
+    }
+    if (best < 0) {
+      result.outliers.push_back(id);
+    } else {
+      result.clusters[static_cast<size_t>(best)].push_back(id);
+    }
+  }
+  return result;
+}
+
+}  // namespace nidc

@@ -1,0 +1,57 @@
+// F²ICM — the Forgetting-Factor-based Incremental Clustering Method of
+// Ishikawa, Chen & Kitagawa (ECDL 2001), the predecessor this paper's §2.2
+// describes: it shares the same forgetting-based similarity function but
+// clusters by *seed selection + single classification pass*, following
+// Can's C²ICM (ACM TOIS 1993) cover-coefficient methodology, instead of the
+// extended K-means iteration.
+//
+// Cover-coefficient machinery (Can 1993), with forgetting weights folded in
+// by replacing raw frequencies f_ik with dw_i·f_ik:
+//   α_i = 1 / Σ_k w_ik          (row normalizer,   w_ik = dw_i·f_ik)
+//   β_k = 1 / Σ_i w_ik          (column normalizer)
+//   δ_i = α_i · Σ_k w_ik²·β_k   (decoupling coefficient, = c_ii)
+//   ψ_i = 1 − δ_i               (coupling coefficient)
+//   n_c = Σ_i δ_i               (estimated number of clusters)
+//   p_i = δ_i · ψ_i · Σ_k w_ik  (seed power)
+// The n_c highest-power documents become cluster seeds; every other
+// document joins the seed it is most similar to under the novelty-based
+// similarity (Eq. 16 of the paper), or the outlier list when it has zero
+// similarity to every seed.
+
+#ifndef NIDC_BASELINES_F2ICM_H_
+#define NIDC_BASELINES_F2ICM_H_
+
+#include <vector>
+
+#include "nidc/core/cover_coefficient.h"
+#include "nidc/core/novelty_similarity.h"
+#include "nidc/util/status.h"
+
+namespace nidc {
+
+struct F2IcmOptions {
+  /// Number of seeds; 0 = use the cover-coefficient estimate n_c.
+  size_t num_seeds = 0;
+  /// Upper bound on seeds when estimating (0 = unbounded).
+  size_t max_seeds = 256;
+};
+
+struct F2IcmResult {
+  /// Seed documents, one per cluster (cluster i is seeded by seeds[i]).
+  std::vector<DocId> seeds;
+  std::vector<std::vector<DocId>> clusters;
+  std::vector<DocId> outliers;
+  /// The δ-based estimate that chose the seed count (informational).
+  double nc_estimate = 0.0;
+};
+
+/// Runs one F²ICM clustering pass over the model's active documents: seed
+/// selection by seed power, then a single classification sweep by
+/// novelty-based similarity to the seeds.
+Result<F2IcmResult> RunF2Icm(const ForgettingModel& model,
+                             const SimilarityContext& ctx,
+                             const F2IcmOptions& options = {});
+
+}  // namespace nidc
+
+#endif  // NIDC_BASELINES_F2ICM_H_

@@ -1,0 +1,118 @@
+#include "nidc/baselines/group_average_clustering.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nidc {
+
+namespace {
+
+// Working cluster: member list plus the unnormalized centroid sum. With
+// L2-normalized document vectors, the group-average similarity between two
+// clusters is (Σa · Σb) / (|a||b|), and the merge gain can be computed from
+// centroid sums alone — the same trick the core library's Eq. 22 plays.
+struct WorkCluster {
+  std::vector<DocId> members;
+  SparseVector sum;
+};
+
+double GroupAverage(const WorkCluster& a, const WorkCluster& b) {
+  const double denom =
+      static_cast<double>(a.members.size()) * static_cast<double>(b.members.size());
+  return denom <= 0.0 ? 0.0 : a.sum.Dot(b.sum) / denom;
+}
+
+// Agglomerates `clusters` down to `target` clusters (greedy best-pair
+// merging), or earlier if the best similarity drops below `floor`.
+void AgglomerateBucket(std::vector<WorkCluster>* clusters, size_t target,
+                       double floor) {
+  while (clusters->size() > target) {
+    double best_sim = -1.0;
+    size_t best_i = 0;
+    size_t best_j = 0;
+    for (size_t i = 0; i < clusters->size(); ++i) {
+      for (size_t j = i + 1; j < clusters->size(); ++j) {
+        const double sim = GroupAverage((*clusters)[i], (*clusters)[j]);
+        if (sim > best_sim) {
+          best_sim = sim;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    if (best_sim < floor) break;
+    WorkCluster& dst = (*clusters)[best_i];
+    WorkCluster& src = (*clusters)[best_j];
+    dst.members.insert(dst.members.end(), src.members.begin(),
+                       src.members.end());
+    dst.sum.AddScaled(src.sum, 1.0);
+    clusters->erase(clusters->begin() + static_cast<long>(best_j));
+  }
+}
+
+}  // namespace
+
+Result<GacResult> RunGroupAverageClustering(const TfIdfModel& model,
+                                            const std::vector<DocId>& docs,
+                                            const GacOptions& options) {
+  if (options.target_clusters == 0) {
+    return Status::InvalidArgument("target_clusters must be >= 1");
+  }
+  if (options.bucket_size < 2) {
+    return Status::InvalidArgument("bucket_size must be >= 2");
+  }
+  if (!(options.reduction_factor > 0.0 && options.reduction_factor < 1.0)) {
+    return Status::InvalidArgument("reduction_factor must be in (0, 1)");
+  }
+
+  // Singleton clusters in document (chronological) order.
+  std::vector<WorkCluster> clusters;
+  clusters.reserve(docs.size());
+  for (DocId id : docs) {
+    if (!model.Contains(id)) {
+      return Status::InvalidArgument("document " + std::to_string(id) +
+                                     " missing from the tf-idf model");
+    }
+    clusters.push_back({{id}, model.Vector(id)});
+  }
+
+  GacResult result;
+  while (clusters.size() > options.target_clusters) {
+    // Divide into consecutive buckets and shrink each.
+    std::vector<WorkCluster> next;
+    next.reserve(clusters.size());
+    bool any_merge = false;
+    for (size_t begin = 0; begin < clusters.size();
+         begin += options.bucket_size) {
+      const size_t end = std::min(begin + options.bucket_size,
+                                  clusters.size());
+      std::vector<WorkCluster> bucket(
+          std::make_move_iterator(clusters.begin() + static_cast<long>(begin)),
+          std::make_move_iterator(clusters.begin() + static_cast<long>(end)));
+      const size_t before = bucket.size();
+      const size_t bucket_target = std::max<size_t>(
+          1, static_cast<size_t>(std::ceil(static_cast<double>(before) *
+                                           options.reduction_factor)));
+      AgglomerateBucket(&bucket, bucket_target,
+                        options.min_merge_similarity);
+      if (bucket.size() < before) any_merge = true;
+      for (WorkCluster& c : bucket) next.push_back(std::move(c));
+    }
+    clusters = std::move(next);
+    ++result.passes;
+    if (!any_merge) break;  // quality gate blocked all merges
+  }
+
+  // Final global agglomeration down to the target.
+  AgglomerateBucket(&clusters, options.target_clusters,
+                    options.min_merge_similarity);
+  ++result.passes;
+
+  result.clusters.reserve(clusters.size());
+  for (WorkCluster& c : clusters) {
+    result.clusters.push_back(std::move(c.members));
+  }
+  return result;
+}
+
+}  // namespace nidc

@@ -1,0 +1,47 @@
+// GAC-lite: bucketed group-average agglomerative clustering after Yang et
+// al.'s GAC (itself extending Cutting's Fractionation) — the hierarchical
+// baseline of the paper's related work. Chronologically ordered documents
+// are divided into buckets; each bucket is clustered by group-average
+// agglomeration; surviving clusters are re-bucketed and the process repeats
+// until at most `target_clusters` remain.
+
+#ifndef NIDC_BASELINES_GROUP_AVERAGE_CLUSTERING_H_
+#define NIDC_BASELINES_GROUP_AVERAGE_CLUSTERING_H_
+
+#include "nidc/baselines/tfidf_model.h"
+#include "nidc/util/status.h"
+
+namespace nidc {
+
+struct GacOptions {
+  /// Stop when this many clusters remain.
+  size_t target_clusters = 24;
+
+  /// Bucket capacity (in clusters) for the divide step.
+  size_t bucket_size = 200;
+
+  /// Within a bucket, stop merging when the best group-average similarity
+  /// falls below this value (0 disables the quality gate).
+  double min_merge_similarity = 0.0;
+
+  /// Reduction factor per bucket pass: each bucket's cluster count is
+  /// reduced to ceil(count * reduction_factor).
+  double reduction_factor = 0.5;
+};
+
+struct GacResult {
+  std::vector<std::vector<DocId>> clusters;
+  /// Number of divide-and-merge passes performed.
+  int passes = 0;
+};
+
+/// Runs bucketed group-average clustering over `docs` (callers pass
+/// chronological order, giving temporally proximate stories a higher chance
+/// of early merging, as GAC intends).
+Result<GacResult> RunGroupAverageClustering(const TfIdfModel& model,
+                                            const std::vector<DocId>& docs,
+                                            const GacOptions& options);
+
+}  // namespace nidc
+
+#endif  // NIDC_BASELINES_GROUP_AVERAGE_CLUSTERING_H_

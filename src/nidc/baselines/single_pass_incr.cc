@@ -1,0 +1,58 @@
+#include "nidc/baselines/single_pass_incr.h"
+
+#include <algorithm>
+
+namespace nidc {
+
+Result<SinglePassResult> RunSinglePass(const Corpus& corpus,
+                                       const TfIdfModel& model,
+                                       const std::vector<DocId>& docs,
+                                       const SinglePassOptions& options) {
+  if (!(options.threshold >= 0.0 && options.threshold <= 1.0)) {
+    return Status::InvalidArgument("threshold must be in [0, 1]");
+  }
+  SinglePassResult result;
+  for (DocId id : docs) {
+    if (!model.Contains(id)) {
+      return Status::InvalidArgument("document " + std::to_string(id) +
+                                     " missing from the tf-idf model");
+    }
+    const SparseVector& v = model.Vector(id);
+    const DayTime t = corpus.doc(id).time;
+
+    int best = -1;
+    double best_sim = -1.0;
+    for (size_t p = 0; p < result.clusters.size(); ++p) {
+      const double norm = result.centroids[p].Norm();
+      if (norm <= 0.0) continue;
+      double sim = result.centroids[p].Dot(v) / norm;
+      if (options.window_days > 0.0) {
+        // Linear decaying weight over the time window (Yang et al.): the
+        // similarity to a cluster idle for a full window decays to zero.
+        const double age = t - result.last_update[p];
+        sim *= std::max(0.0, 1.0 - age / options.window_days);
+      }
+      if (sim > best_sim) {
+        best_sim = sim;
+        best = static_cast<int>(p);
+      }
+    }
+
+    const bool can_seed = options.max_clusters == 0 ||
+                          result.clusters.size() < options.max_clusters;
+    if (best >= 0 && (best_sim >= options.threshold || !can_seed)) {
+      const size_t p = static_cast<size_t>(best);
+      result.clusters[p].push_back(id);
+      result.centroids[p].AddScaled(v, 1.0);
+      result.last_update[p] = std::max(result.last_update[p], t);
+    } else {
+      result.clusters.push_back({id});
+      result.centroids.push_back(v);
+      result.last_update.push_back(t);
+      ++result.num_seeded;
+    }
+  }
+  return result;
+}
+
+}  // namespace nidc

@@ -1,0 +1,47 @@
+// Single-pass incremental clustering (INCR) after Yang et al., "Learning
+// Approaches for Detecting and Tracking News Events" (IEEE IS 1999) — the
+// incremental baseline the paper's related-work section contrasts against:
+// one pass over chronologically ordered documents, join-or-spawn by a
+// similarity threshold, with a time window and a *linear* decaying weight in
+// the similarity function (versus the paper's exponential decay).
+
+#ifndef NIDC_BASELINES_SINGLE_PASS_INCR_H_
+#define NIDC_BASELINES_SINGLE_PASS_INCR_H_
+
+#include "nidc/baselines/tfidf_model.h"
+#include "nidc/util/status.h"
+
+namespace nidc {
+
+struct SinglePassOptions {
+  /// Join threshold: a document joins the best cluster if the (decayed)
+  /// similarity clears it; otherwise it seeds a new cluster.
+  double threshold = 0.2;
+
+  /// Time-window width in days for the linear decay; <= 0 disables decay.
+  double window_days = 30.0;
+
+  /// Cap on the number of clusters (0 = unlimited). When the cap is hit,
+  /// below-threshold documents join their best cluster anyway.
+  size_t max_clusters = 0;
+};
+
+struct SinglePassResult {
+  std::vector<std::vector<DocId>> clusters;
+  /// Unnormalized centroid sums (normalized on similarity evaluation).
+  std::vector<SparseVector> centroids;
+  /// Time of each cluster's most recent member (drives the decay).
+  std::vector<DayTime> last_update;
+  size_t num_seeded = 0;
+};
+
+/// Runs INCR over `docs` in the given order (callers pass chronological
+/// order). Documents must be present in `model`.
+Result<SinglePassResult> RunSinglePass(const Corpus& corpus,
+                                       const TfIdfModel& model,
+                                       const std::vector<DocId>& docs,
+                                       const SinglePassOptions& options);
+
+}  // namespace nidc
+
+#endif  // NIDC_BASELINES_SINGLE_PASS_INCR_H_

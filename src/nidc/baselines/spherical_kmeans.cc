@@ -1,0 +1,80 @@
+#include "nidc/baselines/spherical_kmeans.h"
+
+#include <algorithm>
+
+namespace nidc {
+
+Result<SphericalKMeansResult> RunSphericalKMeans(
+    const TfIdfModel& model, const SphericalKMeansOptions& options) {
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (model.size() == 0) {
+    return Status::InvalidArgument("cannot cluster an empty document set");
+  }
+  const std::vector<DocId>& docs = model.docs();
+  const size_t k = std::min(options.k, docs.size());
+  Rng rng(options.seed);
+
+  // Seed centroids with K distinct random documents.
+  std::vector<SparseVector> centroids;
+  centroids.reserve(k);
+  for (size_t i : rng.SampleWithoutReplacement(docs.size(), k)) {
+    centroids.push_back(model.Vector(docs[i]));
+  }
+
+  std::vector<int> assignment(docs.size(), -1);
+  SphericalKMeansResult result;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Assignment step: nearest centroid by cosine.
+    size_t changed = 0;
+    for (size_t i = 0; i < docs.size(); ++i) {
+      int best = 0;
+      double best_sim = -1.0;
+      for (size_t p = 0; p < k; ++p) {
+        const double sim = centroids[p].Dot(model.Vector(docs[i]));
+        if (sim > best_sim) {
+          best_sim = sim;
+          best = static_cast<int>(p);
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        ++changed;
+      }
+    }
+    result.iterations = iter + 1;
+    if (static_cast<double>(changed) <=
+        options.reassignment_tolerance * static_cast<double>(docs.size())) {
+      result.converged = true;
+      break;
+    }
+
+    // Update step: mean direction of members; empty clusters are reseeded
+    // with a random document so K is preserved.
+    for (size_t p = 0; p < k; ++p) centroids[p] = SparseVector();
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < docs.size(); ++i) {
+      centroids[static_cast<size_t>(assignment[i])].AddScaled(
+          model.Vector(docs[i]), 1.0);
+      ++counts[static_cast<size_t>(assignment[i])];
+    }
+    for (size_t p = 0; p < k; ++p) {
+      if (counts[p] == 0) {
+        centroids[p] = model.Vector(docs[rng.NextBounded(docs.size())]);
+        continue;
+      }
+      const double norm = centroids[p].Norm();
+      if (norm > 0.0) centroids[p].ScaleInPlace(1.0 / norm);
+    }
+  }
+
+  result.clusters.assign(k, {});
+  result.centroids = std::move(centroids);
+  for (size_t i = 0; i < docs.size(); ++i) {
+    result.clusters[static_cast<size_t>(assignment[i])].push_back(docs[i]);
+    result.objective += result.centroids[static_cast<size_t>(assignment[i])]
+                            .Dot(model.Vector(docs[i]));
+  }
+  return result;
+}
+
+}  // namespace nidc

@@ -1,0 +1,38 @@
+// Classical spherical K-means over tf·idf vectors: the "conventional
+// clustering" the paper contrasts against (a 30-day half-life "resembles
+// the conventional clustering"; this baseline removes time entirely).
+
+#ifndef NIDC_BASELINES_SPHERICAL_KMEANS_H_
+#define NIDC_BASELINES_SPHERICAL_KMEANS_H_
+
+#include "nidc/baselines/tfidf_model.h"
+#include "nidc/util/random.h"
+#include "nidc/util/status.h"
+
+namespace nidc {
+
+struct SphericalKMeansOptions {
+  size_t k = 24;
+  int max_iterations = 50;
+  uint64_t seed = 42;
+  /// Stop when fewer than this fraction of documents change cluster.
+  double reassignment_tolerance = 0.0;
+};
+
+struct SphericalKMeansResult {
+  std::vector<std::vector<DocId>> clusters;
+  /// L2-normalized centroids (concept vectors).
+  std::vector<SparseVector> centroids;
+  /// Objective: Σ_d cos(d, centroid(d)) at termination.
+  double objective = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Runs spherical K-means on the model's documents.
+Result<SphericalKMeansResult> RunSphericalKMeans(
+    const TfIdfModel& model, const SphericalKMeansOptions& options);
+
+}  // namespace nidc
+
+#endif  // NIDC_BASELINES_SPHERICAL_KMEANS_H_

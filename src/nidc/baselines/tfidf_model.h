@@ -1,0 +1,44 @@
+// Classical tf·idf vector-space model (idf = log(N/df), L2-normalized
+// vectors, cosine similarity) — the representation the baseline clusterers
+// operate on, in contrast to the novelty-weighted ψ vectors of the core.
+
+#ifndef NIDC_BASELINES_TFIDF_MODEL_H_
+#define NIDC_BASELINES_TFIDF_MODEL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "nidc/corpus/corpus.h"
+
+namespace nidc {
+
+/// Snapshot of tf·idf vectors for a document subset.
+class TfIdfModel {
+ public:
+  /// Builds idf over `docs` (df counted within the subset) and materializes
+  /// one L2-normalized tf·idf vector per document.
+  TfIdfModel(const Corpus& corpus, const std::vector<DocId>& docs);
+
+  /// The normalized tf·idf vector of a document in the snapshot.
+  const SparseVector& Vector(DocId id) const;
+
+  /// Cosine similarity (dot of normalized vectors).
+  double Cosine(DocId a, DocId b) const;
+
+  bool Contains(DocId id) const { return index_.contains(id); }
+  const std::vector<DocId>& docs() const { return docs_; }
+  size_t size() const { return docs_.size(); }
+
+  /// idf of a term (0 for terms absent from the subset).
+  double Idf(TermId term) const;
+
+ private:
+  std::vector<DocId> docs_;
+  std::unordered_map<DocId, size_t> index_;
+  std::vector<SparseVector> vectors_;
+  std::unordered_map<TermId, double> idf_;
+};
+
+}  // namespace nidc
+
+#endif  // NIDC_BASELINES_TFIDF_MODEL_H_

@@ -1,0 +1,118 @@
+#include "nidc/core/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nidc {
+
+void Cluster::Add(DocId id, const SimilarityContext& ctx) {
+  assert(!Contains(id));
+  const SparseVector& psi = ctx.Psi(id);
+  const double self = ctx.SelfSim(id);
+  // cr_sim(C∪{d}, C∪{d}) = cr_self + 2·cr_sim(C, {d}) + sim(d, d):
+  // the expansion that makes Eq. 26 a single dot product.
+  cr_self_ += 2.0 * representative_.Dot(psi) + self;
+  ss_ += self;
+  representative_.AddScaled(psi, 1.0);
+  members_.push_back(id);
+  member_set_.insert(id);
+}
+
+void Cluster::Remove(DocId id, const SimilarityContext& ctx) {
+  assert(Contains(id));
+  const SparseVector& psi = ctx.Psi(id);
+  const double self = ctx.SelfSim(id);
+  // Deletion counterpart: with c' = c − ψ_d,
+  // c'·c' = c·c − 2·c·ψ_d + ψ_d·ψ_d.
+  cr_self_ += -2.0 * representative_.Dot(psi) + self;
+  ss_ -= self;
+  representative_.AddScaled(psi, -1.0);
+  members_.erase(std::find(members_.begin(), members_.end(), id));
+  member_set_.erase(id);
+  if (members_.empty()) Clear();  // snap caches to exact zero
+}
+
+double Cluster::AvgSim() const {
+  const double n = static_cast<double>(members_.size());
+  if (n <= 1.0) return 0.0;
+  // Eq. 24.
+  return (cr_self_ - ss_) / (n * (n - 1.0));
+}
+
+double Cluster::AvgSimIfAdded(DocId id, const SimilarityContext& ctx) const {
+  assert(!Contains(id));
+  const double n = static_cast<double>(members_.size());
+  if (members_.empty()) return 0.0;  // singleton result: avg_sim = 0
+  // Eq. 26: [cr_sim(C,C) + 2·cr_sim(C,{d}) − ss(C)] / (|C|(|C|+1)).
+  const double cr_cd = representative_.Dot(ctx.Psi(id));
+  return (cr_self_ + 2.0 * cr_cd - ss_) / (n * (n + 1.0));
+}
+
+double Cluster::GainInGIfAdded(DocId id, const SimilarityContext& ctx) const {
+  assert(!Contains(id));
+  const double n = static_cast<double>(members_.size());
+  if (members_.empty()) return 0.0;  // an empty cluster stays at g = 0
+  const double pair_sum = cr_self_ - ss_;  // S = n(n−1)·avg_sim (Eq. 22)
+  const double t = representative_.Dot(ctx.Psi(id));
+  const double g_now = n > 1.0 ? pair_sum / (n - 1.0) : 0.0;
+  return (pair_sum + 2.0 * t) / n - g_now;
+}
+
+double Cluster::AvgSimIfMerged(const Cluster& other) const {
+  const double n = static_cast<double>(members_.size() +
+                                       other.members_.size());
+  if (n <= 1.0) return 0.0;
+  // Eq. 25: [cr(C_p,C_p) + 2·cr(C_p,C_q) + cr(C_q,C_q) − ss_p − ss_q] /
+  //         [(|C_p|+|C_q|)(|C_p|+|C_q|−1)].
+  const double cr_pq = representative_.Dot(other.representative_);
+  return (cr_self_ + 2.0 * cr_pq + other.cr_self_ - ss_ - other.ss_) /
+         (n * (n - 1.0));
+}
+
+void Cluster::MergeFrom(Cluster* other) {
+  for (DocId id : other->members_) {
+    assert(!Contains(id));
+    members_.push_back(id);
+    member_set_.insert(id);
+  }
+  cr_self_ +=
+      2.0 * representative_.Dot(other->representative_) + other->cr_self_;
+  ss_ += other->ss_;
+  representative_.AddScaled(other->representative_, 1.0);
+  other->Clear();
+}
+
+void Cluster::Refresh(const SimilarityContext& ctx) {
+  SparseVector rep;
+  double ss = 0.0;
+  for (DocId id : members_) {
+    rep.AddScaled(ctx.Psi(id), 1.0);
+    ss += ctx.SelfSim(id);
+  }
+  representative_ = std::move(rep);
+  ss_ = ss;
+  cr_self_ = representative_.SquaredNorm();
+}
+
+void Cluster::Clear() {
+  members_.clear();
+  member_set_.clear();
+  representative_ = SparseVector();
+  cr_self_ = 0.0;
+  ss_ = 0.0;
+}
+
+double Cluster::AvgSimNaive(const SimilarityContext& ctx) const {
+  const size_t n = members_.size();
+  if (n <= 1) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      total += ctx.Sim(members_[i], members_[j]);
+    }
+  }
+  return total / (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+}  // namespace nidc

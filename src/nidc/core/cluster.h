@@ -1,0 +1,105 @@
+// A cluster with representative-based O(1) intra-similarity maintenance
+// (paper §4.4, Eq. 19–26).
+//
+// Maintained invariants (up to float drift; re-established by Refresh()):
+//   representative_ = Σ_{d∈members} ψ_d               (Eq. 20)
+//   cr_self_        = representative_ · representative_  (Eq. 21, p = q)
+//   ss_             = Σ_{d∈members} ψ_d · ψ_d            (Eq. 23)
+// From these, avg_sim follows via Eq. 24, and the incremental add/remove
+// updates use the identities of Eq. 25/26 and their deletion counterparts.
+
+#ifndef NIDC_CORE_CLUSTER_H_
+#define NIDC_CORE_CLUSTER_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "nidc/core/novelty_similarity.h"
+
+namespace nidc {
+
+/// One cluster of the extended K-means. Mutation keeps the representative,
+/// cr_self and ss synchronized incrementally.
+class Cluster {
+ public:
+  Cluster() = default;
+
+  /// Adds a document. O(|ψ_d| + |rep|) for the representative merge; the
+  /// cr_self update is the Eq. 26 machinery: one dot product.
+  void Add(DocId id, const SimilarityContext& ctx);
+
+  /// Removes a member (must be present); the deletion counterpart of Eq. 26.
+  void Remove(DocId id, const SimilarityContext& ctx);
+
+  /// avg_sim(C_p) per Eq. 24; defined as 0 for |C| <= 1.
+  double AvgSim() const;
+
+  /// avg_sim(C_p ∪ {d}) if `id` were appended (Eq. 26) — does not mutate.
+  /// Requires id not to be a member.
+  double AvgSimIfAdded(DocId id, const SimilarityContext& ctx) const;
+
+  /// The increase avg_sim(C_p ∪ {d}) − avg_sim(C_p) used by the
+  /// paper-literal assignment rule of the extended K-means.
+  double GainIfAdded(DocId id, const SimilarityContext& ctx) const {
+    return AvgSimIfAdded(id, ctx) - AvgSim();
+  }
+
+  /// The increase of this cluster's clustering-index contribution
+  /// |C_p|·avg_sim(C_p) (one term of Eq. 17) if `id` were appended — the
+  /// G-greedy assignment rule. With S the pairwise-similarity sum
+  /// (= cr_self − ss, Eq. 22) and T = cr_sim(C_p, {d}):
+  ///   Δg = (S + 2T)/|C| − S/(|C|−1).
+  double GainInGIfAdded(DocId id, const SimilarityContext& ctx) const;
+
+  /// Similarity of this cluster's representative with a document's ψ —
+  /// cr_sim(C_p, {d}) of Eq. 21 for a singleton.
+  double CrSimWithDoc(DocId id, const SimilarityContext& ctx) const {
+    return representative_.Dot(ctx.Psi(id));
+  }
+
+  /// cr_sim(C_p, C_q) (Eq. 21).
+  double CrSimWith(const Cluster& other) const {
+    return representative_.Dot(other.representative_);
+  }
+
+  /// avg_sim(C_p ∪ C_q) for a disjoint cluster, via Eq. 25 — does not
+  /// mutate; one representative dot product.
+  double AvgSimIfMerged(const Cluster& other) const;
+
+  /// Absorbs a disjoint cluster (Eq. 25 machinery applied for real):
+  /// members, representative, cr_self and ss are all merged incrementally.
+  /// `other` is left empty.
+  void MergeFrom(Cluster* other);
+
+  /// Recomputes representative, cr_self and ss exactly from the members,
+  /// clearing accumulated float drift. O(Σ |ψ_d|).
+  void Refresh(const SimilarityContext& ctx);
+
+  /// Drops all members and zeroes the cached statistics.
+  void Clear();
+
+  /// Naive O(|C|²) recomputation of avg_sim via pairwise sims — the
+  /// reference the representative path is verified (and benchmarked)
+  /// against.
+  double AvgSimNaive(const SimilarityContext& ctx) const;
+
+  bool Contains(DocId id) const { return member_set_.contains(id); }
+  size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+  const std::vector<DocId>& members() const { return members_; }
+
+  const SparseVector& representative() const { return representative_; }
+  double cr_self() const { return cr_self_; }
+  double ss() const { return ss_; }
+
+ private:
+  std::vector<DocId> members_;
+  std::unordered_set<DocId> member_set_;
+  SparseVector representative_;
+  double cr_self_ = 0.0;
+  double ss_ = 0.0;
+};
+
+}  // namespace nidc
+
+#endif  // NIDC_CORE_CLUSTER_H_

@@ -1,0 +1,38 @@
+#include "nidc/core/cluster_set.h"
+
+#include <cassert>
+
+namespace nidc {
+
+void ClusterSet::Assign(DocId id, int p, const SimilarityContext& ctx) {
+  assert(p == kUnassigned ||
+         (p >= 0 && static_cast<size_t>(p) < clusters_.size()));
+  const int current = ClusterOf(id);
+  if (current == p) return;
+  if (current != kUnassigned) {
+    clusters_[static_cast<size_t>(current)].Remove(id, ctx);
+    assignment_.erase(id);
+  }
+  if (p != kUnassigned) {
+    clusters_[static_cast<size_t>(p)].Add(id, ctx);
+    assignment_[id] = p;
+  }
+}
+
+void ClusterSet::RefreshAll(const SimilarityContext& ctx) {
+  for (Cluster& c : clusters_) c.Refresh(ctx);
+}
+
+double ClusterSet::G() const {
+  double g = 0.0;
+  for (const Cluster& c : clusters_) {
+    g += static_cast<double>(c.size()) * c.AvgSim();
+  }
+  return g;
+}
+
+size_t ClusterSet::TotalAssigned() const {
+  return assignment_.size();
+}
+
+}  // namespace nidc

@@ -1,0 +1,52 @@
+// A fixed-K collection of clusters plus the document→cluster assignment map.
+
+#ifndef NIDC_CORE_CLUSTER_SET_H_
+#define NIDC_CORE_CLUSTER_SET_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "nidc/core/cluster.h"
+
+namespace nidc {
+
+/// Cluster index within a ClusterSet; kUnassigned for outliers/unseen docs.
+inline constexpr int kUnassigned = -1;
+
+/// Owns K clusters and keeps the assignment map consistent with their
+/// membership.
+class ClusterSet {
+ public:
+  explicit ClusterSet(size_t k) : clusters_(k) {}
+
+  size_t num_clusters() const { return clusters_.size(); }
+  Cluster& cluster(size_t p) { return clusters_[p]; }
+  const Cluster& cluster(size_t p) const { return clusters_[p]; }
+
+  /// Cluster index of `id`, or kUnassigned.
+  int ClusterOf(DocId id) const {
+    auto it = assignment_.find(id);
+    return it == assignment_.end() ? kUnassigned : it->second;
+  }
+
+  /// Moves `id` into cluster `p` (removing it from its current cluster
+  /// first, if any). `p` may be kUnassigned to just detach the document.
+  void Assign(DocId id, int p, const SimilarityContext& ctx);
+
+  /// Recomputes every cluster's cached statistics from its members.
+  void RefreshAll(const SimilarityContext& ctx);
+
+  /// Clustering index G = Σ_p |C_p| · avg_sim(C_p) (Eq. 17).
+  double G() const;
+
+  /// Total number of assigned documents.
+  size_t TotalAssigned() const;
+
+ private:
+  std::vector<Cluster> clusters_;
+  std::unordered_map<DocId, int> assignment_;
+};
+
+}  // namespace nidc
+
+#endif  // NIDC_CORE_CLUSTER_SET_H_

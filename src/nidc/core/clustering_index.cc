@@ -1,0 +1,26 @@
+#include "nidc/core/clustering_index.h"
+
+#include <limits>
+
+namespace nidc {
+
+double ClusteringIndexG(const ClusterSet& clusters) { return clusters.G(); }
+
+double ClusteringIndexGNaive(const ClusterSet& clusters,
+                             const SimilarityContext& ctx) {
+  double g = 0.0;
+  for (size_t p = 0; p < clusters.num_clusters(); ++p) {
+    const Cluster& c = clusters.cluster(p);
+    g += static_cast<double>(c.size()) * c.AvgSimNaive(ctx);
+  }
+  return g;
+}
+
+double RelativeGChange(double g_old, double g_new) {
+  if (g_old == 0.0) {
+    return g_new == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return (g_new - g_old) / g_old;
+}
+
+}  // namespace nidc

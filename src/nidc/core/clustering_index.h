@@ -1,0 +1,26 @@
+// The clustering index G (paper §4.2, Eq. 17–18) as free functions, plus
+// the naive reference used to validate the representative-based fast path.
+
+#ifndef NIDC_CORE_CLUSTERING_INDEX_H_
+#define NIDC_CORE_CLUSTERING_INDEX_H_
+
+#include "nidc/core/cluster_set.h"
+
+namespace nidc {
+
+/// G = Σ_p |C_p| · avg_sim(C_p) via the cached cluster statistics (Eq. 24).
+double ClusteringIndexG(const ClusterSet& clusters);
+
+/// Same quantity computed from pairwise similarities (Eq. 18 literally);
+/// O(Σ |C_p|²). Used by tests and the ablation bench.
+double ClusteringIndexGNaive(const ClusterSet& clusters,
+                             const SimilarityContext& ctx);
+
+/// Relative change (G_new − G_old)/G_old used by the convergence test
+/// (§4.3 repetition step 4). When G_old is 0: returns 0 if G_new is also 0,
+/// +infinity otherwise (so a run that just created structure keeps going).
+double RelativeGChange(double g_old, double g_new);
+
+}  // namespace nidc
+
+#endif  // NIDC_CORE_CLUSTERING_INDEX_H_

@@ -1,0 +1,64 @@
+// Immutable snapshot of one clustering pass: memberships, outliers,
+// per-cluster quality, convergence trace.
+
+#ifndef NIDC_CORE_CLUSTERING_RESULT_H_
+#define NIDC_CORE_CLUSTERING_RESULT_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nidc/core/cluster_set.h"
+#include "nidc/text/vocabulary.h"
+
+namespace nidc {
+
+/// Result of ExtendedKMeans::Run (and of each IncrementalClusterer step).
+struct ClusteringResult {
+  /// Cluster memberships, index-aligned with representatives/avg_sims.
+  std::vector<std::vector<DocId>> clusters;
+
+  /// Final cluster representatives c⃗_p (Eq. 20) — reused as seeds by the
+  /// incremental procedure (§5.2 step 3).
+  std::vector<SparseVector> representatives;
+
+  /// avg_sim(C_p) of each cluster at termination.
+  std::vector<double> avg_sims;
+
+  /// Documents left on the outlier list at termination.
+  std::vector<DocId> outliers;
+
+  /// Clustering index G at termination and its per-iteration trace.
+  double g = 0.0;
+  std::vector<double> g_history;
+
+  /// Number of repetition sweeps executed.
+  int iterations = 0;
+
+  /// True if the δ-criterion fired (false: max_iterations hit).
+  bool converged = false;
+
+  /// Cluster index of a document, or kUnassigned.
+  int ClusterOf(DocId id) const;
+
+  /// Number of non-empty clusters.
+  size_t NumNonEmpty() const;
+
+  /// Total documents assigned to clusters (excludes outliers).
+  size_t TotalAssigned() const;
+
+  /// The `n` highest-weight terms of cluster `p`'s representative,
+  /// resolved through `vocab` — a human-readable cluster digest.
+  std::vector<std::string> TopTerms(size_t p, const Vocabulary& vocab,
+                                    size_t n) const;
+
+  /// Builds the snapshot from a live ClusterSet.
+  static ClusteringResult FromClusterSet(const ClusterSet& set,
+                                         std::vector<DocId> outliers,
+                                         std::vector<double> g_history,
+                                         int iterations, bool converged);
+};
+
+}  // namespace nidc
+
+#endif  // NIDC_CORE_CLUSTERING_RESULT_H_

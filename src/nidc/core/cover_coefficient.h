@@ -1,0 +1,44 @@
+// Cover-coefficient statistics (Can, ACM TOIS 1993) with the forgetting
+// weights folded in — the machinery behind the F²ICM predecessor's seed
+// selection and behind the decoupling-sum estimate of the cluster count
+// (used by both the F²ICM baseline and the K estimator).
+//
+// With weighted frequencies w_ik = dw_i·f_ik:
+//   α_i = 1 / Σ_k w_ik          (row normalizer)
+//   β_k = 1 / Σ_i w_ik          (column normalizer)
+//   δ_i = α_i · Σ_k w_ik²·β_k   (decoupling coefficient, = c_ii)
+//   ψ_i = 1 − δ_i               (coupling coefficient)
+//   n_c = Σ_i δ_i               (estimated number of clusters)
+//   p_i = δ_i · ψ_i · Σ_k w_ik  (seed power)
+
+#ifndef NIDC_CORE_COVER_COEFFICIENT_H_
+#define NIDC_CORE_COVER_COEFFICIENT_H_
+
+#include <vector>
+
+#include "nidc/forgetting/forgetting_model.h"
+
+namespace nidc {
+
+/// Per-document cover-coefficient statistics over a model's active set.
+struct CoverCoefficients {
+  std::vector<DocId> docs;
+  /// Decoupling coefficient δ_i of each document (index-aligned with docs;
+  /// δ_i ∈ (0, 1], 1 when the document shares no terms with anyone).
+  std::vector<double> decoupling;
+  /// Seed power p_i of each document.
+  std::vector<double> seed_power;
+  /// Estimated cluster count n_c = Σ δ_i (clamped to >= 1).
+  double nc = 1.0;
+
+  /// n_c rounded to an integer cluster count (>= 1).
+  size_t EstimatedClusterCount() const;
+};
+
+/// Computes the weight-folded cover coefficients for the model's active
+/// documents. O(Σ nnz).
+CoverCoefficients ComputeCoverCoefficients(const ForgettingModel& model);
+
+}  // namespace nidc
+
+#endif  // NIDC_CORE_COVER_COEFFICIENT_H_

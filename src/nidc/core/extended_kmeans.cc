@@ -1,0 +1,191 @@
+#include "nidc/core/extended_kmeans.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "nidc/core/clustering_index.h"
+
+namespace nidc {
+
+Status ExtendedKMeansOptions::Validate() const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (!(delta >= 0.0)) return Status::InvalidArgument("delta must be >= 0");
+  if (max_iterations < 1) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// One repetition sweep (§4.3 step 1): every document is detached, the best
+// avg_sim gain over all clusters is found via Eq. 26, and the document is
+// re-attached to the argmax cluster — or put on the outlier list when no
+// assignment increases any intra-cluster similarity.
+std::vector<DocId> SweepAssign(const std::vector<DocId>& order,
+                               const SimilarityContext& ctx,
+                               AssignmentCriterion criterion,
+                               ClusterSet* clusters) {
+  std::vector<DocId> outliers;
+  for (DocId id : order) {
+    clusters->Assign(id, kUnassigned, ctx);
+    int best = kUnassigned;
+    double best_gain = 0.0;
+    for (size_t p = 0; p < clusters->num_clusters(); ++p) {
+      const Cluster& c = clusters->cluster(p);
+      const double gain = criterion == AssignmentCriterion::kGIncrease
+                              ? c.GainInGIfAdded(id, ctx)
+                              : c.GainIfAdded(id, ctx);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = static_cast<int>(p);
+      }
+    }
+    if (best == kUnassigned) {
+      // No assignment increases any cluster's quality. Before declaring the
+      // document an outlier, let it (re)seed an empty cluster — otherwise a
+      // singleton seed drains to the outlier list the moment it is swept
+      // (removing it empties its own cluster, and an empty cluster's gain
+      // is 0, never "> 0").
+      for (size_t p = 0; p < clusters->num_clusters(); ++p) {
+        if (clusters->cluster(p).empty()) {
+          best = static_cast<int>(p);
+          break;
+        }
+      }
+    }
+    if (best == kUnassigned) {
+      outliers.push_back(id);
+    } else {
+      clusters->Assign(id, best, ctx);
+    }
+  }
+  return outliers;
+}
+
+// Populates clusters from fixed representative vectors: each document joins
+// the cluster whose representative it is most similar to (cr_sim with the
+// singleton {d}); non-positive best similarity goes to the outlier list.
+std::vector<DocId> AssignAgainstFixedRepresentatives(
+    const std::vector<DocId>& docs, const std::vector<SparseVector>& reps,
+    const SimilarityContext& ctx, ClusterSet* clusters) {
+  std::vector<DocId> outliers;
+  for (DocId id : docs) {
+    const SparseVector& psi = ctx.Psi(id);
+    int best = kUnassigned;
+    double best_sim = 0.0;
+    for (size_t p = 0; p < reps.size(); ++p) {
+      const double sim = reps[p].Dot(psi);
+      if (sim > best_sim) {
+        best_sim = sim;
+        best = static_cast<int>(p);
+      }
+    }
+    if (best == kUnassigned) {
+      outliers.push_back(id);
+    } else {
+      clusters->Assign(id, best, ctx);
+    }
+  }
+  return outliers;
+}
+
+}  // namespace
+
+Result<ClusteringResult> RunExtendedKMeans(
+    const SimilarityContext& ctx, const std::vector<DocId>& docs,
+    const ExtendedKMeansOptions& options,
+    const std::optional<KMeansSeeds>& seeds) {
+  NIDC_RETURN_NOT_OK(options.Validate());
+  if (docs.empty()) {
+    return Status::InvalidArgument("cannot cluster an empty document set");
+  }
+  for (DocId id : docs) {
+    if (!ctx.Contains(id)) {
+      return Status::InvalidArgument("document " + std::to_string(id) +
+                                     " is not in the similarity context");
+    }
+  }
+
+  const size_t k = std::min(options.k, docs.size());
+  ClusterSet clusters(k);
+  Rng rng(options.seed);
+  std::vector<DocId> outliers;
+
+  // --- Initial process ---
+  const SeedMode mode = seeds ? seeds->mode : SeedMode::kRandom;
+  switch (mode) {
+    case SeedMode::kRandom: {
+      // §4.3: select K documents randomly, form initial K clusters.
+      size_t next = 0;
+      for (size_t p : rng.SampleWithoutReplacement(docs.size(), k)) {
+        clusters.Assign(docs[p], static_cast<int>(next++), ctx);
+      }
+      break;
+    }
+    case SeedMode::kMembership: {
+      if (seeds->memberships.size() > k) {
+        return Status::InvalidArgument("membership seed has more clusters "
+                                       "than k");
+      }
+      for (size_t p = 0; p < seeds->memberships.size(); ++p) {
+        for (DocId id : seeds->memberships[p]) {
+          if (ctx.Contains(id)) clusters.Assign(id, static_cast<int>(p), ctx);
+        }
+      }
+      break;
+    }
+    case SeedMode::kRepresentatives: {
+      if (seeds->representatives.size() > k) {
+        return Status::InvalidArgument("representative seed has more "
+                                       "clusters than k");
+      }
+      outliers = AssignAgainstFixedRepresentatives(
+          docs, seeds->representatives, ctx, &clusters);
+      break;
+    }
+  }
+  // Degenerate-seed fallback: representative/membership seeds can leave
+  // every cluster empty (e.g. the whole previous vocabulary expired). An
+  // empty cluster can never attract documents (its avg_sim gain is 0), so
+  // restart from random singletons as the initial process prescribes.
+  if (clusters.TotalAssigned() == 0) {
+    size_t next = 0;
+    for (size_t p : rng.SampleWithoutReplacement(docs.size(), k)) {
+      clusters.Assign(docs[p], static_cast<int>(next++), ctx);
+    }
+    outliers.clear();
+  }
+  clusters.RefreshAll(ctx);
+
+  // --- Repetition process ---
+  std::vector<double> g_history;
+  double g_old = clusters.G();
+  g_history.push_back(g_old);
+
+  std::vector<DocId> order = docs;
+  int iterations = 0;
+  bool converged = false;
+  while (iterations < options.max_iterations) {
+    if (options.shuffle_each_iteration) rng.Shuffle(&order);
+    outliers = SweepAssign(order, ctx, options.criterion, &clusters);
+    ++iterations;
+    // Step 2: recompute cluster representatives (also clears float drift).
+    clusters.RefreshAll(ctx);
+    // Steps 3–4: G_new and the δ test.
+    const double g_new = clusters.G();
+    g_history.push_back(g_new);
+    if (RelativeGChange(g_old, g_new) < options.delta) {
+      converged = true;
+      g_old = g_new;
+      break;
+    }
+    g_old = g_new;
+  }
+
+  return ClusteringResult::FromClusterSet(clusters, std::move(outliers),
+                                          std::move(g_history), iterations,
+                                          converged);
+}
+
+}  // namespace nidc

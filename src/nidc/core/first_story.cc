@@ -1,0 +1,58 @@
+#include "nidc/core/first_story.h"
+
+#include <cmath>
+
+namespace nidc {
+
+FirstStoryDetector::FirstStoryDetector(const Corpus* corpus,
+                                       ForgettingParams params,
+                                       FirstStoryOptions options)
+    : model_(corpus, params), options_(options) {}
+
+Result<std::vector<FirstStoryVerdict>> FirstStoryDetector::Observe(
+    const std::vector<DocId>& new_docs, DayTime tau) {
+  if (tau < model_.now()) {
+    return Status::InvalidArgument("observation time precedes model time");
+  }
+  model_.AdvanceTo(tau);
+  for (DocId id : model_.ExpireDocuments()) {
+    index_.Remove(model_.corpus().doc(id));
+  }
+
+  // Incorporate the batch so one SimilarityContext covers everyone; each
+  // newcomer is scored before it enters the index, so it is only compared
+  // against strictly earlier documents (pre-batch actives plus earlier
+  // batch members). The inverted index prunes the scan to documents that
+  // share at least one term — all others have similarity exactly 0.
+  model_.AddDocuments(new_docs);
+  SimilarityContext ctx(model_);
+
+  std::vector<FirstStoryVerdict> verdicts;
+  verdicts.reserve(new_docs.size());
+  for (DocId id : new_docs) {
+    FirstStoryVerdict verdict;
+    verdict.doc = id;
+    const Document& doc = model_.corpus().doc(id);
+    const double self = ctx.SelfSim(id);
+    if (self > 0.0) {
+      for (DocId other : index_.Candidates(doc.terms, id)) {
+        const double other_self = ctx.SelfSim(other);
+        if (other_self <= 0.0) continue;
+        const double cosine =
+            ctx.Sim(id, other) / std::sqrt(self * other_self);
+        if (cosine > verdict.max_similarity) {
+          verdict.max_similarity = cosine;
+          verdict.nearest = other;
+        }
+      }
+    }
+    verdict.is_first_story =
+        verdict.max_similarity < options_.novelty_threshold;
+    if (verdict.is_first_story) ++num_first_stories_;
+    verdicts.push_back(verdict);
+    index_.Add(doc);
+  }
+  return verdicts;
+}
+
+}  // namespace nidc

@@ -1,0 +1,55 @@
+#include "nidc/core/hot_topics.h"
+
+#include <algorithm>
+
+#include "nidc/util/string_util.h"
+
+namespace nidc {
+
+std::vector<HotTopic> RankHotTopics(const ForgettingModel& model,
+                                    const ClusteringResult& result,
+                                    const HotTopicOptions& options) {
+  std::vector<HotTopic> digest;
+  for (size_t p = 0; p < result.clusters.size(); ++p) {
+    const auto& members = result.clusters[p];
+    if (members.size() < std::max<size_t>(options.min_size, 1)) continue;
+    HotTopic topic;
+    topic.cluster_index = p;
+    topic.size = members.size();
+    for (DocId d : members) {
+      topic.mass += model.PrDoc(d);
+      topic.newest_doc_time =
+          std::max(topic.newest_doc_time, model.corpus().doc(d).time);
+    }
+    if (topic.mass < options.min_mass) continue;
+    topic.top_terms = result.TopTerms(p, model.corpus().vocabulary(),
+                                      options.terms_per_topic);
+    digest.push_back(std::move(topic));
+  }
+  std::stable_sort(digest.begin(), digest.end(),
+                   [](const HotTopic& a, const HotTopic& b) {
+                     return a.mass > b.mass;
+                   });
+  if (options.max_topics > 0 && digest.size() > options.max_topics) {
+    digest.resize(options.max_topics);
+  }
+  return digest;
+}
+
+std::string RenderHotTopics(const std::vector<HotTopic>& digest) {
+  std::string out;
+  for (size_t i = 0; i < digest.size(); ++i) {
+    const HotTopic& topic = digest[i];
+    out += StringPrintf("%zu. (mass %.2f, %zu docs, newest day %.1f)",
+                        i + 1, topic.mass, topic.size,
+                        topic.newest_doc_time);
+    for (const std::string& term : topic.top_terms) {
+      out += ' ';
+      out += term;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace nidc

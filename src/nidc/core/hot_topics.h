@@ -1,0 +1,53 @@
+// Hot-topic digests: the user-facing product the paper's introduction
+// motivates ("clustering results reflecting current trends of hot topics").
+// Ranks the clusters of a ClusteringResult by their recency-weighted
+// probability mass Σ_{d∈C} Pr(d) and extracts a human-readable digest.
+
+#ifndef NIDC_CORE_HOT_TOPICS_H_
+#define NIDC_CORE_HOT_TOPICS_H_
+
+#include <string>
+#include <vector>
+
+#include "nidc/core/clustering_result.h"
+#include "nidc/forgetting/forgetting_model.h"
+
+namespace nidc {
+
+/// One entry of the digest.
+struct HotTopic {
+  /// Index into the ClusteringResult's clusters.
+  size_t cluster_index = 0;
+  /// Recency-weighted mass Σ Pr(d) over members — the ranking key. Masses
+  /// over a result sum to <= 1 (outliers hold the rest).
+  double mass = 0.0;
+  size_t size = 0;
+  /// Acquisition time of the newest member.
+  DayTime newest_doc_time = 0.0;
+  /// Highest-weight representative terms.
+  std::vector<std::string> top_terms;
+};
+
+struct HotTopicOptions {
+  /// Maximum digest length (0 = all non-empty clusters).
+  size_t max_topics = 5;
+  size_t terms_per_topic = 4;
+  /// Skip clusters whose mass falls below this floor.
+  double min_mass = 0.0;
+  /// Skip clusters smaller than this.
+  size_t min_size = 1;
+};
+
+/// Builds the digest for `result` under `model`'s current probabilities,
+/// most-massive cluster first. Documents no longer active contribute zero
+/// mass (so a stale result naturally ranks low).
+std::vector<HotTopic> RankHotTopics(const ForgettingModel& model,
+                                    const ClusteringResult& result,
+                                    const HotTopicOptions& options = {});
+
+/// Renders a digest as "1. (mass 0.31, 12 docs) term term term" lines.
+std::string RenderHotTopics(const std::vector<HotTopic>& digest);
+
+}  // namespace nidc
+
+#endif  // NIDC_CORE_HOT_TOPICS_H_

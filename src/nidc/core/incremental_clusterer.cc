@@ -1,0 +1,123 @@
+#include "nidc/core/incremental_clusterer.h"
+
+#include "nidc/util/stopwatch.h"
+
+namespace nidc {
+
+IncrementalClusterer::IncrementalClusterer(const Corpus* corpus,
+                                           ForgettingParams params,
+                                           IncrementalOptions options)
+    : model_(corpus, params), options_(options) {}
+
+Result<StepResult> IncrementalClusterer::Step(
+    const std::vector<DocId>& new_docs, DayTime tau) {
+  if (tau < model_.now()) {
+    return Status::InvalidArgument("step time precedes model time");
+  }
+  StepResult result;
+
+  // Phase 1: incremental statistics update (§5.1; §5.2 steps 1–2).
+  Stopwatch stats_timer;
+  model_.AdvanceTo(tau);
+  model_.AddDocuments(new_docs);
+  result.expired = model_.ExpireDocuments();
+  result.num_new = new_docs.size();
+  result.num_active = model_.num_active();
+  result.stats_update_seconds = stats_timer.ElapsedSeconds();
+
+  if (model_.num_active() == 0) {
+    return Status::FailedPrecondition("no active documents to cluster");
+  }
+
+  // Phase 2: clustering, seeded from the previous result (§5.2 step 3).
+  Stopwatch cluster_timer;
+  SimilarityContext ctx(model_);
+  std::optional<KMeansSeeds> seeds;
+  ExtendedKMeansOptions kmeans = options_.kmeans;
+  // Vary the random-seed stream per step so repeated random inits differ.
+  kmeans.seed = options_.kmeans.seed + step_count_;
+  if (last_result_) {
+    KMeansSeeds s;
+    s.mode = options_.reseed_mode;
+    if (s.mode == SeedMode::kMembership) {
+      s.memberships = last_result_->clusters;
+    } else if (s.mode == SeedMode::kRepresentatives) {
+      s.representatives = last_result_->representatives;
+    }
+    seeds = std::move(s);
+  }
+  Result<ClusteringResult> clustering =
+      RunExtendedKMeans(ctx, model_.active_docs(), kmeans, seeds);
+  if (!clustering.ok()) return clustering.status();
+  result.clustering_seconds = cluster_timer.ElapsedSeconds();
+
+  result.clustering = std::move(clustering).value();
+  last_result_ = result.clustering;
+  ++step_count_;
+  return result;
+}
+
+Status IncrementalClusterer::RestoreState(
+    DayTime now, const std::vector<DocId>& active,
+    std::optional<ClusteringResult> last) {
+  model_.RebuildFromScratch(active, now);
+  last_result_ = std::move(last);
+  if (last_result_ && model_.num_active() > 0) {
+    // Recompute representatives (Eq. 20) for the restored memberships —
+    // they are derived state, so snapshots do not carry them.
+    SimilarityContext ctx(model_);
+    last_result_->representatives.assign(last_result_->clusters.size(),
+                                         SparseVector());
+    last_result_->avg_sims.assign(last_result_->clusters.size(), 0.0);
+    for (size_t p = 0; p < last_result_->clusters.size(); ++p) {
+      Cluster cluster;
+      for (DocId id : last_result_->clusters[p]) {
+        if (!ctx.Contains(id)) {
+          return Status::InvalidArgument(
+              "restored cluster references inactive document " +
+              std::to_string(id));
+        }
+        cluster.Add(id, ctx);
+      }
+      last_result_->representatives[p] = cluster.representative();
+      last_result_->avg_sims[p] = cluster.AvgSim();
+    }
+  }
+  // Step numbering continues from the restored result's presence.
+  step_count_ = last_result_ ? 1 : 0;
+  return Status::OK();
+}
+
+BatchClusterer::BatchClusterer(const Corpus* corpus, ForgettingParams params,
+                               ExtendedKMeansOptions kmeans)
+    : model_(corpus, params), kmeans_(kmeans) {}
+
+Result<StepResult> BatchClusterer::Run(const std::vector<DocId>& docs,
+                                       DayTime tau) {
+  StepResult result;
+
+  // Phase 1: from-scratch statistics computation over every document.
+  Stopwatch stats_timer;
+  model_.RebuildFromScratch(docs, tau);
+  result.expired = model_.ExpireDocuments();
+  result.num_new = docs.size();
+  result.num_active = model_.num_active();
+  result.stats_update_seconds = stats_timer.ElapsedSeconds();
+
+  if (model_.num_active() == 0) {
+    return Status::FailedPrecondition("no active documents to cluster");
+  }
+
+  // Phase 2: clustering from a random start.
+  Stopwatch cluster_timer;
+  SimilarityContext ctx(model_);
+  Result<ClusteringResult> clustering =
+      RunExtendedKMeans(ctx, model_.active_docs(), kmeans_);
+  if (!clustering.ok()) return clustering.status();
+  result.clustering_seconds = cluster_timer.ElapsedSeconds();
+
+  result.clustering = std::move(clustering).value();
+  return result;
+}
+
+}  // namespace nidc

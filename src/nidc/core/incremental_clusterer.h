@@ -1,0 +1,95 @@
+// Drivers for the paper's two processing regimes.
+//
+// IncrementalClusterer implements §5.2: each step ingests newly arrived
+// documents, expires stale ones (dw < ε), updates statistics incrementally
+// (§5.1), and re-clusters seeded from the previous result.
+//
+// BatchClusterer is the non-incremental arm of Experiment 1: every step
+// rebuilds all statistics from scratch and clusters from a random start.
+
+#ifndef NIDC_CORE_INCREMENTAL_CLUSTERER_H_
+#define NIDC_CORE_INCREMENTAL_CLUSTERER_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "nidc/core/extended_kmeans.h"
+#include "nidc/forgetting/forgetting_model.h"
+
+namespace nidc {
+
+/// Outcome of one processing step, with the two phase timings the paper's
+/// Table 1 reports separately.
+struct StepResult {
+  ClusteringResult clustering;
+  std::vector<DocId> expired;
+  size_t num_new = 0;
+  size_t num_active = 0;
+  double stats_update_seconds = 0.0;
+  double clustering_seconds = 0.0;
+};
+
+/// Options for the incremental driver.
+struct IncrementalOptions {
+  ExtendedKMeansOptions kmeans;
+  /// How step N+1 is seeded from step N's result (first step: random).
+  SeedMode reseed_mode = SeedMode::kMembership;
+};
+
+/// Stateful on-line clusterer (§5.2).
+class IncrementalClusterer {
+ public:
+  IncrementalClusterer(const Corpus* corpus, ForgettingParams params,
+                       IncrementalOptions options);
+
+  /// Processes the batch of documents acquired up to time `tau`:
+  ///   1. advance the clock and incorporate `new_docs` (§5.2 step 1),
+  ///   2. expire documents with dw < ε and update statistics (step 2),
+  ///   3. cluster, seeded from the previous result (step 3).
+  /// `tau` must be >= the current model time.
+  Result<StepResult> Step(const std::vector<DocId>& new_docs, DayTime tau);
+
+  /// The most recent clustering, if any step has run.
+  const std::optional<ClusteringResult>& last_result() const {
+    return last_result_;
+  }
+
+  /// Reconstructs internal state from a persisted snapshot (see
+  /// state_io.h): rebuilds the statistics for `active` at clock `now`
+  /// (exact, since dw ≡ λ^(now−T)), installs `last` as the seeding result
+  /// and recomputes its cluster representatives from the current ψ.
+  Status RestoreState(DayTime now, const std::vector<DocId>& active,
+                      std::optional<ClusteringResult> last);
+
+  ForgettingModel& model() { return model_; }
+  const ForgettingModel& model() const { return model_; }
+  const IncrementalOptions& options() const { return options_; }
+
+ private:
+  ForgettingModel model_;
+  IncrementalOptions options_;
+  std::optional<ClusteringResult> last_result_;
+  uint64_t step_count_ = 0;
+};
+
+/// Stateless from-scratch driver (non-incremental arm of Experiment 1).
+class BatchClusterer {
+ public:
+  BatchClusterer(const Corpus* corpus, ForgettingParams params,
+                 ExtendedKMeansOptions kmeans);
+
+  /// Rebuilds all statistics from scratch for `docs` at time `tau`, expires
+  /// documents below ε, then clusters from a random start.
+  Result<StepResult> Run(const std::vector<DocId>& docs, DayTime tau);
+
+  const ForgettingModel& model() const { return model_; }
+
+ private:
+  ForgettingModel model_;
+  ExtendedKMeansOptions kmeans_;
+};
+
+}  // namespace nidc
+
+#endif  // NIDC_CORE_INCREMENTAL_CLUSTERER_H_

@@ -1,0 +1,52 @@
+#include "nidc/core/k_estimator.h"
+
+#include <algorithm>
+
+#include "nidc/core/cover_coefficient.h"
+
+namespace nidc {
+
+size_t EstimateKByCoverCoefficient(const ForgettingModel& model) {
+  return ComputeCoverCoefficients(model).EstimatedClusterCount();
+}
+
+Result<GKneeEstimate> EstimateKByGKnee(const SimilarityContext& ctx,
+                                       const std::vector<DocId>& docs,
+                                       const GKneeOptions& options) {
+  if (docs.empty()) {
+    return Status::InvalidArgument("cannot estimate K for an empty set");
+  }
+  std::vector<size_t> grid = options.grid;
+  if (grid.empty()) {
+    const size_t cap = std::min(options.max_k, std::max<size_t>(2, docs.size() / 2));
+    for (size_t k = 2; k <= cap; k *= 2) grid.push_back(k);
+    if (grid.empty()) grid.push_back(2);
+  }
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+
+  GKneeEstimate estimate;
+  for (size_t k : grid) {
+    ExtendedKMeansOptions opts = options.kmeans;
+    opts.k = std::min(k, docs.size());
+    Result<ClusteringResult> run = RunExtendedKMeans(ctx, docs, opts);
+    if (!run.ok()) return run.status();
+    estimate.curve.emplace_back(k, run->g);
+  }
+
+  // The knee: the last grid point whose G improves on its predecessor by
+  // more than min_relative_gain (G is generally non-decreasing in K; once
+  // extra clusters only shave off fragments, gains collapse).
+  estimate.k = estimate.curve.front().first;
+  for (size_t i = 1; i < estimate.curve.size(); ++i) {
+    const double prev = estimate.curve[i - 1].second;
+    const double cur = estimate.curve[i].second;
+    if (prev <= 0.0 ||
+        (cur - prev) / prev > options.min_relative_gain) {
+      estimate.k = estimate.curve[i].first;
+    }
+  }
+  return estimate;
+}
+
+}  // namespace nidc

@@ -1,0 +1,67 @@
+#include "nidc/core/novelty_similarity.h"
+
+#include <cassert>
+
+namespace nidc {
+
+SimilarityContext::SimilarityContext(const ForgettingModel& model) {
+  docs_ = model.active_docs();
+  psi_.reserve(docs_.size());
+  self_sim_.reserve(docs_.size());
+  index_.reserve(docs_.size());
+  for (size_t i = 0; i < docs_.size(); ++i) {
+    const DocId id = docs_[i];
+    const Document& doc = model.corpus().doc(id);
+    const double len = doc.Length();
+    const double pr = model.PrDoc(id);
+    std::vector<SparseVector::Entry> entries;
+    entries.reserve(doc.terms.size());
+    if (len > 0.0 && pr > 0.0) {
+      const double unit = pr / len;
+      for (const auto& e : doc.terms.entries()) {
+        const double idf = model.Idf(e.id);
+        if (idf <= 0.0) continue;
+        entries.push_back({e.id, unit * e.value * idf});
+      }
+    }
+    psi_.push_back(SparseVector::FromEntries(std::move(entries)));
+    self_sim_.push_back(psi_.back().SquaredNorm());
+    index_.emplace(id, i);
+  }
+}
+
+double SimilarityContext::Sim(DocId a, DocId b) const {
+  return Psi(a).Dot(Psi(b));
+}
+
+double SimilarityContext::SelfSim(DocId id) const {
+  auto it = index_.find(id);
+  assert(it != index_.end());
+  return self_sim_[it->second];
+}
+
+const SparseVector& SimilarityContext::Psi(DocId id) const {
+  auto it = index_.find(id);
+  assert(it != index_.end());
+  return psi_[it->second];
+}
+
+double NoveltySimilarityReference(const ForgettingModel& model, DocId a,
+                                  DocId b) {
+  const Document& da = model.corpus().doc(a);
+  const Document& db = model.corpus().doc(b);
+  const double len_a = da.Length();
+  const double len_b = db.Length();
+  if (len_a <= 0.0 || len_b <= 0.0) return 0.0;
+  // d⃗_i · d⃗_j with components tf_ik · idf_k (Eq. 12–14).
+  double dot = 0.0;
+  for (const auto& ea : da.terms.entries()) {
+    const double fb = db.terms.ValueAt(ea.id);
+    if (fb == 0.0) continue;
+    const double idf = model.Idf(ea.id);
+    dot += (ea.value * idf) * (fb * idf);
+  }
+  return model.PrDoc(a) * model.PrDoc(b) * dot / (len_a * len_b);
+}
+
+}  // namespace nidc

@@ -1,0 +1,61 @@
+// Novelty-based similarity (paper Eq. 16) in its factored form.
+//
+// Define the *weighted document vector* (the per-document summand of the
+// cluster representative, Eq. 20):
+//   ψ_i ≡ (Pr(d_i) / len_i) · (f_i1·idf_1, ..., f_im·idf_m),
+// with idf_k = 1/√Pr(t_k). Then
+//   sim(d_i, d_j) = Pr(d_i)·Pr(d_j)·(d⃗_i·d⃗_j)/(len_i·len_j) = ψ_i · ψ_j,
+// the cluster representative is c⃗_p = Σ_{d_i∈C_p} ψ_i, and
+// cr_sim(C_p, C_q) = c⃗_p · c⃗_q (Eq. 21) falls out as a plain dot product.
+//
+// ψ depends on Pr(d_i) and Pr(t_k), which are fixed during one clustering
+// pass; a SimilarityContext snapshots them for the active document set.
+
+#ifndef NIDC_CORE_NOVELTY_SIMILARITY_H_
+#define NIDC_CORE_NOVELTY_SIMILARITY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "nidc/forgetting/forgetting_model.h"
+
+namespace nidc {
+
+/// Snapshot of ψ vectors (and self-similarities) for one clustering pass.
+class SimilarityContext {
+ public:
+  /// Builds ψ_i for every active document of `model` at its current clock.
+  explicit SimilarityContext(const ForgettingModel& model);
+
+  /// sim(d_i, d_j) = ψ_i · ψ_j (Eq. 16). Both must be in the snapshot.
+  double Sim(DocId a, DocId b) const;
+
+  /// Self-similarity sim(d_i, d_i) = ψ_i · ψ_i — the per-document term of
+  /// ss(C_p) (Eq. 23).
+  double SelfSim(DocId id) const;
+
+  /// The ψ vector of a document.
+  const SparseVector& Psi(DocId id) const;
+
+  bool Contains(DocId id) const { return index_.contains(id); }
+
+  /// Documents in the snapshot, in the model's active order.
+  const std::vector<DocId>& docs() const { return docs_; }
+  size_t size() const { return docs_.size(); }
+
+ private:
+  std::vector<DocId> docs_;
+  std::unordered_map<DocId, size_t> index_;
+  std::vector<SparseVector> psi_;
+  std::vector<double> self_sim_;
+};
+
+/// Reference (unfactored) implementation of Eq. 16, used by tests to verify
+/// the factored form: Pr(d_i)·Pr(d_j)·(d⃗_i·d⃗_j)/(len_i·len_j) with tf·idf
+/// vectors built directly from Eq. 12–15.
+double NoveltySimilarityReference(const ForgettingModel& model, DocId a,
+                                  DocId b);
+
+}  // namespace nidc
+
+#endif  // NIDC_CORE_NOVELTY_SIMILARITY_H_

@@ -1,0 +1,161 @@
+#include "nidc/core/state_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "nidc/util/string_util.h"
+
+namespace nidc {
+
+namespace {
+
+void EmitIds(std::ostringstream& out, const char* tag,
+             const std::vector<DocId>& ids) {
+  out << tag << ' ' << ids.size();
+  for (DocId id : ids) out << ' ' << id;
+  out << '\n';
+}
+
+// Reads "<tag> <n> <id>*n" from the stream.
+bool ReadIds(std::istringstream& in, const std::string& expected_tag,
+             std::vector<DocId>* ids) {
+  std::string tag;
+  size_t n = 0;
+  if (!(in >> tag >> n) || tag != expected_tag) return false;
+  ids->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!(in >> (*ids)[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ClustererState CaptureState(const IncrementalClusterer& clusterer) {
+  ClustererState state;
+  state.params = clusterer.model().params();
+  state.now = clusterer.model().now();
+  state.active_docs = clusterer.model().active_docs();
+  state.last_result = clusterer.last_result();
+  return state;
+}
+
+std::string SerializeState(const ClustererState& state) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "nidc-state v1\n";
+  out << "params " << state.params.half_life_days << ' '
+      << state.params.life_span_days << '\n';
+  out << "now " << state.now << '\n';
+  EmitIds(out, "active", state.active_docs);
+  if (!state.last_result) {
+    out << "clusters none\n";
+    return out.str();
+  }
+  const ClusteringResult& r = *state.last_result;
+  out << "clusters " << r.clusters.size() << '\n';
+  for (const auto& members : r.clusters) {
+    EmitIds(out, "cluster", members);
+  }
+  EmitIds(out, "outliers", r.outliers);
+  out << "g " << r.g << '\n';
+  out << "iterations " << r.iterations << ' ' << (r.converged ? 1 : 0)
+      << '\n';
+  return out.str();
+}
+
+Result<ClustererState> ParseState(const std::string& text) {
+  std::istringstream in(text);
+  std::string word;
+  std::string version;
+  if (!(in >> word >> version) || word != "nidc-state" || version != "v1") {
+    return Status::InvalidArgument("not a nidc-state v1 snapshot");
+  }
+  ClustererState state;
+  if (!(in >> word >> state.params.half_life_days >>
+        state.params.life_span_days) ||
+      word != "params" || !state.params.Validate().ok()) {
+    return Status::InvalidArgument("malformed params line");
+  }
+  if (!(in >> word >> state.now) || word != "now") {
+    return Status::InvalidArgument("malformed now line");
+  }
+  if (!ReadIds(in, "active", &state.active_docs)) {
+    return Status::InvalidArgument("malformed active list");
+  }
+  std::string count_token;
+  if (!(in >> word >> count_token) || word != "clusters") {
+    return Status::InvalidArgument("malformed clusters header");
+  }
+  if (count_token == "none") return state;
+
+  ClusteringResult result;
+  size_t num_clusters = 0;
+  try {
+    num_clusters = static_cast<size_t>(std::stoul(count_token));
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("bad cluster count: " + count_token);
+  }
+  result.clusters.resize(num_clusters);
+  for (size_t p = 0; p < num_clusters; ++p) {
+    if (!ReadIds(in, "cluster", &result.clusters[p])) {
+      return Status::InvalidArgument("malformed cluster member list");
+    }
+  }
+  if (!ReadIds(in, "outliers", &result.outliers)) {
+    return Status::InvalidArgument("malformed outlier list");
+  }
+  int converged = 0;
+  if (!(in >> word >> result.g) || word != "g") {
+    return Status::InvalidArgument("malformed g line");
+  }
+  if (!(in >> word >> result.iterations >> converged) ||
+      word != "iterations") {
+    return Status::InvalidArgument("malformed iterations line");
+  }
+  result.converged = converged != 0;
+  state.last_result = std::move(result);
+  return state;
+}
+
+Status SaveState(const ClustererState& state, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << SerializeState(state);
+  out.flush();
+  if (!out) return Status::IOError("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<ClustererState> LoadState(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path + " for reading");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseState(buffer.str());
+}
+
+Result<std::unique_ptr<IncrementalClusterer>> RestoreClusterer(
+    const Corpus* corpus, IncrementalOptions options,
+    const ClustererState& state) {
+  NIDC_RETURN_NOT_OK(state.params.Validate());
+  for (DocId id : state.active_docs) {
+    if (id >= corpus->size()) {
+      return Status::InvalidArgument(
+          "snapshot references document " + std::to_string(id) +
+          " beyond the corpus (wrong corpus for this snapshot?)");
+    }
+    if (corpus->doc(id).time > state.now) {
+      return Status::InvalidArgument(
+          "snapshot clock precedes document " + std::to_string(id) +
+          "'s acquisition time");
+    }
+  }
+  auto clusterer = std::make_unique<IncrementalClusterer>(
+      corpus, state.params, options);
+  NIDC_RETURN_NOT_OK(clusterer->RestoreState(
+      state.now, state.active_docs, state.last_result));
+  return clusterer;
+}
+
+}  // namespace nidc

@@ -1,0 +1,51 @@
+// Persistence for the on-line clusterer: snapshot the incremental state
+// (clock, active set, last clustering) to a text file and restore it after
+// a process restart, without replaying the stream. The corpus itself is
+// persisted separately (corpus_io.h); a snapshot is only valid against the
+// same corpus loaded in the same order (document ids and term ids must
+// match).
+//
+// Restoration is exact for the statistics: rebuilding document weights as
+// λ^(now − T_i) from acquisition times reproduces dw (and hence tdw, Pr(d),
+// Pr(t_k)) to double precision, because that is their definition (Eq. 1).
+
+#ifndef NIDC_CORE_STATE_IO_H_
+#define NIDC_CORE_STATE_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "nidc/core/incremental_clusterer.h"
+
+namespace nidc {
+
+/// Everything needed to resume an IncrementalClusterer.
+struct ClustererState {
+  ForgettingParams params;
+  DayTime now = 0.0;
+  std::vector<DocId> active_docs;
+  std::optional<ClusteringResult> last_result;
+};
+
+/// Captures the clusterer's current state.
+ClustererState CaptureState(const IncrementalClusterer& clusterer);
+
+/// Serializes a state to its text representation / parses it back.
+std::string SerializeState(const ClustererState& state);
+Result<ClustererState> ParseState(const std::string& text);
+
+/// File round-trip helpers.
+Status SaveState(const ClustererState& state, const std::string& path);
+Result<ClustererState> LoadState(const std::string& path);
+
+/// Builds a clusterer over `corpus` resuming from `state` (statistics are
+/// reconstructed exactly; cluster representatives are recomputed from the
+/// restored memberships). Returns InvalidArgument if the state references
+/// documents the corpus does not have.
+Result<std::unique_ptr<IncrementalClusterer>> RestoreClusterer(
+    const Corpus* corpus, IncrementalOptions options,
+    const ClustererState& state);
+
+}  // namespace nidc
+
+#endif  // NIDC_CORE_STATE_IO_H_

@@ -1,0 +1,70 @@
+#include "nidc/corpus/corpus.h"
+
+#include <algorithm>
+
+namespace nidc {
+
+Corpus::Corpus()
+    : vocabulary_(std::make_unique<Vocabulary>()),
+      analyzer_(std::make_unique<Analyzer>(vocabulary_.get())) {}
+
+DocId Corpus::Add(Document doc) {
+  doc.id = static_cast<DocId>(docs_.size());
+  docs_.push_back(std::move(doc));
+  return docs_.back().id;
+}
+
+DocId Corpus::AddText(std::string_view text, DayTime time, TopicId topic,
+                      std::string source) {
+  Document doc;
+  doc.time = time;
+  doc.topic = topic;
+  doc.source = std::move(source);
+  doc.terms = analyzer_->Analyze(text);
+  return Add(std::move(doc));
+}
+
+bool Corpus::IsChronological() const {
+  return std::is_sorted(docs_.begin(), docs_.end(),
+                        [](const Document& a, const Document& b) {
+                          return a.time < b.time;
+                        });
+}
+
+std::vector<DocId> Corpus::DocsInRange(DayTime begin, DayTime end) const {
+  std::vector<DocId> out;
+  for (const Document& doc : docs_) {
+    if (doc.time >= begin && doc.time < end) out.push_back(doc.id);
+  }
+  return out;
+}
+
+std::vector<TopicId> Corpus::Topics() const {
+  std::vector<TopicId> out;
+  for (const auto& [topic, count] : TopicCounts()) out.push_back(topic);
+  return out;
+}
+
+std::map<TopicId, size_t> Corpus::TopicCounts() const {
+  std::map<TopicId, size_t> counts;
+  for (const Document& doc : docs_) {
+    if (doc.topic != kNoTopic) ++counts[doc.topic];
+  }
+  return counts;
+}
+
+DayTime Corpus::MinTime() const {
+  if (docs_.empty()) return 0.0;
+  DayTime best = docs_.front().time;
+  for (const Document& doc : docs_) best = std::min(best, doc.time);
+  return best;
+}
+
+DayTime Corpus::MaxTime() const {
+  if (docs_.empty()) return 0.0;
+  DayTime best = docs_.front().time;
+  for (const Document& doc : docs_) best = std::max(best, doc.time);
+  return best;
+}
+
+}  // namespace nidc

@@ -1,0 +1,83 @@
+#include "nidc/corpus/corpus_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "nidc/util/string_util.h"
+
+namespace nidc {
+
+std::string FormatRawDocument(const RawDocument& doc) {
+  std::string text = doc.text;
+  for (char& c : text) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  std::string source = doc.source;
+  for (char& c : source) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return StringPrintf("%.6f\t%d\t%s\t%s", doc.time, doc.topic, source.c_str(),
+                      text.c_str());
+}
+
+Result<RawDocument> ParseRawDocument(const std::string& line) {
+  std::vector<std::string> fields = Split(line, '\t');
+  if (fields.size() != 4) {
+    return Status::InvalidArgument("expected 4 tab-separated fields, got " +
+                                   std::to_string(fields.size()));
+  }
+  RawDocument doc;
+  try {
+    doc.time = std::stod(fields[0]);
+    doc.topic = static_cast<TopicId>(std::stol(fields[1]));
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("malformed numeric field in: " + line);
+  }
+  doc.source = fields[2];
+  doc.text = fields[3];
+  return doc;
+}
+
+Status SaveRawDocuments(const std::string& path,
+                        const std::vector<RawDocument>& docs) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << "# nidc corpus v1: time<TAB>topic<TAB>source<TAB>text\n";
+  for (const RawDocument& doc : docs) {
+    out << FormatRawDocument(doc) << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IOError("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<std::vector<RawDocument>> LoadRawDocuments(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path + " for reading");
+  std::vector<RawDocument> docs;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    Result<RawDocument> parsed = ParseRawDocument(line);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": " + parsed.status().message());
+    }
+    docs.push_back(std::move(parsed).value());
+  }
+  return docs;
+}
+
+Result<std::unique_ptr<Corpus>> LoadCorpus(const std::string& path) {
+  Result<std::vector<RawDocument>> raw = LoadRawDocuments(path);
+  if (!raw.ok()) return raw.status();
+  auto corpus = std::make_unique<Corpus>();
+  for (const RawDocument& doc : raw.value()) {
+    corpus->AddText(doc.text, doc.time, doc.topic, doc.source);
+  }
+  return corpus;
+}
+
+}  // namespace nidc

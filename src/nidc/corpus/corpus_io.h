@@ -1,0 +1,44 @@
+// Plain-text corpus persistence. Format: one document per line,
+//   <time>\t<topic>\t<source>\t<raw text>
+// Lines starting with '#' are comments. Loading re-analyzes the text, so a
+// round-tripped corpus has identical term vectors if the analyzer options
+// match.
+
+#ifndef NIDC_CORPUS_CORPUS_IO_H_
+#define NIDC_CORPUS_CORPUS_IO_H_
+
+#include <string>
+
+#include "nidc/corpus/corpus.h"
+#include "nidc/util/status.h"
+
+namespace nidc {
+
+/// A raw (pre-analysis) document record, as stored on disk.
+struct RawDocument {
+  DayTime time = 0.0;
+  TopicId topic = kNoTopic;
+  std::string source;
+  std::string text;
+};
+
+/// Writes raw documents to `path` in the TSV format above.
+Status SaveRawDocuments(const std::string& path,
+                        const std::vector<RawDocument>& docs);
+
+/// Reads raw documents from `path`.
+Result<std::vector<RawDocument>> LoadRawDocuments(const std::string& path);
+
+/// Loads raw documents and analyzes them into a fresh corpus, in file order.
+Result<std::unique_ptr<Corpus>> LoadCorpus(const std::string& path);
+
+/// Serializes a single raw document to its TSV line (tabs/newlines in the
+/// text are replaced by spaces).
+std::string FormatRawDocument(const RawDocument& doc);
+
+/// Parses one TSV line; returns InvalidArgument on malformed input.
+Result<RawDocument> ParseRawDocument(const std::string& line);
+
+}  // namespace nidc
+
+#endif  // NIDC_CORPUS_CORPUS_IO_H_

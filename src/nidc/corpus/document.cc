@@ -1,0 +1,6 @@
+#include "nidc/corpus/document.h"
+
+// Document is a plain aggregate; logic lives in headers. This translation
+// unit exists so the target has a stable archive member for the type.
+
+namespace nidc {}  // namespace nidc

@@ -1,0 +1,28 @@
+#include "nidc/corpus/stream.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nidc {
+
+DocumentStream::DocumentStream(const Corpus* corpus, DayTime start,
+                               DayTime end, double step_days)
+    : corpus_(corpus),
+      start_(start),
+      end_(end),
+      step_(step_days),
+      cursor_(start) {
+  assert(step_days > 0.0);
+}
+
+std::optional<DocumentBatch> DocumentStream::Next() {
+  if (Done()) return std::nullopt;
+  DocumentBatch batch;
+  batch.begin = cursor_;
+  batch.end = std::min(cursor_ + step_, end_);
+  batch.docs = corpus_->DocsInRange(batch.begin, batch.end);
+  cursor_ = batch.end;
+  return batch;
+}
+
+}  // namespace nidc

@@ -1,0 +1,53 @@
+// On-line delivery simulation: documents of a corpus are replayed in
+// chronological batches (e.g. one batch per day — "one news program which
+// includes multiple news articles" per the paper's windowing discussion).
+
+#ifndef NIDC_CORPUS_STREAM_H_
+#define NIDC_CORPUS_STREAM_H_
+
+#include <optional>
+#include <vector>
+
+#include "nidc/corpus/corpus.h"
+
+namespace nidc {
+
+/// One delivery: the documents acquired during [batch_begin, batch_end).
+struct DocumentBatch {
+  DayTime begin = 0.0;
+  DayTime end = 0.0;
+  std::vector<DocId> docs;
+
+  bool empty() const { return docs.empty(); }
+};
+
+/// Replays `corpus` in fixed-length time steps. Batches with no documents
+/// are still produced (time passes even on quiet days), which matters for
+/// the decay model.
+class DocumentStream {
+ public:
+  /// Steps of `step_days` starting at `start` and ending once `end` is
+  /// reached (the final batch may be shorter).
+  DocumentStream(const Corpus* corpus, DayTime start, DayTime end,
+                 double step_days);
+
+  /// Returns the next batch, or nullopt when the stream is exhausted.
+  std::optional<DocumentBatch> Next();
+
+  /// True when no batches remain.
+  bool Done() const { return cursor_ >= end_; }
+
+  /// Restarts the stream from the beginning.
+  void Reset() { cursor_ = start_; }
+
+ private:
+  const Corpus* corpus_;
+  DayTime start_;
+  DayTime end_;
+  double step_;
+  DayTime cursor_;
+};
+
+}  // namespace nidc
+
+#endif  // NIDC_CORPUS_STREAM_H_

@@ -1,0 +1,256 @@
+#include "nidc/corpus/tdt2_reader.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "nidc/util/string_util.h"
+
+namespace nidc {
+
+namespace {
+
+// Days from civil epoch for a Gregorian date (Howard Hinnant's algorithm);
+// exact for all dates of interest.
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2u) / 5u +
+      static_cast<unsigned>(d) - 1u;
+  const unsigned doe = yoe * 365u + yoe / 4u - yoe / 100u + doy;
+  return era * 146097LL + static_cast<int64_t>(doe) - 719468LL;
+}
+
+bool ValidDate(int y, int m, int d) {
+  if (y < 1900 || y > 2100 || m < 1 || m > 12 || d < 1 || d > 31) {
+    return false;
+  }
+  static constexpr int kDays[] = {31, 29, 31, 30, 31, 30,
+                                  31, 31, 30, 31, 30, 31};
+  return d <= kDays[m - 1];
+}
+
+// Finds "<tag>" ... "</tag>" starting at `pos` (case-insensitive tags are
+// not needed: TDT2 uses upper case). Returns false if the open tag is not
+// found after pos; `begin`/`end` bound the element's inner content.
+bool FindElement(const std::string& content, const std::string& tag,
+                 size_t pos, size_t* begin, size_t* end) {
+  const std::string open = "<" + tag + ">";
+  const std::string close = "</" + tag + ">";
+  const size_t open_at = content.find(open, pos);
+  if (open_at == std::string::npos) return false;
+  const size_t inner = open_at + open.size();
+  const size_t close_at = content.find(close, inner);
+  if (close_at == std::string::npos) return false;
+  *begin = inner;
+  *end = close_at;
+  return true;
+}
+
+// Strips residual tags and collapses whitespace.
+std::string StripTags(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  bool in_tag = false;
+  bool pending_space = false;
+  for (char c : raw) {
+    if (c == '<') {
+      in_tag = true;
+      continue;
+    }
+    if (c == '>') {
+      in_tag = false;
+      pending_space = true;
+      continue;
+    }
+    if (in_tag) continue;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = true;
+      continue;
+    }
+    if (pending_space && !out.empty()) out += ' ';
+    pending_space = false;
+    out += c;
+  }
+  return out;
+}
+
+// "19980104.0430.0001" -> source guess from known prefixes, else empty.
+std::string GuessSource(const std::string& docno) {
+  for (const char* source : {"ABC", "APW", "CNN", "NYT", "PRI", "VOA"}) {
+    if (docno.find(source) != std::string::npos) return source;
+  }
+  return "";
+}
+
+}  // namespace
+
+Result<DayTime> Tdt2DateToDays(const std::string& stamp,
+                               int epoch_yyyymmdd) {
+  // Leading 8 digits = YYYYMMDD; optional ".HHMM" fraction follows.
+  std::string digits;
+  for (char c : stamp) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digits += c;
+    } else if (!digits.empty()) {
+      break;
+    }
+  }
+  if (digits.size() < 8) {
+    return Status::InvalidArgument("unparseable TDT2 date: " + stamp);
+  }
+  const int y = std::stoi(digits.substr(0, 4));
+  const int m = std::stoi(digits.substr(4, 2));
+  const int d = std::stoi(digits.substr(6, 2));
+  if (!ValidDate(y, m, d)) {
+    return Status::InvalidArgument("invalid calendar date: " + stamp);
+  }
+  const int ey = epoch_yyyymmdd / 10000;
+  const int em = (epoch_yyyymmdd / 100) % 100;
+  const int ed = epoch_yyyymmdd % 100;
+  if (!ValidDate(ey, em, ed)) {
+    return Status::InvalidArgument("invalid epoch date");
+  }
+  double days = static_cast<double>(DaysFromCivil(y, m, d) -
+                                    DaysFromCivil(ey, em, ed));
+  // Optional HHMM fraction after the date digits ("19980104.0430...").
+  const size_t dot = stamp.find('.', 0);
+  if (dot != std::string::npos && stamp.size() >= dot + 5) {
+    const std::string hhmm = stamp.substr(dot + 1, 4);
+    if (std::all_of(hhmm.begin(), hhmm.end(), [](char c) {
+          return std::isdigit(static_cast<unsigned char>(c));
+        })) {
+      const int hh = std::stoi(hhmm.substr(0, 2));
+      const int mm = std::stoi(hhmm.substr(2, 2));
+      if (hh < 24 && mm < 60) days += (hh * 60.0 + mm) / (24.0 * 60.0);
+    }
+  }
+  return days;
+}
+
+Result<std::vector<Tdt2Document>> ParseTdt2Sgml(const std::string& content,
+                                                int epoch_yyyymmdd) {
+  std::vector<Tdt2Document> docs;
+  size_t pos = 0;
+  for (;;) {
+    size_t doc_begin = 0;
+    size_t doc_end = 0;
+    if (!FindElement(content, "DOC", pos, &doc_begin, &doc_end)) break;
+    const std::string record =
+        content.substr(doc_begin, doc_end - doc_begin);
+    pos = doc_end + 6;  // past "</DOC>"
+
+    Tdt2Document doc;
+    size_t begin = 0;
+    size_t end = 0;
+    if (!FindElement(record, "DOCNO", 0, &begin, &end)) {
+      return Status::InvalidArgument("DOC record without DOCNO");
+    }
+    doc.docno = std::string(Trim(record.substr(begin, end - begin)));
+    doc.source = GuessSource(doc.docno);
+
+    // Date: explicit element first, DOCNO-embedded stamp as fallback.
+    std::string stamp;
+    if (FindElement(record, "DATE_TIME", 0, &begin, &end) ||
+        FindElement(record, "DATE", 0, &begin, &end)) {
+      stamp = std::string(Trim(record.substr(begin, end - begin)));
+    } else {
+      stamp = doc.docno;
+    }
+    if (Result<DayTime> days = Tdt2DateToDays(stamp, epoch_yyyymmdd);
+        days.ok()) {
+      doc.time = days.value();
+    }
+
+    if (FindElement(record, "TEXT", 0, &begin, &end)) {
+      doc.text = StripTags(record.substr(begin, end - begin));
+    } else {
+      doc.text = StripTags(record);
+    }
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+Result<std::vector<Tdt2Document>> LoadTdt2File(const std::string& path,
+                                               int epoch_yyyymmdd) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path + " for reading");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseTdt2Sgml(buffer.str(), epoch_yyyymmdd);
+}
+
+Result<std::vector<Tdt2Judgment>> ParseRelevanceTable(
+    const std::string& content) {
+  std::vector<Tdt2Judgment> judgments;
+  std::istringstream in(content);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream fields{std::string(trimmed)};
+    Tdt2Judgment j;
+    std::string level;
+    if (!(fields >> j.topic >> j.docno >> level)) {
+      return Status::InvalidArgument("relevance table line " +
+                                     std::to_string(lineno) +
+                                     " is malformed");
+    }
+    const std::string upper = [&] {
+      std::string u = level;
+      for (char& c : u) c = static_cast<char>(std::toupper(
+                            static_cast<unsigned char>(c)));
+      return u;
+    }();
+    if (upper != "YES" && upper != "BRIEF") {
+      return Status::InvalidArgument("unknown relevance level '" + level +
+                                     "' at line " + std::to_string(lineno));
+    }
+    j.yes = upper == "YES";
+    judgments.push_back(std::move(j));
+  }
+  return judgments;
+}
+
+std::map<std::string, TopicId> FilterSingleYes(
+    const std::vector<Tdt2Judgment>& judgments) {
+  std::map<std::string, std::vector<TopicId>> yes_labels;
+  for (const Tdt2Judgment& j : judgments) {
+    if (j.yes) yes_labels[j.docno].push_back(j.topic);
+  }
+  std::map<std::string, TopicId> out;
+  for (const auto& [docno, topics] : yes_labels) {
+    if (topics.size() == 1) out.emplace(docno, topics.front());
+  }
+  return out;
+}
+
+Result<std::unique_ptr<Corpus>> BuildCorpusFromTdt2(
+    const std::vector<Tdt2Document>& docs,
+    const std::map<std::string, TopicId>& labels, bool keep_unlabeled) {
+  std::vector<const Tdt2Document*> ordered;
+  ordered.reserve(docs.size());
+  for (const Tdt2Document& doc : docs) {
+    if (!keep_unlabeled && !labels.contains(doc.docno)) continue;
+    ordered.push_back(&doc);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Tdt2Document* a, const Tdt2Document* b) {
+                     return a->time < b->time;
+                   });
+  auto corpus = std::make_unique<Corpus>();
+  for (const Tdt2Document* doc : ordered) {
+    const auto it = labels.find(doc->docno);
+    corpus->AddText(doc->text, doc->time,
+                    it == labels.end() ? kNoTopic : it->second, doc->source);
+  }
+  return corpus;
+}
+
+}  // namespace nidc

@@ -1,0 +1,97 @@
+#include "nidc/corpus/time_window.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "nidc/util/string_util.h"
+
+namespace nidc {
+
+std::vector<TimeWindow> MakeWindows(DayTime start, size_t count,
+                                    double window_days,
+                                    double last_window_days) {
+  std::vector<TimeWindow> windows;
+  DayTime begin = start;
+  for (size_t i = 0; i < count; ++i) {
+    const bool last = (i + 1 == count);
+    const double len =
+        (last && last_window_days > 0.0) ? last_window_days : window_days;
+    TimeWindow w;
+    w.begin = begin;
+    w.end = begin + len;
+    w.label = StringPrintf("window%zu[day%.0f-day%.0f)", i + 1, w.begin, w.end);
+    windows.push_back(std::move(w));
+    begin += len;
+  }
+  return windows;
+}
+
+WindowStats ComputeWindowStats(const Corpus& corpus,
+                               const TimeWindow& window) {
+  WindowStats stats;
+  stats.window = window;
+  std::map<TopicId, size_t> topic_counts;
+  for (const Document& doc : corpus.docs()) {
+    if (!window.Contains(doc.time)) continue;
+    ++stats.num_docs;
+    if (doc.topic != kNoTopic) ++topic_counts[doc.topic];
+  }
+  stats.num_topics = topic_counts.size();
+  if (topic_counts.empty()) return stats;
+
+  std::vector<size_t> sizes;
+  sizes.reserve(topic_counts.size());
+  for (const auto& [topic, count] : topic_counts) sizes.push_back(count);
+  std::sort(sizes.begin(), sizes.end());
+
+  stats.min_topic_size = sizes.front();
+  stats.max_topic_size = sizes.back();
+  const size_t n = sizes.size();
+  stats.median_topic_size =
+      (n % 2 == 1) ? static_cast<double>(sizes[n / 2])
+                   : (static_cast<double>(sizes[n / 2 - 1] + sizes[n / 2])) / 2.0;
+  double total = 0.0;
+  for (size_t s : sizes) total += static_cast<double>(s);
+  stats.mean_topic_size = total / static_cast<double>(n);
+  return stats;
+}
+
+std::vector<size_t> TopicHistogram(const Corpus& corpus, TopicId topic,
+                                   DayTime start, DayTime end) {
+  const size_t days = end > start
+                          ? static_cast<size_t>(std::ceil(end - start))
+                          : 0;
+  std::vector<size_t> counts(days, 0);
+  for (const Document& doc : corpus.docs()) {
+    if (doc.topic != topic) continue;
+    if (doc.time < start || doc.time >= end) continue;
+    const size_t bucket = static_cast<size_t>(doc.time - start);
+    if (bucket < counts.size()) ++counts[bucket];
+  }
+  return counts;
+}
+
+std::string RenderAsciiHistogram(const std::vector<size_t>& counts,
+                                 size_t max_height) {
+  if (counts.empty() || max_height == 0) return "";
+  const size_t peak = *std::max_element(counts.begin(), counts.end());
+  if (peak == 0) return std::string(counts.size(), '.') + "\n";
+  const size_t height = std::min(max_height, peak);
+  std::string out;
+  // Render top-down; each row r covers counts above threshold.
+  for (size_t row = height; row >= 1; --row) {
+    const double threshold =
+        static_cast<double>(peak) * static_cast<double>(row - 1) /
+        static_cast<double>(height);
+    for (size_t c : counts) {
+      out += (static_cast<double>(c) > threshold && c > 0) ? '#' : ' ';
+    }
+    out += '\n';
+  }
+  out += std::string(counts.size(), '-');
+  out += '\n';
+  return out;
+}
+
+}  // namespace nidc

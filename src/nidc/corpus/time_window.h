@@ -1,0 +1,61 @@
+// Time-window slicing and per-window statistics (paper §6.2.1, Table 2).
+
+#ifndef NIDC_CORPUS_TIME_WINDOW_H_
+#define NIDC_CORPUS_TIME_WINDOW_H_
+
+#include <cstddef>
+
+#include <string>
+#include <vector>
+
+#include "nidc/corpus/corpus.h"
+
+namespace nidc {
+
+/// A half-open interval of days [begin, end).
+struct TimeWindow {
+  DayTime begin = 0.0;
+  DayTime end = 0.0;
+  /// Human-readable label, e.g. "Jan4-Feb2".
+  std::string label;
+
+  double LengthDays() const { return end - begin; }
+  bool Contains(DayTime t) const { return t >= begin && t < end; }
+};
+
+/// Table 2 row: document/topic statistics of one window.
+struct WindowStats {
+  TimeWindow window;
+  size_t num_docs = 0;
+  size_t num_topics = 0;
+  size_t min_topic_size = 0;
+  size_t max_topic_size = 0;
+  double median_topic_size = 0.0;
+  double mean_topic_size = 0.0;
+};
+
+/// Splits the span [start, start + n*window_days) into n consecutive windows.
+/// `last_window_days`, if > 0, overrides the length of the final window
+/// (the paper's sixth window is 28 days instead of 30).
+std::vector<TimeWindow> MakeWindows(DayTime start, size_t count,
+                                    double window_days,
+                                    double last_window_days = 0.0);
+
+/// Computes Table 2-style statistics for the documents of `corpus` falling
+/// inside `window`. Topic statistics consider labeled documents only.
+WindowStats ComputeWindowStats(const Corpus& corpus, const TimeWindow& window);
+
+/// Per-day document counts for one topic across the whole corpus — the data
+/// behind the paper's Figures 5–9 histograms. Bucket i covers day
+/// [min_time + i, min_time + i + 1).
+std::vector<size_t> TopicHistogram(const Corpus& corpus, TopicId topic,
+                                   DayTime start, DayTime end);
+
+/// Renders a histogram as a vertical-bar ASCII chart (used by the figure
+/// benches); `max_height` rows of '#' glyphs.
+std::string RenderAsciiHistogram(const std::vector<size_t>& counts,
+                                 size_t max_height = 12);
+
+}  // namespace nidc
+
+#endif  // NIDC_CORPUS_TIME_WINDOW_H_

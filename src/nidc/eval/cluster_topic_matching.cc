@@ -1,0 +1,59 @@
+#include "nidc/eval/cluster_topic_matching.h"
+
+#include <map>
+
+namespace nidc {
+
+std::vector<MarkedCluster> MarkClusters(
+    const Corpus& corpus, const std::vector<std::vector<DocId>>& clusters,
+    const std::vector<DocId>& evaluated_docs, const MatchingOptions& options) {
+  // Topic sizes over the evaluation universe (recall denominators a+c).
+  std::map<TopicId, size_t> topic_sizes;
+  for (DocId id : evaluated_docs) {
+    const TopicId topic = corpus.doc(id).topic;
+    if (topic != kNoTopic) ++topic_sizes[topic];
+  }
+
+  std::vector<MarkedCluster> out;
+  for (size_t p = 0; p < clusters.size(); ++p) {
+    const std::vector<DocId>& members = clusters[p];
+    if (members.empty() && options.skip_empty_clusters) continue;
+
+    MarkedCluster mc;
+    mc.cluster_index = p;
+    mc.cluster_size = members.size();
+
+    // Count members per topic, then pick the highest-precision topic.
+    std::map<TopicId, size_t> in_cluster;
+    for (DocId id : members) {
+      const TopicId topic = corpus.doc(id).topic;
+      if (topic != kNoTopic) ++in_cluster[topic];
+    }
+    TopicId best_topic = kNoTopic;
+    size_t best_count = 0;
+    for (const auto& [topic, count] : in_cluster) {
+      if (count > best_count) {
+        best_count = count;
+        best_topic = topic;
+      }
+    }
+    if (best_topic != kNoTopic && !members.empty()) {
+      const double precision = static_cast<double>(best_count) /
+                               static_cast<double>(members.size());
+      if (precision >= options.precision_threshold) {
+        mc.topic = best_topic;
+        mc.table.a = best_count;
+        mc.table.b = members.size() - best_count;
+        mc.table.c = topic_sizes[best_topic] - best_count;
+        mc.table.d = evaluated_docs.size() - members.size() -
+                     mc.table.c;
+        mc.precision = mc.table.Precision();
+        mc.recall = mc.table.Recall();
+      }
+    }
+    out.push_back(std::move(mc));
+  }
+  return out;
+}
+
+}  // namespace nidc

@@ -1,0 +1,52 @@
+// Marking clusters with topics (paper §6.2.3): a cluster is marked with a
+// topic when the precision of that topic within the cluster is >= 0.60; a
+// cluster with no such topic stays unmarked and is excluded from the
+// averaged measures.
+
+#ifndef NIDC_EVAL_CLUSTER_TOPIC_MATCHING_H_
+#define NIDC_EVAL_CLUSTER_TOPIC_MATCHING_H_
+
+#include <optional>
+#include <vector>
+
+#include "nidc/corpus/corpus.h"
+#include "nidc/eval/contingency.h"
+
+namespace nidc {
+
+/// Evaluation of one cluster against its marked topic.
+struct MarkedCluster {
+  size_t cluster_index = 0;
+  size_t cluster_size = 0;
+  /// The marking topic; kNoTopic when the cluster is unmarked.
+  TopicId topic = kNoTopic;
+  /// Contingency of the marked topic vs this cluster (undefined cells when
+  /// unmarked).
+  Contingency table;
+  double precision = 0.0;
+  double recall = 0.0;
+
+  bool marked() const { return topic != kNoTopic; }
+};
+
+/// Options for the marking procedure.
+struct MatchingOptions {
+  /// Minimum within-cluster precision for a topic to mark a cluster (paper:
+  /// 0.60).
+  double precision_threshold = 0.60;
+  /// Skip empty clusters entirely.
+  bool skip_empty_clusters = true;
+};
+
+/// Evaluates every cluster of `clusters` against ground-truth labels.
+///
+/// `evaluated_docs` defines the evaluation universe (the docs clustered in
+/// this window): recall denominators count on-topic documents within it.
+/// Documents with kNoTopic are counted as "not on topic" for every topic.
+std::vector<MarkedCluster> MarkClusters(
+    const Corpus& corpus, const std::vector<std::vector<DocId>>& clusters,
+    const std::vector<DocId>& evaluated_docs, const MatchingOptions& options);
+
+}  // namespace nidc
+
+#endif  // NIDC_EVAL_CLUSTER_TOPIC_MATCHING_H_

@@ -1,0 +1,102 @@
+#include "nidc/eval/clustering_metrics.h"
+
+#include <cmath>
+#include <map>
+
+namespace nidc {
+
+namespace {
+
+// n·(n−1)/2 as a double (pair counts overflow size_t only past ~6e9 docs,
+// but doubles keep the arithmetic simple and exact enough here).
+double PairCount(double n) { return n * (n - 1.0) / 2.0; }
+
+}  // namespace
+
+ClusteringMetrics ComputeClusteringMetrics(
+    const Corpus& corpus, const std::vector<std::vector<DocId>>& clusters) {
+  ClusteringMetrics out;
+
+  // Contingency: cluster × topic counts over labeled docs.
+  std::vector<std::map<TopicId, size_t>> table;
+  std::map<TopicId, size_t> topic_totals;
+  std::vector<size_t> cluster_totals;
+  for (const auto& members : clusters) {
+    std::map<TopicId, size_t> row;
+    for (DocId id : members) {
+      const TopicId topic = corpus.doc(id).topic;
+      if (topic == kNoTopic) continue;
+      ++row[topic];
+      ++topic_totals[topic];
+      ++out.num_docs;
+    }
+    if (row.empty()) continue;
+    size_t total = 0;
+    for (const auto& [topic, count] : row) total += count;
+    cluster_totals.push_back(total);
+    table.push_back(std::move(row));
+  }
+  out.num_clusters = table.size();
+  out.num_topics = topic_totals.size();
+  if (out.num_docs == 0) return out;
+  const double n = static_cast<double>(out.num_docs);
+
+  // Purity.
+  double majority_sum = 0.0;
+  for (const auto& row : table) {
+    size_t best = 0;
+    for (const auto& [topic, count] : row) best = std::max(best, count);
+    majority_sum += static_cast<double>(best);
+  }
+  out.purity = majority_sum / n;
+
+  // Entropies and mutual information (natural log; units cancel).
+  double h_clusters = 0.0;
+  for (size_t total : cluster_totals) {
+    const double p = static_cast<double>(total) / n;
+    h_clusters -= p * std::log(p);
+  }
+  double h_topics = 0.0;
+  for (const auto& [topic, total] : topic_totals) {
+    const double p = static_cast<double>(total) / n;
+    h_topics -= p * std::log(p);
+  }
+  double mutual_information = 0.0;
+  for (size_t p = 0; p < table.size(); ++p) {
+    for (const auto& [topic, count] : table[p]) {
+      const double joint = static_cast<double>(count) / n;
+      const double pc = static_cast<double>(cluster_totals[p]) / n;
+      const double pt = static_cast<double>(topic_totals[topic]) / n;
+      mutual_information += joint * std::log(joint / (pc * pt));
+    }
+  }
+  const double mean_entropy = (h_clusters + h_topics) / 2.0;
+  out.nmi = mean_entropy > 0.0 ? mutual_information / mean_entropy : 0.0;
+
+  // Adjusted Rand index.
+  double sum_joint_pairs = 0.0;
+  for (const auto& row : table) {
+    for (const auto& [topic, count] : row) {
+      sum_joint_pairs += PairCount(static_cast<double>(count));
+    }
+  }
+  double sum_cluster_pairs = 0.0;
+  for (size_t total : cluster_totals) {
+    sum_cluster_pairs += PairCount(static_cast<double>(total));
+  }
+  double sum_topic_pairs = 0.0;
+  for (const auto& [topic, total] : topic_totals) {
+    sum_topic_pairs += PairCount(static_cast<double>(total));
+  }
+  const double total_pairs = PairCount(n);
+  if (total_pairs > 0.0) {
+    const double expected = sum_cluster_pairs * sum_topic_pairs / total_pairs;
+    const double max_index = (sum_cluster_pairs + sum_topic_pairs) / 2.0;
+    const double denom = max_index - expected;
+    out.adjusted_rand =
+        denom != 0.0 ? (sum_joint_pairs - expected) / denom : 0.0;
+  }
+  return out;
+}
+
+}  // namespace nidc

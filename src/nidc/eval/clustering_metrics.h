@@ -1,0 +1,43 @@
+// Standard external clustering-quality measures beyond the paper's
+// marked-cluster F1: purity, normalized mutual information, and the
+// adjusted Rand index. Used by the baseline benches to report quality on
+// scales the F1-marking procedure (precision ≥ 0.6 gate) cannot see.
+//
+// Conventions: the evaluation universe is the set of *assigned* documents
+// passed in (outliers excluded by the caller, or included as singleton
+// clusters if desired); documents labeled kNoTopic are skipped.
+
+#ifndef NIDC_EVAL_CLUSTERING_METRICS_H_
+#define NIDC_EVAL_CLUSTERING_METRICS_H_
+
+#include <vector>
+
+#include "nidc/corpus/corpus.h"
+
+namespace nidc {
+
+/// External-measure summary of one clustering against ground truth.
+struct ClusteringMetrics {
+  /// Σ_p max_t |C_p ∩ T_t| / N — fraction of docs in their cluster's
+  /// majority topic.
+  double purity = 0.0;
+  /// NMI with the arithmetic-mean normalization: I(C;T) / ((H(C)+H(T))/2).
+  /// 0 when either entropy is 0.
+  double nmi = 0.0;
+  /// Adjusted Rand index (chance-corrected pair agreement), in [-1, 1].
+  double adjusted_rand = 0.0;
+  /// Labeled documents actually evaluated.
+  size_t num_docs = 0;
+  /// Non-empty clusters containing at least one labeled document.
+  size_t num_clusters = 0;
+  /// Distinct ground-truth topics present.
+  size_t num_topics = 0;
+};
+
+/// Computes all measures for `clusters` over labeled documents.
+ClusteringMetrics ComputeClusteringMetrics(
+    const Corpus& corpus, const std::vector<std::vector<DocId>>& clusters);
+
+}  // namespace nidc
+
+#endif  // NIDC_EVAL_CLUSTERING_METRICS_H_

@@ -1,0 +1,29 @@
+#include "nidc/eval/contingency.h"
+
+namespace nidc {
+
+double Contingency::Precision() const {
+  const size_t denom = a + b;
+  return denom == 0 ? 0.0 : static_cast<double>(a) / static_cast<double>(denom);
+}
+
+double Contingency::Recall() const {
+  const size_t denom = a + c;
+  return denom == 0 ? 0.0 : static_cast<double>(a) / static_cast<double>(denom);
+}
+
+double Contingency::F1() const {
+  const size_t denom = 2 * a + b + c;
+  return denom == 0 ? 0.0
+                    : 2.0 * static_cast<double>(a) / static_cast<double>(denom);
+}
+
+Contingency& Contingency::operator+=(const Contingency& other) {
+  a += other.a;
+  b += other.b;
+  c += other.c;
+  d += other.d;
+  return *this;
+}
+
+}  // namespace nidc

@@ -1,0 +1,33 @@
+// The 2×2 contingency table of paper Table 3 and the precision/recall/F1
+// definitions of §6.2.3.
+
+#ifndef NIDC_EVAL_CONTINGENCY_H_
+#define NIDC_EVAL_CONTINGENCY_H_
+
+#include <cstddef>
+
+namespace nidc {
+
+/// Counts of documents by (in cluster?) × (on topic?) — paper Table 3.
+struct Contingency {
+  size_t a = 0;  ///< in cluster, on topic
+  size_t b = 0;  ///< in cluster, not on topic
+  size_t c = 0;  ///< not in cluster, on topic
+  size_t d = 0;  ///< not in cluster, not on topic
+
+  /// p = a/(a+b); 0 when the cluster is empty.
+  double Precision() const;
+
+  /// r = a/(a+c); 0 when the topic is empty.
+  double Recall() const;
+
+  /// F1 = 2a/(2a+b+c); 0 when undefined.
+  double F1() const;
+
+  /// Cell-wise sum (used to build the merged table for microaveraging).
+  Contingency& operator+=(const Contingency& other);
+};
+
+}  // namespace nidc
+
+#endif  // NIDC_EVAL_CONTINGENCY_H_

@@ -1,0 +1,24 @@
+#include "nidc/eval/f1_measures.h"
+
+namespace nidc {
+
+GlobalF1 ComputeGlobalF1(const std::vector<MarkedCluster>& marked) {
+  GlobalF1 out;
+  out.num_evaluated = marked.size();
+  Contingency merged;
+  double f1_sum = 0.0;
+  for (const MarkedCluster& mc : marked) {
+    if (!mc.marked()) continue;
+    ++out.num_marked;
+    merged += mc.table;
+    f1_sum += mc.table.F1();
+  }
+  if (out.num_marked == 0) return out;
+  out.micro_f1 = merged.F1();
+  out.micro_precision = merged.Precision();
+  out.micro_recall = merged.Recall();
+  out.macro_f1 = f1_sum / static_cast<double>(out.num_marked);
+  return out;
+}
+
+}  // namespace nidc

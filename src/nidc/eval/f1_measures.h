@@ -1,0 +1,33 @@
+// Micro- and macro-averaged F1 over marked clusters, following the
+// convention of Yang et al. that the paper cites (§6.2.3): microaverage
+// merges the per-cluster contingency tables cell-wise; macroaverage averages
+// the per-cluster measures. Unmarked clusters are excluded.
+
+#ifndef NIDC_EVAL_F1_MEASURES_H_
+#define NIDC_EVAL_F1_MEASURES_H_
+
+#include <vector>
+
+#include "nidc/eval/cluster_topic_matching.h"
+
+namespace nidc {
+
+/// The global performance numbers of one clustering (one Table 4 cell pair).
+struct GlobalF1 {
+  double micro_f1 = 0.0;
+  double macro_f1 = 0.0;
+  double micro_precision = 0.0;
+  double micro_recall = 0.0;
+  /// Number of clusters that were marked with a topic.
+  size_t num_marked = 0;
+  /// Number of clusters evaluated (marked + unmarked, excluding skipped
+  /// empties).
+  size_t num_evaluated = 0;
+};
+
+/// Computes global micro/macro F1 from per-cluster markings.
+GlobalF1 ComputeGlobalF1(const std::vector<MarkedCluster>& marked);
+
+}  // namespace nidc
+
+#endif  // NIDC_EVAL_F1_MEASURES_H_

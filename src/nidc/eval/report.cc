@@ -1,0 +1,70 @@
+#include "nidc/eval/report.h"
+
+#include <sstream>
+
+#include "nidc/util/string_util.h"
+#include "nidc/util/table_printer.h"
+
+namespace nidc {
+
+namespace {
+std::string TopicName(const TopicNamer& namer, TopicId topic) {
+  if (topic == kNoTopic) return "-";
+  if (namer) return namer(topic);
+  return StringPrintf("topic%d", topic);
+}
+}  // namespace
+
+std::string RenderClusterReport(const std::vector<MarkedCluster>& marked,
+                                const TopicNamer& namer) {
+  TablePrinter table({"cluster", "size", "marked topic", "precision",
+                      "recall", "F1"});
+  for (const MarkedCluster& mc : marked) {
+    if (mc.marked()) {
+      table.AddRow({std::to_string(mc.cluster_index),
+                    std::to_string(mc.cluster_size),
+                    TopicName(namer, mc.topic),
+                    StringPrintf("%.2f", mc.precision),
+                    StringPrintf("%.2f", mc.recall),
+                    StringPrintf("%.2f", mc.table.F1())});
+    } else {
+      table.AddRow({std::to_string(mc.cluster_index),
+                    std::to_string(mc.cluster_size), "(unmarked)", "-", "-",
+                    "-"});
+    }
+  }
+  return table.ToString();
+}
+
+std::string RenderPrecisionRecallBars(const std::vector<MarkedCluster>& marked,
+                                      size_t bar_width) {
+  std::ostringstream oss;
+  auto bar = [bar_width](double value) {
+    const size_t filled =
+        static_cast<size_t>(value * static_cast<double>(bar_width) + 0.5);
+    return std::string(filled, '#') + std::string(bar_width - filled, '.');
+  };
+  for (const MarkedCluster& mc : marked) {
+    if (!mc.marked()) {
+      oss << StringPrintf("c%02zu %-32s (unmarked, %zu docs)\n",
+                          mc.cluster_index, "", mc.cluster_size);
+      continue;
+    }
+    oss << StringPrintf("c%02zu  P %.2f |%s|  R %.2f |%s|  topic%d (%zu docs)\n",
+                        mc.cluster_index, mc.precision,
+                        bar(mc.precision).c_str(), mc.recall,
+                        bar(mc.recall).c_str(), mc.topic, mc.cluster_size);
+  }
+  return oss.str();
+}
+
+std::string FormatTable4Row(const std::string& window_label,
+                            const GlobalF1& short_beta,
+                            const GlobalF1& long_beta) {
+  return StringPrintf("%s  micro %.2f / %.2f   macro %.2f / %.2f",
+                      window_label.c_str(), short_beta.micro_f1,
+                      long_beta.micro_f1, short_beta.macro_f1,
+                      long_beta.macro_f1);
+}
+
+}  // namespace nidc

@@ -1,0 +1,35 @@
+// Human-readable evaluation reports: the per-cluster precision/recall
+// listings behind the paper's Figures 1–4 and the Table 4 summary rows.
+
+#ifndef NIDC_EVAL_REPORT_H_
+#define NIDC_EVAL_REPORT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nidc/eval/f1_measures.h"
+
+namespace nidc {
+
+/// Resolves a TopicId to a display name; defaults to "topic<N>".
+using TopicNamer = std::function<std::string(TopicId)>;
+
+/// Renders the per-cluster table: cluster idx, size, marked topic,
+/// precision, recall (Figures 1–4 are bar charts of exactly these columns).
+std::string RenderClusterReport(const std::vector<MarkedCluster>& marked,
+                                const TopicNamer& namer = nullptr);
+
+/// Renders per-cluster precision/recall as paired ASCII bars, visually
+/// mirroring the paper's figures.
+std::string RenderPrecisionRecallBars(const std::vector<MarkedCluster>& marked,
+                                      size_t bar_width = 25);
+
+/// One "first (β=7 / β=30)"-style Table 4 row.
+std::string FormatTable4Row(const std::string& window_label,
+                            const GlobalF1& short_beta,
+                            const GlobalF1& long_beta);
+
+}  // namespace nidc
+
+#endif  // NIDC_EVAL_REPORT_H_

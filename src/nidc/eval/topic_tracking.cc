@@ -1,0 +1,89 @@
+#include "nidc/eval/topic_tracking.h"
+
+#include <algorithm>
+
+#include "nidc/util/string_util.h"
+
+namespace nidc {
+
+std::vector<size_t> TopicTrack::MissedWindows(size_t min_presence) const {
+  std::vector<size_t> out;
+  for (size_t w = 0; w < presence.size(); ++w) {
+    if (presence[w] >= min_presence && !detected[w]) out.push_back(w);
+  }
+  return out;
+}
+
+std::vector<size_t> TopicTrack::DetectedWindows() const {
+  std::vector<size_t> out;
+  for (size_t w = 0; w < detected.size(); ++w) {
+    if (detected[w]) out.push_back(w);
+  }
+  return out;
+}
+
+std::map<TopicId, TopicTrack> TrackTopics(
+    const Corpus& corpus,
+    const std::vector<std::vector<DocId>>& window_docs,
+    const std::vector<std::vector<MarkedCluster>>& window_markings) {
+  const size_t num_windows = window_docs.size();
+  std::map<TopicId, TopicTrack> tracks;
+  auto track_of = [&](TopicId topic) -> TopicTrack& {
+    TopicTrack& track = tracks[topic];
+    if (track.presence.empty()) {
+      track.topic = topic;
+      track.presence.assign(num_windows, 0);
+      track.detected.assign(num_windows, false);
+      track.best_recall.assign(num_windows, 0.0);
+    }
+    return track;
+  };
+
+  for (size_t w = 0; w < num_windows; ++w) {
+    for (DocId id : window_docs[w]) {
+      const TopicId topic = corpus.doc(id).topic;
+      if (topic != kNoTopic) ++track_of(topic).presence[w];
+    }
+    if (w >= window_markings.size()) continue;
+    for (const MarkedCluster& mc : window_markings[w]) {
+      if (!mc.marked()) continue;
+      TopicTrack& track = track_of(mc.topic);
+      track.detected[w] = true;
+      track.best_recall[w] = std::max(track.best_recall[w], mc.recall);
+    }
+  }
+  return tracks;
+}
+
+std::string RenderTopicTracks(const std::map<TopicId, TopicTrack>& tracks,
+                              const std::vector<std::string>& window_labels,
+                              size_t min_total_presence) {
+  std::string out = "topic   ";
+  for (const std::string& label : window_labels) {
+    out += StringPrintf(" %-12s", label.c_str());
+  }
+  out += "\n";
+  for (const auto& [topic, track] : tracks) {
+    size_t total = 0;
+    for (size_t count : track.presence) total += count;
+    if (total < min_total_presence) continue;
+    out += StringPrintf("%-8d", topic);
+    for (size_t w = 0; w < track.presence.size(); ++w) {
+      if (track.presence[w] == 0) {
+        out += StringPrintf(" %-12s", ".");
+      } else if (track.detected[w]) {
+        out += StringPrintf(" %-12s",
+                            StringPrintf("%zu*(R%.2f)", track.presence[w],
+                                         track.best_recall[w])
+                                .c_str());
+      } else {
+        out += StringPrintf(" %zu%-11s", track.presence[w], "");
+      }
+    }
+    out += "\n";
+  }
+  out += "(N* = detected with best recall R; bare N = present, undetected)\n";
+  return out;
+}
+
+}  // namespace nidc

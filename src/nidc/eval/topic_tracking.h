@@ -1,0 +1,50 @@
+// Topic lifecycle tracking across time windows — the automated form of the
+// paper's §6.2.3 analysis ("the topic appears in the clustering of the
+// 7-day half life span in the fourth time window ... but not in the
+// clustering of the 30-day one").
+
+#ifndef NIDC_EVAL_TOPIC_TRACKING_H_
+#define NIDC_EVAL_TOPIC_TRACKING_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nidc/eval/cluster_topic_matching.h"
+
+namespace nidc {
+
+/// One topic's detection record over a sequence of windows.
+struct TopicTrack {
+  TopicId topic = kNoTopic;
+  /// Per window: number of documents the topic has there.
+  std::vector<size_t> presence;
+  /// Per window: was some cluster marked with this topic?
+  std::vector<bool> detected;
+  /// Per window: best recall among clusters marked with it (0 if none).
+  std::vector<double> best_recall;
+
+  /// Windows where the topic has >= min_presence docs but no detection.
+  std::vector<size_t> MissedWindows(size_t min_presence = 1) const;
+  /// Windows where the topic is detected.
+  std::vector<size_t> DetectedWindows() const;
+};
+
+/// Builds per-topic tracks from per-window cluster markings.
+/// `window_docs[w]` are the documents evaluated in window w and
+/// `window_markings[w]` the MarkClusters output for that window. Topics
+/// are the distinct labels across all windows.
+std::map<TopicId, TopicTrack> TrackTopics(
+    const Corpus& corpus,
+    const std::vector<std::vector<DocId>>& window_docs,
+    const std::vector<std::vector<MarkedCluster>>& window_markings);
+
+/// Renders tracks as a compact lifeline table:
+///   topic 20074 |  .  .  3· 20* 7·  20*  (·=present, *=detected)
+std::string RenderTopicTracks(const std::map<TopicId, TopicTrack>& tracks,
+                              const std::vector<std::string>& window_labels,
+                              size_t min_total_presence = 1);
+
+}  // namespace nidc
+
+#endif  // NIDC_EVAL_TOPIC_TRACKING_H_

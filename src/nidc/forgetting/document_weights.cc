@@ -1,0 +1,71 @@
+#include "nidc/forgetting/document_weights.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace nidc {
+
+DocumentWeights::DocumentWeights(double lambda) : lambda_(lambda) {
+  assert(lambda > 0.0 && lambda < 1.0);
+}
+
+void DocumentWeights::AdvanceTo(DayTime tau) {
+  assert(tau >= now_);
+  if (tau == now_) return;
+  // Eq. 27: dw|τ+Δτ = λ^Δτ · dw|τ ; Eq. 28's decay half for tdw.
+  const double decay = std::pow(lambda_, tau - now_);
+  for (auto& [id, weight] : weights_) weight *= decay;
+  tdw_ *= decay;
+  now_ = tau;
+}
+
+void DocumentWeights::Add(DocId id, DayTime acquisition_time) {
+  assert(!weights_.contains(id));
+  assert(acquisition_time <= now_);
+  // Eq. 1 at the current clock; exactly 1 when T_i == now.
+  const double weight = std::pow(lambda_, now_ - acquisition_time);
+  weights_.emplace(id, weight);
+  active_.push_back(id);
+  tdw_ += weight;  // Eq. 28's "+ m'" generalized to back-dated arrivals.
+}
+
+void DocumentWeights::Remove(DocId id) {
+  auto it = weights_.find(id);
+  assert(it != weights_.end());
+  tdw_ -= it->second;
+  weights_.erase(it);
+  active_.erase(std::find(active_.begin(), active_.end(), id));
+}
+
+std::vector<DocId> DocumentWeights::RemoveBelow(double epsilon) {
+  std::vector<DocId> removed;
+  std::vector<DocId> kept;
+  kept.reserve(active_.size());
+  for (DocId id : active_) {
+    auto it = weights_.find(id);
+    if (it->second < epsilon) {
+      tdw_ -= it->second;
+      weights_.erase(it);
+      removed.push_back(id);
+    } else {
+      kept.push_back(id);
+    }
+  }
+  active_ = std::move(kept);
+  return removed;
+}
+
+void DocumentWeights::Reset(DayTime tau) {
+  weights_.clear();
+  active_.clear();
+  tdw_ = 0.0;
+  now_ = tau;
+}
+
+double DocumentWeights::Weight(DocId id) const {
+  auto it = weights_.find(id);
+  return it == weights_.end() ? 0.0 : it->second;
+}
+
+}  // namespace nidc

@@ -1,0 +1,59 @@
+// Per-document forgetting weights dw_i and their total tdw, maintained
+// incrementally exactly as Eq. 27–28 prescribe.
+
+#ifndef NIDC_FORGETTING_DOCUMENT_WEIGHTS_H_
+#define NIDC_FORGETTING_DOCUMENT_WEIGHTS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "nidc/corpus/document.h"
+
+namespace nidc {
+
+/// Tracks dw_i for the active document set and tdw = Σ dw_i.
+///
+/// AdvanceTo multiplies every stored weight by λ^Δτ (the paper's explicit
+/// update; O(active docs)). Add/Remove adjust tdw by the document's weight.
+class DocumentWeights {
+ public:
+  explicit DocumentWeights(double lambda);
+
+  /// Advances the clock; `tau` must be >= now().
+  void AdvanceTo(DayTime tau);
+
+  /// Registers a document acquired at `acquisition_time` (<= now()); its
+  /// initial weight is λ^(now - T). Must not already be present.
+  void Add(DocId id, DayTime acquisition_time);
+
+  /// Unregisters a document, subtracting its weight from tdw.
+  void Remove(DocId id);
+
+  /// Removes every document with weight < epsilon; returns removed ids.
+  std::vector<DocId> RemoveBelow(double epsilon);
+
+  /// Clears all documents and resets the clock to `tau`.
+  void Reset(DayTime tau);
+
+  double Weight(DocId id) const;
+  bool Contains(DocId id) const { return weights_.contains(id); }
+  double TotalWeight() const { return tdw_; }
+  DayTime now() const { return now_; }
+  size_t size() const { return active_.size(); }
+
+  /// Active document ids in insertion (chronological) order.
+  const std::vector<DocId>& active_docs() const { return active_; }
+
+  double lambda() const { return lambda_; }
+
+ private:
+  double lambda_;
+  DayTime now_ = 0.0;
+  double tdw_ = 0.0;
+  std::unordered_map<DocId, double> weights_;
+  std::vector<DocId> active_;  // insertion order, exact
+};
+
+}  // namespace nidc
+
+#endif  // NIDC_FORGETTING_DOCUMENT_WEIGHTS_H_

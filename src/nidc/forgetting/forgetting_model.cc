@@ -1,0 +1,92 @@
+#include "nidc/forgetting/forgetting_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace nidc {
+
+double ForgettingParams::Lambda() const {
+  return std::exp(-std::log(2.0) / half_life_days);
+}
+
+double ForgettingParams::Epsilon() const {
+  return std::pow(Lambda(), life_span_days);
+}
+
+Status ForgettingParams::Validate() const {
+  if (!(half_life_days > 0.0)) {
+    return Status::InvalidArgument("half_life_days must be > 0");
+  }
+  if (!(life_span_days > 0.0)) {
+    return Status::InvalidArgument("life_span_days must be > 0");
+  }
+  return Status::OK();
+}
+
+ForgettingModel::ForgettingModel(const Corpus* corpus, ForgettingParams params)
+    : corpus_(corpus), params_(params), weights_(params.Lambda()) {
+  assert(params.Validate().ok());
+}
+
+void ForgettingModel::AdvanceTo(DayTime tau) {
+  assert(tau >= now());
+  if (tau == now()) return;
+  const double decay = std::pow(params_.Lambda(), tau - now());
+  weights_.AdvanceTo(tau);
+  terms_.Decay(decay);
+}
+
+void ForgettingModel::AddDocuments(const std::vector<DocId>& ids) {
+  for (DocId id : ids) {
+    const Document& doc = corpus_->doc(id);
+    weights_.Add(id, doc.time);
+    terms_.AddDocument(doc, weights_.Weight(id));
+  }
+}
+
+std::vector<DocId> ForgettingModel::ExpireDocuments() {
+  // Capture weights before removal so term mass is subtracted consistently.
+  const double epsilon = params_.Epsilon();
+  std::vector<std::pair<DocId, double>> expiring;
+  for (DocId id : weights_.active_docs()) {
+    const double w = weights_.Weight(id);
+    if (w < epsilon) expiring.emplace_back(id, w);
+  }
+  std::vector<DocId> removed = weights_.RemoveBelow(epsilon);
+  for (const auto& [id, w] : expiring) {
+    terms_.RemoveDocument(corpus_->doc(id), w);
+  }
+  return removed;
+}
+
+void ForgettingModel::RemoveDocument(DocId id) {
+  const double w = weights_.Weight(id);
+  assert(weights_.Contains(id));
+  weights_.Remove(id);
+  terms_.RemoveDocument(corpus_->doc(id), w);
+}
+
+void ForgettingModel::RebuildFromScratch(const std::vector<DocId>& ids,
+                                         DayTime tau) {
+  weights_.Reset(tau);
+  terms_.Clear();
+  AddDocuments(ids);
+}
+
+double ForgettingModel::PrDoc(DocId id) const {
+  const double tdw = weights_.TotalWeight();
+  if (tdw <= 0.0) return 0.0;
+  return weights_.Weight(id) / tdw;
+}
+
+double ForgettingModel::PrTerm(TermId term) const {
+  return terms_.PrTerm(term, weights_.TotalWeight());
+}
+
+double ForgettingModel::Idf(TermId term) const {
+  const double pr = PrTerm(term);
+  if (pr <= 0.0) return 0.0;
+  return 1.0 / std::sqrt(pr);
+}
+
+}  // namespace nidc

@@ -1,0 +1,119 @@
+// The document forgetting model (paper §3 and §5.1).
+//
+// Every document gets weight dw_i = λ^(τ - T_i) (Eq. 1), with
+// λ = exp(-ln 2 / β) derived from the half-life span β (Eq. 2). The model
+// maintains, incrementally:
+//   * per-document weights dw_i            (Eq. 27: dw|τ+Δτ = λ^Δτ · dw|τ)
+//   * the total weight tdw = Σ dw_i        (Eq. 28: tdw' = λ^Δτ · tdw + m')
+//   * selection probabilities Pr(d_i) = dw_i / tdw               (Eq. 29)
+//   * term statistics S_k = Σ_i dw_i · f_ik / len_i, from which
+//     Pr(t_k) = S_k / tdw                  (Eq. 10 combined with Eq. 4/8)
+// and expires documents whose weight fell below ε = λ^γ (§5.2 step 2).
+
+#ifndef NIDC_FORGETTING_FORGETTING_MODEL_H_
+#define NIDC_FORGETTING_FORGETTING_MODEL_H_
+
+#include <vector>
+
+#include "nidc/corpus/corpus.h"
+#include "nidc/forgetting/document_weights.h"
+#include "nidc/forgetting/term_statistics.h"
+#include "nidc/util/status.h"
+
+namespace nidc {
+
+/// User-facing parameters of the forgetting model.
+struct ForgettingParams {
+  /// Half-life span β in days: the period in which a document loses half of
+  /// its weight (Eq. 2). Must be > 0.
+  double half_life_days = 7.0;
+
+  /// Life span γ in days: the period during which a document stays active;
+  /// defines the expiration threshold ε = λ^γ. Must be > 0.
+  double life_span_days = 14.0;
+
+  /// λ = exp(-ln 2 / β) ∈ (0, 1).
+  double Lambda() const;
+
+  /// ε = λ^γ = 2^(-γ/β).
+  double Epsilon() const;
+
+  /// Validates parameter ranges.
+  Status Validate() const;
+};
+
+/// Incrementally maintained forgetting-model state over a Corpus.
+///
+/// The model tracks the *active* subset of the corpus: documents that have
+/// been added and have not yet expired. All probabilities are with respect
+/// to the active set, matching the paper's repository semantics.
+class ForgettingModel {
+ public:
+  /// `corpus` must outlive the model.
+  ForgettingModel(const Corpus* corpus, ForgettingParams params);
+
+  // --- Incremental interface (paper §5.1 / §5.2 steps 1–2) ---
+
+  /// Advances the clock to `tau` (must be >= now()), decaying all document
+  /// weights, tdw and the term statistics by λ^Δτ.
+  void AdvanceTo(DayTime tau);
+
+  /// Incorporates documents into the active set. Each document's initial
+  /// weight is λ^(now - T_i), i.e. exactly 1 when its acquisition time is
+  /// the current time. Documents must not already be active.
+  void AddDocuments(const std::vector<DocId>& ids);
+
+  /// Removes and returns all active documents with dw < ε (§5.2 step 2).
+  std::vector<DocId> ExpireDocuments();
+
+  /// Removes one document explicitly.
+  void RemoveDocument(DocId id);
+
+  // --- Non-incremental (from-scratch) interface, for Experiment 1 ---
+
+  /// Clears all state, sets the clock to `tau`, and recomputes every
+  /// statistic from scratch for `ids`. Cost is O(Σ |terms of d|) — this is
+  /// the "non-incremental" arm of the paper's Table 1.
+  void RebuildFromScratch(const std::vector<DocId>& ids, DayTime tau);
+
+  // --- Accessors ---
+
+  /// Selection probability Pr(d_i) = dw_i / tdw (Eq. 4). 0 if inactive.
+  double PrDoc(DocId id) const;
+
+  /// Occurrence probability Pr(t_k) (Eq. 10). 0 for unseen terms.
+  double PrTerm(TermId term) const;
+
+  /// idf_k = 1 / sqrt(Pr(t_k)) (Eq. 14). Returns 0 for unseen terms so the
+  /// corresponding tf·idf components vanish instead of exploding.
+  double Idf(TermId term) const;
+
+  /// Current document weight dw_i; 0 if inactive.
+  double Weight(DocId id) const { return weights_.Weight(id); }
+
+  /// Total document weight tdw (Eq. 3).
+  double TotalWeight() const { return weights_.TotalWeight(); }
+
+  /// Whether the document is in the active set.
+  bool IsActive(DocId id) const { return weights_.Contains(id); }
+
+  /// Ids of all active documents, in insertion order.
+  const std::vector<DocId>& active_docs() const {
+    return weights_.active_docs();
+  }
+  size_t num_active() const { return weights_.size(); }
+
+  DayTime now() const { return weights_.now(); }
+  const ForgettingParams& params() const { return params_; }
+  const Corpus& corpus() const { return *corpus_; }
+
+ private:
+  const Corpus* corpus_;
+  ForgettingParams params_;
+  DocumentWeights weights_;
+  TermStatistics terms_;
+};
+
+}  // namespace nidc
+
+#endif  // NIDC_FORGETTING_FORGETTING_MODEL_H_

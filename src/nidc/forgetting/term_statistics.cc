@@ -1,0 +1,62 @@
+#include "nidc/forgetting/term_statistics.h"
+
+#include <cassert>
+
+namespace nidc {
+
+namespace {
+// Below this scale we fold the scalar back into the entries to preserve
+// precision; 1e-120 leaves ample headroom above denormals.
+constexpr double kRenormalizeThreshold = 1e-120;
+}  // namespace
+
+void TermStatistics::AddDocument(const Document& doc, double weight) {
+  const double len = doc.Length();
+  if (len <= 0.0) return;  // empty documents carry no term mass
+  const double unit = weight / len / scale_;
+  for (const auto& entry : doc.terms.entries()) {
+    sums_[entry.id] += unit * entry.value;
+  }
+}
+
+void TermStatistics::RemoveDocument(const Document& doc, double weight) {
+  const double len = doc.Length();
+  if (len <= 0.0) return;
+  const double unit = weight / len / scale_;
+  for (const auto& entry : doc.terms.entries()) {
+    auto it = sums_.find(entry.id);
+    if (it == sums_.end()) continue;
+    it->second -= unit * entry.value;
+    if (it->second <= 0.0) sums_.erase(it);
+  }
+}
+
+void TermStatistics::Decay(double factor) {
+  assert(factor > 0.0 && factor <= 1.0);
+  scale_ *= factor;
+  if (scale_ < kRenormalizeThreshold) Renormalize();
+}
+
+void TermStatistics::Renormalize() {
+  for (auto& [term, sum] : sums_) sum *= scale_;
+  scale_ = 1.0;
+}
+
+double TermStatistics::SumWeightedFreq(TermId term) const {
+  auto it = sums_.find(term);
+  if (it == sums_.end()) return 0.0;
+  const double value = scale_ * it->second;
+  return value > 0.0 ? value : 0.0;
+}
+
+double TermStatistics::PrTerm(TermId term, double tdw) const {
+  if (tdw <= 0.0) return 0.0;
+  return SumWeightedFreq(term) / tdw;
+}
+
+void TermStatistics::Clear() {
+  sums_.clear();
+  scale_ = 1.0;
+}
+
+}  // namespace nidc

@@ -1,0 +1,60 @@
+// Incremental maintenance of the term statistics behind Pr(t_k) (Eq. 10).
+//
+// With Pr(t_k|d_i) = f_ik / len_i (Eq. 8) and Pr(d_i) = dw_i / tdw (Eq. 4),
+//   Pr(t_k) = Σ_i (f_ik / len_i) · (dw_i / tdw) = S_k / tdw,
+// where S_k ≡ Σ_i dw_i · f_ik / len_i.
+//
+// Time decay multiplies every dw_i — hence every S_k — by the same factor
+// λ^Δτ. We exploit this by storing S̃_k with S_k = scale · S̃_k and folding
+// decay into the single scalar `scale`, so an update step costs O(terms of
+// the new documents) instead of O(vocabulary). (The division by tdw, which
+// decays identically, makes Pr(t_k) invariant to pure time passage — only
+// arrivals and expirations change it.)
+
+#ifndef NIDC_FORGETTING_TERM_STATISTICS_H_
+#define NIDC_FORGETTING_TERM_STATISTICS_H_
+
+#include <unordered_map>
+
+#include "nidc/corpus/document.h"
+
+namespace nidc {
+
+/// Maintains S_k = Σ_{active i} dw_i · f_ik / len_i.
+class TermStatistics {
+ public:
+  TermStatistics() = default;
+
+  /// Adds a document's contribution with its current weight dw_i.
+  void AddDocument(const Document& doc, double weight);
+
+  /// Removes a document's contribution given its current weight. Residual
+  /// mass from float cancellation is clamped at zero on read.
+  void RemoveDocument(const Document& doc, double weight);
+
+  /// Applies a global decay factor (λ^Δτ) to every S_k in O(1).
+  void Decay(double factor);
+
+  /// S_k for the term; 0 for unseen terms.
+  double SumWeightedFreq(TermId term) const;
+
+  /// Pr(t_k) = S_k / tdw for the given total weight.
+  double PrTerm(TermId term, double tdw) const;
+
+  /// Drops all statistics.
+  void Clear();
+
+  /// Number of terms with recorded (possibly zero) mass.
+  size_t num_terms() const { return sums_.size(); }
+
+ private:
+  /// Folds `scale_` into the stored values when it underflows toward 0.
+  void Renormalize();
+
+  std::unordered_map<TermId, double> sums_;  // S̃_k
+  double scale_ = 1.0;                       // S_k = scale_ · S̃_k
+};
+
+}  // namespace nidc
+
+#endif  // NIDC_FORGETTING_TERM_STATISTICS_H_

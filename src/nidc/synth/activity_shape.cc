@@ -1,0 +1,70 @@
+#include "nidc/synth/activity_shape.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace nidc {
+
+ActivityShape ActivityShape::FromWindowCounts(
+    const std::vector<size_t>& counts) {
+  ActivityShape shape;
+  for (size_t w = 0; w < counts.size(); ++w) {
+    if (counts[w] == 0) continue;
+    shape.Add({static_cast<int>(w), counts[w], -1.0, -1.0});
+  }
+  return shape;
+}
+
+ActivityShape& ActivityShape::Add(WindowAllocation alloc) {
+  allocations_.push_back(alloc);
+  return *this;
+}
+
+size_t ActivityShape::TotalCount() const {
+  size_t total = 0;
+  for (const WindowAllocation& a : allocations_) total += a.count;
+  return total;
+}
+
+size_t ActivityShape::CountInWindow(int w) const {
+  size_t total = 0;
+  for (const WindowAllocation& a : allocations_) {
+    if (a.window == w) total += a.count;
+  }
+  return total;
+}
+
+ActivityShape ActivityShape::Scaled(double factor) const {
+  ActivityShape out;
+  for (const WindowAllocation& a : allocations_) {
+    const size_t scaled = static_cast<size_t>(
+        std::llround(static_cast<double>(a.count) * factor));
+    if (scaled == 0) continue;
+    out.Add({a.window, scaled, a.day_begin, a.day_end});
+  }
+  return out;
+}
+
+std::vector<DayTime> ActivityShape::SampleTimes(
+    const std::vector<TimeWindow>& windows, Rng* rng) const {
+  std::vector<DayTime> times;
+  times.reserve(TotalCount());
+  for (const WindowAllocation& a : allocations_) {
+    assert(a.window >= 0 &&
+           static_cast<size_t>(a.window) < windows.size());
+    const TimeWindow& w = windows[static_cast<size_t>(a.window)];
+    double begin = a.day_begin >= 0.0 ? a.day_begin : w.begin;
+    double end = a.day_end >= 0.0 ? a.day_end : w.end;
+    // Clamp day-pinned ranges to the window so a shape can never leak
+    // documents into a neighbouring window.
+    begin = std::max(begin, w.begin);
+    end = std::min(end, w.end);
+    assert(end > begin);
+    for (size_t i = 0; i < a.count; ++i) {
+      times.push_back(begin + rng->NextDouble() * (end - begin));
+    }
+  }
+  return times;
+}
+
+}  // namespace nidc

@@ -1,0 +1,66 @@
+// Temporal activity profile of a synthetic topic: how many documents it
+// contributes to each time window, optionally pinned to a sub-range of days
+// inside the window (the mechanism behind reproducing the paper's Figure 5–9
+// burst shapes, e.g. "late in window 4, early in window 6").
+
+#ifndef NIDC_SYNTH_ACTIVITY_SHAPE_H_
+#define NIDC_SYNTH_ACTIVITY_SHAPE_H_
+
+#include <vector>
+
+#include "nidc/corpus/time_window.h"
+#include "nidc/util/random.h"
+
+namespace nidc {
+
+/// One window's worth of a topic's documents.
+struct WindowAllocation {
+  /// 0-based window index.
+  int window = 0;
+  /// Number of documents placed in this window.
+  size_t count = 0;
+  /// Optional absolute day range override [day_begin, day_end); when
+  /// negative, documents spread over the whole window.
+  double day_begin = -1.0;
+  double day_end = -1.0;
+};
+
+/// A topic's full temporal profile: a list of window allocations.
+class ActivityShape {
+ public:
+  ActivityShape() = default;
+
+  /// Shape from a per-window count vector (one entry per window, zeros
+  /// allowed), spreading uniformly inside each window.
+  static ActivityShape FromWindowCounts(const std::vector<size_t>& counts);
+
+  /// Adds one allocation (used for day-pinned bursts).
+  ActivityShape& Add(WindowAllocation alloc);
+
+  const std::vector<WindowAllocation>& allocations() const {
+    return allocations_;
+  }
+
+  /// Total documents across all allocations.
+  size_t TotalCount() const;
+
+  /// Documents allocated to window `w`.
+  size_t CountInWindow(int w) const;
+
+  /// Returns a copy with every allocation count multiplied by `factor`
+  /// (rounded; allocations rounding to zero are dropped).
+  ActivityShape Scaled(double factor) const;
+
+  /// Draws concrete acquisition times: for each allocation, `count`
+  /// timestamps uniform in its day range (or the whole window). Output is
+  /// unsorted.
+  std::vector<DayTime> SampleTimes(const std::vector<TimeWindow>& windows,
+                                   Rng* rng) const;
+
+ private:
+  std::vector<WindowAllocation> allocations_;
+};
+
+}  // namespace nidc
+
+#endif  // NIDC_SYNTH_ACTIVITY_SHAPE_H_

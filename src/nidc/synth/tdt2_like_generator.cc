@@ -1,0 +1,72 @@
+#include "nidc/synth/tdt2_like_generator.h"
+
+#include <algorithm>
+
+#include "nidc/util/string_util.h"
+
+namespace nidc {
+
+const char* const kNewswireSources[6] = {"ABC", "APW", "CNN",
+                                         "NYT", "PRI", "VOA"};
+
+Tdt2LikeGenerator::Tdt2LikeGenerator(GeneratorOptions options)
+    : options_(options) {
+  Result<std::vector<TopicSpec>> catalog = FullTdt2Catalog();
+  if (catalog.ok()) {
+    topics_ = std::move(catalog).value();
+    catalog_status_ = Status::OK();
+  } else {
+    catalog_status_ = catalog.status();
+  }
+}
+
+Result<std::vector<RawDocument>> Tdt2LikeGenerator::GenerateRaw() const {
+  NIDC_RETURN_NOT_OK(catalog_status_);
+  if (!(options_.scale > 0.0)) {
+    return Status::InvalidArgument("scale must be > 0");
+  }
+
+  const std::vector<TimeWindow> windows = PaperWindows();
+  TopicLanguageModel lm(topics_, options_.lm, options_.seed);
+  Rng rng(options_.seed ^ 0x5eedc0de12345678ULL);
+
+  std::vector<RawDocument> docs;
+  size_t source_cursor = 0;
+  for (const TopicSpec& topic : topics_) {
+    const ActivityShape shape = options_.scale == 1.0
+                                    ? topic.shape
+                                    : topic.shape.Scaled(options_.scale);
+    for (DayTime time : shape.SampleTimes(windows, &rng)) {
+      RawDocument doc;
+      doc.time = time;
+      doc.topic = topic.id;
+      doc.source = kNewswireSources[source_cursor++ % 6];
+      doc.text = lm.GenerateText(topic.id, &rng);
+      docs.push_back(std::move(doc));
+    }
+  }
+  std::sort(docs.begin(), docs.end(),
+            [](const RawDocument& a, const RawDocument& b) {
+              return a.time < b.time;
+            });
+  return docs;
+}
+
+Result<std::unique_ptr<Corpus>> Tdt2LikeGenerator::Generate() const {
+  Result<std::vector<RawDocument>> raw = GenerateRaw();
+  if (!raw.ok()) return raw.status();
+  auto corpus = std::make_unique<Corpus>();
+  for (const RawDocument& doc : raw.value()) {
+    corpus->AddText(doc.text, doc.time, doc.topic, doc.source);
+  }
+  return corpus;
+}
+
+std::string Tdt2LikeGenerator::TopicName(TopicId id) const {
+  for (const TopicSpec& topic : topics_) {
+    if (topic.id == id) return topic.name;
+  }
+  return StringPrintf("topic%d", id);
+}
+
+}  // namespace nidc

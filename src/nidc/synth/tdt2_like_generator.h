@@ -1,0 +1,62 @@
+// The synthetic TDT2-like corpus generator — the data substrate that stands
+// in for the LDC TDT2 corpus (see DESIGN.md §2 for the substitution
+// rationale). Produces 7,578 labeled documents over 96 topics across the six
+// windows of §6.2.1, with Table 2's per-window document totals reproduced
+// exactly and the Figure 5–9 topics' burst shapes built in.
+
+#ifndef NIDC_SYNTH_TDT2_LIKE_GENERATOR_H_
+#define NIDC_SYNTH_TDT2_LIKE_GENERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "nidc/corpus/corpus_io.h"
+#include "nidc/synth/topic_catalog.h"
+#include "nidc/synth/topic_language_model.h"
+
+namespace nidc {
+
+/// Generator configuration.
+struct GeneratorOptions {
+  /// Master seed: same seed → byte-identical corpus.
+  uint64_t seed = 19980104;
+
+  /// Scales every topic's document counts (0.1 → ~760-doc corpus for fast
+  /// tests; 1.0 → the paper-scale 7,578-doc corpus).
+  double scale = 1.0;
+
+  /// Language-model knobs.
+  TopicLmOptions lm;
+};
+
+/// Names of the simulated newswire feeds, cycled across documents.
+extern const char* const kNewswireSources[6];
+
+/// Generates the TDT2-like corpus.
+class Tdt2LikeGenerator {
+ public:
+  explicit Tdt2LikeGenerator(GeneratorOptions options = {});
+
+  /// Raw (pre-analysis) documents, sorted chronologically.
+  Result<std::vector<RawDocument>> GenerateRaw() const;
+
+  /// Fully analyzed corpus, chronologically ordered.
+  Result<std::unique_ptr<Corpus>> Generate() const;
+
+  /// The complete topic catalog (named + fillers), unscaled.
+  const std::vector<TopicSpec>& topics() const { return topics_; }
+
+  /// Display name of a topic; "topic<N>" for unknown ids.
+  std::string TopicName(TopicId id) const;
+
+  const GeneratorOptions& options() const { return options_; }
+
+ private:
+  GeneratorOptions options_;
+  std::vector<TopicSpec> topics_;
+  Status catalog_status_;
+};
+
+}  // namespace nidc
+
+#endif  // NIDC_SYNTH_TDT2_LIKE_GENERATOR_H_

@@ -1,0 +1,114 @@
+#include "nidc/synth/topic_language_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nidc {
+
+namespace {
+constexpr char kConsonants[] = "bdfgklmnprstvz";
+// Closing consonants exclude 's' (Porter step 1a strips a final 's') and
+// 'd'/'g' (which can complete "-ed"/"-ing" after unlucky syllables), so
+// generated words survive stemming verbatim.
+constexpr char kFinalConsonants[] = "bfklmnprtvz";
+constexpr char kVowels[] = "aeiou";
+}  // namespace
+
+WordFactory::WordFactory(uint64_t seed) : rng_(seed) {}
+
+std::string WordFactory::MakeWord() {
+  for (;;) {
+    const int syllables = static_cast<int>(rng_.NextInt(2, 4));
+    std::string word;
+    for (int s = 0; s < syllables; ++s) {
+      word += kConsonants[rng_.NextBounded(sizeof(kConsonants) - 1)];
+      word += kVowels[rng_.NextBounded(sizeof(kVowels) - 1)];
+    }
+    // Closing consonant: avoids vowel-final words that Porter's step 1
+    // rules could clip, keeping synthetic terms stemmer-inert.
+    word += kFinalConsonants[rng_.NextBounded(sizeof(kFinalConsonants) - 1)];
+    if (!used_.emplace(word, true).second) continue;
+    return word;
+  }
+}
+
+TopicLanguageModel::TopicLanguageModel(const std::vector<TopicSpec>& topics,
+                                       TopicLmOptions options, uint64_t seed)
+    : options_(options) {
+  WordFactory factory(seed);
+  background_.reserve(options_.background_vocab);
+  for (size_t i = 0; i < options_.background_vocab; ++i) {
+    background_.push_back(factory.MakeWord());
+  }
+  std::vector<std::string> pool;
+  pool.reserve(options_.shared_topic_pool);
+  for (size_t i = 0; i < options_.shared_topic_pool; ++i) {
+    pool.push_back(factory.MakeWord());
+  }
+  const size_t overlap = std::min(
+      options_.topic_vocab,
+      static_cast<size_t>(static_cast<double>(options_.topic_vocab) *
+                          options_.overlap_fraction));
+  Rng pool_rng(seed ^ 0x10b1cf00dULL);
+  for (const TopicSpec& topic : topics) {
+    std::vector<std::string>& words = topic_words_[topic.id];
+    words.reserve(options_.topic_vocab);
+    // Unique signature terms...
+    for (size_t i = 0; i < options_.topic_vocab - overlap; ++i) {
+      words.push_back(factory.MakeWord());
+    }
+    // ...plus shared-pool terms other topics may also carry. A Zipf draw
+    // over the pool makes some pool words common across many topics.
+    if (!pool.empty()) {
+      for (size_t i = 0; i < overlap; ++i) {
+        const size_t rank = static_cast<size_t>(pool_rng.NextZipf(
+                                static_cast<int>(pool.size()), 0.8)) -
+                            1;
+        words.push_back(pool[rank]);
+      }
+    }
+    // Interleave so the topic's Zipf head mixes unique and shared terms.
+    pool_rng.Shuffle(&words);
+  }
+}
+
+size_t TopicLanguageModel::SampleRank(size_t n, Rng* rng) const {
+  assert(n > 0);
+  return static_cast<size_t>(
+             rng->NextZipf(static_cast<int>(n), options_.zipf_exponent)) -
+         1;
+}
+
+std::string TopicLanguageModel::GenerateText(TopicId topic, Rng* rng) const {
+  auto it = topic_words_.find(topic);
+  assert(it != topic_words_.end());
+  const std::vector<std::string>& words = it->second;
+
+  int length = rng->NextPoisson(options_.doc_length_mean);
+  length = std::clamp(length, static_cast<int>(options_.doc_length_min),
+                      static_cast<int>(options_.doc_length_max));
+  double fraction =
+      options_.topic_word_fraction +
+      (2.0 * rng->NextDouble() - 1.0) * options_.topic_fraction_jitter;
+  fraction = std::clamp(fraction, 0.05, 0.95);
+
+  std::string text;
+  text.reserve(static_cast<size_t>(length) * 8);
+  for (int i = 0; i < length; ++i) {
+    const bool topical = rng->NextDouble() < fraction;
+    const std::vector<std::string>& pool = topical ? words : background_;
+    const std::string& word = pool[SampleRank(pool.size(), rng)];
+    if (!text.empty()) text += ' ';
+    text += word;
+  }
+  return text;
+}
+
+const std::vector<std::string>& TopicLanguageModel::TopicWords(
+    TopicId topic) const {
+  auto it = topic_words_.find(topic);
+  assert(it != topic_words_.end());
+  return it->second;
+}
+
+}  // namespace nidc

@@ -1,0 +1,94 @@
+// Unigram topic language models over a synthetic vocabulary.
+//
+// Every topic owns a set of topic-specific terms; all topics share a large
+// background vocabulary. A document mixes the two: a fraction of its tokens
+// come from its topic's Zipf-distributed term distribution, the rest from
+// the Zipf-distributed background. Shared background mass gives non-zero
+// inter-topic similarity (as real newswire does); the topic-specific mass is
+// what clustering can latch onto. Words are pronounceable consonant-vowel
+// strings that pass the tokenizer and are essentially inert under the Porter
+// stemmer, so each synthetic term survives preprocessing as one vocabulary
+// entry.
+
+#ifndef NIDC_SYNTH_TOPIC_LANGUAGE_MODEL_H_
+#define NIDC_SYNTH_TOPIC_LANGUAGE_MODEL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nidc/synth/topic_profile.h"
+#include "nidc/util/random.h"
+
+namespace nidc {
+
+/// Knobs of the synthetic language.
+struct TopicLmOptions {
+  /// Number of shared background terms.
+  size_t background_vocab = 2500;
+  /// Topic terms per topic (unique + pool-drawn, see overlap_fraction).
+  size_t topic_vocab = 40;
+  /// Size of the shared *topical* pool that overlapping terms are drawn
+  /// from. Distinct from the background: pool words are signature-strength
+  /// terms that several topics share (as "government", "police", "court"
+  /// do in real newswire), creating cross-topic confusability.
+  size_t shared_topic_pool = 900;
+  /// Fraction of each topic's vocabulary drawn from the shared pool
+  /// instead of being unique to the topic.
+  double overlap_fraction = 0.35;
+  /// Mean fraction of a document's tokens drawn from its topic model.
+  double topic_word_fraction = 0.45;
+  /// Uniform jitter applied to the fraction per document (+/-).
+  double topic_fraction_jitter = 0.12;
+  /// Document length ~ Poisson(doc_length_mean), clipped to the bounds.
+  double doc_length_mean = 80.0;
+  size_t doc_length_min = 25;
+  size_t doc_length_max = 250;
+  /// Zipf exponent of both term distributions.
+  double zipf_exponent = 1.05;
+};
+
+/// Deterministic generator of distinct pronounceable ASCII words.
+class WordFactory {
+ public:
+  explicit WordFactory(uint64_t seed);
+
+  /// Returns a fresh word never returned before by this factory
+  /// (2–4 consonant-vowel syllables plus a closing consonant).
+  std::string MakeWord();
+
+ private:
+  Rng rng_;
+  std::unordered_map<std::string, bool> used_;
+};
+
+/// Per-topic unigram models plus the shared background model.
+class TopicLanguageModel {
+ public:
+  TopicLanguageModel(const std::vector<TopicSpec>& topics,
+                     TopicLmOptions options, uint64_t seed);
+
+  /// Samples one document's raw text for `topic`. `rng` drives all choices
+  /// so corpus generation is reproducible.
+  std::string GenerateText(TopicId topic, Rng* rng) const;
+
+  /// The topic-specific term list (most-probable first).
+  const std::vector<std::string>& TopicWords(TopicId topic) const;
+
+  const std::vector<std::string>& background_words() const {
+    return background_;
+  }
+  const TopicLmOptions& options() const { return options_; }
+
+ private:
+  /// Draws a word index from a Zipf(n, s) distribution.
+  size_t SampleRank(size_t n, Rng* rng) const;
+
+  TopicLmOptions options_;
+  std::vector<std::string> background_;
+  std::unordered_map<TopicId, std::vector<std::string>> topic_words_;
+};
+
+}  // namespace nidc
+
+#endif  // NIDC_SYNTH_TOPIC_LANGUAGE_MODEL_H_

@@ -1,0 +1,31 @@
+#include "nidc/synth/topic_profile.h"
+
+#include <unordered_set>
+
+#include "nidc/util/status.h"
+
+namespace nidc {
+
+Status ValidateTopics(const std::vector<TopicSpec>& topics) {
+  std::unordered_set<TopicId> seen;
+  for (const TopicSpec& topic : topics) {
+    if (topic.id <= 0) {
+      return Status::InvalidArgument("topic id must be positive");
+    }
+    if (!seen.insert(topic.id).second) {
+      return Status::InvalidArgument("duplicate topic id " +
+                                     std::to_string(topic.id));
+    }
+    if (topic.name.empty()) {
+      return Status::InvalidArgument("topic " + std::to_string(topic.id) +
+                                     " has an empty name");
+    }
+    if (topic.TotalDocs() == 0) {
+      return Status::InvalidArgument("topic " + std::to_string(topic.id) +
+                                     " allocates no documents");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace nidc

@@ -1,0 +1,30 @@
+// A synthetic topic's full specification: identity, size, temporal shape.
+
+#ifndef NIDC_SYNTH_TOPIC_PROFILE_H_
+#define NIDC_SYNTH_TOPIC_PROFILE_H_
+
+#include <string>
+
+#include "nidc/synth/activity_shape.h"
+#include "nidc/util/status.h"
+
+namespace nidc {
+
+/// One topic of the synthetic corpus (one row of the paper's Table 5 plus
+/// its calibrated temporal profile).
+struct TopicSpec {
+  TopicId id = kNoTopic;
+  std::string name;
+  ActivityShape shape;
+
+  /// Total documents this topic contributes (= shape.TotalCount()).
+  size_t TotalDocs() const { return shape.TotalCount(); }
+};
+
+/// Validates internal consistency of a topic list: unique positive ids,
+/// non-empty names, at least one document each.
+Status ValidateTopics(const std::vector<TopicSpec>& topics);
+
+}  // namespace nidc
+
+#endif  // NIDC_SYNTH_TOPIC_PROFILE_H_

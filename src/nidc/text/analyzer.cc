@@ -1,0 +1,39 @@
+#include "nidc/text/analyzer.h"
+
+namespace nidc {
+
+Analyzer::Analyzer(Vocabulary* vocabulary, AnalyzerOptions options)
+    : vocabulary_(vocabulary),
+      options_(options),
+      tokenizer_(options.tokenizer),
+      stopwords_(options.use_stopwords ? StopwordSet::Default()
+                                       : StopwordSet::Empty()) {}
+
+SparseVector Analyzer::Analyze(std::string_view text) const {
+  return AnalyzeImpl(text, /*allow_grow=*/true);
+}
+
+SparseVector Analyzer::AnalyzeFrozen(std::string_view text) const {
+  return AnalyzeImpl(text, /*allow_grow=*/false);
+}
+
+SparseVector Analyzer::AnalyzeImpl(std::string_view text,
+                                   bool allow_grow) const {
+  SparseAccumulator acc;
+  for (std::string& token : tokenizer_.Tokenize(text)) {
+    if (options_.use_stopwords && stopwords_.Contains(token)) continue;
+    if (options_.use_stemming) token = stemmer_.Stem(token);
+    if (token.empty()) continue;
+    TermId id;
+    if (allow_grow) {
+      id = vocabulary_->GetOrAdd(token);
+    } else {
+      id = vocabulary_->Lookup(token);
+      if (id == kInvalidTermId) continue;
+    }
+    acc.Add(id, 1.0);
+  }
+  return acc.ToVector();
+}
+
+}  // namespace nidc

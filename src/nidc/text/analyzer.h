@@ -1,0 +1,54 @@
+// The full text-analysis pipeline: tokenize -> stop -> stem -> intern ->
+// count. Produces the per-document term-frequency bag (f_ik in the paper).
+
+#ifndef NIDC_TEXT_ANALYZER_H_
+#define NIDC_TEXT_ANALYZER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "nidc/text/porter_stemmer.h"
+#include "nidc/text/sparse_vector.h"
+#include "nidc/text/stopwords.h"
+#include "nidc/text/tokenizer.h"
+#include "nidc/text/vocabulary.h"
+
+namespace nidc {
+
+/// Pipeline configuration.
+struct AnalyzerOptions {
+  TokenizerOptions tokenizer;
+  bool use_stopwords = true;
+  bool use_stemming = true;
+};
+
+/// Turns raw text into a term-frequency SparseVector against a shared,
+/// growable Vocabulary. Not thread-safe (the vocabulary mutates).
+class Analyzer {
+ public:
+  /// `vocabulary` must outlive the analyzer; it is grown as new terms appear.
+  Analyzer(Vocabulary* vocabulary, AnalyzerOptions options = {});
+
+  /// Analyzes `text` into term frequencies f_ik (integral counts stored as
+  /// doubles). Unknown terms are interned.
+  SparseVector Analyze(std::string_view text) const;
+
+  /// Analyzes against a frozen vocabulary: unseen terms are skipped instead
+  /// of interned (useful for query-style lookups in tests).
+  SparseVector AnalyzeFrozen(std::string_view text) const;
+
+  const Vocabulary& vocabulary() const { return *vocabulary_; }
+
+ private:
+  SparseVector AnalyzeImpl(std::string_view text, bool allow_grow) const;
+
+  Vocabulary* vocabulary_;
+  AnalyzerOptions options_;
+  Tokenizer tokenizer_;
+  StopwordSet stopwords_;
+  PorterStemmer stemmer_;
+};
+
+}  // namespace nidc
+
+#endif  // NIDC_TEXT_ANALYZER_H_

@@ -1,0 +1,91 @@
+// Sparse vector type used for document term vectors and cluster
+// representatives. Entries are (term-id, value) pairs kept sorted by id so
+// dot products are a linear merge.
+
+#ifndef NIDC_TEXT_SPARSE_VECTOR_H_
+#define NIDC_TEXT_SPARSE_VECTOR_H_
+
+#include <cstddef>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace nidc {
+
+/// Integer id of an interned term (see Vocabulary).
+using TermId = uint32_t;
+
+/// Immutable-ish sorted sparse vector over TermId with double values.
+///
+/// Construction is either from an unsorted (id, value) list (sorted and
+/// coalesced once) or incremental via an Accumulator. Zero entries are
+/// dropped on normalization points but tolerated in between.
+class SparseVector {
+ public:
+  struct Entry {
+    TermId id;
+    double value;
+    bool operator==(const Entry& other) const = default;
+  };
+
+  SparseVector() = default;
+
+  /// Builds from possibly unsorted, possibly duplicated entries; duplicates
+  /// are summed.
+  static SparseVector FromEntries(std::vector<Entry> entries);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Value at `id`, or 0 if absent. O(log n).
+  double ValueAt(TermId id) const;
+
+  /// Sparse dot product via sorted merge. O(n + m).
+  double Dot(const SparseVector& other) const;
+
+  /// Sum of squared values (== Dot(*this)).
+  double SquaredNorm() const;
+
+  /// Euclidean norm.
+  double Norm() const;
+
+  /// Sum of values.
+  double Sum() const;
+
+  /// Returns a copy scaled by `factor`.
+  SparseVector Scaled(double factor) const;
+
+  /// Adds `other * factor` into this vector in place (merge; keeps order).
+  void AddScaled(const SparseVector& other, double factor);
+
+  /// Multiplies every value by `factor` in place.
+  void ScaleInPlace(double factor);
+
+  /// Removes entries with |value| <= epsilon.
+  void Prune(double epsilon = 0.0);
+
+  bool operator==(const SparseVector& other) const = default;
+
+ private:
+  std::vector<Entry> entries_;  // sorted by id, unique ids
+};
+
+/// Hash-map based accumulator for building sparse vectors term-by-term;
+/// convert to a SparseVector once filled.
+class SparseAccumulator {
+ public:
+  void Add(TermId id, double value) { values_[id] += value; }
+  void Clear() { values_.clear(); }
+  bool empty() const { return values_.empty(); }
+
+  SparseVector ToVector() const;
+
+ private:
+  std::unordered_map<TermId, double> values_;
+};
+
+}  // namespace nidc
+
+#endif  // NIDC_TEXT_SPARSE_VECTOR_H_

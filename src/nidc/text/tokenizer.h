@@ -1,0 +1,50 @@
+// Newswire-oriented tokenizer: lower-cases, splits on non-alphanumerics,
+// keeps internal apostrophes/hyphens joined per the common IR convention of
+// the TDT era, and drops pure numbers and single letters by default.
+
+#ifndef NIDC_TEXT_TOKENIZER_H_
+#define NIDC_TEXT_TOKENIZER_H_
+
+#include <cstddef>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nidc {
+
+/// Tokenizer configuration.
+struct TokenizerOptions {
+  /// Drop tokens consisting only of digits ("1998").
+  bool drop_numbers = true;
+  /// Minimum token length after normalization.
+  size_t min_length = 2;
+  /// Maximum token length (guards against garbage runs).
+  size_t max_length = 64;
+  /// Keep hyphenated compounds as one token ("e-mail" -> "e-mail").
+  bool keep_internal_hyphen = true;
+  /// Keep possessive-free apostrophe compounds ("o'brien" -> "o'brien");
+  /// trailing "'s" is stripped either way.
+  bool keep_internal_apostrophe = true;
+};
+
+/// Converts raw text into normalized word tokens.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// Tokenizes `text`; tokens are lower-cased ASCII words.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  /// Applies length/number filters; returns false if the token is dropped.
+  bool Accept(const std::string& token) const;
+
+  TokenizerOptions options_;
+};
+
+}  // namespace nidc
+
+#endif  // NIDC_TEXT_TOKENIZER_H_

@@ -1,0 +1,36 @@
+// CSV output for experiment series (e.g. figure data for external plotting).
+
+#ifndef NIDC_UTIL_CSV_WRITER_H_
+#define NIDC_UTIL_CSV_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "nidc/util/status.h"
+
+namespace nidc {
+
+/// Buffers rows and writes an RFC-4180-quoted CSV file on Flush().
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Writes header + rows to `path`, overwriting. Returns IOError on failure.
+  Status WriteFile(const std::string& path) const;
+
+  /// Renders the CSV content as a string.
+  std::string ToString() const;
+
+  /// Quotes a single cell if it contains a comma, quote, or newline.
+  static std::string EscapeCell(const std::string& cell);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nidc
+
+#endif  // NIDC_UTIL_CSV_WRITER_H_

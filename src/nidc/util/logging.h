@@ -1,0 +1,47 @@
+// Minimal leveled logging. Examples and benches log progress at Info; the
+// library itself only logs at Debug so it stays quiet under tests.
+
+#ifndef NIDC_UTIL_LOGGING_H_
+#define NIDC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace nidc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one formatted line to stderr if `level` passes the global filter.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style helper behind the NIDC_LOG macro; emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace nidc
+
+/// NIDC_LOG(Info) << "processed " << n << " docs";
+#define NIDC_LOG(severity) \
+  ::nidc::internal::LogLine(::nidc::LogLevel::k##severity)
+
+#endif  // NIDC_UTIL_LOGGING_H_

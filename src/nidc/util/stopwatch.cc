@@ -1,0 +1,26 @@
+#include "nidc/util/stopwatch.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace nidc {
+
+std::string Stopwatch::FormatDuration(double seconds) {
+  char buf[64];
+  if (seconds >= 60.0) {
+    int minutes = static_cast<int>(seconds / 60.0);
+    int rest = static_cast<int>(std::lround(seconds - 60.0 * minutes));
+    if (rest == 60) {  // carry when the remainder rounds up to a minute
+      ++minutes;
+      rest = 0;
+    }
+    std::snprintf(buf, sizeof(buf), "%dmin%02dsec", minutes, rest);
+  } else if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fsec", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1e3);
+  }
+  return buf;
+}
+
+}  // namespace nidc

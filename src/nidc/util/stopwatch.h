@@ -1,0 +1,36 @@
+// Monotonic wall-clock stopwatch used by the benchmark harnesses
+// (Table 1 reports statistics-update time and clustering time separately).
+
+#ifndef NIDC_UTIL_STOPWATCH_H_
+#define NIDC_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <string>
+
+namespace nidc {
+
+/// Starts on construction (or Restart()); Elapsed* read without stopping.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Formats a duration as "1min45sec" / "58.3sec" / "12.4ms", mirroring the
+  /// units used in the paper's Table 1.
+  static std::string FormatDuration(double seconds);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nidc
+
+#endif  // NIDC_UTIL_STOPWATCH_H_

@@ -1,0 +1,33 @@
+// Small string helpers shared across the library.
+
+#ifndef NIDC_UTIL_STRING_UTIL_H_
+#define NIDC_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nidc {
+
+/// Splits on any single delimiter character; empty fields are kept.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// ASCII lower-casing (locale-independent).
+std::string ToLower(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace nidc
+
+#endif  // NIDC_UTIL_STRING_UTIL_H_

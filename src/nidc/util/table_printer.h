@@ -1,0 +1,42 @@
+// Fixed-width ASCII table rendering for the benchmark harnesses, which must
+// print the same rows the paper's tables report.
+
+#ifndef NIDC_UTIL_TABLE_PRINTER_H_
+#define NIDC_UTIL_TABLE_PRINTER_H_
+
+#include <cstddef>
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nidc {
+
+/// Collects rows of string cells and renders them with aligned columns.
+///
+/// Usage:
+///   TablePrinter t({"Approach", "Dataset", "Clustering"});
+///   t.AddRow({"Incremental", "Jan18", "15min25sec"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header rule; pads each column to its widest cell.
+  void Print(std::ostream& os) const;
+
+  /// Convenience: render to a string (used in tests).
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nidc
+
+#endif  // NIDC_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,96 @@
+#include "nidc/synth/activity_shape.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+std::vector<TimeWindow> Windows() { return MakeWindows(0.0, 3, 10.0); }
+
+TEST(ActivityShapeTest, FromWindowCountsSkipsZeros) {
+  ActivityShape shape = ActivityShape::FromWindowCounts({5, 0, 3});
+  EXPECT_EQ(shape.allocations().size(), 2u);
+  EXPECT_EQ(shape.TotalCount(), 8u);
+  EXPECT_EQ(shape.CountInWindow(0), 5u);
+  EXPECT_EQ(shape.CountInWindow(1), 0u);
+  EXPECT_EQ(shape.CountInWindow(2), 3u);
+}
+
+TEST(ActivityShapeTest, MultipleAllocationsSameWindowSum) {
+  ActivityShape shape;
+  shape.Add({1, 4, -1.0, -1.0});
+  shape.Add({1, 6, 12.0, 15.0});
+  EXPECT_EQ(shape.CountInWindow(1), 10u);
+}
+
+TEST(ActivityShapeTest, SampleTimesRespectWindows) {
+  Rng rng(5);
+  ActivityShape shape = ActivityShape::FromWindowCounts({10, 0, 20});
+  auto times = shape.SampleTimes(Windows(), &rng);
+  ASSERT_EQ(times.size(), 30u);
+  size_t in_w1 = 0;
+  size_t in_w3 = 0;
+  for (DayTime t : times) {
+    if (t >= 0.0 && t < 10.0) ++in_w1;
+    if (t >= 20.0 && t < 30.0) ++in_w3;
+  }
+  EXPECT_EQ(in_w1, 10u);
+  EXPECT_EQ(in_w3, 20u);
+}
+
+TEST(ActivityShapeTest, DayPinnedSamplesStayInRange) {
+  Rng rng(7);
+  ActivityShape shape;
+  shape.Add({0, 50, 3.0, 5.0});
+  for (DayTime t : shape.SampleTimes(Windows(), &rng)) {
+    EXPECT_GE(t, 3.0);
+    EXPECT_LT(t, 5.0);
+  }
+}
+
+TEST(ActivityShapeTest, DayRangeClampedToWindow) {
+  Rng rng(9);
+  ActivityShape shape;
+  // Range leaks past the window end; samples must be clamped to [8, 10).
+  shape.Add({0, 50, 8.0, 14.0});
+  for (DayTime t : shape.SampleTimes(Windows(), &rng)) {
+    EXPECT_GE(t, 8.0);
+    EXPECT_LT(t, 10.0);
+  }
+}
+
+TEST(ActivityShapeTest, ScaledRoundsCounts) {
+  ActivityShape shape = ActivityShape::FromWindowCounts({10, 4, 1});
+  ActivityShape half = shape.Scaled(0.5);
+  EXPECT_EQ(half.CountInWindow(0), 5u);
+  EXPECT_EQ(half.CountInWindow(1), 2u);
+  // 0.5 rounds to 0 or 1 depending on llround(0.5)=1.
+  EXPECT_EQ(half.CountInWindow(2), 1u);
+}
+
+TEST(ActivityShapeTest, ScaledDropsZeroAllocations) {
+  ActivityShape shape = ActivityShape::FromWindowCounts({1, 100});
+  ActivityShape tiny = shape.Scaled(0.1);
+  EXPECT_EQ(tiny.CountInWindow(0), 0u);
+  EXPECT_EQ(tiny.CountInWindow(1), 10u);
+  EXPECT_EQ(tiny.allocations().size(), 1u);
+}
+
+TEST(ActivityShapeTest, ScaleUpMultiplies) {
+  ActivityShape shape = ActivityShape::FromWindowCounts({3, 5});
+  ActivityShape doubled = shape.Scaled(2.0);
+  EXPECT_EQ(doubled.TotalCount(), 16u);
+}
+
+TEST(ActivityShapeTest, SamplingIsDeterministicPerSeed) {
+  ActivityShape shape = ActivityShape::FromWindowCounts({20});
+  Rng a(42);
+  Rng b(42);
+  EXPECT_EQ(shape.SampleTimes(Windows(), &a),
+            shape.SampleTimes(Windows(), &b));
+}
+
+}  // namespace
+}  // namespace nidc

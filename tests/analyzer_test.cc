@@ -1,0 +1,96 @@
+#include "nidc/text/analyzer.h"
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+TEST(AnalyzerTest, CountsTermFrequencies) {
+  Vocabulary vocab;
+  Analyzer analyzer(&vocab);
+  SparseVector v = analyzer.Analyze("bomb bomb explosion");
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v.ValueAt(vocab.Lookup("bomb")), 2.0);
+  EXPECT_DOUBLE_EQ(v.ValueAt(vocab.Lookup("explos")), 1.0);  // stemmed
+}
+
+TEST(AnalyzerTest, RemovesStopwords) {
+  Vocabulary vocab;
+  Analyzer analyzer(&vocab);
+  SparseVector v = analyzer.Analyze("the president and the senate");
+  EXPECT_EQ(vocab.Lookup("the"), kInvalidTermId);
+  EXPECT_EQ(vocab.Lookup("and"), kInvalidTermId);
+  EXPECT_EQ(v.Sum(), 2.0);  // president + senate (senat)
+}
+
+TEST(AnalyzerTest, StemmingMergesInflections) {
+  Vocabulary vocab;
+  Analyzer analyzer(&vocab);
+  SparseVector v = analyzer.Analyze("elections election elected");
+  // "elections"/"election" -> "elect"...; at minimum all three share a stem.
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v.entries()[0].value, 3.0);
+}
+
+TEST(AnalyzerTest, StemmingCanBeDisabled) {
+  Vocabulary vocab;
+  AnalyzerOptions opts;
+  opts.use_stemming = false;
+  Analyzer analyzer(&vocab, opts);
+  SparseVector v = analyzer.Analyze("elections election");
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(AnalyzerTest, StopwordsCanBeDisabled) {
+  Vocabulary vocab;
+  AnalyzerOptions opts;
+  opts.use_stopwords = false;
+  Analyzer analyzer(&vocab, opts);
+  analyzer.Analyze("the and of");
+  EXPECT_NE(vocab.Lookup("the"), kInvalidTermId);
+}
+
+TEST(AnalyzerTest, SharedVocabularyAcrossDocuments) {
+  Vocabulary vocab;
+  Analyzer analyzer(&vocab);
+  SparseVector a = analyzer.Analyze("iraq weapons inspection");
+  SparseVector b = analyzer.Analyze("iraq sanctions");
+  const TermId iraq = vocab.Lookup("iraq");
+  ASSERT_NE(iraq, kInvalidTermId);
+  EXPECT_DOUBLE_EQ(a.ValueAt(iraq), 1.0);
+  EXPECT_DOUBLE_EQ(b.ValueAt(iraq), 1.0);
+}
+
+TEST(AnalyzerTest, FrozenAnalysisSkipsUnknownTerms) {
+  Vocabulary vocab;
+  Analyzer analyzer(&vocab);
+  analyzer.Analyze("known word");
+  const size_t before = vocab.size();
+  SparseVector v = analyzer.AnalyzeFrozen("known brandnewterm");
+  EXPECT_EQ(vocab.size(), before);
+  EXPECT_EQ(v.Sum(), 1.0);
+}
+
+TEST(AnalyzerTest, EmptyTextYieldsEmptyVector) {
+  Vocabulary vocab;
+  Analyzer analyzer(&vocab);
+  EXPECT_TRUE(analyzer.Analyze("").empty());
+  EXPECT_TRUE(analyzer.Analyze("the of and").empty());  // all stopwords
+}
+
+TEST(AnalyzerTest, RealisticNewsLead) {
+  Vocabulary vocab;
+  Analyzer analyzer(&vocab);
+  SparseVector v = analyzer.Analyze(
+      "BAGHDAD, Iraq (CNN) -- U.N. weapons inspectors left Iraq on Wednesday "
+      "after Iraqi officials refused to allow inspections of presidential "
+      "sites, officials said.");
+  const TermId iraq = vocab.Lookup("iraq");
+  ASSERT_NE(iraq, kInvalidTermId);
+  // "Iraq" appears twice plus "Iraqi" stems to "iraqi" (distinct stem).
+  EXPECT_GE(v.ValueAt(iraq), 2.0);
+  EXPECT_GT(v.Sum(), 10.0);
+}
+
+}  // namespace
+}  // namespace nidc

@@ -1,0 +1,85 @@
+#include "nidc/core/cluster_set.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+class ClusterSetTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_.AddText("iraq weapons inspection", 0.0);
+    corpus_.AddText("iraq sanctions embargo", 0.0);
+    corpus_.AddText("olympics skating medal", 0.0);
+    corpus_.AddText("olympics hockey nagano", 0.0);
+    ForgettingParams p;
+    model_ = std::make_unique<ForgettingModel>(&corpus_, p);
+    model_->AddDocuments({0, 1, 2, 3});
+    ctx_ = std::make_unique<SimilarityContext>(*model_);
+  }
+
+  Corpus corpus_;
+  std::unique_ptr<ForgettingModel> model_;
+  std::unique_ptr<SimilarityContext> ctx_;
+};
+
+TEST_F(ClusterSetTest, StartsEmpty) {
+  ClusterSet set(3);
+  EXPECT_EQ(set.num_clusters(), 3u);
+  EXPECT_EQ(set.TotalAssigned(), 0u);
+  EXPECT_EQ(set.ClusterOf(0), kUnassigned);
+  EXPECT_DOUBLE_EQ(set.G(), 0.0);
+}
+
+TEST_F(ClusterSetTest, AssignMovesDocument) {
+  ClusterSet set(2);
+  set.Assign(0, 0, *ctx_);
+  EXPECT_EQ(set.ClusterOf(0), 0);
+  EXPECT_EQ(set.cluster(0).size(), 1u);
+  set.Assign(0, 1, *ctx_);
+  EXPECT_EQ(set.ClusterOf(0), 1);
+  EXPECT_EQ(set.cluster(0).size(), 0u);
+  EXPECT_EQ(set.cluster(1).size(), 1u);
+  EXPECT_EQ(set.TotalAssigned(), 1u);
+}
+
+TEST_F(ClusterSetTest, AssignToSameClusterIsNoop) {
+  ClusterSet set(2);
+  set.Assign(0, 0, *ctx_);
+  set.Assign(0, 0, *ctx_);
+  EXPECT_EQ(set.cluster(0).size(), 1u);
+}
+
+TEST_F(ClusterSetTest, UnassignDetaches) {
+  ClusterSet set(2);
+  set.Assign(0, 0, *ctx_);
+  set.Assign(0, kUnassigned, *ctx_);
+  EXPECT_EQ(set.ClusterOf(0), kUnassigned);
+  EXPECT_EQ(set.TotalAssigned(), 0u);
+  EXPECT_TRUE(set.cluster(0).empty());
+}
+
+TEST_F(ClusterSetTest, GSumsSizeWeightedAvgSim) {
+  ClusterSet set(2);
+  set.Assign(0, 0, *ctx_);
+  set.Assign(1, 0, *ctx_);
+  set.Assign(2, 1, *ctx_);
+  set.Assign(3, 1, *ctx_);
+  const double expected = 2.0 * ctx_->Sim(0, 1) + 2.0 * ctx_->Sim(2, 3);
+  EXPECT_NEAR(set.G(), expected, 1e-12);
+}
+
+TEST_F(ClusterSetTest, RefreshAllPreservesG) {
+  ClusterSet set(2);
+  set.Assign(0, 0, *ctx_);
+  set.Assign(1, 0, *ctx_);
+  set.Assign(2, 1, *ctx_);
+  const double g = set.G();
+  set.RefreshAll(*ctx_);
+  EXPECT_NEAR(set.G(), g, 1e-12);
+}
+
+}  // namespace
+}  // namespace nidc

@@ -1,0 +1,116 @@
+#include "nidc/eval/cluster_topic_matching.h"
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+class MatchingTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    // 10 documents: topic 1 x5, topic 2 x3, unlabeled x2.
+    for (int i = 0; i < 5; ++i) docs_.push_back(corpus_.AddText("t1 doc", 0.0, 1));
+    for (int i = 0; i < 3; ++i) docs_.push_back(corpus_.AddText("t2 doc", 0.0, 2));
+    for (int i = 0; i < 2; ++i) docs_.push_back(corpus_.AddText("no topic", 0.0));
+  }
+  Corpus corpus_;
+  std::vector<DocId> docs_;
+};
+
+TEST_F(MatchingTest, PureClusterIsMarked) {
+  // Cluster of 4 topic-1 docs: precision 1.0, recall 4/5.
+  std::vector<std::vector<DocId>> clusters = {{0, 1, 2, 3}};
+  auto marked = MarkClusters(corpus_, clusters, docs_, {});
+  ASSERT_EQ(marked.size(), 1u);
+  EXPECT_TRUE(marked[0].marked());
+  EXPECT_EQ(marked[0].topic, 1);
+  EXPECT_DOUBLE_EQ(marked[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(marked[0].recall, 0.8);
+  EXPECT_EQ(marked[0].table.a, 4u);
+  EXPECT_EQ(marked[0].table.b, 0u);
+  EXPECT_EQ(marked[0].table.c, 1u);
+  EXPECT_EQ(marked[0].table.d, 5u);
+}
+
+TEST_F(MatchingTest, MixedClusterAboveThresholdMarked) {
+  // 3 of topic 1 + 2 of topic 2: precision 0.6 == threshold -> marked.
+  std::vector<std::vector<DocId>> clusters = {{0, 1, 2, 5, 6}};
+  auto marked = MarkClusters(corpus_, clusters, docs_, {});
+  ASSERT_EQ(marked.size(), 1u);
+  EXPECT_TRUE(marked[0].marked());
+  EXPECT_EQ(marked[0].topic, 1);
+  EXPECT_DOUBLE_EQ(marked[0].precision, 0.6);
+}
+
+TEST_F(MatchingTest, BelowThresholdUnmarked) {
+  // 2+2 split: best precision 0.5 < 0.6.
+  std::vector<std::vector<DocId>> clusters = {{0, 1, 5, 6}};
+  auto marked = MarkClusters(corpus_, clusters, docs_, {});
+  ASSERT_EQ(marked.size(), 1u);
+  EXPECT_FALSE(marked[0].marked());
+  EXPECT_EQ(marked[0].topic, kNoTopic);
+  EXPECT_EQ(marked[0].cluster_size, 4u);
+}
+
+TEST_F(MatchingTest, ThresholdIsConfigurable) {
+  std::vector<std::vector<DocId>> clusters = {{0, 1, 5, 6}};
+  MatchingOptions opts;
+  opts.precision_threshold = 0.5;
+  auto marked = MarkClusters(corpus_, clusters, docs_, opts);
+  EXPECT_TRUE(marked[0].marked());
+}
+
+TEST_F(MatchingTest, UnlabeledDocsCountAgainstPrecision) {
+  // 3 topic-1 docs + 2 unlabeled: precision 0.6 -> marked.
+  std::vector<std::vector<DocId>> clusters = {{0, 1, 2, 8, 9}};
+  auto marked = MarkClusters(corpus_, clusters, docs_, {});
+  EXPECT_TRUE(marked[0].marked());
+  EXPECT_DOUBLE_EQ(marked[0].precision, 0.6);
+  EXPECT_EQ(marked[0].table.b, 2u);
+}
+
+TEST_F(MatchingTest, AllUnlabeledClusterUnmarked) {
+  std::vector<std::vector<DocId>> clusters = {{8, 9}};
+  auto marked = MarkClusters(corpus_, clusters, docs_, {});
+  EXPECT_FALSE(marked[0].marked());
+}
+
+TEST_F(MatchingTest, EmptyClustersSkippedByDefault) {
+  std::vector<std::vector<DocId>> clusters = {{}, {0, 1, 2, 3}, {}};
+  auto marked = MarkClusters(corpus_, clusters, docs_, {});
+  ASSERT_EQ(marked.size(), 1u);
+  EXPECT_EQ(marked[0].cluster_index, 1u);
+}
+
+TEST_F(MatchingTest, EmptyClustersKeptWhenRequested) {
+  std::vector<std::vector<DocId>> clusters = {{}, {0, 1, 2, 3}};
+  MatchingOptions opts;
+  opts.skip_empty_clusters = false;
+  auto marked = MarkClusters(corpus_, clusters, docs_, opts);
+  ASSERT_EQ(marked.size(), 2u);
+  EXPECT_FALSE(marked[0].marked());
+}
+
+TEST_F(MatchingTest, TwoClustersSameTopicBothMarked) {
+  // The paper observes large topics split across clusters; both halves get
+  // marked with the same topic.
+  std::vector<std::vector<DocId>> clusters = {{0, 1}, {2, 3, 4}};
+  auto marked = MarkClusters(corpus_, clusters, docs_, {});
+  ASSERT_EQ(marked.size(), 2u);
+  EXPECT_EQ(marked[0].topic, 1);
+  EXPECT_EQ(marked[1].topic, 1);
+  EXPECT_DOUBLE_EQ(marked[0].recall, 0.4);
+  EXPECT_DOUBLE_EQ(marked[1].recall, 0.6);
+}
+
+TEST_F(MatchingTest, RecallScopedToEvaluatedDocs) {
+  // Evaluate only a subset: topic sizes shrink accordingly.
+  std::vector<DocId> subset = {0, 1, 5};
+  std::vector<std::vector<DocId>> clusters = {{0, 1}};
+  auto marked = MarkClusters(corpus_, clusters, subset, {});
+  ASSERT_TRUE(marked[0].marked());
+  EXPECT_DOUBLE_EQ(marked[0].recall, 1.0);  // both topic-1 docs in subset
+}
+
+}  // namespace
+}  // namespace nidc

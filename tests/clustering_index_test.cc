@@ -1,0 +1,81 @@
+#include "nidc/core/clustering_index.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+TEST(RelativeGChangeTest, PositiveGrowth) {
+  EXPECT_NEAR(RelativeGChange(10.0, 11.0), 0.1, 1e-12);
+}
+
+TEST(RelativeGChangeTest, Decrease) {
+  EXPECT_NEAR(RelativeGChange(10.0, 9.0), -0.1, 1e-12);
+}
+
+TEST(RelativeGChangeTest, ZeroOldZeroNewIsConverged) {
+  EXPECT_DOUBLE_EQ(RelativeGChange(0.0, 0.0), 0.0);
+}
+
+TEST(RelativeGChangeTest, ZeroOldPositiveNewIsInfinite) {
+  EXPECT_TRUE(std::isinf(RelativeGChange(0.0, 5.0)));
+}
+
+class GNaiveTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_.AddText("one shared word apple", 0.0);
+    corpus_.AddText("two shared word apple", 0.0);
+    corpus_.AddText("three other thing banana", 0.0);
+    corpus_.AddText("four other thing banana", 0.0);
+    corpus_.AddText("five lonely unique cherry", 0.0);
+    ForgettingParams p;
+    model_ = std::make_unique<ForgettingModel>(&corpus_, p);
+    model_->AddDocuments({0, 1, 2, 3, 4});
+    ctx_ = std::make_unique<SimilarityContext>(*model_);
+  }
+  Corpus corpus_;
+  std::unique_ptr<ForgettingModel> model_;
+  std::unique_ptr<SimilarityContext> ctx_;
+};
+
+TEST_F(GNaiveTest, FastGEqualsNaiveG) {
+  ClusterSet set(3);
+  set.Assign(0, 0, *ctx_);
+  set.Assign(1, 0, *ctx_);
+  set.Assign(2, 1, *ctx_);
+  set.Assign(3, 1, *ctx_);
+  set.Assign(4, 2, *ctx_);
+  EXPECT_NEAR(ClusteringIndexG(set), ClusteringIndexGNaive(set, *ctx_),
+              1e-10);
+  EXPECT_GT(ClusteringIndexG(set), 0.0);
+}
+
+TEST_F(GNaiveTest, SingletonsContributeZero) {
+  ClusterSet set(5);
+  for (DocId d = 0; d < 5; ++d) {
+    set.Assign(d, static_cast<int>(d), *ctx_);
+  }
+  EXPECT_DOUBLE_EQ(ClusteringIndexG(set), 0.0);
+  EXPECT_DOUBLE_EQ(ClusteringIndexGNaive(set, *ctx_), 0.0);
+}
+
+TEST_F(GNaiveTest, CoherentClusteringBeatsIncoherent) {
+  ClusterSet good(2);
+  good.Assign(0, 0, *ctx_);
+  good.Assign(1, 0, *ctx_);
+  good.Assign(2, 1, *ctx_);
+  good.Assign(3, 1, *ctx_);
+  ClusterSet bad(2);
+  bad.Assign(0, 0, *ctx_);
+  bad.Assign(2, 0, *ctx_);
+  bad.Assign(1, 1, *ctx_);
+  bad.Assign(3, 1, *ctx_);
+  EXPECT_GT(ClusteringIndexG(good), ClusteringIndexG(bad));
+}
+
+}  // namespace
+}  // namespace nidc

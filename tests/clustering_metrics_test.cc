@@ -1,0 +1,96 @@
+#include "nidc/eval/clustering_metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+class MetricsTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    // 4 docs of topic 1, 4 docs of topic 2, 2 unlabeled.
+    for (int i = 0; i < 4; ++i) corpus_.AddText("t1", 0.0, 1);
+    for (int i = 0; i < 4; ++i) corpus_.AddText("t2", 0.0, 2);
+    for (int i = 0; i < 2; ++i) corpus_.AddText("none", 0.0);
+  }
+  Corpus corpus_;
+};
+
+TEST_F(MetricsTest, PerfectClusteringScoresOne) {
+  auto m = ComputeClusteringMetrics(corpus_, {{0, 1, 2, 3}, {4, 5, 6, 7}});
+  EXPECT_DOUBLE_EQ(m.purity, 1.0);
+  EXPECT_NEAR(m.nmi, 1.0, 1e-12);
+  EXPECT_NEAR(m.adjusted_rand, 1.0, 1e-12);
+  EXPECT_EQ(m.num_docs, 8u);
+  EXPECT_EQ(m.num_clusters, 2u);
+  EXPECT_EQ(m.num_topics, 2u);
+}
+
+TEST_F(MetricsTest, SingleClusterHasZeroNmiAndAri) {
+  auto m = ComputeClusteringMetrics(corpus_,
+                                    {{0, 1, 2, 3, 4, 5, 6, 7}});
+  EXPECT_DOUBLE_EQ(m.purity, 0.5);
+  EXPECT_NEAR(m.nmi, 0.0, 1e-12);       // H(C) = 0 → MI = 0
+  EXPECT_NEAR(m.adjusted_rand, 0.0, 1e-12);
+}
+
+TEST_F(MetricsTest, MaximallyMixedScoresNearZeroAri) {
+  // Two clusters each 2+2 of both topics: agreement is exactly chance.
+  auto m = ComputeClusteringMetrics(corpus_, {{0, 1, 4, 5}, {2, 3, 6, 7}});
+  EXPECT_DOUBLE_EQ(m.purity, 0.5);
+  // ARI at (or slightly below) chance level; exact value here is −1/6.
+  EXPECT_LT(m.adjusted_rand, 0.05);
+  EXPECT_GT(m.adjusted_rand, -0.3);
+  EXPECT_NEAR(m.nmi, 0.0, 1e-12);
+}
+
+TEST_F(MetricsTest, PartialMixingIsBetween) {
+  auto m = ComputeClusteringMetrics(corpus_, {{0, 1, 2, 4}, {3, 5, 6, 7}});
+  EXPECT_DOUBLE_EQ(m.purity, 0.75);
+  EXPECT_GT(m.nmi, 0.0);
+  EXPECT_LT(m.nmi, 1.0);
+  EXPECT_GT(m.adjusted_rand, 0.0);
+  EXPECT_LT(m.adjusted_rand, 1.0);
+}
+
+TEST_F(MetricsTest, UnlabeledDocsIgnored) {
+  auto with = ComputeClusteringMetrics(corpus_,
+                                       {{0, 1, 2, 3, 8}, {4, 5, 6, 7, 9}});
+  auto without = ComputeClusteringMetrics(corpus_,
+                                          {{0, 1, 2, 3}, {4, 5, 6, 7}});
+  EXPECT_DOUBLE_EQ(with.purity, without.purity);
+  EXPECT_DOUBLE_EQ(with.nmi, without.nmi);
+  EXPECT_EQ(with.num_docs, 8u);
+}
+
+TEST_F(MetricsTest, SplitTopicLowersAriNotPurity) {
+  // Topic 1 split across two pure clusters: purity stays 1, ARI drops.
+  auto m = ComputeClusteringMetrics(corpus_, {{0, 1}, {2, 3}, {4, 5, 6, 7}});
+  EXPECT_DOUBLE_EQ(m.purity, 1.0);
+  EXPECT_LT(m.adjusted_rand, 1.0);
+  EXPECT_GT(m.adjusted_rand, 0.3);
+}
+
+TEST_F(MetricsTest, EmptyInputsAreSafe) {
+  auto none = ComputeClusteringMetrics(corpus_, {});
+  EXPECT_EQ(none.num_docs, 0u);
+  EXPECT_DOUBLE_EQ(none.purity, 0.0);
+  auto only_unlabeled = ComputeClusteringMetrics(corpus_, {{8, 9}});
+  EXPECT_EQ(only_unlabeled.num_docs, 0u);
+  EXPECT_DOUBLE_EQ(only_unlabeled.nmi, 0.0);
+}
+
+TEST_F(MetricsTest, SingletonsClusteringNmiIsPositiveButAriZeroish) {
+  auto m = ComputeClusteringMetrics(
+      corpus_, {{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}});
+  EXPECT_DOUBLE_EQ(m.purity, 1.0);  // trivially pure
+  // ARI corrects for that: all-singletons has no pair agreements.
+  EXPECT_NEAR(m.adjusted_rand, 0.0, 1e-9);
+  EXPECT_GT(m.nmi, 0.0);
+  EXPECT_LT(m.nmi, 1.0);
+}
+
+}  // namespace
+}  // namespace nidc

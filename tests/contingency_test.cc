@@ -1,0 +1,48 @@
+#include "nidc/eval/contingency.h"
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+TEST(ContingencyTest, PrecisionRecallF1Basics) {
+  Contingency t{6, 2, 3, 10};
+  EXPECT_NEAR(t.Precision(), 6.0 / 8.0, 1e-12);
+  EXPECT_NEAR(t.Recall(), 6.0 / 9.0, 1e-12);
+  // F1 = 2a/(2a+b+c) = 12/17.
+  EXPECT_NEAR(t.F1(), 12.0 / 17.0, 1e-12);
+}
+
+TEST(ContingencyTest, F1IsHarmonicMean) {
+  Contingency t{4, 4, 1, 0};
+  const double p = t.Precision();
+  const double r = t.Recall();
+  EXPECT_NEAR(t.F1(), 2.0 * p * r / (p + r), 1e-12);
+}
+
+TEST(ContingencyTest, EmptyCellsYieldZeroNotNan) {
+  Contingency t{};
+  EXPECT_DOUBLE_EQ(t.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(t.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(t.F1(), 0.0);
+}
+
+TEST(ContingencyTest, PerfectCluster) {
+  Contingency t{5, 0, 0, 20};
+  EXPECT_DOUBLE_EQ(t.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(t.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(t.F1(), 1.0);
+}
+
+TEST(ContingencyTest, MergeSumsCells) {
+  Contingency a{1, 2, 3, 4};
+  Contingency b{10, 20, 30, 40};
+  a += b;
+  EXPECT_EQ(a.a, 11u);
+  EXPECT_EQ(a.b, 22u);
+  EXPECT_EQ(a.c, 33u);
+  EXPECT_EQ(a.d, 44u);
+}
+
+}  // namespace
+}  // namespace nidc

@@ -1,0 +1,115 @@
+#include "nidc/corpus/corpus_io.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+TEST(CorpusIoTest, FormatAndParseRoundTrip) {
+  RawDocument doc;
+  doc.time = 12.25;
+  doc.topic = 20074;
+  doc.source = "APW";
+  doc.text = "protests erupted in lagos";
+  Result<RawDocument> parsed = ParseRawDocument(FormatRawDocument(doc));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->time, 12.25);
+  EXPECT_EQ(parsed->topic, 20074);
+  EXPECT_EQ(parsed->source, "APW");
+  EXPECT_EQ(parsed->text, "protests erupted in lagos");
+}
+
+TEST(CorpusIoTest, FormatSanitizesTabsAndNewlines) {
+  RawDocument doc;
+  doc.text = "line1\nline2\twith tab";
+  const std::string line = FormatRawDocument(doc);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  // Exactly the three field-separating tabs survive.
+  EXPECT_EQ(std::count(line.begin(), line.end(), '\t'), 3);
+}
+
+TEST(CorpusIoTest, ParseRejectsWrongFieldCount) {
+  EXPECT_EQ(ParseRawDocument("only\tthree\tfields").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRawDocument("").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CorpusIoTest, ParseRejectsBadNumbers) {
+  EXPECT_EQ(ParseRawDocument("notanumber\t1\tsrc\ttext").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CorpusIoTest, SaveAndLoadRoundTrip) {
+  const std::string path = testing::TempDir() + "/nidc_corpus_io_test.tsv";
+  std::vector<RawDocument> docs;
+  for (int i = 0; i < 5; ++i) {
+    RawDocument d;
+    d.time = i * 1.5;
+    d.topic = 100 + i;
+    d.source = "CNN";
+    d.text = "document number " + std::to_string(i);
+    docs.push_back(d);
+  }
+  ASSERT_TRUE(SaveRawDocuments(path, docs).ok());
+
+  Result<std::vector<RawDocument>> loaded = LoadRawDocuments(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ((*loaded)[i].time, i * 1.5);
+    EXPECT_EQ((*loaded)[i].topic, 100 + i);
+    EXPECT_EQ((*loaded)[i].text, docs[i].text);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, LoadCorpusAnalyzesText) {
+  const std::string path = testing::TempDir() + "/nidc_corpus_load_test.tsv";
+  RawDocument d;
+  d.time = 1.0;
+  d.topic = 42;
+  d.source = "VOA";
+  d.text = "nuclear tests in india";
+  ASSERT_TRUE(SaveRawDocuments(path, {d}).ok());
+
+  Result<std::unique_ptr<Corpus>> corpus = LoadCorpus(path);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ((*corpus)->size(), 1u);
+  EXPECT_NE((*corpus)->vocabulary().Lookup("nuclear"), kInvalidTermId);
+  EXPECT_EQ((*corpus)->doc(0).topic, 42);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, LoadMissingFileFails) {
+  EXPECT_EQ(LoadRawDocuments("/definitely/not/here.tsv").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(CorpusIoTest, LoadReportsLineNumberOnError) {
+  const std::string path = testing::TempDir() + "/nidc_corpus_bad_test.tsv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("# header comment\n1.0\t5\tsrc\tok text\ngarbage line\n", f);
+  fclose(f);
+  Result<std::vector<RawDocument>> loaded = LoadRawDocuments(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find(":3"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, CommentsAndBlankLinesSkipped) {
+  const std::string path = testing::TempDir() + "/nidc_corpus_cmt_test.tsv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("# comment\n\n2.0\t7\tABC\tsome text\n", f);
+  fclose(f);
+  Result<std::vector<RawDocument>> loaded = LoadRawDocuments(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nidc

@@ -1,0 +1,91 @@
+#include "nidc/corpus/corpus.h"
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+TEST(CorpusTest, AddAssignsSequentialIds) {
+  Corpus c;
+  EXPECT_EQ(c.AddText("first doc", 0.0), 0u);
+  EXPECT_EQ(c.AddText("second doc", 1.0), 1u);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(CorpusTest, AddTextAnalyzesAgainstSharedVocabulary) {
+  Corpus c;
+  const DocId a = c.AddText("iraq conflict weapons", 0.0);
+  const DocId b = c.AddText("iraq sanctions", 0.5);
+  const TermId iraq = c.vocabulary().Lookup("iraq");
+  ASSERT_NE(iraq, kInvalidTermId);
+  EXPECT_DOUBLE_EQ(c.doc(a).terms.ValueAt(iraq), 1.0);
+  EXPECT_DOUBLE_EQ(c.doc(b).terms.ValueAt(iraq), 1.0);
+}
+
+TEST(CorpusTest, DocCarriesMetadata) {
+  Corpus c;
+  const DocId id = c.AddText("text body", 3.5, 20001, "CNN");
+  const Document& doc = c.doc(id);
+  EXPECT_DOUBLE_EQ(doc.time, 3.5);
+  EXPECT_EQ(doc.topic, 20001);
+  EXPECT_EQ(doc.source, "CNN");
+}
+
+TEST(CorpusTest, LengthIsTermCountSum) {
+  Corpus c;
+  const DocId id = c.AddText("bomb bomb explosion", 0.0);
+  EXPECT_DOUBLE_EQ(c.doc(id).Length(), 3.0);
+}
+
+TEST(CorpusTest, IsChronologicalDetectsOrder) {
+  Corpus c;
+  c.AddText("one", 0.0);
+  c.AddText("two", 1.0);
+  c.AddText("three", 1.0);  // ties allowed
+  EXPECT_TRUE(c.IsChronological());
+  c.AddText("rewind", 0.5);
+  EXPECT_FALSE(c.IsChronological());
+}
+
+TEST(CorpusTest, DocsInRangeHalfOpen) {
+  Corpus c;
+  c.AddText("a", 0.0);
+  c.AddText("b", 1.0);
+  c.AddText("c", 2.0);
+  EXPECT_EQ(c.DocsInRange(0.0, 2.0), (std::vector<DocId>{0, 1}));
+  EXPECT_EQ(c.DocsInRange(1.0, 1.5), (std::vector<DocId>{1}));
+  EXPECT_TRUE(c.DocsInRange(5.0, 6.0).empty());
+}
+
+TEST(CorpusTest, TopicCountsSkipUnlabeled) {
+  Corpus c;
+  c.AddText("a", 0.0, 7);
+  c.AddText("b", 0.0, 7);
+  c.AddText("c", 0.0, 9);
+  c.AddText("d", 0.0);  // unlabeled
+  auto counts = c.TopicCounts();
+  EXPECT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[7], 2u);
+  EXPECT_EQ(counts[9], 1u);
+  EXPECT_EQ(c.Topics(), (std::vector<TopicId>{7, 9}));
+}
+
+TEST(CorpusTest, MinMaxTime) {
+  Corpus c;
+  EXPECT_DOUBLE_EQ(c.MinTime(), 0.0);
+  c.AddText("a", 2.0);
+  c.AddText("b", 5.0);
+  c.AddText("c", 1.0);
+  EXPECT_DOUBLE_EQ(c.MinTime(), 1.0);
+  EXPECT_DOUBLE_EQ(c.MaxTime(), 5.0);
+}
+
+TEST(CorpusTest, EmptyCorpus) {
+  Corpus c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_TRUE(c.Topics().empty());
+  EXPECT_TRUE(c.IsChronological());
+}
+
+}  // namespace
+}  // namespace nidc

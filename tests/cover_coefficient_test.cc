@@ -1,0 +1,120 @@
+#include "nidc/core/cover_coefficient.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+class CoverCoefficientTest : public testing::Test {
+ protected:
+  std::unique_ptr<ForgettingModel> MakeModel(Corpus* corpus,
+                                             DayTime now = 0.0) {
+    ForgettingParams params;
+    params.half_life_days = 7.0;
+    params.life_span_days = 365.0;
+    auto model = std::make_unique<ForgettingModel>(corpus, params);
+    model->AdvanceTo(now);
+    std::vector<DocId> ids;
+    for (DocId d = 0; d < corpus->size(); ++d) ids.push_back(d);
+    model->AddDocuments(ids);
+    return model;
+  }
+};
+
+TEST_F(CoverCoefficientTest, IsolatedDocumentFullyDecoupled) {
+  Corpus corpus;
+  corpus.AddText("alpha beta", 0.0);
+  corpus.AddText("gamma delta", 0.0);
+  auto model = MakeModel(&corpus);
+  const CoverCoefficients cc = ComputeCoverCoefficients(*model);
+  // No shared terms: δ = 1 for both, n_c = 2.
+  EXPECT_NEAR(cc.decoupling[0], 1.0, 1e-12);
+  EXPECT_NEAR(cc.decoupling[1], 1.0, 1e-12);
+  EXPECT_NEAR(cc.nc, 2.0, 1e-12);
+  EXPECT_EQ(cc.EstimatedClusterCount(), 2u);
+}
+
+TEST_F(CoverCoefficientTest, IdenticalDocumentsShareCoupling) {
+  Corpus corpus;
+  corpus.AddText("alpha beta", 0.0);
+  corpus.AddText("alpha beta", 0.0);
+  auto model = MakeModel(&corpus);
+  const CoverCoefficients cc = ComputeCoverCoefficients(*model);
+  // Equal weights, fully shared terms: δ = 1/2 each, n_c = 1.
+  EXPECT_NEAR(cc.decoupling[0], 0.5, 1e-12);
+  EXPECT_NEAR(cc.decoupling[1], 0.5, 1e-12);
+  EXPECT_EQ(cc.EstimatedClusterCount(), 1u);
+}
+
+TEST_F(CoverCoefficientTest, DeltaBoundedByOne) {
+  Corpus corpus;
+  corpus.AddText("alpha beta gamma alpha", 0.0);
+  corpus.AddText("beta gamma delta", 0.0);
+  corpus.AddText("delta epsilon zeta epsilon", 0.0);
+  auto model = MakeModel(&corpus);
+  const CoverCoefficients cc = ComputeCoverCoefficients(*model);
+  for (double delta : cc.decoupling) {
+    EXPECT_GT(delta, 0.0);
+    EXPECT_LE(delta, 1.0 + 1e-12);
+  }
+}
+
+TEST_F(CoverCoefficientTest, NcEstimateTracksPlantedClusterCount) {
+  // Three groups of near-duplicate docs → n_c should be close to 3.
+  Corpus corpus;
+  for (int i = 0; i < 4; ++i) corpus.AddText("alpha beta gamma", 0.0);
+  for (int i = 0; i < 4; ++i) corpus.AddText("delta epsilon zeta", 0.0);
+  for (int i = 0; i < 4; ++i) corpus.AddText("theta kappa lambda", 0.0);
+  auto model = MakeModel(&corpus);
+  const CoverCoefficients cc = ComputeCoverCoefficients(*model);
+  EXPECT_NEAR(cc.nc, 3.0, 0.25);
+}
+
+TEST_F(CoverCoefficientTest, SeedPowerPrefersCoupledMidLengthDocs) {
+  Corpus corpus;
+  corpus.AddText("alpha beta gamma delta epsilon", 0.0);  // rich, coupled
+  corpus.AddText("alpha beta", 0.0);                      // short, coupled
+  corpus.AddText("unique solitary words entirely", 0.0);  // decoupled
+  auto model = MakeModel(&corpus);
+  const CoverCoefficients cc = ComputeCoverCoefficients(*model);
+  // δ=1 ⇒ ψ=0 ⇒ zero seed power for the isolated doc.
+  EXPECT_NEAR(cc.seed_power[2], 0.0, 1e-12);
+  // The longer coupled doc outranks the shorter one.
+  EXPECT_GT(cc.seed_power[0], cc.seed_power[1]);
+}
+
+TEST_F(CoverCoefficientTest, ForgettingWeightsShiftDecoupling) {
+  // Old and new doc share terms; with decay the new doc dominates the
+  // column sums, so the new doc's δ rises toward 1 while the old doc's
+  // contribution fades.
+  Corpus corpus;
+  corpus.AddText("alpha beta gamma", 0.0);
+  corpus.AddText("alpha beta gamma", 28.0);
+  ForgettingParams params;
+  params.half_life_days = 7.0;
+  params.life_span_days = 365.0;
+  ForgettingModel model(&corpus, params);
+  model.AddDocuments({0});
+  model.AdvanceTo(28.0);
+  model.AddDocuments({1});
+  const CoverCoefficients cc = ComputeCoverCoefficients(model);
+  // dw_old = 1/16: new doc covers ~16/17 of every column.
+  EXPECT_GT(cc.decoupling[1], 0.9);
+  EXPECT_LT(cc.decoupling[0], 0.15);
+}
+
+TEST_F(CoverCoefficientTest, EmptyDocumentContributesZeroDelta) {
+  Corpus corpus;
+  corpus.AddText("the of and", 0.0);  // analyzes to nothing
+  corpus.AddText("real words here", 0.0);
+  auto model = MakeModel(&corpus);
+  const CoverCoefficients cc = ComputeCoverCoefficients(*model);
+  EXPECT_DOUBLE_EQ(cc.decoupling[0], 0.0);
+  EXPECT_DOUBLE_EQ(cc.seed_power[0], 0.0);
+}
+
+}  // namespace
+}  // namespace nidc

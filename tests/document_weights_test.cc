@@ -1,0 +1,130 @@
+#include "nidc/forgetting/document_weights.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+constexpr double kLambda = 0.9;
+
+TEST(DocumentWeightsTest, FreshDocumentHasWeightOne) {
+  DocumentWeights w(kLambda);
+  w.AdvanceTo(5.0);
+  w.Add(0, 5.0);
+  EXPECT_DOUBLE_EQ(w.Weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(w.TotalWeight(), 1.0);
+}
+
+TEST(DocumentWeightsTest, BackdatedDocumentIsPreDecayed) {
+  DocumentWeights w(kLambda);
+  w.AdvanceTo(10.0);
+  w.Add(0, 7.0);  // acquired 3 days ago
+  EXPECT_NEAR(w.Weight(0), std::pow(kLambda, 3.0), 1e-12);
+}
+
+TEST(DocumentWeightsTest, AdvanceDecaysExponentially) {
+  DocumentWeights w(kLambda);
+  w.Add(0, 0.0);
+  w.AdvanceTo(1.0);
+  EXPECT_NEAR(w.Weight(0), kLambda, 1e-12);
+  w.AdvanceTo(3.0);
+  EXPECT_NEAR(w.Weight(0), std::pow(kLambda, 3.0), 1e-12);
+}
+
+TEST(DocumentWeightsTest, IncrementalDecayMatchesDirectFormula) {
+  // Eq. 27: many small advances == one big advance.
+  DocumentWeights incremental(kLambda);
+  incremental.Add(0, 0.0);
+  for (int day = 1; day <= 20; ++day) {
+    incremental.AdvanceTo(static_cast<double>(day));
+  }
+  EXPECT_NEAR(incremental.Weight(0), std::pow(kLambda, 20.0), 1e-12);
+}
+
+TEST(DocumentWeightsTest, TdwFollowsEq28) {
+  DocumentWeights w(kLambda);
+  w.Add(0, 0.0);
+  w.Add(1, 0.0);
+  const double tdw0 = w.TotalWeight();
+  EXPECT_DOUBLE_EQ(tdw0, 2.0);
+  w.AdvanceTo(2.0);
+  w.Add(2, 2.0);
+  w.Add(3, 2.0);
+  w.Add(4, 2.0);
+  // Eq. 28: tdw' = λ^Δτ · tdw + m'.
+  EXPECT_NEAR(w.TotalWeight(), std::pow(kLambda, 2.0) * tdw0 + 3.0, 1e-12);
+}
+
+TEST(DocumentWeightsTest, TdwMatchesSumOfWeights) {
+  DocumentWeights w(kLambda);
+  for (int i = 0; i < 10; ++i) {
+    w.AdvanceTo(static_cast<double>(i));
+    w.Add(static_cast<DocId>(i), static_cast<double>(i));
+  }
+  double sum = 0.0;
+  for (DocId id : w.active_docs()) sum += w.Weight(id);
+  EXPECT_NEAR(w.TotalWeight(), sum, 1e-9);
+}
+
+TEST(DocumentWeightsTest, RemoveSubtractsWeight) {
+  DocumentWeights w(kLambda);
+  w.Add(0, 0.0);
+  w.Add(1, 0.0);
+  w.AdvanceTo(1.0);
+  const double w0 = w.Weight(0);
+  w.Remove(0);
+  EXPECT_FALSE(w.Contains(0));
+  EXPECT_DOUBLE_EQ(w.Weight(0), 0.0);
+  EXPECT_NEAR(w.TotalWeight(), w.Weight(1), 1e-12);
+  EXPECT_GT(w0, 0.0);
+  EXPECT_EQ(w.active_docs(), (std::vector<DocId>{1}));
+}
+
+TEST(DocumentWeightsTest, RemoveBelowExpiresOldDocs) {
+  DocumentWeights w(kLambda);
+  w.Add(0, 0.0);
+  w.AdvanceTo(10.0);
+  w.Add(1, 10.0);
+  // After 10 days at λ=0.9, weight ≈ 0.35; expire below 0.5.
+  const auto removed = w.RemoveBelow(0.5);
+  EXPECT_EQ(removed, (std::vector<DocId>{0}));
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_TRUE(w.Contains(1));
+  EXPECT_NEAR(w.TotalWeight(), 1.0, 1e-12);
+}
+
+TEST(DocumentWeightsTest, RemoveBelowKeepsOrder) {
+  DocumentWeights w(kLambda);
+  w.Add(0, 0.0);
+  w.AdvanceTo(5.0);
+  w.Add(1, 5.0);
+  w.AdvanceTo(20.0);
+  w.Add(2, 20.0);
+  const auto removed = w.RemoveBelow(0.3);  // drops 0 (w≈0.12) and 1 (w≈0.2)
+  EXPECT_EQ(removed, (std::vector<DocId>{0, 1}));
+  EXPECT_EQ(w.active_docs(), (std::vector<DocId>{2}));
+}
+
+TEST(DocumentWeightsTest, ResetClearsEverything) {
+  DocumentWeights w(kLambda);
+  w.Add(0, 0.0);
+  w.AdvanceTo(3.0);
+  w.Reset(7.0);
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_DOUBLE_EQ(w.TotalWeight(), 0.0);
+  EXPECT_DOUBLE_EQ(w.now(), 7.0);
+  w.Add(0, 7.0);
+  EXPECT_DOUBLE_EQ(w.Weight(0), 1.0);
+}
+
+TEST(DocumentWeightsTest, AdvanceToSameTimeIsNoop) {
+  DocumentWeights w(kLambda);
+  w.Add(0, 0.0);
+  w.AdvanceTo(0.0);
+  EXPECT_DOUBLE_EQ(w.Weight(0), 1.0);
+}
+
+}  // namespace
+}  // namespace nidc

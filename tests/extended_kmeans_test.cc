@@ -1,0 +1,255 @@
+#include "nidc/core/extended_kmeans.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+// Three well-separated synthetic topics, several docs each.
+class ExtendedKMeansTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    const char* iraq[] = {"iraq weapons inspection baghdad",
+                          "iraq sanctions embargo baghdad",
+                          "iraq inspectors weapons crisis",
+                          "baghdad standoff weapons inspection"};
+    const char* games[] = {"olympics skating medal nagano",
+                           "olympics hockey nagano final",
+                           "skating gold nagano games",
+                           "olympics medal ceremony games"};
+    const char* court[] = {"tobacco settlement senate lawsuit",
+                           "tobacco lawsuit billions settlement",
+                           "senate vote tobacco bill",
+                           "settlement lawsuit vote senate"};
+    DayTime t = 0.0;
+    for (const char* s : iraq) corpus_.AddText(s, t += 0.1, 1);
+    for (const char* s : games) corpus_.AddText(s, t += 0.1, 2);
+    for (const char* s : court) corpus_.AddText(s, t += 0.1, 3);
+    ForgettingParams p;
+    p.half_life_days = 7.0;
+    p.life_span_days = 365.0;
+    model_ = std::make_unique<ForgettingModel>(&corpus_, p);
+    model_->AdvanceTo(2.0);
+    std::vector<DocId> ids(12);
+    for (DocId d = 0; d < 12; ++d) ids[d] = d;
+    model_->AddDocuments(ids);
+    ctx_ = std::make_unique<SimilarityContext>(*model_);
+    docs_ = ids;
+  }
+
+  // Returns the set of ground-truth topics represented in each non-empty
+  // cluster.
+  std::vector<std::set<TopicId>> TopicsPerCluster(
+      const ClusteringResult& result) {
+    std::vector<std::set<TopicId>> out;
+    for (const auto& members : result.clusters) {
+      if (members.empty()) continue;
+      std::set<TopicId> topics;
+      for (DocId d : members) topics.insert(corpus_.doc(d).topic);
+      out.push_back(std::move(topics));
+    }
+    return out;
+  }
+
+  Corpus corpus_;
+  std::unique_ptr<ForgettingModel> model_;
+  std::unique_ptr<SimilarityContext> ctx_;
+  std::vector<DocId> docs_;
+};
+
+TEST_F(ExtendedKMeansTest, RecoversPlantedTopics) {
+  ExtendedKMeansOptions opts;
+  opts.k = 3;
+  opts.seed = 5;
+  Result<ClusteringResult> result = RunExtendedKMeans(*ctx_, docs_, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Every document lands somewhere (no outliers in this easy instance);
+  // every non-empty cluster is topic-pure.
+  EXPECT_EQ(result->TotalAssigned() + result->outliers.size(), 12u);
+  for (const auto& topics : TopicsPerCluster(*result)) {
+    EXPECT_EQ(topics.size(), 1u);
+  }
+}
+
+TEST_F(ExtendedKMeansTest, ResultIsDeterministicForFixedSeed) {
+  ExtendedKMeansOptions opts;
+  opts.k = 3;
+  opts.seed = 17;
+  auto a = RunExtendedKMeans(*ctx_, docs_, opts);
+  auto b = RunExtendedKMeans(*ctx_, docs_, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->clusters, b->clusters);
+  EXPECT_EQ(a->outliers, b->outliers);
+  EXPECT_DOUBLE_EQ(a->g, b->g);
+}
+
+TEST_F(ExtendedKMeansTest, ConvergesWithinIterationCap) {
+  ExtendedKMeansOptions opts;
+  opts.k = 3;
+  opts.max_iterations = 50;
+  auto result = RunExtendedKMeans(*ctx_, docs_, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_LT(result->iterations, 50);
+  EXPECT_EQ(result->g_history.size(),
+            static_cast<size_t>(result->iterations) + 1);
+}
+
+TEST_F(ExtendedKMeansTest, GIsPositiveAfterConvergence) {
+  ExtendedKMeansOptions opts;
+  opts.k = 3;
+  auto result = RunExtendedKMeans(*ctx_, docs_, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->g, 0.0);
+  EXPECT_DOUBLE_EQ(result->g, result->g_history.back());
+}
+
+TEST_F(ExtendedKMeansTest, KLargerThanNIsClamped) {
+  ExtendedKMeansOptions opts;
+  opts.k = 100;
+  auto result = RunExtendedKMeans(*ctx_, docs_, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clusters.size(), 12u);
+}
+
+TEST_F(ExtendedKMeansTest, KOneGroupsEverythingOrOutliers) {
+  ExtendedKMeansOptions opts;
+  opts.k = 1;
+  auto result = RunExtendedKMeans(*ctx_, docs_, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clusters.size(), 1u);
+  EXPECT_EQ(result->clusters[0].size() + result->outliers.size(), 12u);
+}
+
+TEST_F(ExtendedKMeansTest, RejectsEmptyInput) {
+  ExtendedKMeansOptions opts;
+  EXPECT_EQ(RunExtendedKMeans(*ctx_, {}, opts).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExtendedKMeansTest, RejectsUnknownDocument) {
+  ExtendedKMeansOptions opts;
+  EXPECT_EQ(RunExtendedKMeans(*ctx_, {999}, opts).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExtendedKMeansTest, RejectsBadOptions) {
+  ExtendedKMeansOptions opts;
+  opts.k = 0;
+  EXPECT_FALSE(RunExtendedKMeans(*ctx_, docs_, opts).ok());
+  opts.k = 3;
+  opts.max_iterations = 0;
+  EXPECT_FALSE(RunExtendedKMeans(*ctx_, docs_, opts).ok());
+  opts.max_iterations = 10;
+  opts.delta = -1.0;
+  EXPECT_FALSE(RunExtendedKMeans(*ctx_, docs_, opts).ok());
+}
+
+TEST_F(ExtendedKMeansTest, DisjointDocumentBecomesOutlier) {
+  // Add a document sharing no vocabulary with anything else.
+  corpus_.AddText("xylophone quixotic zephyr", 2.0, 9);
+  model_->AddDocuments({12});
+  SimilarityContext ctx(*model_);
+  std::vector<DocId> docs = docs_;
+  docs.push_back(12);
+  ExtendedKMeansOptions opts;
+  opts.k = 3;
+  opts.seed = 11;
+  auto result = RunExtendedKMeans(ctx, docs, opts);
+  ASSERT_TRUE(result.ok());
+  // The disjoint doc can never increase any cluster's avg_sim unless it
+  // seeds a cluster itself.
+  const int cluster = result->ClusterOf(12);
+  const bool outlier = std::find(result->outliers.begin(),
+                                 result->outliers.end(),
+                                 12) != result->outliers.end();
+  if (!outlier) {
+    ASSERT_GE(cluster, 0);
+    EXPECT_EQ(result->clusters[static_cast<size_t>(cluster)].size(), 1u);
+  } else {
+    EXPECT_EQ(cluster, kUnassigned);
+  }
+}
+
+TEST_F(ExtendedKMeansTest, MembershipSeedingReproducesStructure) {
+  ExtendedKMeansOptions opts;
+  opts.k = 3;
+  opts.seed = 5;
+  auto first = RunExtendedKMeans(*ctx_, docs_, opts);
+  ASSERT_TRUE(first.ok());
+
+  KMeansSeeds seeds;
+  seeds.mode = SeedMode::kMembership;
+  seeds.memberships = first->clusters;
+  auto second = RunExtendedKMeans(*ctx_, docs_, opts, seeds);
+  ASSERT_TRUE(second.ok());
+  // Seeded from a converged state, one sweep suffices.
+  EXPECT_EQ(second->iterations, 1);
+  EXPECT_TRUE(second->converged);
+  EXPECT_NEAR(second->g, first->g, 1e-9);
+}
+
+TEST_F(ExtendedKMeansTest, RepresentativeSeedingWorks) {
+  ExtendedKMeansOptions opts;
+  opts.k = 3;
+  opts.seed = 5;
+  auto first = RunExtendedKMeans(*ctx_, docs_, opts);
+  ASSERT_TRUE(first.ok());
+
+  KMeansSeeds seeds;
+  seeds.mode = SeedMode::kRepresentatives;
+  seeds.representatives = first->representatives;
+  auto second = RunExtendedKMeans(*ctx_, docs_, opts, seeds);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->converged);
+  EXPECT_GT(second->g, 0.0);
+}
+
+TEST_F(ExtendedKMeansTest, MembershipSeedWithTooManyClustersRejected) {
+  KMeansSeeds seeds;
+  seeds.mode = SeedMode::kMembership;
+  seeds.memberships.assign(10, {});
+  ExtendedKMeansOptions opts;
+  opts.k = 3;
+  EXPECT_EQ(RunExtendedKMeans(*ctx_, docs_, opts, seeds).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExtendedKMeansTest, ShuffledSweepStillRecoversTopics) {
+  ExtendedKMeansOptions opts;
+  opts.k = 3;
+  opts.seed = 23;
+  opts.shuffle_each_iteration = true;
+  auto result = RunExtendedKMeans(*ctx_, docs_, opts);
+  ASSERT_TRUE(result.ok());
+  for (const auto& topics : TopicsPerCluster(*result)) {
+    EXPECT_EQ(topics.size(), 1u);
+  }
+}
+
+// δ sweep: looser δ converges at least as fast (in iterations).
+class DeltaSweepTest : public ExtendedKMeansTest,
+                       public testing::WithParamInterface<double> {};
+
+TEST_P(DeltaSweepTest, ConvergesForAllDeltas) {
+  ExtendedKMeansOptions opts;
+  opts.k = 3;
+  opts.delta = GetParam();
+  opts.max_iterations = 100;
+  auto result = RunExtendedKMeans(*ctx_, docs_, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+}
+
+// δ = 0 is excluded: the paper's strict "< δ" criterion would then require
+// G to decrease, so a fixed point (ΔG = 0) would never terminate.
+INSTANTIATE_TEST_SUITE_P(Deltas, DeltaSweepTest,
+                         testing::Values(1e-12, 1e-6, 1e-3, 0.05, 0.5));
+
+}  // namespace
+}  // namespace nidc

@@ -1,0 +1,74 @@
+#include "nidc/eval/f1_measures.h"
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+MarkedCluster Marked(size_t idx, TopicId topic, Contingency table) {
+  MarkedCluster mc;
+  mc.cluster_index = idx;
+  mc.cluster_size = table.a + table.b;
+  mc.topic = topic;
+  mc.table = table;
+  mc.precision = table.Precision();
+  mc.recall = table.Recall();
+  return mc;
+}
+
+MarkedCluster Unmarked(size_t idx, size_t size) {
+  MarkedCluster mc;
+  mc.cluster_index = idx;
+  mc.cluster_size = size;
+  return mc;
+}
+
+TEST(GlobalF1Test, SingleClusterMicroEqualsMacro) {
+  auto g = ComputeGlobalF1({Marked(0, 1, {8, 2, 2, 0})});
+  EXPECT_NEAR(g.micro_f1, 0.8, 1e-12);
+  EXPECT_NEAR(g.macro_f1, 0.8, 1e-12);
+  EXPECT_EQ(g.num_marked, 1u);
+}
+
+TEST(GlobalF1Test, MicroMergesTables) {
+  // Cluster A: a=1,b=1,c=0 (F1=2/3); cluster B: a=9,b=0,c=1 (F1=18/19).
+  auto g = ComputeGlobalF1(
+      {Marked(0, 1, {1, 1, 0, 0}), Marked(1, 2, {9, 0, 1, 0})});
+  // Merged: a=10,b=1,c=1 -> F1 = 20/22.
+  EXPECT_NEAR(g.micro_f1, 20.0 / 22.0, 1e-12);
+  // Macro: mean of 2/3 and 18/19.
+  EXPECT_NEAR(g.macro_f1, (2.0 / 3.0 + 18.0 / 19.0) / 2.0, 1e-12);
+  // Micro weighting favors the big cluster: micro > macro here.
+  EXPECT_GT(g.micro_f1, g.macro_f1);
+}
+
+TEST(GlobalF1Test, UnmarkedClustersExcluded) {
+  auto g = ComputeGlobalF1(
+      {Marked(0, 1, {5, 0, 0, 0}), Unmarked(1, 7), Unmarked(2, 3)});
+  EXPECT_NEAR(g.micro_f1, 1.0, 1e-12);
+  EXPECT_NEAR(g.macro_f1, 1.0, 1e-12);
+  EXPECT_EQ(g.num_marked, 1u);
+  EXPECT_EQ(g.num_evaluated, 3u);
+}
+
+TEST(GlobalF1Test, NoMarkedClustersGiveZero) {
+  auto g = ComputeGlobalF1({Unmarked(0, 4), Unmarked(1, 2)});
+  EXPECT_DOUBLE_EQ(g.micro_f1, 0.0);
+  EXPECT_DOUBLE_EQ(g.macro_f1, 0.0);
+  EXPECT_EQ(g.num_marked, 0u);
+}
+
+TEST(GlobalF1Test, EmptyInput) {
+  auto g = ComputeGlobalF1({});
+  EXPECT_DOUBLE_EQ(g.micro_f1, 0.0);
+  EXPECT_EQ(g.num_evaluated, 0u);
+}
+
+TEST(GlobalF1Test, MicroPrecisionRecallReported) {
+  auto g = ComputeGlobalF1({Marked(0, 1, {6, 2, 3, 0})});
+  EXPECT_NEAR(g.micro_precision, 0.75, 1e-12);
+  EXPECT_NEAR(g.micro_recall, 6.0 / 9.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace nidc

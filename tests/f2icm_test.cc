@@ -1,0 +1,130 @@
+#include "nidc/baselines/f2icm.h"
+
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+class F2IcmTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    const char* iraq[] = {"iraq weapons inspection baghdad",
+                          "iraq sanctions baghdad embargo",
+                          "iraq inspectors weapons crisis"};
+    const char* games[] = {"olympics skating medal nagano",
+                           "olympics hockey nagano final",
+                           "skating gold nagano games"};
+    DayTime t = 0.0;
+    for (const char* s : iraq) corpus_.AddText(s, t += 0.1, 1);
+    for (const char* s : games) corpus_.AddText(s, t += 0.1, 2);
+    ForgettingParams params;
+    params.half_life_days = 7.0;
+    params.life_span_days = 365.0;
+    model_ = std::make_unique<ForgettingModel>(&corpus_, params);
+    model_->AdvanceTo(1.0);
+    model_->AddDocuments({0, 1, 2, 3, 4, 5});
+    ctx_ = std::make_unique<SimilarityContext>(*model_);
+  }
+
+  Corpus corpus_;
+  std::unique_ptr<ForgettingModel> model_;
+  std::unique_ptr<SimilarityContext> ctx_;
+};
+
+TEST_F(F2IcmTest, SeparatesPlantedTopics) {
+  F2IcmOptions opts;
+  opts.num_seeds = 2;
+  auto result = RunF2Icm(*model_, *ctx_, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->clusters.size(), 2u);
+  for (const auto& members : result->clusters) {
+    std::set<TopicId> topics;
+    for (DocId d : members) topics.insert(corpus_.doc(d).topic);
+    EXPECT_EQ(topics.size(), 1u);
+  }
+  EXPECT_TRUE(result->outliers.empty());
+}
+
+TEST_F(F2IcmTest, SeedsLeadTheirClusters) {
+  F2IcmOptions opts;
+  opts.num_seeds = 2;
+  auto result = RunF2Icm(*model_, *ctx_, opts);
+  ASSERT_TRUE(result.ok());
+  for (size_t s = 0; s < result->seeds.size(); ++s) {
+    ASSERT_FALSE(result->clusters[s].empty());
+    EXPECT_EQ(result->clusters[s].front(), result->seeds[s]);
+  }
+}
+
+TEST_F(F2IcmTest, EstimatedSeedCountIsReasonable) {
+  auto result = RunF2Icm(*model_, *ctx_, {});
+  ASSERT_TRUE(result.ok());
+  // Two planted topics with heavy intra-overlap: n_c lands near 2-3.
+  EXPECT_GE(result->seeds.size(), 2u);
+  EXPECT_LE(result->seeds.size(), 4u);
+  EXPECT_GT(result->nc_estimate, 1.0);
+}
+
+TEST_F(F2IcmTest, AllDocumentsAccountedFor) {
+  auto result = RunF2Icm(*model_, *ctx_, {});
+  ASSERT_TRUE(result.ok());
+  size_t total = result->outliers.size();
+  for (const auto& members : result->clusters) total += members.size();
+  EXPECT_EQ(total, 6u);
+}
+
+TEST_F(F2IcmTest, DisjointDocBecomesOutlierOrSeed) {
+  corpus_.AddText("xylophone quixotic zephyr", 1.0, 9);
+  model_->AddDocuments({6});
+  SimilarityContext ctx(*model_);
+  F2IcmOptions opts;
+  opts.num_seeds = 2;
+  auto result = RunF2Icm(*model_, ctx, opts);
+  ASSERT_TRUE(result.ok());
+  // δ=1 ⇒ seed power 0 ⇒ never a seed; similarity 0 to both seeds ⇒
+  // outlier.
+  EXPECT_EQ(result->outliers, (std::vector<DocId>{6}));
+}
+
+TEST_F(F2IcmTest, MaxSeedsCapsEstimate) {
+  F2IcmOptions opts;
+  opts.max_seeds = 1;
+  auto result = RunF2Icm(*model_, *ctx_, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->seeds.size(), 1u);
+}
+
+TEST_F(F2IcmTest, RejectsEmptyModel) {
+  Corpus empty;
+  ForgettingParams params;
+  ForgettingModel model(&empty, params);
+  SimilarityContext ctx(model);
+  EXPECT_FALSE(RunF2Icm(model, ctx, {}).ok());
+}
+
+TEST_F(F2IcmTest, NoveltyBiasInSeedSelection) {
+  // Two identical-content groups, one fresh, one four half-lives old: the
+  // fresh group's documents carry the seed power.
+  Corpus corpus;
+  for (int i = 0; i < 3; ++i) corpus.AddText("alpha beta gamma", 0.0, 1);
+  for (int i = 0; i < 3; ++i) corpus.AddText("alpha beta gamma", 28.0, 2);
+  ForgettingParams params;
+  params.half_life_days = 7.0;
+  params.life_span_days = 365.0;
+  ForgettingModel model(&corpus, params);
+  model.AddDocuments({0, 1, 2});
+  model.AdvanceTo(28.0);
+  model.AddDocuments({3, 4, 5});
+  SimilarityContext ctx(model);
+  F2IcmOptions opts;
+  opts.num_seeds = 1;
+  auto result = RunF2Icm(model, ctx, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->seeds[0], 3u);  // a fresh document seeds the cluster
+}
+
+}  // namespace
+}  // namespace nidc

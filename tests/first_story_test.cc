@@ -1,0 +1,115 @@
+#include "nidc/core/first_story.h"
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+class FirstStoryTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    // Note: under the paper's idf (1/√Pr(t_k)), the unique terms of
+    // decayed documents get enormous idf and dominate their ψ direction,
+    // so follow-up stories need substantial vocabulary overlap to score
+    // as similar — the texts below overlap heavily on purpose.
+    corpus_.AddText("earthquake shakes city rescue teams", 0.0, 1);
+    corpus_.AddText("rescue teams search earthquake rubble", 0.5, 1);
+    corpus_.AddText("soccer final fans celebrate victory", 1.0, 2);
+    corpus_.AddText("earthquake rescue teams search rubble city", 1.5, 1);
+    corpus_.AddText("election campaign candidates debate", 20.0, 3);
+    corpus_.AddText("earthquake shakes city rescue teams", 40.0, 1);
+  }
+
+  ForgettingParams Params(double gamma = 10.0) {
+    ForgettingParams p;
+    p.half_life_days = 7.0;
+    p.life_span_days = gamma;
+    return p;
+  }
+
+  Corpus corpus_;
+};
+
+TEST_F(FirstStoryTest, VeryFirstDocumentIsNovel) {
+  FirstStoryDetector detector(&corpus_, Params());
+  auto verdicts = detector.Observe({0}, 0.0);
+  ASSERT_TRUE(verdicts.ok());
+  ASSERT_EQ(verdicts->size(), 1u);
+  EXPECT_TRUE((*verdicts)[0].is_first_story);
+  EXPECT_DOUBLE_EQ((*verdicts)[0].max_similarity, 0.0);
+}
+
+TEST_F(FirstStoryTest, FollowUpStoryIsNotNovel) {
+  FirstStoryDetector detector(&corpus_, Params());
+  ASSERT_TRUE(detector.Observe({0}, 0.0).ok());
+  auto verdicts = detector.Observe({1}, 0.5);
+  ASSERT_TRUE(verdicts.ok());
+  EXPECT_FALSE((*verdicts)[0].is_first_story);
+  EXPECT_GT((*verdicts)[0].max_similarity, 0.25);
+  EXPECT_EQ((*verdicts)[0].nearest, 0u);
+}
+
+TEST_F(FirstStoryTest, NewTopicFires) {
+  FirstStoryDetector detector(&corpus_, Params());
+  ASSERT_TRUE(detector.Observe({0, 1}, 0.5).ok());
+  auto verdicts = detector.Observe({2}, 1.0);  // soccer: brand new
+  ASSERT_TRUE(verdicts.ok());
+  EXPECT_TRUE((*verdicts)[0].is_first_story);
+}
+
+TEST_F(FirstStoryTest, WithinBatchOrderingCounts) {
+  // Docs 0 and 1 arrive together: 0 is novel, 1 matches 0.
+  FirstStoryDetector detector(&corpus_, Params());
+  auto verdicts = detector.Observe({0, 1}, 0.5);
+  ASSERT_TRUE(verdicts.ok());
+  EXPECT_TRUE((*verdicts)[0].is_first_story);
+  EXPECT_FALSE((*verdicts)[1].is_first_story);
+}
+
+TEST_F(FirstStoryTest, ExpiredTopicReFires) {
+  // The earthquake topic expires (γ=10) long before day 40; its
+  // resurgence is a first story again — the forgetting-based behaviour.
+  FirstStoryDetector detector(&corpus_, Params(10.0));
+  ASSERT_TRUE(detector.Observe({0, 1}, 0.5).ok());
+  ASSERT_TRUE(detector.Observe({3}, 1.5).ok());
+  auto verdict = detector.Observe({5}, 40.0);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE((*verdict)[0].is_first_story);
+  EXPECT_EQ(detector.model().num_active(), 1u);  // everything else expired
+}
+
+TEST_F(FirstStoryTest, LongLifeSpanSuppressesReFire) {
+  FirstStoryDetector detector(&corpus_, Params(365.0));
+  ASSERT_TRUE(detector.Observe({0, 1}, 0.5).ok());
+  ASSERT_TRUE(detector.Observe({3}, 1.5).ok());
+  auto verdict = detector.Observe({5}, 40.0);
+  ASSERT_TRUE(verdict.ok());
+  // The old earthquake docs are still active: no first story.
+  EXPECT_FALSE((*verdict)[0].is_first_story);
+}
+
+TEST_F(FirstStoryTest, CountsAccumulate) {
+  FirstStoryDetector detector(&corpus_, Params());
+  ASSERT_TRUE(detector.Observe({0, 1, 2, 3}, 1.5).ok());
+  // earthquake (novel), follow-up, soccer (novel), follow-up.
+  EXPECT_EQ(detector.num_first_stories(), 2u);
+}
+
+TEST_F(FirstStoryTest, RejectsTimeTravel) {
+  FirstStoryDetector detector(&corpus_, Params());
+  ASSERT_TRUE(detector.Observe({4}, 20.0).ok());
+  EXPECT_FALSE(detector.Observe({0}, 1.0).ok());
+}
+
+TEST_F(FirstStoryTest, ThresholdIsRespected) {
+  FirstStoryOptions opts;
+  opts.novelty_threshold = 1.01;  // everything is novel
+  FirstStoryDetector detector(&corpus_, Params(), opts);
+  auto verdicts = detector.Observe({0, 1}, 0.5);
+  ASSERT_TRUE(verdicts.ok());
+  EXPECT_TRUE((*verdicts)[0].is_first_story);
+  EXPECT_TRUE((*verdicts)[1].is_first_story);
+}
+
+}  // namespace
+}  // namespace nidc

@@ -1,0 +1,63 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nidc/forgetting/forgetting_model.h"
+
+namespace nidc {
+namespace {
+
+TEST(ForgettingParamsTest, LambdaFromHalfLife) {
+  ForgettingParams p;
+  p.half_life_days = 7.0;
+  // λ^β = 1/2 by construction (Eq. 2).
+  EXPECT_NEAR(std::pow(p.Lambda(), 7.0), 0.5, 1e-12);
+}
+
+TEST(ForgettingParamsTest, PaperParameterValues) {
+  // Experiment 1: β = 7 days, γ = 14 days "correspond to λ = 0.9 and
+  // ε = 0.25" (the paper rounds λ).
+  ForgettingParams p;
+  p.half_life_days = 7.0;
+  p.life_span_days = 14.0;
+  EXPECT_NEAR(p.Lambda(), 0.9057, 5e-4);
+  EXPECT_NEAR(p.Epsilon(), 0.25, 1e-12);  // 2^(-14/7) exactly
+}
+
+TEST(ForgettingParamsTest, ThirtyDayHalfLife) {
+  // Experiment 2's β = 30 "corresponds to λ = 0.98".
+  ForgettingParams p;
+  p.half_life_days = 30.0;
+  EXPECT_NEAR(p.Lambda(), 0.9772, 5e-4);
+}
+
+TEST(ForgettingParamsTest, LambdaInOpenUnitInterval) {
+  for (double beta : {0.5, 1.0, 7.0, 30.0, 365.0}) {
+    ForgettingParams p;
+    p.half_life_days = beta;
+    EXPECT_GT(p.Lambda(), 0.0) << beta;
+    EXPECT_LT(p.Lambda(), 1.0) << beta;
+  }
+}
+
+TEST(ForgettingParamsTest, EpsilonIsPowerLaw) {
+  ForgettingParams p;
+  p.half_life_days = 10.0;
+  p.life_span_days = 30.0;
+  // ε = 2^(-γ/β) = 2^-3.
+  EXPECT_NEAR(p.Epsilon(), 0.125, 1e-12);
+}
+
+TEST(ForgettingParamsTest, ValidationRejectsNonPositive) {
+  ForgettingParams p;
+  p.half_life_days = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p.half_life_days = 7.0;
+  p.life_span_days = -1.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p.life_span_days = 14.0;
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+}  // namespace
+}  // namespace nidc

@@ -1,0 +1,109 @@
+#include "nidc/baselines/group_average_clustering.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+class GacTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    const char* fruit[] = {"apple banana orchard fruit",
+                           "banana apple harvest fruit",
+                           "orchard apple banana ripe",
+                           "fruit harvest ripe apple"};
+    const char* finance[] = {"stock market shares trading",
+                             "market shares broker trading",
+                             "stock broker market rally",
+                             "shares rally trading stock"};
+    DayTime t = 0.0;
+    for (const char* s : fruit) corpus_.AddText(s, t += 0.1, 1);
+    for (const char* s : finance) corpus_.AddText(s, t += 0.1, 2);
+    docs_ = {0, 1, 2, 3, 4, 5, 6, 7};
+  }
+  Corpus corpus_;
+  std::vector<DocId> docs_;
+};
+
+TEST_F(GacTest, MergesDownToTarget) {
+  TfIdfModel model(corpus_, docs_);
+  GacOptions opts;
+  opts.target_clusters = 2;
+  auto result = RunGroupAverageClustering(model, docs_, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clusters.size(), 2u);
+  EXPECT_GE(result->passes, 1);
+}
+
+TEST_F(GacTest, ClustersAreTopicPure) {
+  TfIdfModel model(corpus_, docs_);
+  GacOptions opts;
+  opts.target_clusters = 2;
+  auto result = RunGroupAverageClustering(model, docs_, opts);
+  ASSERT_TRUE(result.ok());
+  for (const auto& members : result->clusters) {
+    std::set<TopicId> topics;
+    for (DocId d : members) topics.insert(corpus_.doc(d).topic);
+    EXPECT_EQ(topics.size(), 1u);
+  }
+}
+
+TEST_F(GacTest, AllDocsSurviveClustering) {
+  TfIdfModel model(corpus_, docs_);
+  GacOptions opts;
+  opts.target_clusters = 3;
+  auto result = RunGroupAverageClustering(model, docs_, opts);
+  ASSERT_TRUE(result.ok());
+  std::set<DocId> seen;
+  for (const auto& c : result->clusters) {
+    for (DocId d : c) seen.insert(d);
+  }
+  EXPECT_EQ(seen.size(), docs_.size());
+}
+
+TEST_F(GacTest, TargetLargerThanNLeavesSingletons) {
+  TfIdfModel model(corpus_, docs_);
+  GacOptions opts;
+  opts.target_clusters = 100;
+  auto result = RunGroupAverageClustering(model, docs_, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clusters.size(), docs_.size());
+}
+
+TEST_F(GacTest, SmallBucketsStillReachTarget) {
+  TfIdfModel model(corpus_, docs_);
+  GacOptions opts;
+  opts.target_clusters = 2;
+  opts.bucket_size = 3;
+  auto result = RunGroupAverageClustering(model, docs_, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clusters.size(), 2u);
+}
+
+TEST_F(GacTest, QualityGateCanBlockMerges) {
+  TfIdfModel model(corpus_, docs_);
+  GacOptions opts;
+  opts.target_clusters = 1;
+  opts.min_merge_similarity = 1e9;  // nothing is ever similar enough
+  auto result = RunGroupAverageClustering(model, docs_, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clusters.size(), docs_.size());
+}
+
+TEST_F(GacTest, RejectsBadOptions) {
+  TfIdfModel model(corpus_, docs_);
+  GacOptions opts;
+  opts.target_clusters = 0;
+  EXPECT_FALSE(RunGroupAverageClustering(model, docs_, opts).ok());
+  opts.target_clusters = 2;
+  opts.bucket_size = 1;
+  EXPECT_FALSE(RunGroupAverageClustering(model, docs_, opts).ok());
+  opts.bucket_size = 10;
+  opts.reduction_factor = 1.5;
+  EXPECT_FALSE(RunGroupAverageClustering(model, docs_, opts).ok());
+}
+
+}  // namespace
+}  // namespace nidc

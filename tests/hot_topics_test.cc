@@ -1,0 +1,106 @@
+#include "nidc/core/hot_topics.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "nidc/core/incremental_clusterer.h"
+
+namespace nidc {
+namespace {
+
+class HotTopicsTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    // Old topic (day 0) and fresh topic (day 10), two docs each.
+    corpus_.AddText("earthquake rescue teams city", 0.0, 1);
+    corpus_.AddText("earthquake rubble rescue search", 0.2, 1);
+    corpus_.AddText("election campaign candidates debate", 10.0, 2);
+    corpus_.AddText("election candidates economy debate", 10.2, 2);
+
+    ForgettingParams params;
+    params.half_life_days = 7.0;
+    params.life_span_days = 60.0;
+    IncrementalOptions options;
+    options.kmeans.k = 2;
+    options.kmeans.seed = 1;
+    clusterer_ = std::make_unique<IncrementalClusterer>(&corpus_, params,
+                                                        options);
+    auto step1 = clusterer_->Step({0, 1}, 0.2);
+    ASSERT_TRUE(step1.ok());
+    auto step2 = clusterer_->Step({2, 3}, 10.2);
+    ASSERT_TRUE(step2.ok());
+    result_ = step2->clustering;
+  }
+
+  Corpus corpus_;
+  std::unique_ptr<IncrementalClusterer> clusterer_;
+  ClusteringResult result_;
+};
+
+TEST_F(HotTopicsTest, FreshClusterRanksFirst) {
+  auto digest = RankHotTopics(clusterer_->model(), result_, {});
+  ASSERT_EQ(digest.size(), 2u);
+  EXPECT_GT(digest[0].mass, digest[1].mass);
+  EXPECT_GT(digest[0].newest_doc_time, 9.0);  // the election cluster
+  EXPECT_LT(digest[1].newest_doc_time, 1.0);  // the earthquake cluster
+}
+
+TEST_F(HotTopicsTest, MassesSumToAtMostOne) {
+  auto digest = RankHotTopics(clusterer_->model(), result_, {});
+  double total = 0.0;
+  for (const auto& topic : digest) total += topic.mass;
+  EXPECT_LE(total, 1.0 + 1e-9);
+  EXPECT_GT(total, 0.9);  // no outliers here, so nearly everything
+}
+
+TEST_F(HotTopicsTest, TopTermsComeFromCluster) {
+  auto digest = RankHotTopics(clusterer_->model(), result_, {});
+  ASSERT_FALSE(digest[0].top_terms.empty());
+  // The hottest cluster's terms are election-flavored.
+  bool found = false;
+  for (const auto& term : digest[0].top_terms) {
+    if (term == "elect" || term == "candid" || term == "debat") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(HotTopicsTest, MaxTopicsTruncates) {
+  HotTopicOptions opts;
+  opts.max_topics = 1;
+  auto digest = RankHotTopics(clusterer_->model(), result_, opts);
+  EXPECT_EQ(digest.size(), 1u);
+}
+
+TEST_F(HotTopicsTest, MinMassFilters) {
+  HotTopicOptions opts;
+  opts.min_mass = 0.5;
+  auto digest = RankHotTopics(clusterer_->model(), result_, opts);
+  // Only the fresh cluster holds >= 50% of the probability mass.
+  ASSERT_EQ(digest.size(), 1u);
+  EXPECT_GT(digest[0].newest_doc_time, 9.0);
+}
+
+TEST_F(HotTopicsTest, MinSizeFilters) {
+  HotTopicOptions opts;
+  opts.min_size = 3;
+  auto digest = RankHotTopics(clusterer_->model(), result_, opts);
+  EXPECT_TRUE(digest.empty());  // both clusters have 2 docs
+}
+
+TEST_F(HotTopicsTest, RenderProducesOneLinePerTopic) {
+  auto digest = RankHotTopics(clusterer_->model(), result_, {});
+  const std::string text = RenderHotTopics(digest);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'),
+            static_cast<long>(digest.size()));
+  EXPECT_NE(text.find("1. (mass"), std::string::npos);
+}
+
+TEST_F(HotTopicsTest, EmptyResultGivesEmptyDigest) {
+  ClusteringResult empty;
+  EXPECT_TRUE(RankHotTopics(clusterer_->model(), empty, {}).empty());
+  EXPECT_EQ(RenderHotTopics({}), "");
+}
+
+}  // namespace
+}  // namespace nidc

@@ -1,0 +1,142 @@
+#include "nidc/core/incremental_clusterer.h"
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+class IncrementalClustererTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    // Day 0: iraq topic. Day 1: olympics. Day 30: tobacco (iraq expires
+    // under a short life span by then).
+    corpus_.AddText("iraq weapons inspection baghdad", 0.0, 1);
+    corpus_.AddText("iraq sanctions baghdad embargo", 0.0, 1);
+    corpus_.AddText("olympics skating nagano medal", 1.0, 2);
+    corpus_.AddText("olympics hockey nagano final", 1.0, 2);
+    corpus_.AddText("tobacco settlement senate lawsuit", 30.0, 3);
+    corpus_.AddText("tobacco lawsuit vote senate", 30.0, 3);
+  }
+
+  ForgettingParams Params(double beta = 7.0, double gamma = 14.0) {
+    ForgettingParams p;
+    p.half_life_days = beta;
+    p.life_span_days = gamma;
+    return p;
+  }
+
+  IncrementalOptions Options(size_t k = 2) {
+    IncrementalOptions o;
+    o.kmeans.k = k;
+    o.kmeans.seed = 3;
+    return o;
+  }
+
+  Corpus corpus_;
+};
+
+TEST_F(IncrementalClustererTest, FirstStepClustersFromScratch) {
+  IncrementalClusterer ic(&corpus_, Params(), Options());
+  auto result = ic.Step({0, 1, 2, 3}, 1.0);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_new, 4u);
+  EXPECT_EQ(result->num_active, 4u);
+  EXPECT_TRUE(result->expired.empty());
+  EXPECT_TRUE(ic.last_result().has_value());
+}
+
+TEST_F(IncrementalClustererTest, StepsAccumulateDocuments) {
+  IncrementalClusterer ic(&corpus_, Params(), Options());
+  ASSERT_TRUE(ic.Step({0, 1}, 0.0).ok());
+  auto second = ic.Step({2, 3}, 1.0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->num_active, 4u);
+}
+
+TEST_F(IncrementalClustererTest, OldDocumentsExpire) {
+  IncrementalClusterer ic(&corpus_, Params(7.0, 14.0), Options());
+  ASSERT_TRUE(ic.Step({0, 1, 2, 3}, 1.0).ok());
+  // 29 days later the day-0/1 docs are far below ε = 0.25.
+  auto result = ic.Step({4, 5}, 30.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->expired.size(), 4u);
+  EXPECT_EQ(result->num_active, 2u);
+  EXPECT_EQ(ic.model().num_active(), 2u);
+}
+
+TEST_F(IncrementalClustererTest, RejectsTimeTravel) {
+  IncrementalClusterer ic(&corpus_, Params(), Options());
+  ASSERT_TRUE(ic.Step({0, 1, 2, 3}, 5.0).ok());
+  EXPECT_EQ(ic.Step({4}, 2.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(IncrementalClustererTest, FailsWhenEverythingExpired) {
+  IncrementalClusterer ic(&corpus_, Params(1.0, 2.0), Options());
+  ASSERT_TRUE(ic.Step({0, 1}, 0.0).ok());
+  // 100 days of silence: both docs expire, nothing to cluster.
+  EXPECT_EQ(ic.Step({}, 100.0).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(IncrementalClustererTest, TimingsAreRecorded) {
+  IncrementalClusterer ic(&corpus_, Params(), Options());
+  auto result = ic.Step({0, 1, 2, 3}, 1.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->stats_update_seconds, 0.0);
+  EXPECT_GT(result->clustering_seconds, 0.0);
+}
+
+TEST_F(IncrementalClustererTest, MembershipReseedKeepsStableClusters) {
+  IncrementalClusterer ic(&corpus_, Params(7.0, 60.0), Options());
+  auto first = ic.Step({0, 1, 2, 3}, 1.0);
+  ASSERT_TRUE(first.ok());
+  const auto clusters_before = first->clustering.clusters;
+  // A quiet step (no new docs, tiny time passage) shouldn't upend anything.
+  auto second = ic.Step({}, 1.5);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->clustering.clusters, clusters_before);
+}
+
+TEST_F(IncrementalClustererTest, RepresentativeReseedModeRuns) {
+  IncrementalOptions opts = Options();
+  opts.reseed_mode = SeedMode::kRepresentatives;
+  IncrementalClusterer ic(&corpus_, Params(7.0, 60.0), opts);
+  ASSERT_TRUE(ic.Step({0, 1, 2, 3}, 1.0).ok());
+  auto second = ic.Step({4, 5}, 30.0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(second->clustering.TotalAssigned(), 0u);
+}
+
+TEST_F(IncrementalClustererTest, BatchClustererRebuildsEachTime) {
+  BatchClusterer bc(&corpus_, Params(7.0, 14.0), Options().kmeans);
+  auto run1 = bc.Run({0, 1, 2, 3}, 1.0);
+  ASSERT_TRUE(run1.ok());
+  EXPECT_EQ(run1->num_active, 4u);
+  // A later run over everything expires the old docs via ε.
+  auto run2 = bc.Run({0, 1, 2, 3, 4, 5}, 30.0);
+  ASSERT_TRUE(run2.ok());
+  EXPECT_EQ(run2->expired.size(), 4u);
+  EXPECT_EQ(run2->num_active, 2u);
+}
+
+TEST_F(IncrementalClustererTest, IncrementalAndBatchAgreeOnActiveSet) {
+  IncrementalClusterer ic(&corpus_, Params(7.0, 14.0), Options());
+  ASSERT_TRUE(ic.Step({0, 1}, 0.0).ok());
+  ASSERT_TRUE(ic.Step({2, 3}, 1.0).ok());
+  auto inc = ic.Step({4, 5}, 30.0);
+  ASSERT_TRUE(inc.ok());
+
+  BatchClusterer bc(&corpus_, Params(7.0, 14.0), Options().kmeans);
+  auto batch = bc.Run({0, 1, 2, 3, 4, 5}, 30.0);
+  ASSERT_TRUE(batch.ok());
+
+  EXPECT_EQ(inc->num_active, batch->num_active);
+  for (DocId id : ic.model().active_docs()) {
+    EXPECT_NEAR(ic.model().Weight(id), bc.model().Weight(id), 1e-9);
+    EXPECT_NEAR(ic.model().PrDoc(id), bc.model().PrDoc(id), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace nidc

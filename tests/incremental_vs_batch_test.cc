@@ -1,0 +1,128 @@
+// Integration: the incremental statistics path must agree with the
+// from-scratch path on a realistic generated stream (the paper's §5.1
+// efficiency claim rests on this equivalence), and seeded incremental
+// clustering must produce results of comparable quality.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "nidc/core/incremental_clusterer.h"
+#include "nidc/corpus/stream.h"
+#include "nidc/eval/f1_measures.h"
+#include "nidc/synth/tdt2_like_generator.h"
+
+namespace nidc {
+namespace {
+
+class IncrementalVsBatchTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorOptions opts;
+    opts.scale = 0.08;
+    opts.seed = 424242;
+    Tdt2LikeGenerator generator(opts);
+    auto corpus = generator.Generate();
+    ASSERT_TRUE(corpus.ok());
+    corpus_ = corpus.value().release();
+  }
+  static void TearDownTestSuite() { delete corpus_; }
+
+  static ForgettingParams Params() {
+    ForgettingParams p;
+    p.half_life_days = 7.0;
+    p.life_span_days = 14.0;
+    return p;
+  }
+
+  static Corpus* corpus_;
+};
+
+Corpus* IncrementalVsBatchTest::corpus_ = nullptr;
+
+TEST_F(IncrementalVsBatchTest, StatisticsAgreeAfterLongStream) {
+  const DayTime end = 60.0;
+  IncrementalClusterer ic(corpus_, Params(), {});
+  DocumentStream stream(corpus_, 0.0, end, 5.0);
+  while (auto batch = stream.Next()) {
+    // Steps whose active set empties are fine to skip clustering-wise; the
+    // statistics must stay consistent regardless.
+    auto step = ic.Step(batch->docs, batch->end);
+    if (!step.ok()) {
+      ASSERT_EQ(step.status().code(), StatusCode::kFailedPrecondition);
+    }
+  }
+
+  ForgettingModel scratch(corpus_, Params());
+  scratch.RebuildFromScratch(corpus_->DocsInRange(0.0, end), end);
+  scratch.ExpireDocuments();
+
+  const ForgettingModel& inc = ic.model();
+  ASSERT_EQ(inc.num_active(), scratch.num_active());
+  EXPECT_NEAR(inc.TotalWeight(), scratch.TotalWeight(),
+              1e-6 * scratch.TotalWeight());
+  for (DocId id : scratch.active_docs()) {
+    ASSERT_TRUE(inc.IsActive(id));
+    EXPECT_NEAR(inc.PrDoc(id), scratch.PrDoc(id), 1e-9);
+  }
+  // Term probabilities agree on a sample of the vocabulary.
+  for (TermId t = 0; t < corpus_->vocabulary().size(); t += 7) {
+    EXPECT_NEAR(inc.PrTerm(t), scratch.PrTerm(t), 1e-9) << t;
+  }
+}
+
+TEST_F(IncrementalVsBatchTest, SeededClusteringQualityComparable) {
+  // The paper's §6.2.2 observation: incremental and non-incremental
+  // results are "roughly close". Compare micro-F1 on the same final state.
+  const DayTime end = 30.0;
+  const std::vector<DocId> docs = corpus_->DocsInRange(0.0, end);
+
+  IncrementalOptions iopts;
+  iopts.kmeans.k = 12;
+  iopts.kmeans.seed = 5;
+  IncrementalClusterer ic(corpus_, Params(), iopts);
+  DocumentStream stream(corpus_, 0.0, end, 5.0);
+  std::optional<StepResult> last;
+  while (auto batch = stream.Next()) {
+    auto step = ic.Step(batch->docs, batch->end);
+    ASSERT_TRUE(step.ok());
+    last = std::move(step).value();
+  }
+  ASSERT_TRUE(last.has_value());
+
+  ExtendedKMeansOptions kopts = iopts.kmeans;
+  BatchClusterer bc(corpus_, Params(), kopts);
+  auto batch_run = bc.Run(docs, end);
+  ASSERT_TRUE(batch_run.ok());
+
+  const std::vector<DocId> active = ic.model().active_docs();
+  auto inc_f1 = ComputeGlobalF1(
+      MarkClusters(*corpus_, last->clustering.clusters, active, {}));
+  auto batch_f1 = ComputeGlobalF1(MarkClusters(
+      *corpus_, batch_run->clustering.clusters, active, {}));
+  // Not identical (different seeds/paths), but in the same quality regime.
+  EXPECT_GT(inc_f1.num_marked, 0u);
+  EXPECT_GT(batch_f1.num_marked, 0u);
+  EXPECT_NEAR(inc_f1.micro_f1, batch_f1.micro_f1, 0.35);
+}
+
+TEST_F(IncrementalVsBatchTest, IncrementalStatsUpdateTouchesLessWork) {
+  // The Table 1 mechanism: an incremental step's statistics update handles
+  // only the new batch, the from-scratch rebuild handles everything.
+  const DayTime end = 40.0;
+  IncrementalClusterer ic(corpus_, Params(), {});
+  DocumentStream stream(corpus_, 0.0, end, 10.0);
+  size_t max_batch = 0;
+  while (auto batch = stream.Next()) {
+    max_batch = std::max(max_batch, batch->docs.size());
+    auto step = ic.Step(batch->docs, batch->end);
+    if (step.ok()) {
+      EXPECT_EQ(step->num_new, batch->docs.size());
+    }
+  }
+  const size_t all = corpus_->DocsInRange(0.0, end).size();
+  EXPECT_LT(max_batch, all);
+}
+
+}  // namespace
+}  // namespace nidc

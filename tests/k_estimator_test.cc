@@ -1,0 +1,124 @@
+#include "nidc/core/k_estimator.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "nidc/synth/tdt2_like_generator.h"
+
+namespace nidc {
+namespace {
+
+// A corpus with `groups` well-separated topics, `per_group` docs each.
+std::unique_ptr<Corpus> PlantedCorpus(size_t groups, size_t per_group) {
+  auto corpus = std::make_unique<Corpus>();
+  const char* vocab[][3] = {
+      {"alpha", "beta", "gamma"},    {"delta", "epsilon", "zeta"},
+      {"theta", "kappa", "lambda"},  {"sigma", "omega", "phi"},
+      {"nubira", "kestrel", "vorn"}, {"tandem", "oculus", "brine"},
+  };
+  for (size_t g = 0; g < groups; ++g) {
+    for (size_t i = 0; i < per_group; ++i) {
+      std::string text;
+      for (int r = 0; r < 3; ++r) {
+        for (int w = 0; w < 3; ++w) {
+          text += vocab[g][w];
+          text += ' ';
+        }
+      }
+      corpus->AddText(text, 0.0, static_cast<TopicId>(g + 1));
+    }
+  }
+  return corpus;
+}
+
+std::unique_ptr<ForgettingModel> MakeModel(const Corpus* corpus) {
+  ForgettingParams params;
+  params.half_life_days = 7.0;
+  params.life_span_days = 365.0;
+  auto model = std::make_unique<ForgettingModel>(corpus, params);
+  std::vector<DocId> ids;
+  for (DocId d = 0; d < corpus->size(); ++d) ids.push_back(d);
+  model->AddDocuments(ids);
+  return model;
+}
+
+TEST(KEstimatorTest, CoverCoefficientFindsPlantedCount) {
+  for (size_t groups : {2u, 4u, 6u}) {
+    auto corpus = PlantedCorpus(groups, 5);
+    auto model = MakeModel(corpus.get());
+    const size_t k = EstimateKByCoverCoefficient(*model);
+    EXPECT_GE(k, groups - 1) << groups;
+    EXPECT_LE(k, groups + 1) << groups;
+  }
+}
+
+TEST(KEstimatorTest, GKneeFindsPlantedCountOrder) {
+  auto corpus = PlantedCorpus(4, 6);
+  auto model = MakeModel(corpus.get());
+  SimilarityContext ctx(*model);
+  GKneeOptions opts;
+  opts.grid = {2, 4, 8, 12};
+  opts.kmeans.seed = 3;
+  auto estimate = EstimateKByGKnee(ctx, model->active_docs(), opts);
+  ASSERT_TRUE(estimate.ok()) << estimate.status().ToString();
+  EXPECT_EQ(estimate->curve.size(), 4u);
+  // The knee should land on the planted count (4), not the extremes.
+  EXPECT_GE(estimate->k, 2u);
+  EXPECT_LE(estimate->k, 8u);
+}
+
+TEST(KEstimatorTest, GCurveIsReported) {
+  auto corpus = PlantedCorpus(3, 4);
+  auto model = MakeModel(corpus.get());
+  SimilarityContext ctx(*model);
+  GKneeOptions opts;
+  opts.grid = {2, 3, 6};
+  auto estimate = EstimateKByGKnee(ctx, model->active_docs(), opts);
+  ASSERT_TRUE(estimate.ok());
+  ASSERT_EQ(estimate->curve.size(), 3u);
+  EXPECT_EQ(estimate->curve[0].first, 2u);
+  EXPECT_EQ(estimate->curve[2].first, 6u);
+  for (const auto& [k, g] : estimate->curve) EXPECT_GE(g, 0.0);
+}
+
+TEST(KEstimatorTest, DefaultGridIsGeometric) {
+  auto corpus = PlantedCorpus(2, 10);  // 20 docs
+  auto model = MakeModel(corpus.get());
+  SimilarityContext ctx(*model);
+  auto estimate = EstimateKByGKnee(ctx, model->active_docs(), {});
+  ASSERT_TRUE(estimate.ok());
+  // Grid: 2, 4, 8 (cap n/2 = 10).
+  ASSERT_EQ(estimate->curve.size(), 3u);
+  EXPECT_EQ(estimate->curve.back().first, 8u);
+}
+
+TEST(KEstimatorTest, RejectsEmptyInput) {
+  Corpus corpus;
+  ForgettingParams params;
+  ForgettingModel model(&corpus, params);
+  SimilarityContext ctx(model);
+  EXPECT_FALSE(EstimateKByGKnee(ctx, {}, {}).ok());
+}
+
+TEST(KEstimatorTest, SyntheticWindowEstimateIsPlausible) {
+  GeneratorOptions gopts;
+  gopts.scale = 0.1;
+  Tdt2LikeGenerator generator(gopts);
+  auto corpus = std::move(generator.Generate()).value();
+  const TimeWindow w = PaperWindows()[3];
+  const auto docs = corpus->DocsInRange(w.begin, w.end);
+  ForgettingParams params;
+  params.half_life_days = 30.0;
+  params.life_span_days = 30.0;
+  ForgettingModel model(corpus.get(), params);
+  model.RebuildFromScratch(docs, w.end);
+  const size_t true_topics = ComputeWindowStats(*corpus, w).num_topics;
+  const size_t estimate = EstimateKByCoverCoefficient(model);
+  // Order of magnitude, not exactness: within [true/3, true*3].
+  EXPECT_GE(estimate * 3, true_topics);
+  EXPECT_LE(estimate, true_topics * 3);
+}
+
+}  // namespace
+}  // namespace nidc

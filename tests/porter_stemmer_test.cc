@@ -1,0 +1,142 @@
+#include "nidc/text/porter_stemmer.h"
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+class PorterTest : public testing::Test {
+ protected:
+  std::string Stem(std::string_view w) { return stemmer_.Stem(w); }
+  PorterStemmer stemmer_;
+};
+
+TEST_F(PorterTest, ShortWordsUnchanged) {
+  EXPECT_EQ(Stem("a"), "a");
+  EXPECT_EQ(Stem("is"), "is");
+  EXPECT_EQ(Stem("by"), "by");
+}
+
+TEST_F(PorterTest, NonAlphabeticPassThrough) {
+  EXPECT_EQ(Stem("e-mail"), "e-mail");
+  EXPECT_EQ(Stem("o'brien"), "o'brien");
+  EXPECT_EQ(Stem("tdt2"), "tdt2");
+}
+
+// Step 1a examples from Porter's paper.
+TEST_F(PorterTest, Step1aPlurals) {
+  EXPECT_EQ(Stem("caresses"), "caress");
+  EXPECT_EQ(Stem("ponies"), "poni");
+  EXPECT_EQ(Stem("ties"), "ti");
+  EXPECT_EQ(Stem("caress"), "caress");
+  EXPECT_EQ(Stem("cats"), "cat");
+}
+
+// Step 1b examples from Porter's paper.
+TEST_F(PorterTest, Step1bPastAndGerund) {
+  EXPECT_EQ(Stem("feed"), "feed");
+  EXPECT_EQ(Stem("agreed"), "agre");
+  EXPECT_EQ(Stem("plastered"), "plaster");
+  EXPECT_EQ(Stem("bled"), "bled");
+  EXPECT_EQ(Stem("motoring"), "motor");
+  EXPECT_EQ(Stem("sing"), "sing");
+}
+
+TEST_F(PorterTest, Step1bCleanupRules) {
+  EXPECT_EQ(Stem("conflated"), "conflat");
+  EXPECT_EQ(Stem("troubled"), "troubl");
+  EXPECT_EQ(Stem("sized"), "size");
+  EXPECT_EQ(Stem("hopping"), "hop");
+  EXPECT_EQ(Stem("tanned"), "tan");
+  EXPECT_EQ(Stem("falling"), "fall");
+  EXPECT_EQ(Stem("hissing"), "hiss");
+  EXPECT_EQ(Stem("fizzed"), "fizz");
+  EXPECT_EQ(Stem("failing"), "fail");
+  EXPECT_EQ(Stem("filing"), "file");
+}
+
+TEST_F(PorterTest, Step1cYToI) {
+  EXPECT_EQ(Stem("happy"), "happi");
+  EXPECT_EQ(Stem("sky"), "sky");
+}
+
+// Step 2 examples from Porter's paper.
+TEST_F(PorterTest, Step2DoubleSuffixes) {
+  EXPECT_EQ(Stem("relational"), "relat");
+  EXPECT_EQ(Stem("conditional"), "condit");
+  EXPECT_EQ(Stem("rational"), "ration");
+  EXPECT_EQ(Stem("digitizer"), "digit");
+  EXPECT_EQ(Stem("vietnamization"), "vietnam");
+  EXPECT_EQ(Stem("predication"), "predic");
+  EXPECT_EQ(Stem("operator"), "oper");
+  EXPECT_EQ(Stem("feudalism"), "feudal");
+  EXPECT_EQ(Stem("decisiveness"), "decis");
+  EXPECT_EQ(Stem("hopefulness"), "hope");
+  EXPECT_EQ(Stem("callousness"), "callous");
+  EXPECT_EQ(Stem("formality"), "formal");
+  EXPECT_EQ(Stem("sensitivity"), "sensit");
+}
+
+// Step 3 examples.
+TEST_F(PorterTest, Step3Suffixes) {
+  EXPECT_EQ(Stem("triplicate"), "triplic");
+  EXPECT_EQ(Stem("formative"), "form");
+  EXPECT_EQ(Stem("formalize"), "formal");
+  EXPECT_EQ(Stem("electricity"), "electr");
+  EXPECT_EQ(Stem("electrical"), "electr");
+  EXPECT_EQ(Stem("hopeful"), "hope");
+  EXPECT_EQ(Stem("goodness"), "good");
+}
+
+// Step 4 examples.
+TEST_F(PorterTest, Step4Suffixes) {
+  EXPECT_EQ(Stem("revival"), "reviv");
+  EXPECT_EQ(Stem("allowance"), "allow");
+  EXPECT_EQ(Stem("inference"), "infer");
+  EXPECT_EQ(Stem("airliner"), "airlin");
+  EXPECT_EQ(Stem("adjustable"), "adjust");
+  EXPECT_EQ(Stem("defensible"), "defens");
+  EXPECT_EQ(Stem("replacement"), "replac");
+  EXPECT_EQ(Stem("adjustment"), "adjust");
+  EXPECT_EQ(Stem("dependent"), "depend");
+  EXPECT_EQ(Stem("adoption"), "adopt");
+  EXPECT_EQ(Stem("communism"), "commun");
+  EXPECT_EQ(Stem("activate"), "activ");
+  EXPECT_EQ(Stem("effective"), "effect");
+}
+
+// Step 5 examples.
+TEST_F(PorterTest, Step5FinalE) {
+  EXPECT_EQ(Stem("probate"), "probat");
+  EXPECT_EQ(Stem("rate"), "rate");
+  EXPECT_EQ(Stem("cease"), "ceas");
+}
+
+TEST_F(PorterTest, Step5DoubleL) {
+  EXPECT_EQ(Stem("controll"), "control");
+  EXPECT_EQ(Stem("roll"), "roll");
+}
+
+TEST_F(PorterTest, NewswireWordsMergeToSharedStems) {
+  EXPECT_EQ(Stem("bombings"), Stem("bombing"));
+  EXPECT_EQ(Stem("elections"), Stem("election"));
+  EXPECT_EQ(Stem("clustering"), Stem("clustered"));
+  EXPECT_EQ(Stem("economics"), Stem("economic"));
+  EXPECT_EQ(Stem("nuclear"), "nuclear");
+}
+
+TEST_F(PorterTest, StemIsIdempotentOnCommonWords) {
+  for (const char* word :
+       {"running", "happily", "national", "governments", "violence",
+        "olympics", "settlement", "approval", "shooting", "crisis"}) {
+    const std::string once = Stem(word);
+    EXPECT_EQ(Stem(once), once) << word;
+  }
+}
+
+TEST_F(PorterTest, ArgumentStaysArgument) {
+  EXPECT_EQ(Stem("argument"), "argument");
+}
+
+}  // namespace
+}  // namespace nidc

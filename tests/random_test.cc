@@ -1,0 +1,208 @@
+#include "nidc/util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, DoubleMeanIsHalf) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedCoversAllValues) {
+  Rng rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(17);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t x = rng.NextInt(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all of -3..3 hit
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  const int n = 100000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, SampleDiscreteRespectsWeights) {
+  Rng rng(29);
+  std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[rng.SampleDiscrete(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.015);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.015);
+}
+
+TEST(RngTest, SampleDiscreteZeroWeightNeverChosen) {
+  Rng rng(31);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.SampleDiscrete(weights), 1u);
+  }
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(37);
+  for (double mean : {0.5, 3.0, 12.0, 80.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += rng.NextPoisson(mean);
+    EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(41);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextPoisson(0.0), 0);
+}
+
+TEST(RngTest, ZipfStaysInRange) {
+  Rng rng(43);
+  for (int i = 0; i < 10000; ++i) {
+    const int k = rng.NextZipf(50, 1.1);
+    EXPECT_GE(k, 1);
+    EXPECT_LE(k, 50);
+  }
+}
+
+TEST(RngTest, ZipfRankOneIsMostFrequent) {
+  Rng rng(47);
+  std::map<int, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[rng.NextZipf(20, 1.0)];
+  for (const auto& [rank, count] : counts) {
+    if (rank == 1) continue;
+    EXPECT_GT(counts[1], count) << "rank " << rank;
+  }
+}
+
+TEST(RngTest, ZipfFrequencyRatioApproximatesPowerLaw) {
+  Rng rng(53);
+  std::map<int, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextZipf(100, 1.0)];
+  // P(1)/P(2) should be ~2 for s=1.
+  const double ratio = static_cast<double>(counts[1]) / counts[2];
+  EXPECT_NEAR(ratio, 2.0, 0.25);
+}
+
+TEST(RngTest, ZipfSingletonSupport) {
+  Rng rng(59);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextZipf(1, 1.2), 1);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(61);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), original.begin()));
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(67);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {5};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{5});
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(71);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<size_t> sample = rng.SampleWithoutReplacement(30, 10);
+    EXPECT_EQ(sample.size(), 10u);
+    std::set<size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 10u);
+    for (size_t s : sample) EXPECT_LT(s, 30u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(73);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsUniform) {
+  Rng rng(79);
+  std::vector<int> hits(10, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (size_t s : rng.SampleWithoutReplacement(10, 3)) ++hits[s];
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(h / static_cast<double>(trials), 0.3, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace nidc

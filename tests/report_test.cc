@@ -1,0 +1,59 @@
+#include "nidc/eval/report.h"
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+std::vector<MarkedCluster> SampleMarking() {
+  MarkedCluster a;
+  a.cluster_index = 0;
+  a.cluster_size = 10;
+  a.topic = 20013;
+  a.table = {8, 2, 1, 20};
+  a.precision = a.table.Precision();
+  a.recall = a.table.Recall();
+  MarkedCluster b;
+  b.cluster_index = 1;
+  b.cluster_size = 4;
+  return {a, b};
+}
+
+TEST(ReportTest, ClusterReportListsMarkedAndUnmarked) {
+  const std::string out = RenderClusterReport(SampleMarking());
+  EXPECT_NE(out.find("topic20013"), std::string::npos);
+  EXPECT_NE(out.find("(unmarked)"), std::string::npos);
+  EXPECT_NE(out.find("0.80"), std::string::npos);  // precision 8/10
+}
+
+TEST(ReportTest, ClusterReportUsesNamer) {
+  TopicNamer namer = [](TopicId id) {
+    return id == 20013 ? std::string("1998 Winter Olympics")
+                       : std::string("?");
+  };
+  const std::string out = RenderClusterReport(SampleMarking(), namer);
+  EXPECT_NE(out.find("1998 Winter Olympics"), std::string::npos);
+}
+
+TEST(ReportTest, BarsReflectValues) {
+  const std::string out = RenderPrecisionRecallBars(SampleMarking(), 10);
+  // Precision 0.8 over width 10 -> 8 filled glyphs.
+  EXPECT_NE(out.find("########.."), std::string::npos);
+  EXPECT_NE(out.find("(unmarked"), std::string::npos);
+}
+
+TEST(ReportTest, Table4RowFormat) {
+  GlobalF1 short_beta;
+  short_beta.micro_f1 = 0.34;
+  short_beta.macro_f1 = 0.42;
+  GlobalF1 long_beta;
+  long_beta.micro_f1 = 0.52;
+  long_beta.macro_f1 = 0.59;
+  const std::string row = FormatTable4Row("first", short_beta, long_beta);
+  EXPECT_NE(row.find("first"), std::string::npos);
+  EXPECT_NE(row.find("0.34 / 0.52"), std::string::npos);
+  EXPECT_NE(row.find("0.42 / 0.59"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nidc

@@ -1,0 +1,125 @@
+#include "nidc/baselines/single_pass_incr.h"
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+class SinglePassTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_.AddText("iraq weapons inspection baghdad", 0.0, 1);
+    corpus_.AddText("iraq sanctions baghdad weapons", 0.5, 1);
+    corpus_.AddText("olympics skating nagano medal", 1.0, 2);
+    corpus_.AddText("olympics hockey nagano games", 1.5, 2);
+    docs_ = {0, 1, 2, 3};
+  }
+  Corpus corpus_;
+  std::vector<DocId> docs_;
+};
+
+TEST_F(SinglePassTest, JoinsSimilarSpawnsDissimilar) {
+  TfIdfModel model(corpus_, docs_);
+  SinglePassOptions opts;
+  opts.threshold = 0.1;
+  opts.window_days = 0.0;  // no decay
+  auto result = RunSinglePass(corpus_, model, docs_, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->clusters.size(), 2u);
+  EXPECT_EQ(result->clusters[0], (std::vector<DocId>{0, 1}));
+  EXPECT_EQ(result->clusters[1], (std::vector<DocId>{2, 3}));
+  EXPECT_EQ(result->num_seeded, 2u);
+}
+
+TEST_F(SinglePassTest, HighThresholdMakesSingletons) {
+  TfIdfModel model(corpus_, docs_);
+  SinglePassOptions opts;
+  opts.threshold = 0.99;
+  opts.window_days = 0.0;
+  auto result = RunSinglePass(corpus_, model, docs_, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clusters.size(), 4u);
+}
+
+TEST_F(SinglePassTest, ZeroThresholdStillSpawnsOnOrthogonal) {
+  // Even with threshold 0, a doc with similarity exactly 0 to every
+  // cluster seeds a new one only if best_sim < 0 is impossible — it joins.
+  TfIdfModel model(corpus_, docs_);
+  SinglePassOptions opts;
+  opts.threshold = 0.0;
+  opts.window_days = 0.0;
+  auto result = RunSinglePass(corpus_, model, docs_, opts);
+  ASSERT_TRUE(result.ok());
+  // First doc seeds; the rest join something (sim >= 0 >= threshold).
+  EXPECT_EQ(result->clusters.size(), 1u);
+}
+
+TEST_F(SinglePassTest, TimeDecayBlocksStaleClusters) {
+  // A cluster idle longer than the window decays to similarity 0.
+  Corpus corpus;
+  corpus.AddText("alpha beta gamma", 0.0, 1);
+  corpus.AddText("alpha beta gamma", 40.0, 1);  // same text, 40 days later
+  corpus.AddText("unrelated filler words", 50.0, 2);  // keeps idf nonzero
+  TfIdfModel model(corpus, {0, 1, 2});
+  SinglePassOptions opts;
+  opts.threshold = 0.2;
+  opts.window_days = 30.0;
+  auto result = RunSinglePass(corpus, model, {0, 1}, opts);
+  ASSERT_TRUE(result.ok());
+  // Without decay they'd merge (identical text); with a 30-day window the
+  // 40-day-old cluster is dead.
+  EXPECT_EQ(result->clusters.size(), 2u);
+}
+
+TEST_F(SinglePassTest, DecayWithinWindowStillJoins) {
+  Corpus corpus;
+  corpus.AddText("alpha beta gamma", 0.0, 1);
+  corpus.AddText("alpha beta gamma", 5.0, 1);
+  corpus.AddText("unrelated filler words", 50.0, 2);  // keeps idf nonzero
+  TfIdfModel model(corpus, {0, 1, 2});
+  SinglePassOptions opts;
+  opts.threshold = 0.2;
+  opts.window_days = 30.0;
+  auto result = RunSinglePass(corpus, model, {0, 1}, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clusters.size(), 1u);
+}
+
+TEST_F(SinglePassTest, MaxClustersForcesJoin) {
+  TfIdfModel model(corpus_, docs_);
+  SinglePassOptions opts;
+  opts.threshold = 0.99;  // nothing would join voluntarily
+  opts.window_days = 0.0;
+  opts.max_clusters = 1;
+  auto result = RunSinglePass(corpus_, model, docs_, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clusters.size(), 1u);
+  EXPECT_EQ(result->clusters[0].size(), 4u);
+}
+
+TEST_F(SinglePassTest, RejectsBadThreshold) {
+  TfIdfModel model(corpus_, docs_);
+  SinglePassOptions opts;
+  opts.threshold = 1.5;
+  EXPECT_FALSE(RunSinglePass(corpus_, model, docs_, opts).ok());
+}
+
+TEST_F(SinglePassTest, RejectsUnknownDoc) {
+  TfIdfModel model(corpus_, {0, 1});
+  SinglePassOptions opts;
+  EXPECT_FALSE(RunSinglePass(corpus_, model, {0, 1, 2}, opts).ok());
+}
+
+TEST_F(SinglePassTest, ClusterTimestampTracksNewestMember) {
+  TfIdfModel model(corpus_, docs_);
+  SinglePassOptions opts;
+  opts.threshold = 0.1;
+  opts.window_days = 0.0;
+  auto result = RunSinglePass(corpus_, model, docs_, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->last_update[0], 0.5);
+  EXPECT_DOUBLE_EQ(result->last_update[1], 1.5);
+}
+
+}  // namespace
+}  // namespace nidc

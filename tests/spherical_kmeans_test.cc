@@ -1,0 +1,107 @@
+#include "nidc/baselines/spherical_kmeans.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+class SphericalKMeansTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    const char* fruit[] = {"apple banana orchard fruit",
+                           "banana apple harvest fruit",
+                           "orchard apple banana ripe"};
+    const char* finance[] = {"stock market shares trading",
+                             "market shares broker trading",
+                             "stock broker market rally"};
+    for (const char* s : fruit) corpus_.AddText(s, 0.0, 1);
+    for (const char* s : finance) corpus_.AddText(s, 0.0, 2);
+    docs_ = {0, 1, 2, 3, 4, 5};
+  }
+  Corpus corpus_;
+  std::vector<DocId> docs_;
+};
+
+TEST_F(SphericalKMeansTest, SeparatesPlantedClusters) {
+  TfIdfModel model(corpus_, docs_);
+  SphericalKMeansOptions opts;
+  opts.k = 2;
+  opts.seed = 7;
+  auto result = RunSphericalKMeans(model, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->clusters.size(), 2u);
+  for (const auto& members : result->clusters) {
+    std::set<TopicId> topics;
+    for (DocId d : members) topics.insert(corpus_.doc(d).topic);
+    EXPECT_EQ(topics.size(), 1u);
+  }
+}
+
+TEST_F(SphericalKMeansTest, AllDocsAssigned) {
+  TfIdfModel model(corpus_, docs_);
+  SphericalKMeansOptions opts;
+  opts.k = 3;
+  auto result = RunSphericalKMeans(model, opts);
+  ASSERT_TRUE(result.ok());
+  size_t total = 0;
+  for (const auto& c : result->clusters) total += c.size();
+  EXPECT_EQ(total, docs_.size());
+}
+
+TEST_F(SphericalKMeansTest, ConvergesAndReportsIterations) {
+  TfIdfModel model(corpus_, docs_);
+  SphericalKMeansOptions opts;
+  opts.k = 2;
+  auto result = RunSphericalKMeans(model, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_GE(result->iterations, 1);
+  EXPECT_GT(result->objective, 0.0);
+}
+
+TEST_F(SphericalKMeansTest, CentroidsAreUnitNorm) {
+  TfIdfModel model(corpus_, docs_);
+  SphericalKMeansOptions opts;
+  opts.k = 2;
+  auto result = RunSphericalKMeans(model, opts);
+  ASSERT_TRUE(result.ok());
+  for (size_t p = 0; p < result->centroids.size(); ++p) {
+    if (result->clusters[p].empty()) continue;
+    EXPECT_NEAR(result->centroids[p].Norm(), 1.0, 1e-9);
+  }
+}
+
+TEST_F(SphericalKMeansTest, DeterministicForSeed) {
+  TfIdfModel model(corpus_, docs_);
+  SphericalKMeansOptions opts;
+  opts.k = 2;
+  opts.seed = 99;
+  auto a = RunSphericalKMeans(model, opts);
+  auto b = RunSphericalKMeans(model, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->clusters, b->clusters);
+}
+
+TEST_F(SphericalKMeansTest, KClampedToN) {
+  TfIdfModel model(corpus_, docs_);
+  SphericalKMeansOptions opts;
+  opts.k = 50;
+  auto result = RunSphericalKMeans(model, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clusters.size(), docs_.size());
+}
+
+TEST_F(SphericalKMeansTest, RejectsBadInput) {
+  TfIdfModel empty(corpus_, {});
+  SphericalKMeansOptions opts;
+  EXPECT_FALSE(RunSphericalKMeans(empty, opts).ok());
+  TfIdfModel model(corpus_, docs_);
+  opts.k = 0;
+  EXPECT_FALSE(RunSphericalKMeans(model, opts).ok());
+}
+
+}  // namespace
+}  // namespace nidc

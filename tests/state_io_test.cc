@@ -1,0 +1,167 @@
+#include "nidc/core/state_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+class StateIoTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_.AddText("iraq weapons inspection baghdad", 0.0, 1);
+    corpus_.AddText("iraq sanctions baghdad embargo", 0.5, 1);
+    corpus_.AddText("olympics skating nagano medal", 1.0, 2);
+    corpus_.AddText("olympics hockey nagano final", 1.5, 2);
+  }
+
+  ForgettingParams Params() {
+    ForgettingParams p;
+    p.half_life_days = 7.0;
+    p.life_span_days = 30.0;
+    return p;
+  }
+
+  IncrementalOptions Options() {
+    IncrementalOptions o;
+    o.kmeans.k = 2;
+    o.kmeans.seed = 3;
+    return o;
+  }
+
+  Corpus corpus_;
+};
+
+TEST_F(StateIoTest, SerializeParseRoundTrip) {
+  IncrementalClusterer clusterer(&corpus_, Params(), Options());
+  ASSERT_TRUE(clusterer.Step({0, 1, 2, 3}, 2.0).ok());
+
+  const ClustererState state = CaptureState(clusterer);
+  Result<ClustererState> parsed = ParseState(SerializeState(state));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed->now, 2.0);
+  EXPECT_DOUBLE_EQ(parsed->params.half_life_days, 7.0);
+  EXPECT_EQ(parsed->active_docs, state.active_docs);
+  ASSERT_TRUE(parsed->last_result.has_value());
+  EXPECT_EQ(parsed->last_result->clusters, state.last_result->clusters);
+  EXPECT_EQ(parsed->last_result->outliers, state.last_result->outliers);
+  EXPECT_DOUBLE_EQ(parsed->last_result->g, state.last_result->g);
+  EXPECT_EQ(parsed->last_result->iterations,
+            state.last_result->iterations);
+  EXPECT_EQ(parsed->last_result->converged, state.last_result->converged);
+}
+
+TEST_F(StateIoTest, StateWithoutResultRoundTrips) {
+  ClustererState state;
+  state.params = Params();
+  state.now = 5.0;
+  state.active_docs = {0, 2};
+  Result<ClustererState> parsed = ParseState(SerializeState(state));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->last_result.has_value());
+  EXPECT_EQ(parsed->active_docs, (std::vector<DocId>{0, 2}));
+}
+
+TEST_F(StateIoTest, FileRoundTrip) {
+  IncrementalClusterer clusterer(&corpus_, Params(), Options());
+  ASSERT_TRUE(clusterer.Step({0, 1, 2, 3}, 2.0).ok());
+  const std::string path = testing::TempDir() + "/nidc_state_test.txt";
+  ASSERT_TRUE(SaveState(CaptureState(clusterer), path).ok());
+  Result<ClustererState> loaded = LoadState(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->active_docs.size(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST_F(StateIoTest, RestoreReproducesStatisticsExactly) {
+  IncrementalClusterer original(&corpus_, Params(), Options());
+  ASSERT_TRUE(original.Step({0, 1}, 1.0).ok());
+  ASSERT_TRUE(original.Step({2, 3}, 2.0).ok());
+
+  auto restored = RestoreClusterer(&corpus_, Options(),
+                                   CaptureState(original));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const ForgettingModel& a = original.model();
+  const ForgettingModel& b = (*restored)->model();
+  ASSERT_EQ(a.num_active(), b.num_active());
+  EXPECT_DOUBLE_EQ(a.TotalWeight(), b.TotalWeight());
+  for (DocId id : a.active_docs()) {
+    EXPECT_DOUBLE_EQ(a.Weight(id), b.Weight(id)) << id;
+    EXPECT_DOUBLE_EQ(a.PrDoc(id), b.PrDoc(id)) << id;
+  }
+  for (TermId t = 0; t < corpus_.vocabulary().size(); ++t) {
+    EXPECT_NEAR(a.PrTerm(t), b.PrTerm(t), 1e-15) << t;
+  }
+}
+
+TEST_F(StateIoTest, RestoredClustererContinuesSeamlessly) {
+  IncrementalClusterer original(&corpus_, Params(), Options());
+  ASSERT_TRUE(original.Step({0, 1, 2, 3}, 2.0).ok());
+  auto restored = RestoreClusterer(&corpus_, Options(),
+                                   CaptureState(original));
+  ASSERT_TRUE(restored.ok());
+
+  corpus_.AddText("tobacco settlement senate vote", 3.0, 3);
+  auto step_restored = (*restored)->Step({4}, 3.0);
+  auto step_original = original.Step({4}, 3.0);
+  ASSERT_TRUE(step_restored.ok());
+  ASSERT_TRUE(step_original.ok());
+  // Same seeding (membership) + identical statistics → same clusters.
+  EXPECT_EQ(step_restored->clustering.clusters,
+            step_original->clustering.clusters);
+}
+
+TEST_F(StateIoTest, RestoreRecomputesRepresentatives) {
+  IncrementalClusterer original(&corpus_, Params(), Options());
+  ASSERT_TRUE(original.Step({0, 1, 2, 3}, 2.0).ok());
+  auto restored = RestoreClusterer(&corpus_, Options(),
+                                   CaptureState(original));
+  ASSERT_TRUE(restored.ok());
+  const auto& orig_result = *original.last_result();
+  const auto& rest_result = *(*restored)->last_result();
+  ASSERT_EQ(orig_result.representatives.size(),
+            rest_result.representatives.size());
+  for (size_t p = 0; p < orig_result.representatives.size(); ++p) {
+    const auto& a = orig_result.representatives[p];
+    const auto& b = rest_result.representatives[p];
+    for (const auto& e : a.entries()) {
+      EXPECT_NEAR(b.ValueAt(e.id), e.value, 1e-12);
+    }
+  }
+}
+
+TEST_F(StateIoTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseState("").ok());
+  EXPECT_FALSE(ParseState("random text").ok());
+  EXPECT_FALSE(ParseState("nidc-state v2\n").ok());
+  EXPECT_FALSE(ParseState("nidc-state v1\nparams -1 5\n").ok());
+  EXPECT_FALSE(
+      ParseState("nidc-state v1\nparams 7 30\nnow 1\nactive 3 1 2\n").ok());
+}
+
+TEST_F(StateIoTest, RestoreRejectsForeignCorpus) {
+  ClustererState state;
+  state.params = Params();
+  state.now = 10.0;
+  state.active_docs = {0, 99};  // 99 does not exist
+  EXPECT_EQ(RestoreClusterer(&corpus_, Options(), state).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(StateIoTest, RestoreRejectsFutureDocuments) {
+  ClustererState state;
+  state.params = Params();
+  state.now = 0.2;  // doc 2 was acquired at t=1.0 > 0.2
+  state.active_docs = {0, 2};
+  EXPECT_EQ(RestoreClusterer(&corpus_, Options(), state).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(StateIoTest, LoadMissingFileFails) {
+  EXPECT_EQ(LoadState("/no/such/state.txt").status().code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace nidc

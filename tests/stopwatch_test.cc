@@ -1,0 +1,52 @@
+#include "nidc/util/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotone) {
+  Stopwatch sw;
+  const double t1 = sw.ElapsedSeconds();
+  const double t2 = sw.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(StopwatchTest, MillisMatchesSeconds) {
+  Stopwatch sw;
+  const double s = sw.ElapsedSeconds();
+  const double ms = sw.ElapsedMillis();
+  EXPECT_GE(ms, s * 1e3 * 0.5);  // sampled at different instants; loose
+}
+
+TEST(StopwatchTest, RestartResetsClock) {
+  Stopwatch sw;
+  // Burn a little time (volatile write defeats loop elision).
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x = x + i;
+  const double before = sw.ElapsedSeconds();
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedSeconds(), before + 1e-3);
+}
+
+TEST(FormatDurationTest, MinutesFormat) {
+  EXPECT_EQ(Stopwatch::FormatDuration(105.0), "1min45sec");
+  EXPECT_EQ(Stopwatch::FormatDuration(3497.0), "58min17sec");
+}
+
+TEST(FormatDurationTest, SecondsFormat) {
+  EXPECT_EQ(Stopwatch::FormatDuration(2.5), "2.50sec");
+}
+
+TEST(FormatDurationTest, MillisFormat) {
+  EXPECT_EQ(Stopwatch::FormatDuration(0.0123), "12.30ms");
+}
+
+TEST(FormatDurationTest, RoundingAtMinuteBoundary) {
+  EXPECT_EQ(Stopwatch::FormatDuration(60.0), "1min00sec");
+  EXPECT_EQ(Stopwatch::FormatDuration(119.6), "2min00sec");  // carries up
+}
+
+}  // namespace
+}  // namespace nidc

@@ -1,0 +1,48 @@
+#include "nidc/text/stopwords.h"
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+TEST(StopwordsTest, DefaultContainsCoreFunctionWords) {
+  StopwordSet s = StopwordSet::Default();
+  for (const char* w : {"the", "and", "of", "is", "was", "with", "their"}) {
+    EXPECT_TRUE(s.Contains(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, DefaultExcludesContentWords) {
+  StopwordSet s = StopwordSet::Default();
+  for (const char* w : {"president", "nuclear", "strike", "olympics"}) {
+    EXPECT_FALSE(s.Contains(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, DefaultSizeIsSubstantial) {
+  EXPECT_GT(StopwordSet::Default().size(), 250u);
+}
+
+TEST(StopwordsTest, EmptyContainsNothing) {
+  StopwordSet s = StopwordSet::Empty();
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.Contains("the"));
+}
+
+TEST(StopwordsTest, FromWordsLowerCases) {
+  StopwordSet s = StopwordSet::FromWords({"Foo", "BAR"});
+  EXPECT_TRUE(s.Contains("foo"));
+  EXPECT_TRUE(s.Contains("bar"));
+  EXPECT_FALSE(s.Contains("Foo"));  // membership is on normalized form
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(StopwordsTest, CaseSensitiveMembershipAfterNormalization) {
+  StopwordSet s = StopwordSet::Default();
+  // The set stores lower-case; callers tokenize to lower-case first.
+  EXPECT_FALSE(s.Contains("The"));
+  EXPECT_TRUE(s.Contains("the"));
+}
+
+}  // namespace
+}  // namespace nidc

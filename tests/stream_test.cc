@@ -1,0 +1,80 @@
+#include "nidc/corpus/stream.h"
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+class StreamTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_.AddText("day zero", 0.5);
+    corpus_.AddText("day one a", 1.1);
+    corpus_.AddText("day one b", 1.9);
+    corpus_.AddText("day three", 3.5);
+  }
+  Corpus corpus_;
+};
+
+TEST_F(StreamTest, DeliversDailyBatches) {
+  DocumentStream stream(&corpus_, 0.0, 4.0, 1.0);
+  auto b0 = stream.Next();
+  ASSERT_TRUE(b0.has_value());
+  EXPECT_EQ(b0->docs, (std::vector<DocId>{0}));
+  auto b1 = stream.Next();
+  EXPECT_EQ(b1->docs, (std::vector<DocId>{1, 2}));
+  auto b2 = stream.Next();
+  EXPECT_TRUE(b2->docs.empty());  // quiet day still delivered
+  auto b3 = stream.Next();
+  EXPECT_EQ(b3->docs, (std::vector<DocId>{3}));
+  EXPECT_FALSE(stream.Next().has_value());
+  EXPECT_TRUE(stream.Done());
+}
+
+TEST_F(StreamTest, BatchBoundariesAreHalfOpen) {
+  DocumentStream stream(&corpus_, 0.0, 4.0, 2.0);
+  auto b0 = stream.Next();
+  EXPECT_DOUBLE_EQ(b0->begin, 0.0);
+  EXPECT_DOUBLE_EQ(b0->end, 2.0);
+  EXPECT_EQ(b0->docs.size(), 3u);  // 0.5, 1.1, 1.9
+}
+
+TEST_F(StreamTest, FinalBatchMayBeShort) {
+  DocumentStream stream(&corpus_, 0.0, 3.6, 2.0);
+  stream.Next();
+  auto last = stream.Next();
+  ASSERT_TRUE(last.has_value());
+  EXPECT_DOUBLE_EQ(last->end, 3.6);  // clipped from 4.0 to the stream end
+  EXPECT_EQ(last->docs, (std::vector<DocId>{3}));
+  EXPECT_TRUE(stream.Done());
+}
+
+TEST_F(StreamTest, ResetReplays) {
+  DocumentStream stream(&corpus_, 0.0, 4.0, 1.0);
+  while (stream.Next()) {
+  }
+  EXPECT_TRUE(stream.Done());
+  stream.Reset();
+  EXPECT_FALSE(stream.Done());
+  auto b = stream.Next();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->docs, (std::vector<DocId>{0}));
+}
+
+TEST_F(StreamTest, EmptySpanProducesNothing) {
+  DocumentStream stream(&corpus_, 2.0, 2.0, 1.0);
+  EXPECT_TRUE(stream.Done());
+  EXPECT_FALSE(stream.Next().has_value());
+}
+
+TEST_F(StreamTest, AllDocsDeliveredExactlyOnce) {
+  DocumentStream stream(&corpus_, 0.0, 4.0, 0.7);
+  std::vector<DocId> seen;
+  while (auto batch = stream.Next()) {
+    seen.insert(seen.end(), batch->docs.begin(), batch->docs.end());
+  }
+  EXPECT_EQ(seen, (std::vector<DocId>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace nidc

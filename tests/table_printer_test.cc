@@ -1,0 +1,54 @@
+#include "nidc/util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+TEST(TablePrinterTest, HeaderOnlyTable) {
+  TablePrinter t({"A", "B"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("| A | B |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TablePrinterTest, PadsColumnsToWidestCell) {
+  TablePrinter t({"name", "v"});
+  t.AddRow({"x", "1234567"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("| name | v       |"), std::string::npos);
+  EXPECT_NE(out.find("| x    | 1234567 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  const std::string out = t.ToString();
+  // The missing cells render as empty strings without crashing.
+  EXPECT_NE(out.find("| 1 |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TablePrinterTest, ExtraCellsAreTruncatedToHeaderWidth) {
+  TablePrinter t({"a"});
+  t.AddRow({"1", "overflow"});
+  const std::string out = t.ToString();
+  EXPECT_EQ(out.find("overflow"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RuleLinesMatchWidth) {
+  TablePrinter t({"col"});
+  t.AddRow({"value"});
+  const std::string out = t.ToString();
+  // Every line has equal length (+1 for '\n').
+  size_t width = out.find('\n');
+  size_t pos = 0;
+  while (pos < out.size()) {
+    const size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+  }
+}
+
+}  // namespace
+}  // namespace nidc

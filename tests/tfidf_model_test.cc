@@ -1,0 +1,84 @@
+#include "nidc/baselines/tfidf_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+class TfIdfTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_.AddText("apple banana apple", 0.0);    // apple x2, banana
+    corpus_.AddText("apple cherry", 0.0);          // apple, cherry
+    corpus_.AddText("banana cherry banana", 0.0);  // banana x2, cherry
+    docs_ = {0, 1, 2};
+  }
+  Corpus corpus_;
+  std::vector<DocId> docs_;
+};
+
+TEST_F(TfIdfTest, VectorsAreUnitNorm) {
+  TfIdfModel model(corpus_, docs_);
+  for (DocId d : docs_) {
+    EXPECT_NEAR(model.Vector(d).Norm(), 1.0, 1e-12) << d;
+  }
+}
+
+TEST_F(TfIdfTest, IdfIsLogNOverDf) {
+  TfIdfModel model(corpus_, docs_);
+  const TermId apple = corpus_.vocabulary().Lookup("appl");
+  const TermId banana = corpus_.vocabulary().Lookup("banana");
+  ASSERT_NE(apple, kInvalidTermId);
+  // apple and banana each appear in 2 of 3 docs.
+  EXPECT_NEAR(model.Idf(apple), std::log(3.0 / 2.0), 1e-12);
+  EXPECT_NEAR(model.Idf(banana), std::log(3.0 / 2.0), 1e-12);
+}
+
+TEST_F(TfIdfTest, UbiquitousTermGetsZeroWeight) {
+  Corpus corpus;
+  corpus.AddText("shared alpha", 0.0);
+  corpus.AddText("shared beta", 0.0);
+  TfIdfModel model(corpus, {0, 1});
+  const TermId shared = corpus.vocabulary().Lookup("share");
+  ASSERT_NE(shared, kInvalidTermId);
+  EXPECT_DOUBLE_EQ(model.Idf(shared), 0.0);  // log(2/2)
+  // With idf 0 the term vanishes from vectors → docs are orthogonal.
+  EXPECT_DOUBLE_EQ(model.Cosine(0, 1), 0.0);
+}
+
+TEST_F(TfIdfTest, CosineSelfIsOne) {
+  TfIdfModel model(corpus_, docs_);
+  for (DocId d : docs_) {
+    EXPECT_NEAR(model.Cosine(d, d), 1.0, 1e-12);
+  }
+}
+
+TEST_F(TfIdfTest, CosineSymmetricAndBounded) {
+  TfIdfModel model(corpus_, docs_);
+  for (DocId a : docs_) {
+    for (DocId b : docs_) {
+      EXPECT_DOUBLE_EQ(model.Cosine(a, b), model.Cosine(b, a));
+      EXPECT_GE(model.Cosine(a, b), 0.0);
+      EXPECT_LE(model.Cosine(a, b), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST_F(TfIdfTest, SubsetScopesDf) {
+  // Restricting the model to docs {0, 1} changes df and idf.
+  TfIdfModel model(corpus_, {0, 1});
+  const TermId apple = corpus_.vocabulary().Lookup("appl");
+  EXPECT_DOUBLE_EQ(model.Idf(apple), 0.0);  // in both subset docs
+  EXPECT_FALSE(model.Contains(2));
+  EXPECT_TRUE(model.Contains(0));
+}
+
+TEST_F(TfIdfTest, UnknownTermIdfZero) {
+  TfIdfModel model(corpus_, docs_);
+  EXPECT_DOUBLE_EQ(model.Idf(static_cast<TermId>(9999)), 0.0);
+}
+
+}  // namespace
+}  // namespace nidc

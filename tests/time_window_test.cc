@@ -1,0 +1,133 @@
+#include "nidc/corpus/time_window.h"
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+TEST(MakeWindowsTest, EqualLengthWindows) {
+  auto windows = MakeWindows(0.0, 3, 10.0);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_DOUBLE_EQ(windows[0].begin, 0.0);
+  EXPECT_DOUBLE_EQ(windows[0].end, 10.0);
+  EXPECT_DOUBLE_EQ(windows[2].begin, 20.0);
+  EXPECT_DOUBLE_EQ(windows[2].end, 30.0);
+}
+
+TEST(MakeWindowsTest, LastWindowOverride) {
+  auto windows = MakeWindows(0.0, 6, 30.0, 28.0);
+  ASSERT_EQ(windows.size(), 6u);
+  EXPECT_DOUBLE_EQ(windows[5].begin, 150.0);
+  EXPECT_DOUBLE_EQ(windows[5].end, 178.0);  // the paper's 178-day span
+}
+
+TEST(MakeWindowsTest, WindowsAreContiguous) {
+  auto windows = MakeWindows(5.0, 4, 7.0);
+  for (size_t i = 1; i < windows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(windows[i].begin, windows[i - 1].end);
+  }
+}
+
+TEST(TimeWindowTest, ContainsIsHalfOpen) {
+  TimeWindow w{10.0, 20.0, "w"};
+  EXPECT_TRUE(w.Contains(10.0));
+  EXPECT_TRUE(w.Contains(19.999));
+  EXPECT_FALSE(w.Contains(20.0));
+  EXPECT_FALSE(w.Contains(9.999));
+  EXPECT_DOUBLE_EQ(w.LengthDays(), 10.0);
+}
+
+class WindowStatsTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    // Window [0, 10): topic 1 x3, topic 2 x1, unlabeled x1.
+    corpus_.AddText("alpha beta", 1.0, 1);
+    corpus_.AddText("alpha gamma", 2.0, 1);
+    corpus_.AddText("alpha delta", 3.0, 1);
+    corpus_.AddText("epsilon zeta", 4.0, 2);
+    corpus_.AddText("eta theta", 5.0);
+    // Outside the window.
+    corpus_.AddText("iota", 15.0, 1);
+  }
+  Corpus corpus_;
+};
+
+TEST_F(WindowStatsTest, CountsDocsAndTopics) {
+  WindowStats stats = ComputeWindowStats(corpus_, {0.0, 10.0, "w1"});
+  EXPECT_EQ(stats.num_docs, 5u);  // unlabeled doc still counts as a doc
+  EXPECT_EQ(stats.num_topics, 2u);
+  EXPECT_EQ(stats.min_topic_size, 1u);
+  EXPECT_EQ(stats.max_topic_size, 3u);
+  EXPECT_DOUBLE_EQ(stats.median_topic_size, 2.0);
+  EXPECT_DOUBLE_EQ(stats.mean_topic_size, 2.0);
+}
+
+TEST_F(WindowStatsTest, EmptyWindow) {
+  WindowStats stats = ComputeWindowStats(corpus_, {100.0, 110.0, "empty"});
+  EXPECT_EQ(stats.num_docs, 0u);
+  EXPECT_EQ(stats.num_topics, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_topic_size, 0.0);
+}
+
+TEST_F(WindowStatsTest, OddTopicCountMedian) {
+  corpus_.AddText("kappa", 6.0, 3);
+  corpus_.AddText("lambda", 6.5, 3);
+  WindowStats stats = ComputeWindowStats(corpus_, {0.0, 10.0, "w1"});
+  // Sizes 1, 2, 3 -> median 2.
+  EXPECT_EQ(stats.num_topics, 3u);
+  EXPECT_DOUBLE_EQ(stats.median_topic_size, 2.0);
+}
+
+TEST(TopicHistogramTest, BucketsPerDay) {
+  Corpus c;
+  c.AddText("a", 0.2, 5);
+  c.AddText("b", 0.8, 5);
+  c.AddText("c", 2.5, 5);
+  c.AddText("d", 1.5, 6);  // different topic
+  auto hist = TopicHistogram(c, 5, 0.0, 4.0);
+  EXPECT_EQ(hist, (std::vector<size_t>{2, 0, 1, 0}));
+}
+
+TEST(TopicHistogramTest, RangeClipsDocs) {
+  Corpus c;
+  c.AddText("a", 0.5, 5);
+  c.AddText("b", 9.5, 5);
+  auto hist = TopicHistogram(c, 5, 1.0, 5.0);
+  EXPECT_EQ(hist.size(), 4u);
+  for (size_t count : hist) EXPECT_EQ(count, 0u);
+}
+
+TEST(TopicHistogramTest, EmptyRange) {
+  Corpus c;
+  EXPECT_TRUE(TopicHistogram(c, 5, 3.0, 3.0).empty());
+}
+
+TEST(RenderAsciiHistogramTest, ShapesMatchCounts) {
+  const std::string out = RenderAsciiHistogram({0, 2, 4}, 2);
+  // Two rows plus an axis; the tallest bucket fills both rows.
+  const auto lines = [&] {
+    std::vector<std::string> v;
+    size_t pos = 0;
+    while (pos < out.size()) {
+      const size_t next = out.find('\n', pos);
+      v.push_back(out.substr(pos, next - pos));
+      pos = next + 1;
+    }
+    return v;
+  }();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "  #");
+  EXPECT_EQ(lines[1], " ##");
+  EXPECT_EQ(lines[2], "---");
+}
+
+TEST(RenderAsciiHistogramTest, AllZeroRendersDots) {
+  EXPECT_EQ(RenderAsciiHistogram({0, 0, 0}, 4), "...\n");
+}
+
+TEST(RenderAsciiHistogramTest, EmptyInput) {
+  EXPECT_EQ(RenderAsciiHistogram({}, 4), "");
+}
+
+}  // namespace
+}  // namespace nidc

@@ -1,0 +1,189 @@
+#include "nidc/synth/topic_catalog.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+// The exact Table 5 document counts the catalog must reproduce.
+const std::map<TopicId, size_t> kTable5Counts = {
+    {20001, 1034}, {20002, 923}, {20004, 19},  {20005, 38},  {20011, 18},
+    {20012, 150},  {20013, 530}, {20014, 2},   {20015, 1439}, {20017, 17},
+    {20018, 99},   {20019, 110}, {20020, 32},  {20021, 53},  {20022, 30},
+    {20023, 125},  {20026, 70},  {20030, 2},   {20031, 36},  {20032, 126},
+    {20033, 83},   {20036, 5},   {20039, 119}, {20040, 6},   {20041, 26},
+    {20042, 29},   {20043, 15},  {20044, 277}, {20046, 5},   {20047, 93},
+    {20048, 125},  {20062, 2},   {20063, 16},  {20064, 11},  {20065, 60},
+    {20070, 415},  {20071, 201}, {20074, 50},  {20075, 7},   {20076, 225},
+    {20077, 117},  {20078, 15},  {20079, 8},   {20082, 4},   {20083, 17},
+    {20085, 128},  {20086, 138}, {20087, 79},  {20088, 5},   {20096, 64},
+    {20097, 2},    {20098, 9},   {20099, 8},   {20100, 8},
+};
+
+TEST(PaperWindowsTest, SixWindowsSpanning178Days) {
+  auto windows = PaperWindows();
+  ASSERT_EQ(windows.size(), 6u);
+  EXPECT_DOUBLE_EQ(windows.front().begin, 0.0);
+  EXPECT_DOUBLE_EQ(windows.back().end, 178.0);
+  EXPECT_EQ(windows[0].label, "Jan4-Feb2");
+  EXPECT_EQ(windows[5].label, "Jun3-Jun30");
+  EXPECT_DOUBLE_EQ(windows[5].LengthDays(), 28.0);
+}
+
+TEST(NamedTopicsTest, ExactlyTheTable5Topics) {
+  auto topics = NamedTdt2Topics();
+  EXPECT_EQ(topics.size(), kTable5Counts.size());
+  for (const TopicSpec& t : topics) {
+    auto it = kTable5Counts.find(t.id);
+    ASSERT_NE(it, kTable5Counts.end()) << t.id;
+    EXPECT_EQ(t.TotalDocs(), it->second) << t.name;
+  }
+}
+
+TEST(NamedTopicsTest, NamesMatchPaper) {
+  auto topics = NamedTdt2Topics();
+  auto find = [&](TopicId id) -> const TopicSpec& {
+    for (const auto& t : topics) {
+      if (t.id == id) return t;
+    }
+    ADD_FAILURE() << "missing topic " << id;
+    static TopicSpec dummy;
+    return dummy;
+  };
+  EXPECT_EQ(find(20001).name, "Asian Economic Crisis");
+  EXPECT_EQ(find(20074).name, "Nigerian Protest Violence");
+  EXPECT_EQ(find(20077).name, "Unabomber");
+  EXPECT_EQ(find(20078).name, "Denmark Strike");
+  EXPECT_EQ(find(20086).name, "GM Strike");
+}
+
+TEST(NamedTopicsTest, ValidatesCleanly) {
+  EXPECT_TRUE(ValidateTopics(NamedTdt2Topics()).ok());
+}
+
+TEST(NamedTopicsTest, NarrativeTopicShapes) {
+  auto topics = NamedTdt2Topics();
+  const Tdt2Targets targets = PaperTargets();
+  (void)targets;
+  for (const auto& t : topics) {
+    if (t.id == 20074) {
+      // Nigerian protests: present in windows 4 and 6 (the paper's §6.2.3
+      // discussion), with the window-4 burst late and window-6 burst early.
+      EXPECT_EQ(t.shape.CountInWindow(3), 20u);
+      EXPECT_EQ(t.shape.CountInWindow(5), 20u);
+      for (const auto& alloc : t.shape.allocations()) {
+        if (alloc.window == 3 && alloc.day_begin >= 0) {
+          EXPECT_GE(alloc.day_begin, 105.0);  // late in Apr4-May3
+        }
+        if (alloc.window == 5 && alloc.day_end >= 0) {
+          EXPECT_LE(alloc.day_end, 165.0);  // early in Jun3-Jun30
+        }
+      }
+    }
+    if (t.id == 20077) {
+      // Unabomber: bulk in the first half of window 1, resurgence of
+      // exactly 10 docs in window 4 (paper: "10 documents").
+      EXPECT_GE(t.shape.CountInWindow(0), 90u);
+      EXPECT_EQ(t.shape.CountInWindow(3), 10u);
+    }
+    if (t.id == 20078) {
+      // Denmark strike: only windows 4 and 5.
+      EXPECT_EQ(t.shape.CountInWindow(3) + t.shape.CountInWindow(4),
+                t.TotalDocs());
+    }
+  }
+}
+
+TEST(FillerTopicsTest, AbsorbExactResiduals) {
+  auto named = NamedTdt2Topics();
+  auto fillers = BuildFillerTopics(named, PaperTargets());
+  ASSERT_TRUE(fillers.ok()) << fillers.status().ToString();
+  const Tdt2Targets targets = PaperTargets();
+  EXPECT_EQ(fillers->size(), targets.total_topics - named.size());
+  for (size_t w = 0; w < 6; ++w) {
+    size_t total = 0;
+    for (const auto& t : named) total += t.shape.CountInWindow(static_cast<int>(w));
+    for (const auto& t : *fillers) total += t.shape.CountInWindow(static_cast<int>(w));
+    EXPECT_EQ(total, targets.window_docs[w]) << "window " << w;
+  }
+}
+
+TEST(FillerTopicsTest, EveryFillerNonEmptySingleWindow) {
+  auto fillers = BuildFillerTopics(NamedTdt2Topics(), PaperTargets());
+  ASSERT_TRUE(fillers.ok());
+  for (const auto& t : *fillers) {
+    EXPECT_GE(t.TotalDocs(), 1u);
+    EXPECT_EQ(t.shape.allocations().size(), 1u);
+    EXPECT_GE(t.id, 30001);
+  }
+}
+
+TEST(FillerTopicsTest, RejectsOverAllocatedNamedTopics) {
+  auto named = NamedTdt2Topics();
+  // Blow window 1 past its target.
+  TopicSpec huge;
+  huge.id = 29999;
+  huge.name = "Too Big";
+  huge.shape = ActivityShape::FromWindowCounts({5000});
+  named.push_back(huge);
+  EXPECT_FALSE(BuildFillerTopics(named, PaperTargets()).ok());
+}
+
+TEST(FullCatalogTest, MatchesTable2Exactly) {
+  auto catalog = FullTdt2Catalog();
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+  const Tdt2Targets targets = PaperTargets();
+  EXPECT_EQ(catalog->size(), targets.total_topics);  // 96 topics
+  size_t total = 0;
+  for (const auto& t : *catalog) total += t.TotalDocs();
+  EXPECT_EQ(total, targets.total_docs);  // 7,578 docs
+  for (size_t w = 0; w < 6; ++w) {
+    size_t docs = 0;
+    for (const auto& t : *catalog) {
+      docs += t.shape.CountInWindow(static_cast<int>(w));
+    }
+    EXPECT_EQ(docs, targets.window_docs[w]) << "window " << w;
+  }
+}
+
+TEST(FullCatalogTest, WindowTopicCountsApproachPaper) {
+  auto catalog = FullTdt2Catalog();
+  ASSERT_TRUE(catalog.ok());
+  const Tdt2Targets targets = PaperTargets();
+  for (size_t w = 0; w < 6; ++w) {
+    size_t topics = 0;
+    for (const auto& t : *catalog) {
+      if (t.shape.CountInWindow(static_cast<int>(w)) > 0) ++topics;
+    }
+    // Within 40% of the paper's per-window topic count (the totals are
+    // matched exactly; topic spread is approximate by design).
+    EXPECT_GE(topics, targets.window_topics[w] * 6 / 10) << w;
+    EXPECT_LE(topics, targets.window_topics[w] * 14 / 10) << w;
+  }
+}
+
+TEST(ValidateTopicsTest, CatchesDefects) {
+  TopicSpec a;
+  a.id = 1;
+  a.name = "ok";
+  a.shape = ActivityShape::FromWindowCounts({1});
+  TopicSpec dup = a;
+  EXPECT_FALSE(ValidateTopics({a, dup}).ok());
+  TopicSpec unnamed = a;
+  unnamed.id = 2;
+  unnamed.name = "";
+  EXPECT_FALSE(ValidateTopics({a, unnamed}).ok());
+  TopicSpec empty = a;
+  empty.id = 3;
+  empty.shape = ActivityShape();
+  EXPECT_FALSE(ValidateTopics({a, empty}).ok());
+  TopicSpec negative = a;
+  negative.id = -5;
+  EXPECT_FALSE(ValidateTopics({negative}).ok());
+  EXPECT_TRUE(ValidateTopics({a}).ok());
+}
+
+}  // namespace
+}  // namespace nidc

@@ -1,0 +1,108 @@
+#include "nidc/eval/topic_tracking.h"
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+class TopicTrackingTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    // Window 0: topic 1 (3 docs), topic 2 (2 docs).
+    // Window 1: topic 2 (2 docs), topic 3 (1 doc).
+    for (int i = 0; i < 3; ++i) window0_.push_back(corpus_.AddText("a", 0.0, 1));
+    for (int i = 0; i < 2; ++i) window0_.push_back(corpus_.AddText("b", 0.0, 2));
+    for (int i = 0; i < 2; ++i) window1_.push_back(corpus_.AddText("b", 10.0, 2));
+    window1_.push_back(corpus_.AddText("c", 10.0, 3));
+  }
+
+  MarkedCluster Mark(TopicId topic, size_t a, size_t b, size_t c,
+                     double recall) {
+    MarkedCluster mc;
+    mc.topic = topic;
+    mc.cluster_size = a + b;
+    mc.table = {a, b, c, 0};
+    mc.precision = mc.table.Precision();
+    mc.recall = recall;
+    return mc;
+  }
+
+  Corpus corpus_;
+  std::vector<DocId> window0_;
+  std::vector<DocId> window1_;
+};
+
+TEST_F(TopicTrackingTest, PresenceCountsPerWindow) {
+  auto tracks = TrackTopics(corpus_, {window0_, window1_}, {{}, {}});
+  ASSERT_EQ(tracks.size(), 3u);
+  EXPECT_EQ(tracks[1].presence, (std::vector<size_t>{3, 0}));
+  EXPECT_EQ(tracks[2].presence, (std::vector<size_t>{2, 2}));
+  EXPECT_EQ(tracks[3].presence, (std::vector<size_t>{0, 1}));
+}
+
+TEST_F(TopicTrackingTest, DetectionFlagsFollowMarkings) {
+  std::vector<std::vector<MarkedCluster>> markings = {
+      {Mark(1, 3, 0, 0, 1.0)},           // window 0: topic 1 detected
+      {Mark(2, 2, 0, 0, 1.0)},           // window 1: topic 2 detected
+  };
+  auto tracks = TrackTopics(corpus_, {window0_, window1_}, markings);
+  EXPECT_EQ(tracks[1].detected, (std::vector<bool>{true, false}));
+  EXPECT_EQ(tracks[2].detected, (std::vector<bool>{false, true}));
+  EXPECT_EQ(tracks[3].detected, (std::vector<bool>{false, false}));
+}
+
+TEST_F(TopicTrackingTest, BestRecallAcrossSplitClusters) {
+  // The same topic marked on two clusters: best recall wins.
+  std::vector<std::vector<MarkedCluster>> markings = {
+      {Mark(1, 1, 0, 2, 1.0 / 3.0), Mark(1, 2, 0, 1, 2.0 / 3.0)},
+      {},
+  };
+  auto tracks = TrackTopics(corpus_, {window0_, window1_}, markings);
+  EXPECT_NEAR(tracks[1].best_recall[0], 2.0 / 3.0, 1e-12);
+}
+
+TEST_F(TopicTrackingTest, MissedAndDetectedWindows) {
+  std::vector<std::vector<MarkedCluster>> markings = {
+      {Mark(2, 2, 0, 0, 1.0)},
+      {},
+  };
+  auto tracks = TrackTopics(corpus_, {window0_, window1_}, markings);
+  // Topic 2: present in both windows, detected only in window 0.
+  EXPECT_EQ(tracks[2].DetectedWindows(), (std::vector<size_t>{0}));
+  EXPECT_EQ(tracks[2].MissedWindows(), (std::vector<size_t>{1}));
+  // min_presence filter: topic 3 missed only where it actually appears.
+  EXPECT_EQ(tracks[3].MissedWindows(1), (std::vector<size_t>{1}));
+  EXPECT_TRUE(tracks[3].MissedWindows(2).empty());
+}
+
+TEST_F(TopicTrackingTest, UnmarkedClustersIgnored) {
+  MarkedCluster unmarked;
+  unmarked.cluster_size = 4;
+  auto tracks = TrackTopics(corpus_, {window0_, window1_},
+                            {{unmarked}, {}});
+  EXPECT_FALSE(tracks[1].detected[0]);
+}
+
+TEST_F(TopicTrackingTest, RenderShowsLifelines) {
+  std::vector<std::vector<MarkedCluster>> markings = {
+      {Mark(1, 3, 0, 0, 1.0)},
+      {Mark(2, 2, 0, 0, 0.5)},
+  };
+  auto tracks = TrackTopics(corpus_, {window0_, window1_}, markings);
+  const std::string out = RenderTopicTracks(tracks, {"w1", "w2"});
+  EXPECT_NE(out.find("3*(R1.00)"), std::string::npos);  // topic 1, window 0
+  EXPECT_NE(out.find("2*(R0.50)"), std::string::npos);  // topic 2, window 1
+  EXPECT_NE(out.find("w1"), std::string::npos);
+}
+
+TEST_F(TopicTrackingTest, RenderFiltersByTotalPresence) {
+  auto tracks = TrackTopics(corpus_, {window0_, window1_}, {{}, {}});
+  const std::string all = RenderTopicTracks(tracks, {"w1", "w2"}, 1);
+  const std::string big = RenderTopicTracks(tracks, {"w1", "w2"}, 4);
+  // Topic 3 (1 doc) and topic 1 (3 docs) drop out at threshold 4.
+  EXPECT_GT(all.size(), big.size());
+  EXPECT_EQ(big.find("\n3 "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nidc

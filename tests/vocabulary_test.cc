@@ -1,0 +1,74 @@
+#include "nidc/text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+TEST(VocabularyTest, AssignsDenseIdsInFirstSeenOrder) {
+  Vocabulary v;
+  EXPECT_EQ(v.GetOrAdd("alpha"), 0u);
+  EXPECT_EQ(v.GetOrAdd("beta"), 1u);
+  EXPECT_EQ(v.GetOrAdd("gamma"), 2u);
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(VocabularyTest, GetOrAddIsIdempotent) {
+  Vocabulary v;
+  const TermId id = v.GetOrAdd("term");
+  EXPECT_EQ(v.GetOrAdd("term"), id);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(VocabularyTest, LookupWithoutInterning) {
+  Vocabulary v;
+  v.GetOrAdd("known");
+  EXPECT_EQ(v.Lookup("known"), 0u);
+  EXPECT_EQ(v.Lookup("unknown"), kInvalidTermId);
+  EXPECT_EQ(v.size(), 1u);  // Lookup never grows
+}
+
+TEST(VocabularyTest, TermOfRoundTrips) {
+  Vocabulary v;
+  const TermId id = v.GetOrAdd("roundtrip");
+  Result<std::string> term = v.TermOf(id);
+  ASSERT_TRUE(term.ok());
+  EXPECT_EQ(term.value(), "roundtrip");
+}
+
+TEST(VocabularyTest, TermOfOutOfRange) {
+  Vocabulary v;
+  EXPECT_EQ(v.TermOf(0).status().code(), StatusCode::kOutOfRange);
+  v.GetOrAdd("x");
+  EXPECT_EQ(v.TermOf(5).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(VocabularyTest, TermsVectorMatchesIds) {
+  Vocabulary v;
+  v.GetOrAdd("a");
+  v.GetOrAdd("b");
+  ASSERT_EQ(v.terms().size(), 2u);
+  EXPECT_EQ(v.terms()[0], "a");
+  EXPECT_EQ(v.terms()[1], "b");
+}
+
+TEST(VocabularyTest, EmptyVocabulary) {
+  Vocabulary v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.Lookup("anything"), kInvalidTermId);
+}
+
+TEST(VocabularyTest, ManyTermsStayConsistent) {
+  Vocabulary v;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(v.GetOrAdd("term" + std::to_string(i)),
+              static_cast<TermId>(i));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(v.Lookup("term" + std::to_string(i)),
+              static_cast<TermId>(i));
+  }
+}
+
+}  // namespace
+}  // namespace nidc

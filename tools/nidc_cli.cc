@@ -1,0 +1,280 @@
+// nidc_cli — command-line front end to the library.
+//
+// Subcommands:
+//   generate --out FILE [--scale S] [--seed N]
+//       Write the synthetic TDT2-like corpus as a nidc TSV corpus file.
+//   cluster --corpus FILE [--beta D] [--gamma D] [--k N] [--from D --to D]
+//           [--top-terms N] [--state FILE]
+//       Non-incrementally cluster a time range of a corpus file and print
+//       the clusters; optionally snapshot the state.
+//   stream --corpus FILE [--beta D] [--gamma D] [--k N] [--step D]
+//          [--from D --to D] [--state FILE]
+//       Replay the corpus through the incremental clusterer, printing a
+//       digest per step; optionally resume from / save to a state snapshot.
+//   eval --corpus FILE [--beta D] [--gamma D] [--k N] [--from D --to D]
+//       Cluster and score against the corpus's topic labels (micro/macro
+//       F1, purity, NMI, ARI).
+//
+// All times are fractional days in the corpus's own timeline.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "nidc/core/incremental_clusterer.h"
+#include "nidc/core/state_io.h"
+#include "nidc/corpus/corpus_io.h"
+#include "nidc/corpus/stream.h"
+#include "nidc/eval/clustering_metrics.h"
+#include "nidc/eval/f1_measures.h"
+#include "nidc/eval/report.h"
+#include "nidc/synth/tdt2_like_generator.h"
+
+namespace nidc {
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  const char* Get(const std::string& key, const char* fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second.c_str();
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+  size_t GetSize(const std::string& key, size_t fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end()
+               ? fallback
+               : static_cast<size_t>(std::strtoull(it->second.c_str(),
+                                                   nullptr, 10));
+  }
+  bool Has(const std::string& key) const { return flags.contains(key); }
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: nidc_cli <generate|cluster|stream|eval> [--flag value]...\n"
+      "  generate --out FILE [--scale S] [--seed N]\n"
+      "  cluster  --corpus FILE [--beta D] [--gamma D] [--k N]\n"
+      "           [--from D --to D] [--top-terms N] [--state FILE]\n"
+      "  stream   --corpus FILE [--beta D] [--gamma D] [--k N] [--step D]\n"
+      "           [--from D --to D] [--state FILE]\n"
+      "  eval     --corpus FILE [--beta D] [--gamma D] [--k N]\n"
+      "           [--from D --to D]\n");
+  return 2;
+}
+
+Result<Args> Parse(int argc, char** argv) {
+  if (argc < 2) return Status::InvalidArgument("missing command");
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      return Status::InvalidArgument(std::string("expected flag, got ") +
+                                     argv[i]);
+    }
+    args.flags[argv[i] + 2] = argv[i + 1];
+  }
+  if (argc > 2 && (argc - 2) % 2 != 0) {
+    return Status::InvalidArgument("flag without value");
+  }
+  return args;
+}
+
+ForgettingParams ParamsFrom(const Args& args) {
+  ForgettingParams params;
+  params.half_life_days = args.GetDouble("beta", 7.0);
+  params.life_span_days = args.GetDouble("gamma", 30.0);
+  return params;
+}
+
+Result<std::unique_ptr<Corpus>> LoadCorpusArg(const Args& args) {
+  if (!args.Has("corpus")) {
+    return Status::InvalidArgument("--corpus FILE is required");
+  }
+  return LoadCorpus(args.Get("corpus", ""));
+}
+
+int RunGenerate(const Args& args) {
+  if (!args.Has("out")) {
+    std::fprintf(stderr, "generate: --out FILE is required\n");
+    return 2;
+  }
+  GeneratorOptions options;
+  options.scale = args.GetDouble("scale", 1.0);
+  options.seed = args.GetSize("seed", options.seed);
+  Tdt2LikeGenerator generator(options);
+  auto raw = generator.GenerateRaw();
+  if (!raw.ok()) {
+    std::fprintf(stderr, "%s\n", raw.status().ToString().c_str());
+    return 1;
+  }
+  const Status saved = SaveRawDocuments(args.Get("out", ""), *raw);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu documents to %s\n", raw->size(),
+              args.Get("out", ""));
+  return 0;
+}
+
+void PrintClusters(const Corpus& corpus, const ClusteringResult& result,
+                   size_t top_terms) {
+  for (size_t p = 0; p < result.clusters.size(); ++p) {
+    if (result.clusters[p].empty()) continue;
+    std::printf("cluster %2zu | %4zu docs | avg_sim %.3g |", p,
+                result.clusters[p].size(), result.avg_sims[p]);
+    for (const auto& term :
+         result.TopTerms(p, corpus.vocabulary(), top_terms)) {
+      std::printf(" %s", term.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("outliers: %zu | G = %.5g | %d iterations%s\n",
+              result.outliers.size(), result.g, result.iterations,
+              result.converged ? "" : " (iteration cap hit)");
+}
+
+int RunCluster(const Args& args) {
+  auto corpus = LoadCorpusArg(args);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  const double from = args.GetDouble("from", (*corpus)->MinTime());
+  const double to = args.GetDouble("to", (*corpus)->MaxTime() + 1e-6);
+  const auto docs = (*corpus)->DocsInRange(from, to);
+  if (docs.empty()) {
+    std::fprintf(stderr, "no documents in [%g, %g)\n", from, to);
+    return 1;
+  }
+  ExtendedKMeansOptions kmeans;
+  kmeans.k = args.GetSize("k", 24);
+  BatchClusterer clusterer(corpus->get(), ParamsFrom(args), kmeans);
+  auto run = clusterer.Run(docs, to);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("clustered %zu docs in [%g, %g), K=%zu, beta=%g, gamma=%g\n",
+              docs.size(), from, to, kmeans.k,
+              ParamsFrom(args).half_life_days,
+              ParamsFrom(args).life_span_days);
+  PrintClusters(**corpus, run->clustering, args.GetSize("top-terms", 5));
+  return 0;
+}
+
+int RunStream(const Args& args) {
+  auto corpus = LoadCorpusArg(args);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  IncrementalOptions options;
+  options.kmeans.k = args.GetSize("k", 24);
+
+  std::unique_ptr<IncrementalClusterer> clusterer;
+  const std::string state_path = args.Get("state", "");
+  double resume_from = args.GetDouble("from", (*corpus)->MinTime());
+  if (!state_path.empty()) {
+    if (Result<ClustererState> state = LoadState(state_path); state.ok()) {
+      auto restored = RestoreClusterer(corpus->get(), options, *state);
+      if (!restored.ok()) {
+        std::fprintf(stderr, "%s\n", restored.status().ToString().c_str());
+        return 1;
+      }
+      clusterer = std::move(restored).value();
+      resume_from = state->now;
+      std::printf("resumed from %s at day %g (%zu active docs)\n",
+                  state_path.c_str(), state->now,
+                  state->active_docs.size());
+    }
+  }
+  if (clusterer == nullptr) {
+    clusterer = std::make_unique<IncrementalClusterer>(
+        corpus->get(), ParamsFrom(args), options);
+  }
+
+  const double to = args.GetDouble("to", (*corpus)->MaxTime() + 1e-6);
+  const double step = args.GetDouble("step", 1.0);
+  DocumentStream stream(corpus->get(), resume_from, to, step);
+  while (auto batch = stream.Next()) {
+    auto result = clusterer->Step(batch->docs, batch->end);
+    if (!result.ok()) {
+      std::printf("day %7.2f | +%3zu docs | (%s)\n", batch->end,
+                  batch->docs.size(), result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("day %7.2f | +%3zu docs | %4zu active | %2zu expired | "
+                "%2zu clusters | %3zu outliers | G %.4g\n",
+                batch->end, result->num_new, result->num_active,
+                result->expired.size(), result->clustering.NumNonEmpty(),
+                result->clustering.outliers.size(), result->clustering.g);
+  }
+  if (!state_path.empty()) {
+    const Status saved = SaveState(CaptureState(*clusterer), state_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("state saved to %s\n", state_path.c_str());
+  }
+  return 0;
+}
+
+int RunEval(const Args& args) {
+  auto corpus = LoadCorpusArg(args);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  const double from = args.GetDouble("from", (*corpus)->MinTime());
+  const double to = args.GetDouble("to", (*corpus)->MaxTime() + 1e-6);
+  const auto docs = (*corpus)->DocsInRange(from, to);
+  ExtendedKMeansOptions kmeans;
+  kmeans.k = args.GetSize("k", 24);
+  BatchClusterer clusterer(corpus->get(), ParamsFrom(args), kmeans);
+  auto run = clusterer.Run(docs, to);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  const auto marked =
+      MarkClusters(**corpus, run->clustering.clusters, docs, {});
+  const GlobalF1 f1 = ComputeGlobalF1(marked);
+  const ClusteringMetrics metrics =
+      ComputeClusteringMetrics(**corpus, run->clustering.clusters);
+  std::printf("%s", RenderClusterReport(marked).c_str());
+  std::printf("micro F1 %.3f | macro F1 %.3f | purity %.3f | NMI %.3f | "
+              "ARI %.3f | marked %zu/%zu | outliers %zu\n",
+              f1.micro_f1, f1.macro_f1, metrics.purity, metrics.nmi,
+              metrics.adjusted_rand, f1.num_marked, f1.num_evaluated,
+              run->clustering.outliers.size());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Result<Args> args = Parse(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    return Usage();
+  }
+  if (args->command == "generate") return RunGenerate(*args);
+  if (args->command == "cluster") return RunCluster(*args);
+  if (args->command == "stream") return RunStream(*args);
+  if (args->command == "eval") return RunEval(*args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace nidc
+
+int main(int argc, char** argv) { return nidc::Main(argc, argv); }
