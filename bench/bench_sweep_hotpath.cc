@@ -1,0 +1,290 @@
+// Hot-path benchmark for the extended K-means sweep: serial merge scoring
+// vs rep-index scoring vs rep-index + parallel similarity-context build.
+//
+// Three configurations run the same clustering problem:
+//   merge            use_rep_index=false, num_threads=1  (the seed path)
+//   indexed          use_rep_index=true,  num_threads=1
+//   indexed+parallel use_rep_index=true,  num_threads=hardware
+// All three must produce identical clusterings (same memberships, same
+// outliers, same G trajectory) — the bench verifies this and exits
+// non-zero on a mismatch. It then replays an incremental stream and emits
+// a BENCH_sweep_hotpath.json trajectory of per-step timings.
+//
+// Env knobs:
+//   NIDC_SWEEP_SCALE   corpus scale (1.0 = paper-scale 7,578 docs)
+//   NIDC_SWEEP_K       number of clusters (default 32)
+//   NIDC_REQUIRE_SPEEDUP  if set to a positive value, exit non-zero unless
+//                         indexed+parallel achieves that speedup over merge
+//   NIDC_BENCH_JSON_DIR   output directory for the JSON file (default ".")
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "nidc/util/thread_pool.h"
+
+namespace nidc::bench {
+namespace {
+
+std::string Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+struct Config {
+  const char* name;
+  bool use_rep_index;
+  size_t num_threads;
+};
+
+struct Timing {
+  double context_seconds = 0.0;
+  double cluster_seconds = 0.0;
+  double total() const { return context_seconds + cluster_seconds; }
+};
+
+struct BatchRun {
+  Timing timing;
+  ClusteringResult result;
+};
+
+BatchRun RunBatch(const ForgettingModel& model,
+                  const std::vector<DocId>& docs, const Config& config,
+                  ExtendedKMeansOptions kmeans) {
+  kmeans.use_rep_index = config.use_rep_index;
+  kmeans.num_threads = config.num_threads;
+  BatchRun run;
+  Stopwatch ctx_timer;
+  SimilarityContext ctx(model, ThreadPool::Resolve(config.num_threads));
+  run.timing.context_seconds = ctx_timer.ElapsedSeconds();
+  Stopwatch cluster_timer;
+  auto result = RunExtendedKMeans(ctx, docs, kmeans);
+  run.timing.cluster_seconds = cluster_timer.ElapsedSeconds();
+  if (!result.ok()) {
+    std::fprintf(stderr, "[%s] clustering failed: %s\n", config.name,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  run.result = std::move(result).value();
+  return run;
+}
+
+bool SameClustering(const ClusteringResult& a, const ClusteringResult& b,
+                    const char* name) {
+  bool ok = true;
+  if (a.clusters != b.clusters) {
+    std::fprintf(stderr, "MISMATCH [%s]: memberships differ\n", name);
+    ok = false;
+  }
+  if (a.outliers != b.outliers) {
+    std::fprintf(stderr, "MISMATCH [%s]: outlier lists differ\n", name);
+    ok = false;
+  }
+  if (a.g_history.size() != b.g_history.size()) {
+    std::fprintf(stderr, "MISMATCH [%s]: G history lengths differ\n", name);
+    ok = false;
+  } else {
+    for (size_t i = 0; i < a.g_history.size(); ++i) {
+      const double tol = 1e-9 * std::max(1.0, std::fabs(a.g_history[i]));
+      if (std::fabs(a.g_history[i] - b.g_history[i]) > tol) {
+        std::fprintf(stderr, "MISMATCH [%s]: G[%zu] %.17g vs %.17g\n", name,
+                     i, a.g_history[i], b.g_history[i]);
+        ok = false;
+      }
+    }
+  }
+  return ok;
+}
+
+// One stream step's timings for the trajectory file.
+struct StepTrace {
+  int step = 0;
+  size_t active = 0;
+  double merge_seconds = 0.0;
+  double indexed_parallel_seconds = 0.0;
+};
+
+void WriteJson(const std::string& path, double scale, size_t k,
+               size_t active_docs, size_t hw_threads,
+               const std::vector<std::pair<Config, Timing>>& batch,
+               const std::vector<StepTrace>& trajectory, double speedup) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"sweep_hotpath\",\n");
+  std::fprintf(f, "  \"scale\": %g,\n", scale);
+  std::fprintf(f, "  \"k\": %zu,\n", k);
+  std::fprintf(f, "  \"active_docs\": %zu,\n", active_docs);
+  std::fprintf(f, "  \"hardware_threads\": %zu,\n", hw_threads);
+  std::fprintf(f, "  \"speedup_indexed_parallel_vs_merge\": %.4f,\n",
+               speedup);
+  std::fprintf(f, "  \"batch\": [\n");
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const auto& [config, timing] = batch[i];
+    std::fprintf(f,
+                 "    {\"config\": \"%s\", \"context_seconds\": %.6f, "
+                 "\"cluster_seconds\": %.6f, \"total_seconds\": %.6f}%s\n",
+                 config.name, timing.context_seconds,
+                 timing.cluster_seconds, timing.total(),
+                 i + 1 < batch.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"trajectory\": [\n");
+  for (size_t i = 0; i < trajectory.size(); ++i) {
+    const StepTrace& t = trajectory[i];
+    std::fprintf(f,
+                 "    {\"step\": %d, \"active_docs\": %zu, "
+                 "\"merge_seconds\": %.6f, "
+                 "\"indexed_parallel_seconds\": %.6f}%s\n",
+                 t.step, t.active, t.merge_seconds,
+                 t.indexed_parallel_seconds,
+                 i + 1 < trajectory.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("(trajectory written to %s)\n", path.c_str());
+}
+
+// Replays the stream incrementally day by day with the given config and
+// returns the per-step clustering times (stats update excluded — the sweep
+// is what this bench isolates).
+std::vector<double> RunStream(const BenchCorpus& bc, size_t k,
+                              const Config& config,
+                              std::vector<size_t>* active_out) {
+  ForgettingParams params;
+  params.half_life_days = 7.0;
+  params.life_span_days = 30.0;
+  IncrementalOptions options;
+  options.kmeans.k = k;
+  options.kmeans.seed = 7;
+  options.kmeans.use_rep_index = config.use_rep_index;
+  options.kmeans.num_threads = config.num_threads;
+  IncrementalClusterer clusterer(bc.corpus.get(), params, options);
+
+  const DayTime begin = bc.corpus->MinTime();
+  const DayTime end = std::min(begin + 6.0, bc.corpus->MaxTime());
+  std::vector<double> seconds;
+  if (active_out != nullptr) active_out->clear();
+  for (DayTime day = begin; day <= end; day += 1.0) {
+    const auto new_docs =
+        bc.corpus->DocsInRange(day, std::min(day + 1.0, end + 1.0));
+    if (new_docs.empty()) continue;
+    auto step = clusterer.Step(new_docs, std::min(day + 1.0, end + 1.0));
+    if (!step.ok()) {
+      std::fprintf(stderr, "[%s] stream step failed: %s\n", config.name,
+                   step.status().ToString().c_str());
+      std::exit(1);
+    }
+    seconds.push_back(step->clustering_seconds);
+    if (active_out != nullptr) active_out->push_back(step->num_active);
+  }
+  return seconds;
+}
+
+int Main() {
+  PrintHeader("Sweep hot path: merge vs indexed vs indexed+parallel",
+              "Table 1 setting (§6.2.1) — scoring-path ablation");
+
+  const double scale = EnvScale("NIDC_SWEEP_SCALE", 1.0);
+  const size_t k = static_cast<size_t>(EnvScale("NIDC_SWEEP_K", 32.0));
+  const size_t hw = ThreadPool::DefaultThreads();
+  BenchCorpus bc = MakeCorpus(scale);
+
+  // Batch comparison: every document of the corpus active at once, so the
+  // sweep runs at the full advertised size (≥ 5k docs at scale 1).
+  ForgettingParams params;
+  params.half_life_days = 30.0;
+  params.life_span_days = 10000.0;  // keep everything active
+  ForgettingModel model(bc.corpus.get(), params);
+  model.AdvanceTo(bc.corpus->MaxTime());
+  std::vector<DocId> docs(bc.corpus->size());
+  for (DocId d = 0; d < static_cast<DocId>(docs.size()); ++d) docs[d] = d;
+  model.AddDocuments(docs);
+
+  ExtendedKMeansOptions kmeans;
+  kmeans.k = k;
+  kmeans.seed = 7;
+
+  const Config configs[] = {
+      {"merge", false, 1},
+      {"indexed", true, 1},
+      {"indexed+parallel", true, 0},
+  };
+
+  std::printf("corpus: %zu docs, K = %zu, hardware threads = %zu\n\n",
+              docs.size(), k, hw);
+  TablePrinter table({"config", "context s", "cluster s", "total s",
+                      "speedup", "iters"});
+  std::vector<std::pair<Config, Timing>> batch;
+  std::vector<BatchRun> runs;
+  for (const Config& config : configs) {
+    runs.push_back(RunBatch(model, docs, config, kmeans));
+    const Timing& t = runs.back().timing;
+    batch.emplace_back(config, t);
+    table.AddRow(
+        {config.name, Fmt(t.context_seconds, 3),
+         Fmt(t.cluster_seconds, 3), Fmt(t.total(), 3),
+         Fmt(batch.front().second.total() / std::max(t.total(), 1e-12), 2) +
+             "x",
+         std::to_string(runs.back().result.iterations)});
+  }
+  table.Print(std::cout);
+
+  bool identical = true;
+  identical &= SameClustering(runs[0].result, runs[1].result,
+                              "merge vs indexed");
+  identical &= SameClustering(runs[0].result, runs[2].result,
+                              "merge vs indexed+parallel");
+  std::printf("\nclustering outputs identical across configs: %s\n",
+              identical ? "YES" : "NO");
+  const double speedup =
+      runs[0].timing.total() / std::max(runs[2].timing.total(), 1e-12);
+  std::printf("indexed+parallel speedup over merge: %.2fx\n", speedup);
+
+  // Incremental-stream trajectory (first week of the corpus): merge vs
+  // indexed+parallel per-step clustering time.
+  std::vector<size_t> active;
+  const std::vector<double> merge_steps =
+      RunStream(bc, k, configs[0], &active);
+  const std::vector<double> fast_steps = RunStream(bc, k, configs[2],
+                                                   nullptr);
+  std::vector<StepTrace> trajectory;
+  for (size_t i = 0; i < merge_steps.size() && i < fast_steps.size(); ++i) {
+    StepTrace t;
+    t.step = static_cast<int>(i);
+    t.active = i < active.size() ? active[i] : 0;
+    t.merge_seconds = merge_steps[i];
+    t.indexed_parallel_seconds = fast_steps[i];
+    trajectory.push_back(t);
+  }
+
+  const char* dir = std::getenv("NIDC_BENCH_JSON_DIR");
+  const std::string path =
+      std::string(dir != nullptr && dir[0] != '\0' ? dir : ".") +
+      "/BENCH_sweep_hotpath.json";
+  WriteJson(path, scale, k, docs.size(), hw, batch, trajectory, speedup);
+
+  if (!identical) {
+    std::fprintf(stderr, "FAILED: configurations disagree on the output\n");
+    return 1;
+  }
+  const double required = EnvScale("NIDC_REQUIRE_SPEEDUP", 0.0);
+  if (required > 0.0 && speedup < required) {
+    std::fprintf(stderr, "FAILED: speedup %.2fx below required %.2fx\n",
+                 speedup, required);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace nidc::bench
+
+int main() { return nidc::bench::Main(); }

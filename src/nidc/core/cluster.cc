@@ -14,12 +14,13 @@ void Cluster::Add(DocId id, const SimilarityContext& ctx) {
   cr_self_ += 2.0 * representative_.Dot(psi) + self;
   ss_ += self;
   representative_.AddScaled(psi, 1.0);
+  member_pos_.emplace(id, members_.size());
   members_.push_back(id);
-  member_set_.insert(id);
 }
 
 void Cluster::Remove(DocId id, const SimilarityContext& ctx) {
-  assert(Contains(id));
+  auto it = member_pos_.find(id);
+  assert(it != member_pos_.end());
   const SparseVector& psi = ctx.Psi(id);
   const double self = ctx.SelfSim(id);
   // Deletion counterpart: with c' = c − ψ_d,
@@ -27,8 +28,14 @@ void Cluster::Remove(DocId id, const SimilarityContext& ctx) {
   cr_self_ += -2.0 * representative_.Dot(psi) + self;
   ss_ -= self;
   representative_.AddScaled(psi, -1.0);
-  members_.erase(std::find(members_.begin(), members_.end(), id));
-  member_set_.erase(id);
+  // Swap-and-pop so removal costs O(1), not a linear member scan.
+  const size_t pos = it->second;
+  member_pos_.erase(it);
+  if (pos + 1 != members_.size()) {
+    members_[pos] = members_.back();
+    member_pos_[members_[pos]] = pos;
+  }
+  members_.pop_back();
   if (members_.empty()) Clear();  // snap caches to exact zero
 }
 
@@ -48,16 +55,6 @@ double Cluster::AvgSimIfAdded(DocId id, const SimilarityContext& ctx) const {
   return (cr_self_ + 2.0 * cr_cd - ss_) / (n * (n + 1.0));
 }
 
-double Cluster::GainInGIfAdded(DocId id, const SimilarityContext& ctx) const {
-  assert(!Contains(id));
-  const double n = static_cast<double>(members_.size());
-  if (members_.empty()) return 0.0;  // an empty cluster stays at g = 0
-  const double pair_sum = cr_self_ - ss_;  // S = n(n−1)·avg_sim (Eq. 22)
-  const double t = representative_.Dot(ctx.Psi(id));
-  const double g_now = n > 1.0 ? pair_sum / (n - 1.0) : 0.0;
-  return (pair_sum + 2.0 * t) / n - g_now;
-}
-
 double Cluster::AvgSimIfMerged(const Cluster& other) const {
   const double n = static_cast<double>(members_.size() +
                                        other.members_.size());
@@ -72,8 +69,8 @@ double Cluster::AvgSimIfMerged(const Cluster& other) const {
 void Cluster::MergeFrom(Cluster* other) {
   for (DocId id : other->members_) {
     assert(!Contains(id));
+    member_pos_.emplace(id, members_.size());
     members_.push_back(id);
-    member_set_.insert(id);
   }
   cr_self_ +=
       2.0 * representative_.Dot(other->representative_) + other->cr_self_;
@@ -96,7 +93,7 @@ void Cluster::Refresh(const SimilarityContext& ctx) {
 
 void Cluster::Clear() {
   members_.clear();
-  member_set_.clear();
+  member_pos_.clear();
   representative_ = SparseVector();
   cr_self_ = 0.0;
   ss_ = 0.0;

@@ -11,7 +11,7 @@
 #ifndef NIDC_CORE_CLUSTER_H_
 #define NIDC_CORE_CLUSTER_H_
 
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "nidc/core/novelty_similarity.h"
@@ -29,6 +29,10 @@ class Cluster {
   void Add(DocId id, const SimilarityContext& ctx);
 
   /// Removes a member (must be present); the deletion counterpart of Eq. 26.
+  /// O(|ψ_d| + |rep|): the member list is swap-and-popped via a position
+  /// map, so detach-reattach sweeps never pay a linear membership scan.
+  /// Note members() order is therefore *not* insertion order after a
+  /// removal.
   void Remove(DocId id, const SimilarityContext& ctx);
 
   /// avg_sim(C_p) per Eq. 24; defined as 0 for |C| <= 1.
@@ -49,7 +53,28 @@ class Cluster {
   /// G-greedy assignment rule. With S the pairwise-similarity sum
   /// (= cr_self − ss, Eq. 22) and T = cr_sim(C_p, {d}):
   ///   Δg = (S + 2T)/|C| − S/(|C|−1).
-  double GainInGIfAdded(DocId id, const SimilarityContext& ctx) const;
+  double GainInGIfAdded(DocId id, const SimilarityContext& ctx) const {
+    if (members_.empty()) return 0.0;  // an empty cluster stays at g = 0
+    return GainInGGivenT(CrSimWithDoc(id, ctx));
+  }
+
+  /// GainIfAdded with the cross term T = cr_sim(C_p, {d}) supplied by the
+  /// caller — the formula the rep-index scoring path shares with the
+  /// merge path, so both compute gains identically. Requires |C| >= 1.
+  double GainGivenT(double t) const {
+    const double n = static_cast<double>(members_.size());
+    // Eq. 26 minus Eq. 24.
+    const double after = (cr_self_ + 2.0 * t - ss_) / (n * (n + 1.0));
+    return after - AvgSim();
+  }
+
+  /// GainInGIfAdded with T supplied by the caller. Requires |C| >= 1.
+  double GainInGGivenT(double t) const {
+    const double n = static_cast<double>(members_.size());
+    const double pair_sum = cr_self_ - ss_;  // S = n(n−1)·avg_sim (Eq. 22)
+    const double g_now = n > 1.0 ? pair_sum / (n - 1.0) : 0.0;
+    return (pair_sum + 2.0 * t) / n - g_now;
+  }
 
   /// Similarity of this cluster's representative with a document's ψ —
   /// cr_sim(C_p, {d}) of Eq. 21 for a singleton.
@@ -83,9 +108,10 @@ class Cluster {
   /// against.
   double AvgSimNaive(const SimilarityContext& ctx) const;
 
-  bool Contains(DocId id) const { return member_set_.contains(id); }
+  bool Contains(DocId id) const { return member_pos_.contains(id); }
   size_t size() const { return members_.size(); }
   bool empty() const { return members_.empty(); }
+  /// Members in unspecified (but deterministic) order — see Remove().
   const std::vector<DocId>& members() const { return members_; }
 
   const SparseVector& representative() const { return representative_; }
@@ -94,7 +120,7 @@ class Cluster {
 
  private:
   std::vector<DocId> members_;
-  std::unordered_set<DocId> member_set_;
+  std::unordered_map<DocId, size_t> member_pos_;  // id → index in members_
   SparseVector representative_;
   double cr_self_ = 0.0;
   double ss_ = 0.0;

@@ -11,16 +11,33 @@ void ClusterSet::Assign(DocId id, int p, const SimilarityContext& ctx) {
   if (current == p) return;
   if (current != kUnassigned) {
     clusters_[static_cast<size_t>(current)].Remove(id, ctx);
+    if (rep_index_enabled_) {
+      rep_index_.Remove(static_cast<size_t>(current), ctx.Psi(id));
+    }
     assignment_.erase(id);
   }
   if (p != kUnassigned) {
     clusters_[static_cast<size_t>(p)].Add(id, ctx);
+    if (rep_index_enabled_) {
+      rep_index_.Add(static_cast<size_t>(p), ctx.Psi(id));
+    }
     assignment_[id] = p;
   }
 }
 
 void ClusterSet::RefreshAll(const SimilarityContext& ctx) {
   for (Cluster& c : clusters_) c.Refresh(ctx);
+  if (rep_index_enabled_) {
+    // Rebuild the postings with the same per-term addition order as
+    // Cluster::Refresh uses for the representatives, so indexed scores stay
+    // aligned with the merge path and tombstone drift is cleared.
+    rep_index_.Reset(clusters_.size());
+    for (size_t p = 0; p < clusters_.size(); ++p) {
+      for (DocId id : clusters_[p].members()) {
+        rep_index_.Add(p, ctx.Psi(id));
+      }
+    }
+  }
 }
 
 double ClusterSet::G() const {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "nidc/core/cluster.h"
+#include "nidc/core/rep_index.h"
 
 namespace nidc {
 
@@ -14,10 +15,15 @@ namespace nidc {
 inline constexpr int kUnassigned = -1;
 
 /// Owns K clusters and keeps the assignment map consistent with their
-/// membership.
+/// membership. With the rep index enabled, a term → (cluster, weight)
+/// posting structure additionally mirrors the K representative vectors and
+/// is kept in sync by Assign/RefreshAll, so ScoreAllClusters can evaluate
+/// cr_sim(C_p, {d}) for every cluster in one pass over ψ_d.
 class ClusterSet {
  public:
-  explicit ClusterSet(size_t k) : clusters_(k) {}
+  explicit ClusterSet(size_t k, bool use_rep_index = false)
+      : clusters_(k), rep_index_(use_rep_index ? k : 0),
+        rep_index_enabled_(use_rep_index) {}
 
   size_t num_clusters() const { return clusters_.size(); }
   Cluster& cluster(size_t p) { return clusters_[p]; }
@@ -33,7 +39,8 @@ class ClusterSet {
   /// first, if any). `p` may be kUnassigned to just detach the document.
   void Assign(DocId id, int p, const SimilarityContext& ctx);
 
-  /// Recomputes every cluster's cached statistics from its members.
+  /// Recomputes every cluster's cached statistics (and the rep index, when
+  /// enabled) from its members.
   void RefreshAll(const SimilarityContext& ctx);
 
   /// Clustering index G = Σ_p |C_p| · avg_sim(C_p) (Eq. 17).
@@ -42,9 +49,20 @@ class ClusterSet {
   /// Total number of assigned documents.
   size_t TotalAssigned() const;
 
+  bool rep_index_enabled() const { return rep_index_enabled_; }
+
+  /// Document-at-a-time scoring (requires the rep index): fills scores[p]
+  /// with c⃗_p · psi for all K clusters in one posting scan.
+  void ScoreAllClusters(const SparseVector& psi,
+                        std::vector<double>* scores) const {
+    rep_index_.ScoreAll(psi, scores);
+  }
+
  private:
   std::vector<Cluster> clusters_;
   std::unordered_map<DocId, int> assignment_;
+  ClusterRepIndex rep_index_;
+  bool rep_index_enabled_ = false;
 };
 
 }  // namespace nidc

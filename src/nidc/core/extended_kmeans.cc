@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "nidc/core/clustering_index.h"
+#include "nidc/core/rep_index.h"
+#include "nidc/util/thread_pool.h"
 
 namespace nidc {
 
@@ -22,23 +24,46 @@ namespace {
 // avg_sim gain over all clusters is found via Eq. 26, and the document is
 // re-attached to the argmax cluster — or put on the outlier list when no
 // assignment increases any intra-cluster similarity.
+//
+// Two scoring paths compute the cross terms T_p = cr_sim(C_p, {d}):
+//   * merge: K independent sparse dot products against the representatives;
+//   * indexed (use_rep_index): one document-at-a-time posting scan yields
+//     every T_p at once, then the same gain formulas are applied per
+//     cluster from the cached statistics.
 std::vector<DocId> SweepAssign(const std::vector<DocId>& order,
                                const SimilarityContext& ctx,
                                AssignmentCriterion criterion,
                                ClusterSet* clusters) {
   std::vector<DocId> outliers;
+  std::vector<double> t_scores;
+  const bool indexed = clusters->rep_index_enabled();
   for (DocId id : order) {
     clusters->Assign(id, kUnassigned, ctx);
     int best = kUnassigned;
     double best_gain = 0.0;
-    for (size_t p = 0; p < clusters->num_clusters(); ++p) {
-      const Cluster& c = clusters->cluster(p);
-      const double gain = criterion == AssignmentCriterion::kGIncrease
-                              ? c.GainInGIfAdded(id, ctx)
-                              : c.GainIfAdded(id, ctx);
-      if (gain > best_gain) {
-        best_gain = gain;
-        best = static_cast<int>(p);
+    if (indexed) {
+      clusters->ScoreAllClusters(ctx.Psi(id), &t_scores);
+      for (size_t p = 0; p < clusters->num_clusters(); ++p) {
+        const Cluster& c = clusters->cluster(p);
+        if (c.empty()) continue;  // an empty cluster's gain is 0
+        const double gain = criterion == AssignmentCriterion::kGIncrease
+                                ? c.GainInGGivenT(t_scores[p])
+                                : c.GainGivenT(t_scores[p]);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = static_cast<int>(p);
+        }
+      }
+    } else {
+      for (size_t p = 0; p < clusters->num_clusters(); ++p) {
+        const Cluster& c = clusters->cluster(p);
+        const double gain = criterion == AssignmentCriterion::kGIncrease
+                                ? c.GainInGIfAdded(id, ctx)
+                                : c.GainIfAdded(id, ctx);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = static_cast<int>(p);
+        }
       }
     }
     if (best == kUnassigned) {
@@ -66,25 +91,56 @@ std::vector<DocId> SweepAssign(const std::vector<DocId>& order,
 // Populates clusters from fixed representative vectors: each document joins
 // the cluster whose representative it is most similar to (cr_sim with the
 // singleton {d}); non-positive best similarity goes to the outlier list.
+//
+// The scan is read-only against the fixed vectors, so the per-document
+// decisions are computed in parallel (optionally through a posting index
+// over the seed representatives) and then applied serially in document
+// order — bit-identical to the serial loop for any thread count.
 std::vector<DocId> AssignAgainstFixedRepresentatives(
     const std::vector<DocId>& docs, const std::vector<SparseVector>& reps,
-    const SimilarityContext& ctx, ClusterSet* clusters) {
-  std::vector<DocId> outliers;
-  for (DocId id : docs) {
-    const SparseVector& psi = ctx.Psi(id);
-    int best = kUnassigned;
-    double best_sim = 0.0;
-    for (size_t p = 0; p < reps.size(); ++p) {
-      const double sim = reps[p].Dot(psi);
-      if (sim > best_sim) {
-        best_sim = sim;
-        best = static_cast<int>(p);
+    const SimilarityContext& ctx, bool use_rep_index, ThreadPool* pool,
+    ClusterSet* clusters) {
+  ClusterRepIndex seed_index;
+  if (use_rep_index) {
+    seed_index.Reset(reps.size());
+    for (size_t p = 0; p < reps.size(); ++p) seed_index.Add(p, reps[p]);
+  }
+
+  std::vector<int> decisions(docs.size(), kUnassigned);
+  const auto decide = [&](size_t begin, size_t end) {
+    std::vector<double> scores;
+    for (size_t i = begin; i < end; ++i) {
+      const SparseVector& psi = ctx.Psi(docs[i]);
+      int best = kUnassigned;
+      double best_sim = 0.0;
+      if (use_rep_index) {
+        seed_index.ScoreAll(psi, &scores);
+        for (size_t p = 0; p < reps.size(); ++p) {
+          if (scores[p] > best_sim) {
+            best_sim = scores[p];
+            best = static_cast<int>(p);
+          }
+        }
+      } else {
+        for (size_t p = 0; p < reps.size(); ++p) {
+          const double sim = reps[p].Dot(psi);
+          if (sim > best_sim) {
+            best_sim = sim;
+            best = static_cast<int>(p);
+          }
+        }
       }
+      decisions[i] = best;
     }
-    if (best == kUnassigned) {
-      outliers.push_back(id);
+  };
+  pool->ParallelFor(docs.size(), /*grain=*/64, decide);
+
+  std::vector<DocId> outliers;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    if (decisions[i] == kUnassigned) {
+      outliers.push_back(docs[i]);
     } else {
-      clusters->Assign(id, best, ctx);
+      clusters->Assign(docs[i], decisions[i], ctx);
     }
   }
   return outliers;
@@ -108,8 +164,9 @@ Result<ClusteringResult> RunExtendedKMeans(
   }
 
   const size_t k = std::min(options.k, docs.size());
-  ClusterSet clusters(k);
+  ClusterSet clusters(k, options.use_rep_index);
   Rng rng(options.seed);
+  ThreadPool pool(ThreadPool::Resolve(options.num_threads));
   std::vector<DocId> outliers;
 
   // --- Initial process ---
@@ -141,7 +198,8 @@ Result<ClusteringResult> RunExtendedKMeans(
                                        "clusters than k");
       }
       outliers = AssignAgainstFixedRepresentatives(
-          docs, seeds->representatives, ctx, &clusters);
+          docs, seeds->representatives, ctx, options.use_rep_index, &pool,
+          &clusters);
       break;
     }
   }

@@ -73,6 +73,19 @@ struct ExtendedKMeansOptions {
   /// Seed for initial-cluster selection and shuffling.
   uint64_t seed = 42;
 
+  /// Score gains through the cluster-representative posting index (see
+  /// rep_index.h): one pass over a document's ψ yields cr_sim(C_p, {d})
+  /// for all K clusters at once, instead of K sorted-merge dot products.
+  /// Off: the original per-cluster merge path (kept as the reference).
+  bool use_rep_index = true;
+
+  /// Concurrency for the read-only scans (ψ-vector construction in
+  /// SimilarityContext when driven through the clusterers, and the seeded
+  /// assignment pass against fixed representatives). 0 = hardware
+  /// concurrency. Results are bit-identical for every value — parallel
+  /// lanes write disjoint slots and assignments are applied in sweep order.
+  size_t num_threads = 0;
+
   Status Validate() const;
 };
 

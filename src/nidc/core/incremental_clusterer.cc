@@ -1,6 +1,7 @@
 #include "nidc/core/incremental_clusterer.h"
 
 #include "nidc/util/stopwatch.h"
+#include "nidc/util/thread_pool.h"
 
 namespace nidc {
 
@@ -31,7 +32,8 @@ Result<StepResult> IncrementalClusterer::Step(
 
   // Phase 2: clustering, seeded from the previous result (§5.2 step 3).
   Stopwatch cluster_timer;
-  SimilarityContext ctx(model_);
+  SimilarityContext ctx(model_,
+                        ThreadPool::Resolve(options_.kmeans.num_threads));
   std::optional<KMeansSeeds> seeds;
   ExtendedKMeansOptions kmeans = options_.kmeans;
   // Vary the random-seed stream per step so repeated random inits differ.
@@ -65,7 +67,8 @@ Status IncrementalClusterer::RestoreState(
   if (last_result_ && model_.num_active() > 0) {
     // Recompute representatives (Eq. 20) for the restored memberships —
     // they are derived state, so snapshots do not carry them.
-    SimilarityContext ctx(model_);
+    SimilarityContext ctx(model_,
+                          ThreadPool::Resolve(options_.kmeans.num_threads));
     last_result_->representatives.assign(last_result_->clusters.size(),
                                          SparseVector());
     last_result_->avg_sims.assign(last_result_->clusters.size(), 0.0);
@@ -110,7 +113,7 @@ Result<StepResult> BatchClusterer::Run(const std::vector<DocId>& docs,
 
   // Phase 2: clustering from a random start.
   Stopwatch cluster_timer;
-  SimilarityContext ctx(model_);
+  SimilarityContext ctx(model_, ThreadPool::Resolve(kmeans_.num_threads));
   Result<ClusteringResult> clustering =
       RunExtendedKMeans(ctx, model_.active_docs(), kmeans_);
   if (!clustering.ok()) return clustering.status();

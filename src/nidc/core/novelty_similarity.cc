@@ -1,32 +1,52 @@
 #include "nidc/core/novelty_similarity.h"
 
-#include <cassert>
+#include "nidc/util/logging.h"
+#include "nidc/util/thread_pool.h"
 
 namespace nidc {
 
-SimilarityContext::SimilarityContext(const ForgettingModel& model) {
+namespace {
+
+// Below this many documents the pool dispatch costs more than the build.
+constexpr size_t kParallelBuildThreshold = 256;
+
+}  // namespace
+
+SimilarityContext::SimilarityContext(const ForgettingModel& model,
+                                     size_t num_threads) {
   docs_ = model.active_docs();
-  psi_.reserve(docs_.size());
-  self_sim_.reserve(docs_.size());
+  psi_.resize(docs_.size());
+  self_sim_.resize(docs_.size());
   index_.reserve(docs_.size());
-  for (size_t i = 0; i < docs_.size(); ++i) {
-    const DocId id = docs_[i];
-    const Document& doc = model.corpus().doc(id);
-    const double len = doc.Length();
-    const double pr = model.PrDoc(id);
-    std::vector<SparseVector::Entry> entries;
-    entries.reserve(doc.terms.size());
-    if (len > 0.0 && pr > 0.0) {
-      const double unit = pr / len;
-      for (const auto& e : doc.terms.entries()) {
-        const double idf = model.Idf(e.id);
-        if (idf <= 0.0) continue;
-        entries.push_back({e.id, unit * e.value * idf});
+  for (size_t i = 0; i < docs_.size(); ++i) index_.emplace(docs_[i], i);
+
+  const auto build = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const DocId id = docs_[i];
+      const Document& doc = model.corpus().doc(id);
+      const double len = doc.Length();
+      const double pr = model.PrDoc(id);
+      std::vector<SparseVector::Entry> entries;
+      entries.reserve(doc.terms.size());
+      if (len > 0.0 && pr > 0.0) {
+        const double unit = pr / len;
+        for (const auto& e : doc.terms.entries()) {
+          const double idf = model.Idf(e.id);
+          if (idf <= 0.0) continue;
+          entries.push_back({e.id, unit * e.value * idf});
+        }
       }
+      psi_[i] = SparseVector::FromEntries(std::move(entries));
+      self_sim_[i] = psi_[i].SquaredNorm();
     }
-    psi_.push_back(SparseVector::FromEntries(std::move(entries)));
-    self_sim_.push_back(psi_.back().SquaredNorm());
-    index_.emplace(id, i);
+  };
+
+  const size_t threads = ThreadPool::Resolve(num_threads);
+  if (threads > 1 && docs_.size() >= kParallelBuildThreshold) {
+    ThreadPool pool(threads);
+    pool.ParallelFor(docs_.size(), /*grain=*/64, build);
+  } else {
+    build(0, docs_.size());
   }
 }
 
@@ -36,13 +56,17 @@ double SimilarityContext::Sim(DocId a, DocId b) const {
 
 double SimilarityContext::SelfSim(DocId id) const {
   auto it = index_.find(id);
-  assert(it != index_.end());
+  NIDC_CHECK(it != index_.end())
+      << "SimilarityContext::SelfSim: document " << id
+      << " is not in the snapshot";
   return self_sim_[it->second];
 }
 
 const SparseVector& SimilarityContext::Psi(DocId id) const {
   auto it = index_.find(id);
-  assert(it != index_.end());
+  NIDC_CHECK(it != index_.end())
+      << "SimilarityContext::Psi: document " << id
+      << " is not in the snapshot";
   return psi_[it->second];
 }
 

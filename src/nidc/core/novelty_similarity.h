@@ -25,16 +25,22 @@ namespace nidc {
 class SimilarityContext {
  public:
   /// Builds ψ_i for every active document of `model` at its current clock.
-  explicit SimilarityContext(const ForgettingModel& model);
+  /// The per-document constructions are independent, so with
+  /// `num_threads > 1` they are spread over a thread pool; each thread
+  /// writes only its own slots, making the result bit-identical to the
+  /// serial build for any thread count (0 = hardware concurrency).
+  explicit SimilarityContext(const ForgettingModel& model,
+                             size_t num_threads = 1);
 
   /// sim(d_i, d_j) = ψ_i · ψ_j (Eq. 16). Both must be in the snapshot.
   double Sim(DocId a, DocId b) const;
 
   /// Self-similarity sim(d_i, d_i) = ψ_i · ψ_i — the per-document term of
-  /// ss(C_p) (Eq. 23).
+  /// ss(C_p) (Eq. 23). Fatal (in every build type) on an unknown DocId.
   double SelfSim(DocId id) const;
 
-  /// The ψ vector of a document.
+  /// The ψ vector of a document. Fatal (in every build type) on an unknown
+  /// DocId — a bad seed must fail loudly, not read stale memory.
   const SparseVector& Psi(DocId id) const;
 
   bool Contains(DocId id) const { return index_.contains(id); }

@@ -1,0 +1,97 @@
+#include "nidc/core/rep_index.h"
+
+#include <algorithm>
+
+#include "nidc/util/logging.h"
+
+namespace nidc {
+
+void ClusterRepIndex::Reset(size_t num_clusters) {
+  postings_.clear();
+  k_ = num_clusters;
+}
+
+void ClusterRepIndex::Add(size_t p, const SparseVector& psi) {
+  NIDC_CHECK(p < k_) << "cluster " << p << " out of range (K = " << k_ << ")";
+  for (const auto& e : psi.entries()) {
+    if (e.value == 0.0) continue;
+    PostingList& list = postings_[e.id];
+    Entry* found = nullptr;
+    for (Entry& entry : list.entries) {
+      if (entry.cluster == p) {
+        found = &entry;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      list.entries.push_back({static_cast<uint32_t>(p), 1, e.value});
+    } else {
+      if (found->refs == 0) --list.dead;  // revive a tombstone
+      ++found->refs;
+      found->weight += e.value;
+    }
+  }
+}
+
+void ClusterRepIndex::Remove(size_t p, const SparseVector& psi) {
+  NIDC_CHECK(p < k_) << "cluster " << p << " out of range (K = " << k_ << ")";
+  for (const auto& e : psi.entries()) {
+    if (e.value == 0.0) continue;
+    auto it = postings_.find(e.id);
+    NIDC_CHECK(it != postings_.end())
+        << "removing term " << e.id << " never added to cluster " << p;
+    PostingList& list = it->second;
+    Entry* found = nullptr;
+    for (Entry& entry : list.entries) {
+      if (entry.cluster == p) {
+        found = &entry;
+        break;
+      }
+    }
+    NIDC_CHECK(found != nullptr && found->refs > 0)
+        << "removing term " << e.id << " never added to cluster " << p;
+    found->weight -= e.value;
+    if (--found->refs == 0) {
+      // Last contributor gone: snap the residual to exact zero (the
+      // posting-side analogue of Cluster::Clear) and tombstone.
+      found->weight = 0.0;
+      ++list.dead;
+      MaybeCompact(&list);
+      if (list.entries.empty()) postings_.erase(it);
+    }
+  }
+}
+
+void ClusterRepIndex::MaybeCompact(PostingList* list) {
+  if (list->dead * 2 <= list->entries.size()) return;
+  list->entries.erase(
+      std::remove_if(list->entries.begin(), list->entries.end(),
+                     [](const Entry& e) { return e.refs == 0; }),
+      list->entries.end());
+  list->dead = 0;
+}
+
+void ClusterRepIndex::ScoreAll(const SparseVector& psi,
+                               std::vector<double>* scores) const {
+  scores->assign(k_, 0.0);
+  for (const auto& e : psi.entries()) {
+    auto it = postings_.find(e.id);
+    if (it == postings_.end()) continue;
+    for (const Entry& entry : it->second.entries) {
+      (*scores)[entry.cluster] += entry.weight * e.value;
+    }
+  }
+}
+
+std::vector<std::pair<size_t, double>> ClusterRepIndex::PostingsOf(
+    TermId term) const {
+  std::vector<std::pair<size_t, double>> out;
+  auto it = postings_.find(term);
+  if (it == postings_.end()) return out;
+  for (const Entry& e : it->second.entries) {
+    if (e.refs > 0) out.emplace_back(e.cluster, e.weight);
+  }
+  return out;
+}
+
+}  // namespace nidc

@@ -1,0 +1,90 @@
+// Posting index over the K cluster representatives: term → (cluster,
+// weight) entries, where `weight` is that term's coefficient in the
+// cluster's representative vector c⃗_p = Σ_{d∈C_p} ψ_d (Eq. 20).
+//
+// This turns the extended K-means inner loop from K independent sparse
+// dot products (one sorted merge per cluster per document) into a single
+// document-at-a-time scan: one pass over ψ_d's nonzeros accumulates
+// cr_sim(C_p, {d}) = c⃗_p · ψ_d for *all* K clusters at once, which is
+// sublinear in K whenever cluster vocabularies do not all overlap — the
+// standard inverted-index scoring trick of IR / novelty-detection systems.
+//
+// Maintenance mirrors the tombstone + amortized-compaction idiom of
+// text/inverted_index.cc: each (term, cluster) entry carries a reference
+// count of live member documents containing the term. When the count drops
+// to zero the weight snaps to exact 0.0 (clearing float drift, like
+// Cluster::Clear does for an emptied cluster) and the entry is tombstoned;
+// dead entries are physically dropped once they outnumber live ones.
+//
+// Weight updates replay the same per-term additions, in the same order, as
+// Cluster::Add/Remove apply to the representative via AddScaled — so the
+// indexed scores match the merge-path `representative_.Dot(ψ)` not just
+// within float tolerance but (except for tombstone-cleared residuals)
+// bit-for-bit.
+
+#ifndef NIDC_CORE_REP_INDEX_H_
+#define NIDC_CORE_REP_INDEX_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "nidc/text/sparse_vector.h"
+
+namespace nidc {
+
+/// Incrementally maintained term → (cluster, weight) postings over a fixed
+/// number of clusters.
+class ClusterRepIndex {
+ public:
+  ClusterRepIndex() = default;
+  explicit ClusterRepIndex(size_t num_clusters) : k_(num_clusters) {}
+
+  size_t num_clusters() const { return k_; }
+  size_t num_terms() const { return postings_.size(); }
+
+  /// Drops all postings and resets the cluster count.
+  void Reset(size_t num_clusters);
+
+  /// Folds a member document's ψ (or any sparse vector, e.g. a whole seed
+  /// representative) into cluster `p`'s postings: weight += value per term.
+  void Add(size_t p, const SparseVector& psi);
+
+  /// Removes a previously added vector from cluster `p`: weight -= value
+  /// per term. Every term of `psi` must have been Add-ed for `p` before
+  /// (checked); entries whose contributor count reaches zero are zeroed and
+  /// tombstoned.
+  void Remove(size_t p, const SparseVector& psi);
+
+  /// Document-at-a-time scoring: resizes `scores` to K and fills
+  /// scores[p] = c⃗_p · psi for every cluster in one pass over `psi`.
+  /// Cost is Σ_{t ∈ psi} |postings(t)| ≤ |psi| · K.
+  void ScoreAll(const SparseVector& psi, std::vector<double>* scores) const;
+
+  /// The live postings of one term, for tests: (cluster, weight) pairs in
+  /// unspecified order.
+  std::vector<std::pair<size_t, double>> PostingsOf(TermId term) const;
+
+ private:
+  // One cluster's accumulated weight for one term. `refs` counts the live
+  // member vectors contributing to the weight; refs == 0 marks a tombstone
+  // (weight is exactly 0.0 and the entry is skipped by compaction).
+  struct Entry {
+    uint32_t cluster = 0;
+    uint32_t refs = 0;
+    double weight = 0.0;
+  };
+  struct PostingList {
+    std::vector<Entry> entries;
+    size_t dead = 0;
+  };
+
+  static void MaybeCompact(PostingList* list);
+
+  std::unordered_map<TermId, PostingList> postings_;
+  size_t k_ = 0;
+};
+
+}  // namespace nidc
+
+#endif  // NIDC_CORE_REP_INDEX_H_

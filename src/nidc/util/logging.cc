@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 
 namespace nidc {
 
@@ -30,5 +31,22 @@ void LogMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
   std::fprintf(stderr, "[nidc %s] %s\n", LevelName(level), message.c_str());
 }
+
+namespace internal {
+
+FatalLogLine::FatalLogLine(const char* file, int line,
+                           const char* condition) {
+  stream_ << "CHECK failed at " << file << ":" << line << ": `" << condition
+          << "` ";
+}
+
+FatalLogLine::~FatalLogLine() {
+  // Bypass the level filter: a failed check must always be heard.
+  std::fprintf(stderr, "[nidc FATAL] %s\n", stream_.str().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
 
 }  // namespace nidc

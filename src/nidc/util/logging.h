@@ -37,11 +37,37 @@ class LogLine {
   std::ostringstream stream_;
 };
 
+/// Stream-style helper behind NIDC_CHECK: collects the failure message and
+/// aborts the process on destruction. Fires in every build type — unlike
+/// assert(), which Release (NDEBUG) builds silently compile away.
+class FatalLogLine {
+ public:
+  FatalLogLine(const char* file, int line, const char* condition);
+  ~FatalLogLine();
+
+  template <typename T>
+  FatalLogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
 }  // namespace internal
 }  // namespace nidc
 
 /// NIDC_LOG(Info) << "processed " << n << " docs";
 #define NIDC_LOG(severity) \
   ::nidc::internal::LogLine(::nidc::LogLevel::k##severity)
+
+/// Fatal invariant check, active in all build types:
+///   NIDC_CHECK(it != map.end()) << "unknown doc " << id;
+/// The `while` makes the trailing stream well-formed; the FatalLogLine
+/// destructor aborts, so the loop body runs at most once.
+#define NIDC_CHECK(condition)                \
+  while (!(condition))                       \
+  ::nidc::internal::FatalLogLine(__FILE__, __LINE__, #condition)
 
 #endif  // NIDC_UTIL_LOGGING_H_

@@ -1,0 +1,131 @@
+#include "nidc/util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace nidc {
+
+// Shared state of one ParallelFor invocation. Workers and the caller pull
+// chunk indices from `next_chunk`; the last lane to finish signals `done`.
+struct ThreadPool::ForState {
+  size_t n = 0;
+  size_t chunk = 1;
+  size_t num_chunks = 0;
+  const std::function<void(size_t, size_t)>* fn = nullptr;
+
+  std::atomic<size_t> next_chunk{0};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t lanes_pending = 0;
+  std::exception_ptr error;
+
+  // Runs chunks until the cursor is exhausted; records the first exception.
+  void Drain() {
+    for (;;) {
+      const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const size_t begin = c * chunk;
+      const size_t end = std::min(n, begin + chunk);
+      try {
+        (*fn)(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+
+  void FinishLane() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--lanes_pending == 0) done_cv.notify_all();
+  }
+};
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t resolved = Resolve(num_threads);
+  workers_.reserve(resolved - 1);
+  for (size_t i = 0; i + 1 < resolved; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  grain = std::max<size_t>(grain, 1);
+  const size_t num_chunks = (n + grain - 1) / grain;
+  // One lane (or one chunk) means the serial loop — skip the machinery so
+  // ThreadPool(1) has no overhead and no cross-thread effects at all. The
+  // grain-based chunking is preserved so callbacks see the same subranges
+  // regardless of lane count.
+  if (workers_.empty() || num_chunks == 1) {
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const size_t begin = c * grain;
+      fn(begin, std::min(n, begin + grain));
+    }
+    return;
+  }
+
+  ForState state;
+  state.n = n;
+  state.chunk = grain;
+  state.num_chunks = num_chunks;
+  state.fn = &fn;
+  const size_t lanes = std::min(workers_.size() + 1, num_chunks);
+  state.lanes_pending = lanes;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i + 1 < lanes; ++i) {
+      queue_.emplace_back([&state] {
+        state.Drain();
+        state.FinishLane();
+      });
+    }
+  }
+  work_cv_.notify_all();
+
+  state.Drain();
+  state.FinishLane();
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.done_cv.wait(lock, [&state] { return state.lanes_pending == 0; });
+  }
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+size_t ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+size_t ThreadPool::Resolve(size_t requested) {
+  return requested == 0 ? DefaultThreads() : requested;
+}
+
+}  // namespace nidc

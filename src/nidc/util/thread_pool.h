@@ -1,0 +1,70 @@
+// A small fixed-size thread pool with a blocking parallel-for, used to
+// spread embarrassingly parallel read-only scans (ψ-vector construction,
+// seeded assignment) across cores.
+//
+// Design constraints, in order:
+//   * determinism — ParallelFor partitions [0, n) into contiguous chunks
+//     and callers write only to their own output slots, so results are
+//     bit-identical to the serial loop regardless of thread count;
+//   * simplicity — no work stealing, no futures: one shared atomic chunk
+//     cursor, and the calling thread participates so `ThreadPool(1)` is
+//     exactly the serial loop with zero threads spawned.
+
+#ifndef NIDC_UTIL_THREAD_POOL_H_
+#define NIDC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nidc {
+
+/// Fixed pool of `num_threads - 1` workers; the thread calling ParallelFor
+/// is the remaining lane, so total concurrency equals `num_threads`.
+class ThreadPool {
+ public:
+  /// `num_threads` of 0 is resolved to DefaultThreads(); 1 spawns no
+  /// workers and makes every ParallelFor run inline.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (workers + the calling thread).
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs `fn(begin, end)` over contiguous chunks covering [0, n), blocking
+  /// until every chunk finished. Chunks are at least `grain` long (the last
+  /// may be shorter). The first exception thrown by any chunk is rethrown
+  /// here after all chunks complete. Reentrant calls from within `fn` are
+  /// not supported.
+  void ParallelFor(size_t n, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  /// std::thread::hardware_concurrency() with a floor of 1.
+  static size_t DefaultThreads();
+
+  /// 0 → DefaultThreads(), anything else unchanged — the shared decoding of
+  /// the `num_threads = 0 (auto)` option convention.
+  static size_t Resolve(size_t requested);
+
+ private:
+  struct ForState;
+
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace nidc
+
+#endif  // NIDC_UTIL_THREAD_POOL_H_

@@ -232,6 +232,83 @@ TEST_F(ExtendedKMeansTest, ShuffledSweepStillRecoversTopics) {
   }
 }
 
+TEST_F(ExtendedKMeansTest, IndexedScoringMatchesMergeScoring) {
+  // The rep-index path must reproduce the serial merge path's clustering
+  // exactly: same memberships, same outliers, same G trajectory.
+  for (const AssignmentCriterion criterion :
+       {AssignmentCriterion::kGIncrease,
+        AssignmentCriterion::kAvgSimIncrease}) {
+    ExtendedKMeansOptions merge_opts;
+    merge_opts.k = 3;
+    merge_opts.seed = 5;
+    merge_opts.criterion = criterion;
+    merge_opts.use_rep_index = false;
+    merge_opts.num_threads = 1;
+    ExtendedKMeansOptions indexed_opts = merge_opts;
+    indexed_opts.use_rep_index = true;
+    auto merge = RunExtendedKMeans(*ctx_, docs_, merge_opts);
+    auto indexed = RunExtendedKMeans(*ctx_, docs_, indexed_opts);
+    ASSERT_TRUE(merge.ok());
+    ASSERT_TRUE(indexed.ok());
+    EXPECT_EQ(merge->clusters, indexed->clusters);
+    EXPECT_EQ(merge->outliers, indexed->outliers);
+    ASSERT_EQ(merge->g_history.size(), indexed->g_history.size());
+    for (size_t i = 0; i < merge->g_history.size(); ++i) {
+      EXPECT_NEAR(merge->g_history[i], indexed->g_history[i], 1e-12);
+    }
+  }
+}
+
+TEST_F(ExtendedKMeansTest, IndexedScoringMatchesWithRepresentativeSeeds) {
+  ExtendedKMeansOptions opts;
+  opts.k = 3;
+  opts.seed = 5;
+  auto first = RunExtendedKMeans(*ctx_, docs_, opts);
+  ASSERT_TRUE(first.ok());
+  KMeansSeeds seeds;
+  seeds.mode = SeedMode::kRepresentatives;
+  seeds.representatives = first->representatives;
+
+  ExtendedKMeansOptions merge_opts = opts;
+  merge_opts.use_rep_index = false;
+  merge_opts.num_threads = 1;
+  ExtendedKMeansOptions indexed_opts = opts;
+  indexed_opts.use_rep_index = true;
+  indexed_opts.num_threads = 1;
+  auto merge = RunExtendedKMeans(*ctx_, docs_, merge_opts, seeds);
+  auto indexed = RunExtendedKMeans(*ctx_, docs_, indexed_opts, seeds);
+  ASSERT_TRUE(merge.ok());
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_EQ(merge->clusters, indexed->clusters);
+  EXPECT_EQ(merge->outliers, indexed->outliers);
+}
+
+TEST_F(ExtendedKMeansTest, ThreadCountDoesNotChangeTheResult) {
+  // One and eight lanes must produce identical ClusteringResults: parallel
+  // lanes only fill disjoint slots / precompute read-only decisions.
+  ExtendedKMeansOptions serial_opts;
+  serial_opts.k = 3;
+  serial_opts.seed = 5;
+  serial_opts.num_threads = 1;
+  ExtendedKMeansOptions parallel_opts = serial_opts;
+  parallel_opts.num_threads = 8;
+
+  auto serial = RunExtendedKMeans(*ctx_, docs_, serial_opts);
+  ASSERT_TRUE(serial.ok());
+  KMeansSeeds seeds;
+  seeds.mode = SeedMode::kRepresentatives;
+  seeds.representatives = serial->representatives;
+
+  auto a = RunExtendedKMeans(*ctx_, docs_, serial_opts, seeds);
+  auto b = RunExtendedKMeans(*ctx_, docs_, parallel_opts, seeds);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->clusters, b->clusters);
+  EXPECT_EQ(a->outliers, b->outliers);
+  EXPECT_EQ(a->g_history, b->g_history);
+  EXPECT_DOUBLE_EQ(a->g, b->g);
+}
+
 // δ sweep: looser δ converges at least as fast (in iterations).
 class DeltaSweepTest : public ExtendedKMeansTest,
                        public testing::WithParamInterface<double> {};

@@ -1,10 +1,12 @@
 #include "nidc/core/novelty_similarity.h"
 
 #include <cmath>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "nidc/synth/tdt2_like_generator.h"
+#include "nidc/util/random.h"
 
 namespace nidc {
 namespace {
@@ -147,6 +149,39 @@ TEST_F(NoveltySimilarityTest, ContextSnapshotsActiveDocsOnly) {
   EXPECT_EQ(ctx.size(), 4u);
   EXPECT_FALSE(ctx.Contains(2));
   EXPECT_TRUE(ctx.Contains(0));
+}
+
+TEST(SimilarityContextParallelTest, ParallelBuildIsBitIdenticalToSerial) {
+  // Enough documents to cross the parallel-build threshold.
+  Corpus corpus;
+  const char* pool[] = {"alpha", "bravo", "charlie", "delta", "echo",
+                        "fox",   "golf",  "hotel",   "india", "juliet"};
+  Rng rng(5);
+  const size_t n = 400;
+  for (size_t i = 0; i < n; ++i) {
+    std::string text;
+    for (int j = 0; j < 6; ++j) {
+      if (j > 0) text += ' ';
+      text += pool[rng.NextBounded(10)];
+    }
+    corpus.AddText(text, 0.01 * static_cast<double>(i),
+                   static_cast<TopicId>(i % 3));
+  }
+  ForgettingParams p;
+  p.life_span_days = 365.0;
+  ForgettingModel model(&corpus, p);
+  model.AdvanceTo(5.0);
+  std::vector<DocId> ids(n);
+  for (DocId d = 0; d < static_cast<DocId>(n); ++d) ids[d] = d;
+  model.AddDocuments(ids);
+
+  SimilarityContext serial(model, 1);
+  SimilarityContext parallel(model, 8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (DocId d : ids) {
+    EXPECT_EQ(serial.Psi(d), parallel.Psi(d)) << "doc " << d;
+    EXPECT_EQ(serial.SelfSim(d), parallel.SelfSim(d)) << "doc " << d;
+  }
 }
 
 TEST_F(NoveltySimilarityTest, EmptyDocumentHasZeroPsi) {

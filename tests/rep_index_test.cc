@@ -1,0 +1,227 @@
+#include "nidc/core/rep_index.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nidc/core/cluster_set.h"
+#include "nidc/util/random.h"
+
+namespace nidc {
+namespace {
+
+SparseVector Vec(std::vector<SparseVector::Entry> entries) {
+  return SparseVector::FromEntries(std::move(entries));
+}
+
+TEST(ClusterRepIndexTest, PostingsMirrorAddedVectors) {
+  ClusterRepIndex index(3);
+  index.Add(0, Vec({{1, 0.5}, {2, 0.25}}));
+  index.Add(1, Vec({{2, 1.0}, {3, 2.0}}));
+  index.Add(0, Vec({{2, 0.75}}));
+
+  auto p2 = index.PostingsOf(2);
+  ASSERT_EQ(p2.size(), 2u);
+  double w0 = 0.0;
+  double w1 = 0.0;
+  for (const auto& [cluster, weight] : p2) {
+    if (cluster == 0) w0 = weight;
+    if (cluster == 1) w1 = weight;
+  }
+  EXPECT_DOUBLE_EQ(w0, 1.0);  // 0.25 + 0.75
+  EXPECT_DOUBLE_EQ(w1, 1.0);
+  EXPECT_EQ(index.PostingsOf(99).size(), 0u);
+}
+
+TEST(ClusterRepIndexTest, ScoreAllMatchesPerClusterDots) {
+  ClusterRepIndex index(4);
+  std::vector<SparseVector> reps(4);
+  Rng rng(77);
+  for (size_t p = 0; p < 4; ++p) {
+    std::vector<SparseVector::Entry> entries;
+    for (int j = 0; j < 6; ++j) {
+      entries.push_back({static_cast<TermId>(rng.NextBounded(12)),
+                         rng.NextDouble()});
+    }
+    reps[p] = Vec(std::move(entries));
+    index.Add(p, reps[p]);
+  }
+  for (int probe = 0; probe < 20; ++probe) {
+    std::vector<SparseVector::Entry> entries;
+    for (int j = 0; j < 5; ++j) {
+      entries.push_back({static_cast<TermId>(rng.NextBounded(12)),
+                         rng.NextDouble()});
+    }
+    const SparseVector psi = Vec(std::move(entries));
+    std::vector<double> scores;
+    index.ScoreAll(psi, &scores);
+    ASSERT_EQ(scores.size(), 4u);
+    for (size_t p = 0; p < 4; ++p) {
+      EXPECT_NEAR(scores[p], reps[p].Dot(psi), 1e-12);
+    }
+  }
+}
+
+TEST(ClusterRepIndexTest, RemovingLastContributorSnapsWeightToExactZero) {
+  ClusterRepIndex index(2);
+  const SparseVector a = Vec({{5, 0.1}, {6, 0.2}});
+  const SparseVector b = Vec({{5, 0.3}});
+  index.Add(0, a);
+  index.Add(0, b);
+  index.Remove(0, a);
+  // Term 6 lost its only contributor: tombstoned, not a float residual.
+  EXPECT_EQ(index.PostingsOf(6).size(), 0u);
+  // Term 5 still has b's weight.
+  auto p5 = index.PostingsOf(5);
+  ASSERT_EQ(p5.size(), 1u);
+  EXPECT_NEAR(p5[0].second, 0.3, 1e-15);
+  index.Remove(0, b);
+  EXPECT_EQ(index.PostingsOf(5).size(), 0u);
+  std::vector<double> scores;
+  index.ScoreAll(Vec({{5, 1.0}, {6, 1.0}}), &scores);
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);
+  EXPECT_DOUBLE_EQ(scores[1], 0.0);
+}
+
+TEST(ClusterRepIndexTest, TombstoneReviveRestoresPosting) {
+  ClusterRepIndex index(2);
+  const SparseVector a = Vec({{7, 1.5}});
+  index.Add(0, a);
+  index.Add(1, a);
+  index.Remove(0, a);
+  index.Add(0, Vec({{7, 2.5}}));
+  auto p7 = index.PostingsOf(7);
+  ASSERT_EQ(p7.size(), 2u);
+  for (const auto& [cluster, weight] : p7) {
+    if (cluster == 0) EXPECT_DOUBLE_EQ(weight, 2.5);
+    if (cluster == 1) EXPECT_DOUBLE_EQ(weight, 1.5);
+  }
+}
+
+TEST(ClusterRepIndexDeathTest, RemovingUnknownTermDiesLoudly) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ClusterRepIndex index(2);
+  index.Add(0, Vec({{1, 1.0}}));
+  EXPECT_DEATH(index.Remove(0, Vec({{2, 1.0}})), "never added");
+  EXPECT_DEATH(index.Remove(1, Vec({{1, 1.0}})), "never added");
+}
+
+// Randomized equivalence: a ClusterSet with the rep index enabled is driven
+// through random assign/detach/refresh sequences; after every mutation the
+// document-at-a-time scores must match the brute-force
+// `representative().Dot(psi)` path within 1e-12.
+class RepIndexEquivalenceTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    const char* pool[] = {"alpha", "bravo",  "charlie", "delta", "echo",
+                          "fox",   "golf",   "hotel",   "india", "juliet",
+                          "kilo",  "lima",   "mike",    "nov",   "oscar",
+                          "papa",  "quebec", "romeo",   "sierra", "tango",
+                          "umbra", "victor", "whiskey", "xray",  "yankee",
+                          "zulu",  "anchor", "beacon",  "cobalt", "dynamo"};
+    Rng words(321);
+    const size_t n_docs = 60;
+    for (size_t i = 0; i < n_docs; ++i) {
+      std::string text;
+      for (int j = 0; j < 8; ++j) {
+        if (j > 0) text += ' ';
+        text += pool[words.NextBounded(30)];
+      }
+      corpus_.AddText(text, 0.5 + 0.01 * static_cast<double>(i),
+                      static_cast<TopicId>(i % 5));
+    }
+    ForgettingParams params;
+    params.half_life_days = 7.0;
+    params.life_span_days = 365.0;
+    model_ = std::make_unique<ForgettingModel>(&corpus_, params);
+    model_->AdvanceTo(2.0);
+    std::vector<DocId> ids(n_docs);
+    for (DocId d = 0; d < static_cast<DocId>(n_docs); ++d) ids[d] = d;
+    model_->AddDocuments(ids);
+    ctx_ = std::make_unique<SimilarityContext>(*model_);
+    docs_ = ids;
+  }
+
+  void ExpectScoresMatch(const ClusterSet& set) {
+    std::vector<double> scores;
+    for (DocId id : docs_) {
+      const SparseVector& psi = ctx_->Psi(id);
+      set.ScoreAllClusters(psi, &scores);
+      ASSERT_EQ(scores.size(), set.num_clusters());
+      for (size_t p = 0; p < set.num_clusters(); ++p) {
+        const double brute = set.cluster(p).representative().Dot(psi);
+        EXPECT_NEAR(scores[p], brute, 1e-12)
+            << "doc " << id << " cluster " << p;
+      }
+    }
+  }
+
+  Corpus corpus_;
+  std::unique_ptr<ForgettingModel> model_;
+  std::unique_ptr<SimilarityContext> ctx_;
+  std::vector<DocId> docs_;
+};
+
+TEST_F(RepIndexEquivalenceTest, RandomizedAssignDetachRefreshSequences) {
+  const size_t k = 6;
+  ClusterSet set(k, /*use_rep_index=*/true);
+  ASSERT_TRUE(set.rep_index_enabled());
+  Rng rng(99);
+  for (int op = 0; op < 400; ++op) {
+    const DocId id = docs_[rng.NextBounded(docs_.size())];
+    // ~1/8 detach, ~1/16 full refresh, otherwise a random (re)assignment.
+    const uint64_t roll = rng.NextBounded(16);
+    if (roll == 0) {
+      set.RefreshAll(*ctx_);
+    } else if (roll <= 2) {
+      set.Assign(id, kUnassigned, *ctx_);
+    } else {
+      set.Assign(id, static_cast<int>(rng.NextBounded(k)), *ctx_);
+    }
+    if (op % 20 == 0) ExpectScoresMatch(set);
+  }
+  ExpectScoresMatch(set);
+  // And once more from the canonical (refreshed) state.
+  set.RefreshAll(*ctx_);
+  ExpectScoresMatch(set);
+}
+
+TEST_F(RepIndexEquivalenceTest, IndexedGainsMatchMergeGains) {
+  const size_t k = 4;
+  ClusterSet set(k, /*use_rep_index=*/true);
+  Rng rng(7);
+  for (DocId id : docs_) {
+    set.Assign(id, static_cast<int>(rng.NextBounded(k)), *ctx_);
+  }
+  std::vector<double> scores;
+  for (DocId id : docs_) {
+    set.Assign(id, kUnassigned, *ctx_);
+    set.ScoreAllClusters(ctx_->Psi(id), &scores);
+    for (size_t p = 0; p < k; ++p) {
+      const Cluster& c = set.cluster(p);
+      if (c.empty()) continue;
+      EXPECT_NEAR(c.GainInGGivenT(scores[p]), c.GainInGIfAdded(id, *ctx_),
+                  1e-12);
+      EXPECT_NEAR(c.GainGivenT(scores[p]), c.GainIfAdded(id, *ctx_), 1e-12);
+    }
+    set.Assign(id, static_cast<int>(rng.NextBounded(k)), *ctx_);
+  }
+}
+
+TEST(SimilarityContextDeathTest, UnknownDocIdFailsLoudlyWithId) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Corpus corpus;
+  corpus.AddText("alpha bravo charlie", 0.5, 1);
+  ForgettingParams params;
+  ForgettingModel model(&corpus, params);
+  model.AdvanceTo(1.0);
+  model.AddDocuments({0});
+  SimilarityContext ctx(model);
+  EXPECT_DEATH(ctx.Psi(4242), "4242");
+  EXPECT_DEATH(ctx.SelfSim(4242), "4242");
+}
+
+}  // namespace
+}  // namespace nidc

@@ -1,0 +1,105 @@
+#include "nidc/util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+TEST(ThreadPoolTest, StartupAndShutdown) {
+  for (size_t n : {size_t{1}, size_t{2}, size_t{8}}) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.num_threads(), n);
+  }
+  // 0 resolves to hardware concurrency (>= 1).
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, ResolveDecodesAuto) {
+  EXPECT_EQ(ThreadPool::Resolve(0), ThreadPool::DefaultThreads());
+  EXPECT_EQ(ThreadPool::Resolve(3), 3u);
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    ThreadPool pool(threads);
+    const size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.ParallelFor(n, 7, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForOverEmptyRangeIsANoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelFor(0, 1, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForOverOneElementRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(1, 64, [&](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, GrainZeroIsClampedToOne) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(10);
+  pool.ParallelFor(10, 0, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.ParallelFor(100, 1,
+                         [](size_t begin, size_t) {
+                           if (begin == 42) {
+                             throw std::runtime_error("chunk 42 failed");
+                           }
+                         }),
+        std::runtime_error);
+    // The pool stays usable after a failed ParallelFor.
+    std::atomic<size_t> total{0};
+    pool.ParallelFor(10, 1, [&](size_t begin, size_t end) {
+      total.fetch_add(end - begin);
+    });
+    EXPECT_EQ(total.load(), 10u);
+  }
+}
+
+TEST(ThreadPoolTest, ResultsMatchSerialSum) {
+  const size_t n = 4096;
+  std::vector<double> values(n);
+  std::iota(values.begin(), values.end(), 1.0);
+  // Disjoint output slots: each chunk writes its own partials, so the
+  // parallel result is bit-identical to the serial one.
+  std::vector<double> doubled_serial(n);
+  for (size_t i = 0; i < n; ++i) doubled_serial[i] = values[i] * 2.0;
+  std::vector<double> doubled(n);
+  ThreadPool pool(8);
+  pool.ParallelFor(n, 128, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) doubled[i] = values[i] * 2.0;
+  });
+  EXPECT_EQ(doubled, doubled_serial);
+}
+
+}  // namespace
+}  // namespace nidc
