@@ -10,11 +10,19 @@
 // non-zero on a mismatch. It then replays an incremental stream and emits
 // a BENCH_sweep_hotpath.json trajectory of per-step timings.
 //
+// It also measures the observability overhead: the same clustering run
+// with a MetricsRegistry + Tracer attached vs the default null registry
+// (min of several repetitions each).
+//
 // Env knobs:
 //   NIDC_SWEEP_SCALE   corpus scale (1.0 = paper-scale 7,578 docs)
 //   NIDC_SWEEP_K       number of clusters (default 32)
 //   NIDC_REQUIRE_SPEEDUP  if set to a positive value, exit non-zero unless
 //                         indexed+parallel achieves that speedup over merge
+//   NIDC_MAX_INSTRUMENTED_OVERHEAD  if set to a positive value, exit
+//                         non-zero when the instrumented run is more than
+//                         that many percent slower than the null-registry
+//                         run (the guard CI runs with 3)
 //   NIDC_BENCH_JSON_DIR   output directory for the JSON file (default ".")
 
 #include <cmath>
@@ -23,6 +31,8 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "nidc/obs/metrics.h"
+#include "nidc/obs/trace.h"
 #include "nidc/util/thread_pool.h"
 
 namespace nidc::bench {
@@ -50,6 +60,46 @@ struct BatchRun {
   Timing timing;
   ClusteringResult result;
 };
+
+// Instrumented-vs-null overhead of the observability layer on the fast
+// configuration: min-of-`reps` total time with a registry + tracer
+// attached, relative to min-of-`reps` with the default null registry.
+// One warm-up run precedes timing and the two variants run interleaved,
+// so cold caches and frequency-scaling drift hit both sides equally.
+// Returns the overhead in percent (negative = within noise, faster).
+double MeasureInstrumentationOverhead(const ForgettingModel& model,
+                                      const std::vector<DocId>& docs,
+                                      ExtendedKMeansOptions kmeans,
+                                      int reps) {
+  kmeans.use_rep_index = true;
+  kmeans.num_threads = 0;
+  const auto run_once = [&](bool instrumented) {
+    obs::MetricsRegistry registry;
+    obs::Tracer tracer;
+    ExtendedKMeansOptions options = kmeans;
+    options.metrics = instrumented ? &registry : nullptr;
+    obs::ScopedTracerInstall install(instrumented ? &tracer : nullptr);
+    Stopwatch timer;
+    SimilarityContext ctx(model, ThreadPool::Resolve(0));
+    auto result = RunExtendedKMeans(ctx, docs, options);
+    const double seconds = timer.ElapsedSeconds();
+    if (!result.ok()) {
+      std::fprintf(stderr, "overhead run failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    return seconds;
+  };
+  run_once(false);  // warm-up, untimed
+  double null_seconds = 1e300;
+  double instrumented_seconds = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    null_seconds = std::min(null_seconds, run_once(false));
+    instrumented_seconds = std::min(instrumented_seconds, run_once(true));
+  }
+  return (instrumented_seconds - null_seconds) /
+         std::max(null_seconds, 1e-12) * 100.0;
+}
 
 BatchRun RunBatch(const ForgettingModel& model,
                   const std::vector<DocId>& docs, const Config& config,
@@ -248,6 +298,11 @@ int Main() {
       runs[0].timing.total() / std::max(runs[2].timing.total(), 1e-12);
   std::printf("indexed+parallel speedup over merge: %.2fx\n", speedup);
 
+  const double overhead_pct =
+      MeasureInstrumentationOverhead(model, docs, kmeans, /*reps=*/3);
+  std::printf("observability overhead (registry+tracer vs null): %+.2f%%\n",
+              overhead_pct);
+
   // Incremental-stream trajectory (first week of the corpus): merge vs
   // indexed+parallel per-step clustering time.
   std::vector<size_t> active;
@@ -279,6 +334,14 @@ int Main() {
   if (required > 0.0 && speedup < required) {
     std::fprintf(stderr, "FAILED: speedup %.2fx below required %.2fx\n",
                  speedup, required);
+    return 1;
+  }
+  const double max_overhead = EnvScale("NIDC_MAX_INSTRUMENTED_OVERHEAD", 0.0);
+  if (max_overhead > 0.0 && overhead_pct > max_overhead) {
+    std::fprintf(stderr,
+                 "FAILED: observability overhead %.2f%% exceeds the "
+                 "%.2f%% budget\n",
+                 overhead_pct, max_overhead);
     return 1;
   }
   return 0;

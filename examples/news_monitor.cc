@@ -50,9 +50,9 @@ int main(int argc, char** argv) {
     if (day % 5 != 0) continue;  // digest every 5 days
 
     std::printf("== day %3d | +%zu new, %zu active, %zu expired, %zu "
-                "outliers ==\n",
+                "outliers | %d iters, G=%.3f ==\n",
                 day, step->num_new, step->num_active, step->expired.size(),
-                step->clustering.outliers.size());
+                step->num_outliers, step->iterations, step->final_g);
 
     // Rank clusters by recency-weighted mass: Σ Pr(d) over members.
     HotTopicOptions digest_opts;

@@ -51,6 +51,10 @@ class ClusterSet {
 
   bool rep_index_enabled() const { return rep_index_enabled_; }
 
+  /// The posting index (meaningful only when enabled), e.g. for its
+  /// maintenance stats().
+  const ClusterRepIndex& rep_index() const { return rep_index_; }
+
   /// Document-at-a-time scoring (requires the rep index): fills scores[p]
   /// with c⃗_p · psi for all K clusters in one posting scan.
   void ScoreAllClusters(const SparseVector& psi,

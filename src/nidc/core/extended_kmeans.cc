@@ -5,6 +5,8 @@
 
 #include "nidc/core/clustering_index.h"
 #include "nidc/core/rep_index.h"
+#include "nidc/obs/metrics.h"
+#include "nidc/obs/trace.h"
 #include "nidc/util/thread_pool.h"
 
 namespace nidc {
@@ -33,11 +35,13 @@ namespace {
 std::vector<DocId> SweepAssign(const std::vector<DocId>& order,
                                const SimilarityContext& ctx,
                                AssignmentCriterion criterion,
-                               ClusterSet* clusters) {
+                               ClusterSet* clusters, size_t* moves) {
   std::vector<DocId> outliers;
   std::vector<double> t_scores;
+  size_t num_moves = 0;
   const bool indexed = clusters->rep_index_enabled();
   for (DocId id : order) {
+    const int previous = clusters->ClusterOf(id);
     clusters->Assign(id, kUnassigned, ctx);
     int best = kUnassigned;
     double best_gain = 0.0;
@@ -84,7 +88,9 @@ std::vector<DocId> SweepAssign(const std::vector<DocId>& order,
     } else {
       clusters->Assign(id, best, ctx);
     }
+    if (best != previous) ++num_moves;
   }
+  if (moves != nullptr) *moves = num_moves;
   return outliers;
 }
 
@@ -163,73 +169,101 @@ Result<ClusteringResult> RunExtendedKMeans(
     }
   }
 
+  NIDC_SPAN("kmeans.run");
   const size_t k = std::min(options.k, docs.size());
   ClusterSet clusters(k, options.use_rep_index);
   Rng rng(options.seed);
   ThreadPool pool(ThreadPool::Resolve(options.num_threads));
   std::vector<DocId> outliers;
+  obs::MetricsRegistry* metrics = options.metrics;
 
   // --- Initial process ---
-  const SeedMode mode = seeds ? seeds->mode : SeedMode::kRandom;
-  switch (mode) {
-    case SeedMode::kRandom: {
-      // §4.3: select K documents randomly, form initial K clusters.
+  const auto run_initial_process = [&]() -> Status {
+    NIDC_SPAN("kmeans.seed");
+    const SeedMode mode = seeds ? seeds->mode : SeedMode::kRandom;
+    switch (mode) {
+      case SeedMode::kRandom: {
+        // §4.3: select K documents randomly, form initial K clusters.
+        size_t next = 0;
+        for (size_t p : rng.SampleWithoutReplacement(docs.size(), k)) {
+          clusters.Assign(docs[p], static_cast<int>(next++), ctx);
+        }
+        break;
+      }
+      case SeedMode::kMembership: {
+        if (seeds->memberships.size() > k) {
+          return Status::InvalidArgument("membership seed has more clusters "
+                                         "than k");
+        }
+        for (size_t p = 0; p < seeds->memberships.size(); ++p) {
+          for (DocId id : seeds->memberships[p]) {
+            if (ctx.Contains(id)) {
+              clusters.Assign(id, static_cast<int>(p), ctx);
+            }
+          }
+        }
+        break;
+      }
+      case SeedMode::kRepresentatives: {
+        if (seeds->representatives.size() > k) {
+          return Status::InvalidArgument("representative seed has more "
+                                         "clusters than k");
+        }
+        outliers = AssignAgainstFixedRepresentatives(
+            docs, seeds->representatives, ctx, options.use_rep_index, &pool,
+            &clusters);
+        break;
+      }
+    }
+    // Degenerate-seed fallback: representative/membership seeds can leave
+    // every cluster empty (e.g. the whole previous vocabulary expired). An
+    // empty cluster can never attract documents (its avg_sim gain is 0), so
+    // restart from random singletons as the initial process prescribes.
+    if (clusters.TotalAssigned() == 0) {
       size_t next = 0;
       for (size_t p : rng.SampleWithoutReplacement(docs.size(), k)) {
         clusters.Assign(docs[p], static_cast<int>(next++), ctx);
       }
-      break;
+      outliers.clear();
     }
-    case SeedMode::kMembership: {
-      if (seeds->memberships.size() > k) {
-        return Status::InvalidArgument("membership seed has more clusters "
-                                       "than k");
-      }
-      for (size_t p = 0; p < seeds->memberships.size(); ++p) {
-        for (DocId id : seeds->memberships[p]) {
-          if (ctx.Contains(id)) clusters.Assign(id, static_cast<int>(p), ctx);
-        }
-      }
-      break;
-    }
-    case SeedMode::kRepresentatives: {
-      if (seeds->representatives.size() > k) {
-        return Status::InvalidArgument("representative seed has more "
-                                       "clusters than k");
-      }
-      outliers = AssignAgainstFixedRepresentatives(
-          docs, seeds->representatives, ctx, options.use_rep_index, &pool,
-          &clusters);
-      break;
-    }
-  }
-  // Degenerate-seed fallback: representative/membership seeds can leave
-  // every cluster empty (e.g. the whole previous vocabulary expired). An
-  // empty cluster can never attract documents (its avg_sim gain is 0), so
-  // restart from random singletons as the initial process prescribes.
-  if (clusters.TotalAssigned() == 0) {
-    size_t next = 0;
-    for (size_t p : rng.SampleWithoutReplacement(docs.size(), k)) {
-      clusters.Assign(docs[p], static_cast<int>(next++), ctx);
-    }
-    outliers.clear();
-  }
-  clusters.RefreshAll(ctx);
+    clusters.RefreshAll(ctx);
+    return Status::OK();
+  };
+  NIDC_RETURN_NOT_OK(run_initial_process());
+  const size_t seeded_assigned = clusters.TotalAssigned();
 
   // --- Repetition process ---
   std::vector<double> g_history;
   double g_old = clusters.G();
   g_history.push_back(g_old);
 
+  obs::Histogram* moves_per_sweep =
+      metrics == nullptr
+          ? nullptr
+          : metrics->GetHistogram("kmeans.moves_per_sweep",
+                                  {0, 1, 10, 100, 1000, 10000, 100000});
   std::vector<DocId> order = docs;
   int iterations = 0;
   bool converged = false;
+  size_t total_moves = 0;
   while (iterations < options.max_iterations) {
     if (options.shuffle_each_iteration) rng.Shuffle(&order);
-    outliers = SweepAssign(order, ctx, options.criterion, &clusters);
+    size_t moves = 0;
+    {
+      NIDC_SPAN("kmeans.sweep");
+      outliers = SweepAssign(order, ctx, options.criterion, &clusters,
+                             &moves);
+    }
+    total_moves += moves;
+    if (moves_per_sweep != nullptr) {
+      moves_per_sweep->Observe(static_cast<double>(moves));
+    }
     ++iterations;
     // Step 2: recompute cluster representatives (also clears float drift).
-    clusters.RefreshAll(ctx);
+    {
+      NIDC_SPAN("kmeans.refresh");
+      clusters.RefreshAll(ctx);
+    }
     // Steps 3–4: G_new and the δ test.
     const double g_new = clusters.G();
     g_history.push_back(g_new);
@@ -239,6 +273,43 @@ Result<ClusteringResult> RunExtendedKMeans(
       break;
     }
     g_old = g_new;
+  }
+
+  if (metrics != nullptr) {
+    metrics->GetCounter("kmeans.runs")->Increment();
+    metrics->GetCounter("kmeans.iterations")
+        ->Increment(static_cast<uint64_t>(iterations));
+    metrics
+        ->GetHistogram("kmeans.iterations_per_run",
+                       {1, 2, 3, 5, 8, 13, 21, 34, 50})
+        ->Observe(static_cast<double>(iterations));
+    if (converged) metrics->GetCounter("kmeans.converged")->Increment();
+    metrics->GetCounter("kmeans.moves")->Increment(total_moves);
+    metrics->GetCounter("kmeans.docs_swept")
+        ->Increment(static_cast<uint64_t>(order.size()) *
+                    static_cast<uint64_t>(iterations));
+    metrics->GetCounter("kmeans.seeded_assigned")->Increment(seeded_assigned);
+    metrics->GetGauge("kmeans.outliers")
+        ->Set(static_cast<double>(outliers.size()));
+    metrics->GetCounter("kmeans.outliers_total")->Increment(outliers.size());
+    metrics->GetGauge("kmeans.g_initial")->Set(g_history.front());
+    metrics->GetGauge("kmeans.g_final")->Set(g_old);
+    if (clusters.rep_index_enabled()) {
+      const ClusterRepIndex::Stats& ris = clusters.rep_index().stats();
+      metrics->GetCounter("rep_index.tombstones")
+          ->Increment(ris.tombstones_created);
+      metrics->GetCounter("rep_index.tombstones_revived")
+          ->Increment(ris.tombstones_revived);
+      metrics->GetCounter("rep_index.compactions")->Increment(ris.compactions);
+      metrics->GetCounter("rep_index.entries_compacted")
+          ->Increment(ris.entries_compacted);
+      metrics->GetGauge("rep_index.live_entries")
+          ->Set(static_cast<double>(ris.live_entries));
+      metrics->GetGauge("rep_index.dead_entries")
+          ->Set(static_cast<double>(ris.dead_entries));
+      metrics->GetGauge("rep_index.terms")
+          ->Set(static_cast<double>(clusters.rep_index().num_terms()));
+    }
   }
 
   return ClusteringResult::FromClusterSet(clusters, std::move(outliers),

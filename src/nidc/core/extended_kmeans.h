@@ -18,6 +18,10 @@
 #include "nidc/util/random.h"
 #include "nidc/util/status.h"
 
+namespace nidc::obs {
+class MetricsRegistry;
+}  // namespace nidc::obs
+
 namespace nidc {
 
 /// How the K initial clusters are formed.
@@ -85,6 +89,12 @@ struct ExtendedKMeansOptions {
   /// concurrency. Results are bit-identical for every value — parallel
   /// lanes write disjoint slots and assignments are applied in sweep order.
   size_t num_threads = 0;
+
+  /// Telemetry sink for the run (see obs/metrics.h): iteration counts,
+  /// per-sweep moves, outlier counts, seeded-vs-sweep assignment split,
+  /// G endpoints, and rep-index maintenance stats. Null (the default)
+  /// skips all instrumentation — the hot path stays untouched.
+  obs::MetricsRegistry* metrics = nullptr;
 
   Status Validate() const;
 };

@@ -1,9 +1,56 @@
 #include "nidc/core/incremental_clusterer.h"
 
+#include <optional>
+
+#include "nidc/obs/metrics.h"
+#include "nidc/obs/trace.h"
 #include "nidc/util/stopwatch.h"
 #include "nidc/util/thread_pool.h"
 
 namespace nidc {
+
+namespace {
+
+// Publishes the per-step telemetry shared by the incremental and batch
+// drivers: document churn, phase timings, model gauges (vocabulary size,
+// tdw) and process-wide thread-pool utilization.
+void RecordStepMetrics(obs::MetricsRegistry* metrics,
+                       const ForgettingModel& model,
+                       const StepResult& result) {
+  if (metrics == nullptr) return;
+  metrics->GetCounter("step.count")->Increment();
+  metrics->GetCounter("step.docs_new")->Increment(result.num_new);
+  metrics->GetCounter("step.docs_expired")->Increment(result.expired.size());
+  metrics->GetGauge("step.active_docs")
+      ->Set(static_cast<double>(result.num_active));
+  metrics->GetGauge("step.expired")
+      ->Set(static_cast<double>(result.expired.size()));
+  const std::vector<double> kSecondsBuckets = {1e-4, 1e-3, 1e-2, 0.1,
+                                               0.5,  1.0,  5.0,  30.0};
+  metrics->GetHistogram("step.stats_seconds", kSecondsBuckets)
+      ->Observe(result.stats_update_seconds);
+  metrics->GetHistogram("step.clustering_seconds", kSecondsBuckets)
+      ->Observe(result.clustering_seconds);
+  metrics->GetGauge("term_stats.vocab_size")
+      ->Set(static_cast<double>(model.NumTerms()));
+  metrics->GetGauge("term_stats.tdw")->Set(model.TotalWeight());
+  const ThreadPool::Stats pool_stats = ThreadPool::GlobalStats();
+  metrics->GetGauge("thread_pool.tasks_executed")
+      ->Set(static_cast<double>(pool_stats.tasks_executed));
+  metrics->GetGauge("thread_pool.parallel_fors")
+      ->Set(static_cast<double>(pool_stats.parallel_fors));
+  metrics->GetGauge("thread_pool.queue_high_water")
+      ->Set(static_cast<double>(pool_stats.queue_high_water));
+}
+
+// Copies the clustering digest into the step-level convenience fields.
+void FillClusteringDigest(StepResult* result) {
+  result->iterations = result->clustering.iterations;
+  result->num_outliers = result->clustering.outliers.size();
+  result->final_g = result->clustering.g;
+}
+
+}  // namespace
 
 IncrementalClusterer::IncrementalClusterer(const Corpus* corpus,
                                            ForgettingParams params,
@@ -15,13 +62,17 @@ Result<StepResult> IncrementalClusterer::Step(
   if (tau < model_.now()) {
     return Status::InvalidArgument("step time precedes model time");
   }
+  NIDC_SPAN("clusterer.step");
   StepResult result;
 
   // Phase 1: incremental statistics update (§5.1; §5.2 steps 1–2).
   Stopwatch stats_timer;
-  model_.AdvanceTo(tau);
-  model_.AddDocuments(new_docs);
-  result.expired = model_.ExpireDocuments();
+  {
+    NIDC_SPAN("step.stats_update");
+    model_.AdvanceTo(tau);
+    model_.AddDocuments(new_docs);
+    result.expired = model_.ExpireDocuments();
+  }
   result.num_new = new_docs.size();
   result.num_active = model_.num_active();
   result.stats_update_seconds = stats_timer.ElapsedSeconds();
@@ -32,12 +83,16 @@ Result<StepResult> IncrementalClusterer::Step(
 
   // Phase 2: clustering, seeded from the previous result (§5.2 step 3).
   Stopwatch cluster_timer;
-  SimilarityContext ctx(model_,
-                        ThreadPool::Resolve(options_.kmeans.num_threads));
+  std::optional<SimilarityContext> ctx;
+  {
+    NIDC_SPAN("step.context_build");
+    ctx.emplace(model_, ThreadPool::Resolve(options_.kmeans.num_threads));
+  }
   std::optional<KMeansSeeds> seeds;
   ExtendedKMeansOptions kmeans = options_.kmeans;
   // Vary the random-seed stream per step so repeated random inits differ.
   kmeans.seed = options_.kmeans.seed + step_count_;
+  if (kmeans.metrics == nullptr) kmeans.metrics = options_.metrics;
   if (last_result_) {
     KMeansSeeds s;
     s.mode = options_.reseed_mode;
@@ -49,11 +104,13 @@ Result<StepResult> IncrementalClusterer::Step(
     seeds = std::move(s);
   }
   Result<ClusteringResult> clustering =
-      RunExtendedKMeans(ctx, model_.active_docs(), kmeans, seeds);
+      RunExtendedKMeans(*ctx, model_.active_docs(), kmeans, seeds);
   if (!clustering.ok()) return clustering.status();
   result.clustering_seconds = cluster_timer.ElapsedSeconds();
 
   result.clustering = std::move(clustering).value();
+  FillClusteringDigest(&result);
+  RecordStepMetrics(kmeans.metrics, model_, result);
   last_result_ = result.clustering;
   ++step_count_;
   return result;
@@ -97,12 +154,16 @@ BatchClusterer::BatchClusterer(const Corpus* corpus, ForgettingParams params,
 
 Result<StepResult> BatchClusterer::Run(const std::vector<DocId>& docs,
                                        DayTime tau) {
+  NIDC_SPAN("clusterer.batch_run");
   StepResult result;
 
   // Phase 1: from-scratch statistics computation over every document.
   Stopwatch stats_timer;
-  model_.RebuildFromScratch(docs, tau);
-  result.expired = model_.ExpireDocuments();
+  {
+    NIDC_SPAN("step.stats_update");
+    model_.RebuildFromScratch(docs, tau);
+    result.expired = model_.ExpireDocuments();
+  }
   result.num_new = docs.size();
   result.num_active = model_.num_active();
   result.stats_update_seconds = stats_timer.ElapsedSeconds();
@@ -113,13 +174,19 @@ Result<StepResult> BatchClusterer::Run(const std::vector<DocId>& docs,
 
   // Phase 2: clustering from a random start.
   Stopwatch cluster_timer;
-  SimilarityContext ctx(model_, ThreadPool::Resolve(kmeans_.num_threads));
+  std::optional<SimilarityContext> ctx;
+  {
+    NIDC_SPAN("step.context_build");
+    ctx.emplace(model_, ThreadPool::Resolve(kmeans_.num_threads));
+  }
   Result<ClusteringResult> clustering =
-      RunExtendedKMeans(ctx, model_.active_docs(), kmeans_);
+      RunExtendedKMeans(*ctx, model_.active_docs(), kmeans_);
   if (!clustering.ok()) return clustering.status();
   result.clustering_seconds = cluster_timer.ElapsedSeconds();
 
   result.clustering = std::move(clustering).value();
+  FillClusteringDigest(&result);
+  RecordStepMetrics(kmeans_.metrics, model_, result);
   return result;
 }
 

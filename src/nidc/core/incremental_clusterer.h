@@ -28,6 +28,14 @@ struct StepResult {
   size_t num_active = 0;
   double stats_update_seconds = 0.0;
   double clustering_seconds = 0.0;
+
+  /// Clustering telemetry, duplicated from `clustering` so step-level
+  /// consumers (CLI digests, JSONL exports) need not reach into the full
+  /// result: repetition sweeps run, outlier-list size, and the final
+  /// clustering index G.
+  int iterations = 0;
+  size_t num_outliers = 0;
+  double final_g = 0.0;
 };
 
 /// Options for the incremental driver.
@@ -35,6 +43,12 @@ struct IncrementalOptions {
   ExtendedKMeansOptions kmeans;
   /// How step N+1 is seeded from step N's result (first step: random).
   SeedMode reseed_mode = SeedMode::kMembership;
+
+  /// Telemetry sink for step-level metrics (doc churn, phase timings,
+  /// vocabulary/tdw gauges, thread-pool utilization); also propagated to
+  /// the K-means run unless `kmeans.metrics` is set explicitly. Null (the
+  /// default) disables all instrumentation.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Stateful on-line clusterer (§5.2).

@@ -9,6 +9,11 @@ namespace nidc {
 void ClusterRepIndex::Reset(size_t num_clusters) {
   postings_.clear();
   k_ = num_clusters;
+  // The entry gauges track the (now empty) postings; the maintenance
+  // counters survive — RefreshAll resets the index once per sweep, and the
+  // telemetry wants tombstone/compaction churn per run, not per sweep.
+  stats_.live_entries = 0;
+  stats_.dead_entries = 0;
 }
 
 void ClusterRepIndex::Add(size_t p, const SparseVector& psi) {
@@ -25,8 +30,14 @@ void ClusterRepIndex::Add(size_t p, const SparseVector& psi) {
     }
     if (found == nullptr) {
       list.entries.push_back({static_cast<uint32_t>(p), 1, e.value});
+      ++stats_.live_entries;
     } else {
-      if (found->refs == 0) --list.dead;  // revive a tombstone
+      if (found->refs == 0) {  // revive a tombstone
+        --list.dead;
+        --stats_.dead_entries;
+        ++stats_.live_entries;
+        ++stats_.tombstones_revived;
+      }
       ++found->refs;
       found->weight += e.value;
     }
@@ -56,6 +67,9 @@ void ClusterRepIndex::Remove(size_t p, const SparseVector& psi) {
       // posting-side analogue of Cluster::Clear) and tombstone.
       found->weight = 0.0;
       ++list.dead;
+      --stats_.live_entries;
+      ++stats_.dead_entries;
+      ++stats_.tombstones_created;
       MaybeCompact(&list);
       if (list.entries.empty()) postings_.erase(it);
     }
@@ -68,6 +82,9 @@ void ClusterRepIndex::MaybeCompact(PostingList* list) {
       std::remove_if(list->entries.begin(), list->entries.end(),
                      [](const Entry& e) { return e.refs == 0; }),
       list->entries.end());
+  ++stats_.compactions;
+  stats_.entries_compacted += list->dead;
+  stats_.dead_entries -= list->dead;
   list->dead = 0;
 }
 

@@ -43,6 +43,19 @@ class ClusterRepIndex {
   size_t num_clusters() const { return k_; }
   size_t num_terms() const { return postings_.size(); }
 
+  /// Maintenance telemetry. Counters are cumulative over the index's
+  /// lifetime (Reset preserves them — RefreshAll resets once per sweep);
+  /// live/dead entries reflect the current postings.
+  struct Stats {
+    uint64_t tombstones_created = 0;  // entries whose refs dropped to 0
+    uint64_t tombstones_revived = 0;  // tombstones re-added before compaction
+    uint64_t compactions = 0;         // posting lists physically compacted
+    uint64_t entries_compacted = 0;   // dead entries dropped by compaction
+    size_t live_entries = 0;          // (term, cluster) entries with refs > 0
+    size_t dead_entries = 0;          // tombstones not yet compacted
+  };
+  const Stats& stats() const { return stats_; }
+
   /// Drops all postings and resets the cluster count.
   void Reset(size_t num_clusters);
 
@@ -79,10 +92,11 @@ class ClusterRepIndex {
     size_t dead = 0;
   };
 
-  static void MaybeCompact(PostingList* list);
+  void MaybeCompact(PostingList* list);
 
   std::unordered_map<TermId, PostingList> postings_;
   size_t k_ = 0;
+  Stats stats_;
 };
 
 }  // namespace nidc

@@ -103,6 +103,10 @@ class ForgettingModel {
   }
   size_t num_active() const { return weights_.size(); }
 
+  /// Number of terms with recorded statistics — the active vocabulary
+  /// size, as surfaced in the step telemetry.
+  size_t NumTerms() const { return terms_.num_terms(); }
+
   DayTime now() const { return weights_.now(); }
   const ForgettingParams& params() const { return params_; }
   const Corpus& corpus() const { return *corpus_; }

@@ -1,0 +1,169 @@
+#include "nidc/obs/exporters.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "nidc/obs/json_util.h"
+
+namespace nidc::obs {
+
+std::string RenderMetricsJson(const std::vector<MetricSample>& samples) {
+  JsonObjectBuilder builder;
+  for (const MetricSample& sample : samples) {
+    switch (sample.kind) {
+      case MetricSample::Kind::kCounter:
+      case MetricSample::Kind::kGauge:
+        builder.Add(sample.name, sample.value);
+        break;
+      case MetricSample::Kind::kHistogram: {
+        std::string buckets = "[";
+        for (size_t i = 0; i < sample.buckets.size(); ++i) {
+          if (i > 0) buckets += ",";
+          buckets += JsonObjectBuilder()
+                         .Add("le", sample.buckets[i].first)
+                         .Add("count", sample.buckets[i].second)
+                         .Render();
+        }
+        buckets += "]";
+        builder.AddRaw(sample.name, JsonObjectBuilder()
+                                        .Add("count", sample.count)
+                                        .Add("sum", sample.sum)
+                                        .AddRaw("buckets", buckets)
+                                        .Render());
+        break;
+      }
+    }
+  }
+  return builder.Render();
+}
+
+std::string RenderTraceJson(const TraceNode& node) {
+  std::string children = "[";
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) children += ",";
+    children += RenderTraceJson(*node.children[i]);
+  }
+  children += "]";
+  return JsonObjectBuilder()
+      .Add("name", node.name)
+      .Add("count", node.count)
+      .Add("seconds", node.seconds)
+      .AddRaw("children", children)
+      .Render();
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted
+// names map onto that by flattening separators to '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const std::vector<MetricSample>& samples) {
+  std::string out;
+  for (const MetricSample& sample : samples) {
+    const std::string name = PrometheusName(sample.name);
+    switch (sample.kind) {
+      case MetricSample::Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + JsonNumber(sample.value) + "\n";
+        break;
+      case MetricSample::Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + JsonNumber(sample.value) + "\n";
+        break;
+      case MetricSample::Kind::kHistogram:
+        out += "# TYPE " + name + " histogram\n";
+        for (const auto& [le, count] : sample.buckets) {
+          out += name + "_bucket{le=\"" + JsonNumber(le) +
+                 "\"} " + std::to_string(count) + "\n";
+        }
+        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(sample.count) +
+               "\n";
+        out += name + "_sum " + JsonNumber(sample.sum) + "\n";
+        out += name + "_count " + std::to_string(sample.count) + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+JsonlWriter::~JsonlWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status JsonlWriter::Append(const std::string& json_object) {
+  if (file_ == nullptr) {
+    file_ = std::fopen(path_.c_str(), "w");
+    if (file_ == nullptr) {
+      return Status::IOError("cannot open " + path_ + " for writing");
+    }
+  }
+  if (std::fprintf(file_, "%s\n", json_object.c_str()) < 0 ||
+      std::fflush(file_) != 0) {
+    return Status::IOError("write to " + path_ + " failed");
+  }
+  ++lines_written_;
+  return Status::OK();
+}
+
+void MetricsCsvSeries::AddStep(uint64_t step,
+                               const std::vector<MetricSample>& samples) {
+  // Scalar view: counters/gauges verbatim; histograms as .count and .sum.
+  std::vector<std::pair<std::string, double>> scalars;
+  for (const MetricSample& sample : samples) {
+    if (sample.kind == MetricSample::Kind::kHistogram) {
+      scalars.emplace_back(sample.name + ".count",
+                           static_cast<double>(sample.count));
+      scalars.emplace_back(sample.name + ".sum", sample.sum);
+    } else {
+      scalars.emplace_back(sample.name, sample.value);
+    }
+  }
+  if (columns_.empty()) {
+    for (const auto& [name, value] : scalars) columns_.push_back(name);
+  }
+  std::unordered_map<std::string, double> by_name(scalars.begin(),
+                                                  scalars.end());
+  std::vector<std::string> cells;
+  cells.reserve(columns_.size());
+  for (const std::string& column : columns_) {
+    auto it = by_name.find(column);
+    cells.push_back(it == by_name.end() ? std::string() : JsonNumber(it->second));
+  }
+  rows_.emplace_back(step, std::move(cells));
+}
+
+CsvWriter MetricsCsvSeries::BuildCsv() const {
+  std::vector<std::string> header;
+  header.push_back("step");
+  header.insert(header.end(), columns_.begin(), columns_.end());
+  CsvWriter csv(std::move(header));
+  for (const auto& [step, cells] : rows_) {
+    std::vector<std::string> row;
+    row.reserve(cells.size() + 1);
+    row.push_back(std::to_string(step));
+    row.insert(row.end(), cells.begin(), cells.end());
+    csv.AddRow(std::move(row));
+  }
+  return csv;
+}
+
+Status MetricsCsvSeries::WriteFile(const std::string& path) const {
+  return BuildCsv().WriteFile(path);
+}
+
+std::string MetricsCsvSeries::ToString() const {
+  return BuildCsv().ToString();
+}
+
+}  // namespace nidc::obs

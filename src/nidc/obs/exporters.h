@@ -1,0 +1,87 @@
+// Telemetry exporters over MetricsRegistry snapshots and trace trees.
+//
+// Three formats, three audiences:
+//   * JSONL  — one self-contained JSON record per pipeline step, for
+//     offline analysis of trajectories (G per step, outlier churn, ...);
+//   * CSV    — scalar metrics as a per-step time series (reuses
+//     util/csv_writer), for spreadsheet/plotting workflows;
+//   * Prometheus text exposition — a point-in-time dump of the whole
+//     registry in the format scrapers ingest.
+
+#ifndef NIDC_OBS_EXPORTERS_H_
+#define NIDC_OBS_EXPORTERS_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "nidc/obs/metrics.h"
+#include "nidc/obs/trace.h"
+#include "nidc/util/csv_writer.h"
+#include "nidc/util/status.h"
+
+namespace nidc::obs {
+
+/// Renders a snapshot as one JSON object: counters and gauges as
+/// `"name": value`, histograms as
+/// `"name": {"count":..,"sum":..,"buckets":[{"le":..,"count":..},...]}`.
+std::string RenderMetricsJson(const std::vector<MetricSample>& samples);
+
+/// Renders a trace tree as nested JSON:
+/// `{"name":..,"count":..,"seconds":..,"children":[...]}`.
+std::string RenderTraceJson(const TraceNode& node);
+
+/// Renders a snapshot in the Prometheus text exposition format (metric
+/// names have `.` rewritten to `_`; histograms expand to _bucket/_sum/
+/// _count families).
+std::string RenderPrometheus(const std::vector<MetricSample>& samples);
+
+/// Line-per-record sink for JSONL telemetry. Opens lazily on the first
+/// append, truncating any existing file.
+class JsonlWriter {
+ public:
+  explicit JsonlWriter(std::string path) : path_(std::move(path)) {}
+  ~JsonlWriter();
+
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+
+  /// Appends `json_object` (one already-rendered record, no newline) as a
+  /// line, flushing so partial runs still leave parseable output.
+  Status Append(const std::string& json_object);
+
+  const std::string& path() const { return path_; }
+  size_t lines_written() const { return lines_written_; }
+
+ private:
+  std::string path_;
+  FILE* file_ = nullptr;
+  size_t lines_written_ = 0;
+};
+
+/// Accumulates per-step rows of every *scalar* metric (counters and
+/// gauges; histograms export their count and sum) into a CSV time series.
+/// The column set is fixed by the first snapshot; later snapshots missing
+/// a column emit an empty cell and new names are ignored — steps stay
+/// comparable.
+class MetricsCsvSeries {
+ public:
+  void AddStep(uint64_t step, const std::vector<MetricSample>& samples);
+
+  size_t num_steps() const { return rows_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  /// Writes "step,<metric columns...>" + one row per AddStep.
+  Status WriteFile(const std::string& path) const;
+  std::string ToString() const;
+
+ private:
+  CsvWriter BuildCsv() const;
+
+  std::vector<std::string> columns_;  // metric column names, fixed on first use
+  std::vector<std::pair<uint64_t, std::vector<std::string>>> rows_;
+};
+
+}  // namespace nidc::obs
+
+#endif  // NIDC_OBS_EXPORTERS_H_

@@ -1,0 +1,121 @@
+#include "nidc/obs/metrics.h"
+
+#include <algorithm>
+
+#include "nidc/util/logging.h"
+
+namespace nidc::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      counts_(upper_bounds_.size() + 1) {
+  NIDC_CHECK(!upper_bounds_.empty()) << "histogram needs >= 1 bucket bound";
+  NIDC_CHECK(std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()) &&
+             std::adjacent_find(upper_bounds_.begin(), upper_bounds_.end()) ==
+                 upper_bounds_.end())
+      << "histogram bounds must be strictly increasing";
+}
+
+void Histogram::Observe(double value) {
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  const size_t bucket = static_cast<size_t>(it - upper_bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::CumulativeCount(size_t i) const {
+  uint64_t total = 0;
+  for (size_t b = 0; b <= i && b < counts_.size(); ++b) {
+    total += counts_[b].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(name);
+  if (it != slots_.end()) {
+    NIDC_CHECK(it->second.kind == Kind::kCounter)
+        << "metric '" << name << "' already registered as a different kind";
+    return &counters_[it->second.index];
+  }
+  slots_.emplace(name, Slot{Kind::kCounter, counters_.size()});
+  counters_.emplace_back();
+  return &counters_.back();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(name);
+  if (it != slots_.end()) {
+    NIDC_CHECK(it->second.kind == Kind::kGauge)
+        << "metric '" << name << "' already registered as a different kind";
+    return &gauges_[it->second.index];
+  }
+  slots_.emplace(name, Slot{Kind::kGauge, gauges_.size()});
+  gauges_.emplace_back();
+  return &gauges_.back();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(name);
+  if (it != slots_.end()) {
+    NIDC_CHECK(it->second.kind == Kind::kHistogram)
+        << "metric '" << name << "' already registered as a different kind";
+    return &histograms_[it->second.index];
+  }
+  slots_.emplace(name, Slot{Kind::kHistogram, histograms_.size()});
+  histograms_.emplace_back(std::move(upper_bounds));
+  return &histograms_.back();
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> samples;
+  samples.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) {
+    MetricSample sample;
+    sample.name = name;
+    switch (slot.kind) {
+      case Kind::kCounter:
+        sample.kind = MetricSample::Kind::kCounter;
+        sample.value = static_cast<double>(counters_[slot.index].Value());
+        break;
+      case Kind::kGauge:
+        sample.kind = MetricSample::Kind::kGauge;
+        sample.value = gauges_[slot.index].Value();
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = histograms_[slot.index];
+        sample.kind = MetricSample::Kind::kHistogram;
+        sample.count = h.TotalCount();
+        sample.sum = h.Sum();
+        for (size_t i = 0; i < h.upper_bounds().size(); ++i) {
+          sample.buckets.emplace_back(h.upper_bounds()[i],
+                                      h.CumulativeCount(i));
+        }
+        break;
+      }
+    }
+    samples.push_back(std::move(sample));
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return samples;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+}  // namespace nidc::obs

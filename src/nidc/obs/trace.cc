@@ -1,0 +1,80 @@
+#include "nidc/obs/trace.h"
+
+#include <cstdio>
+
+namespace nidc::obs {
+
+namespace {
+thread_local Tracer* t_current_tracer = nullptr;
+}  // namespace
+
+TraceNode* TraceNode::FindOrAddChild(const char* child_name) {
+  for (const auto& child : children) {
+    if (child->name == child_name) return child.get();
+  }
+  children.push_back(std::make_unique<TraceNode>());
+  children.back()->name = child_name;
+  return children.back().get();
+}
+
+Tracer::Tracer() : root_(std::make_unique<TraceNode>()) {
+  root_->name = "(root)";
+  stack_.push_back(root_.get());
+}
+
+void Tracer::Reset() {
+  root_->children.clear();
+  root_->count = 0;
+  root_->seconds = 0.0;
+  stack_.assign(1, root_.get());
+}
+
+namespace {
+void RenderNode(const TraceNode& node, int depth, std::string* out) {
+  char line[160];
+  std::snprintf(line, sizeof(line), "%*s%-*s %9.3fms  x%llu\n", depth * 2,
+                "", 40 - depth * 2, node.name.c_str(), node.seconds * 1e3,
+                static_cast<unsigned long long>(node.count));
+  *out += line;
+  for (const auto& child : node.children) {
+    RenderNode(*child, depth + 1, out);
+  }
+}
+}  // namespace
+
+std::string Tracer::Render() const {
+  std::string out;
+  for (const auto& child : root_->children) {
+    RenderNode(*child, 0, &out);
+  }
+  return out;
+}
+
+Tracer* Tracer::Current() { return t_current_tracer; }
+
+ScopedTracerInstall::ScopedTracerInstall(Tracer* tracer)
+    : previous_(t_current_tracer) {
+  t_current_tracer = tracer;
+}
+
+ScopedTracerInstall::~ScopedTracerInstall() {
+  t_current_tracer = previous_;
+}
+
+ScopedSpan::ScopedSpan(const char* name) : tracer_(t_current_tracer) {
+  if (tracer_ == nullptr) return;
+  node_ = tracer_->stack_.back()->FindOrAddChild(name);
+  tracer_->stack_.push_back(node_);
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  node_->seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  ++node_->count;
+  tracer_->stack_.pop_back();
+}
+
+}  // namespace nidc::obs

@@ -1,8 +1,12 @@
 #include "nidc/util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
 
 namespace nidc {
 
@@ -22,14 +26,66 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+// Small sequential thread id for log prefixes — stable within a process
+// and far more readable than the platform's opaque thread handles.
+int LogThreadId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1);
+  return id;
+}
+
+// ISO-8601 UTC wall time with millisecond resolution, e.g.
+// "2026-08-06T14:03:21.042Z".
+void FormatTimestamp(char* buf, size_t size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char date[32];
+  std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S", &utc);
+  std::snprintf(buf, size, "%s.%03dZ", date, static_cast<int>(millis));
+}
+
+// Runs InitLogLevelFromEnv before main() so NIDC_LOG_LEVEL takes effect
+// without any explicit call from hosts.
+struct EnvLevelInitializer {
+  EnvLevelInitializer() { InitLogLevelFromEnv(); }
+};
+const EnvLevelInitializer g_env_level_initializer;
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
 
+void InitLogLevelFromEnv() {
+  const char* raw = std::getenv("NIDC_LOG_LEVEL");
+  if (raw == nullptr || raw[0] == '\0') return;
+  std::string value(raw);
+  for (char& c : value) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (value == "debug") {
+    SetLogLevel(LogLevel::kDebug);
+  } else if (value == "info") {
+    SetLogLevel(LogLevel::kInfo);
+  } else if (value == "warning" || value == "warn") {
+    SetLogLevel(LogLevel::kWarning);
+  } else if (value == "error") {
+    SetLogLevel(LogLevel::kError);
+  }
+}
+
 void LogMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::fprintf(stderr, "[nidc %s] %s\n", LevelName(level), message.c_str());
+  char stamp[48];
+  FormatTimestamp(stamp, sizeof(stamp));
+  std::fprintf(stderr, "%s [nidc %s t%d] %s\n", stamp, LevelName(level),
+               LogThreadId(), message.c_str());
 }
 
 namespace internal {
@@ -42,7 +98,10 @@ FatalLogLine::FatalLogLine(const char* file, int line,
 
 FatalLogLine::~FatalLogLine() {
   // Bypass the level filter: a failed check must always be heard.
-  std::fprintf(stderr, "[nidc FATAL] %s\n", stream_.str().c_str());
+  char stamp[48];
+  FormatTimestamp(stamp, sizeof(stamp));
+  std::fprintf(stderr, "%s [nidc FATAL t%d] %s\n", stamp, LogThreadId(),
+               stream_.str().c_str());
   std::fflush(stderr);
   std::abort();
 }

@@ -15,6 +15,13 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Reads the `NIDC_LOG_LEVEL` environment variable ("debug" | "info" |
+/// "warning" | "error", case-insensitive; also accepts "warn") and applies
+/// it via SetLogLevel. Called once automatically before main(); exposed so
+/// tests and long-lived hosts can re-apply a changed environment. Unset or
+/// unrecognized values leave the current level untouched.
+void InitLogLevelFromEnv();
+
 /// Emits one formatted line to stderr if `level` passes the global filter.
 void LogMessage(LogLevel level, const std::string& message);
 

@@ -6,6 +6,21 @@
 
 namespace nidc {
 
+namespace {
+// Process-wide aggregates across all pools (see ThreadPool::GlobalStats).
+std::atomic<uint64_t> g_tasks_executed{0};
+std::atomic<uint64_t> g_parallel_fors{0};
+std::atomic<uint64_t> g_queue_high_water{0};
+
+void RaiseHighWater(std::atomic<uint64_t>* high_water, uint64_t depth) {
+  uint64_t current = high_water->load(std::memory_order_relaxed);
+  while (depth > current &&
+         !high_water->compare_exchange_weak(current, depth,
+                                            std::memory_order_relaxed)) {
+  }
+}
+}  // namespace
+
 // Shared state of one ParallelFor invocation. Workers and the caller pull
 // chunk indices from `next_chunk`; the last lane to finish signals `done`.
 struct ThreadPool::ForState {
@@ -71,6 +86,8 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     task();
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    g_tasks_executed.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -99,6 +116,8 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
   const size_t lanes = std::min(workers_.size() + 1, num_chunks);
   state.lanes_pending = lanes;
 
+  parallel_fors_.fetch_add(1, std::memory_order_relaxed);
+  g_parallel_fors.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (size_t i = 0; i + 1 < lanes; ++i) {
@@ -107,6 +126,8 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
         state.FinishLane();
       });
     }
+    RaiseHighWater(&queue_high_water_, queue_.size());
+    RaiseHighWater(&g_queue_high_water, queue_.size());
   }
   work_cv_.notify_all();
 
@@ -117,6 +138,22 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
     state.done_cv.wait(lock, [&state] { return state.lanes_pending == 0; });
   }
   if (state.error) std::rethrow_exception(state.error);
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  s.parallel_fors = parallel_fors_.load(std::memory_order_relaxed);
+  s.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
+  return s;
+}
+
+ThreadPool::Stats ThreadPool::GlobalStats() {
+  Stats s;
+  s.tasks_executed = g_tasks_executed.load(std::memory_order_relaxed);
+  s.parallel_fors = g_parallel_fors.load(std::memory_order_relaxed);
+  s.queue_high_water = g_queue_high_water.load(std::memory_order_relaxed);
+  return s;
 }
 
 size_t ThreadPool::DefaultThreads() {

@@ -13,8 +13,10 @@
 #ifndef NIDC_UTIL_THREAD_POOL_H_
 #define NIDC_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -37,6 +39,25 @@ class ThreadPool {
 
   /// Total concurrency (workers + the calling thread).
   size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Utilization counters. Per-pool values cover this pool's lifetime;
+  /// the process-wide aggregate (GlobalStats) survives pool destruction,
+  /// which matters because the clusterers build a fresh pool per step.
+  struct Stats {
+    /// Lane tasks dispatched through the queue (the caller's inline lane
+    /// is not queued and not counted).
+    uint64_t tasks_executed = 0;
+    /// ParallelFor invocations that actually fanned out (>= 2 lanes).
+    uint64_t parallel_fors = 0;
+    /// Maximum queue depth observed at enqueue time.
+    uint64_t queue_high_water = 0;
+  };
+
+  /// This pool's counters.
+  Stats stats() const;
+
+  /// Aggregate over every pool in the process since startup.
+  static Stats GlobalStats();
 
   /// Runs `fn(begin, end)` over contiguous chunks covering [0, n), blocking
   /// until every chunk finished. Chunks are at least `grain` long (the last
@@ -63,6 +84,10 @@ class ThreadPool {
   std::condition_variable work_cv_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
+
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> parallel_fors_{0};
+  std::atomic<uint64_t> queue_high_water_{0};
 };
 
 }  // namespace nidc

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "nidc/obs/metrics.h"
+#include "nidc/obs/trace.h"
+
 namespace nidc {
 namespace {
 
@@ -85,6 +88,54 @@ TEST_F(IncrementalClustererTest, TimingsAreRecorded) {
   ASSERT_TRUE(result.ok());
   EXPECT_GE(result->stats_update_seconds, 0.0);
   EXPECT_GT(result->clustering_seconds, 0.0);
+}
+
+TEST_F(IncrementalClustererTest, StepResultCarriesClusteringDigest) {
+  IncrementalClusterer ic(&corpus_, Params(), Options());
+  auto result = ic.Step({0, 1, 2, 3}, 1.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->iterations, result->clustering.iterations);
+  EXPECT_GT(result->iterations, 0);
+  EXPECT_EQ(result->num_outliers, result->clustering.outliers.size());
+  EXPECT_DOUBLE_EQ(result->final_g, result->clustering.g);
+  ASSERT_FALSE(result->clustering.g_history.empty());
+  EXPECT_DOUBLE_EQ(result->final_g, result->clustering.g_history.back());
+}
+
+TEST_F(IncrementalClustererTest, StepPopulatesMetricsRegistry) {
+  obs::MetricsRegistry registry;
+  IncrementalOptions opts = Options();
+  opts.metrics = &registry;
+  IncrementalClusterer ic(&corpus_, Params(), opts);
+  auto result = ic.Step({0, 1, 2, 3}, 1.0);
+  ASSERT_TRUE(result.ok());
+
+  EXPECT_EQ(registry.GetCounter("step.count")->Value(), 1u);
+  EXPECT_EQ(registry.GetCounter("step.docs_new")->Value(), 4u);
+  EXPECT_EQ(registry.GetCounter("kmeans.runs")->Value(), 1u);
+  EXPECT_EQ(registry.GetCounter("kmeans.iterations")->Value(),
+            static_cast<uint64_t>(result->iterations));
+  EXPECT_DOUBLE_EQ(registry.GetGauge("kmeans.g_final")->Value(),
+                   result->final_g);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("step.active_docs")->Value(), 4.0);
+  EXPECT_GT(registry.GetGauge("term_stats.vocab_size")->Value(), 0.0);
+
+  ASSERT_TRUE(ic.Step({4, 5}, 30.0).ok());
+  EXPECT_EQ(registry.GetCounter("step.count")->Value(), 2u);
+  EXPECT_EQ(registry.GetCounter("kmeans.runs")->Value(), 2u);
+  EXPECT_EQ(registry.GetCounter("step.docs_expired")->Value(), 4u);
+}
+
+TEST_F(IncrementalClustererTest, StepRecordsTraceSpans) {
+  obs::Tracer tracer;
+  obs::ScopedTracerInstall install(&tracer);
+  IncrementalClusterer ic(&corpus_, Params(), Options());
+  ASSERT_TRUE(ic.Step({0, 1, 2, 3}, 1.0).ok());
+  const std::string rendered = tracer.Render();
+  EXPECT_NE(rendered.find("clusterer.step"), std::string::npos);
+  EXPECT_NE(rendered.find("step.stats_update"), std::string::npos);
+  EXPECT_NE(rendered.find("kmeans.run"), std::string::npos);
+  EXPECT_NE(rendered.find("kmeans.sweep"), std::string::npos);
 }
 
 TEST_F(IncrementalClustererTest, MembershipReseedKeepsStableClusters) {

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <regex>
+#include <thread>
+
 namespace nidc {
 namespace {
 
@@ -41,6 +45,51 @@ TEST_F(LoggingTest, ErrorAlwaysPassesDefaultFilter) {
   const std::string err = testing::internal::GetCapturedStderr();
   EXPECT_NE(err.find("ERROR"), std::string::npos);
   EXPECT_NE(err.find("boom"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LinesCarryIsoTimestampAndThreadId) {
+  testing::internal::CaptureStderr();
+  NIDC_LOG(Info) << "stamped";
+  const std::string err = testing::internal::GetCapturedStderr();
+  // 2026-08-06T14:03:21.042Z [nidc INFO t0] stamped
+  const std::regex prefix(
+      R"(^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z \[nidc INFO t\d+\] stamped)");
+  EXPECT_TRUE(std::regex_search(err, prefix)) << "got: " << err;
+}
+
+TEST_F(LoggingTest, ThreadIdsDifferAcrossThreads) {
+  testing::internal::CaptureStderr();
+  NIDC_LOG(Info) << "from main";
+  std::thread([] { NIDC_LOG(Info) << "from worker"; }).join();
+  const std::string err = testing::internal::GetCapturedStderr();
+  const std::regex tid(R"(t(\d+)\] from)");
+  auto it = std::sregex_iterator(err.begin(), err.end(), tid);
+  ASSERT_EQ(std::distance(it, std::sregex_iterator()), 2);
+  const std::string first = (*it)[1];
+  const std::string second = (*std::next(it))[1];
+  EXPECT_NE(first, second);
+}
+
+TEST_F(LoggingTest, EnvVarControlsLevel) {
+  setenv("NIDC_LOG_LEVEL", "error", /*overwrite=*/1);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+
+  setenv("NIDC_LOG_LEVEL", "WARN", 1);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+
+  setenv("NIDC_LOG_LEVEL", "Debug", 1);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+
+  // Unrecognized and unset values leave the level untouched.
+  setenv("NIDC_LOG_LEVEL", "verbose", 1);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  unsetenv("NIDC_LOG_LEVEL");
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
 }
 
 }  // namespace

@@ -95,9 +95,49 @@ TEST(ClusterRepIndexTest, TombstoneReviveRestoresPosting) {
   auto p7 = index.PostingsOf(7);
   ASSERT_EQ(p7.size(), 2u);
   for (const auto& [cluster, weight] : p7) {
-    if (cluster == 0) EXPECT_DOUBLE_EQ(weight, 2.5);
-    if (cluster == 1) EXPECT_DOUBLE_EQ(weight, 1.5);
+    if (cluster == 0) {
+      EXPECT_DOUBLE_EQ(weight, 2.5);
+    }
+    if (cluster == 1) {
+      EXPECT_DOUBLE_EQ(weight, 1.5);
+    }
   }
+}
+
+TEST(ClusterRepIndexTest, StatsTrackTombstoneLifecycle) {
+  ClusterRepIndex index(2);
+  const SparseVector a = Vec({{7, 1.5}});
+  index.Add(0, a);
+  index.Add(1, a);
+  EXPECT_EQ(index.stats().live_entries, 2u);
+  EXPECT_EQ(index.stats().dead_entries, 0u);
+  EXPECT_EQ(index.stats().tombstones_created, 0u);
+
+  index.Remove(0, a);
+  EXPECT_EQ(index.stats().live_entries, 1u);
+  EXPECT_EQ(index.stats().dead_entries, 1u);
+  EXPECT_EQ(index.stats().tombstones_created, 1u);
+
+  index.Add(0, Vec({{7, 2.5}}));
+  EXPECT_EQ(index.stats().live_entries, 2u);
+  EXPECT_EQ(index.stats().dead_entries, 0u);
+  EXPECT_EQ(index.stats().tombstones_revived, 1u);
+}
+
+TEST(ClusterRepIndexTest, ResetPreservesCumulativeStats) {
+  ClusterRepIndex index(2);
+  const SparseVector a = Vec({{3, 1.0}});
+  index.Add(0, a);
+  index.Remove(0, a);
+  const uint64_t tombstones = index.stats().tombstones_created;
+  EXPECT_EQ(tombstones, 1u);
+  // The single-entry list compacts on the remove, so the cumulative
+  // compaction counters are also non-zero here.
+  EXPECT_EQ(index.stats().compactions, 1u);
+  index.Reset(2);
+  EXPECT_EQ(index.stats().live_entries, 0u);
+  EXPECT_EQ(index.stats().dead_entries, 0u);
+  EXPECT_EQ(index.stats().tombstones_created, tombstones);
 }
 
 TEST(ClusterRepIndexDeathTest, RemovingUnknownTermDiesLoudly) {

@@ -85,6 +85,37 @@ TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
   }
 }
 
+TEST(ThreadPoolTest, StatsCountFanOutWork) {
+  const ThreadPool::Stats before_global = ThreadPool::GlobalStats();
+  {
+    ThreadPool pool(4);
+    const ThreadPool::Stats fresh = pool.stats();
+    EXPECT_EQ(fresh.tasks_executed, 0u);
+    EXPECT_EQ(fresh.parallel_fors, 0u);
+    pool.ParallelFor(1000, 1, [](size_t, size_t) {});
+    pool.ParallelFor(1000, 1, [](size_t, size_t) {});
+    // parallel_fors and queue_high_water update synchronously in the
+    // caller; tasks_executed lands on worker threads, so it is only
+    // asserted after the join below.
+    const ThreadPool::Stats after = pool.stats();
+    EXPECT_EQ(after.parallel_fors, 2u);
+    EXPECT_GT(after.queue_high_water, 0u);
+  }
+  // The process-wide aggregate outlives the pool, and the destructor's
+  // join makes every worker-side increment visible.
+  const ThreadPool::Stats after_global = ThreadPool::GlobalStats();
+  EXPECT_GE(after_global.parallel_fors, before_global.parallel_fors + 2);
+  EXPECT_GT(after_global.tasks_executed, before_global.tasks_executed);
+}
+
+TEST(ThreadPoolTest, InlineRunsAreNotCountedAsFanOuts) {
+  ThreadPool pool(1);
+  pool.ParallelFor(100, 1, [](size_t, size_t) {});
+  const ThreadPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.parallel_fors, 0u);
+  EXPECT_EQ(stats.tasks_executed, 0u);
+}
+
 TEST(ThreadPoolTest, ResultsMatchSerialSum) {
   const size_t n = 4096;
   std::vector<double> values(n);

@@ -1,0 +1,100 @@
+#include "nidc/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace nidc::obs {
+namespace {
+
+const TraceNode* FindChild(const TraceNode& parent, const std::string& name) {
+  for (const auto& child : parent.children) {
+    if (child->name == name) return child.get();
+  }
+  return nullptr;
+}
+
+TEST(TracerTest, NoTracerInstalledIsANoOp) {
+  ASSERT_EQ(Tracer::Current(), nullptr);
+  // Must not crash or record anywhere.
+  NIDC_SPAN("orphan");
+}
+
+TEST(TracerTest, SpansNestIntoATree) {
+  Tracer tracer;
+  {
+    ScopedTracerInstall install(&tracer);
+    NIDC_SPAN("outer");
+    {
+      NIDC_SPAN("inner");
+    }
+    { NIDC_SPAN("inner2"); }
+  }
+  const TraceNode& root = tracer.root();
+  ASSERT_EQ(root.children.size(), 1u);
+  const TraceNode* outer = FindChild(root, "outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  EXPECT_GE(outer->seconds, 0.0);
+  ASSERT_EQ(outer->children.size(), 2u);
+  EXPECT_NE(FindChild(*outer, "inner"), nullptr);
+  EXPECT_NE(FindChild(*outer, "inner2"), nullptr);
+}
+
+TEST(TracerTest, RepeatedSpansAggregate) {
+  Tracer tracer;
+  {
+    ScopedTracerInstall install(&tracer);
+    NIDC_SPAN("run");
+    for (int i = 0; i < 50; ++i) {
+      NIDC_SPAN("sweep");
+    }
+  }
+  const TraceNode* run = FindChild(tracer.root(), "run");
+  ASSERT_NE(run, nullptr);
+  ASSERT_EQ(run->children.size(), 1u);
+  const TraceNode* sweep = FindChild(*run, "sweep");
+  ASSERT_NE(sweep, nullptr);
+  EXPECT_EQ(sweep->count, 50u);
+}
+
+TEST(TracerTest, ResetDropsTheTreeButKeepsRecording) {
+  Tracer tracer;
+  ScopedTracerInstall install(&tracer);
+  { NIDC_SPAN("before"); }
+  tracer.Reset();
+  EXPECT_TRUE(tracer.root().children.empty());
+  { NIDC_SPAN("after"); }
+  ASSERT_EQ(tracer.root().children.size(), 1u);
+  EXPECT_EQ(tracer.root().children[0]->name, "after");
+}
+
+TEST(TracerTest, InstallRestoresThePreviousTracer) {
+  Tracer outer_tracer;
+  Tracer inner_tracer;
+  ScopedTracerInstall outer(&outer_tracer);
+  EXPECT_EQ(Tracer::Current(), &outer_tracer);
+  {
+    ScopedTracerInstall inner(&inner_tracer);
+    EXPECT_EQ(Tracer::Current(), &inner_tracer);
+    NIDC_SPAN("inner-only");
+  }
+  EXPECT_EQ(Tracer::Current(), &outer_tracer);
+  EXPECT_TRUE(outer_tracer.root().children.empty());
+  EXPECT_EQ(inner_tracer.root().children.size(), 1u);
+}
+
+TEST(TracerTest, RenderListsEveryNode) {
+  Tracer tracer;
+  {
+    ScopedTracerInstall install(&tracer);
+    NIDC_SPAN("phase");
+    { NIDC_SPAN("subphase"); }
+    { NIDC_SPAN("subphase"); }
+  }
+  const std::string text = tracer.Render();
+  EXPECT_NE(text.find("phase"), std::string::npos);
+  EXPECT_NE(text.find("subphase"), std::string::npos);
+  EXPECT_NE(text.find("x2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nidc::obs

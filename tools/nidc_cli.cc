@@ -8,9 +8,15 @@
 //       Non-incrementally cluster a time range of a corpus file and print
 //       the clusters; optionally snapshot the state.
 //   stream --corpus FILE [--beta D] [--gamma D] [--k N] [--step D]
-//          [--from D --to D] [--state FILE]
+//          [--from D --to D] [--state FILE] [--metrics-out FILE.jsonl]
+//          [--metrics-csv FILE.csv] [--metrics-prom FILE] [--trace]
 //       Replay the corpus through the incremental clusterer, printing a
 //       digest per step; optionally resume from / save to a state snapshot.
+//       --metrics-out writes one JSON record per step (G trajectory,
+//       iteration/outlier/expiry counts, registry snapshot); --metrics-csv
+//       writes the scalar metrics as a per-step CSV time series;
+//       --metrics-prom dumps the final registry in Prometheus text format;
+//       --trace prints the span tree of every step.
 //   eval --corpus FILE [--beta D] [--gamma D] [--k N] [--from D --to D]
 //       Cluster and score against the corpus's topic labels (micro/macro
 //       F1, purity, NMI, ARI).
@@ -30,6 +36,10 @@
 #include "nidc/eval/clustering_metrics.h"
 #include "nidc/eval/f1_measures.h"
 #include "nidc/eval/report.h"
+#include "nidc/obs/exporters.h"
+#include "nidc/obs/json_util.h"
+#include "nidc/obs/metrics.h"
+#include "nidc/obs/trace.h"
 #include "nidc/synth/tdt2_like_generator.h"
 
 namespace nidc {
@@ -66,6 +76,8 @@ int Usage() {
       "           [--from D --to D] [--top-terms N] [--state FILE]\n"
       "  stream   --corpus FILE [--beta D] [--gamma D] [--k N] [--step D]\n"
       "           [--from D --to D] [--state FILE]\n"
+      "           [--metrics-out FILE.jsonl] [--metrics-csv FILE.csv]\n"
+      "           [--metrics-prom FILE] [--trace]\n"
       "  eval     --corpus FILE [--beta D] [--gamma D] [--k N]\n"
       "           [--from D --to D]\n");
   return 2;
@@ -75,15 +87,21 @@ Result<Args> Parse(int argc, char** argv) {
   if (argc < 2) return Status::InvalidArgument("missing command");
   Args args;
   args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  // Flags come as `--key value`, `--key=value`, or bare `--key` (boolean,
+  // stored with an empty value and queried via Has()).
+  for (int i = 2; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) != 0) {
       return Status::InvalidArgument(std::string("expected flag, got ") +
                                      argv[i]);
     }
-    args.flags[argv[i] + 2] = argv[i + 1];
-  }
-  if (argc > 2 && (argc - 2) % 2 != 0) {
-    return Status::InvalidArgument("flag without value");
+    const std::string flag = argv[i] + 2;
+    if (const size_t eq = flag.find('='); eq != std::string::npos) {
+      args.flags[flag.substr(0, eq)] = flag.substr(eq + 1);
+    } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.flags[flag] = argv[++i];
+    } else {
+      args.flags[flag] = "";
+    }
   }
   return args;
 }
@@ -172,6 +190,39 @@ int RunCluster(const Args& args) {
   return 0;
 }
 
+// One JSONL telemetry record: the step digest, the G trajectory of the
+// clustering pass, the full metrics snapshot, and (when tracing) the
+// span tree.
+std::string RenderStepRecord(uint64_t step_index, double tau,
+                             const StepResult& step,
+                             const obs::MetricsRegistry& registry,
+                             const obs::Tracer* tracer) {
+  obs::JsonObjectBuilder record;
+  record.Add("step", step_index)
+      .Add("tau", tau)
+      .Add("num_new", static_cast<uint64_t>(step.num_new))
+      .Add("num_expired", static_cast<uint64_t>(step.expired.size()))
+      .Add("num_active", static_cast<uint64_t>(step.num_active))
+      .Add("num_outliers", static_cast<uint64_t>(step.num_outliers))
+      .Add("iterations", step.iterations)
+      .Add("converged", step.clustering.converged)
+      .Add("final_g", step.final_g)
+      .Add("stats_seconds", step.stats_update_seconds)
+      .Add("clustering_seconds", step.clustering_seconds);
+  std::string g_history = "[";
+  for (size_t i = 0; i < step.clustering.g_history.size(); ++i) {
+    if (i > 0) g_history += ",";
+    g_history += obs::JsonNumber(step.clustering.g_history[i]);
+  }
+  g_history += "]";
+  record.AddRaw("g_history", g_history);
+  record.AddRaw("metrics", obs::RenderMetricsJson(registry.Snapshot()));
+  if (tracer != nullptr) {
+    record.AddRaw("trace", obs::RenderTraceJson(tracer->root()));
+  }
+  return record.Render();
+}
+
 int RunStream(const Args& args) {
   auto corpus = LoadCorpusArg(args);
   if (!corpus.ok()) {
@@ -180,6 +231,23 @@ int RunStream(const Args& args) {
   }
   IncrementalOptions options;
   options.kmeans.k = args.GetSize("k", 24);
+
+  // Telemetry: one registry for the whole replay; exporters are optional.
+  obs::MetricsRegistry registry;
+  const std::string metrics_out = args.Get("metrics-out", "");
+  const std::string metrics_csv = args.Get("metrics-csv", "");
+  const std::string metrics_prom = args.Get("metrics-prom", "");
+  const bool tracing = args.Has("trace");
+  const bool telemetry = !metrics_out.empty() || !metrics_csv.empty() ||
+                         !metrics_prom.empty() || tracing;
+  if (telemetry) options.metrics = &registry;
+  std::unique_ptr<obs::JsonlWriter> jsonl;
+  if (!metrics_out.empty()) {
+    jsonl = std::make_unique<obs::JsonlWriter>(metrics_out);
+  }
+  obs::MetricsCsvSeries csv_series;
+  obs::Tracer tracer;
+  obs::ScopedTracerInstall install_tracer(tracing ? &tracer : nullptr);
 
   std::unique_ptr<IncrementalClusterer> clusterer;
   const std::string state_path = args.Get("state", "");
@@ -206,7 +274,9 @@ int RunStream(const Args& args) {
   const double to = args.GetDouble("to", (*corpus)->MaxTime() + 1e-6);
   const double step = args.GetDouble("step", 1.0);
   DocumentStream stream(corpus->get(), resume_from, to, step);
+  uint64_t step_index = 0;
   while (auto batch = stream.Next()) {
+    if (tracing) tracer.Reset();
     auto result = clusterer->Step(batch->docs, batch->end);
     if (!result.ok()) {
       std::printf("day %7.2f | +%3zu docs | (%s)\n", batch->end,
@@ -214,10 +284,49 @@ int RunStream(const Args& args) {
       continue;
     }
     std::printf("day %7.2f | +%3zu docs | %4zu active | %2zu expired | "
-                "%2zu clusters | %3zu outliers | G %.4g\n",
+                "%2zu clusters | %3zu outliers | %2d iters | G %.4g\n",
                 batch->end, result->num_new, result->num_active,
                 result->expired.size(), result->clustering.NumNonEmpty(),
-                result->clustering.outliers.size(), result->clustering.g);
+                result->num_outliers, result->iterations, result->final_g);
+    if (tracing) {
+      std::printf("%s", tracer.Render().c_str());
+    }
+    if (jsonl != nullptr) {
+      const Status appended = jsonl->Append(
+          RenderStepRecord(step_index, batch->end, *result, registry,
+                           tracing ? &tracer : nullptr));
+      if (!appended.ok()) {
+        std::fprintf(stderr, "%s\n", appended.ToString().c_str());
+        return 1;
+      }
+    }
+    if (!metrics_csv.empty()) {
+      csv_series.AddStep(step_index, registry.Snapshot());
+    }
+    ++step_index;
+  }
+  if (jsonl != nullptr) {
+    std::printf("metrics: %zu records -> %s\n", jsonl->lines_written(),
+                jsonl->path().c_str());
+  }
+  if (!metrics_csv.empty()) {
+    if (const Status s = csv_series.WriteFile(metrics_csv); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics: %zu csv rows -> %s\n", csv_series.num_steps(),
+                metrics_csv.c_str());
+  }
+  if (!metrics_prom.empty()) {
+    const std::string dump = obs::RenderPrometheus(registry.Snapshot());
+    FILE* f = std::fopen(metrics_prom.c_str(), "w");
+    if (f == nullptr || std::fputs(dump.c_str(), f) < 0) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_prom.c_str());
+      if (f != nullptr) std::fclose(f);
+      return 1;
+    }
+    std::fclose(f);
+    std::printf("metrics: prometheus dump -> %s\n", metrics_prom.c_str());
   }
   if (!state_path.empty()) {
     const Status saved = SaveState(CaptureState(*clusterer), state_path);

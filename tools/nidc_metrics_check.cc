@@ -1,0 +1,148 @@
+// nidc_metrics_check — validates a telemetry JSONL file produced by
+// `nidc_cli stream --metrics-out=...`.
+//
+//   $ nidc_metrics_check run.jsonl [--require-trace]
+//
+// Every line must parse as a JSON object and carry the step digest keys,
+// a non-empty G trajectory, and the expected metric families (K-means,
+// rep-index, thread-pool, term-statistics). Exit 0 when every record
+// passes; 1 with a per-line diagnosis otherwise. CI runs this after a
+// stream replay so exporter regressions fail the build instead of
+// silently producing unparseable telemetry.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "nidc/obs/json_util.h"
+
+namespace nidc {
+namespace {
+
+constexpr const char* kStepKeys[] = {
+    "step",          "tau",           "num_new",
+    "num_expired",   "num_active",    "num_outliers",
+    "iterations",    "converged",     "final_g",
+    "stats_seconds", "clustering_seconds",
+};
+
+constexpr const char* kMetricKeys[] = {
+    "kmeans.runs",
+    "kmeans.iterations",
+    "kmeans.iterations_per_run",
+    "kmeans.moves",
+    "kmeans.moves_per_sweep",
+    "kmeans.docs_swept",
+    "kmeans.seeded_assigned",
+    "kmeans.outliers",
+    "kmeans.g_initial",
+    "kmeans.g_final",
+    "rep_index.live_entries",
+    "rep_index.tombstones",
+    "rep_index.compactions",
+    "thread_pool.tasks_executed",
+    "thread_pool.queue_high_water",
+    "term_stats.vocab_size",
+    "term_stats.tdw",
+    "step.count",
+    "step.docs_new",
+    "step.docs_expired",
+    "step.active_docs",
+    "step.stats_seconds",
+    "step.clustering_seconds",
+};
+
+// Appends the problems of one record to `problems` (empty = record ok).
+void CheckRecord(const obs::JsonValue& record, bool require_trace,
+                 std::vector<std::string>* problems) {
+  if (!record.is_object()) {
+    problems->push_back("record is not a JSON object");
+    return;
+  }
+  for (const char* key : kStepKeys) {
+    if (record.Find(key) == nullptr) {
+      problems->push_back(std::string("missing step key '") + key + "'");
+    }
+  }
+  const obs::JsonValue* g_history = record.Find("g_history");
+  if (g_history == nullptr || !g_history->is_array()) {
+    problems->push_back("missing or non-array 'g_history'");
+  } else if (g_history->array.empty()) {
+    problems->push_back("'g_history' is empty");
+  }
+  const obs::JsonValue* metrics = record.Find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    problems->push_back("missing or non-object 'metrics'");
+  } else {
+    for (const char* key : kMetricKeys) {
+      if (metrics->Find(key) == nullptr) {
+        problems->push_back(std::string("missing metric '") + key + "'");
+      }
+    }
+  }
+  if (require_trace) {
+    const obs::JsonValue* trace = record.Find("trace");
+    if (trace == nullptr || !trace->is_object() ||
+        trace->Find("children") == nullptr) {
+      problems->push_back("missing or malformed 'trace'");
+    }
+  }
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: nidc_metrics_check FILE.jsonl [--require-trace]\n");
+    return 2;
+  }
+  const char* path = argv[1];
+  bool require_trace = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require-trace") == 0) require_trace = true;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  size_t line_number = 0;
+  size_t bad_records = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::vector<std::string> problems;
+    const Result<obs::JsonValue> parsed = obs::ParseJson(line);
+    if (!parsed.ok()) {
+      problems.push_back(parsed.status().ToString());
+    } else {
+      CheckRecord(*parsed, require_trace, &problems);
+    }
+    if (!problems.empty()) {
+      ++bad_records;
+      for (const std::string& problem : problems) {
+        std::fprintf(stderr, "%s:%zu: %s\n", path, line_number,
+                     problem.c_str());
+      }
+    }
+  }
+  if (line_number == 0) {
+    std::fprintf(stderr, "%s: no records\n", path);
+    return 1;
+  }
+  if (bad_records > 0) {
+    std::fprintf(stderr, "%s: %zu of %zu records failed validation\n", path,
+                 bad_records, line_number);
+    return 1;
+  }
+  std::printf("%s: %zu records ok\n", path, line_number);
+  return 0;
+}
+
+}  // namespace
+}  // namespace nidc
+
+int main(int argc, char** argv) { return nidc::Main(argc, argv); }
