@@ -1,6 +1,8 @@
 #include "nidc/core/incremental_clusterer.h"
 
+#include <cmath>
 #include <optional>
+#include <unordered_set>
 
 #include "nidc/obs/metrics.h"
 #include "nidc/obs/trace.h"
@@ -57,11 +59,38 @@ IncrementalClusterer::IncrementalClusterer(const Corpus* corpus,
                                            IncrementalOptions options)
     : model_(corpus, params), options_(options) {}
 
+Status IncrementalClusterer::ValidateStepInputs(
+    const std::vector<DocId>& new_docs, DayTime tau) const {
+  if (!std::isfinite(tau)) {
+    return Status::InvalidArgument("step time must be finite");
+  }
+  if (tau < model_.now()) {
+    return Status::InvalidArgument(
+        "step time " + std::to_string(tau) + " precedes model time " +
+        std::to_string(model_.now()));
+  }
+  std::unordered_set<DocId> batch;
+  batch.reserve(new_docs.size());
+  for (DocId id : new_docs) {
+    if (id >= model_.corpus().size()) {
+      return Status::InvalidArgument("document " + std::to_string(id) +
+                                     " is beyond the corpus");
+    }
+    if (model_.IsActive(id)) {
+      return Status::InvalidArgument("document " + std::to_string(id) +
+                                     " is already active");
+    }
+    if (!batch.insert(id).second) {
+      return Status::InvalidArgument("document " + std::to_string(id) +
+                                     " appears twice in the batch");
+    }
+  }
+  return Status::OK();
+}
+
 Result<StepResult> IncrementalClusterer::Step(
     const std::vector<DocId>& new_docs, DayTime tau) {
-  if (tau < model_.now()) {
-    return Status::InvalidArgument("step time precedes model time");
-  }
+  NIDC_RETURN_NOT_OK(ValidateStepInputs(new_docs, tau));
   NIDC_SPAN("clusterer.step");
   StepResult result;
 
@@ -116,35 +145,78 @@ Result<StepResult> IncrementalClusterer::Step(
   return result;
 }
 
-Status IncrementalClusterer::RestoreState(
-    DayTime now, const std::vector<DocId>& active,
-    std::optional<ClusteringResult> last) {
-  model_.RebuildFromScratch(active, now);
-  last_result_ = std::move(last);
-  if (last_result_ && model_.num_active() > 0) {
-    // Recompute representatives (Eq. 20) for the restored memberships —
-    // they are derived state, so snapshots do not carry them.
-    SimilarityContext ctx(model_,
-                          ThreadPool::Resolve(options_.kmeans.num_threads));
-    last_result_->representatives.assign(last_result_->clusters.size(),
-                                         SparseVector());
-    last_result_->avg_sims.assign(last_result_->clusters.size(), 0.0);
-    for (size_t p = 0; p < last_result_->clusters.size(); ++p) {
-      Cluster cluster;
-      for (DocId id : last_result_->clusters[p]) {
-        if (!ctx.Contains(id)) {
-          return Status::InvalidArgument(
-              "restored cluster references inactive document " +
-              std::to_string(id));
-        }
-        cluster.Add(id, ctx);
-      }
-      last_result_->representatives[p] = cluster.representative();
-      last_result_->avg_sims[p] = cluster.AvgSim();
+namespace {
+
+// Rejects active lists with repeated entries or ids outside the corpus —
+// a corrupt snapshot must fail restoration instead of corrupting the
+// statistics it seeds.
+Status ValidateActiveIds(const Corpus& corpus,
+                         const std::vector<DocId>& active) {
+  std::unordered_set<DocId> seen;
+  seen.reserve(active.size());
+  for (DocId id : active) {
+    if (id >= corpus.size()) {
+      return Status::InvalidArgument("active document " +
+                                     std::to_string(id) +
+                                     " is beyond the corpus");
+    }
+    if (!seen.insert(id).second) {
+      return Status::InvalidArgument("active document " +
+                                     std::to_string(id) +
+                                     " is listed twice");
     }
   }
-  // Step numbering continues from the restored result's presence.
-  step_count_ = last_result_ ? 1 : 0;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status IncrementalClusterer::RecomputeSeedDerivedState() {
+  if (!last_result_ || model_.num_active() == 0) return Status::OK();
+  // Recompute representatives (Eq. 20) for the restored memberships —
+  // they are derived state, so snapshots do not carry them.
+  SimilarityContext ctx(model_,
+                        ThreadPool::Resolve(options_.kmeans.num_threads));
+  last_result_->representatives.assign(last_result_->clusters.size(),
+                                       SparseVector());
+  last_result_->avg_sims.assign(last_result_->clusters.size(), 0.0);
+  for (size_t p = 0; p < last_result_->clusters.size(); ++p) {
+    Cluster cluster;
+    for (DocId id : last_result_->clusters[p]) {
+      if (!ctx.Contains(id)) {
+        return Status::InvalidArgument(
+            "restored cluster references inactive document " +
+            std::to_string(id));
+      }
+      cluster.Add(id, ctx);
+    }
+    last_result_->representatives[p] = cluster.representative();
+    last_result_->avg_sims[p] = cluster.AvgSim();
+  }
+  return Status::OK();
+}
+
+Status IncrementalClusterer::RestoreState(
+    DayTime now, const std::vector<DocId>& active,
+    std::optional<ClusteringResult> last,
+    std::optional<uint64_t> step_count) {
+  NIDC_RETURN_NOT_OK(ValidateActiveIds(model_.corpus(), active));
+  model_.RebuildFromScratch(active, now);
+  last_result_ = std::move(last);
+  NIDC_RETURN_NOT_OK(RecomputeSeedDerivedState());
+  // Without a persisted count, step numbering continues from the restored
+  // result's presence (legacy v1 snapshots).
+  step_count_ = step_count.value_or(last_result_ ? 1 : 0);
+  return Status::OK();
+}
+
+Status IncrementalClusterer::RestoreExact(
+    const ExactModelState& model_state, std::optional<ClusteringResult> last,
+    uint64_t step_count) {
+  NIDC_RETURN_NOT_OK(model_.RestoreExact(model_state));
+  last_result_ = std::move(last);
+  NIDC_RETURN_NOT_OK(RecomputeSeedDerivedState());
+  step_count_ = step_count;
   return Status::OK();
 }
 

@@ -61,26 +61,56 @@ class IncrementalClusterer {
   ///   1. advance the clock and incorporate `new_docs` (§5.2 step 1),
   ///   2. expire documents with dw < ε and update statistics (step 2),
   ///   3. cluster, seeded from the previous result (step 3).
-  /// `tau` must be >= the current model time.
+  /// Rejects inputs that ValidateStepInputs rejects.
   Result<StepResult> Step(const std::vector<DocId>& new_docs, DayTime tau);
+
+  /// Checks a prospective step without applying it: `tau` must be finite
+  /// and >= the current model time (no time travel), and every id must
+  /// name a corpus document that is not yet active (no duplicates within
+  /// the batch either). Returns InvalidArgument describing the first
+  /// violation. The durability layer calls this before logging a step to
+  /// its write-ahead log so rejected inputs never enter the log.
+  Status ValidateStepInputs(const std::vector<DocId>& new_docs,
+                            DayTime tau) const;
 
   /// The most recent clustering, if any step has run.
   const std::optional<ClusteringResult>& last_result() const {
     return last_result_;
   }
 
+  /// Number of Step() calls applied so far (including any accounted by a
+  /// restored snapshot). Also the offset of the per-step random-seed
+  /// stream, which is why snapshots persist it.
+  uint64_t step_count() const { return step_count_; }
+
   /// Reconstructs internal state from a persisted snapshot (see
   /// state_io.h): rebuilds the statistics for `active` at clock `now`
-  /// (exact, since dw ≡ λ^(now−T)), installs `last` as the seeding result
-  /// and recomputes its cluster representatives from the current ψ.
+  /// (exact up to last-bit rounding, since dw ≡ λ^(now−T)), installs
+  /// `last` as the seeding result and recomputes its cluster
+  /// representatives from the current ψ. Rejects duplicate or unknown
+  /// active ids. `step_count` restores the seed stream; when nullopt a
+  /// legacy heuristic (1 if `last` is present, else 0) applies.
   Status RestoreState(DayTime now, const std::vector<DocId>& active,
-                      std::optional<ClusteringResult> last);
+                      std::optional<ClusteringResult> last,
+                      std::optional<uint64_t> step_count = std::nullopt);
+
+  /// Restores from a bit-exact model snapshot (ExactModelState): every
+  /// subsequent Step computes exactly what the original instance would
+  /// have computed — the foundation of the durability layer's
+  /// recovery-equivalence guarantee.
+  Status RestoreExact(const ExactModelState& model_state,
+                      std::optional<ClusteringResult> last,
+                      uint64_t step_count);
 
   ForgettingModel& model() { return model_; }
   const ForgettingModel& model() const { return model_; }
   const IncrementalOptions& options() const { return options_; }
 
  private:
+  /// Recomputes `last_result_`'s representatives/avg_sims from the current
+  /// model (they are derived state; snapshots do not carry them).
+  Status RecomputeSeedDerivedState();
+
   ForgettingModel model_;
   IncrementalOptions options_;
   std::optional<ClusteringResult> last_result_;

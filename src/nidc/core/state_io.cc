@@ -1,6 +1,6 @@
 #include "nidc/core/state_io.h"
 
-#include <fstream>
+#include <cstdlib>
 #include <sstream>
 
 #include "nidc/util/string_util.h"
@@ -29,6 +29,92 @@ bool ReadIds(std::istringstream& in, const std::string& expected_tag,
   return true;
 }
 
+// Hex floats (%a) round-trip doubles bit-exactly; iostream extraction does
+// not parse them, so exact-section values go through strtod.
+bool ReadHexDouble(std::istringstream& in, double* value) {
+  std::string token;
+  if (!(in >> token)) return false;
+  char* end = nullptr;
+  *value = std::strtod(token.c_str(), &end);
+  return end != token.c_str() && *end == '\0';
+}
+
+template <typename Id>
+void EmitExactPairs(std::ostringstream& out, const char* tag,
+                    const std::vector<std::pair<Id, double>>& pairs) {
+  out << tag << ' ' << pairs.size();
+  for (const auto& [id, value] : pairs) {
+    out << ' ' << id << ' ' << StringPrintf("%a", value);
+  }
+  out << '\n';
+}
+
+template <typename Id>
+bool ReadExactPairs(std::istringstream& in, const std::string& expected_tag,
+                    std::vector<std::pair<Id, double>>* pairs) {
+  std::string tag;
+  size_t n = 0;
+  if (!(in >> tag >> n) || tag != expected_tag) return false;
+  pairs->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!(in >> (*pairs)[i].first)) return false;
+    if (!ReadHexDouble(in, &(*pairs)[i].second)) return false;
+  }
+  return true;
+}
+
+Status ParseExactSection(std::istringstream& in, ExactModelState* exact) {
+  std::string word;
+  if (!(in >> word) || word != "now" || !ReadHexDouble(in, &exact->now)) {
+    return Status::InvalidArgument("malformed exact now field");
+  }
+  if (!(in >> word) || word != "tdw" || !ReadHexDouble(in, &exact->tdw)) {
+    return Status::InvalidArgument("malformed exact tdw field");
+  }
+  if (!ReadExactPairs(in, "weights", &exact->weights)) {
+    return Status::InvalidArgument("malformed exact weights list");
+  }
+  if (!(in >> word) || word != "scale" ||
+      !ReadHexDouble(in, &exact->term_scale)) {
+    return Status::InvalidArgument("malformed exact scale field");
+  }
+  if (!ReadExactPairs(in, "terms", &exact->term_sums)) {
+    return Status::InvalidArgument("malformed exact terms list");
+  }
+  return Status::OK();
+}
+
+Status ParseResultSection(std::istringstream& in,
+                          const std::string& count_token,
+                          ClusteringResult* result) {
+  size_t num_clusters = 0;
+  try {
+    num_clusters = static_cast<size_t>(std::stoul(count_token));
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("bad cluster count: " + count_token);
+  }
+  result->clusters.resize(num_clusters);
+  for (size_t p = 0; p < num_clusters; ++p) {
+    if (!ReadIds(in, "cluster", &result->clusters[p])) {
+      return Status::InvalidArgument("malformed cluster member list");
+    }
+  }
+  if (!ReadIds(in, "outliers", &result->outliers)) {
+    return Status::InvalidArgument("malformed outlier list");
+  }
+  std::string word;
+  int converged = 0;
+  if (!(in >> word >> result->g) || word != "g") {
+    return Status::InvalidArgument("malformed g line");
+  }
+  if (!(in >> word >> result->iterations >> converged) ||
+      word != "iterations") {
+    return Status::InvalidArgument("malformed iterations line");
+  }
+  result->converged = converged != 0;
+  return Status::OK();
+}
+
 }  // namespace
 
 ClustererState CaptureState(const IncrementalClusterer& clusterer) {
@@ -37,30 +123,42 @@ ClustererState CaptureState(const IncrementalClusterer& clusterer) {
   state.now = clusterer.model().now();
   state.active_docs = clusterer.model().active_docs();
   state.last_result = clusterer.last_result();
+  state.step_count = clusterer.step_count();
+  state.exact = clusterer.model().CaptureExact();
   return state;
 }
 
 std::string SerializeState(const ClustererState& state) {
   std::ostringstream out;
   out.precision(17);
-  out << "nidc-state v1\n";
+  out << "nidc-state v2\n";
   out << "params " << state.params.half_life_days << ' '
       << state.params.life_span_days << '\n';
   out << "now " << state.now << '\n';
+  out << "steps " << state.step_count << '\n';
   EmitIds(out, "active", state.active_docs);
   if (!state.last_result) {
     out << "clusters none\n";
-    return out.str();
+  } else {
+    const ClusteringResult& r = *state.last_result;
+    out << "clusters " << r.clusters.size() << '\n';
+    for (const auto& members : r.clusters) {
+      EmitIds(out, "cluster", members);
+    }
+    EmitIds(out, "outliers", r.outliers);
+    out << "g " << r.g << '\n';
+    out << "iterations " << r.iterations << ' ' << (r.converged ? 1 : 0)
+        << '\n';
   }
-  const ClusteringResult& r = *state.last_result;
-  out << "clusters " << r.clusters.size() << '\n';
-  for (const auto& members : r.clusters) {
-    EmitIds(out, "cluster", members);
+  if (state.exact) {
+    const ExactModelState& exact = *state.exact;
+    out << "exact\n";
+    out << "now " << StringPrintf("%a", exact.now) << " tdw "
+        << StringPrintf("%a", exact.tdw) << '\n';
+    EmitExactPairs(out, "weights", exact.weights);
+    out << "scale " << StringPrintf("%a", exact.term_scale) << '\n';
+    EmitExactPairs(out, "terms", exact.term_sums);
   }
-  EmitIds(out, "outliers", r.outliers);
-  out << "g " << r.g << '\n';
-  out << "iterations " << r.iterations << ' ' << (r.converged ? 1 : 0)
-      << '\n';
   return out.str();
 }
 
@@ -68,8 +166,9 @@ Result<ClustererState> ParseState(const std::string& text) {
   std::istringstream in(text);
   std::string word;
   std::string version;
-  if (!(in >> word >> version) || word != "nidc-state" || version != "v1") {
-    return Status::InvalidArgument("not a nidc-state v1 snapshot");
+  if (!(in >> word >> version) || word != "nidc-state" ||
+      (version != "v1" && version != "v2")) {
+    return Status::InvalidArgument("not a nidc-state v1/v2 snapshot");
   }
   ClustererState state;
   if (!(in >> word >> state.params.half_life_days >>
@@ -80,6 +179,11 @@ Result<ClustererState> ParseState(const std::string& text) {
   if (!(in >> word >> state.now) || word != "now") {
     return Status::InvalidArgument("malformed now line");
   }
+  if (version == "v2") {
+    if (!(in >> word >> state.step_count) || word != "steps") {
+      return Status::InvalidArgument("malformed steps line");
+    }
+  }
   if (!ReadIds(in, "active", &state.active_docs)) {
     return Status::InvalidArgument("malformed active list");
   }
@@ -87,52 +191,49 @@ Result<ClustererState> ParseState(const std::string& text) {
   if (!(in >> word >> count_token) || word != "clusters") {
     return Status::InvalidArgument("malformed clusters header");
   }
-  if (count_token == "none") return state;
-
-  ClusteringResult result;
-  size_t num_clusters = 0;
-  try {
-    num_clusters = static_cast<size_t>(std::stoul(count_token));
-  } catch (const std::exception&) {
-    return Status::InvalidArgument("bad cluster count: " + count_token);
+  if (count_token != "none") {
+    ClusteringResult result;
+    NIDC_RETURN_NOT_OK(ParseResultSection(in, count_token, &result));
+    state.last_result = std::move(result);
   }
-  result.clusters.resize(num_clusters);
-  for (size_t p = 0; p < num_clusters; ++p) {
-    if (!ReadIds(in, "cluster", &result.clusters[p])) {
-      return Status::InvalidArgument("malformed cluster member list");
+  if (version == "v1") {
+    // v1 predates the persisted step counter; mirror the legacy restore
+    // heuristic so old snapshots resume with the seed stream they used to.
+    state.step_count = state.last_result ? 1 : 0;
+    return state;
+  }
+  if (in >> word) {
+    if (word != "exact") {
+      return Status::InvalidArgument("unexpected trailing section: " + word);
     }
+    ExactModelState exact;
+    NIDC_RETURN_NOT_OK(ParseExactSection(in, &exact));
+    if (exact.weights.size() != state.active_docs.size()) {
+      return Status::InvalidArgument(
+          "exact weights disagree with the active list");
+    }
+    for (size_t i = 0; i < exact.weights.size(); ++i) {
+      if (exact.weights[i].first != state.active_docs[i]) {
+        return Status::InvalidArgument(
+            "exact weights disagree with the active list");
+      }
+    }
+    state.exact = std::move(exact);
   }
-  if (!ReadIds(in, "outliers", &result.outliers)) {
-    return Status::InvalidArgument("malformed outlier list");
-  }
-  int converged = 0;
-  if (!(in >> word >> result.g) || word != "g") {
-    return Status::InvalidArgument("malformed g line");
-  }
-  if (!(in >> word >> result.iterations >> converged) ||
-      word != "iterations") {
-    return Status::InvalidArgument("malformed iterations line");
-  }
-  result.converged = converged != 0;
-  state.last_result = std::move(result);
   return state;
 }
 
-Status SaveState(const ClustererState& state, const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  out << SerializeState(state);
-  out.flush();
-  if (!out) return Status::IOError("write to " + path + " failed");
-  return Status::OK();
+Status SaveState(const ClustererState& state, const std::string& path,
+                 Env* env) {
+  if (env == nullptr) env = Env::Default();
+  return AtomicWriteFile(env, path, SerializeState(state));
 }
 
-Result<ClustererState> LoadState(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path + " for reading");
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  return ParseState(buffer.str());
+Result<ClustererState> LoadState(const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  auto contents = env->ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  return ParseState(*contents);
 }
 
 Result<std::unique_ptr<IncrementalClusterer>> RestoreClusterer(
@@ -153,8 +254,13 @@ Result<std::unique_ptr<IncrementalClusterer>> RestoreClusterer(
   }
   auto clusterer = std::make_unique<IncrementalClusterer>(
       corpus, state.params, options);
-  NIDC_RETURN_NOT_OK(clusterer->RestoreState(
-      state.now, state.active_docs, state.last_result));
+  if (state.exact) {
+    NIDC_RETURN_NOT_OK(clusterer->RestoreExact(
+        *state.exact, state.last_result, state.step_count));
+  } else {
+    NIDC_RETURN_NOT_OK(clusterer->RestoreState(
+        state.now, state.active_docs, state.last_result, state.step_count));
+  }
   return clusterer;
 }
 

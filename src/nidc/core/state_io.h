@@ -5,9 +5,16 @@
 // same corpus loaded in the same order (document ids and term ids must
 // match).
 //
-// Restoration is exact for the statistics: rebuilding document weights as
-// λ^(now − T_i) from acquisition times reproduces dw (and hence tdw, Pr(d),
-// Pr(t_k)) to double precision, because that is their definition (Eq. 1).
+// Format v2 additionally embeds the model's ExactModelState (raw weights,
+// term sums and decay scale as hex floats) and the step counter, so a
+// restored clusterer continues *bit-identically* — the property the
+// store/ durability layer's crash-recovery guarantee is built on. v1
+// snapshots (no exact section) still load; they restore statistics by
+// rebuilding dw = λ^(now − T_i) from acquisition times, which is exact up
+// to last-bit rounding.
+//
+// SaveState writes through the atomic write-temp + fsync + rename helper:
+// a crash mid-save can never destroy the previous good snapshot.
 
 #ifndef NIDC_CORE_STATE_IO_H_
 #define NIDC_CORE_STATE_IO_H_
@@ -16,6 +23,7 @@
 #include <string>
 
 #include "nidc/core/incremental_clusterer.h"
+#include "nidc/util/env.h"
 
 namespace nidc {
 
@@ -25,23 +33,35 @@ struct ClustererState {
   DayTime now = 0.0;
   std::vector<DocId> active_docs;
   std::optional<ClusteringResult> last_result;
+  /// Steps applied so far (offsets the per-step random-seed stream).
+  uint64_t step_count = 0;
+  /// Bit-exact numeric state; present in v2 snapshots.
+  std::optional<ExactModelState> exact;
 };
 
-/// Captures the clusterer's current state.
+/// Captures the clusterer's current state (always includes the exact
+/// section).
 ClustererState CaptureState(const IncrementalClusterer& clusterer);
 
 /// Serializes a state to its text representation / parses it back.
+/// Serialization emits format v2; parsing accepts v1 and v2.
 std::string SerializeState(const ClustererState& state);
 Result<ClustererState> ParseState(const std::string& text);
 
-/// File round-trip helpers.
-Status SaveState(const ClustererState& state, const std::string& path);
-Result<ClustererState> LoadState(const std::string& path);
+/// File round-trip helpers. Saving is atomic (write-temp + fsync +
+/// rename) through `env`, which defaults to the process-wide POSIX Env.
+Status SaveState(const ClustererState& state, const std::string& path,
+                 Env* env = nullptr);
+Result<ClustererState> LoadState(const std::string& path,
+                                 Env* env = nullptr);
 
-/// Builds a clusterer over `corpus` resuming from `state` (statistics are
-/// reconstructed exactly; cluster representatives are recomputed from the
-/// restored memberships). Returns InvalidArgument if the state references
-/// documents the corpus does not have.
+/// Builds a clusterer over `corpus` resuming from `state`. With an exact
+/// section the numeric state is installed verbatim (bit-identical
+/// continuation); otherwise statistics are rebuilt from the active set.
+/// Cluster representatives are recomputed from the restored memberships
+/// either way. Returns InvalidArgument if the state references documents
+/// the corpus does not have, repeats an active id, or is internally
+/// inconsistent.
 Result<std::unique_ptr<IncrementalClusterer>> RestoreClusterer(
     const Corpus* corpus, IncrementalOptions options,
     const ClustererState& state);

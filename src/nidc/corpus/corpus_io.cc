@@ -1,5 +1,6 @@
 #include "nidc/corpus/corpus_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -33,25 +34,33 @@ Result<RawDocument> ParseRawDocument(const std::string& line) {
   } catch (const std::exception&) {
     return Status::InvalidArgument("malformed numeric field in: " + line);
   }
+  if (!std::isfinite(doc.time)) {
+    return Status::InvalidArgument("non-finite document time: " + fields[0]);
+  }
   doc.source = fields[2];
   doc.text = fields[3];
   return doc;
 }
 
 Status SaveRawDocuments(const std::string& path,
-                        const std::vector<RawDocument>& docs) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  out << "# nidc corpus v1: time<TAB>topic<TAB>source<TAB>text\n";
+                        const std::vector<RawDocument>& docs, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  std::string contents =
+      "# nidc corpus v1: time<TAB>topic<TAB>source<TAB>text\n";
   for (const RawDocument& doc : docs) {
-    out << FormatRawDocument(doc) << '\n';
+    contents += FormatRawDocument(doc);
+    contents += '\n';
   }
-  out.flush();
-  if (!out) return Status::IOError("write to " + path + " failed");
-  return Status::OK();
+  return AtomicWriteFile(env, path, contents);
 }
 
-Result<std::vector<RawDocument>> LoadRawDocuments(const std::string& path) {
+Result<std::vector<RawDocument>> LoadRawDocuments(
+    const std::string& path, const CorpusReadOptions& options,
+    CorpusReadStats* stats) {
+  CorpusReadStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = CorpusReadStats();
+
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path + " for reading");
   std::vector<RawDocument> docs;
@@ -62,16 +71,24 @@ Result<std::vector<RawDocument>> LoadRawDocuments(const std::string& path) {
     if (line.empty() || line[0] == '#') continue;
     Result<RawDocument> parsed = ParseRawDocument(line);
     if (!parsed.ok()) {
-      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
-                                     ": " + parsed.status().message());
+      const std::string context = path + ":" + std::to_string(lineno) +
+                                  ": " + parsed.status().message();
+      ++stats->bad_records;
+      if (stats->first_error.empty()) stats->first_error = context;
+      if (options.strict) return Status::InvalidArgument(context);
+      continue;
     }
+    ++stats->records_read;
     docs.push_back(std::move(parsed).value());
   }
   return docs;
 }
 
-Result<std::unique_ptr<Corpus>> LoadCorpus(const std::string& path) {
-  Result<std::vector<RawDocument>> raw = LoadRawDocuments(path);
+Result<std::unique_ptr<Corpus>> LoadCorpus(const std::string& path,
+                                           const CorpusReadOptions& options,
+                                           CorpusReadStats* stats) {
+  Result<std::vector<RawDocument>> raw =
+      LoadRawDocuments(path, options, stats);
   if (!raw.ok()) return raw.status();
   auto corpus = std::make_unique<Corpus>();
   for (const RawDocument& doc : raw.value()) {

@@ -3,6 +3,15 @@
 // Lines starting with '#' are comments. Loading re-analyzes the text, so a
 // round-tripped corpus has identical term vectors if the analyzer options
 // match.
+//
+// Loaders report errors with file:line context. By default they are
+// strict — the first malformed record fails the load — but callers
+// ingesting feeds of uneven quality can pass CorpusReadOptions{.strict =
+// false} to skip damaged records and count them in CorpusReadStats
+// instead (surfaced as the `corpus.bad_records` metric by nidc_cli).
+//
+// SaveRawDocuments writes atomically (write-temp + fsync + rename): a
+// crash mid-save never leaves a truncated corpus under the target name.
 
 #ifndef NIDC_CORPUS_CORPUS_IO_H_
 #define NIDC_CORPUS_CORPUS_IO_H_
@@ -10,6 +19,7 @@
 #include <string>
 
 #include "nidc/corpus/corpus.h"
+#include "nidc/util/env.h"
 #include "nidc/util/status.h"
 
 namespace nidc {
@@ -22,21 +32,48 @@ struct RawDocument {
   std::string text;
 };
 
-/// Writes raw documents to `path` in the TSV format above.
-Status SaveRawDocuments(const std::string& path,
-                        const std::vector<RawDocument>& docs);
+/// How loaders treat malformed input.
+struct CorpusReadOptions {
+  /// True (default): the first malformed record fails the whole load with
+  /// a file:line diagnostic. False: malformed records are skipped and
+  /// counted in CorpusReadStats.
+  bool strict = true;
+};
 
-/// Reads raw documents from `path`.
-Result<std::vector<RawDocument>> LoadRawDocuments(const std::string& path);
+/// What a (lenient or strict) load encountered.
+struct CorpusReadStats {
+  /// Records successfully parsed.
+  size_t records_read = 0;
+  /// Malformed records skipped (always 0 after a successful strict load).
+  size_t bad_records = 0;
+  /// file:line-prefixed diagnostic of the first malformed record, empty
+  /// when none was seen.
+  std::string first_error;
+};
+
+/// Writes raw documents to `path` in the TSV format above, atomically.
+/// `env` defaults to the process-wide POSIX Env.
+Status SaveRawDocuments(const std::string& path,
+                        const std::vector<RawDocument>& docs,
+                        Env* env = nullptr);
+
+/// Reads raw documents from `path`. `stats` (optional) receives counts
+/// even when the load fails.
+Result<std::vector<RawDocument>> LoadRawDocuments(
+    const std::string& path, const CorpusReadOptions& options = {},
+    CorpusReadStats* stats = nullptr);
 
 /// Loads raw documents and analyzes them into a fresh corpus, in file order.
-Result<std::unique_ptr<Corpus>> LoadCorpus(const std::string& path);
+Result<std::unique_ptr<Corpus>> LoadCorpus(
+    const std::string& path, const CorpusReadOptions& options = {},
+    CorpusReadStats* stats = nullptr);
 
 /// Serializes a single raw document to its TSV line (tabs/newlines in the
 /// text are replaced by spaces).
 std::string FormatRawDocument(const RawDocument& doc);
 
-/// Parses one TSV line; returns InvalidArgument on malformed input.
+/// Parses one TSV line; returns InvalidArgument on malformed input
+/// (wrong field count, unparseable or non-finite time, bad topic id).
 Result<RawDocument> ParseRawDocument(const std::string& line);
 
 }  // namespace nidc

@@ -131,10 +131,16 @@ Result<DayTime> Tdt2DateToDays(const std::string& stamp,
   return days;
 }
 
-Result<std::vector<Tdt2Document>> ParseTdt2Sgml(const std::string& content,
-                                                int epoch_yyyymmdd) {
+Result<std::vector<Tdt2Document>> ParseTdt2Sgml(
+    const std::string& content, int epoch_yyyymmdd,
+    const CorpusReadOptions& options, CorpusReadStats* stats) {
+  CorpusReadStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = CorpusReadStats();
+
   std::vector<Tdt2Document> docs;
   size_t pos = 0;
+  size_t record_index = 0;
   for (;;) {
     size_t doc_begin = 0;
     size_t doc_end = 0;
@@ -142,12 +148,20 @@ Result<std::vector<Tdt2Document>> ParseTdt2Sgml(const std::string& content,
     const std::string record =
         content.substr(doc_begin, doc_end - doc_begin);
     pos = doc_end + 6;  // past "</DOC>"
+    ++record_index;
 
     Tdt2Document doc;
     size_t begin = 0;
     size_t end = 0;
     if (!FindElement(record, "DOCNO", 0, &begin, &end)) {
-      return Status::InvalidArgument("DOC record without DOCNO");
+      const std::string context = "DOC record #" +
+                                  std::to_string(record_index) +
+                                  " (offset " + std::to_string(doc_begin) +
+                                  "): no DOCNO element";
+      ++stats->bad_records;
+      if (stats->first_error.empty()) stats->first_error = context;
+      if (options.strict) return Status::InvalidArgument(context);
+      continue;
     }
     doc.docno = std::string(Trim(record.substr(begin, end - begin)));
     doc.source = GuessSource(doc.docno);
@@ -170,26 +184,47 @@ Result<std::vector<Tdt2Document>> ParseTdt2Sgml(const std::string& content,
     } else {
       doc.text = StripTags(record);
     }
+    ++stats->records_read;
     docs.push_back(std::move(doc));
   }
   return docs;
 }
 
-Result<std::vector<Tdt2Document>> LoadTdt2File(const std::string& path,
-                                               int epoch_yyyymmdd) {
+Result<std::vector<Tdt2Document>> LoadTdt2File(
+    const std::string& path, int epoch_yyyymmdd,
+    const CorpusReadOptions& options, CorpusReadStats* stats) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path + " for reading");
   std::stringstream buffer;
   buffer << in.rdbuf();
-  return ParseTdt2Sgml(buffer.str(), epoch_yyyymmdd);
+  Result<std::vector<Tdt2Document>> docs =
+      ParseTdt2Sgml(buffer.str(), epoch_yyyymmdd, options, stats);
+  if (!docs.ok()) {
+    return Status::InvalidArgument(path + ": " + docs.status().message());
+  }
+  return docs;
 }
 
 Result<std::vector<Tdt2Judgment>> ParseRelevanceTable(
-    const std::string& content) {
+    const std::string& content, const CorpusReadOptions& options,
+    CorpusReadStats* stats) {
+  CorpusReadStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = CorpusReadStats();
+
   std::vector<Tdt2Judgment> judgments;
   std::istringstream in(content);
   std::string line;
   size_t lineno = 0;
+  auto bad_line = [&](const std::string& message) {
+    const std::string context =
+        "relevance table line " + std::to_string(lineno) + ": " + message;
+    ++stats->bad_records;
+    if (stats->first_error.empty()) stats->first_error = context;
+    return options.strict
+               ? Status::InvalidArgument(context)
+               : Status::OK();  // lenient: skip and keep scanning
+  };
   while (std::getline(in, line)) {
     ++lineno;
     const std::string_view trimmed = Trim(line);
@@ -198,9 +233,8 @@ Result<std::vector<Tdt2Judgment>> ParseRelevanceTable(
     Tdt2Judgment j;
     std::string level;
     if (!(fields >> j.topic >> j.docno >> level)) {
-      return Status::InvalidArgument("relevance table line " +
-                                     std::to_string(lineno) +
-                                     " is malformed");
+      NIDC_RETURN_NOT_OK(bad_line("malformed fields"));
+      continue;
     }
     const std::string upper = [&] {
       std::string u = level;
@@ -209,10 +243,11 @@ Result<std::vector<Tdt2Judgment>> ParseRelevanceTable(
       return u;
     }();
     if (upper != "YES" && upper != "BRIEF") {
-      return Status::InvalidArgument("unknown relevance level '" + level +
-                                     "' at line " + std::to_string(lineno));
+      NIDC_RETURN_NOT_OK(bad_line("unknown relevance level '" + level + "'"));
+      continue;
     }
     j.yes = upper == "YES";
+    ++stats->records_read;
     judgments.push_back(std::move(j));
   }
   return judgments;

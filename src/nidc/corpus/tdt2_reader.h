@@ -11,6 +11,11 @@
 //    `<topic-id> <docno> <level>` where level is YES or BRIEF, matching the
 //    LDC topic-relevance judgment tables. The paper keeps documents with
 //    exactly one YES label (§6.2.1); FilterSingleYes implements that rule.
+//
+// Real distributions contain the occasional damaged record. Parsers are
+// strict by default (first bad record fails with record/line context);
+// CorpusReadOptions{.strict = false} skips bad records and counts them in
+// CorpusReadStats instead.
 
 #ifndef NIDC_CORPUS_TDT2_READER_H_
 #define NIDC_CORPUS_TDT2_READER_H_
@@ -20,6 +25,7 @@
 #include <vector>
 
 #include "nidc/corpus/corpus.h"
+#include "nidc/corpus/corpus_io.h"
 #include "nidc/util/status.h"
 
 namespace nidc {
@@ -46,18 +52,24 @@ struct Tdt2Judgment {
 
 /// Parses the documents of one SGML stream. `epoch_yyyymmdd` anchors day 0
 /// (the paper uses 19980104); dates are converted assuming the
-/// YYYYMMDD[.HHMM...] convention of TDT2 DOCNOs/DATE_TIMEs.
-Result<std::vector<Tdt2Document>> ParseTdt2Sgml(const std::string& content,
-                                                int epoch_yyyymmdd = 19980104);
+/// YYYYMMDD[.HHMM...] convention of TDT2 DOCNOs/DATE_TIMEs. A DOC record
+/// without a DOCNO is malformed: strict mode fails, lenient mode skips and
+/// counts it.
+Result<std::vector<Tdt2Document>> ParseTdt2Sgml(
+    const std::string& content, int epoch_yyyymmdd = 19980104,
+    const CorpusReadOptions& options = {}, CorpusReadStats* stats = nullptr);
 
 /// Reads and parses one SGML file.
-Result<std::vector<Tdt2Document>> LoadTdt2File(const std::string& path,
-                                               int epoch_yyyymmdd = 19980104);
+Result<std::vector<Tdt2Document>> LoadTdt2File(
+    const std::string& path, int epoch_yyyymmdd = 19980104,
+    const CorpusReadOptions& options = {}, CorpusReadStats* stats = nullptr);
 
 /// Parses a relevance table ("<topic> <docno> <YES|BRIEF>" per line;
-/// '#' comments and blank lines skipped).
+/// '#' comments and blank lines skipped). Malformed lines fail (strict)
+/// or are skipped and counted (lenient).
 Result<std::vector<Tdt2Judgment>> ParseRelevanceTable(
-    const std::string& content);
+    const std::string& content, const CorpusReadOptions& options = {},
+    CorpusReadStats* stats = nullptr);
 
 /// The paper's §6.2.1 selection: docno → topic for documents carrying
 /// exactly one YES judgment (documents with multiple YES labels or only

@@ -63,6 +63,38 @@ void DocumentWeights::Reset(DayTime tau) {
   now_ = tau;
 }
 
+std::vector<std::pair<DocId, double>> DocumentWeights::ExactWeights() const {
+  std::vector<std::pair<DocId, double>> out;
+  out.reserve(active_.size());
+  for (DocId id : active_) {
+    out.emplace_back(id, weights_.at(id));
+  }
+  return out;
+}
+
+Status DocumentWeights::RestoreExact(
+    DayTime now, double tdw,
+    const std::vector<std::pair<DocId, double>>& weights) {
+  if (!std::isfinite(now) || !std::isfinite(tdw) || tdw < 0.0) {
+    return Status::InvalidArgument("non-finite clock or total weight");
+  }
+  Reset(now);
+  for (const auto& [id, weight] : weights) {
+    if (weights_.contains(id)) {
+      return Status::InvalidArgument("duplicate document " +
+                                     std::to_string(id) + " in weights");
+    }
+    if (!std::isfinite(weight) || weight <= 0.0) {
+      return Status::InvalidArgument("invalid weight for document " +
+                                     std::to_string(id));
+    }
+    weights_.emplace(id, weight);
+    active_.push_back(id);
+  }
+  tdw_ = tdw;
+  return Status::OK();
+}
+
 double DocumentWeights::Weight(DocId id) const {
   auto it = weights_.find(id);
   return it == weights_.end() ? 0.0 : it->second;

@@ -5,9 +5,11 @@
 #define NIDC_FORGETTING_DOCUMENT_WEIGHTS_H_
 
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "nidc/corpus/document.h"
+#include "nidc/util/status.h"
 
 namespace nidc {
 
@@ -34,6 +36,18 @@ class DocumentWeights {
 
   /// Clears all documents and resets the clock to `tau`.
   void Reset(DayTime tau);
+
+  /// Bit-exact persistence support: the (id, dw) pairs in insertion order.
+  /// Together with TotalWeight() and now() this captures the full numeric
+  /// state, so a restored instance continues with identical arithmetic.
+  std::vector<std::pair<DocId, double>> ExactWeights() const;
+
+  /// Restores the exact state captured above. `tdw` is installed verbatim
+  /// (recomputing the sum would differ in the last bits from the
+  /// incrementally maintained total). Rejects duplicate ids and
+  /// non-finite or non-positive weights.
+  Status RestoreExact(DayTime now, double tdw,
+                      const std::vector<std::pair<DocId, double>>& weights);
 
   double Weight(DocId id) const;
   bool Contains(DocId id) const { return weights_.contains(id); }

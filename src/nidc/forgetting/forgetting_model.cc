@@ -14,11 +14,17 @@ double ForgettingParams::Epsilon() const {
 }
 
 Status ForgettingParams::Validate() const {
-  if (!(half_life_days > 0.0)) {
-    return Status::InvalidArgument("half_life_days must be > 0");
+  if (!std::isfinite(half_life_days) || !(half_life_days > 0.0)) {
+    return Status::InvalidArgument("half_life_days must be finite and > 0");
   }
-  if (!(life_span_days > 0.0)) {
-    return Status::InvalidArgument("life_span_days must be > 0");
+  if (!std::isfinite(life_span_days) || !(life_span_days > 0.0)) {
+    return Status::InvalidArgument("life_span_days must be finite and > 0");
+  }
+  const double epsilon = Epsilon();
+  if (!(epsilon > 0.0) || !(epsilon < 1.0)) {
+    return Status::InvalidArgument(
+        "epsilon = 2^(-gamma/beta) must lie in (0, 1); gamma/beta is too "
+        "extreme for this beta/gamma pair");
   }
   return Status::OK();
 }
@@ -71,6 +77,34 @@ void ForgettingModel::RebuildFromScratch(const std::vector<DocId>& ids,
   weights_.Reset(tau);
   terms_.Clear();
   AddDocuments(ids);
+}
+
+ExactModelState ForgettingModel::CaptureExact() const {
+  ExactModelState state;
+  state.now = weights_.now();
+  state.tdw = weights_.TotalWeight();
+  state.weights = weights_.ExactWeights();
+  state.term_scale = terms_.scale();
+  state.term_sums = terms_.ExactSums();
+  return state;
+}
+
+Status ForgettingModel::RestoreExact(const ExactModelState& state) {
+  for (const auto& [id, weight] : state.weights) {
+    (void)weight;
+    if (id >= corpus_->size()) {
+      return Status::InvalidArgument("exact state references document " +
+                                     std::to_string(id) +
+                                     " beyond the corpus");
+    }
+  }
+  Status st = weights_.RestoreExact(state.now, state.tdw, state.weights);
+  if (st.ok()) st = terms_.RestoreExact(state.term_scale, state.term_sums);
+  if (!st.ok()) {
+    weights_.Reset(state.now);
+    terms_.Clear();
+  }
+  return st;
 }
 
 double ForgettingModel::PrDoc(DocId id) const {

@@ -13,6 +13,7 @@
 #ifndef NIDC_FORGETTING_FORGETTING_MODEL_H_
 #define NIDC_FORGETTING_FORGETTING_MODEL_H_
 
+#include <utility>
 #include <vector>
 
 #include "nidc/corpus/corpus.h"
@@ -38,8 +39,27 @@ struct ForgettingParams {
   /// ε = λ^γ = 2^(-γ/β).
   double Epsilon() const;
 
-  /// Validates parameter ranges.
+  /// Validates parameter ranges: β and γ must be finite and > 0, and the
+  /// derived ε = 2^(-γ/β) must lie in (0, 1) — an ε that underflows to 0
+  /// would silently disable expiration and grow the active set forever.
   Status Validate() const;
+};
+
+/// The complete numeric state of a ForgettingModel, captured in its exact
+/// internal representation (raw weights, raw term sums plus their decay
+/// scale). Restoring it yields a model whose every future computation is
+/// bit-identical to the original's — the property the durability layer's
+/// recovery-equivalence guarantee rests on. (Rebuilding from acquisition
+/// times instead reproduces the same values only up to last-bit rounding,
+/// since λ^a · λ^b ≠ λ^(a+b) in floating point.)
+struct ExactModelState {
+  DayTime now = 0.0;
+  double tdw = 0.0;
+  /// (id, dw) in insertion order — doubles as the active-document list.
+  std::vector<std::pair<DocId, double>> weights;
+  double term_scale = 1.0;
+  /// Raw S̃_k entries, sorted by term id.
+  std::vector<std::pair<TermId, double>> term_sums;
 };
 
 /// Incrementally maintained forgetting-model state over a Corpus.
@@ -75,6 +95,16 @@ class ForgettingModel {
   /// statistic from scratch for `ids`. Cost is O(Σ |terms of d|) — this is
   /// the "non-incremental" arm of the paper's Table 1.
   void RebuildFromScratch(const std::vector<DocId>& ids, DayTime tau);
+
+  // --- Exact persistence (see ExactModelState) ---
+
+  /// Captures the full numeric state for a bit-exact snapshot.
+  ExactModelState CaptureExact() const;
+
+  /// Restores a captured state verbatim. Rejects duplicate or
+  /// out-of-corpus document ids and non-finite values; on error the model
+  /// is left empty at the state's clock.
+  Status RestoreExact(const ExactModelState& state);
 
   // --- Accessors ---
 

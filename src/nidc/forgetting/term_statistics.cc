@@ -1,6 +1,8 @@
 #include "nidc/forgetting/term_statistics.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace nidc {
 
@@ -57,6 +59,32 @@ double TermStatistics::PrTerm(TermId term, double tdw) const {
 void TermStatistics::Clear() {
   sums_.clear();
   scale_ = 1.0;
+}
+
+std::vector<std::pair<TermId, double>> TermStatistics::ExactSums() const {
+  std::vector<std::pair<TermId, double>> out(sums_.begin(), sums_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status TermStatistics::RestoreExact(
+    double scale, const std::vector<std::pair<TermId, double>>& sums) {
+  if (!std::isfinite(scale) || scale <= 0.0) {
+    return Status::InvalidArgument("invalid term-statistics scale");
+  }
+  Clear();
+  scale_ = scale;
+  for (const auto& [term, sum] : sums) {
+    if (!std::isfinite(sum)) {
+      return Status::InvalidArgument("non-finite sum for term " +
+                                     std::to_string(term));
+    }
+    if (!sums_.emplace(term, sum).second) {
+      return Status::InvalidArgument("duplicate term " +
+                                     std::to_string(term) + " in sums");
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace nidc

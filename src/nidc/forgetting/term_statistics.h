@@ -15,8 +15,11 @@
 #define NIDC_FORGETTING_TERM_STATISTICS_H_
 
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "nidc/corpus/document.h"
+#include "nidc/util/status.h"
 
 namespace nidc {
 
@@ -46,6 +49,17 @@ class TermStatistics {
 
   /// Number of terms with recorded (possibly zero) mass.
   size_t num_terms() const { return sums_.size(); }
+
+  /// Bit-exact persistence support: the internal representation
+  /// (S_k = scale() · S̃_k) rather than the folded products, so a restored
+  /// instance performs identical arithmetic on every later read.
+  double scale() const { return scale_; }
+  /// The raw S̃_k entries, sorted by term id for deterministic output.
+  std::vector<std::pair<TermId, double>> ExactSums() const;
+  /// Restores the exact representation captured above; rejects duplicate
+  /// terms, non-finite sums and a non-positive scale.
+  Status RestoreExact(double scale,
+                      const std::vector<std::pair<TermId, double>>& sums);
 
  private:
   /// Folds `scale_` into the stored values when it underflows toward 0.

@@ -1,9 +1,12 @@
 #include "nidc/obs/exporters.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <unordered_map>
 
 #include "nidc/obs/json_util.h"
+#include "nidc/util/env.h"
 
 namespace nidc::obs {
 
@@ -97,23 +100,39 @@ std::string RenderPrometheus(const std::vector<MetricSample>& samples) {
   return out;
 }
 
-JsonlWriter::~JsonlWriter() {
-  if (file_ != nullptr) std::fclose(file_);
-}
+JsonlWriter::~JsonlWriter() { Close(); }
 
 Status JsonlWriter::Append(const std::string& json_object) {
+  if (closed_) {
+    return Status::FailedPrecondition("JsonlWriter already closed");
+  }
   if (file_ == nullptr) {
-    file_ = std::fopen(path_.c_str(), "w");
+    const std::string tmp = path_ + ".tmp";
+    file_ = std::fopen(tmp.c_str(), "w");
     if (file_ == nullptr) {
-      return Status::IOError("cannot open " + path_ + " for writing");
+      return Status::IOError("cannot open " + tmp + " for writing");
     }
   }
   if (std::fprintf(file_, "%s\n", json_object.c_str()) < 0 ||
       std::fflush(file_) != 0) {
-    return Status::IOError("write to " + path_ + " failed");
+    return Status::IOError("write to " + path_ + ".tmp failed");
   }
   ++lines_written_;
   return Status::OK();
+}
+
+Status JsonlWriter::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  if (file_ == nullptr) return Status::OK();  // nothing appended
+  const bool flushed = std::fflush(file_) == 0 &&
+                       ::fsync(fileno(file_)) == 0;
+  const bool file_closed = std::fclose(file_) == 0;
+  file_ = nullptr;
+  if (!flushed || !file_closed) {
+    return Status::IOError("finalizing " + path_ + ".tmp failed");
+  }
+  return Env::Default()->RenameFile(path_ + ".tmp", path_);
 }
 
 void MetricsCsvSeries::AddStep(uint64_t step,

@@ -37,7 +37,11 @@ std::string RenderTraceJson(const TraceNode& node);
 std::string RenderPrometheus(const std::vector<MetricSample>& samples);
 
 /// Line-per-record sink for JSONL telemetry. Opens lazily on the first
-/// append, truncating any existing file.
+/// append, streaming into `path.tmp`; Close() (also run by the
+/// destructor) fsyncs and atomically renames onto `path`, so an existing
+/// file is only ever replaced by a complete run. A crashed run leaves its
+/// parseable partial output under `path.tmp` and the previous file
+/// untouched.
 class JsonlWriter {
  public:
   explicit JsonlWriter(std::string path) : path_(std::move(path)) {}
@@ -50,6 +54,11 @@ class JsonlWriter {
   /// line, flushing so partial runs still leave parseable output.
   Status Append(const std::string& json_object);
 
+  /// Publishes the accumulated records at `path` (fsync + atomic rename).
+  /// No-op when nothing was appended or already closed; call explicitly
+  /// to observe failures the destructor would swallow.
+  Status Close();
+
   const std::string& path() const { return path_; }
   size_t lines_written() const { return lines_written_; }
 
@@ -57,6 +66,7 @@ class JsonlWriter {
   std::string path_;
   FILE* file_ = nullptr;
   size_t lines_written_ = 0;
+  bool closed_ = false;
 };
 
 /// Accumulates per-step rows of every *scalar* metric (counters and

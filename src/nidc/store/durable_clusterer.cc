@@ -1,0 +1,260 @@
+#include "nidc/store/durable_clusterer.h"
+
+#include <algorithm>
+
+#include "nidc/util/logging.h"
+
+namespace nidc {
+
+namespace {
+
+// Candidate generations to try recovering from, newest first: the
+// manifest's generation leads (it is only updated after its snapshot is
+// durable), then every snapshot found by the directory scan.
+std::vector<uint64_t> RecoveryCandidates(Env* env, const std::string& dir) {
+  std::vector<uint64_t> candidates;
+  if (Result<Manifest> manifest = ReadManifest(env, dir); manifest.ok()) {
+    candidates.push_back(manifest->generation);
+  }
+  if (Result<std::vector<uint64_t>> scanned =
+          ListSnapshotGenerations(env, dir);
+      scanned.ok()) {
+    for (uint64_t generation : *scanned) {
+      if (std::find(candidates.begin(), candidates.end(), generation) ==
+          candidates.end()) {
+        candidates.push_back(generation);
+      }
+    }
+  }
+  // Keep the manifest's generation first, but order the rest descending.
+  if (candidates.size() > 1) {
+    std::sort(candidates.begin() + 1, candidates.end(),
+              std::greater<uint64_t>());
+  }
+  return candidates;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DurableClusterer>> DurableClusterer::Open(
+    const Corpus* corpus, ForgettingParams params,
+    IncrementalOptions options, DurableOptions durable) {
+  if (durable.dir.empty()) {
+    return Status::InvalidArgument("DurableOptions::dir is required");
+  }
+  if (durable.keep_generations == 0) {
+    return Status::InvalidArgument("keep_generations must be >= 1");
+  }
+  if (durable.checkpoint_every == 0) {
+    return Status::InvalidArgument("checkpoint_every must be >= 1");
+  }
+  NIDC_RETURN_NOT_OK(params.Validate());
+  Env* env = durable.env != nullptr ? durable.env : Env::Default();
+  durable.env = env;
+  NIDC_RETURN_NOT_OK(env->CreateDir(durable.dir));
+  // Sweep temp files a crashed AtomicWriteFile may have left behind; they
+  // are never recovery inputs (the scan only matches fully renamed names).
+  if (Result<std::vector<std::string>> names = env->ListDir(durable.dir);
+      names.ok()) {
+    for (const std::string& name : *names) {
+      if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+        env->RemoveFile(durable.dir + "/" + name);
+      }
+    }
+  }
+  obs::MetricsRegistry* metrics =
+      durable.metrics != nullptr ? durable.metrics : options.metrics;
+
+  RecoveryInfo recovery;
+  std::unique_ptr<IncrementalClusterer> inner;
+  uint64_t newest_seen = 0;
+  for (uint64_t generation : RecoveryCandidates(env, durable.dir)) {
+    newest_seen = std::max(newest_seen, generation);
+    const std::string snapshot_path =
+        durable.dir + "/" + SnapshotFileName(generation);
+    Result<ClustererState> state = LoadState(snapshot_path, env);
+    Result<std::unique_ptr<IncrementalClusterer>> restored =
+        state.ok() ? RestoreClusterer(corpus, options, *state)
+                   : Result<std::unique_ptr<IncrementalClusterer>>(
+                         state.status());
+    if (!restored.ok()) {
+      ++recovery.snapshot_fallbacks;
+      NIDC_LOG(Warning) << "checkpoint generation " << generation
+                       << " unusable (" << restored.status().ToString()
+                       << "); falling back";
+      continue;
+    }
+    inner = std::move(restored).value();
+
+    // Replay this generation's WAL tail through Step().
+    const std::string wal_path =
+        durable.dir + "/" + WalFileName(generation);
+    if (env->FileExists(wal_path)) {
+      Result<WalReadResult> wal = ReadWal(env, wal_path);
+      if (!wal.ok()) return wal.status();
+      recovery.dropped_wal_bytes += wal->dropped_bytes;
+      if (!wal->clean) {
+        NIDC_LOG(Warning) << "WAL " << wal_path << ": " << wal->error
+                         << " (" << wal->dropped_bytes
+                         << " bytes quarantined)";
+      }
+      for (const std::string& payload : wal->records) {
+        Result<WalStepRecord> record = DecodeStepRecord(payload);
+        if (!record.ok()) {
+          ++recovery.quarantined_records;
+          NIDC_LOG(Warning) << "quarantining undecodable WAL record: "
+                           << record.status().ToString();
+          break;
+        }
+        Result<StepResult> applied =
+            inner->Step(record->new_docs, record->tau);
+        if (!applied.ok() &&
+            applied.status().code() != StatusCode::kFailedPrecondition) {
+          // FailedPrecondition (an empty active window) also occurred in
+          // the original run and leaves the model advanced — replay goes
+          // on. Anything else means the record contradicts the state.
+          ++recovery.quarantined_records;
+          NIDC_LOG(Warning) << "quarantining unreplayable WAL record: "
+                           << applied.status().ToString();
+          break;
+        }
+        ++recovery.replayed_records;
+      }
+    }
+    recovery.resumed = true;
+    recovery.source_generation = generation;
+    break;
+  }
+
+  if (inner == nullptr) {
+    inner = std::make_unique<IncrementalClusterer>(corpus, params, options);
+  }
+  recovery.recovered_now = inner->model().now();
+
+  std::unique_ptr<DurableClusterer> durable_clusterer(new DurableClusterer(
+      std::move(inner), std::move(durable), metrics));
+  durable_clusterer->recovery_ = recovery;
+  durable_clusterer->generation_ = newest_seen;
+  // Start a fresh generation so post-recovery writes never touch the
+  // files recovery might still need as fallback.
+  NIDC_RETURN_NOT_OK(durable_clusterer->Rotate());
+  durable_clusterer->recovery_.new_generation =
+      durable_clusterer->generation_;
+
+  if (metrics != nullptr) {
+    metrics->GetCounter("store.recovery.replayed_records")
+        ->Increment(recovery.replayed_records);
+    metrics->GetCounter("store.recovery.quarantined_records")
+        ->Increment(recovery.quarantined_records);
+    metrics->GetCounter("store.recovery.snapshot_fallbacks")
+        ->Increment(recovery.snapshot_fallbacks);
+    metrics->GetCounter("store.recovery.dropped_wal_bytes")
+        ->Increment(recovery.dropped_wal_bytes);
+  }
+  return durable_clusterer;
+}
+
+Result<StepResult> DurableClusterer::Step(const std::vector<DocId>& new_docs,
+                                          DayTime tau) {
+  if (closed_ || wal_ == nullptr) {
+    return Status::FailedPrecondition("durable clusterer is closed");
+  }
+  // Validate first so rejected inputs never enter the log.
+  NIDC_RETURN_NOT_OK(inner_->ValidateStepInputs(new_docs, tau));
+
+  WalStepRecord record;
+  record.tau = tau;
+  record.new_docs = new_docs;
+  const uint64_t bytes_before = wal_->bytes_appended();
+  NIDC_RETURN_NOT_OK(wal_->AppendRecord(EncodeStepRecord(record)));
+  ++records_since_checkpoint_;
+  BumpCounter("store.wal_records");
+  BumpCounter("store.wal_bytes", wal_->bytes_appended() - bytes_before);
+
+  Result<StepResult> result = inner_->Step(new_docs, tau);
+  // FailedPrecondition (no active documents) leaves the instance — and
+  // its WAL — consistent; the caller may keep streaming.
+  if (!result.ok() &&
+      result.status().code() != StatusCode::kFailedPrecondition) {
+    return result;
+  }
+  if (records_since_checkpoint_ >= durable_.checkpoint_every) {
+    NIDC_RETURN_NOT_OK(Rotate());
+  }
+  return result;
+}
+
+Status DurableClusterer::Checkpoint() {
+  if (closed_) {
+    return Status::FailedPrecondition("durable clusterer is closed");
+  }
+  return Rotate();
+}
+
+Status DurableClusterer::Rotate() {
+  Env* env = durable_.env;
+  const uint64_t next = generation_ + 1;
+  const std::string snapshot_name = SnapshotFileName(next);
+  const std::string wal_name = WalFileName(next);
+
+  // Order matters: snapshot first, then a fresh WAL, then the manifest
+  // flip. A crash between any two leaves the previous generation (still
+  // on disk, still current in the manifest) fully recoverable.
+  NIDC_RETURN_NOT_OK(SaveState(CaptureState(*inner_),
+                               durable_.dir + "/" + snapshot_name, env));
+  if (wal_ != nullptr) {
+    wal_->Close();  // superseded; any unsynced tail is covered by the snapshot
+  }
+  auto wal = WalWriter::Create(env, durable_.dir + "/" + wal_name,
+                               durable_.wal_sync);
+  if (!wal.ok()) return wal.status();
+  wal_ = std::move(wal).value();
+
+  Manifest manifest;
+  manifest.generation = next;
+  manifest.snapshot_file = snapshot_name;
+  manifest.wal_file = wal_name;
+  NIDC_RETURN_NOT_OK(WriteManifest(env, durable_.dir, manifest));
+
+  generation_ = next;
+  records_since_checkpoint_ = 0;
+  BumpCounter("store.snapshots");
+  if (metrics_ != nullptr) {
+    metrics_->GetGauge("store.generation")
+        ->Set(static_cast<double>(generation_));
+  }
+
+  // Prune generations beyond the retention window (best effort — stale
+  // files are harmless and will be retried next rotation).
+  if (Result<std::vector<uint64_t>> generations =
+          ListSnapshotGenerations(env, durable_.dir);
+      generations.ok()) {
+    for (uint64_t generation : *generations) {
+      if (generation + durable_.keep_generations <= generation_) {
+        env->RemoveFile(durable_.dir + "/" + SnapshotFileName(generation));
+        env->RemoveFile(durable_.dir + "/" + WalFileName(generation));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status DurableClusterer::Close() {
+  if (closed_) return Status::OK();
+  Status st = Rotate();  // final durable snapshot; empty WAL tail
+  if (wal_ != nullptr) {
+    const Status closed = wal_->Close();
+    if (st.ok()) st = closed;
+    wal_ = nullptr;
+  }
+  closed_ = true;
+  return st;
+}
+
+DurableClusterer::~DurableClusterer() { Close(); }
+
+void DurableClusterer::BumpCounter(const char* name, uint64_t delta) {
+  if (metrics_ != nullptr) metrics_->GetCounter(name)->Increment(delta);
+}
+
+}  // namespace nidc

@@ -1,0 +1,153 @@
+// Crash-safe wrapper around IncrementalClusterer (the tentpole of the
+// store/ durability subsystem).
+//
+// Persistence protocol:
+//   * Every Step is first appended to the current generation's write-ahead
+//     log (wal.h) — tau + new document ids, CRC-framed — and only then
+//     applied in memory. Under WalSyncMode::kEveryRecord the record is
+//     fsynced before the step runs, so a completed step is never lost.
+//   * Every `checkpoint_every` steps the wrapper rotates to a new
+//     generation: it writes a bit-exact ClustererState snapshot
+//     (write-temp + fsync + rename), starts a fresh WAL, atomically
+//     updates the MANIFEST, and prunes generations beyond
+//     `keep_generations`.
+//   * Open() recovers: newest valid snapshot (manifest first, directory
+//     scan as fallback) + replay of that generation's WAL tail through
+//     Step(). Corrupt WAL tails are quarantined — valid records before
+//     the damage still replay — and a corrupt snapshot falls back to the
+//     previous generation instead of failing startup.
+//
+// Because snapshots carry the model's ExactModelState, recovery is
+// *bit-identical*: a recovered clusterer fed the rest of the stream
+// produces exactly the clustering an uninterrupted run would have
+// produced. tools/nidc_crash_torture kills the I/O layer at every
+// injected fault point and asserts precisely that.
+//
+// Error contract: a Status with code kIOError means the storage layer is
+// in an unknown state — discard the instance and recover via Open(). Any
+// other error (e.g. FailedPrecondition when no documents are active)
+// leaves the instance consistent and usable.
+
+#ifndef NIDC_STORE_DURABLE_CLUSTERER_H_
+#define NIDC_STORE_DURABLE_CLUSTERER_H_
+
+#include <memory>
+#include <string>
+
+#include "nidc/core/state_io.h"
+#include "nidc/store/manifest.h"
+#include "nidc/store/wal.h"
+#include "nidc/obs/metrics.h"
+
+namespace nidc {
+
+/// Configuration of the durability wrapper.
+struct DurableOptions {
+  /// Checkpoint directory (created if missing). Required.
+  std::string dir;
+
+  /// Steps between snapshot rotations.
+  uint64_t checkpoint_every = 16;
+
+  /// WAL fsync policy (see WalSyncMode). kNone trades the tail since the
+  /// last checkpoint for throughput; recovery still yields a consistent,
+  /// merely older, state.
+  WalSyncMode wal_sync = WalSyncMode::kEveryRecord;
+
+  /// Newest generations kept on disk; older snapshot/WAL pairs are pruned
+  /// after a successful rotation. Must be >= 1.
+  uint64_t keep_generations = 2;
+
+  /// Filesystem to operate on; null selects Env::Default(). Tests inject
+  /// a FaultInjectionEnv here.
+  Env* env = nullptr;
+
+  /// Recovery / IO counters ("store.*"); null falls back to the inner
+  /// IncrementalOptions::metrics, and disables them when that is null too.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// What Open() found and did while recovering.
+struct RecoveryInfo {
+  /// True when a previous generation was loaded (false = fresh start).
+  bool resumed = false;
+  /// Generation recovered from (meaningful when resumed).
+  uint64_t source_generation = 0;
+  /// Generation started for new writes.
+  uint64_t new_generation = 0;
+  /// WAL records replayed through Step() during recovery.
+  uint64_t replayed_records = 0;
+  /// Damaged WAL bytes dropped after the last valid record.
+  uint64_t dropped_wal_bytes = 0;
+  /// Records that were framed correctly but could not be applied
+  /// (undecodable payload or rejected by Step); they and everything after
+  /// them are skipped.
+  uint64_t quarantined_records = 0;
+  /// Candidate generations skipped because their snapshot (or restore)
+  /// was invalid.
+  uint64_t snapshot_fallbacks = 0;
+  /// Model clock after recovery.
+  DayTime recovered_now = 0.0;
+};
+
+class DurableClusterer {
+ public:
+  /// Opens (and if necessary creates) the checkpoint directory, recovers
+  /// the newest valid state, and starts a fresh generation. When a
+  /// snapshot is recovered its persisted ForgettingParams take precedence
+  /// over `params` (matching `nidc_cli --state` resume semantics).
+  static Result<std::unique_ptr<DurableClusterer>> Open(
+      const Corpus* corpus, ForgettingParams params,
+      IncrementalOptions options, DurableOptions durable);
+
+  /// Logs the step to the WAL, applies it, and rotates the checkpoint
+  /// when due. See the class comment for the error contract.
+  Result<StepResult> Step(const std::vector<DocId>& new_docs, DayTime tau);
+
+  /// Forces a snapshot rotation now.
+  Status Checkpoint();
+
+  /// Final checkpoint + WAL close. The destructor calls this (ignoring
+  /// errors); call it explicitly to observe failures.
+  Status Close();
+
+  ~DurableClusterer();
+
+  /// Steps applied to the in-memory clusterer so far, counting those
+  /// accounted by the recovered snapshot and WAL replay. A driver that
+  /// feeds a deterministic batch sequence resumes at this index.
+  uint64_t applied_steps() const { return inner_->step_count(); }
+
+  const RecoveryInfo& recovery() const { return recovery_; }
+  const IncrementalClusterer& clusterer() const { return *inner_; }
+  IncrementalClusterer& clusterer() { return *inner_; }
+  const std::optional<ClusteringResult>& last_result() const {
+    return inner_->last_result();
+  }
+
+ private:
+  DurableClusterer(std::unique_ptr<IncrementalClusterer> inner,
+                   DurableOptions durable, obs::MetricsRegistry* metrics)
+      : inner_(std::move(inner)),
+        durable_(std::move(durable)),
+        metrics_(metrics) {}
+
+  /// Writes a snapshot of the current state as generation `generation_+1`,
+  /// switches the WAL, updates the manifest and prunes old generations.
+  Status Rotate();
+
+  void BumpCounter(const char* name, uint64_t delta = 1);
+
+  std::unique_ptr<IncrementalClusterer> inner_;
+  DurableOptions durable_;
+  obs::MetricsRegistry* metrics_;
+  RecoveryInfo recovery_;
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t generation_ = 0;
+  uint64_t records_since_checkpoint_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace nidc
+
+#endif  // NIDC_STORE_DURABLE_CLUSTERER_H_

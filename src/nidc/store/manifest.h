@@ -1,0 +1,58 @@
+// Checkpoint-directory manifest: a tiny, atomically replaced file that
+// names the current snapshot + WAL generation. Layout of a checkpoint
+// directory:
+//
+//   MANIFEST            current generation pointer (this file)
+//   snapshot-000012     ClustererState snapshot for generation 12
+//   wal-000012          WAL with the steps applied after snapshot 12
+//   snapshot-000011 ... older generations kept as fallback
+//
+// The manifest is written with AtomicWriteFile, so it always names a
+// generation whose snapshot was already durably written. If it is missing
+// or corrupt, recovery falls back to scanning the directory for snapshot
+// files, newest generation first.
+
+#ifndef NIDC_STORE_MANIFEST_H_
+#define NIDC_STORE_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nidc/util/env.h"
+
+namespace nidc {
+
+struct Manifest {
+  uint64_t generation = 0;
+  std::string snapshot_file;  // file name within the checkpoint directory
+  std::string wal_file;
+};
+
+/// Canonical per-generation file names ("snapshot-000012", "wal-000012").
+std::string SnapshotFileName(uint64_t generation);
+std::string WalFileName(uint64_t generation);
+
+/// Parses the generation number out of a snapshot file name; returns
+/// false when `name` is not a snapshot file.
+bool ParseSnapshotFileName(const std::string& name, uint64_t* generation);
+
+/// Serializes / parses the manifest text representation.
+std::string SerializeManifest(const Manifest& manifest);
+Result<Manifest> ParseManifest(const std::string& text);
+
+/// Atomically replaces `dir`/MANIFEST.
+Status WriteManifest(Env* env, const std::string& dir,
+                     const Manifest& manifest);
+
+/// Reads `dir`/MANIFEST. IOError when unreadable, InvalidArgument when
+/// damaged — callers fall back to ListSnapshotGenerations in both cases.
+Result<Manifest> ReadManifest(Env* env, const std::string& dir);
+
+/// Generations with a snapshot file present in `dir`, newest first.
+Result<std::vector<uint64_t>> ListSnapshotGenerations(Env* env,
+                                                      const std::string& dir);
+
+}  // namespace nidc
+
+#endif  // NIDC_STORE_MANIFEST_H_

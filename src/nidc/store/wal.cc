@@ -1,0 +1,176 @@
+#include "nidc/store/wal.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "nidc/util/crc32.h"
+#include "nidc/util/string_util.h"
+
+namespace nidc {
+
+namespace {
+
+constexpr char kWalMagic[] = "NIDCWAL1";
+constexpr size_t kMagicSize = 8;
+constexpr size_t kFrameHeaderSize = 8;  // u32 length + u32 masked crc
+
+// A single record larger than this is treated as framing damage rather
+// than an allocation request (a torn length field can decode to garbage).
+constexpr uint32_t kMaxRecordSize = 1u << 30;
+
+void PutU32(std::string* out, uint32_t v) {
+  char bytes[4] = {static_cast<char>(v & 0xFF),
+                   static_cast<char>((v >> 8) & 0xFF),
+                   static_cast<char>((v >> 16) & 0xFF),
+                   static_cast<char>((v >> 24) & 0xFF)};
+  out->append(bytes, 4);
+}
+
+uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(Env* env,
+                                                     const std::string& path,
+                                                     WalSyncMode mode) {
+  auto file = env->NewWritableFile(path, /*truncate=*/true);
+  if (!file.ok()) return file.status();
+  std::unique_ptr<WalWriter> writer(
+      new WalWriter(path, std::move(file).value(), mode));
+  NIDC_RETURN_NOT_OK(writer->file_->Append(
+      std::string_view(kWalMagic, kMagicSize)));
+  if (mode == WalSyncMode::kEveryRecord) {
+    NIDC_RETURN_NOT_OK(writer->file_->Sync());
+  }
+  return writer;
+}
+
+Status WalWriter::AppendRecord(std::string_view payload) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("append to closed WAL " + path_);
+  }
+  if (payload.size() > kMaxRecordSize) {
+    return Status::InvalidArgument("WAL record exceeds maximum size");
+  }
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, MaskCrc32c(Crc32c(payload)));
+  frame.append(payload);
+  NIDC_RETURN_NOT_OK(file_->Append(frame));
+  if (mode_ == WalSyncMode::kEveryRecord) {
+    NIDC_RETURN_NOT_OK(file_->Sync());
+  }
+  ++records_appended_;
+  bytes_appended_ += frame.size();
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("sync of closed WAL " + path_);
+  }
+  return file_->Sync();
+}
+
+Status WalWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  const Status st = file_->Close();
+  file_ = nullptr;
+  return st;
+}
+
+Result<WalReadResult> ReadWal(Env* env, const std::string& path) {
+  auto contents = env->ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  const std::string& data = *contents;
+  WalReadResult result;
+  if (data.size() < kMagicSize ||
+      std::memcmp(data.data(), kWalMagic, kMagicSize) != 0) {
+    result.clean = data.empty();
+    result.dropped_bytes = data.size();
+    if (!result.clean) result.error = "missing or damaged WAL header";
+    return result;
+  }
+  size_t pos = kMagicSize;
+  while (pos < data.size()) {
+    if (data.size() - pos < kFrameHeaderSize) {
+      result.clean = false;
+      result.dropped_bytes = data.size() - pos;
+      result.error = "truncated frame header at offset " +
+                     std::to_string(pos);
+      break;
+    }
+    const uint32_t length = GetU32(data.data() + pos);
+    const uint32_t stored_crc = UnmaskCrc32c(GetU32(data.data() + pos + 4));
+    if (length > kMaxRecordSize ||
+        data.size() - pos - kFrameHeaderSize < length) {
+      result.clean = false;
+      result.dropped_bytes = data.size() - pos;
+      result.error = "truncated record body at offset " +
+                     std::to_string(pos);
+      break;
+    }
+    const std::string_view payload(data.data() + pos + kFrameHeaderSize,
+                                   length);
+    if (Crc32c(payload) != stored_crc) {
+      result.clean = false;
+      result.dropped_bytes = data.size() - pos;
+      result.error = "checksum mismatch at offset " + std::to_string(pos);
+      break;
+    }
+    result.records.emplace_back(payload);
+    pos += kFrameHeaderSize + length;
+  }
+  return result;
+}
+
+std::string EncodeStepRecord(const WalStepRecord& record) {
+  std::string out = StringPrintf("step %a %zu", record.tau,
+                                 record.new_docs.size());
+  for (DocId id : record.new_docs) {
+    out += StringPrintf(" %u", id);
+  }
+  return out;
+}
+
+Result<WalStepRecord> DecodeStepRecord(std::string_view payload) {
+  const std::vector<std::string> tokens =
+      Split(std::string(payload), ' ');
+  if (tokens.size() < 3 || tokens[0] != "step") {
+    return Status::InvalidArgument("not a step record");
+  }
+  WalStepRecord record;
+  char* end = nullptr;
+  record.tau = std::strtod(tokens[1].c_str(), &end);
+  if (end == tokens[1].c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad tau in step record: " + tokens[1]);
+  }
+  errno = 0;
+  const unsigned long long count = std::strtoull(tokens[2].c_str(), &end, 10);
+  if (end == tokens[2].c_str() || *end != '\0' ||
+      count != tokens.size() - 3) {
+    return Status::InvalidArgument("bad doc count in step record");
+  }
+  record.new_docs.reserve(count);
+  for (size_t i = 3; i < tokens.size(); ++i) {
+    errno = 0;
+    const unsigned long long id = std::strtoull(tokens[i].c_str(), &end, 10);
+    if (end == tokens[i].c_str() || *end != '\0' || errno == ERANGE ||
+        id > std::numeric_limits<DocId>::max()) {
+      return Status::InvalidArgument("bad doc id in step record: " +
+                                     tokens[i]);
+    }
+    record.new_docs.push_back(static_cast<DocId>(id));
+  }
+  return record;
+}
+
+}  // namespace nidc

@@ -1,0 +1,100 @@
+// Write-ahead log for the incremental clusterer (store/ durability layer).
+//
+// One record is appended per Step *before* the step mutates in-memory
+// state, so "newest valid snapshot + replay of the WAL tail" reconstructs
+// the clusterer after a crash (see durable_clusterer.h for the protocol).
+//
+// File layout:
+//   8-byte magic "NIDCWAL1"
+//   repeated records:  u32-le payload length | u32-le masked CRC-32C of
+//                      the payload | payload bytes
+//
+// The reader is torn-tail tolerant: it stops at the first frame that is
+// short, oversized, or fails its checksum and reports how many bytes it
+// dropped. A WAL truncated mid-record therefore recovers every record
+// before the tear instead of failing outright.
+
+#ifndef NIDC_STORE_WAL_H_
+#define NIDC_STORE_WAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nidc/corpus/document.h"
+#include "nidc/util/env.h"
+
+namespace nidc {
+
+/// When WAL appends are pushed to durable storage.
+enum class WalSyncMode {
+  /// fsync after every record: a completed Step is never lost.
+  kEveryRecord,
+  /// No per-record fsync; records since the last snapshot (or explicit
+  /// Sync) can vanish in a crash. Recovery still yields a consistent,
+  /// merely older, state.
+  kNone,
+};
+
+/// Appends CRC-framed records to a fresh WAL file.
+class WalWriter {
+ public:
+  /// Creates (truncates) `path` and writes the file header.
+  static Result<std::unique_ptr<WalWriter>> Create(Env* env,
+                                                   const std::string& path,
+                                                   WalSyncMode mode);
+
+  /// Appends one record; fsyncs when the mode is kEveryRecord.
+  Status AppendRecord(std::string_view payload);
+
+  /// Explicit fsync (used at snapshot rotation under WalSyncMode::kNone).
+  Status Sync();
+
+  Status Close();
+
+  uint64_t records_appended() const { return records_appended_; }
+  uint64_t bytes_appended() const { return bytes_appended_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::string path, std::unique_ptr<WritableFile> file,
+            WalSyncMode mode)
+      : path_(std::move(path)), file_(std::move(file)), mode_(mode) {}
+
+  std::string path_;
+  std::unique_ptr<WritableFile> file_;
+  WalSyncMode mode_;
+  uint64_t records_appended_ = 0;
+  uint64_t bytes_appended_ = 0;
+};
+
+/// Outcome of scanning one WAL file.
+struct WalReadResult {
+  std::vector<std::string> records;
+  /// Bytes after the last valid record that were dropped (0 on a clean
+  /// read all the way to EOF).
+  size_t dropped_bytes = 0;
+  /// True when the file ended exactly on a record boundary.
+  bool clean = true;
+  /// Human-readable description of the first bad frame, when !clean.
+  std::string error;
+};
+
+/// Reads every valid record of `path`. Returns IOError only when the file
+/// cannot be read at all; framing damage is reported via WalReadResult.
+Result<WalReadResult> ReadWal(Env* env, const std::string& path);
+
+/// One logical clusterer step as logged in the WAL.
+struct WalStepRecord {
+  DayTime tau = 0.0;
+  std::vector<DocId> new_docs;
+};
+
+/// Step-record payload codec. The timestamp is serialized as a C99 hex
+/// float so replay sees the bit-exact value the original Step saw.
+std::string EncodeStepRecord(const WalStepRecord& record);
+Result<WalStepRecord> DecodeStepRecord(std::string_view payload);
+
+}  // namespace nidc
+
+#endif  // NIDC_STORE_WAL_H_

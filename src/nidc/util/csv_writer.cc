@@ -1,7 +1,8 @@
 #include "nidc/util/csv_writer.h"
 
-#include <fstream>
 #include <sstream>
+
+#include "nidc/util/env.h"
 
 namespace nidc {
 
@@ -38,12 +39,7 @@ std::string CsvWriter::ToString() const {
 }
 
 Status CsvWriter::WriteFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  out << ToString();
-  out.flush();
-  if (!out) return Status::IOError("write to " + path + " failed");
-  return Status::OK();
+  return AtomicWriteFile(Env::Default(), path, ToString());
 }
 
 }  // namespace nidc

@@ -17,7 +17,8 @@ class CsvWriter {
 
   void AddRow(std::vector<std::string> cells);
 
-  /// Writes header + rows to `path`, overwriting. Returns IOError on failure.
+  /// Writes header + rows to `path`, atomically replacing any existing
+  /// file (write-temp + fsync + rename). Returns IOError on failure.
   Status WriteFile(const std::string& path) const;
 
   /// Renders the CSV content as a string.

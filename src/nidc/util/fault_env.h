@@ -1,0 +1,96 @@
+// Fault-injecting Env for crash-recovery testing.
+//
+// Wraps a base Env and counts every mutating filesystem operation (append,
+// sync, close, rename, create-dir, remove). The harness arms a "crash" at
+// the Nth such operation: that operation fails, every later operation
+// fails too (the process is considered dead), and unsynced data is
+// resolved according to a CrashFlush policy that models what a real crash
+// can leave on disk:
+//
+//   * kDropUnsynced — nothing past the last successful Sync() survives
+//     (power loss with an unhelpful disk cache);
+//   * kTornWrite    — an arbitrary prefix of the unsynced bytes survives
+//     (page cache partially written back; torn page);
+//   * kKeepUnsynced — all buffered bytes survive (plain process kill:
+//     the OS page cache is unaffected).
+//
+// To make the policies meaningful, writable files buffer appended bytes in
+// memory and only push them to the base Env on Sync() (or on a clean
+// Close()). After a crash, a *fresh* Env reading the same paths sees
+// exactly the surviving bytes, so recovery code can be exercised against
+// every reachable on-disk state.
+
+#ifndef NIDC_UTIL_FAULT_ENV_H_
+#define NIDC_UTIL_FAULT_ENV_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "nidc/util/env.h"
+
+namespace nidc {
+
+/// What happens to bytes appended but not yet synced when the crash fires.
+enum class CrashFlush {
+  kDropUnsynced,
+  kTornWrite,
+  kKeepUnsynced,
+};
+
+class FaultInjectionEnv : public Env {
+ public:
+  /// `base` must outlive this env.
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+  ~FaultInjectionEnv() override;
+
+  /// Arms the crash: the `nth` mutating operation from now (1-based) fails
+  /// and marks the env dead. Unsynced buffers across all open files are
+  /// resolved per `flush`.
+  void ArmCrashAtOp(uint64_t nth, CrashFlush flush = CrashFlush::kDropUnsynced);
+
+  /// Cancels a pending (not yet fired) crash.
+  void Disarm() { countdown_ = 0; }
+
+  bool crashed() const { return crashed_; }
+
+  /// Mutating operations issued so far (including the crashing one); lets a
+  /// torture harness discover the total op count of an uninterrupted run.
+  uint64_t ops_issued() const { return ops_issued_; }
+
+  // Env interface.
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+
+ private:
+  friend class FaultWritableFile;
+
+  /// Counts one mutating op; fires the crash when the countdown reaches
+  /// zero. Returns the injected error when this op (or an earlier one)
+  /// crashed the env.
+  Status GuardOp();
+
+  /// Applies the crash-flush policy to every still-open file.
+  void FlushSurvivors();
+
+  Status Dead() const {
+    return Status::IOError("injected crash: environment is dead");
+  }
+
+  Env* base_;
+  uint64_t countdown_ = 0;  // 0 = disarmed
+  CrashFlush flush_ = CrashFlush::kDropUnsynced;
+  bool crashed_ = false;
+  uint64_t ops_issued_ = 0;
+  std::unordered_set<class FaultWritableFile*> open_files_;
+};
+
+}  // namespace nidc
+
+#endif  // NIDC_UTIL_FAULT_ENV_H_

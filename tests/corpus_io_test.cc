@@ -111,5 +111,71 @@ TEST(CorpusIoTest, CommentsAndBlankLinesSkipped) {
   std::remove(path.c_str());
 }
 
+TEST(CorpusIoTest, ParseRejectsNonFiniteTime) {
+  EXPECT_EQ(ParseRawDocument("nan\t1\tsrc\ttext").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRawDocument("inf\t1\tsrc\ttext").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CorpusIoTest, LenientLoadSkipsAndCountsBadRecords) {
+  const std::string path = testing::TempDir() + "/nidc_corpus_lenient.tsv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs(
+      "1.0\t5\tsrc\tgood one\n"
+      "garbage line\n"
+      "nan\t5\tsrc\tbad time\n"
+      "3.0\t6\tsrc\tgood two\n",
+      f);
+  fclose(f);
+
+  // Strict (default) fails on line 2 but still reports what it saw.
+  CorpusReadStats strict_stats;
+  Result<std::vector<RawDocument>> strict =
+      LoadRawDocuments(path, {}, &strict_stats);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_EQ(strict_stats.bad_records, 1u);
+
+  // Lenient skips both damaged lines and keeps the good ones.
+  CorpusReadOptions lenient;
+  lenient.strict = false;
+  CorpusReadStats stats;
+  Result<std::vector<RawDocument>> loaded =
+      LoadRawDocuments(path, lenient, &stats);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].text, "good one");
+  EXPECT_EQ((*loaded)[1].text, "good two");
+  EXPECT_EQ(stats.records_read, 2u);
+  EXPECT_EQ(stats.bad_records, 2u);
+  EXPECT_NE(stats.first_error.find(":2"), std::string::npos);
+
+  CorpusReadStats corpus_stats;
+  Result<std::unique_ptr<Corpus>> corpus =
+      LoadCorpus(path, lenient, &corpus_stats);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ((*corpus)->size(), 2u);
+  EXPECT_EQ(corpus_stats.bad_records, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, SaveIsAtomicAndLeavesNoTempFile) {
+  const std::string path = testing::TempDir() + "/nidc_corpus_atomic.tsv";
+  RawDocument d;
+  d.time = 4.0;
+  d.topic = 9;
+  d.source = "NYT";
+  d.text = "first version";
+  ASSERT_TRUE(SaveRawDocuments(path, {d}).ok());
+  d.text = "second version";
+  ASSERT_TRUE(SaveRawDocuments(path, {d}).ok());
+  EXPECT_FALSE(Env::Default()->FileExists(path + ".tmp"));
+  Result<std::vector<RawDocument>> loaded = LoadRawDocuments(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].text, "second version");
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace nidc

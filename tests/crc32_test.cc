@@ -1,0 +1,40 @@
+#include "nidc/util/crc32.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace nidc {
+namespace {
+
+// Known-answer vectors for CRC-32C (Castagnoli); the classic "123456789"
+// check value is 0xE3069283.
+TEST(Crc32Test, KnownAnswers) {
+  EXPECT_EQ(Crc32c(""), 0u);
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(std::string(32, '\0')), 0x8A9136AAu);
+}
+
+TEST(Crc32Test, SeedChainsIncrementalComputation) {
+  const std::string data = "incremental checksum input";
+  const uint32_t whole = Crc32c(data);
+  const uint32_t chained = Crc32c(data.substr(10), Crc32c(data.substr(0, 10)));
+  EXPECT_EQ(whole, chained);
+}
+
+TEST(Crc32Test, SensitiveToSingleBitFlips) {
+  std::string data = "the quick brown fox";
+  const uint32_t before = Crc32c(data);
+  data[4] ^= 0x01;
+  EXPECT_NE(Crc32c(data), before);
+}
+
+TEST(Crc32Test, MaskRoundTripsAndDiffers) {
+  for (uint32_t crc : {0u, 1u, 0xE3069283u, 0xFFFFFFFFu}) {
+    EXPECT_EQ(UnmaskCrc32c(MaskCrc32c(crc)), crc);
+    EXPECT_NE(MaskCrc32c(crc), crc);
+  }
+}
+
+}  // namespace
+}  // namespace nidc

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -57,6 +58,32 @@ TEST(ForgettingParamsTest, ValidationRejectsNonPositive) {
   EXPECT_FALSE(p.Validate().ok());
   p.life_span_days = 14.0;
   EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(ForgettingParamsTest, ValidationRejectsNonFinite) {
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  ForgettingParams p;
+  p.half_life_days = nan;
+  EXPECT_FALSE(p.Validate().ok());
+  p.half_life_days = inf;
+  EXPECT_FALSE(p.Validate().ok());
+  p.half_life_days = 7.0;
+  p.life_span_days = nan;
+  EXPECT_FALSE(p.Validate().ok());
+  p.life_span_days = inf;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ForgettingParamsTest, ValidationRejectsEpsilonOutsideUnitInterval) {
+  // 2^(-gamma/beta) underflows to exactly 0 for extreme gamma/beta — a
+  // document would then never expire by weight comparison, so Validate
+  // must reject the pair even though both inputs are individually legal.
+  ForgettingParams p;
+  p.half_life_days = 1.0;
+  p.life_span_days = 1e7;
+  EXPECT_EQ(p.Epsilon(), 0.0);
+  EXPECT_FALSE(p.Validate().ok());
 }
 
 }  // namespace

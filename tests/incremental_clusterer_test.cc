@@ -1,5 +1,8 @@
 #include "nidc/core/incremental_clusterer.h"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "nidc/obs/metrics.h"
@@ -72,6 +75,33 @@ TEST_F(IncrementalClustererTest, RejectsTimeTravel) {
   ASSERT_TRUE(ic.Step({0, 1, 2, 3}, 5.0).ok());
   EXPECT_EQ(ic.Step({4}, 2.0).status().code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST_F(IncrementalClustererTest, RejectsNonFiniteStepTime) {
+  IncrementalClusterer ic(&corpus_, Params(), Options());
+  EXPECT_EQ(ic.Step({0, 1}, std::nan("")).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      ic.Step({0, 1}, std::numeric_limits<double>::infinity()).status().code(),
+      StatusCode::kInvalidArgument);
+  // A rejected step must not mutate the model; the clean step still works.
+  EXPECT_TRUE(ic.Step({0, 1}, 0.0).ok());
+}
+
+TEST_F(IncrementalClustererTest, RejectsMalformedBatches) {
+  IncrementalClusterer ic(&corpus_, Params(), Options());
+  // Beyond-corpus id.
+  EXPECT_EQ(ic.Step({99}, 0.0).status().code(), StatusCode::kInvalidArgument);
+  // Duplicate id within the batch.
+  EXPECT_EQ(ic.Step({0, 1, 0}, 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(ic.Step({0, 1}, 0.0).ok());
+  // Re-adding an already-active document.
+  EXPECT_EQ(ic.Step({1, 2}, 1.0).status().code(),
+            StatusCode::kInvalidArgument);
+  // None of the rejects advanced the model clock or active set.
+  EXPECT_EQ(ic.model().now(), 0.0);
+  EXPECT_EQ(ic.model().num_active(), 2u);
 }
 
 TEST_F(IncrementalClustererTest, FailsWhenEverythingExpired) {

@@ -163,5 +163,53 @@ TEST_F(StateIoTest, LoadMissingFileFails) {
             StatusCode::kIOError);
 }
 
+TEST_F(StateIoTest, ExactSectionAndStepCountRoundTripBitExactly) {
+  IncrementalClusterer clusterer(&corpus_, Params(), Options());
+  ASSERT_TRUE(clusterer.Step({0, 1}, 1.0).ok());
+  ASSERT_TRUE(clusterer.Step({2, 3}, 2.0).ok());
+
+  const ClustererState state = CaptureState(clusterer);
+  ASSERT_TRUE(state.exact.has_value());
+  EXPECT_EQ(state.step_count, 2u);
+
+  Result<ClustererState> parsed = ParseState(SerializeState(state));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->step_count, 2u);
+  ASSERT_TRUE(parsed->exact.has_value());
+  // Hex-float (%a) serialization: every double survives to the last bit.
+  EXPECT_EQ(parsed->exact->now, state.exact->now);
+  EXPECT_EQ(parsed->exact->tdw, state.exact->tdw);
+  EXPECT_EQ(parsed->exact->weights, state.exact->weights);
+  EXPECT_EQ(parsed->exact->term_scale, state.exact->term_scale);
+  EXPECT_EQ(parsed->exact->term_sums, state.exact->term_sums);
+}
+
+TEST_F(StateIoTest, RestoreRejectsDuplicateActiveIds) {
+  ClustererState state;
+  state.params = Params();
+  state.now = 10.0;
+  state.active_docs = {0, 1, 0};
+  EXPECT_EQ(RestoreClusterer(&corpus_, Options(), state).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(StateIoTest, LegacyV1SnapshotStillLoads) {
+  // A v1 snapshot has no steps line and no exact section; restoring one
+  // rebuilds statistics from acquisition times instead.
+  const std::string v1 =
+      "nidc-state v1\n"
+      "params 7 30\n"
+      "now 2\n"
+      "active 2 0 1\n"
+      "clusters none\n";
+  Result<ClustererState> parsed = ParseState(v1);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->step_count, 0u);
+  EXPECT_FALSE(parsed->exact.has_value());
+  auto restored = RestoreClusterer(&corpus_, Options(), *parsed);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->model().num_active(), 2u);
+}
+
 }  // namespace
 }  // namespace nidc

@@ -94,6 +94,34 @@ TEST(Tdt2SgmlTest, MissingDocnoIsError) {
   EXPECT_FALSE(ParseTdt2Sgml("<DOC><TEXT>orphan</TEXT></DOC>").ok());
 }
 
+TEST(Tdt2SgmlTest, MissingDocnoReportsRecordContext) {
+  const std::string content =
+      "<DOC><DOCNO> APW19980104.0845 </DOCNO><TEXT>fine</TEXT></DOC>\n"
+      "<DOC><TEXT>orphan</TEXT></DOC>\n";
+  auto docs = ParseTdt2Sgml(content);
+  ASSERT_FALSE(docs.ok());
+  // The diagnostic names the damaged record, not just "parse failed".
+  EXPECT_NE(docs.status().message().find("DOC record #2"), std::string::npos);
+}
+
+TEST(Tdt2SgmlTest, LenientModeSkipsAndCountsBadRecords) {
+  const std::string content =
+      "<DOC><DOCNO> APW19980104.0845 </DOCNO><TEXT>kept one</TEXT></DOC>\n"
+      "<DOC><TEXT>orphan without docno</TEXT></DOC>\n"
+      "<DOC><DOCNO> NYT19980118.0001 </DOCNO><TEXT>kept two</TEXT></DOC>\n";
+  CorpusReadOptions lenient;
+  lenient.strict = false;
+  CorpusReadStats stats;
+  auto docs = ParseTdt2Sgml(content, 19980104, lenient, &stats);
+  ASSERT_TRUE(docs.ok()) << docs.status().ToString();
+  ASSERT_EQ(docs->size(), 2u);
+  EXPECT_EQ((*docs)[0].docno, "APW19980104.0845");
+  EXPECT_EQ((*docs)[1].docno, "NYT19980118.0001");
+  EXPECT_EQ(stats.records_read, 2u);
+  EXPECT_EQ(stats.bad_records, 1u);
+  EXPECT_NE(stats.first_error.find("DOC record #2"), std::string::npos);
+}
+
 TEST(Tdt2SgmlTest, EmptyInputYieldsNoDocs) {
   auto docs = ParseTdt2Sgml("no sgml here");
   ASSERT_TRUE(docs.ok());
@@ -118,6 +146,25 @@ TEST(RelevanceTableTest, ParsesJudgments) {
 TEST(RelevanceTableTest, RejectsMalformedLines) {
   EXPECT_FALSE(ParseRelevanceTable("20001 only-two-fields\n").ok());
   EXPECT_FALSE(ParseRelevanceTable("20001 doc MAYBE\n").ok());
+}
+
+TEST(RelevanceTableTest, LenientModeSkipsMalformedLines) {
+  CorpusReadOptions lenient;
+  lenient.strict = false;
+  CorpusReadStats stats;
+  auto judgments = ParseRelevanceTable(
+      "20001 APW19980104.0845 YES\n"
+      "20002 broken-line\n"
+      "xxxxx NYT19980118.0001 YES\n"
+      "20003 NYT19980118.0001 BRIEF\n",
+      lenient, &stats);
+  ASSERT_TRUE(judgments.ok()) << judgments.status().ToString();
+  ASSERT_EQ(judgments->size(), 2u);
+  EXPECT_EQ((*judgments)[0].topic, 20001);
+  EXPECT_EQ((*judgments)[1].topic, 20003);
+  EXPECT_EQ(stats.records_read, 2u);
+  EXPECT_EQ(stats.bad_records, 2u);
+  EXPECT_NE(stats.first_error.find("line 2"), std::string::npos);
 }
 
 TEST(FilterSingleYesTest, PaperSelectionRule) {

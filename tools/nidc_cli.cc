@@ -10,6 +10,8 @@
 //   stream --corpus FILE [--beta D] [--gamma D] [--k N] [--step D]
 //          [--from D --to D] [--state FILE] [--metrics-out FILE.jsonl]
 //          [--metrics-csv FILE.csv] [--metrics-prom FILE] [--trace]
+//          [--checkpoint-dir DIR] [--checkpoint-every N]
+//          [--wal-fsync every|none]
 //       Replay the corpus through the incremental clusterer, printing a
 //       digest per step; optionally resume from / save to a state snapshot.
 //       --metrics-out writes one JSON record per step (G trajectory,
@@ -17,9 +19,21 @@
 //       writes the scalar metrics as a per-step CSV time series;
 //       --metrics-prom dumps the final registry in Prometheus text format;
 //       --trace prints the span tree of every step.
+//       --checkpoint-dir enables durable streaming (see docs/durability.md):
+//       every step is write-ahead logged, a snapshot generation rotates
+//       every --checkpoint-every steps, and a rerun with the same directory
+//       recovers the newest valid state and continues where the previous
+//       process — even a crashed one — left off. --wal-fsync none trades
+//       the tail since the last checkpoint for throughput. When
+//       --checkpoint-dir is set it is the authoritative resume source;
+//       --state is still honored as a final snapshot destination.
 //   eval --corpus FILE [--beta D] [--gamma D] [--k N] [--from D --to D]
 //       Cluster and score against the corpus's topic labels (micro/macro
 //       F1, purity, NMI, ARI).
+//
+// All subcommands accept --lenient: skip malformed corpus records (counted
+// and reported, and exported as the corpus.bad_records metric) instead of
+// failing the load.
 //
 // All times are fractional days in the corpus's own timeline.
 
@@ -32,6 +46,7 @@
 #include "nidc/core/incremental_clusterer.h"
 #include "nidc/core/state_io.h"
 #include "nidc/corpus/corpus_io.h"
+#include "nidc/store/durable_clusterer.h"
 #include "nidc/corpus/stream.h"
 #include "nidc/eval/clustering_metrics.h"
 #include "nidc/eval/f1_measures.h"
@@ -78,8 +93,11 @@ int Usage() {
       "           [--from D --to D] [--state FILE]\n"
       "           [--metrics-out FILE.jsonl] [--metrics-csv FILE.csv]\n"
       "           [--metrics-prom FILE] [--trace]\n"
+      "           [--checkpoint-dir DIR] [--checkpoint-every N]\n"
+      "           [--wal-fsync every|none]\n"
       "  eval     --corpus FILE [--beta D] [--gamma D] [--k N]\n"
-      "           [--from D --to D]\n");
+      "           [--from D --to D]\n"
+      "all subcommands: [--lenient] skips malformed corpus records\n");
   return 2;
 }
 
@@ -113,11 +131,21 @@ ForgettingParams ParamsFrom(const Args& args) {
   return params;
 }
 
-Result<std::unique_ptr<Corpus>> LoadCorpusArg(const Args& args) {
+Result<std::unique_ptr<Corpus>> LoadCorpusArg(
+    const Args& args, CorpusReadStats* stats = nullptr) {
   if (!args.Has("corpus")) {
     return Status::InvalidArgument("--corpus FILE is required");
   }
-  return LoadCorpus(args.Get("corpus", ""));
+  CorpusReadOptions read_options;
+  read_options.strict = !args.Has("lenient");
+  CorpusReadStats local;
+  if (stats == nullptr) stats = &local;
+  auto corpus = LoadCorpus(args.Get("corpus", ""), read_options, stats);
+  if (corpus.ok() && stats->bad_records > 0) {
+    std::fprintf(stderr, "warning: skipped %zu malformed records (first: %s)\n",
+                 stats->bad_records, stats->first_error.c_str());
+  }
+  return corpus;
 }
 
 int RunGenerate(const Args& args) {
@@ -224,7 +252,8 @@ std::string RenderStepRecord(uint64_t step_index, double tau,
 }
 
 int RunStream(const Args& args) {
-  auto corpus = LoadCorpusArg(args);
+  CorpusReadStats corpus_stats;
+  auto corpus = LoadCorpusArg(args, &corpus_stats);
   if (!corpus.ok()) {
     std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
     return 1;
@@ -240,7 +269,11 @@ int RunStream(const Args& args) {
   const bool tracing = args.Has("trace");
   const bool telemetry = !metrics_out.empty() || !metrics_csv.empty() ||
                          !metrics_prom.empty() || tracing;
-  if (telemetry) options.metrics = &registry;
+  if (telemetry) {
+    options.metrics = &registry;
+    registry.GetCounter("corpus.bad_records")
+        ->Increment(corpus_stats.bad_records);
+  }
   std::unique_ptr<obs::JsonlWriter> jsonl;
   if (!metrics_out.empty()) {
     jsonl = std::make_unique<obs::JsonlWriter>(metrics_out);
@@ -250,9 +283,52 @@ int RunStream(const Args& args) {
   obs::ScopedTracerInstall install_tracer(tracing ? &tracer : nullptr);
 
   std::unique_ptr<IncrementalClusterer> clusterer;
+  std::unique_ptr<DurableClusterer> durable;
   const std::string state_path = args.Get("state", "");
+  const std::string checkpoint_dir = args.Get("checkpoint-dir", "");
   double resume_from = args.GetDouble("from", (*corpus)->MinTime());
-  if (!state_path.empty()) {
+
+  if (!checkpoint_dir.empty()) {
+    // Durable mode: the checkpoint directory is the authoritative resume
+    // source; every step is WAL-logged and snapshots rotate periodically.
+    DurableOptions durable_options;
+    durable_options.dir = checkpoint_dir;
+    durable_options.checkpoint_every = args.GetSize("checkpoint-every", 16);
+    const std::string fsync = args.Get("wal-fsync", "every");
+    if (fsync == "every") {
+      durable_options.wal_sync = WalSyncMode::kEveryRecord;
+    } else if (fsync == "none") {
+      durable_options.wal_sync = WalSyncMode::kNone;
+    } else {
+      std::fprintf(stderr, "stream: --wal-fsync must be every or none\n");
+      return 2;
+    }
+    if (telemetry) durable_options.metrics = &registry;
+    auto opened = DurableClusterer::Open(corpus->get(), ParamsFrom(args),
+                                         options, durable_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    durable = std::move(opened).value();
+    const RecoveryInfo& recovery = durable->recovery();
+    if (recovery.resumed) {
+      resume_from = recovery.recovered_now;
+      std::printf(
+          "recovered generation %llu from %s at day %g "
+          "(%llu WAL records replayed, %llu quarantined, "
+          "%llu snapshot fallbacks)\n",
+          static_cast<unsigned long long>(recovery.source_generation),
+          checkpoint_dir.c_str(), recovery.recovered_now,
+          static_cast<unsigned long long>(recovery.replayed_records),
+          static_cast<unsigned long long>(recovery.quarantined_records),
+          static_cast<unsigned long long>(recovery.snapshot_fallbacks));
+    } else {
+      std::printf("checkpointing to %s (every %zu steps, fsync %s)\n",
+                  checkpoint_dir.c_str(),
+                  args.GetSize("checkpoint-every", 16), fsync.c_str());
+    }
+  } else if (!state_path.empty()) {
     if (Result<ClustererState> state = LoadState(state_path); state.ok()) {
       auto restored = RestoreClusterer(corpus->get(), options, *state);
       if (!restored.ok()) {
@@ -266,10 +342,14 @@ int RunStream(const Args& args) {
                   state->active_docs.size());
     }
   }
-  if (clusterer == nullptr) {
+  if (clusterer == nullptr && durable == nullptr) {
     clusterer = std::make_unique<IncrementalClusterer>(
         corpus->get(), ParamsFrom(args), options);
   }
+  auto do_step = [&](const std::vector<DocId>& docs, double tau) {
+    return durable != nullptr ? durable->Step(docs, tau)
+                              : clusterer->Step(docs, tau);
+  };
 
   const double to = args.GetDouble("to", (*corpus)->MaxTime() + 1e-6);
   const double step = args.GetDouble("step", 1.0);
@@ -277,7 +357,7 @@ int RunStream(const Args& args) {
   uint64_t step_index = 0;
   while (auto batch = stream.Next()) {
     if (tracing) tracer.Reset();
-    auto result = clusterer->Step(batch->docs, batch->end);
+    auto result = do_step(batch->docs, batch->end);
     if (!result.ok()) {
       std::printf("day %7.2f | +%3zu docs | (%s)\n", batch->end,
                   batch->docs.size(), result.status().ToString().c_str());
@@ -305,7 +385,21 @@ int RunStream(const Args& args) {
     }
     ++step_index;
   }
+  if (durable != nullptr) {
+    // Final checkpoint rotation; the stream is fully durable after this.
+    if (const Status closed = durable->Close(); !closed.ok()) {
+      std::fprintf(stderr, "%s\n", closed.ToString().c_str());
+      return 1;
+    }
+    std::printf("checkpoint: %llu steps durable in %s\n",
+                static_cast<unsigned long long>(durable->applied_steps()),
+                checkpoint_dir.c_str());
+  }
   if (jsonl != nullptr) {
+    if (const Status closed = jsonl->Close(); !closed.ok()) {
+      std::fprintf(stderr, "%s\n", closed.ToString().c_str());
+      return 1;
+    }
     std::printf("metrics: %zu records -> %s\n", jsonl->lines_written(),
                 jsonl->path().c_str());
   }
@@ -319,17 +413,17 @@ int RunStream(const Args& args) {
   }
   if (!metrics_prom.empty()) {
     const std::string dump = obs::RenderPrometheus(registry.Snapshot());
-    FILE* f = std::fopen(metrics_prom.c_str(), "w");
-    if (f == nullptr || std::fputs(dump.c_str(), f) < 0) {
-      std::fprintf(stderr, "cannot write %s\n", metrics_prom.c_str());
-      if (f != nullptr) std::fclose(f);
+    if (const Status s = AtomicWriteFile(Env::Default(), metrics_prom, dump);
+        !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 1;
     }
-    std::fclose(f);
     std::printf("metrics: prometheus dump -> %s\n", metrics_prom.c_str());
   }
   if (!state_path.empty()) {
-    const Status saved = SaveState(CaptureState(*clusterer), state_path);
+    const IncrementalClusterer& final_clusterer =
+        durable != nullptr ? durable->clusterer() : *clusterer;
+    const Status saved = SaveState(CaptureState(final_clusterer), state_path);
     if (!saved.ok()) {
       std::fprintf(stderr, "%s\n", saved.ToString().c_str());
       return 1;
