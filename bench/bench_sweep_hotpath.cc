@@ -1,14 +1,17 @@
 // Hot-path benchmark for the extended K-means sweep: serial merge scoring
-// vs rep-index scoring vs rep-index + parallel similarity-context build.
+// vs the PR-1 hash-index scoring vs the slotted move-only sweep (flat CSR
+// index + algebraic detachment) vs slotted with a parallel context build.
 //
-// Three configurations run the same clustering problem:
-//   merge            use_rep_index=false, num_threads=1  (the seed path)
-//   indexed          use_rep_index=true,  num_threads=1
-//   indexed+parallel use_rep_index=true,  num_threads=hardware
-// All three must produce identical clusterings (same memberships, same
+// Four configurations run the same clustering problem:
+//   merge            use_rep_index=false                  (the seed path)
+//   indexed          use_rep_index=true, move_only=false  (PR 1)
+//   slotted          use_rep_index=true, move_only=true   (this PR, serial)
+//   slotted+parallel same, num_threads=hardware
+// All four must produce identical clusterings (same memberships, same
 // outliers, same G trajectory) — the bench verifies this and exits
-// non-zero on a mismatch. It then replays an incremental stream and emits
-// a BENCH_sweep_hotpath.json trajectory of per-step timings.
+// non-zero on a mismatch. Per-phase timings (seed / score / index
+// maintenance / refresh) are collected through KMeansProfile, and an
+// incremental stream replay emits a BENCH_sweep_hotpath.json trajectory.
 //
 // It also measures the observability overhead: the same clustering run
 // with a MetricsRegistry + Tracer attached vs the default null registry
@@ -18,7 +21,12 @@
 //   NIDC_SWEEP_SCALE   corpus scale (1.0 = paper-scale 7,578 docs)
 //   NIDC_SWEEP_K       number of clusters (default 32)
 //   NIDC_REQUIRE_SPEEDUP  if set to a positive value, exit non-zero unless
-//                         indexed+parallel achieves that speedup over merge
+//                         slotted+parallel achieves that total-time speedup
+//                         over merge
+//   NIDC_REQUIRE_SLOTTED_SPEEDUP  if set to a positive value, exit
+//                         non-zero unless the serial slotted sweep achieves
+//                         that cluster-time speedup over the PR-1 indexed
+//                         configuration
 //   NIDC_MAX_INSTRUMENTED_OVERHEAD  if set to a positive value, exit
 //                         non-zero when the instrumented run is more than
 //                         that many percent slower than the null-registry
@@ -47,12 +55,14 @@ std::string Fmt(double value, int precision) {
 struct Config {
   const char* name;
   bool use_rep_index;
+  bool move_only;
   size_t num_threads;
 };
 
 struct Timing {
   double context_seconds = 0.0;
   double cluster_seconds = 0.0;
+  KMeansProfile profile;
   double total() const { return context_seconds + cluster_seconds; }
 };
 
@@ -60,6 +70,12 @@ struct BatchRun {
   Timing timing;
   ClusteringResult result;
 };
+
+void ApplyConfig(const Config& config, ExtendedKMeansOptions* kmeans) {
+  kmeans->use_rep_index = config.use_rep_index;
+  kmeans->move_only_sweep = config.move_only;
+  kmeans->num_threads = config.num_threads;
+}
 
 // Instrumented-vs-null overhead of the observability layer on the fast
 // configuration: min-of-`reps` total time with a registry + tracer
@@ -72,6 +88,7 @@ double MeasureInstrumentationOverhead(const ForgettingModel& model,
                                       ExtendedKMeansOptions kmeans,
                                       int reps) {
   kmeans.use_rep_index = true;
+  kmeans.move_only_sweep = true;
   kmeans.num_threads = 0;
   const auto run_once = [&](bool instrumented) {
     obs::MetricsRegistry registry;
@@ -104,9 +121,9 @@ double MeasureInstrumentationOverhead(const ForgettingModel& model,
 BatchRun RunBatch(const ForgettingModel& model,
                   const std::vector<DocId>& docs, const Config& config,
                   ExtendedKMeansOptions kmeans) {
-  kmeans.use_rep_index = config.use_rep_index;
-  kmeans.num_threads = config.num_threads;
+  ApplyConfig(config, &kmeans);
   BatchRun run;
+  kmeans.profile = &run.timing.profile;
   Stopwatch ctx_timer;
   SimilarityContext ctx(model, ThreadPool::Resolve(config.num_threads));
   run.timing.context_seconds = ctx_timer.ElapsedSeconds();
@@ -154,13 +171,15 @@ struct StepTrace {
   int step = 0;
   size_t active = 0;
   double merge_seconds = 0.0;
-  double indexed_parallel_seconds = 0.0;
+  double slotted_parallel_seconds = 0.0;
 };
 
 void WriteJson(const std::string& path, double scale, size_t k,
                size_t active_docs, size_t hw_threads,
                const std::vector<std::pair<Config, Timing>>& batch,
-               const std::vector<StepTrace>& trajectory, double speedup) {
+               const std::vector<StepTrace>& trajectory,
+               double speedup_fast_vs_merge,
+               double speedup_slotted_vs_indexed) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -173,16 +192,23 @@ void WriteJson(const std::string& path, double scale, size_t k,
   std::fprintf(f, "  \"active_docs\": %zu,\n", active_docs);
   std::fprintf(f, "  \"hardware_threads\": %zu,\n", hw_threads);
   std::fprintf(f, "  \"speedup_indexed_parallel_vs_merge\": %.4f,\n",
-               speedup);
+               speedup_fast_vs_merge);
+  std::fprintf(f, "  \"speedup_slotted_vs_indexed\": %.4f,\n",
+               speedup_slotted_vs_indexed);
   std::fprintf(f, "  \"batch\": [\n");
   for (size_t i = 0; i < batch.size(); ++i) {
     const auto& [config, timing] = batch[i];
+    const KMeansProfile& prof = timing.profile;
     std::fprintf(f,
                  "    {\"config\": \"%s\", \"context_seconds\": %.6f, "
-                 "\"cluster_seconds\": %.6f, \"total_seconds\": %.6f}%s\n",
+                 "\"cluster_seconds\": %.6f, \"total_seconds\": %.6f, "
+                 "\"seed_seconds\": %.6f, \"score_seconds\": %.6f, "
+                 "\"maintenance_seconds\": %.6f, "
+                 "\"refresh_seconds\": %.6f}%s\n",
                  config.name, timing.context_seconds,
-                 timing.cluster_seconds, timing.total(),
-                 i + 1 < batch.size() ? "," : "");
+                 timing.cluster_seconds, timing.total(), prof.seed_seconds,
+                 prof.score_seconds(), prof.maintenance_seconds,
+                 prof.refresh_seconds, i + 1 < batch.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"trajectory\": [\n");
@@ -191,9 +217,9 @@ void WriteJson(const std::string& path, double scale, size_t k,
     std::fprintf(f,
                  "    {\"step\": %d, \"active_docs\": %zu, "
                  "\"merge_seconds\": %.6f, "
-                 "\"indexed_parallel_seconds\": %.6f}%s\n",
+                 "\"slotted_parallel_seconds\": %.6f}%s\n",
                  t.step, t.active, t.merge_seconds,
-                 t.indexed_parallel_seconds,
+                 t.slotted_parallel_seconds,
                  i + 1 < trajectory.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n");
@@ -214,8 +240,7 @@ std::vector<double> RunStream(const BenchCorpus& bc, size_t k,
   IncrementalOptions options;
   options.kmeans.k = k;
   options.kmeans.seed = 7;
-  options.kmeans.use_rep_index = config.use_rep_index;
-  options.kmeans.num_threads = config.num_threads;
+  ApplyConfig(config, &options.kmeans);
   IncrementalClusterer clusterer(bc.corpus.get(), params, options);
 
   const DayTime begin = bc.corpus->MinTime();
@@ -239,7 +264,7 @@ std::vector<double> RunStream(const BenchCorpus& bc, size_t k,
 }
 
 int Main() {
-  PrintHeader("Sweep hot path: merge vs indexed vs indexed+parallel",
+  PrintHeader("Sweep hot path: merge vs indexed vs slotted move-only",
               "Table 1 setting (§6.2.1) — scoring-path ablation");
 
   const double scale = EnvScale("NIDC_SWEEP_SCALE", 1.0);
@@ -263,15 +288,18 @@ int Main() {
   kmeans.seed = 7;
 
   const Config configs[] = {
-      {"merge", false, 1},
-      {"indexed", true, 1},
-      {"indexed+parallel", true, 0},
+      {"merge", false, false, 1},
+      {"indexed", true, false, 1},
+      {"slotted", true, true, 1},
+      {"slotted+parallel", true, true, 0},
   };
+  constexpr size_t kMerge = 0, kIndexed = 1, kSlotted = 2, kFast = 3;
 
   std::printf("corpus: %zu docs, K = %zu, hardware threads = %zu\n\n",
               docs.size(), k, hw);
-  TablePrinter table({"config", "context s", "cluster s", "total s",
-                      "speedup", "iters"});
+  TablePrinter table({"config", "context s", "cluster s", "score s",
+                      "maint s", "refresh s", "total s", "speedup",
+                      "iters"});
   std::vector<std::pair<Config, Timing>> batch;
   std::vector<BatchRun> runs;
   for (const Config& config : configs) {
@@ -280,7 +308,9 @@ int Main() {
     batch.emplace_back(config, t);
     table.AddRow(
         {config.name, Fmt(t.context_seconds, 3),
-         Fmt(t.cluster_seconds, 3), Fmt(t.total(), 3),
+         Fmt(t.cluster_seconds, 3), Fmt(t.profile.score_seconds(), 3),
+         Fmt(t.profile.maintenance_seconds, 3),
+         Fmt(t.profile.refresh_seconds, 3), Fmt(t.total(), 3),
          Fmt(batch.front().second.total() / std::max(t.total(), 1e-12), 2) +
              "x",
          std::to_string(runs.back().result.iterations)});
@@ -288,15 +318,24 @@ int Main() {
   table.Print(std::cout);
 
   bool identical = true;
-  identical &= SameClustering(runs[0].result, runs[1].result,
+  identical &= SameClustering(runs[kMerge].result, runs[kIndexed].result,
                               "merge vs indexed");
-  identical &= SameClustering(runs[0].result, runs[2].result,
-                              "merge vs indexed+parallel");
+  identical &= SameClustering(runs[kMerge].result, runs[kSlotted].result,
+                              "merge vs slotted");
+  identical &= SameClustering(runs[kMerge].result, runs[kFast].result,
+                              "merge vs slotted+parallel");
   std::printf("\nclustering outputs identical across configs: %s\n",
               identical ? "YES" : "NO");
   const double speedup =
-      runs[0].timing.total() / std::max(runs[2].timing.total(), 1e-12);
-  std::printf("indexed+parallel speedup over merge: %.2fx\n", speedup);
+      runs[kMerge].timing.total() / std::max(runs[kFast].timing.total(),
+                                             1e-12);
+  const double slotted_speedup =
+      runs[kIndexed].timing.cluster_seconds /
+      std::max(runs[kSlotted].timing.cluster_seconds, 1e-12);
+  std::printf("slotted+parallel speedup over merge (total): %.2fx\n",
+              speedup);
+  std::printf("slotted speedup over indexed (cluster time): %.2fx\n",
+              slotted_speedup);
 
   const double overhead_pct =
       MeasureInstrumentationOverhead(model, docs, kmeans, /*reps=*/3);
@@ -304,19 +343,19 @@ int Main() {
               overhead_pct);
 
   // Incremental-stream trajectory (first week of the corpus): merge vs
-  // indexed+parallel per-step clustering time.
+  // slotted+parallel per-step clustering time.
   std::vector<size_t> active;
   const std::vector<double> merge_steps =
-      RunStream(bc, k, configs[0], &active);
-  const std::vector<double> fast_steps = RunStream(bc, k, configs[2],
-                                                   nullptr);
+      RunStream(bc, k, configs[kMerge], &active);
+  const std::vector<double> fast_steps =
+      RunStream(bc, k, configs[kFast], nullptr);
   std::vector<StepTrace> trajectory;
   for (size_t i = 0; i < merge_steps.size() && i < fast_steps.size(); ++i) {
     StepTrace t;
     t.step = static_cast<int>(i);
     t.active = i < active.size() ? active[i] : 0;
     t.merge_seconds = merge_steps[i];
-    t.indexed_parallel_seconds = fast_steps[i];
+    t.slotted_parallel_seconds = fast_steps[i];
     trajectory.push_back(t);
   }
 
@@ -324,7 +363,8 @@ int Main() {
   const std::string path =
       std::string(dir != nullptr && dir[0] != '\0' ? dir : ".") +
       "/BENCH_sweep_hotpath.json";
-  WriteJson(path, scale, k, docs.size(), hw, batch, trajectory, speedup);
+  WriteJson(path, scale, k, docs.size(), hw, batch, trajectory, speedup,
+            slotted_speedup);
 
   if (!identical) {
     std::fprintf(stderr, "FAILED: configurations disagree on the output\n");
@@ -334,6 +374,15 @@ int Main() {
   if (required > 0.0 && speedup < required) {
     std::fprintf(stderr, "FAILED: speedup %.2fx below required %.2fx\n",
                  speedup, required);
+    return 1;
+  }
+  const double required_slotted =
+      EnvScale("NIDC_REQUIRE_SLOTTED_SPEEDUP", 0.0);
+  if (required_slotted > 0.0 && slotted_speedup < required_slotted) {
+    std::fprintf(stderr,
+                 "FAILED: slotted-vs-indexed speedup %.2fx below required "
+                 "%.2fx\n",
+                 slotted_speedup, required_slotted);
     return 1;
   }
   const double max_overhead = EnvScale("NIDC_MAX_INSTRUMENTED_OVERHEAD", 0.0);

@@ -39,6 +39,29 @@ void Cluster::Remove(DocId id, const SimilarityContext& ctx) {
   if (members_.empty()) Clear();  // snap caches to exact zero
 }
 
+void Cluster::ReplayDetachReattach(DocId id, double t_attached,
+                                   double t_detached, double self) {
+  assert(members_.size() >= 2);
+  // Remove's scalar updates, with its internal dot product substituted ...
+  cr_self_ += -2.0 * t_attached + self;
+  ss_ -= self;
+  // ... then Add's, against the (never materialized) detached state.
+  cr_self_ += 2.0 * t_detached + self;
+  ss_ += self;
+  // Swap-and-pop + push_back nets out to rotating `id` to the end and
+  // dropping the previously-last member into its old position.
+  auto it = member_pos_.find(id);
+  assert(it != member_pos_.end());
+  const size_t pos = it->second;
+  const size_t last = members_.size() - 1;
+  if (pos != last) {
+    members_[pos] = members_[last];
+    member_pos_[members_[pos]] = pos;
+    members_[last] = id;
+    member_pos_[id] = last;
+  }
+}
+
 double Cluster::AvgSim() const {
   const double n = static_cast<double>(members_.size());
   if (n <= 1.0) return 0.0;

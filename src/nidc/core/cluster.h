@@ -58,23 +58,55 @@ class Cluster {
     return GainInGGivenT(CrSimWithDoc(id, ctx));
   }
 
+  /// Eq. 24 on explicit statistics — shared by the attached accessors below
+  /// and the move-only sweep, which evaluates a document's *detached* home
+  /// cluster from (n−1, cr', ss') without mutating it.
+  static double AvgSimWith(double n, double cr_self, double ss) {
+    if (n <= 1.0) return 0.0;
+    return (cr_self - ss) / (n * (n - 1.0));
+  }
+
+  /// GainGivenT on explicit statistics (Eq. 26 minus Eq. 24). Requires
+  /// n >= 1.
+  static double GainGivenTWith(double t, double n, double cr_self,
+                               double ss) {
+    const double after = (cr_self + 2.0 * t - ss) / (n * (n + 1.0));
+    return after - AvgSimWith(n, cr_self, ss);
+  }
+
+  /// GainInGGivenT on explicit statistics. Requires n >= 1.
+  static double GainInGGivenTWith(double t, double n, double cr_self,
+                                  double ss) {
+    const double pair_sum = cr_self - ss;  // S = n(n−1)·avg_sim (Eq. 22)
+    const double g_now = n > 1.0 ? pair_sum / (n - 1.0) : 0.0;
+    return (pair_sum + 2.0 * t) / n - g_now;
+  }
+
   /// GainIfAdded with the cross term T = cr_sim(C_p, {d}) supplied by the
   /// caller — the formula the rep-index scoring path shares with the
   /// merge path, so both compute gains identically. Requires |C| >= 1.
   double GainGivenT(double t) const {
-    const double n = static_cast<double>(members_.size());
-    // Eq. 26 minus Eq. 24.
-    const double after = (cr_self_ + 2.0 * t - ss_) / (n * (n + 1.0));
-    return after - AvgSim();
+    return GainGivenTWith(t, static_cast<double>(members_.size()), cr_self_,
+                          ss_);
   }
 
   /// GainInGIfAdded with T supplied by the caller. Requires |C| >= 1.
   double GainInGGivenT(double t) const {
-    const double n = static_cast<double>(members_.size());
-    const double pair_sum = cr_self_ - ss_;  // S = n(n−1)·avg_sim (Eq. 22)
-    const double g_now = n > 1.0 ? pair_sum / (n - 1.0) : 0.0;
-    return (pair_sum + 2.0 * t) / n - g_now;
+    return GainInGGivenTWith(t, static_cast<double>(members_.size()),
+                             cr_self_, ss_);
   }
+
+  /// Replays the scalar-cache effect of detaching `id` and immediately
+  /// re-attaching it — what the legacy sweep does to a document that stays
+  /// put — without touching the representative vector. `t_attached` is the
+  /// attached cross term c⃗·ψ (what Remove's internal dot product would
+  /// yield) and `t_detached` the detached one ((c⃗−ψ)·ψ); both cached
+  /// scalars take the same two rounding steps as Remove-then-Add, and the
+  /// member list is rotated exactly as swap-and-pop + push_back would
+  /// leave it, so subsequent Refresh accumulation order matches too.
+  /// Requires |C| >= 2 (a detached singleton goes through Clear instead).
+  void ReplayDetachReattach(DocId id, double t_attached, double t_detached,
+                            double self);
 
   /// Similarity of this cluster's representative with a document's ψ —
   /// cr_sim(C_p, {d}) of Eq. 21 for a singleton.

@@ -7,27 +7,46 @@ namespace nidc {
 void ClusterSet::Assign(DocId id, int p, const SimilarityContext& ctx) {
   assert(p == kUnassigned ||
          (p >= 0 && static_cast<size_t>(p) < clusters_.size()));
-  const int current = ClusterOf(id);
+  if (id >= assignment_.size()) {
+    assignment_.resize(static_cast<size_t>(id) + 1, kUnassigned);
+  }
+  const int current = assignment_[id];
   if (current == p) return;
   if (current != kUnassigned) {
     clusters_[static_cast<size_t>(current)].Remove(id, ctx);
-    if (rep_index_enabled_) {
+    if (scoring_ == ClusterScoring::kIndexed) {
       rep_index_.Remove(static_cast<size_t>(current), ctx.Psi(id));
+    } else if (scoring_ == ClusterScoring::kSlotted) {
+      flat_index_.ApplyRemove(ctx, ctx.SlotOf(id),
+                              static_cast<size_t>(current));
     }
-    assignment_.erase(id);
+    assignment_[id] = kUnassigned;
+    --total_assigned_;
   }
   if (p != kUnassigned) {
     clusters_[static_cast<size_t>(p)].Add(id, ctx);
-    if (rep_index_enabled_) {
+    if (scoring_ == ClusterScoring::kIndexed) {
       rep_index_.Add(static_cast<size_t>(p), ctx.Psi(id));
+    } else if (scoring_ == ClusterScoring::kSlotted) {
+      flat_index_.ApplyAdd(ctx, ctx.SlotOf(id), static_cast<size_t>(p));
     }
     assignment_[id] = p;
+    ++total_assigned_;
   }
+}
+
+void ClusterSet::ReplayStay(DocId id, size_t p, double t_attached,
+                            double t_detached, const SimilarityContext& ctx) {
+  assert(ClusterOf(id) == static_cast<int>(p));
+  clusters_[p].ReplayDetachReattach(id, t_attached, t_detached,
+                                    ctx.SelfSim(id));
+  // Posting weights round-trip to themselves under remove + re-add, so the
+  // index needs no touch — that is the whole point of the move-only sweep.
 }
 
 void ClusterSet::RefreshAll(const SimilarityContext& ctx) {
   for (Cluster& c : clusters_) c.Refresh(ctx);
-  if (rep_index_enabled_) {
+  if (scoring_ == ClusterScoring::kIndexed) {
     // Rebuild the postings with the same per-term addition order as
     // Cluster::Refresh uses for the representatives, so indexed scores stay
     // aligned with the merge path and tombstone drift is cleared.
@@ -37,6 +56,10 @@ void ClusterSet::RefreshAll(const SimilarityContext& ctx) {
         rep_index_.Add(p, ctx.Psi(id));
       }
     }
+  } else if (scoring_ == ClusterScoring::kSlotted) {
+    // One-pass CSR rebuild (same member-order accumulation); also clears
+    // the mid-sweep overlay and tombstones.
+    flat_index_.BuildFromClusters(ctx, clusters_);
   }
 }
 
@@ -46,10 +69,6 @@ double ClusterSet::G() const {
     g += static_cast<double>(c.size()) * c.AvgSim();
   }
   return g;
-}
-
-size_t ClusterSet::TotalAssigned() const {
-  return assignment_.size();
 }
 
 }  // namespace nidc

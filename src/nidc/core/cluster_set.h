@@ -3,7 +3,6 @@
 #ifndef NIDC_CORE_CLUSTER_SET_H_
 #define NIDC_CORE_CLUSTER_SET_H_
 
-#include <unordered_map>
 #include <vector>
 
 #include "nidc/core/cluster.h"
@@ -14,48 +13,84 @@ namespace nidc {
 /// Cluster index within a ClusterSet; kUnassigned for outliers/unseen docs.
 inline constexpr int kUnassigned = -1;
 
+/// How SweepAssign evaluates the cross terms cr_sim(C_p, {d}).
+enum class ClusterScoring {
+  /// K independent sparse dot products per document (the reference path).
+  kMerge,
+  /// Document-at-a-time scan of the hash-map posting index, with physical
+  /// detach/re-attach per document (the PR-1 path, kept as a comparison
+  /// point).
+  kIndexed,
+  /// Document-at-a-time scan of the flat CSR posting index with move-only
+  /// maintenance: documents are scored attached, the detached home
+  /// statistics are derived algebraically, and postings/caches change only
+  /// on actual moves. Default.
+  kSlotted,
+};
+
 /// Owns K clusters and keeps the assignment map consistent with their
-/// membership. With the rep index enabled, a term → (cluster, weight)
-/// posting structure additionally mirrors the K representative vectors and
-/// is kept in sync by Assign/RefreshAll, so ScoreAllClusters can evaluate
-/// cr_sim(C_p, {d}) for every cluster in one pass over ψ_d.
+/// membership. With kIndexed scoring, a term → (cluster, weight) posting
+/// structure additionally mirrors the K representative vectors and is kept
+/// in sync by Assign/RefreshAll, so ScoreAllClusters can evaluate
+/// cr_sim(C_p, {d}) for every cluster in one pass over ψ_d. With kSlotted,
+/// the same role is played by a flat CSR index over the context's dense
+/// local term ids (see FlatRepIndex).
 class ClusterSet {
  public:
+  ClusterSet(size_t k, ClusterScoring scoring)
+      : clusters_(k),
+        rep_index_(scoring == ClusterScoring::kIndexed ? k : 0),
+        scoring_(scoring) {}
+
   explicit ClusterSet(size_t k, bool use_rep_index = false)
-      : clusters_(k), rep_index_(use_rep_index ? k : 0),
-        rep_index_enabled_(use_rep_index) {}
+      : ClusterSet(k, use_rep_index ? ClusterScoring::kIndexed
+                                    : ClusterScoring::kMerge) {}
 
   size_t num_clusters() const { return clusters_.size(); }
   Cluster& cluster(size_t p) { return clusters_[p]; }
   const Cluster& cluster(size_t p) const { return clusters_[p]; }
 
-  /// Cluster index of `id`, or kUnassigned.
+  /// Cluster index of `id`, or kUnassigned — a flat array lookup (DocIds
+  /// are dense corpus indices).
   int ClusterOf(DocId id) const {
-    auto it = assignment_.find(id);
-    return it == assignment_.end() ? kUnassigned : it->second;
+    return id < assignment_.size() ? assignment_[id] : kUnassigned;
   }
 
   /// Moves `id` into cluster `p` (removing it from its current cluster
   /// first, if any). `p` may be kUnassigned to just detach the document.
   void Assign(DocId id, int p, const SimilarityContext& ctx);
 
-  /// Recomputes every cluster's cached statistics (and the rep index, when
-  /// enabled) from its members.
+  /// Replays the detach + immediate re-attach of a document that stays in
+  /// cluster `p` during a move-only sweep: the cluster's scalar caches and
+  /// member order take the exact rounding/permutation steps the legacy
+  /// sweep applies, while the representative vector and the posting index
+  /// — for which remove-then-re-add is the identity — stay untouched.
+  void ReplayStay(DocId id, size_t p, double t_attached, double t_detached,
+                  const SimilarityContext& ctx);
+
+  /// Recomputes every cluster's cached statistics (and the posting index,
+  /// when scoring through one) from its members.
   void RefreshAll(const SimilarityContext& ctx);
 
   /// Clustering index G = Σ_p |C_p| · avg_sim(C_p) (Eq. 17).
   double G() const;
 
   /// Total number of assigned documents.
-  size_t TotalAssigned() const;
+  size_t TotalAssigned() const { return total_assigned_; }
 
-  bool rep_index_enabled() const { return rep_index_enabled_; }
+  ClusterScoring scoring() const { return scoring_; }
+  bool rep_index_enabled() const {
+    return scoring_ == ClusterScoring::kIndexed;
+  }
 
-  /// The posting index (meaningful only when enabled), e.g. for its
+  /// The hash posting index (meaningful only with kIndexed), e.g. for its
   /// maintenance stats().
   const ClusterRepIndex& rep_index() const { return rep_index_; }
 
-  /// Document-at-a-time scoring (requires the rep index): fills scores[p]
+  /// The flat CSR posting index (meaningful only with kSlotted).
+  const FlatRepIndex& flat_index() const { return flat_index_; }
+
+  /// Document-at-a-time scoring (requires kIndexed): fills scores[p]
   /// with c⃗_p · psi for all K clusters in one posting scan.
   void ScoreAllClusters(const SparseVector& psi,
                         std::vector<double>* scores) const {
@@ -64,9 +99,11 @@ class ClusterSet {
 
  private:
   std::vector<Cluster> clusters_;
-  std::unordered_map<DocId, int> assignment_;
+  std::vector<int> assignment_;  // DocId → cluster, kUnassigned gaps
+  size_t total_assigned_ = 0;
   ClusterRepIndex rep_index_;
-  bool rep_index_enabled_ = false;
+  FlatRepIndex flat_index_;
+  ClusterScoring scoring_ = ClusterScoring::kMerge;
 };
 
 }  // namespace nidc

@@ -7,6 +7,7 @@
 #include "nidc/core/rep_index.h"
 #include "nidc/obs/metrics.h"
 #include "nidc/obs/trace.h"
+#include "nidc/util/stopwatch.h"
 #include "nidc/util/thread_pool.h"
 
 namespace nidc {
@@ -22,27 +23,56 @@ Status ExtendedKMeansOptions::Validate() const {
 
 namespace {
 
-// One repetition sweep (§4.3 step 1): every document is detached, the best
-// avg_sim gain over all clusters is found via Eq. 26, and the document is
-// re-attached to the argmax cluster — or put on the outlier list when no
-// assignment increases any intra-cluster similarity.
+ClusterScoring ScoringOf(const ExtendedKMeansOptions& options) {
+  if (!options.use_rep_index) return ClusterScoring::kMerge;
+  return options.move_only_sweep ? ClusterScoring::kSlotted
+                                 : ClusterScoring::kIndexed;
+}
+
+// Accumulates elapsed seconds into *acc on destruction; no clock reads at
+// all when acc is null, so unprofiled runs pay nothing.
+class ScopedSeconds {
+ public:
+  explicit ScopedSeconds(double* acc) : acc_(acc) {
+    if (acc_ != nullptr) timer_.Restart();
+  }
+  ~ScopedSeconds() {
+    if (acc_ != nullptr) *acc_ += timer_.ElapsedSeconds();
+  }
+  ScopedSeconds(const ScopedSeconds&) = delete;
+  ScopedSeconds& operator=(const ScopedSeconds&) = delete;
+
+ private:
+  double* acc_;
+  Stopwatch timer_;
+};
+
+// One repetition sweep (§4.3 step 1) in its legacy form: every document is
+// physically detached, the best avg_sim gain over all clusters is found via
+// Eq. 26, and the document is re-attached to the argmax cluster — or put on
+// the outlier list when no assignment increases any intra-cluster
+// similarity.
 //
 // Two scoring paths compute the cross terms T_p = cr_sim(C_p, {d}):
 //   * merge: K independent sparse dot products against the representatives;
-//   * indexed (use_rep_index): one document-at-a-time posting scan yields
-//     every T_p at once, then the same gain formulas are applied per
-//     cluster from the cached statistics.
-std::vector<DocId> SweepAssign(const std::vector<DocId>& order,
-                               const SimilarityContext& ctx,
-                               AssignmentCriterion criterion,
-                               ClusterSet* clusters, size_t* moves) {
+//   * indexed (kIndexed): one document-at-a-time posting scan yields every
+//     T_p at once, then the same gain formulas are applied per cluster from
+//     the cached statistics.
+std::vector<DocId> SweepAssignLegacy(const std::vector<DocId>& order,
+                                     const SimilarityContext& ctx,
+                                     AssignmentCriterion criterion,
+                                     ClusterSet* clusters, size_t* moves,
+                                     double* maintenance_seconds) {
   std::vector<DocId> outliers;
   std::vector<double> t_scores;
   size_t num_moves = 0;
   const bool indexed = clusters->rep_index_enabled();
   for (DocId id : order) {
     const int previous = clusters->ClusterOf(id);
-    clusters->Assign(id, kUnassigned, ctx);
+    {
+      ScopedSeconds maint(maintenance_seconds);
+      clusters->Assign(id, kUnassigned, ctx);
+    }
     int best = kUnassigned;
     double best_gain = 0.0;
     if (indexed) {
@@ -86,12 +116,141 @@ std::vector<DocId> SweepAssign(const std::vector<DocId>& order,
     if (best == kUnassigned) {
       outliers.push_back(id);
     } else {
+      ScopedSeconds maint(maintenance_seconds);
       clusters->Assign(id, best, ctx);
     }
     if (best != previous) ++num_moves;
   }
   if (moves != nullptr) *moves = num_moves;
   return outliers;
+}
+
+// The move-only sweep (kSlotted): scores every document against the flat
+// CSR index *with its ψ still attached*. ScoreAllDetached folds the home
+// cluster's detachment into the scan — scores[home] accumulates
+// (c⃗_q − ψ)·ψ per term while the attached cross term T_att = c⃗_q·ψ is
+// collected alongside — so the detached home statistics follow from the
+// Eq. 25/26 identity:
+//   cr' = cr − 2·T_att + self,   ss' = ss − self,   n' = n − 1,
+// replaying the exact floating-point expressions Cluster::Remove would
+// apply. Decisions are therefore bit-identical to the legacy
+// detach/score/re-attach loop, but clusters and postings are only mutated
+// when a document actually moves; a document that stays put costs one
+// scalar-cache replay (ReplayStay) and zero index work.
+std::vector<DocId> SweepAssignMoveOnly(const std::vector<DocId>& order,
+                                       const SimilarityContext& ctx,
+                                       AssignmentCriterion criterion,
+                                       ClusterSet* clusters, size_t* moves,
+                                       double* maintenance_seconds) {
+  std::vector<DocId> outliers;
+  std::vector<double> t_scores;
+  size_t num_moves = 0;
+  const FlatRepIndex& index = clusters->flat_index();
+  const size_t k = clusters->num_clusters();
+  for (DocId id : order) {
+    const int previous = clusters->ClusterOf(id);
+    const SimilarityContext::Slot slot = ctx.SlotOf(id);
+
+    // Score all clusters; derive the home cluster's detached statistics
+    // without touching it.
+    double t_attached = 0.0;
+    double n_detached = 0.0;
+    double cr_detached = 0.0;
+    double ss_detached = 0.0;
+    if (previous == kUnassigned) {
+      index.ScoreAll(ctx, slot, &t_scores);
+    } else {
+      index.ScoreAllDetached(ctx, slot, static_cast<size_t>(previous),
+                             &t_scores, &t_attached);
+      const Cluster& home = clusters->cluster(static_cast<size_t>(previous));
+      const double self = ctx.SelfSimAt(slot);
+      n_detached = static_cast<double>(home.size() - 1);
+      // The same expressions (and rounding steps) as Cluster::Remove.
+      cr_detached = home.cr_self() + (-2.0 * t_attached + self);
+      ss_detached = home.ss() - self;
+    }
+
+    int best = kUnassigned;
+    double best_gain = 0.0;
+    for (size_t p = 0; p < k; ++p) {
+      double gain;
+      if (static_cast<int>(p) == previous) {
+        // A home cluster the detachment would empty is an empty cluster:
+        // its gain is 0, never "> 0" (legacy: Remove triggered Clear).
+        if (n_detached < 1.0) continue;
+        gain = criterion == AssignmentCriterion::kGIncrease
+                   ? Cluster::GainInGGivenTWith(t_scores[p], n_detached,
+                                                cr_detached, ss_detached)
+                   : Cluster::GainGivenTWith(t_scores[p], n_detached,
+                                             cr_detached, ss_detached);
+      } else {
+        const Cluster& c = clusters->cluster(p);
+        if (c.empty()) continue;
+        gain = criterion == AssignmentCriterion::kGIncrease
+                   ? c.GainInGGivenT(t_scores[p])
+                   : c.GainGivenT(t_scores[p]);
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = static_cast<int>(p);
+      }
+    }
+    if (best == kUnassigned) {
+      // Empty-cluster reseed, with "empty" evaluated as the legacy sweep
+      // saw it mid-detachment: the home cluster counts as empty when the
+      // document was its only member.
+      for (size_t p = 0; p < k; ++p) {
+        const bool empty = static_cast<int>(p) == previous
+                               ? n_detached == 0.0
+                               : clusters->cluster(p).empty();
+        if (empty) {
+          best = static_cast<int>(p);
+          break;
+        }
+      }
+    }
+
+    if (best == kUnassigned) {
+      if (previous != kUnassigned) {
+        ScopedSeconds maint(maintenance_seconds);
+        clusters->Assign(id, kUnassigned, ctx);
+      }
+      outliers.push_back(id);
+    } else if (best == previous) {
+      ScopedSeconds maint(maintenance_seconds);
+      if (n_detached == 0.0) {
+        // Re-seeding its own emptied cluster: replay the physical
+        // round-trip so Clear() purges accumulated drift exactly as the
+        // legacy path does.
+        clusters->Assign(id, kUnassigned, ctx);
+        clusters->Assign(id, best, ctx);
+      } else {
+        clusters->ReplayStay(id, static_cast<size_t>(best), t_attached,
+                             t_scores[static_cast<size_t>(best)], ctx);
+      }
+    } else {
+      // An actual move: delegate to the legacy mutation path (its internal
+      // dot products equal the scanned cross terms bit-for-bit).
+      ScopedSeconds maint(maintenance_seconds);
+      clusters->Assign(id, best, ctx);
+    }
+    if (best != previous) ++num_moves;
+  }
+  if (moves != nullptr) *moves = num_moves;
+  return outliers;
+}
+
+std::vector<DocId> SweepAssign(const std::vector<DocId>& order,
+                               const SimilarityContext& ctx,
+                               AssignmentCriterion criterion,
+                               ClusterSet* clusters, size_t* moves,
+                               double* maintenance_seconds) {
+  if (clusters->scoring() == ClusterScoring::kSlotted) {
+    return SweepAssignMoveOnly(order, ctx, criterion, clusters, moves,
+                               maintenance_seconds);
+  }
+  return SweepAssignLegacy(order, ctx, criterion, clusters, moves,
+                           maintenance_seconds);
 }
 
 // Populates clusters from fixed representative vectors: each document joins
@@ -104,23 +263,33 @@ std::vector<DocId> SweepAssign(const std::vector<DocId>& order,
 // order — bit-identical to the serial loop for any thread count.
 std::vector<DocId> AssignAgainstFixedRepresentatives(
     const std::vector<DocId>& docs, const std::vector<SparseVector>& reps,
-    const SimilarityContext& ctx, bool use_rep_index, ThreadPool* pool,
+    const SimilarityContext& ctx, ClusterScoring scoring, ThreadPool* pool,
     ClusterSet* clusters) {
   ClusterRepIndex seed_index;
-  if (use_rep_index) {
+  FlatRepIndex flat_seed_index;
+  if (scoring == ClusterScoring::kIndexed) {
     seed_index.Reset(reps.size());
     for (size_t p = 0; p < reps.size(); ++p) seed_index.Add(p, reps[p]);
+  } else if (scoring == ClusterScoring::kSlotted) {
+    flat_seed_index.BuildFromRepresentatives(ctx, reps);
   }
 
   std::vector<int> decisions(docs.size(), kUnassigned);
   const auto decide = [&](size_t begin, size_t end) {
     std::vector<double> scores;
     for (size_t i = begin; i < end; ++i) {
-      const SparseVector& psi = ctx.Psi(docs[i]);
       int best = kUnassigned;
       double best_sim = 0.0;
-      if (use_rep_index) {
-        seed_index.ScoreAll(psi, &scores);
+      if (scoring == ClusterScoring::kSlotted) {
+        flat_seed_index.ScoreAll(ctx, ctx.SlotOf(docs[i]), &scores);
+        for (size_t p = 0; p < reps.size(); ++p) {
+          if (scores[p] > best_sim) {
+            best_sim = scores[p];
+            best = static_cast<int>(p);
+          }
+        }
+      } else if (scoring == ClusterScoring::kIndexed) {
+        seed_index.ScoreAll(ctx.Psi(docs[i]), &scores);
         for (size_t p = 0; p < reps.size(); ++p) {
           if (scores[p] > best_sim) {
             best_sim = scores[p];
@@ -128,6 +297,7 @@ std::vector<DocId> AssignAgainstFixedRepresentatives(
           }
         }
       } else {
+        const SparseVector& psi = ctx.Psi(docs[i]);
         for (size_t p = 0; p < reps.size(); ++p) {
           const double sim = reps[p].Dot(psi);
           if (sim > best_sim) {
@@ -171,15 +341,21 @@ Result<ClusteringResult> RunExtendedKMeans(
 
   NIDC_SPAN("kmeans.run");
   const size_t k = std::min(options.k, docs.size());
-  ClusterSet clusters(k, options.use_rep_index);
+  const ClusterScoring scoring = ScoringOf(options);
+  ClusterSet clusters(k, scoring);
   Rng rng(options.seed);
   ThreadPool pool(ThreadPool::Resolve(options.num_threads));
   std::vector<DocId> outliers;
   obs::MetricsRegistry* metrics = options.metrics;
+  KMeansProfile* profile = options.profile;
+  double* maintenance_seconds =
+      profile == nullptr ? nullptr : &profile->maintenance_seconds;
 
   // --- Initial process ---
   const auto run_initial_process = [&]() -> Status {
     NIDC_SPAN("kmeans.seed");
+    ScopedSeconds seed_timer(profile == nullptr ? nullptr
+                                                : &profile->seed_seconds);
     const SeedMode mode = seeds ? seeds->mode : SeedMode::kRandom;
     switch (mode) {
       case SeedMode::kRandom: {
@@ -210,8 +386,7 @@ Result<ClusteringResult> RunExtendedKMeans(
                                          "clusters than k");
         }
         outliers = AssignAgainstFixedRepresentatives(
-            docs, seeds->representatives, ctx, options.use_rep_index, &pool,
-            &clusters);
+            docs, seeds->representatives, ctx, scoring, &pool, &clusters);
         break;
       }
     }
@@ -237,22 +412,42 @@ Result<ClusteringResult> RunExtendedKMeans(
   double g_old = clusters.G();
   g_history.push_back(g_old);
 
+  static const std::vector<double> kSweepSecondsBuckets = {
+      1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0};
   obs::Histogram* moves_per_sweep =
       metrics == nullptr
           ? nullptr
           : metrics->GetHistogram("kmeans.moves_per_sweep",
                                   {0, 1, 10, 100, 1000, 10000, 100000});
+  obs::Histogram* sweep_seconds_hist =
+      metrics == nullptr ? nullptr
+                         : metrics->GetHistogram("kmeans.sweep_seconds",
+                                                 kSweepSecondsBuckets);
+  obs::Histogram* refresh_seconds_hist =
+      metrics == nullptr ? nullptr
+                         : metrics->GetHistogram("kmeans.refresh_seconds",
+                                                 kSweepSecondsBuckets);
+  const bool time_phases = metrics != nullptr || profile != nullptr;
   std::vector<DocId> order = docs;
   int iterations = 0;
   bool converged = false;
   size_t total_moves = 0;
+  Stopwatch phase_timer;
   while (iterations < options.max_iterations) {
     if (options.shuffle_each_iteration) rng.Shuffle(&order);
     size_t moves = 0;
     {
       NIDC_SPAN("kmeans.sweep");
+      if (time_phases) phase_timer.Restart();
       outliers = SweepAssign(order, ctx, options.criterion, &clusters,
-                             &moves);
+                             &moves, maintenance_seconds);
+      if (time_phases) {
+        const double seconds = phase_timer.ElapsedSeconds();
+        if (sweep_seconds_hist != nullptr) {
+          sweep_seconds_hist->Observe(seconds);
+        }
+        if (profile != nullptr) profile->sweep_seconds += seconds;
+      }
     }
     total_moves += moves;
     if (moves_per_sweep != nullptr) {
@@ -262,7 +457,15 @@ Result<ClusteringResult> RunExtendedKMeans(
     // Step 2: recompute cluster representatives (also clears float drift).
     {
       NIDC_SPAN("kmeans.refresh");
+      if (time_phases) phase_timer.Restart();
       clusters.RefreshAll(ctx);
+      if (time_phases) {
+        const double seconds = phase_timer.ElapsedSeconds();
+        if (refresh_seconds_hist != nullptr) {
+          refresh_seconds_hist->Observe(seconds);
+        }
+        if (profile != nullptr) profile->refresh_seconds += seconds;
+      }
     }
     // Steps 3–4: G_new and the δ test.
     const double g_new = clusters.G();
@@ -294,7 +497,7 @@ Result<ClusteringResult> RunExtendedKMeans(
     metrics->GetCounter("kmeans.outliers_total")->Increment(outliers.size());
     metrics->GetGauge("kmeans.g_initial")->Set(g_history.front());
     metrics->GetGauge("kmeans.g_final")->Set(g_old);
-    if (clusters.rep_index_enabled()) {
+    if (scoring == ClusterScoring::kIndexed) {
       const ClusterRepIndex::Stats& ris = clusters.rep_index().stats();
       metrics->GetCounter("rep_index.tombstones")
           ->Increment(ris.tombstones_created);
@@ -309,6 +512,28 @@ Result<ClusteringResult> RunExtendedKMeans(
           ->Set(static_cast<double>(ris.dead_entries));
       metrics->GetGauge("rep_index.terms")
           ->Set(static_cast<double>(clusters.rep_index().num_terms()));
+    } else if (scoring == ClusterScoring::kSlotted) {
+      // Counters are cumulative over the FlatRepIndex lifetime (one run) —
+      // incrementing by the final values folds them into the registry.
+      const FlatRepIndex::Stats& fis = clusters.flat_index().stats();
+      metrics->GetCounter("rep_index.moves_applied")
+          ->Increment(fis.moves_applied);
+      metrics->GetCounter("rep_index.builds")->Increment(fis.builds);
+      metrics->GetCounter("rep_index.tombstones")
+          ->Increment(fis.tombstones_created);
+      metrics->GetCounter("rep_index.tombstones_revived")
+          ->Increment(fis.tombstones_revived);
+      metrics->GetCounter("rep_index.delta_entries")
+          ->Increment(fis.delta_entries_added);
+      // The flat index never compacts between rebuilds; the key is kept so
+      // dashboards (and nidc_metrics_check) see a stable metric family.
+      metrics->GetCounter("rep_index.compactions")->Increment(0);
+      metrics->GetGauge("rep_index.live_entries")
+          ->Set(static_cast<double>(fis.live_entries));
+      metrics->GetGauge("rep_index.dead_entries")
+          ->Set(static_cast<double>(fis.dead_entries));
+      metrics->GetGauge("rep_index.terms")
+          ->Set(static_cast<double>(ctx.num_local_terms()));
     }
   }
 

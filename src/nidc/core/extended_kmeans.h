@@ -77,11 +77,22 @@ struct ExtendedKMeansOptions {
   /// Seed for initial-cluster selection and shuffling.
   uint64_t seed = 42;
 
-  /// Score gains through the cluster-representative posting index (see
-  /// rep_index.h): one pass over a document's ψ yields cr_sim(C_p, {d})
-  /// for all K clusters at once, instead of K sorted-merge dot products.
+  /// Score gains through a cluster-representative posting index: one pass
+  /// over a document's ψ yields cr_sim(C_p, {d}) for all K clusters at
+  /// once, instead of K sorted-merge dot products.
   /// Off: the original per-cluster merge path (kept as the reference).
   bool use_rep_index = true;
+
+  /// With the posting index enabled, run the slotted move-only sweep: the
+  /// flat CSR index (FlatRepIndex) is scanned with each document's ψ still
+  /// attached, the detached home-cluster statistics are derived via the
+  /// Eq. 25/26 identity (T_detached from the (c⃗−ψ)·ψ scan), and postings
+  /// plus cluster caches are touched only when a document actually moves —
+  /// per-sweep maintenance drops from O(N·|ψ|) to O(moves·|ψ|) with
+  /// bit-identical results. Off: the PR-1 hash-index sweep that physically
+  /// detaches and re-attaches every document (kept as a comparison point).
+  /// Ignored when use_rep_index is false.
+  bool move_only_sweep = true;
 
   /// Concurrency for the read-only scans (ψ-vector construction in
   /// SimilarityContext when driven through the clusterers, and the seeded
@@ -91,12 +102,30 @@ struct ExtendedKMeansOptions {
   size_t num_threads = 0;
 
   /// Telemetry sink for the run (see obs/metrics.h): iteration counts,
-  /// per-sweep moves, outlier counts, seeded-vs-sweep assignment split,
-  /// G endpoints, and rep-index maintenance stats. Null (the default)
-  /// skips all instrumentation — the hot path stays untouched.
+  /// per-sweep moves, sweep/refresh timings, outlier counts,
+  /// seeded-vs-sweep assignment split, G endpoints, and rep-index
+  /// maintenance stats. Null (the default) skips all instrumentation — the
+  /// hot path stays untouched.
   obs::MetricsRegistry* metrics = nullptr;
 
+  /// Optional per-phase wall-clock sink (see KMeansProfile); used by the
+  /// sweep bench to split score vs. index-maintenance vs. refresh time.
+  /// Null (the default) skips the extra clock reads.
+  struct KMeansProfile* profile = nullptr;
+
   Status Validate() const;
+};
+
+/// Accumulated wall-clock totals of one RunExtendedKMeans call, split by
+/// phase. maintenance_seconds is the mutation time *inside* sweeps
+/// (cluster/index updates for moves and stay-replays); sweep_seconds
+/// includes it, so scoring time is sweep_seconds − maintenance_seconds.
+struct KMeansProfile {
+  double seed_seconds = 0.0;
+  double sweep_seconds = 0.0;
+  double maintenance_seconds = 0.0;
+  double refresh_seconds = 0.0;
+  double score_seconds() const { return sweep_seconds - maintenance_seconds; }
 };
 
 /// Seeding payload for the incremental modes.

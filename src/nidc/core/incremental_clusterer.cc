@@ -13,6 +13,14 @@ namespace nidc {
 
 namespace {
 
+// Shared histogram bucket bounds for the per-step phase timings,
+// constructed once instead of on every RecordStepMetrics call.
+const std::vector<double>& SecondsBuckets() {
+  static const std::vector<double> kSecondsBuckets = {1e-4, 1e-3, 1e-2, 0.1,
+                                                      0.5,  1.0,  5.0,  30.0};
+  return kSecondsBuckets;
+}
+
 // Publishes the per-step telemetry shared by the incremental and batch
 // drivers: document churn, phase timings, model gauges (vocabulary size,
 // tdw) and process-wide thread-pool utilization.
@@ -27,8 +35,7 @@ void RecordStepMetrics(obs::MetricsRegistry* metrics,
       ->Set(static_cast<double>(result.num_active));
   metrics->GetGauge("step.expired")
       ->Set(static_cast<double>(result.expired.size()));
-  const std::vector<double> kSecondsBuckets = {1e-4, 1e-3, 1e-2, 0.1,
-                                               0.5,  1.0,  5.0,  30.0};
+  const std::vector<double>& kSecondsBuckets = SecondsBuckets();
   metrics->GetHistogram("step.stats_seconds", kSecondsBuckets)
       ->Observe(result.stats_update_seconds);
   metrics->GetHistogram("step.clustering_seconds", kSecondsBuckets)

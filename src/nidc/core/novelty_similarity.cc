@@ -1,5 +1,7 @@
 #include "nidc/core/novelty_similarity.h"
 
+#include <algorithm>
+
 #include "nidc/util/logging.h"
 #include "nidc/util/thread_pool.h"
 
@@ -17,8 +19,6 @@ SimilarityContext::SimilarityContext(const ForgettingModel& model,
   docs_ = model.active_docs();
   psi_.resize(docs_.size());
   self_sim_.resize(docs_.size());
-  index_.reserve(docs_.size());
-  for (size_t i = 0; i < docs_.size(); ++i) index_.emplace(docs_[i], i);
 
   const auto build = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
@@ -48,26 +48,72 @@ SimilarityContext::SimilarityContext(const ForgettingModel& model,
   } else {
     build(0, docs_.size());
   }
+
+  BuildArena();
+}
+
+void SimilarityContext::BuildArena() {
+  // DocId → slot. DocIds are dense corpus indices, so a flat array with a
+  // sentinel replaces the former hash map.
+  DocId max_doc = 0;
+  for (DocId id : docs_) max_doc = std::max(max_doc, id);
+  slot_of_.assign(docs_.empty() ? 0 : static_cast<size_t>(max_doc) + 1,
+                  kNoSlot);
+  for (size_t i = 0; i < docs_.size(); ++i) {
+    slot_of_[docs_[i]] = static_cast<Slot>(i);
+  }
+
+  TermId max_term = 0;
+  size_t total_entries = 0;
+  for (const SparseVector& psi : psi_) {
+    total_entries += psi.size();
+    for (const auto& e : psi.entries()) max_term = std::max(max_term, e.id);
+  }
+
+  // One pass fills the arena and assigns local term ids in first-appearance
+  // order over slots — deterministic for a given active set.
+  global_to_local_.assign(total_entries == 0
+                              ? 0
+                              : static_cast<size_t>(max_term) + 1,
+                          kNoLocalTerm);
+  row_offsets_.reserve(docs_.size() + 1);
+  row_terms_.reserve(total_entries);
+  row_values_.reserve(total_entries);
+  row_offsets_.push_back(0);
+  for (const SparseVector& psi : psi_) {
+    for (const auto& e : psi.entries()) {
+      uint32_t& local = global_to_local_[e.id];
+      if (local == kNoLocalTerm) {
+        local = static_cast<uint32_t>(local_to_global_.size());
+        local_to_global_.push_back(e.id);
+      }
+      row_terms_.push_back(local);
+      row_values_.push_back(e.value);
+    }
+    row_offsets_.push_back(row_terms_.size());
+  }
 }
 
 double SimilarityContext::Sim(DocId a, DocId b) const {
   return Psi(a).Dot(Psi(b));
 }
 
+SimilarityContext::Slot SimilarityContext::SlotOf(DocId id) const {
+  NIDC_CHECK(Contains(id)) << "SimilarityContext::SlotOf: document " << id
+                           << " is not in the snapshot";
+  return slot_of_[id];
+}
+
 double SimilarityContext::SelfSim(DocId id) const {
-  auto it = index_.find(id);
-  NIDC_CHECK(it != index_.end())
-      << "SimilarityContext::SelfSim: document " << id
-      << " is not in the snapshot";
-  return self_sim_[it->second];
+  NIDC_CHECK(Contains(id)) << "SimilarityContext::SelfSim: document " << id
+                           << " is not in the snapshot";
+  return self_sim_[slot_of_[id]];
 }
 
 const SparseVector& SimilarityContext::Psi(DocId id) const {
-  auto it = index_.find(id);
-  NIDC_CHECK(it != index_.end())
-      << "SimilarityContext::Psi: document " << id
-      << " is not in the snapshot";
-  return psi_[it->second];
+  NIDC_CHECK(Contains(id)) << "SimilarityContext::Psi: document " << id
+                           << " is not in the snapshot";
+  return psi_[slot_of_[id]];
 }
 
 double NoveltySimilarityReference(const ForgettingModel& model, DocId a,

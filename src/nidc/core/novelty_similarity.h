@@ -10,11 +10,19 @@
 //
 // ψ depends on Pr(d_i) and Pr(t_k), which are fixed during one clustering
 // pass; a SimilarityContext snapshots them for the active document set.
+//
+// Layout: besides the per-document SparseVector API, the snapshot stores
+// every ψ entry in one contiguous CSR arena (row offsets + flat term/value
+// arrays). Documents get a dense *slot* (their index in docs()) reachable
+// from a DocId through a flat array rather than a hash probe, and terms get
+// a dense *local* id covering only the vocabulary that actually appears in
+// some ψ. The clustering inner loop (extended_kmeans.cc, rep_index.h) runs
+// entirely on these array indices.
 
 #ifndef NIDC_CORE_NOVELTY_SIMILARITY_H_
 #define NIDC_CORE_NOVELTY_SIMILARITY_H_
 
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
 #include "nidc/forgetting/forgetting_model.h"
@@ -24,11 +32,30 @@ namespace nidc {
 /// Snapshot of ψ vectors (and self-similarities) for one clustering pass.
 class SimilarityContext {
  public:
+  /// Dense document index within the snapshot (== position in docs()).
+  using Slot = uint32_t;
+  static constexpr Slot kNoSlot = UINT32_MAX;
+  /// Sentinel for terms outside the snapshot's active vocabulary.
+  static constexpr uint32_t kNoLocalTerm = UINT32_MAX;
+
+  /// One document's ψ as a view into the CSR arena. `terms` holds *local*
+  /// dense term ids; the underlying entries are in ascending global TermId
+  /// order (the SparseVector entry order), so scans accumulate in the same
+  /// order as a sorted-merge dot product.
+  struct Row {
+    const uint32_t* terms = nullptr;
+    const double* values = nullptr;
+    size_t size = 0;
+  };
+
   /// Builds ψ_i for every active document of `model` at its current clock.
   /// The per-document constructions are independent, so with
   /// `num_threads > 1` they are spread over a thread pool; each thread
   /// writes only its own slots, making the result bit-identical to the
-  /// serial build for any thread count (0 = hardware concurrency).
+  /// serial build for any thread count (0 = hardware concurrency). The CSR
+  /// arena and term remap are derived serially afterwards (one pass over
+  /// the entries) and are deterministic: local term ids are assigned in
+  /// first-appearance order over slots.
   explicit SimilarityContext(const ForgettingModel& model,
                              size_t num_threads = 1);
 
@@ -43,17 +70,53 @@ class SimilarityContext {
   /// DocId — a bad seed must fail loudly, not read stale memory.
   const SparseVector& Psi(DocId id) const;
 
-  bool Contains(DocId id) const { return index_.contains(id); }
+  bool Contains(DocId id) const {
+    return id < slot_of_.size() && slot_of_[id] != kNoSlot;
+  }
+
+  /// Dense slot of a document. Fatal (in every build type) on an unknown
+  /// DocId, like Psi.
+  Slot SlotOf(DocId id) const;
+
+  /// Slot-indexed accessors — plain array loads, no hashing.
+  DocId DocAt(Slot slot) const { return docs_[slot]; }
+  double SelfSimAt(Slot slot) const { return self_sim_[slot]; }
+  const SparseVector& PsiAt(Slot slot) const { return psi_[slot]; }
+  Row RowAt(Slot slot) const {
+    const size_t begin = row_offsets_[slot];
+    return {row_terms_.data() + begin, row_values_.data() + begin,
+            row_offsets_[slot + 1] - begin};
+  }
+
+  /// Size of the local (active-vocabulary) term space; every Row term id is
+  /// < this.
+  size_t num_local_terms() const { return local_to_global_.size(); }
+  /// Local id of a global term, or kNoLocalTerm when it appears in no ψ.
+  uint32_t LocalTerm(TermId term) const {
+    return term < global_to_local_.size() ? global_to_local_[term]
+                                          : kNoLocalTerm;
+  }
+  /// Global TermId of a local id.
+  TermId GlobalTerm(uint32_t local) const { return local_to_global_[local]; }
 
   /// Documents in the snapshot, in the model's active order.
   const std::vector<DocId>& docs() const { return docs_; }
   size_t size() const { return docs_.size(); }
 
  private:
+  void BuildArena();
+
   std::vector<DocId> docs_;
-  std::unordered_map<DocId, size_t> index_;
+  std::vector<Slot> slot_of_;  // DocId → slot; kNoSlot for inactive ids
   std::vector<SparseVector> psi_;
   std::vector<double> self_sim_;
+  // CSR arena over the ψ entries, with globally-sorted terms remapped to a
+  // dense local id space.
+  std::vector<size_t> row_offsets_;    // size() + 1 entries
+  std::vector<uint32_t> row_terms_;    // local term ids
+  std::vector<double> row_values_;
+  std::vector<uint32_t> global_to_local_;
+  std::vector<TermId> local_to_global_;
 };
 
 /// Reference (unfactored) implementation of Eq. 16, used by tests to verify

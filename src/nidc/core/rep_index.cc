@@ -111,4 +111,242 @@ std::vector<std::pair<size_t, double>> ClusterRepIndex::PostingsOf(
   return out;
 }
 
+void FlatRepIndex::PrepareBuild(const SimilarityContext& ctx) {
+  const size_t terms = ctx.num_local_terms();
+  counts_.assign(terms, 0);
+  mark_.assign(terms, 0);
+  has_delta_.assign(terms, 0);
+  delta_.clear();
+  stats_.dead_entries = 0;
+  ++stats_.builds;
+  built_ = true;
+}
+
+void FlatRepIndex::BuildFromClusters(const SimilarityContext& ctx,
+                                     const std::vector<Cluster>& clusters) {
+  k_ = clusters.size();
+  PrepareBuild(ctx);
+
+  // Pass 1: count distinct (term, cluster) pairs per term. Clusters are
+  // visited in ascending order, so a per-term marker of the last touching
+  // cluster suffices to dedupe.
+  for (size_t p = 0; p < k_; ++p) {
+    const uint32_t tag = static_cast<uint32_t>(p) + 1;
+    for (DocId id : clusters[p].members()) {
+      const SimilarityContext::Row row = ctx.RowAt(ctx.SlotOf(id));
+      for (size_t i = 0; i < row.size; ++i) {
+        const uint32_t t = row.terms[i];
+        if (mark_[t] != tag) {
+          mark_[t] = tag;
+          ++counts_[t];
+        }
+      }
+    }
+  }
+
+  // Prefix-sum the counts into offsets; counts_ then becomes the per-term
+  // fill cursor.
+  const size_t terms = counts_.size();
+  offsets_.assign(terms + 1, 0);
+  for (size_t t = 0; t < terms; ++t) offsets_[t + 1] = offsets_[t] + counts_[t];
+  entries_.assign(offsets_[terms], Entry{});
+  for (size_t t = 0; t < terms; ++t) counts_[t] = offsets_[t];
+
+  // Pass 2: accumulate member ψ values per entry, in member order — the
+  // same addition sequence Cluster::Refresh replays into the
+  // representative, so weights match it bit-for-bit. Ascending cluster
+  // order means an existing entry for cluster p is always the last one
+  // filled for its term.
+  for (size_t p = 0; p < k_; ++p) {
+    const uint32_t cluster = static_cast<uint32_t>(p);
+    for (DocId id : clusters[p].members()) {
+      const SimilarityContext::Row row = ctx.RowAt(ctx.SlotOf(id));
+      for (size_t i = 0; i < row.size; ++i) {
+        const uint32_t t = row.terms[i];
+        const size_t cursor = counts_[t];
+        if (cursor > offsets_[t] && entries_[cursor - 1].cluster == cluster &&
+            entries_[cursor - 1].refs > 0) {
+          entries_[cursor - 1].refs += 1;
+          entries_[cursor - 1].weight += row.values[i];
+        } else {
+          entries_[cursor] = {cluster, 1, row.values[i]};
+          counts_[t] = cursor + 1;
+        }
+      }
+    }
+  }
+  stats_.live_entries = entries_.size();
+}
+
+void FlatRepIndex::BuildFromRepresentatives(
+    const SimilarityContext& ctx, const std::vector<SparseVector>& reps) {
+  k_ = reps.size();
+  PrepareBuild(ctx);
+
+  const size_t terms = counts_.size();
+  for (size_t p = 0; p < k_; ++p) {
+    for (const auto& e : reps[p].entries()) {
+      if (e.value == 0.0) continue;
+      const uint32_t t = ctx.LocalTerm(e.id);
+      if (t == SimilarityContext::kNoLocalTerm) continue;
+      ++counts_[t];
+    }
+  }
+  offsets_.assign(terms + 1, 0);
+  for (size_t t = 0; t < terms; ++t) offsets_[t + 1] = offsets_[t] + counts_[t];
+  entries_.assign(offsets_[terms], Entry{});
+  for (size_t t = 0; t < terms; ++t) counts_[t] = offsets_[t];
+  for (size_t p = 0; p < k_; ++p) {
+    for (const auto& e : reps[p].entries()) {
+      if (e.value == 0.0) continue;
+      const uint32_t t = ctx.LocalTerm(e.id);
+      if (t == SimilarityContext::kNoLocalTerm) continue;
+      entries_[counts_[t]++] = {static_cast<uint32_t>(p), 1, e.value};
+    }
+  }
+  stats_.live_entries = entries_.size();
+}
+
+void FlatRepIndex::ScoreAll(const SimilarityContext& ctx,
+                            SimilarityContext::Slot slot,
+                            std::vector<double>* scores) const {
+  NIDC_CHECK(built_) << "FlatRepIndex scored before a build";
+  scores->assign(k_, 0.0);
+  const SimilarityContext::Row row = ctx.RowAt(slot);
+  for (size_t i = 0; i < row.size; ++i) {
+    const uint32_t t = row.terms[i];
+    const double v = row.values[i];
+    for (size_t e = offsets_[t]; e < offsets_[t + 1]; ++e) {
+      (*scores)[entries_[e].cluster] += entries_[e].weight * v;
+    }
+    if (has_delta_[t]) {
+      for (const Entry& entry : delta_.at(t)) {
+        (*scores)[entry.cluster] += entry.weight * v;
+      }
+    }
+  }
+}
+
+void FlatRepIndex::ScoreAllDetached(const SimilarityContext& ctx,
+                                    SimilarityContext::Slot slot, size_t home,
+                                    std::vector<double>* scores,
+                                    double* home_attached) const {
+  NIDC_CHECK(built_) << "FlatRepIndex scored before a build";
+  scores->assign(k_, 0.0);
+  const uint32_t home_cluster = static_cast<uint32_t>(home);
+  double attached = 0.0;
+  const SimilarityContext::Row row = ctx.RowAt(slot);
+  for (size_t i = 0; i < row.size; ++i) {
+    const uint32_t t = row.terms[i];
+    const double v = row.values[i];
+    for (size_t e = offsets_[t]; e < offsets_[t + 1]; ++e) {
+      const Entry& entry = entries_[e];
+      if (entry.cluster == home_cluster) {
+        // Detached home score: the posting weight the physical remove
+        // would leave is fl(w − v); multiplying by v afterwards replays
+        // the removed-then-rescored arithmetic exactly.
+        attached += entry.weight * v;
+        (*scores)[home] += (entry.weight - v) * v;
+      } else {
+        (*scores)[entry.cluster] += entry.weight * v;
+      }
+    }
+    if (has_delta_[t]) {
+      for (const Entry& entry : delta_.at(t)) {
+        if (entry.cluster == home_cluster) {
+          attached += entry.weight * v;
+          (*scores)[home] += (entry.weight - v) * v;
+        } else {
+          (*scores)[entry.cluster] += entry.weight * v;
+        }
+      }
+    }
+  }
+  *home_attached = attached;
+}
+
+FlatRepIndex::Entry* FlatRepIndex::FindEntry(uint32_t local_term, size_t p) {
+  const uint32_t cluster = static_cast<uint32_t>(p);
+  for (size_t e = offsets_[local_term]; e < offsets_[local_term + 1]; ++e) {
+    if (entries_[e].cluster == cluster) return &entries_[e];
+  }
+  if (has_delta_[local_term]) {
+    for (Entry& entry : delta_[local_term]) {
+      if (entry.cluster == cluster) return &entry;
+    }
+  }
+  return nullptr;
+}
+
+void FlatRepIndex::ApplyRemove(const SimilarityContext& ctx,
+                               SimilarityContext::Slot slot, size_t p) {
+  if (!built_) return;
+  NIDC_CHECK(p < k_) << "cluster " << p << " out of range (K = " << k_ << ")";
+  ++stats_.moves_applied;
+  const SimilarityContext::Row row = ctx.RowAt(slot);
+  for (size_t i = 0; i < row.size; ++i) {
+    if (row.values[i] == 0.0) continue;
+    Entry* entry = FindEntry(row.terms[i], p);
+    NIDC_CHECK(entry != nullptr && entry->refs > 0)
+        << "removing term " << ctx.GlobalTerm(row.terms[i])
+        << " never added to cluster " << p;
+    entry->weight -= row.values[i];
+    if (--entry->refs == 0) {
+      // Last contributor gone: snap the residual to exact zero (the
+      // posting-side analogue of Cluster::Clear) and tombstone.
+      entry->weight = 0.0;
+      --stats_.live_entries;
+      ++stats_.dead_entries;
+      ++stats_.tombstones_created;
+    }
+  }
+}
+
+void FlatRepIndex::ApplyAdd(const SimilarityContext& ctx,
+                            SimilarityContext::Slot slot, size_t p) {
+  if (!built_) return;
+  NIDC_CHECK(p < k_) << "cluster " << p << " out of range (K = " << k_ << ")";
+  ++stats_.moves_applied;
+  const SimilarityContext::Row row = ctx.RowAt(slot);
+  for (size_t i = 0; i < row.size; ++i) {
+    if (row.values[i] == 0.0) continue;
+    const uint32_t t = row.terms[i];
+    Entry* entry = FindEntry(t, p);
+    if (entry == nullptr) {
+      // First (term, cluster) pairing since the last rebuild — the base
+      // CSR cannot grow in place, so the pair lives in the overlay until
+      // the next RefreshAll folds it into the base.
+      has_delta_[t] = 1;
+      delta_[t].push_back({static_cast<uint32_t>(p), 1, row.values[i]});
+      ++stats_.delta_entries_added;
+      ++stats_.live_entries;
+      continue;
+    }
+    if (entry->refs == 0) {
+      --stats_.dead_entries;
+      ++stats_.live_entries;
+      ++stats_.tombstones_revived;
+    }
+    ++entry->refs;
+    entry->weight += row.values[i];
+  }
+}
+
+std::vector<std::pair<size_t, double>> FlatRepIndex::PostingsOf(
+    const SimilarityContext& ctx, TermId term) const {
+  std::vector<std::pair<size_t, double>> out;
+  const uint32_t t = ctx.LocalTerm(term);
+  if (!built_ || t == SimilarityContext::kNoLocalTerm) return out;
+  for (size_t e = offsets_[t]; e < offsets_[t + 1]; ++e) {
+    if (entries_[e].refs > 0) out.emplace_back(entries_[e].cluster,
+                                               entries_[e].weight);
+  }
+  if (has_delta_[t]) {
+    for (const Entry& entry : delta_.at(t)) {
+      if (entry.refs > 0) out.emplace_back(entry.cluster, entry.weight);
+    }
+  }
+  return out;
+}
+
 }  // namespace nidc

@@ -29,6 +29,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "nidc/core/cluster.h"
+#include "nidc/core/novelty_similarity.h"
 #include "nidc/text/sparse_vector.h"
 
 namespace nidc {
@@ -96,6 +98,118 @@ class ClusterRepIndex {
 
   std::unordered_map<TermId, PostingList> postings_;
   size_t k_ = 0;
+  Stats stats_;
+};
+
+/// CSR posting index over the K cluster representatives, addressed by the
+/// SimilarityContext's dense *local* term ids: one flat entry array plus a
+/// per-term offset table, rebuilt in one pass at every RefreshAll. Scoring a
+/// document is then a pure sequential scan over its CSR row — no hashing
+/// anywhere on the path.
+///
+/// Between rebuilds the index is maintained *move-only*: the sweep scores
+/// documents with their ψ still attached (ScoreAllDetached supplies the
+/// detached home cross term algebraically), so postings change only when a
+/// document actually moves. A move updates base entries in place (same
+/// refs/zero-snap tombstone semantics as ClusterRepIndex); the rare
+/// (term, cluster) pairs that first appear mid-sweep go to a small overlay
+/// keyed by local term id, disjoint from the base entries.
+///
+/// Weight maintenance replays the same per-term additions, in the same
+/// order, as Cluster::Refresh / Cluster::Add / Cluster::Remove apply to the
+/// representatives — so scores match the merge path bit-for-bit (except
+/// zero-snapped tombstone residuals, as with ClusterRepIndex).
+class FlatRepIndex {
+ public:
+  /// Cumulative counters survive rebuilds (like ClusterRepIndex::Stats);
+  /// live/dead/base entries reflect the current postings.
+  struct Stats {
+    uint64_t builds = 0;              // full CSR rebuilds
+    uint64_t moves_applied = 0;       // ApplyAdd/ApplyRemove sides applied
+    uint64_t tombstones_created = 0;  // entries whose refs dropped to 0
+    uint64_t tombstones_revived = 0;  // tombstones re-added before a rebuild
+    uint64_t delta_entries_added = 0;  // overlay entries ever created
+    size_t live_entries = 0;  // base + overlay entries with refs > 0
+    size_t dead_entries = 0;  // tombstones (cleared by the next rebuild)
+  };
+  const Stats& stats() const { return stats_; }
+
+  size_t num_clusters() const { return k_; }
+  bool built() const { return built_; }
+
+  /// Rebuilds the CSR postings from the cluster memberships, accumulating
+  /// member ψ values per (term, cluster) in member order — the exact
+  /// addition order Cluster::Refresh uses for the representatives. Clears
+  /// the overlay and all tombstones. One pass over the context's CSR rows
+  /// of the members.
+  void BuildFromClusters(const SimilarityContext& ctx,
+                         const std::vector<Cluster>& clusters);
+
+  /// Rebuilds from fixed representative vectors (seeded assignment): each
+  /// term of rep[p] becomes one entry with refs = 1. Terms outside the
+  /// context's active vocabulary can never match a ψ and are skipped.
+  void BuildFromRepresentatives(const SimilarityContext& ctx,
+                                const std::vector<SparseVector>& reps);
+
+  /// Document-at-a-time scoring: fills scores[p] = c⃗_p · ψ for every
+  /// cluster in one sequential scan over the document's CSR row.
+  void ScoreAll(const SimilarityContext& ctx, SimilarityContext::Slot slot,
+                std::vector<double>* scores) const;
+
+  /// ScoreAll with the document's home cluster evaluated *as if detached*:
+  /// scores[home] accumulates (w − ψ_t)·ψ_t per shared term — bit-identical
+  /// to physically removing ψ and rescoring — while *home_attached receives
+  /// the attached cross term Σ w·ψ_t (the dot product Cluster::Remove
+  /// would compute), so the caller can derive the detached cluster
+  /// statistics without mutating anything.
+  void ScoreAllDetached(const SimilarityContext& ctx,
+                        SimilarityContext::Slot slot, size_t home,
+                        std::vector<double>* scores,
+                        double* home_attached) const;
+
+  /// Applies the posting side of an actual document move: weight -= ψ_t on
+  /// every term (zero-snap tombstone when the last contributor leaves).
+  /// No-ops before the first build — seeding assigns are followed by a
+  /// rebuild, so maintaining postings for them would be wasted work.
+  void ApplyRemove(const SimilarityContext& ctx,
+                   SimilarityContext::Slot slot, size_t p);
+
+  /// The add side of a move: weight += ψ_t, reviving tombstones or
+  /// appending overlay entries for first-seen (term, cluster) pairs.
+  /// No-ops before the first build (see ApplyRemove).
+  void ApplyAdd(const SimilarityContext& ctx, SimilarityContext::Slot slot,
+                size_t p);
+
+  /// Live (cluster, weight) postings of one *global* term, for tests; base
+  /// entries first, then overlay entries.
+  std::vector<std::pair<size_t, double>> PostingsOf(
+      const SimilarityContext& ctx, TermId term) const;
+
+ private:
+  // One cluster's accumulated weight for one term; refs == 0 marks a
+  // tombstone with weight exactly 0.0, skipped only logically (base
+  // entries are never physically dropped between rebuilds).
+  struct Entry {
+    uint32_t cluster = 0;
+    uint32_t refs = 0;
+    double weight = 0.0;
+  };
+
+  Entry* FindEntry(uint32_t local_term, size_t p);
+  void PrepareBuild(const SimilarityContext& ctx);
+
+  std::vector<size_t> offsets_;  // per local term, into entries_
+  std::vector<Entry> entries_;   // base CSR postings
+  // Overlay for (term, cluster) pairs introduced by mid-sweep moves;
+  // has_delta_ lets the scan skip the hash probe for untouched terms.
+  std::vector<uint8_t> has_delta_;
+  std::unordered_map<uint32_t, std::vector<Entry>> delta_;
+  // Build scratch, reused across rebuilds: per-term entry counts / fill
+  // cursors and a last-cluster marker for distinct-pair counting.
+  std::vector<size_t> counts_;
+  std::vector<uint32_t> mark_;
+  size_t k_ = 0;
+  bool built_ = false;
   Stats stats_;
 };
 

@@ -1,6 +1,5 @@
 #include "nidc/forgetting/document_weights.h"
 
-#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -15,50 +14,62 @@ void DocumentWeights::AdvanceTo(DayTime tau) {
   if (tau == now_) return;
   // Eq. 27: dw|τ+Δτ = λ^Δτ · dw|τ ; Eq. 28's decay half for tdw.
   const double decay = std::pow(lambda_, tau - now_);
-  for (auto& [id, weight] : weights_) weight *= decay;
+  for (double& weight : dw_) weight *= decay;
   tdw_ *= decay;
   now_ = tau;
 }
 
 void DocumentWeights::Add(DocId id, DayTime acquisition_time) {
-  assert(!weights_.contains(id));
+  assert(!pos_.contains(id));
   assert(acquisition_time <= now_);
   // Eq. 1 at the current clock; exactly 1 when T_i == now.
   const double weight = std::pow(lambda_, now_ - acquisition_time);
-  weights_.emplace(id, weight);
+  pos_.emplace(id, active_.size());
   active_.push_back(id);
+  dw_.push_back(weight);
   tdw_ += weight;  // Eq. 28's "+ m'" generalized to back-dated arrivals.
 }
 
 void DocumentWeights::Remove(DocId id) {
-  auto it = weights_.find(id);
-  assert(it != weights_.end());
-  tdw_ -= it->second;
-  weights_.erase(it);
-  active_.erase(std::find(active_.begin(), active_.end(), id));
+  auto it = pos_.find(id);
+  assert(it != pos_.end());
+  const size_t pos = it->second;
+  tdw_ -= dw_[pos];
+  pos_.erase(it);
+  const size_t last = active_.size() - 1;
+  if (pos != last) {
+    active_[pos] = active_[last];
+    dw_[pos] = dw_[last];
+    pos_[active_[pos]] = pos;
+  }
+  active_.pop_back();
+  dw_.pop_back();
 }
 
 std::vector<DocId> DocumentWeights::RemoveBelow(double epsilon) {
   std::vector<DocId> removed;
-  std::vector<DocId> kept;
-  kept.reserve(active_.size());
-  for (DocId id : active_) {
-    auto it = weights_.find(id);
-    if (it->second < epsilon) {
-      tdw_ -= it->second;
-      weights_.erase(it);
-      removed.push_back(id);
+  size_t kept = 0;
+  for (size_t i = 0; i < active_.size(); ++i) {
+    if (dw_[i] < epsilon) {
+      tdw_ -= dw_[i];
+      pos_.erase(active_[i]);
+      removed.push_back(active_[i]);
     } else {
-      kept.push_back(id);
+      active_[kept] = active_[i];
+      dw_[kept] = dw_[i];
+      pos_[active_[kept]] = kept;
+      ++kept;
     }
   }
-  active_ = std::move(kept);
+  active_.resize(kept);
+  dw_.resize(kept);
   return removed;
 }
 
 void DocumentWeights::Reset(DayTime tau) {
-  weights_.clear();
   active_.clear();
+  dw_.clear();
+  pos_.clear();
   tdw_ = 0.0;
   now_ = tau;
 }
@@ -66,8 +77,8 @@ void DocumentWeights::Reset(DayTime tau) {
 std::vector<std::pair<DocId, double>> DocumentWeights::ExactWeights() const {
   std::vector<std::pair<DocId, double>> out;
   out.reserve(active_.size());
-  for (DocId id : active_) {
-    out.emplace_back(id, weights_.at(id));
+  for (size_t i = 0; i < active_.size(); ++i) {
+    out.emplace_back(active_[i], dw_[i]);
   }
   return out;
 }
@@ -80,7 +91,7 @@ Status DocumentWeights::RestoreExact(
   }
   Reset(now);
   for (const auto& [id, weight] : weights) {
-    if (weights_.contains(id)) {
+    if (pos_.contains(id)) {
       return Status::InvalidArgument("duplicate document " +
                                      std::to_string(id) + " in weights");
     }
@@ -88,16 +99,17 @@ Status DocumentWeights::RestoreExact(
       return Status::InvalidArgument("invalid weight for document " +
                                      std::to_string(id));
     }
-    weights_.emplace(id, weight);
+    pos_.emplace(id, active_.size());
     active_.push_back(id);
+    dw_.push_back(weight);
   }
   tdw_ = tdw;
   return Status::OK();
 }
 
 double DocumentWeights::Weight(DocId id) const {
-  auto it = weights_.find(id);
-  return it == weights_.end() ? 0.0 : it->second;
+  auto it = pos_.find(id);
+  return it == pos_.end() ? 0.0 : dw_[it->second];
 }
 
 }  // namespace nidc

@@ -28,7 +28,11 @@ class DocumentWeights {
   /// initial weight is λ^(now - T). Must not already be present.
   void Add(DocId id, DayTime acquisition_time);
 
-  /// Unregisters a document, subtracting its weight from tdw.
+  /// Unregisters a document, subtracting its weight from tdw. O(1): the
+  /// active list is swap-and-popped via a position map, so the order of
+  /// active_docs()/ExactWeights() after a single Remove is *not* insertion
+  /// order (production expiry goes through the order-preserving
+  /// RemoveBelow; this entry point only serves tests and tooling).
   void Remove(DocId id);
 
   /// Removes every document with weight < epsilon; returns removed ids.
@@ -50,12 +54,13 @@ class DocumentWeights {
                       const std::vector<std::pair<DocId, double>>& weights);
 
   double Weight(DocId id) const;
-  bool Contains(DocId id) const { return weights_.contains(id); }
+  bool Contains(DocId id) const { return pos_.contains(id); }
   double TotalWeight() const { return tdw_; }
   DayTime now() const { return now_; }
   size_t size() const { return active_.size(); }
 
-  /// Active document ids in insertion (chronological) order.
+  /// Active document ids in insertion (chronological) order — except after
+  /// a single-document Remove, which swap-and-pops (see Remove).
   const std::vector<DocId>& active_docs() const { return active_; }
 
   double lambda() const { return lambda_; }
@@ -64,8 +69,11 @@ class DocumentWeights {
   double lambda_;
   DayTime now_ = 0.0;
   double tdw_ = 0.0;
-  std::unordered_map<DocId, double> weights_;
-  std::vector<DocId> active_;  // insertion order, exact
+  // Weights live in a vector parallel to active_ (dense iteration for the
+  // per-advance decay); pos_ maps an id to its index in both.
+  std::vector<DocId> active_;
+  std::vector<double> dw_;
+  std::unordered_map<DocId, size_t> pos_;
 };
 
 }  // namespace nidc

@@ -250,6 +250,222 @@ TEST_F(RepIndexEquivalenceTest, IndexedGainsMatchMergeGains) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// FlatRepIndex: the CSR posting index behind slotted move-only sweeps.
+// ---------------------------------------------------------------------------
+
+class FlatRepIndexTest : public RepIndexEquivalenceTest {
+ protected:
+  // Builds a merge-scoring ClusterSet with the same memberships as the
+  // round-robin assignment used by the tests, assigned in the same order —
+  // its representatives carry bit-identical coefficients to the ones a
+  // slotted set's CSR rebuild accumulates.
+  ClusterSet MakeMergeTwin(size_t k) const {
+    ClusterSet twin(k, ClusterScoring::kMerge);
+    for (size_t i = 0; i < docs_.size(); ++i) {
+      twin.Assign(docs_[i], static_cast<int>(i % k), *ctx_);
+    }
+    return twin;
+  }
+};
+
+TEST_F(FlatRepIndexTest, BuildFromClustersMatchesRepresentativeDots) {
+  const size_t k = 5;
+  ClusterSet set(k, ClusterScoring::kSlotted);
+  for (size_t i = 0; i < docs_.size(); ++i) {
+    set.Assign(docs_[i], static_cast<int>(i % k), *ctx_);
+  }
+  set.RefreshAll(*ctx_);
+  const FlatRepIndex& index = set.flat_index();
+  ASSERT_TRUE(index.built());
+  EXPECT_EQ(index.stats().builds, 1u);
+  std::vector<double> scores;
+  for (DocId id : docs_) {
+    index.ScoreAll(*ctx_, ctx_->SlotOf(id), &scores);
+    ASSERT_EQ(scores.size(), k);
+    const SparseVector& psi = ctx_->Psi(id);
+    for (size_t p = 0; p < k; ++p) {
+      // Bit-identical, not merely close: the CSR build accumulates weights
+      // in member order and the scan in ascending term order — the exact
+      // float operations of representative().Dot(psi).
+      EXPECT_EQ(scores[p], set.cluster(p).representative().Dot(psi))
+          << "doc " << id << " cluster " << p;
+    }
+  }
+}
+
+TEST_F(FlatRepIndexTest, ScoreAllDetachedMatchesPhysicalRemoval) {
+  const size_t k = 5;
+  ClusterSet set(k, ClusterScoring::kSlotted);
+  for (size_t i = 0; i < docs_.size(); ++i) {
+    set.Assign(docs_[i], static_cast<int>(i % k), *ctx_);
+  }
+  set.RefreshAll(*ctx_);
+  std::vector<double> scores;
+  for (DocId id : docs_) {
+    const size_t home = static_cast<size_t>(set.ClusterOf(id));
+    double attached = 0.0;
+    set.flat_index().ScoreAllDetached(*ctx_, ctx_->SlotOf(id), home, &scores,
+                                      &attached);
+    // A fresh merge twin per document: physically detaching and re-attaching
+    // in a shared twin would perturb its coefficients by a rounding step and
+    // break the bit-for-bit comparison for later documents.
+    ClusterSet twin = MakeMergeTwin(k);
+    const SparseVector& psi = ctx_->Psi(id);
+    EXPECT_EQ(attached, twin.cluster(home).representative().Dot(psi))
+        << "doc " << id;
+    twin.Assign(id, kUnassigned, *ctx_);
+    for (size_t p = 0; p < k; ++p) {
+      EXPECT_EQ(scores[p], twin.cluster(p).representative().Dot(psi))
+          << "doc " << id << " cluster " << p;
+    }
+  }
+}
+
+TEST_F(FlatRepIndexTest, MoveMaintenanceTracksRepresentatives) {
+  const size_t k = 5;
+  ClusterSet set(k, ClusterScoring::kSlotted);
+  for (size_t i = 0; i < docs_.size(); ++i) {
+    set.Assign(docs_[i], static_cast<int>(i % k), *ctx_);
+  }
+  set.RefreshAll(*ctx_);
+  Rng rng(1234);
+  std::vector<double> scores;
+  for (int move = 0; move < 200; ++move) {
+    const DocId id = docs_[rng.NextBounded(docs_.size())];
+    const int target = rng.NextBounded(8) == 0
+                           ? kUnassigned
+                           : static_cast<int>(rng.NextBounded(k));
+    set.Assign(id, target, *ctx_);
+    if (move % 25 != 0) continue;
+    for (DocId probe : docs_) {
+      set.flat_index().ScoreAll(*ctx_, ctx_->SlotOf(probe), &scores);
+      const SparseVector& psi = ctx_->Psi(probe);
+      for (size_t p = 0; p < k; ++p) {
+        // 1e-12, not bit-exact: zero-snapped tombstones intentionally clear
+        // float residuals the merge representatives keep.
+        EXPECT_NEAR(scores[p], set.cluster(p).representative().Dot(psi),
+                    1e-12)
+            << "probe " << probe << " cluster " << p;
+      }
+    }
+  }
+  EXPECT_GT(set.flat_index().stats().moves_applied, 0u);
+  // A rebuild clears overlay and tombstones and restores bit-identity.
+  set.RefreshAll(*ctx_);
+  EXPECT_EQ(set.flat_index().stats().dead_entries, 0u);
+  for (DocId probe : docs_) {
+    set.flat_index().ScoreAll(*ctx_, ctx_->SlotOf(probe), &scores);
+    const SparseVector& psi = ctx_->Psi(probe);
+    for (size_t p = 0; p < k; ++p) {
+      EXPECT_EQ(scores[p], set.cluster(p).representative().Dot(psi));
+    }
+  }
+}
+
+TEST_F(FlatRepIndexTest, ApplyIsANoOpBeforeTheFirstBuild) {
+  ClusterSet set(3, ClusterScoring::kSlotted);
+  EXPECT_FALSE(set.flat_index().built());
+  for (size_t i = 0; i < docs_.size(); ++i) {
+    set.Assign(docs_[i], static_cast<int>(i % 3), *ctx_);
+  }
+  // Seeding-style assigns before the first RefreshAll maintain nothing.
+  EXPECT_EQ(set.flat_index().stats().moves_applied, 0u);
+  EXPECT_EQ(set.flat_index().stats().live_entries, 0u);
+  set.RefreshAll(*ctx_);
+  EXPECT_TRUE(set.flat_index().built());
+  EXPECT_GT(set.flat_index().stats().live_entries, 0u);
+}
+
+TEST_F(FlatRepIndexTest, BuildFromRepresentativesSkipsOutOfVocabularyTerms) {
+  std::vector<SparseVector> reps(2);
+  reps[0] = ctx_->Psi(docs_[0]);
+  // A degenerate seed representative mentioning a term no active document
+  // contains: it can never match a ψ, so the build drops it.
+  std::vector<SparseVector::Entry> alien = reps[0].entries();
+  alien.push_back({9999999, 42.0});
+  reps[1] = SparseVector::FromEntries(std::move(alien));
+  FlatRepIndex index;
+  index.BuildFromRepresentatives(*ctx_, reps);
+  ASSERT_TRUE(index.built());
+  std::vector<double> scores;
+  for (DocId id : docs_) {
+    index.ScoreAll(*ctx_, ctx_->SlotOf(id), &scores);
+    const SparseVector& psi = ctx_->Psi(id);
+    ASSERT_EQ(scores.size(), 2u);
+    EXPECT_EQ(scores[0], reps[0].Dot(psi)) << "doc " << id;
+    EXPECT_EQ(scores[1], reps[1].Dot(psi)) << "doc " << id;
+  }
+}
+
+// Tiny two-document corpus with disjoint vocabularies: every structural
+// transition of the flat index (tombstone, overlay entry, revive, rebuild)
+// is observable term by term.
+class FlatRepIndexLifecycleTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_.AddText("alpha bravo", 0.25, 0);
+    corpus_.AddText("charlie delta", 0.5, 1);
+    ForgettingParams params;
+    params.half_life_days = 7.0;
+    params.life_span_days = 365.0;
+    model_ = std::make_unique<ForgettingModel>(&corpus_, params);
+    model_->AdvanceTo(1.0);
+    model_->AddDocuments({0, 1});
+    ctx_ = std::make_unique<SimilarityContext>(*model_);
+  }
+
+  Corpus corpus_;
+  std::unique_ptr<ForgettingModel> model_;
+  std::unique_ptr<SimilarityContext> ctx_;
+};
+
+TEST_F(FlatRepIndexLifecycleTest, MovesTombstoneOldPairsAndOverlayNewOnes) {
+  ClusterSet set(2, ClusterScoring::kSlotted);
+  set.Assign(0, 0, *ctx_);
+  set.Assign(1, 1, *ctx_);
+  set.RefreshAll(*ctx_);
+  const FlatRepIndex& index = set.flat_index();
+  EXPECT_EQ(index.stats().live_entries, 4u);  // 2 terms per document
+
+  // Doc 0 moves to cluster 1: its two (term, cluster 0) base entries become
+  // tombstones, and (term, cluster 1) pairs exist nowhere in the base — the
+  // overlay takes them.
+  set.Assign(0, 1, *ctx_);
+  EXPECT_EQ(index.stats().tombstones_created, 2u);
+  EXPECT_EQ(index.stats().delta_entries_added, 2u);
+  EXPECT_EQ(index.stats().dead_entries, 2u);
+  EXPECT_EQ(index.stats().live_entries, 4u);
+  const SparseVector& psi0 = ctx_->Psi(0);
+  for (const auto& [term, value] : psi0.entries()) {
+    auto postings = index.PostingsOf(*ctx_, term);
+    ASSERT_EQ(postings.size(), 1u) << "term " << term;
+    EXPECT_EQ(postings[0].first, 1u);
+    EXPECT_EQ(postings[0].second, value);
+  }
+  std::vector<double> scores;
+  index.ScoreAll(*ctx_, ctx_->SlotOf(0), &scores);
+  EXPECT_EQ(scores[0], 0.0);  // exact zero: tombstones snap, no residual
+  EXPECT_EQ(scores[1], set.cluster(1).representative().Dot(psi0));
+
+  // Moving back revives the base tombstones and tombstones the overlay.
+  set.Assign(0, 0, *ctx_);
+  EXPECT_EQ(index.stats().tombstones_revived, 2u);
+  EXPECT_EQ(index.stats().tombstones_created, 4u);
+  for (const auto& [term, value] : psi0.entries()) {
+    auto postings = index.PostingsOf(*ctx_, term);
+    ASSERT_EQ(postings.size(), 1u) << "term " << term;
+    EXPECT_EQ(postings[0].first, 0u);
+    EXPECT_EQ(postings[0].second, value);
+  }
+
+  // A rebuild flushes overlay and tombstones back into a clean base.
+  set.RefreshAll(*ctx_);
+  EXPECT_EQ(index.stats().builds, 2u);
+  EXPECT_EQ(index.stats().dead_entries, 0u);
+  EXPECT_EQ(index.stats().live_entries, 4u);
+}
+
 TEST(SimilarityContextDeathTest, UnknownDocIdFailsLoudlyWithId) {
   testing::FLAGS_gtest_death_test_style = "threadsafe";
   Corpus corpus;

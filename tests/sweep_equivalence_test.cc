@@ -1,0 +1,241 @@
+// Property test for the scoring-path ablation: for any corpus, K,
+// assignment criterion, seeding mode, shuffle setting and thread count, the
+// three sweep configurations — merge (reference), indexed (PR-1 hash
+// posting index with physical detach/re-attach) and slotted (flat CSR index
+// with move-only maintenance) — must produce *identical* ClusteringResults:
+// same memberships, same outliers, and a bit-for-bit equal G history. The
+// G trace is the sharpest oracle: every float produced by the Eq. 22–26
+// cache updates feeds it, so a single rounding divergence anywhere in a
+// sweep shows up as a g_history mismatch.
+
+#include "nidc/core/extended_kmeans.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nidc/corpus/corpus.h"
+#include "nidc/forgetting/forgetting_model.h"
+#include "nidc/util/random.h"
+#include "nidc/util/thread_pool.h"
+
+namespace nidc {
+namespace {
+
+// A corpus + model + context bundle on the heap (the model and context hold
+// pointers into the corpus, so the bundle must not move).
+struct Env {
+  Corpus corpus;
+  std::unique_ptr<ForgettingModel> model;
+  std::unique_ptr<SimilarityContext> ctx;
+  std::vector<DocId> docs;
+};
+
+std::unique_ptr<Env> MakeEnv(uint64_t seed, size_t n_docs,
+                             size_t words_per_doc = 8,
+                             size_t num_threads = 1) {
+  static const char* kPool[] = {
+      "alpha", "bravo", "charlie", "delta", "echo",   "fox",
+      "golf",  "hotel", "india",   "juliet", "kilo",  "lima",
+      "mike",  "nov",   "oscar",   "papa",  "quebec", "romeo",
+      "sierra", "tango", "umbra",  "victor", "whiskey", "xray",
+      "yankee", "zulu"};
+  constexpr size_t kPoolSize = sizeof(kPool) / sizeof(kPool[0]);
+  auto env = std::make_unique<Env>();
+  Rng words(seed);
+  for (size_t i = 0; i < n_docs; ++i) {
+    std::string text;
+    for (size_t j = 0; j < words_per_doc; ++j) {
+      if (j > 0) text += ' ';
+      text += kPool[words.NextBounded(kPoolSize)];
+    }
+    env->corpus.AddText(text, 0.25 + 0.01 * static_cast<double>(i),
+                        static_cast<TopicId>(i % 5));
+  }
+  ForgettingParams params;
+  params.half_life_days = 7.0;
+  params.life_span_days = 365.0;
+  env->model = std::make_unique<ForgettingModel>(&env->corpus, params);
+  env->model->AdvanceTo(2.0);
+  env->docs.resize(n_docs);
+  for (DocId d = 0; d < static_cast<DocId>(n_docs); ++d) env->docs[d] = d;
+  env->model->AddDocuments(env->docs);
+  env->ctx = std::make_unique<SimilarityContext>(
+      *env->model, ThreadPool::Resolve(num_threads));
+  return env;
+}
+
+ClusteringResult RunConfig(const Env& env, ExtendedKMeansOptions options,
+                           bool use_rep_index, bool move_only,
+                           const std::optional<KMeansSeeds>& seeds) {
+  options.use_rep_index = use_rep_index;
+  options.move_only_sweep = move_only;
+  auto result = RunExtendedKMeans(*env.ctx, env.docs, options, seeds);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result).value() : ClusteringResult{};
+}
+
+// Runs the three configurations and asserts identical outputs. g_history is
+// compared with EXPECT_EQ on the double vectors — bit-for-bit, no
+// tolerance.
+void ExpectAllConfigsIdentical(const Env& env,
+                               const ExtendedKMeansOptions& options,
+                               const std::optional<KMeansSeeds>& seeds =
+                                   std::nullopt) {
+  const ClusteringResult merge =
+      RunConfig(env, options, /*use_rep_index=*/false, /*move_only=*/false,
+                seeds);
+  const ClusteringResult indexed =
+      RunConfig(env, options, /*use_rep_index=*/true, /*move_only=*/false,
+                seeds);
+  const ClusteringResult slotted =
+      RunConfig(env, options, /*use_rep_index=*/true, /*move_only=*/true,
+                seeds);
+  for (const auto* other : {&indexed, &slotted}) {
+    const char* name = other == &indexed ? "indexed" : "slotted";
+    SCOPED_TRACE(name);
+    EXPECT_EQ(merge.clusters, other->clusters);
+    EXPECT_EQ(merge.outliers, other->outliers);
+    EXPECT_EQ(merge.g_history, other->g_history);
+    EXPECT_EQ(merge.iterations, other->iterations);
+    EXPECT_EQ(merge.converged, other->converged);
+  }
+}
+
+TEST(SweepEquivalenceTest, RandomCorporaAcrossKAndCriterion) {
+  for (uint64_t corpus_seed : {11u, 22u, 33u}) {
+    auto env = MakeEnv(corpus_seed, /*n_docs=*/70);
+    for (size_t k : {3u, 8u}) {
+      for (AssignmentCriterion criterion :
+           {AssignmentCriterion::kGIncrease,
+            AssignmentCriterion::kAvgSimIncrease}) {
+        SCOPED_TRACE("corpus_seed=" + std::to_string(corpus_seed) +
+                     " k=" + std::to_string(k) + " criterion=" +
+                     std::to_string(static_cast<int>(criterion)));
+        ExtendedKMeansOptions options;
+        options.k = k;
+        options.seed = corpus_seed * 101 + k;
+        options.criterion = criterion;
+        ExpectAllConfigsIdentical(*env, options);
+      }
+    }
+  }
+}
+
+TEST(SweepEquivalenceTest, ThreadCountDoesNotChangeSlottedResults) {
+  // The context build is parallel but slot-deterministic, and the seeded
+  // assignment pass applies its results in sweep order — every thread
+  // count must yield the same bits.
+  auto serial = MakeEnv(5, /*n_docs=*/60, 8, /*num_threads=*/1);
+  ExtendedKMeansOptions options;
+  options.k = 6;
+  options.seed = 9;
+  const ClusteringResult base =
+      RunConfig(*serial, options, true, true, std::nullopt);
+  for (size_t threads : {2u, 4u, 0u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    auto env = MakeEnv(5, /*n_docs=*/60, 8, threads);
+    ExtendedKMeansOptions opts = options;
+    opts.num_threads = threads;
+    const ClusteringResult got =
+        RunConfig(*env, opts, true, true, std::nullopt);
+    EXPECT_EQ(base.clusters, got.clusters);
+    EXPECT_EQ(base.outliers, got.outliers);
+    EXPECT_EQ(base.g_history, got.g_history);
+  }
+}
+
+TEST(SweepEquivalenceTest, ShuffledSweepOrderStaysIdentical) {
+  auto env = MakeEnv(17, /*n_docs=*/50);
+  ExtendedKMeansOptions options;
+  options.k = 5;
+  options.seed = 4;
+  options.shuffle_each_iteration = true;
+  ExpectAllConfigsIdentical(*env, options);
+}
+
+TEST(SweepEquivalenceTest, DisjointVocabulariesExerciseEmptyClusterReseed) {
+  // Every document gets a private vocabulary: cross-document similarities
+  // are all zero, so clusters collapse to singletons, documents fall to the
+  // outlier list, and the first-empty-cluster reseed branch (including the
+  // slotted sweep's n_detached == 0 physical roundtrip) fires constantly.
+  auto env = std::make_unique<Env>();
+  for (size_t i = 0; i < 6; ++i) {
+    const std::string tag = "w" + std::to_string(i);
+    env->corpus.AddText(tag + "a " + tag + "b " + tag + "c",
+                        0.25 + 0.01 * static_cast<double>(i),
+                        static_cast<TopicId>(i));
+  }
+  ForgettingParams params;
+  params.half_life_days = 7.0;
+  params.life_span_days = 365.0;
+  env->model = std::make_unique<ForgettingModel>(&env->corpus, params);
+  env->model->AdvanceTo(1.0);
+  env->docs = {0, 1, 2, 3, 4, 5};
+  env->model->AddDocuments(env->docs);
+  env->ctx = std::make_unique<SimilarityContext>(*env->model);
+
+  for (size_t k : {4u, 10u}) {  // 10 > n_docs: effective-K reduction too
+    for (AssignmentCriterion criterion :
+         {AssignmentCriterion::kGIncrease,
+          AssignmentCriterion::kAvgSimIncrease}) {
+      SCOPED_TRACE("k=" + std::to_string(k) + " criterion=" +
+                   std::to_string(static_cast<int>(criterion)));
+      ExtendedKMeansOptions options;
+      options.k = k;
+      options.seed = 3;
+      options.criterion = criterion;
+      ExpectAllConfigsIdentical(*env, options);
+    }
+  }
+}
+
+TEST(SweepEquivalenceTest, MembershipSeedingStaysIdentical) {
+  auto env = MakeEnv(29, /*n_docs=*/60);
+  ExtendedKMeansOptions options;
+  options.k = 5;
+  options.seed = 13;
+  const ClusteringResult previous =
+      RunConfig(*env, options, false, false, std::nullopt);
+  KMeansSeeds seeds;
+  seeds.mode = SeedMode::kMembership;
+  seeds.memberships = previous.clusters;
+  ExpectAllConfigsIdentical(*env, options, seeds);
+}
+
+TEST(SweepEquivalenceTest, RepresentativeSeedingStaysIdentical) {
+  auto env = MakeEnv(31, /*n_docs=*/60);
+  ExtendedKMeansOptions options;
+  options.k = 5;
+  options.seed = 21;
+  const ClusteringResult previous =
+      RunConfig(*env, options, false, false, std::nullopt);
+  KMeansSeeds seeds;
+  seeds.mode = SeedMode::kRepresentatives;
+  seeds.representatives = previous.representatives;
+  ExpectAllConfigsIdentical(*env, options, seeds);
+}
+
+TEST(SweepEquivalenceTest, DegenerateRepresentativeSeedsStayIdentical) {
+  // Bogus seed vectors: an empty representative, one over terms no active
+  // document contains, and one real ψ. The seeded assignment pass leaves
+  // clusters empty / degenerate, and all three sweeps must recover through
+  // the same reseed decisions.
+  auto env = MakeEnv(37, /*n_docs=*/40);
+  KMeansSeeds seeds;
+  seeds.mode = SeedMode::kRepresentatives;
+  seeds.representatives.resize(3);
+  seeds.representatives[0] = SparseVector();  // empty
+  seeds.representatives[1] = SparseVector::FromEntries(
+      {{9999998, 1.0}, {9999999, 2.0}});  // out-of-vocabulary
+  seeds.representatives[2] = env->ctx->Psi(0);
+  ExtendedKMeansOptions options;
+  options.k = 3;
+  options.seed = 2;
+  ExpectAllConfigsIdentical(*env, options, seeds);
+}
+
+}  // namespace
+}  // namespace nidc

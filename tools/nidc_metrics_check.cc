@@ -39,9 +39,12 @@ constexpr const char* kMetricKeys[] = {
     "kmeans.outliers",
     "kmeans.g_initial",
     "kmeans.g_final",
+    "kmeans.sweep_seconds",
+    "kmeans.refresh_seconds",
     "rep_index.live_entries",
     "rep_index.tombstones",
     "rep_index.compactions",
+    "rep_index.moves_applied",
     "thread_pool.tasks_executed",
     "thread_pool.queue_high_water",
     "term_stats.vocab_size",
