@@ -16,6 +16,7 @@ void Cluster::Add(DocId id, const SimilarityContext& ctx) {
   representative_.AddScaled(psi, 1.0);
   member_pos_.emplace(id, members_.size());
   members_.push_back(id);
+  has_last_leaver_ = false;
 }
 
 void Cluster::Remove(DocId id, const SimilarityContext& ctx) {
@@ -36,7 +37,13 @@ void Cluster::Remove(DocId id, const SimilarityContext& ctx) {
     member_pos_[members_[pos]] = pos;
   }
   members_.pop_back();
-  if (members_.empty()) Clear();  // snap caches to exact zero
+  if (members_.empty()) {
+    Clear();  // snap caches to exact zero
+    // Recorded after Clear so the identity-continuity window opens only
+    // for a genuine empty-by-removal, never for a bulk Clear.
+    last_leaver_ = id;
+    has_last_leaver_ = true;
+  }
 }
 
 void Cluster::ReplayDetachReattach(DocId id, double t_attached,
@@ -120,6 +127,7 @@ void Cluster::Clear() {
   representative_ = SparseVector();
   cr_self_ = 0.0;
   ss_ = 0.0;
+  has_last_leaver_ = false;  // id_ is kept: identity persists while empty
 }
 
 double Cluster::AvgSimNaive(const SimilarityContext& ctx) const {

@@ -22,6 +22,9 @@ namespace nidc {
 /// cr_self and ss synchronized incrementally.
 class Cluster {
  public:
+  /// Sentinel for a cluster that has never been assigned a stable id.
+  static constexpr uint64_t kNoClusterId = ~0ull;
+
   Cluster() = default;
 
   /// Adds a document. O(|ψ_d| + |rep|) for the representative merge; the
@@ -140,6 +143,23 @@ class Cluster {
   /// against.
   double AvgSimNaive(const SimilarityContext& ctx) const;
 
+  /// Stable cluster identity: unlike the positional index within a
+  /// ClusterSet, the id survives sweeps and is minted fresh when an
+  /// emptied cluster is reseeded by a *different* document — so telemetry
+  /// that matches clusters across steps (topic drift, churn, event logs)
+  /// never confuses a reseeded slot with the topic that used to live
+  /// there. Assigned by ClusterSet; kNoClusterId until then.
+  uint64_t id() const { return id_; }
+  void set_id(uint64_t id) { id_ = id; }
+
+  /// True when re-populating this (empty) cluster with `id` continues its
+  /// previous identity: the cluster was emptied by this very document
+  /// leaving, i.e. a detach/re-attach round trip of its only member. Any
+  /// other document reseeding the slot starts a new topic.
+  bool ReseedContinuesIdentity(DocId id) const {
+    return has_last_leaver_ && last_leaver_ == id;
+  }
+
   bool Contains(DocId id) const { return member_pos_.contains(id); }
   size_t size() const { return members_.size(); }
   bool empty() const { return members_.empty(); }
@@ -156,6 +176,12 @@ class Cluster {
   SparseVector representative_;
   double cr_self_ = 0.0;
   double ss_ = 0.0;
+
+  uint64_t id_ = kNoClusterId;
+  // The document whose removal emptied the cluster, while it stays empty
+  // (see ReseedContinuesIdentity). Cleared by the next Add.
+  DocId last_leaver_ = 0;
+  bool has_last_leaver_ = false;
 };
 
 }  // namespace nidc

@@ -24,7 +24,11 @@ void ClusterSet::Assign(DocId id, int p, const SimilarityContext& ctx) {
     --total_assigned_;
   }
   if (p != kUnassigned) {
-    clusters_[static_cast<size_t>(p)].Add(id, ctx);
+    Cluster& target = clusters_[static_cast<size_t>(p)];
+    if (target.empty() && !target.ReseedContinuesIdentity(id)) {
+      target.set_id(next_id_++);
+    }
+    target.Add(id, ctx);
     if (scoring_ == ClusterScoring::kIndexed) {
       rep_index_.Add(static_cast<size_t>(p), ctx.Psi(id));
     } else if (scoring_ == ClusterScoring::kSlotted) {
@@ -33,6 +37,33 @@ void ClusterSet::Assign(DocId id, int p, const SimilarityContext& ctx) {
     assignment_[id] = p;
     ++total_assigned_;
   }
+}
+
+size_t ClusterSet::InstallIds(const std::vector<uint64_t>& seed_ids,
+                              uint64_t first_fresh_id) {
+  next_id_ = first_fresh_id;
+  for (uint64_t seed : seed_ids) {
+    if (seed != Cluster::kNoClusterId && seed >= next_id_) {
+      next_id_ = seed + 1;
+    }
+  }
+  size_t fresh = 0;
+  for (size_t p = 0; p < clusters_.size(); ++p) {
+    if (p < seed_ids.size() && seed_ids[p] != Cluster::kNoClusterId) {
+      clusters_[p].set_id(seed_ids[p]);
+    } else {
+      clusters_[p].set_id(next_id_++);
+      ++fresh;
+    }
+  }
+  return fresh;
+}
+
+std::vector<uint64_t> ClusterSet::cluster_ids() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(clusters_.size());
+  for (const Cluster& c : clusters_) ids.push_back(c.id());
+  return ids;
 }
 
 void ClusterSet::ReplayStay(DocId id, size_t p, double t_attached,

@@ -58,7 +58,29 @@ class ClusterSet {
 
   /// Moves `id` into cluster `p` (removing it from its current cluster
   /// first, if any). `p` may be kUnassigned to just detach the document.
+  /// Populating an empty cluster mints it a fresh stable id unless the
+  /// arriving document is the one whose departure emptied it (a
+  /// detach/re-attach round trip keeps the identity).
   void Assign(DocId id, int p, const SimilarityContext& ctx);
+
+  /// Installs stable cluster ids after the seeding phase: cluster `p`
+  /// inherits `seed_ids[p]` when available, every other cluster gets a
+  /// fresh id. The fresh-id counter starts at the larger of
+  /// `first_fresh_id` and max(seed_ids)+1, so ids stay globally monotone
+  /// across incremental steps. Returns the count of fresh ids handed out.
+  size_t InstallIds(const std::vector<uint64_t>& seed_ids,
+                    uint64_t first_fresh_id);
+
+  /// Stable id of cluster `p` (Cluster::kNoClusterId before any
+  /// population).
+  uint64_t cluster_id(size_t p) const { return clusters_[p].id(); }
+
+  /// All K stable ids, index-aligned with the clusters.
+  std::vector<uint64_t> cluster_ids() const;
+
+  /// The next fresh id the set would mint — the value a driver persists
+  /// to keep ids monotone across RunExtendedKMeans calls.
+  uint64_t next_cluster_id() const { return next_id_; }
 
   /// Replays the detach + immediate re-attach of a document that stays in
   /// cluster `p` during a move-only sweep: the cluster's scalar caches and
@@ -101,6 +123,7 @@ class ClusterSet {
   std::vector<Cluster> clusters_;
   std::vector<int> assignment_;  // DocId → cluster, kUnassigned gaps
   size_t total_assigned_ = 0;
+  uint64_t next_id_ = 0;  // next fresh stable cluster id
   ClusterRepIndex rep_index_;
   FlatRepIndex flat_index_;
   ClusterScoring scoring_ = ClusterScoring::kMerge;

@@ -57,7 +57,9 @@ ClusteringResult ClusteringResult::FromClusterSet(
     result.clusters.push_back(c.members());
     result.representatives.push_back(c.representative());
     result.avg_sims.push_back(c.AvgSim());
+    result.cluster_ids.push_back(c.id());
   }
+  result.next_cluster_id = set.next_cluster_id();
   result.outliers = std::move(outliers);
   result.g = set.G();
   result.g_history = std::move(g_history);

@@ -25,6 +25,18 @@ struct ClusteringResult {
   /// avg_sim(C_p) of each cluster at termination.
   std::vector<double> avg_sims;
 
+  /// Stable cluster ids, index-aligned with `clusters`. Unlike the
+  /// positional index, an id survives sweeps and incremental reseeding
+  /// (cluster p of step N+1 inherits the id of the cluster that seeded
+  /// it), and a slot reseeded by an unrelated document gets a fresh id —
+  /// the identity drift telemetry and the event log match on.
+  std::vector<uint64_t> cluster_ids;
+
+  /// The id counter after this run; feed it back as
+  /// ExtendedKMeansOptions::first_cluster_id to keep ids monotone across
+  /// runs (IncrementalClusterer does this automatically).
+  uint64_t next_cluster_id = 0;
+
   /// Documents left on the outlier list at termination.
   std::vector<DocId> outliers;
 

@@ -5,6 +5,7 @@
 
 #include "nidc/core/clustering_index.h"
 #include "nidc/core/rep_index.h"
+#include "nidc/obs/event_log.h"
 #include "nidc/obs/metrics.h"
 #include "nidc/obs/trace.h"
 #include "nidc/util/stopwatch.h"
@@ -47,6 +48,47 @@ class ScopedSeconds {
   Stopwatch timer_;
 };
 
+// Shared per-document telemetry of one sweep iteration.
+struct SweepCounters {
+  size_t moves = 0;
+  /// Documents that re-populated an empty cluster other than their own —
+  /// the slot was handed to a new topic and minted a fresh stable id.
+  size_t reseeds = 0;
+};
+
+// Emits the lifecycle events of one settled per-document decision: the
+// move itself, the source cluster left empty (if any), and a reseeded
+// empty slot (if the reseed branch fired). Cluster ids are read *after*
+// the assignment — an emptied cluster keeps its id until reseeded, and a
+// reseeded cluster's fresh id is exactly what the event should carry.
+void EmitSweepEvents(obs::EventLog* events, const ClusterSet& clusters,
+                     DocId id, int previous, int best, bool reseeded) {
+  if (best == previous) return;
+  obs::Event moved;
+  moved.type = obs::EventType::kDocMoved;
+  moved.doc = id;
+  if (previous != kUnassigned) {
+    moved.from_cluster = clusters.cluster_id(static_cast<size_t>(previous));
+  }
+  if (best != kUnassigned) {
+    moved.cluster_id = clusters.cluster_id(static_cast<size_t>(best));
+  }
+  events->Emit(moved);
+  if (previous != kUnassigned &&
+      clusters.cluster(static_cast<size_t>(previous)).empty()) {
+    obs::Event emptied;
+    emptied.type = obs::EventType::kClusterEmptied;
+    emptied.cluster_id = clusters.cluster_id(static_cast<size_t>(previous));
+    events->Emit(emptied);
+  }
+  if (reseeded && best != kUnassigned) {
+    obs::Event reseed;
+    reseed.type = obs::EventType::kClusterReseeded;
+    reseed.cluster_id = clusters.cluster_id(static_cast<size_t>(best));
+    events->Emit(reseed);
+  }
+}
+
 // One repetition sweep (§4.3 step 1) in its legacy form: every document is
 // physically detached, the best avg_sim gain over all clusters is found via
 // Eq. 26, and the document is re-attached to the argmax cluster — or put on
@@ -61,14 +103,16 @@ class ScopedSeconds {
 std::vector<DocId> SweepAssignLegacy(const std::vector<DocId>& order,
                                      const SimilarityContext& ctx,
                                      AssignmentCriterion criterion,
-                                     ClusterSet* clusters, size_t* moves,
+                                     ClusterSet* clusters,
+                                     SweepCounters* counters,
+                                     obs::EventLog* events,
                                      double* maintenance_seconds) {
   std::vector<DocId> outliers;
   std::vector<double> t_scores;
-  size_t num_moves = 0;
   const bool indexed = clusters->rep_index_enabled();
   for (DocId id : order) {
     const int previous = clusters->ClusterOf(id);
+    bool reseeded = false;
     {
       ScopedSeconds maint(maintenance_seconds);
       clusters->Assign(id, kUnassigned, ctx);
@@ -109,6 +153,7 @@ std::vector<DocId> SweepAssignLegacy(const std::vector<DocId>& order,
       for (size_t p = 0; p < clusters->num_clusters(); ++p) {
         if (clusters->cluster(p).empty()) {
           best = static_cast<int>(p);
+          reseeded = true;
           break;
         }
       }
@@ -119,9 +164,16 @@ std::vector<DocId> SweepAssignLegacy(const std::vector<DocId>& order,
       ScopedSeconds maint(maintenance_seconds);
       clusters->Assign(id, best, ctx);
     }
-    if (best != previous) ++num_moves;
+    if (best != previous) {
+      ++counters->moves;
+      // A document handed back its own emptied cluster continues that
+      // cluster's identity — only cross-cluster reseeds count.
+      if (reseeded) ++counters->reseeds;
+    }
+    if (events != nullptr) {
+      EmitSweepEvents(events, *clusters, id, previous, best, reseeded);
+    }
   }
-  if (moves != nullptr) *moves = num_moves;
   return outliers;
 }
 
@@ -140,15 +192,17 @@ std::vector<DocId> SweepAssignLegacy(const std::vector<DocId>& order,
 std::vector<DocId> SweepAssignMoveOnly(const std::vector<DocId>& order,
                                        const SimilarityContext& ctx,
                                        AssignmentCriterion criterion,
-                                       ClusterSet* clusters, size_t* moves,
+                                       ClusterSet* clusters,
+                                       SweepCounters* counters,
+                                       obs::EventLog* events,
                                        double* maintenance_seconds) {
   std::vector<DocId> outliers;
   std::vector<double> t_scores;
-  size_t num_moves = 0;
   const FlatRepIndex& index = clusters->flat_index();
   const size_t k = clusters->num_clusters();
   for (DocId id : order) {
     const int previous = clusters->ClusterOf(id);
+    bool reseeded = false;
     const SimilarityContext::Slot slot = ctx.SlotOf(id);
 
     // Score all clusters; derive the home cluster's detached statistics
@@ -205,6 +259,7 @@ std::vector<DocId> SweepAssignMoveOnly(const std::vector<DocId>& order,
                                : clusters->cluster(p).empty();
         if (empty) {
           best = static_cast<int>(p);
+          reseeded = true;
           break;
         }
       }
@@ -234,22 +289,28 @@ std::vector<DocId> SweepAssignMoveOnly(const std::vector<DocId>& order,
       ScopedSeconds maint(maintenance_seconds);
       clusters->Assign(id, best, ctx);
     }
-    if (best != previous) ++num_moves;
+    if (best != previous) {
+      ++counters->moves;
+      if (reseeded) ++counters->reseeds;
+    }
+    if (events != nullptr) {
+      EmitSweepEvents(events, *clusters, id, previous, best, reseeded);
+    }
   }
-  if (moves != nullptr) *moves = num_moves;
   return outliers;
 }
 
 std::vector<DocId> SweepAssign(const std::vector<DocId>& order,
                                const SimilarityContext& ctx,
                                AssignmentCriterion criterion,
-                               ClusterSet* clusters, size_t* moves,
+                               ClusterSet* clusters, SweepCounters* counters,
+                               obs::EventLog* events,
                                double* maintenance_seconds) {
   if (clusters->scoring() == ClusterScoring::kSlotted) {
-    return SweepAssignMoveOnly(order, ctx, criterion, clusters, moves,
-                               maintenance_seconds);
+    return SweepAssignMoveOnly(order, ctx, criterion, clusters, counters,
+                               events, maintenance_seconds);
   }
-  return SweepAssignLegacy(order, ctx, criterion, clusters, moves,
+  return SweepAssignLegacy(order, ctx, criterion, clusters, counters, events,
                            maintenance_seconds);
 }
 
@@ -352,6 +413,7 @@ Result<ClusteringResult> RunExtendedKMeans(
       profile == nullptr ? nullptr : &profile->maintenance_seconds;
 
   // --- Initial process ---
+  bool degenerate_restart = false;
   const auto run_initial_process = [&]() -> Status {
     NIDC_SPAN("kmeans.seed");
     ScopedSeconds seed_timer(profile == nullptr ? nullptr
@@ -395,6 +457,7 @@ Result<ClusteringResult> RunExtendedKMeans(
     // empty cluster can never attract documents (its avg_sim gain is 0), so
     // restart from random singletons as the initial process prescribes.
     if (clusters.TotalAssigned() == 0) {
+      degenerate_restart = true;
       size_t next = 0;
       for (size_t p : rng.SampleWithoutReplacement(docs.size(), k)) {
         clusters.Assign(docs[p], static_cast<int>(next++), ctx);
@@ -406,6 +469,28 @@ Result<ClusteringResult> RunExtendedKMeans(
   };
   NIDC_RETURN_NOT_OK(run_initial_process());
   const size_t seeded_assigned = clusters.TotalAssigned();
+
+  // Install stable cluster ids: seeded clusters inherit the previous run's
+  // ids (the drift telemetry matches on them); random seeds — and seeded
+  // runs that fell back to the random restart — mint fresh ones. From here
+  // on, ClusterSet::Assign mints a fresh id whenever a sweep hands an
+  // emptied slot to a new topic.
+  static const std::vector<uint64_t> kNoSeedIds;
+  const std::vector<uint64_t>& seed_ids =
+      (seeds && !degenerate_restart) ? seeds->cluster_ids : kNoSeedIds;
+  clusters.InstallIds(seed_ids, options.first_cluster_id);
+  if (options.events != nullptr) {
+    for (size_t p = 0; p < clusters.num_clusters(); ++p) {
+      if (clusters.cluster(p).empty()) continue;
+      if (p < seed_ids.size() && seed_ids[p] != Cluster::kNoClusterId) {
+        continue;  // inherited identity, not a birth
+      }
+      obs::Event created;
+      created.type = obs::EventType::kClusterCreated;
+      created.cluster_id = clusters.cluster_id(p);
+      options.events->Emit(created);
+    }
+  }
 
   // --- Repetition process ---
   std::vector<double> g_history;
@@ -432,15 +517,16 @@ Result<ClusteringResult> RunExtendedKMeans(
   int iterations = 0;
   bool converged = false;
   size_t total_moves = 0;
+  size_t total_reseeds = 0;
   Stopwatch phase_timer;
   while (iterations < options.max_iterations) {
     if (options.shuffle_each_iteration) rng.Shuffle(&order);
-    size_t moves = 0;
+    SweepCounters counters;
     {
       NIDC_SPAN("kmeans.sweep");
       if (time_phases) phase_timer.Restart();
       outliers = SweepAssign(order, ctx, options.criterion, &clusters,
-                             &moves, maintenance_seconds);
+                             &counters, options.events, maintenance_seconds);
       if (time_phases) {
         const double seconds = phase_timer.ElapsedSeconds();
         if (sweep_seconds_hist != nullptr) {
@@ -449,9 +535,10 @@ Result<ClusteringResult> RunExtendedKMeans(
         if (profile != nullptr) profile->sweep_seconds += seconds;
       }
     }
-    total_moves += moves;
+    total_moves += counters.moves;
+    total_reseeds += counters.reseeds;
     if (moves_per_sweep != nullptr) {
-      moves_per_sweep->Observe(static_cast<double>(moves));
+      moves_per_sweep->Observe(static_cast<double>(counters.moves));
     }
     ++iterations;
     // Step 2: recompute cluster representatives (also clears float drift).
@@ -488,6 +575,7 @@ Result<ClusteringResult> RunExtendedKMeans(
         ->Observe(static_cast<double>(iterations));
     if (converged) metrics->GetCounter("kmeans.converged")->Increment();
     metrics->GetCounter("kmeans.moves")->Increment(total_moves);
+    metrics->GetCounter("kmeans.cluster_reseeds")->Increment(total_reseeds);
     metrics->GetCounter("kmeans.docs_swept")
         ->Increment(static_cast<uint64_t>(order.size()) *
                     static_cast<uint64_t>(iterations));

@@ -19,6 +19,7 @@
 #include "nidc/util/status.h"
 
 namespace nidc::obs {
+class EventLog;
 class MetricsRegistry;
 }  // namespace nidc::obs
 
@@ -113,6 +114,17 @@ struct ExtendedKMeansOptions {
   /// Null (the default) skips the extra clock reads.
   struct KMeansProfile* profile = nullptr;
 
+  /// First fresh stable cluster id this run may mint (see
+  /// ClusteringResult::cluster_ids). Seeded clusters inherit
+  /// KMeansSeeds::cluster_ids instead; incremental drivers pass the
+  /// previous run's next_cluster_id here to keep ids globally monotone.
+  uint64_t first_cluster_id = 0;
+
+  /// Lifecycle-event sink (cluster created/emptied/reseeded, document
+  /// moves — see obs/event_log.h). Null (the default) emits nothing and
+  /// adds no work to the sweeps.
+  obs::EventLog* events = nullptr;
+
   Status Validate() const;
 };
 
@@ -135,6 +147,9 @@ struct KMeansSeeds {
   std::vector<std::vector<DocId>> memberships;
   /// For kRepresentatives: previous representative vectors.
   std::vector<SparseVector> representatives;
+  /// Stable ids the seeded clusters inherit (index-aligned with
+  /// memberships/representatives; empty = every cluster gets a fresh id).
+  std::vector<uint64_t> cluster_ids;
 };
 
 /// Runs the extended K-means over `docs` (which must all be in `ctx`).

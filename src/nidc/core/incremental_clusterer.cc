@@ -4,6 +4,8 @@
 #include <optional>
 #include <unordered_set>
 
+#include "nidc/obs/cluster_health.h"
+#include "nidc/obs/event_log.h"
 #include "nidc/obs/metrics.h"
 #include "nidc/obs/trace.h"
 #include "nidc/util/stopwatch.h"
@@ -59,6 +61,31 @@ void FillClusteringDigest(StepResult* result) {
   result->final_g = result->clustering.g;
 }
 
+// Translates a completed step into the obs-layer observation the health
+// monitor consumes (non-empty clusters only; ids/vectors/memberships are
+// copied, which is why the build is skipped when no monitor is attached).
+void FeedHealthMonitor(obs::ClusterHealthMonitor* health, uint64_t step,
+                       const StepResult& result) {
+  if (health == nullptr) return;
+  obs::StepObservation observation;
+  observation.step = step;
+  observation.g = result.final_g;
+  observation.num_active = result.num_active;
+  observation.num_outliers = result.num_outliers;
+  const ClusteringResult& clustering = result.clustering;
+  for (size_t p = 0; p < clustering.clusters.size(); ++p) {
+    if (clustering.clusters[p].empty()) continue;
+    obs::ClusterObservation cluster;
+    cluster.id = clustering.cluster_ids[p];
+    cluster.representative = clustering.representatives[p];
+    cluster.avg_sim = clustering.avg_sims[p];
+    cluster.members.assign(clustering.clusters[p].begin(),
+                           clustering.clusters[p].end());
+    observation.clusters.push_back(std::move(cluster));
+  }
+  health->ObserveStep(observation);
+}
+
 }  // namespace
 
 IncrementalClusterer::IncrementalClusterer(const Corpus* corpus,
@@ -100,6 +127,7 @@ Result<StepResult> IncrementalClusterer::Step(
   NIDC_RETURN_NOT_OK(ValidateStepInputs(new_docs, tau));
   NIDC_SPAN("clusterer.step");
   StepResult result;
+  if (options_.events != nullptr) options_.events->SetStep(step_count_);
 
   // Phase 1: incremental statistics update (§5.1; §5.2 steps 1–2).
   Stopwatch stats_timer;
@@ -108,6 +136,14 @@ Result<StepResult> IncrementalClusterer::Step(
     model_.AdvanceTo(tau);
     model_.AddDocuments(new_docs);
     result.expired = model_.ExpireDocuments();
+  }
+  if (options_.events != nullptr) {
+    for (DocId id : result.expired) {
+      obs::Event expired;
+      expired.type = obs::EventType::kDocExpired;
+      expired.doc = id;
+      options_.events->Emit(expired);
+    }
   }
   result.num_new = new_docs.size();
   result.num_active = model_.num_active();
@@ -129,6 +165,7 @@ Result<StepResult> IncrementalClusterer::Step(
   // Vary the random-seed stream per step so repeated random inits differ.
   kmeans.seed = options_.kmeans.seed + step_count_;
   if (kmeans.metrics == nullptr) kmeans.metrics = options_.metrics;
+  if (kmeans.events == nullptr) kmeans.events = options_.events;
   if (last_result_) {
     KMeansSeeds s;
     s.mode = options_.reseed_mode;
@@ -137,6 +174,10 @@ Result<StepResult> IncrementalClusterer::Step(
     } else if (s.mode == SeedMode::kRepresentatives) {
       s.representatives = last_result_->representatives;
     }
+    // Surviving clusters keep their stable ids; the run mints fresh ones
+    // from where the previous run stopped, so ids stay globally monotone.
+    s.cluster_ids = last_result_->cluster_ids;
+    kmeans.first_cluster_id = last_result_->next_cluster_id;
     seeds = std::move(s);
   }
   Result<ClusteringResult> clustering =
@@ -147,6 +188,7 @@ Result<StepResult> IncrementalClusterer::Step(
   result.clustering = std::move(clustering).value();
   FillClusteringDigest(&result);
   RecordStepMetrics(kmeans.metrics, model_, result);
+  FeedHealthMonitor(options_.health, step_count_, result);
   last_result_ = result.clustering;
   ++step_count_;
   return result;

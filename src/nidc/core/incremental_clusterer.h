@@ -17,6 +17,10 @@
 #include "nidc/core/extended_kmeans.h"
 #include "nidc/forgetting/forgetting_model.h"
 
+namespace nidc::obs {
+class ClusterHealthMonitor;
+}  // namespace nidc::obs
+
 namespace nidc {
 
 /// Outcome of one processing step, with the two phase timings the paper's
@@ -49,6 +53,18 @@ struct IncrementalOptions {
   /// the K-means run unless `kmeans.metrics` is set explicitly. Null (the
   /// default) disables all instrumentation.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Lifecycle-event sink (see obs/event_log.h): the step loop emits
+  /// doc_expired here and propagates the log to the K-means run (cluster
+  /// created/emptied/reseeded, doc moves) unless `kmeans.events` is set
+  /// explicitly. Null (the default) emits nothing.
+  obs::EventLog* events = nullptr;
+
+  /// Per-step semantic health monitor (topic drift, membership churn,
+  /// outlier/G EWMAs — see obs/cluster_health.h). When set, the driver
+  /// builds a StepObservation from every completed step and feeds it; null
+  /// (the default) skips the observation build entirely.
+  obs::ClusterHealthMonitor* health = nullptr;
 };
 
 /// Stateful on-line clusterer (§5.2).

@@ -1,0 +1,129 @@
+#include "nidc/obs/event_log.h"
+
+#include <chrono>
+
+#include "nidc/obs/exporters.h"
+#include "nidc/obs/json_util.h"
+
+namespace nidc::obs {
+
+namespace {
+
+double SteadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kClusterCreated:
+      return "cluster_created";
+    case EventType::kClusterEmptied:
+      return "cluster_emptied";
+    case EventType::kClusterReseeded:
+      return "cluster_reseeded";
+    case EventType::kDocMoved:
+      return "doc_moved";
+    case EventType::kDocExpired:
+      return "doc_expired";
+    case EventType::kCheckpointCommitted:
+      return "checkpoint_committed";
+    case EventType::kWalRotated:
+      return "wal_rotated";
+  }
+  return "unknown";
+}
+
+std::string RenderEventJson(const Event& event) {
+  JsonObjectBuilder record;
+  record.Add("seq", event.sequence)
+      .Add("type", EventTypeName(event.type))
+      .Add("step", event.step)
+      .Add("seconds", event.seconds);
+  if (event.cluster_id != Event::kNoId) {
+    record.Add("cluster", event.cluster_id);
+  }
+  if (event.from_cluster != Event::kNoId) {
+    record.Add("from_cluster", event.from_cluster);
+  }
+  if (event.doc != Event::kNoId) record.Add("doc", event.doc);
+  if (event.type == EventType::kCheckpointCommitted ||
+      event.type == EventType::kWalRotated) {
+    record.Add("generation", event.detail);
+  }
+  return record.Render();
+}
+
+EventLog::EventLog(size_t capacity, MetricsRegistry* metrics)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      metrics_(metrics),
+      epoch_seconds_(SteadySeconds()) {
+  if (metrics_ != nullptr) {
+    emitted_counter_ = metrics_->GetCounter("events.emitted");
+    dropped_counter_ = metrics_->GetCounter("events.dropped");
+  }
+}
+
+void EventLog::Emit(Event event) {
+  bool dropped = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    event.sequence = next_sequence_++;
+    event.step = current_step_;
+    event.seconds = SteadySeconds() - epoch_seconds_;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(event);
+    } else {
+      ring_[event.sequence % capacity_] = event;
+      dropped = true;
+    }
+  }
+  if (emitted_counter_ != nullptr) emitted_counter_->Increment();
+  if (dropped && dropped_counter_ != nullptr) dropped_counter_->Increment();
+}
+
+void EventLog::SetStep(uint64_t step) {
+  std::lock_guard<std::mutex> lock(mu_);
+  current_step_ = step;
+}
+
+std::vector<Event> EventLog::Recent(size_t max_events) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t available = ring_.size();
+  const size_t count = std::min(max_events, available);
+  std::vector<Event> events;
+  events.reserve(count);
+  // The oldest retained event has sequence next_sequence_ - available.
+  for (uint64_t seq = next_sequence_ - count; seq < next_sequence_; ++seq) {
+    events.push_back(ring_[seq % capacity_]);
+  }
+  return events;
+}
+
+uint64_t EventLog::total_emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_sequence_;
+}
+
+uint64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_sequence_ > ring_.size() ? next_sequence_ - ring_.size() : 0;
+}
+
+size_t EventLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+Status EventLog::ExportJsonl(const std::string& path) const {
+  JsonlWriter writer(path);
+  for (const Event& event : Recent()) {
+    NIDC_RETURN_NOT_OK(writer.Append(RenderEventJson(event)));
+  }
+  return writer.Close();
+}
+
+}  // namespace nidc::obs

@@ -1,0 +1,129 @@
+// Structured cluster-lifecycle events: a bounded, thread-safe ring buffer
+// the pipeline appends to and the introspection server (or a JSONL export)
+// reads back.
+//
+// The log answers the question metrics aggregates cannot: *which* cluster
+// was reseeded at step 412, *which* document bounced between clusters.
+// Events are fixed-size records (no allocation per emit beyond the ring
+// slot), tagged with a monotone sequence number and the pipeline step that
+// was active when they were emitted. When the ring wraps, the oldest
+// events are overwritten and counted as dropped — the log is a window, not
+// an archive; pair it with `ExportJsonl` (or `nidc_cli stream
+// --events-out`) when the tail matters.
+//
+// Like every obs hook, the emitters take an `EventLog*` that defaults to
+// null, and a null log means no work at all.
+
+#ifndef NIDC_OBS_EVENT_LOG_H_
+#define NIDC_OBS_EVENT_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "nidc/obs/metrics.h"
+#include "nidc/util/status.h"
+
+namespace nidc::obs {
+
+/// Cluster / document / durability lifecycle event kinds.
+enum class EventType {
+  /// A cluster came into existence with a fresh stable id (seeding).
+  kClusterCreated,
+  /// A cluster lost its last member during a sweep.
+  kClusterEmptied,
+  /// An empty cluster was re-populated by a different document and
+  /// received a fresh stable id.
+  kClusterReseeded,
+  /// A document changed cluster (or joined/left the outlier list).
+  kDocMoved,
+  /// A document fell below the forgetting threshold and left the model.
+  kDocExpired,
+  /// A durable snapshot generation was committed (manifest flipped).
+  kCheckpointCommitted,
+  /// The write-ahead log rotated to a fresh generation file.
+  kWalRotated,
+};
+
+/// Stable lower_snake_case name of an event type (the JSON `type` field).
+const char* EventTypeName(EventType type);
+
+/// One lifecycle event. Fields that do not apply to a type hold kNoId.
+struct Event {
+  /// Sentinel for "not applicable" id fields.
+  static constexpr uint64_t kNoId = ~0ull;
+
+  EventType type = EventType::kDocMoved;
+  /// Monotone per-log sequence number, assigned by Emit.
+  uint64_t sequence = 0;
+  /// Pipeline step active when the event was emitted (see SetStep).
+  uint64_t step = 0;
+  /// Seconds since the log was constructed, assigned by Emit.
+  double seconds = 0.0;
+  /// Stable cluster id the event is about (destination for kDocMoved).
+  uint64_t cluster_id = kNoId;
+  /// Stable id of the source cluster (kDocMoved only).
+  uint64_t from_cluster = kNoId;
+  /// Document id (kDocMoved / kDocExpired).
+  uint64_t doc = kNoId;
+  /// Type-specific detail: snapshot generation for kCheckpointCommitted /
+  /// kWalRotated, unused otherwise.
+  uint64_t detail = 0;
+};
+
+/// Renders one event as a JSON object (omitting kNoId fields).
+std::string RenderEventJson(const Event& event);
+
+/// Bounded ring buffer of events. Emit and the readers are thread-safe
+/// (one mutex; emission is off the scoring hot loops, so contention is
+/// not a concern). When `metrics` is supplied, the log publishes
+/// `events.emitted` and `events.dropped` counters.
+class EventLog {
+ public:
+  explicit EventLog(size_t capacity = 1024,
+                    MetricsRegistry* metrics = nullptr);
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Appends `event`, assigning its sequence number, step tag and
+  /// timestamp. The oldest event is overwritten when the ring is full.
+  void Emit(Event event);
+
+  /// Tags subsequent emissions with `step` (the drivers call this at the
+  /// start of each pipeline step).
+  void SetStep(uint64_t step);
+
+  /// The newest `max_events` events, oldest first.
+  std::vector<Event> Recent(size_t max_events = ~size_t{0}) const;
+
+  /// Events emitted over the log's lifetime (including overwritten ones).
+  uint64_t total_emitted() const;
+
+  /// Events lost to ring wrap-around.
+  uint64_t dropped() const;
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+
+  /// Writes the retained events as JSONL (one RenderEventJson object per
+  /// line) via the atomic-rename JsonlWriter protocol.
+  Status ExportJsonl(const std::string& path) const;
+
+ private:
+  const size_t capacity_;
+  MetricsRegistry* const metrics_;
+  Counter* emitted_counter_ = nullptr;
+  Counter* dropped_counter_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::vector<Event> ring_;  // ring_[sequence % capacity_]
+  uint64_t next_sequence_ = 0;
+  uint64_t current_step_ = 0;
+  double epoch_seconds_ = 0.0;  // steady-clock origin
+};
+
+}  // namespace nidc::obs
+
+#endif  // NIDC_OBS_EVENT_LOG_H_

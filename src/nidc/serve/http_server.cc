@@ -1,0 +1,206 @@
+#include "nidc/serve/http_server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace nidc::serve {
+
+namespace {
+
+// Hard cap on the request head we are willing to buffer; a scraper's GET
+// line plus headers fits in a fraction of this.
+constexpr size_t kMaxRequestBytes = 8192;
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+// Writes the whole buffer, retrying on EINTR / partial writes; best effort
+// (the peer may hang up — nothing to do about that).
+void WriteAll(int fd, const std::string& data) {
+  size_t offset = 0;
+  while (offset < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + offset, data.size() - offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    offset += static_cast<size_t>(n);
+  }
+}
+
+// Reads until the end of the request head (blank line) or the size cap.
+// Returns false when the connection died before a full head arrived.
+bool ReadRequestHead(int fd, std::string* head) {
+  char buf[1024];
+  while (head->size() < kMaxRequestBytes) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    head->append(buf, static_cast<size_t>(n));
+    if (head->find("\r\n\r\n") != std::string::npos ||
+        head->find("\n\n") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Parses "GET /path?query HTTP/1.1" out of the head's first line.
+bool ParseRequestLine(const std::string& head, HttpRequest* request) {
+  const size_t line_end = head.find_first_of("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const size_t first_space = line.find(' ');
+  if (first_space == std::string::npos) return false;
+  const size_t second_space = line.find(' ', first_space + 1);
+  if (second_space == std::string::npos) return false;
+  request->method = line.substr(0, first_space);
+  std::string target =
+      line.substr(first_space + 1, second_space - first_space - 1);
+  if (target.empty() || target[0] != '/') return false;
+  const size_t question = target.find('?');
+  if (question == std::string::npos) {
+    request->path = std::move(target);
+  } else {
+    request->path = target.substr(0, question);
+    request->query = target.substr(question + 1);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(obs::MetricsRegistry* metrics) : metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    requests_counter_ = metrics_->GetCounter("serve.requests");
+    not_found_counter_ = metrics_->GetCounter("serve.not_found");
+    bad_request_counter_ = metrics_->GetCounter("serve.bad_requests");
+  }
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(const std::string& path, HttpHandler handler) {
+  if (running_) return;
+  handlers_[path] = std::move(handler);
+}
+
+Status HttpServer::Start(uint16_t port) {
+  if (running_) {
+    return Status::FailedPrecondition("server is already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("bind 127.0.0.1:" + std::to_string(port) + ": " +
+                           err);
+  }
+  if (::listen(fd, /*backlog=*/64) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("listen: " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("getsockname: " + err);
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  running_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_) return;
+  running_ = false;
+  // Unblocks the accept() in flight; the loop then observes running_ ==
+  // false and exits.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listening socket shut down (Stop) or unusable
+    }
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  std::string head;
+  HttpRequest request;
+  HttpResponse response;
+  if (!ReadRequestHead(fd, &head) || !ParseRequestLine(head, &request)) {
+    response.status = 400;
+    response.body = "malformed request\n";
+    if (bad_request_counter_ != nullptr) bad_request_counter_->Increment();
+  } else if (request.method != "GET") {
+    response.status = 405;
+    response.body = "only GET is supported\n";
+  } else if (auto it = handlers_.find(request.path); it != handlers_.end()) {
+    response = it->second(request);
+  } else {
+    response.status = 404;
+    response.body = "no handler for " + request.path + "\n";
+    if (not_found_counter_ != nullptr) not_found_counter_->Increment();
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  if (requests_counter_ != nullptr) requests_counter_->Increment();
+
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    ReasonPhrase(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  WriteAll(fd, out);
+}
+
+}  // namespace nidc::serve

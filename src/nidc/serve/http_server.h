@@ -1,0 +1,101 @@
+// Dependency-free embedded HTTP/1.1 server for live introspection.
+//
+// Deliberately minimal: plain POSIX sockets, a blocking accept loop on one
+// background thread, GET only, connections served one at a time and closed
+// after each response (the backlog queues concurrent scrapers). That is
+// exactly enough for a Prometheus scrape or a curl against /statusz, and
+// nothing more — no TLS, no keep-alive, no request bodies, bound to
+// 127.0.0.1 only.
+//
+// Handlers are registered per exact path before Start and run on the
+// server thread, so they must be safe to call concurrently with the
+// pipeline (the obs-layer sources they read — MetricsRegistry snapshots,
+// EventLog::Recent, ClusterHealthMonitor::snapshot, StatusBoard — all
+// are). Start with port 0 binds an ephemeral port, reported by port().
+
+#ifndef NIDC_SERVE_HTTP_SERVER_H_
+#define NIDC_SERVE_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "nidc/obs/metrics.h"
+#include "nidc/util/status.h"
+
+namespace nidc::serve {
+
+/// The parsed request line of one incoming request.
+struct HttpRequest {
+  std::string method;  ///< "GET" (anything else is answered 405).
+  std::string path;    ///< Path component, without the query string.
+  std::string query;   ///< Raw query string ("" when absent).
+};
+
+/// What a handler returns; the server adds the status line and framing
+/// headers (Content-Length, Connection: close).
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// The embedded server. Start/Stop are idempotent; the destructor stops.
+/// When `metrics` is supplied, the server publishes `serve.requests`,
+/// `serve.not_found` and `serve.bad_requests` counters.
+class HttpServer {
+ public:
+  explicit HttpServer(obs::MetricsRegistry* metrics = nullptr);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers the handler for an exact path (e.g. "/statusz"). Must be
+  /// called before Start; later registrations are ignored.
+  void Handle(const std::string& path, HttpHandler handler);
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept thread.
+  /// A port already in use — or any other socket-layer failure — returns
+  /// IOError; calling Start while running returns FailedPrecondition.
+  Status Start(uint16_t port);
+
+  /// Shuts the listening socket down and joins the accept thread. Safe to
+  /// call repeatedly and without a prior successful Start.
+  void Stop();
+
+  bool running() const { return running_; }
+
+  /// The bound port (meaningful while running; resolves port 0 binds).
+  uint16_t port() const { return port_; }
+
+  /// Requests answered since construction (any status).
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  std::map<std::string, HttpHandler> handlers_;
+  obs::MetricsRegistry* const metrics_;
+  obs::Counter* requests_counter_ = nullptr;
+  obs::Counter* not_found_counter_ = nullptr;
+  obs::Counter* bad_request_counter_ = nullptr;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  bool running_ = false;
+  std::thread accept_thread_;
+  std::atomic<uint64_t> requests_served_{0};
+};
+
+}  // namespace nidc::serve
+
+#endif  // NIDC_SERVE_HTTP_SERVER_H_

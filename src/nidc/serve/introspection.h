@@ -1,0 +1,122 @@
+// The introspection endpoints served over http_server.h:
+//
+//   GET /metrics  — the full MetricsRegistry in Prometheus text format;
+//   GET /healthz  — liveness JSON: last-step age, step count, WAL records
+//                   since the last checkpoint vs the rotation cadence.
+//                   200 while stepping, 503 once the last step is older
+//                   than `stale_after_seconds`;
+//   GET /statusz  — pipeline status JSON: step counter, document counts,
+//                   the G trajectory tail, per-cluster health rows
+//                   (stable id, size, avg_sim, age, drift), churn/EWMA
+//                   summary, durability lag and rep-index build stats;
+//   GET /eventsz  — the recent lifecycle events (obs/event_log.h) as a
+//                   JSON array, newest last; `?n=` caps the count.
+//
+// The pipeline side of the contract is StatusBoard: the driver calls
+// RecordStep after every completed step (and RecordDurability after each
+// durable step) while the server thread renders snapshots — one mutex,
+// no shared mutable state beyond it.
+
+#ifndef NIDC_SERVE_INTROSPECTION_H_
+#define NIDC_SERVE_INTROSPECTION_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "nidc/obs/cluster_health.h"
+#include "nidc/obs/event_log.h"
+#include "nidc/obs/metrics.h"
+#include "nidc/serve/http_server.h"
+
+namespace nidc::serve {
+
+/// Durability lag as /healthz reports it (all zero when not running
+/// through a DurableClusterer).
+struct DurabilityStatus {
+  bool enabled = false;
+  uint64_t generation = 0;
+  /// WAL records appended since the last checkpoint — the stream a crash
+  /// right now would have to replay.
+  uint64_t wal_records_since_checkpoint = 0;
+  uint64_t checkpoint_every = 0;
+};
+
+/// Thread-safe blackboard between the step loop and the server thread.
+class StatusBoard {
+ public:
+  /// The step-level digest the driver publishes after each step.
+  struct StepRecord {
+    uint64_t step = 0;
+    size_t num_new = 0;
+    size_t num_active = 0;
+    size_t num_outliers = 0;
+    size_t num_clusters = 0;  ///< Non-empty clusters.
+    int iterations = 0;
+    double g = 0.0;
+    double stats_seconds = 0.0;
+    double clustering_seconds = 0.0;
+  };
+
+  StatusBoard();
+
+  /// Publishes one completed step (stamps the liveness clock and appends
+  /// to the G trajectory tail).
+  void RecordStep(const StepRecord& record);
+
+  /// Publishes the durability lag after a durable step.
+  void RecordDurability(const DurabilityStatus& durability);
+
+  /// Copy of the newest step record; valid() is false before any step.
+  StepRecord last_step() const;
+  bool valid() const;
+  DurabilityStatus durability() const;
+  /// The retained G trajectory tail, oldest first (most recent 64 steps).
+  std::vector<double> g_tail() const;
+  /// Seconds since the last RecordStep (since construction before any).
+  double seconds_since_last_step() const;
+  /// Seconds since construction.
+  double uptime_seconds() const;
+
+ private:
+  double NowSeconds() const;
+
+  mutable std::mutex mu_;
+  bool valid_ = false;
+  StepRecord last_;
+  DurabilityStatus durability_;
+  std::deque<double> g_tail_;
+  double start_seconds_ = 0.0;
+  double last_step_seconds_ = 0.0;
+};
+
+/// What the endpoints read. Every pointer may be null — the corresponding
+/// sections are simply omitted (a /statusz without a health monitor still
+/// reports the step digest).
+struct IntrospectionOptions {
+  obs::MetricsRegistry* metrics = nullptr;
+  const obs::EventLog* events = nullptr;
+  const obs::ClusterHealthMonitor* health = nullptr;
+  const StatusBoard* board = nullptr;
+  /// /healthz turns 503 when the last step is older than this.
+  double stale_after_seconds = 600.0;
+  /// Default (and maximum) event count served by /eventsz.
+  size_t max_events = 256;
+};
+
+/// Registers /metrics, /healthz, /statusz and /eventsz on `server`. Call
+/// before HttpServer::Start.
+void RegisterIntrospectionEndpoints(HttpServer* server,
+                                    const IntrospectionOptions& options);
+
+/// Renders the /statusz payload (exposed for nidc_cli inspect tests).
+std::string RenderStatusJson(const IntrospectionOptions& options);
+
+/// Renders the /healthz payload; `*healthy` reports the verdict.
+std::string RenderHealthJson(const IntrospectionOptions& options,
+                             bool* healthy);
+
+}  // namespace nidc::serve
+
+#endif  // NIDC_SERVE_INTROSPECTION_H_

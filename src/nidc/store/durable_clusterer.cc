@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "nidc/obs/event_log.h"
 #include "nidc/util/logging.h"
 
 namespace nidc {
@@ -222,6 +223,16 @@ Status DurableClusterer::Rotate() {
   if (metrics_ != nullptr) {
     metrics_->GetGauge("store.generation")
         ->Set(static_cast<double>(generation_));
+  }
+  if (obs::EventLog* events = inner_->options().events; events != nullptr) {
+    obs::Event committed;
+    committed.type = obs::EventType::kCheckpointCommitted;
+    committed.detail = generation_;
+    events->Emit(committed);
+    obs::Event rotated;
+    rotated.type = obs::EventType::kWalRotated;
+    rotated.detail = generation_;
+    events->Emit(rotated);
   }
 
   // Prune generations beyond the retention window (best effort — stale

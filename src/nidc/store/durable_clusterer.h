@@ -118,6 +118,19 @@ class DurableClusterer {
   /// feeds a deterministic batch sequence resumes at this index.
   uint64_t applied_steps() const { return inner_->step_count(); }
 
+  /// Snapshot generation currently being written (the durability lag
+  /// trio below feeds /healthz: records since the last checkpoint out of
+  /// `checkpoint_every` is how much stream the next crash would replay).
+  uint64_t generation() const { return generation_; }
+
+  /// WAL records appended since the last checkpoint rotation.
+  uint64_t wal_records_since_checkpoint() const {
+    return records_since_checkpoint_;
+  }
+
+  /// The configured rotation cadence (DurableOptions::checkpoint_every).
+  uint64_t checkpoint_every() const { return durable_.checkpoint_every; }
+
   const RecoveryInfo& recovery() const { return recovery_; }
   const IncrementalClusterer& clusterer() const { return *inner_; }
   IncrementalClusterer& clusterer() { return *inner_; }

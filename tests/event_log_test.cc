@@ -1,0 +1,152 @@
+#include "nidc/obs/event_log.h"
+
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nidc/obs/json_util.h"
+#include "nidc/obs/metrics.h"
+
+namespace nidc {
+namespace {
+
+obs::Event MoveEvent(uint64_t doc, uint64_t from, uint64_t to) {
+  obs::Event event;
+  event.type = obs::EventType::kDocMoved;
+  event.doc = doc;
+  event.from_cluster = from;
+  event.cluster_id = to;
+  return event;
+}
+
+TEST(EventLogTest, EmitAssignsSequenceAndStep) {
+  obs::EventLog log(8);
+  log.SetStep(7);
+  log.Emit(MoveEvent(1, 0, 2));
+  log.Emit(MoveEvent(2, 2, 0));
+  const std::vector<obs::Event> events = log.Recent();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].sequence, 0u);
+  EXPECT_EQ(events[1].sequence, 1u);
+  EXPECT_EQ(events[0].step, 7u);
+  EXPECT_EQ(events[1].step, 7u);
+  EXPECT_GE(events[1].seconds, events[0].seconds);
+}
+
+TEST(EventLogTest, RingWrapDropsOldestAndCounts) {
+  obs::EventLog log(4);
+  for (uint64_t i = 0; i < 6; ++i) log.Emit(MoveEvent(i, 0, 1));
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.total_emitted(), 6u);
+  EXPECT_EQ(log.dropped(), 2u);
+  const std::vector<obs::Event> events = log.Recent();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first, and the two oldest (docs 0, 1) are gone.
+  EXPECT_EQ(events.front().doc, 2u);
+  EXPECT_EQ(events.back().doc, 5u);
+}
+
+TEST(EventLogTest, RecentCapsTheCount) {
+  obs::EventLog log(8);
+  for (uint64_t i = 0; i < 5; ++i) log.Emit(MoveEvent(i, 0, 1));
+  const std::vector<obs::Event> events = log.Recent(2);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].doc, 3u);
+  EXPECT_EQ(events[1].doc, 4u);
+}
+
+TEST(EventLogTest, PublishesCountersWhenRegistrySupplied) {
+  obs::MetricsRegistry registry;
+  obs::EventLog log(2, &registry);
+  // Counters exist (at zero) before any emission — snapshots taken early
+  // still carry the events.* family.
+  EXPECT_EQ(registry.GetCounter("events.emitted")->Value(), 0u);
+  for (uint64_t i = 0; i < 3; ++i) log.Emit(MoveEvent(i, 0, 1));
+  EXPECT_EQ(registry.GetCounter("events.emitted")->Value(), 3u);
+  EXPECT_EQ(registry.GetCounter("events.dropped")->Value(), 1u);
+}
+
+TEST(EventLogTest, RenderJsonOmitsInapplicableFields) {
+  obs::Event expired;
+  expired.type = obs::EventType::kDocExpired;
+  expired.doc = 42;
+  const std::string json = obs::RenderEventJson(expired);
+  EXPECT_NE(json.find("\"type\":\"doc_expired\""), std::string::npos);
+  EXPECT_NE(json.find("\"doc\":42"), std::string::npos);
+  EXPECT_EQ(json.find("cluster"), std::string::npos);
+
+  obs::Event checkpoint;
+  checkpoint.type = obs::EventType::kCheckpointCommitted;
+  checkpoint.detail = 9;
+  const std::string ckpt_json = obs::RenderEventJson(checkpoint);
+  EXPECT_NE(ckpt_json.find("\"generation\":9"), std::string::npos);
+}
+
+TEST(EventLogTest, EveryTypeHasAStableName) {
+  EXPECT_STREQ(obs::EventTypeName(obs::EventType::kClusterCreated),
+               "cluster_created");
+  EXPECT_STREQ(obs::EventTypeName(obs::EventType::kClusterEmptied),
+               "cluster_emptied");
+  EXPECT_STREQ(obs::EventTypeName(obs::EventType::kClusterReseeded),
+               "cluster_reseeded");
+  EXPECT_STREQ(obs::EventTypeName(obs::EventType::kDocMoved), "doc_moved");
+  EXPECT_STREQ(obs::EventTypeName(obs::EventType::kDocExpired),
+               "doc_expired");
+  EXPECT_STREQ(obs::EventTypeName(obs::EventType::kCheckpointCommitted),
+               "checkpoint_committed");
+  EXPECT_STREQ(obs::EventTypeName(obs::EventType::kWalRotated),
+               "wal_rotated");
+}
+
+TEST(EventLogTest, ExportJsonlWritesParseableLines) {
+  obs::EventLog log(8);
+  log.SetStep(3);
+  log.Emit(MoveEvent(10, 1, 2));
+  obs::Event expired;
+  expired.type = obs::EventType::kDocExpired;
+  expired.doc = 11;
+  log.Emit(expired);
+
+  const std::string path = testing::TempDir() + "/event_log_test.jsonl";
+  ASSERT_TRUE(log.ExportJsonl(path).ok());
+
+  std::ifstream in(path);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    const Result<obs::JsonValue> parsed = obs::ParseJson(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    ASSERT_TRUE(parsed->is_object());
+    EXPECT_NE(parsed->Find("type"), nullptr);
+    EXPECT_NE(parsed->Find("seq"), nullptr);
+    EXPECT_NE(parsed->Find("step"), nullptr);
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(EventLogTest, ConcurrentEmittersKeepSequenceDense) {
+  obs::EventLog log(1024);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log] {
+      for (int i = 0; i < kPerThread; ++i) log.Emit(MoveEvent(i, 0, 1));
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(log.total_emitted(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  const std::vector<obs::Event> events = log.Recent();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads * kPerThread));
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].sequence, i);
+  }
+}
+
+}  // namespace
+}  // namespace nidc

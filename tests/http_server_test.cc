@@ -1,0 +1,206 @@
+#include "nidc/serve/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nidc/obs/metrics.h"
+
+namespace nidc {
+namespace {
+
+struct FetchResult {
+  bool ok = false;
+  int status = 0;
+  std::string body;
+};
+
+// Minimal blocking HTTP client: one request, reads to EOF (the server
+// closes after each response).
+FetchResult Fetch(uint16_t port, const std::string& target,
+                  const std::string& method = "GET") {
+  FetchResult result;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return result;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return result;
+  }
+  const std::string request = method + " " + target +
+                              " HTTP/1.1\r\nHost: localhost\r\n"
+                              "Connection: close\r\n\r\n";
+  (void)!::write(fd, request.data(), request.size());
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t space = response.find(' ');
+  if (space == std::string::npos) return result;
+  result.status = std::atoi(response.c_str() + space + 1);
+  const size_t body_start = response.find("\r\n\r\n");
+  if (body_start != std::string::npos) {
+    result.body = response.substr(body_start + 4);
+  }
+  result.ok = true;
+  return result;
+}
+
+TEST(HttpServerTest, ServesRegisteredHandler) {
+  serve::HttpServer server;
+  server.Handle("/hello", [](const serve::HttpRequest&) {
+    serve::HttpResponse response;
+    response.body = "world";
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  ASSERT_NE(server.port(), 0);
+  const FetchResult result = Fetch(server.port(), "/hello");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 200);
+  EXPECT_EQ(result.body, "world");
+  server.Stop();
+}
+
+TEST(HttpServerTest, HandlerSeesPathAndQuery) {
+  serve::HttpServer server;
+  server.Handle("/echo", [](const serve::HttpRequest& request) {
+    serve::HttpResponse response;
+    response.body = request.method + " " + request.path + " ?" +
+                    request.query;
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  const FetchResult result = Fetch(server.port(), "/echo?n=3&x=y");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.body, "GET /echo ?n=3&x=y");
+  server.Stop();
+}
+
+TEST(HttpServerTest, UnknownPathIs404) {
+  obs::MetricsRegistry registry;
+  serve::HttpServer server(&registry);
+  ASSERT_TRUE(server.Start(0).ok());
+  const FetchResult result = Fetch(server.port(), "/nope");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 404);
+  EXPECT_EQ(registry.GetCounter("serve.not_found")->Value(), 1u);
+  EXPECT_EQ(registry.GetCounter("serve.requests")->Value(), 1u);
+  server.Stop();
+}
+
+TEST(HttpServerTest, NonGetIs405) {
+  serve::HttpServer server;
+  server.Handle("/hello", [](const serve::HttpRequest&) {
+    return serve::HttpResponse{};
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  const FetchResult result = Fetch(server.port(), "/hello", "POST");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 405);
+  server.Stop();
+}
+
+TEST(HttpServerTest, PortInUseIsAnIOErrorStatus) {
+  serve::HttpServer first;
+  ASSERT_TRUE(first.Start(0).ok());
+  serve::HttpServer second;
+  const Status status = second.Start(first.port());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_FALSE(second.running());
+  first.Stop();
+}
+
+TEST(HttpServerTest, StartWhileRunningIsFailedPrecondition) {
+  serve::HttpServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_EQ(server.Start(0).code(), StatusCode::kFailedPrecondition);
+  server.Stop();
+}
+
+TEST(HttpServerTest, StopIsIdempotentAndRestartable) {
+  serve::HttpServer server;
+  server.Stop();  // no-op before Start
+  ASSERT_TRUE(server.Start(0).ok());
+  server.Stop();
+  server.Stop();  // no-op after Stop
+  EXPECT_FALSE(server.running());
+  // A stopped server can be started again on a fresh port.
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_TRUE(server.running());
+  server.Stop();
+}
+
+TEST(HttpServerTest, ConcurrentClientsAllGetAnswers) {
+  serve::HttpServer server;
+  server.Handle("/ping", [](const serve::HttpRequest&) {
+    serve::HttpResponse response;
+    response.body = "pong";
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  constexpr int kClients = 8;
+  constexpr int kRequestsEach = 5;
+  std::atomic<int> successes{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server, &successes] {
+      for (int i = 0; i < kRequestsEach; ++i) {
+        const FetchResult result = Fetch(server.port(), "/ping");
+        if (result.ok && result.status == 200 && result.body == "pong") {
+          successes.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(successes.load(), kClients * kRequestsEach);
+  EXPECT_EQ(server.requests_served(),
+            static_cast<uint64_t>(kClients * kRequestsEach));
+  server.Stop();
+}
+
+TEST(HttpServerTest, MalformedRequestIs400) {
+  obs::MetricsRegistry registry;
+  serve::HttpServer server(&registry);
+  ASSERT_TRUE(server.Start(0).ok());
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::string garbage = "NONSENSE\r\n\r\n";
+  ASSERT_GT(::write(fd, garbage.data(), garbage.size()), 0);
+  std::string response;
+  char buf[1024];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("400"), std::string::npos);
+  EXPECT_EQ(registry.GetCounter("serve.bad_requests")->Value(), 1u);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace nidc

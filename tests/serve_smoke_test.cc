@@ -1,0 +1,212 @@
+// End-to-end smoke of the live introspection stack: a real incremental
+// clustering run with the event log, health monitor and metrics registry
+// wired in, served over an in-process HttpServer, scraped with a raw
+// socket client mid-run.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "nidc/core/incremental_clusterer.h"
+#include "nidc/obs/cluster_health.h"
+#include "nidc/obs/event_log.h"
+#include "nidc/obs/json_util.h"
+#include "nidc/obs/metrics.h"
+#include "nidc/serve/http_server.h"
+#include "nidc/serve/introspection.h"
+
+namespace nidc {
+namespace {
+
+struct FetchResult {
+  bool ok = false;
+  int status = 0;
+  std::string body;
+};
+
+FetchResult Fetch(uint16_t port, const std::string& target) {
+  FetchResult result;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return result;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return result;
+  }
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: localhost\r\n"
+                              "Connection: close\r\n\r\n";
+  (void)!::write(fd, request.data(), request.size());
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t space = response.find(' ');
+  if (space == std::string::npos) return result;
+  result.status = std::atoi(response.c_str() + space + 1);
+  const size_t body_start = response.find("\r\n\r\n");
+  if (body_start != std::string::npos) {
+    result.body = response.substr(body_start + 4);
+  }
+  result.ok = true;
+  return result;
+}
+
+class ServeSmokeTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_.AddText("iraq weapons inspection baghdad", 0.0, 1);
+    corpus_.AddText("iraq sanctions baghdad embargo", 0.0, 1);
+    corpus_.AddText("olympics skating nagano medal", 0.0, 2);
+    corpus_.AddText("olympics hockey nagano final", 1.0, 2);
+    corpus_.AddText("tobacco settlement senate lawsuit", 1.0, 3);
+    corpus_.AddText("tobacco lawsuit vote senate", 2.0, 3);
+  }
+
+  Corpus corpus_;
+};
+
+TEST_F(ServeSmokeTest, EndpointsServeALiveRun) {
+  obs::MetricsRegistry registry;
+  obs::EventLog events(1024, &registry);
+  obs::ClusterHealthOptions health_options;
+  health_options.metrics = &registry;
+  obs::ClusterHealthMonitor health(health_options);
+  serve::StatusBoard board;
+
+  serve::HttpServer server(&registry);
+  serve::IntrospectionOptions introspection;
+  introspection.metrics = &registry;
+  introspection.events = &events;
+  introspection.health = &health;
+  introspection.board = &board;
+  serve::RegisterIntrospectionEndpoints(&server, introspection);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  ForgettingParams params;
+  params.half_life_days = 7.0;
+  params.life_span_days = 14.0;
+  IncrementalOptions options;
+  options.kmeans.k = 3;
+  options.kmeans.seed = 3;
+  options.metrics = &registry;
+  options.events = &events;
+  options.health = &health;
+  IncrementalClusterer clusterer(&corpus_, params, options);
+
+  const std::vector<std::vector<DocId>> batches = {{0, 1}, {2, 3}, {4, 5}};
+  uint64_t step_index = 0;
+  for (const std::vector<DocId>& batch : batches) {
+    auto result = clusterer.Step(batch, static_cast<double>(step_index));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    serve::StatusBoard::StepRecord record;
+    record.step = step_index;
+    record.num_new = result->num_new;
+    record.num_active = result->num_active;
+    record.num_outliers = result->num_outliers;
+    record.num_clusters = result->clustering.NumNonEmpty();
+    record.iterations = result->iterations;
+    record.g = result->final_g;
+    board.RecordStep(record);
+    ++step_index;
+
+    // Scrape while the pipeline is mid-run, after every step.
+    const FetchResult healthz = Fetch(server.port(), "/healthz");
+    ASSERT_TRUE(healthz.ok);
+    EXPECT_EQ(healthz.status, 200);
+  }
+
+  // /healthz: alive, step count matches.
+  const FetchResult healthz = Fetch(server.port(), "/healthz");
+  ASSERT_TRUE(healthz.ok);
+  EXPECT_EQ(healthz.status, 200);
+  const Result<obs::JsonValue> health_json = obs::ParseJson(healthz.body);
+  ASSERT_TRUE(health_json.ok()) << healthz.body;
+  ASSERT_NE(health_json->Find("status"), nullptr);
+  EXPECT_EQ(health_json->Find("status")->string_value, "ok");
+  ASSERT_NE(health_json->Find("steps"), nullptr);
+  EXPECT_EQ(health_json->Find("steps")->number, 3.0);
+
+  // /statusz: step digest, G tail, health section with cluster rows.
+  const FetchResult statusz = Fetch(server.port(), "/statusz");
+  ASSERT_TRUE(statusz.ok);
+  EXPECT_EQ(statusz.status, 200);
+  const Result<obs::JsonValue> status_json = obs::ParseJson(statusz.body);
+  ASSERT_TRUE(status_json.ok()) << statusz.body;
+  ASSERT_NE(status_json->Find("step"), nullptr);
+  EXPECT_EQ(status_json->Find("step")->number, 2.0);
+  const obs::JsonValue* g_tail = status_json->Find("g_tail");
+  ASSERT_NE(g_tail, nullptr);
+  EXPECT_EQ(g_tail->array.size(), 3u);
+  const obs::JsonValue* health_section = status_json->Find("health");
+  ASSERT_NE(health_section, nullptr);
+  EXPECT_NE(health_section->Find("mean_drift"), nullptr);
+  const obs::JsonValue* clusters = status_json->Find("clusters");
+  ASSERT_NE(clusters, nullptr);
+  EXPECT_FALSE(clusters->array.empty());
+
+  // /metrics: Prometheus text with the health/events/serve families.
+  const FetchResult metrics = Fetch(server.port(), "/metrics");
+  ASSERT_TRUE(metrics.ok);
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("health_topic_drift"), std::string::npos);
+  EXPECT_NE(metrics.body.find("events_emitted"), std::string::npos);
+  EXPECT_NE(metrics.body.find("serve_requests"), std::string::npos);
+  EXPECT_NE(metrics.body.find("kmeans_runs"), std::string::npos);
+
+  // /eventsz: the run emitted cluster_created events, and ?n= caps.
+  const FetchResult eventsz = Fetch(server.port(), "/eventsz");
+  ASSERT_TRUE(eventsz.ok);
+  EXPECT_EQ(eventsz.status, 200);
+  EXPECT_NE(eventsz.body.find("cluster_created"), std::string::npos);
+  const FetchResult capped = Fetch(server.port(), "/eventsz?n=1");
+  ASSERT_TRUE(capped.ok);
+  const Result<obs::JsonValue> capped_json = obs::ParseJson(capped.body);
+  ASSERT_TRUE(capped_json.ok()) << capped.body;
+  const obs::JsonValue* capped_events = capped_json->Find("events");
+  ASSERT_NE(capped_events, nullptr);
+  EXPECT_EQ(capped_events->array.size(), 1u);
+
+  server.Stop();
+}
+
+TEST_F(ServeSmokeTest, HealthzGoesStaleWithoutSteps) {
+  serve::StatusBoard board;
+  serve::HttpServer server;
+  serve::IntrospectionOptions introspection;
+  introspection.board = &board;
+  introspection.stale_after_seconds = 0.0;  // everything is stale
+  serve::RegisterIntrospectionEndpoints(&server, introspection);
+  ASSERT_TRUE(server.Start(0).ok());
+  const FetchResult healthz = Fetch(server.port(), "/healthz");
+  ASSERT_TRUE(healthz.ok);
+  EXPECT_EQ(healthz.status, 503);
+  EXPECT_NE(healthz.body.find("stale"), std::string::npos);
+  server.Stop();
+}
+
+TEST_F(ServeSmokeTest, StatusBeforeFirstStepReportsNotStarted) {
+  serve::StatusBoard board;
+  serve::IntrospectionOptions introspection;
+  introspection.board = &board;
+  const std::string rendered = serve::RenderStatusJson(introspection);
+  const Result<obs::JsonValue> parsed = obs::ParseJson(rendered);
+  ASSERT_TRUE(parsed.ok()) << rendered;
+  ASSERT_NE(parsed->Find("started"), nullptr);
+  EXPECT_FALSE(parsed->Find("started")->bool_value);
+}
+
+}  // namespace
+}  // namespace nidc

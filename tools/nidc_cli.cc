@@ -11,7 +11,7 @@
 //          [--from D --to D] [--state FILE] [--metrics-out FILE.jsonl]
 //          [--metrics-csv FILE.csv] [--metrics-prom FILE] [--trace]
 //          [--checkpoint-dir DIR] [--checkpoint-every N]
-//          [--wal-fsync every|none]
+//          [--wal-fsync every|none] [--serve PORT] [--events-out FILE]
 //       Replay the corpus through the incremental clusterer, printing a
 //       digest per step; optionally resume from / save to a state snapshot.
 //       --metrics-out writes one JSON record per step (G trajectory,
@@ -27,9 +27,21 @@
 //       the tail since the last checkpoint for throughput. When
 //       --checkpoint-dir is set it is the authoritative resume source;
 //       --state is still honored as a final snapshot destination.
+//       --serve starts the embedded introspection server on
+//       127.0.0.1:PORT for the duration of the replay (GET /metrics,
+//       /healthz, /statusz, /eventsz — see docs/observability.md);
+//       --events-out writes the retained lifecycle events (cluster
+//       created/emptied/reseeded, doc moves/expiries, checkpoints) as
+//       JSONL when the replay ends. Either flag — like any metrics flag —
+//       turns the full telemetry stack on (registry + event log + cluster
+//       health monitor).
 //   eval --corpus FILE [--beta D] [--gamma D] [--k N] [--from D --to D]
 //       Cluster and score against the corpus's topic labels (micro/macro
 //       F1, purity, NMI, ARI).
+//   inspect URL
+//       Fetch /statusz from a serving nidc_cli (e.g.
+//       `nidc_cli inspect http://127.0.0.1:8080`) and pretty-print the
+//       pipeline status: step digest, G tail, per-cluster health rows.
 //
 // All subcommands accept --lenient: skip malformed corpus records (counted
 // and reported, and exported as the corpus.bad_records metric) instead of
@@ -37,11 +49,17 @@
 //
 // All times are fractional days in the corpus's own timeline.
 
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "nidc/core/incremental_clusterer.h"
 #include "nidc/core/state_io.h"
@@ -51,10 +69,14 @@
 #include "nidc/eval/clustering_metrics.h"
 #include "nidc/eval/f1_measures.h"
 #include "nidc/eval/report.h"
+#include "nidc/obs/cluster_health.h"
+#include "nidc/obs/event_log.h"
 #include "nidc/obs/exporters.h"
 #include "nidc/obs/json_util.h"
 #include "nidc/obs/metrics.h"
 #include "nidc/obs/trace.h"
+#include "nidc/serve/http_server.h"
+#include "nidc/serve/introspection.h"
 #include "nidc/synth/tdt2_like_generator.h"
 
 namespace nidc {
@@ -63,6 +85,7 @@ namespace {
 struct Args {
   std::string command;
   std::map<std::string, std::string> flags;
+  std::vector<std::string> positional;
 
   const char* Get(const std::string& key, const char* fallback) const {
     auto it = flags.find(key);
@@ -85,7 +108,8 @@ struct Args {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: nidc_cli <generate|cluster|stream|eval> [--flag value]...\n"
+      "usage: nidc_cli <generate|cluster|stream|eval|inspect> "
+      "[--flag value]...\n"
       "  generate --out FILE [--scale S] [--seed N]\n"
       "  cluster  --corpus FILE [--beta D] [--gamma D] [--k N]\n"
       "           [--from D --to D] [--top-terms N] [--state FILE]\n"
@@ -95,8 +119,10 @@ int Usage() {
       "           [--metrics-prom FILE] [--trace]\n"
       "           [--checkpoint-dir DIR] [--checkpoint-every N]\n"
       "           [--wal-fsync every|none]\n"
+      "           [--serve PORT] [--events-out FILE.jsonl]\n"
       "  eval     --corpus FILE [--beta D] [--gamma D] [--k N]\n"
       "           [--from D --to D]\n"
+      "  inspect  URL (pretty-prints /statusz of a serving stream)\n"
       "all subcommands: [--lenient] skips malformed corpus records\n");
   return 2;
 }
@@ -109,8 +135,8 @@ Result<Args> Parse(int argc, char** argv) {
   // stored with an empty value and queried via Has()).
   for (int i = 2; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) != 0) {
-      return Status::InvalidArgument(std::string("expected flag, got ") +
-                                     argv[i]);
+      args.positional.push_back(argv[i]);
+      continue;
     }
     const std::string flag = argv[i] + 2;
     if (const size_t eq = flag.find('='); eq != std::string::npos) {
@@ -266,13 +292,27 @@ int RunStream(const Args& args) {
   const std::string metrics_out = args.Get("metrics-out", "");
   const std::string metrics_csv = args.Get("metrics-csv", "");
   const std::string metrics_prom = args.Get("metrics-prom", "");
+  const std::string events_out = args.Get("events-out", "");
   const bool tracing = args.Has("trace");
+  const bool serving = args.Has("serve");
   const bool telemetry = !metrics_out.empty() || !metrics_csv.empty() ||
-                         !metrics_prom.empty() || tracing;
+                         !metrics_prom.empty() || !events_out.empty() ||
+                         tracing || serving;
+  std::unique_ptr<obs::EventLog> events;
+  std::unique_ptr<obs::ClusterHealthMonitor> health;
   if (telemetry) {
     options.metrics = &registry;
     registry.GetCounter("corpus.bad_records")
         ->Increment(corpus_stats.bad_records);
+    // The full stack rides along with any telemetry flag: the event log
+    // backs /eventsz and --events-out, the health monitor publishes the
+    // health.* families the metrics exports carry.
+    events = std::make_unique<obs::EventLog>(/*capacity=*/4096, &registry);
+    obs::ClusterHealthOptions health_options;
+    health_options.metrics = &registry;
+    health = std::make_unique<obs::ClusterHealthMonitor>(health_options);
+    options.events = events.get();
+    options.health = health.get();
   }
   std::unique_ptr<obs::JsonlWriter> jsonl;
   if (!metrics_out.empty()) {
@@ -281,6 +321,29 @@ int RunStream(const Args& args) {
   obs::MetricsCsvSeries csv_series;
   obs::Tracer tracer;
   obs::ScopedTracerInstall install_tracer(tracing ? &tracer : nullptr);
+
+  // The introspection server (--serve) reads the board the step loop
+  // writes; everything else it serves is the telemetry stack above.
+  serve::StatusBoard board;
+  std::unique_ptr<serve::HttpServer> server;
+  if (serving) {
+    server = std::make_unique<serve::HttpServer>(&registry);
+    serve::IntrospectionOptions introspection;
+    introspection.metrics = &registry;
+    introspection.events = events.get();
+    introspection.health = health.get();
+    introspection.board = &board;
+    serve::RegisterIntrospectionEndpoints(server.get(), introspection);
+    const Status started =
+        server->Start(static_cast<uint16_t>(args.GetSize("serve", 0)));
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("serving on http://127.0.0.1:%u "
+                "(/metrics /healthz /statusz /eventsz)\n",
+                server->port());
+  }
 
   std::unique_ptr<IncrementalClusterer> clusterer;
   std::unique_ptr<DurableClusterer> durable;
@@ -368,6 +431,28 @@ int RunStream(const Args& args) {
                 batch->end, result->num_new, result->num_active,
                 result->expired.size(), result->clustering.NumNonEmpty(),
                 result->num_outliers, result->iterations, result->final_g);
+    if (server != nullptr) {
+      serve::StatusBoard::StepRecord record;
+      record.step = step_index;
+      record.num_new = result->num_new;
+      record.num_active = result->num_active;
+      record.num_outliers = result->num_outliers;
+      record.num_clusters = result->clustering.NumNonEmpty();
+      record.iterations = result->iterations;
+      record.g = result->final_g;
+      record.stats_seconds = result->stats_update_seconds;
+      record.clustering_seconds = result->clustering_seconds;
+      board.RecordStep(record);
+      if (durable != nullptr) {
+        serve::DurabilityStatus lag;
+        lag.enabled = true;
+        lag.generation = durable->generation();
+        lag.wal_records_since_checkpoint =
+            durable->wal_records_since_checkpoint();
+        lag.checkpoint_every = durable->checkpoint_every();
+        board.RecordDurability(lag);
+      }
+    }
     if (tracing) {
       std::printf("%s", tracer.Render().c_str());
     }
@@ -420,6 +505,22 @@ int RunStream(const Args& args) {
     }
     std::printf("metrics: prometheus dump -> %s\n", metrics_prom.c_str());
   }
+  if (!events_out.empty()) {
+    if (const Status s = events->ExportJsonl(events_out); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("events: %zu retained (%llu emitted) -> %s\n",
+                events->size(),
+                static_cast<unsigned long long>(events->total_emitted()),
+                events_out.c_str());
+  }
+  if (server != nullptr) {
+    const uint64_t served = server->requests_served();
+    server->Stop();
+    std::printf("served %llu introspection requests\n",
+                static_cast<unsigned long long>(served));
+  }
   if (!state_path.empty()) {
     const IncrementalClusterer& final_clusterer =
         durable != nullptr ? durable->clusterer() : *clusterer;
@@ -464,6 +565,171 @@ int RunEval(const Args& args) {
   return 0;
 }
 
+// Minimal HTTP/1.1 GET against the introspection server: resolves
+// HOST:PORT from an http:// URL, sends one request, returns the body
+// (whatever the status — a 503 /healthz body is still informative).
+Result<std::string> HttpGet(const std::string& url) {
+  std::string rest = url;
+  if (rest.rfind("http://", 0) == 0) rest = rest.substr(7);
+  std::string path = "/statusz";
+  if (const size_t slash = rest.find('/'); slash != std::string::npos) {
+    path = rest.substr(slash);
+    rest = rest.substr(0, slash);
+  }
+  std::string host = rest;
+  std::string port = "80";
+  if (const size_t colon = rest.find(':'); colon != std::string::npos) {
+    host = rest.substr(0, colon);
+    port = rest.substr(colon + 1);
+  }
+  if (host.empty() || port.empty()) {
+    return Status::InvalidArgument("cannot parse host:port from " + url);
+  }
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  if (::getaddrinfo(host.c_str(), port.c_str(), &hints, &resolved) != 0) {
+    return Status::IOError("cannot resolve " + host + ":" + port);
+  }
+  int fd = -1;
+  for (addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(resolved);
+  if (fd < 0) {
+    return Status::IOError("cannot connect to " + host + ":" + port);
+  }
+
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  size_t offset = 0;
+  while (offset < request.size()) {
+    const ssize_t n =
+        ::write(fd, request.data() + offset, request.size() - offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IOError("write failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    offset += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t body_start = response.find("\r\n\r\n");
+  if (body_start == std::string::npos) {
+    return Status::IOError("malformed HTTP response from " + url);
+  }
+  return response.substr(body_start + 4);
+}
+
+double NumberOr(const obs::JsonValue* value, double fallback) {
+  return value != nullptr && value->is_number() ? value->number : fallback;
+}
+
+int RunInspect(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr,
+                 "inspect: a URL is required "
+                 "(e.g. nidc_cli inspect http://127.0.0.1:8080)\n");
+    return 2;
+  }
+  Result<std::string> body = HttpGet(args.positional.front());
+  if (!body.ok()) {
+    std::fprintf(stderr, "%s\n", body.status().ToString().c_str());
+    return 1;
+  }
+  Result<obs::JsonValue> parsed = obs::ParseJson(*body);
+  if (!parsed.ok() || !parsed->is_object()) {
+    std::fprintf(stderr, "response is not a JSON object: %s\n",
+                 parsed.ok() ? "(wrong kind)"
+                             : parsed.status().ToString().c_str());
+    return 1;
+  }
+  const obs::JsonValue& status = *parsed;
+  if (status.Find("started") != nullptr) {
+    std::printf("pipeline started, no step completed yet\n");
+    return 0;
+  }
+  std::printf("step %5.0f | %5.0f active | %3.0f clusters | "
+              "%4.0f outliers | %2.0f iters | G %.5g\n",
+              NumberOr(status.Find("step"), 0),
+              NumberOr(status.Find("num_active"), 0),
+              NumberOr(status.Find("num_clusters"), 0),
+              NumberOr(status.Find("num_outliers"), 0),
+              NumberOr(status.Find("iterations"), 0),
+              NumberOr(status.Find("g"), 0));
+  std::printf("last step %.1fs ago | stats %.3gs | clustering %.3gs\n",
+              NumberOr(status.Find("last_step_age_seconds"), 0),
+              NumberOr(status.Find("stats_seconds"), 0),
+              NumberOr(status.Find("clustering_seconds"), 0));
+  if (const obs::JsonValue* tail = status.Find("g_tail");
+      tail != nullptr && tail->is_array() && !tail->array.empty()) {
+    std::printf("G tail:");
+    const size_t start = tail->array.size() > 8 ? tail->array.size() - 8 : 0;
+    for (size_t i = start; i < tail->array.size(); ++i) {
+      std::printf(" %.5g", tail->array[i].number);
+    }
+    std::printf("\n");
+  }
+  if (const obs::JsonValue* durability = status.Find("durability");
+      durability != nullptr && durability->is_object() &&
+      durability->Find("enabled") != nullptr &&
+      durability->Find("enabled")->bool_value) {
+    std::printf("durability: generation %.0f | WAL %.0f/%.0f records "
+                "since checkpoint\n",
+                NumberOr(durability->Find("generation"), 0),
+                NumberOr(durability->Find("wal_records_since_checkpoint"),
+                         0),
+                NumberOr(durability->Find("checkpoint_every"), 0));
+  }
+  if (const obs::JsonValue* health = status.Find("health");
+      health != nullptr && health->is_object()) {
+    std::printf("health: drift mean %.4g max %.4g | churn %.4g | "
+                "outlier ewma %.4g | dG ewma %.4g\n",
+                NumberOr(health->Find("mean_drift"), 0),
+                NumberOr(health->Find("max_drift"), 0),
+                NumberOr(health->Find("membership_churn"), 0),
+                NumberOr(health->Find("outlier_rate_ewma"), 0),
+                NumberOr(health->Find("g_delta_ewma"), 0));
+  }
+  if (const obs::JsonValue* clusters = status.Find("clusters");
+      clusters != nullptr && clusters->is_array()) {
+    std::printf("%6s %6s %9s %5s %8s\n", "id", "docs", "avg_sim", "age",
+                "drift");
+    for (const obs::JsonValue& row : clusters->array) {
+      std::printf("%6.0f %6.0f %9.3g %5.0f %8.4g\n",
+                  NumberOr(row.Find("id"), 0), NumberOr(row.Find("size"), 0),
+                  NumberOr(row.Find("avg_sim"), 0),
+                  NumberOr(row.Find("age_steps"), 0),
+                  NumberOr(row.Find("drift"), 0));
+    }
+  }
+  if (const obs::JsonValue* events = status.Find("events");
+      events != nullptr && events->is_object()) {
+    std::printf("events: %.0f emitted, %.0f dropped\n",
+                NumberOr(events->Find("emitted"), 0),
+                NumberOr(events->Find("dropped"), 0));
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   Result<Args> args = Parse(argc, argv);
   if (!args.ok()) {
@@ -474,6 +740,7 @@ int Main(int argc, char** argv) {
   if (args->command == "cluster") return RunCluster(*args);
   if (args->command == "stream") return RunStream(*args);
   if (args->command == "eval") return RunEval(*args);
+  if (args->command == "inspect") return RunInspect(*args);
   return Usage();
 }
 

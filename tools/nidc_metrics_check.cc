@@ -5,10 +5,12 @@
 //
 // Every line must parse as a JSON object and carry the step digest keys,
 // a non-empty G trajectory, and the expected metric families (K-means,
-// rep-index, thread-pool, term-statistics). Exit 0 when every record
-// passes; 1 with a per-line diagnosis otherwise. CI runs this after a
-// stream replay so exporter regressions fail the build instead of
-// silently producing unparseable telemetry.
+// rep-index, thread-pool, term-statistics, cluster health, event log).
+// Every metric name must also belong to a known family prefix — a typo'd
+// or undocumented family fails validation instead of silently shipping.
+// Exit 0 when every record passes; 1 with a per-line diagnosis otherwise.
+// CI runs this after a stream replay so exporter regressions fail the
+// build instead of silently producing unparseable telemetry.
 
 #include <cstdio>
 #include <cstring>
@@ -33,6 +35,7 @@ constexpr const char* kMetricKeys[] = {
     "kmeans.iterations",
     "kmeans.iterations_per_run",
     "kmeans.moves",
+    "kmeans.cluster_reseeds",
     "kmeans.moves_per_sweep",
     "kmeans.docs_swept",
     "kmeans.seeded_assigned",
@@ -55,6 +58,27 @@ constexpr const char* kMetricKeys[] = {
     "step.active_docs",
     "step.stats_seconds",
     "step.clustering_seconds",
+    "health.steps",
+    "health.topic_drift",
+    "health.topic_drift_max",
+    "health.membership_churn",
+    "health.outlier_rate",
+    "health.outlier_rate_ewma",
+    "health.g_delta_ewma",
+    "health.clusters_created",
+    "health.clusters_vanished",
+    "health.drift_per_cluster",
+    "events.emitted",
+    "events.dropped",
+};
+
+// Every exported metric must carry one of these family prefixes; names
+// outside them are either typos or new families that docs/observability.md
+// (and this list) have not caught up with yet — both should fail CI.
+constexpr const char* kKnownPrefixes[] = {
+    "kmeans.",      "rep_index.", "thread_pool.", "term_stats.",
+    "step.",        "corpus.",    "store.",       "health.",
+    "events.",      "serve.",
 };
 
 // Appends the problems of one record to `problems` (empty = record ok).
@@ -82,6 +106,19 @@ void CheckRecord(const obs::JsonValue& record, bool require_trace,
     for (const char* key : kMetricKeys) {
       if (metrics->Find(key) == nullptr) {
         problems->push_back(std::string("missing metric '") + key + "'");
+      }
+    }
+    for (const auto& [name, value] : metrics->object) {
+      bool known = false;
+      for (const char* prefix : kKnownPrefixes) {
+        if (name.compare(0, std::strlen(prefix), prefix) == 0) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        problems->push_back("metric '" + name +
+                            "' has no known family prefix");
       }
     }
   }
