@@ -2,6 +2,7 @@
 
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -32,30 +33,32 @@ const char* ReasonPhrase(int status) {
   }
 }
 
-// Writes the whole buffer, retrying on EINTR / partial writes; best effort
-// (the peer may hang up — nothing to do about that).
+// Writes the whole buffer, retrying on EINTR / partial writes; best effort.
+// MSG_NOSIGNAL keeps a peer hangup (curl timeout, aborted scrape) as a
+// plain EPIPE instead of a process-killing SIGPIPE.
 void WriteAll(int fd, const std::string& data) {
   size_t offset = 0;
   while (offset < data.size()) {
-    const ssize_t n =
-        ::write(fd, data.data() + offset, data.size() - offset);
+    const ssize_t n = ::send(fd, data.data() + offset, data.size() - offset,
+                             MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return;
+      return;  // EPIPE/ECONNRESET/timeout: peer is gone, drop the response
     }
     offset += static_cast<size_t>(n);
   }
 }
 
 // Reads until the end of the request head (blank line) or the size cap.
-// Returns false when the connection died before a full head arrived.
+// Returns false when the connection died — or went silent past the
+// SO_RCVTIMEO set on the accepted socket — before a full head arrived.
 bool ReadRequestHead(int fd, std::string* head) {
   char buf[1024];
   while (head->size() < kMaxRequestBytes) {
     const ssize_t n = ::read(fd, buf, sizeof(buf));
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return false;  // includes EAGAIN/EWOULDBLOCK from the recv timeout
     }
     if (n == 0) return false;
     head->append(buf, static_cast<size_t>(n));
@@ -150,11 +153,13 @@ Status HttpServer::Start(uint16_t port) {
 }
 
 void HttpServer::Stop() {
-  if (!running_) return;
-  running_ = false;
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   // Unblocks the accept() in flight; the loop then observes running_ ==
-  // false and exits.
+  // false and exits. An in-flight connection is shut down too so a stalled
+  // client cannot hold up the join (its recv timeout bounds it anyway).
   ::shutdown(listen_fd_, SHUT_RDWR);
+  const int conn = conn_fd_.load(std::memory_order_acquire);
+  if (conn >= 0) ::shutdown(conn, SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
@@ -162,13 +167,21 @@ void HttpServer::Stop() {
 }
 
 void HttpServer::AcceptLoop() {
-  while (running_) {
+  while (running_.load(std::memory_order_acquire)) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // listening socket shut down (Stop) or unusable
     }
+    // Bound both directions so a client that connects and never sends (or
+    // never drains the response) cannot stall the single-threaded loop.
+    timeval timeout{};
+    timeout.tv_sec = 2;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    conn_fd_.store(fd, std::memory_order_release);
     ServeConnection(fd);
+    conn_fd_.store(-1, std::memory_order_release);
     ::close(fd);
   }
 }

@@ -69,7 +69,7 @@ class HttpServer {
   /// call repeatedly and without a prior successful Start.
   void Stop();
 
-  bool running() const { return running_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
 
   /// The bound port (meaningful while running; resolves port 0 binds).
   uint16_t port() const { return port_; }
@@ -91,7 +91,10 @@ class HttpServer {
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
-  bool running_ = false;
+  std::atomic<bool> running_{false};
+  // The connection currently being served (-1 when idle); lets Stop() cut
+  // an in-flight request loose instead of waiting out its socket timeout.
+  std::atomic<int> conn_fd_{-1};
   std::thread accept_thread_;
   std::atomic<uint64_t> requests_served_{0};
 };

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -200,6 +201,91 @@ TEST(HttpServerTest, MalformedRequestIs400) {
   EXPECT_NE(response.find("400"), std::string::npos);
   EXPECT_EQ(registry.GetCounter("serve.bad_requests")->Value(), 1u);
   server.Stop();
+}
+
+// Opens a raw connection to the server without sending anything.
+int ConnectOnly(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(HttpServerTest, SilentClientTimesOutAndOthersStillServed) {
+  serve::HttpServer server;
+  server.Handle("/ping", [](const serve::HttpRequest&) {
+    serve::HttpResponse response;
+    response.body = "pong";
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  // A client that connects and never sends a byte must not wedge the
+  // single-threaded accept loop: its recv timeout expires and the next
+  // client is served.
+  const int silent = ConnectOnly(server.port());
+  ASSERT_GE(silent, 0);
+  const FetchResult result = Fetch(server.port(), "/ping");
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.body, "pong");
+  ::close(silent);
+  server.Stop();
+}
+
+TEST(HttpServerTest, PeerHangupMidResponseDoesNotKillServer) {
+  serve::HttpServer server;
+  // Large enough that the response cannot fit in the socket buffers, so
+  // the server is still writing when the peer resets the connection.
+  const std::string big(16 << 20, 'x');
+  server.Handle("/big", [&big](const serve::HttpRequest&) {
+    serve::HttpResponse response;
+    response.body = big;
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  const int fd = ConnectOnly(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string request =
+      "GET /big HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+  ASSERT_GT(::write(fd, request.data(), request.size()), 0);
+  // Abort the connection with an RST (SO_LINGER 0) without reading the
+  // response; the server's send must see EPIPE/ECONNRESET, not SIGPIPE.
+  linger hard_close{};
+  hard_close.l_onoff = 1;
+  hard_close.l_linger = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_close, sizeof(hard_close));
+  ::close(fd);
+  // The process survived iff the next request is answered normally.
+  const FetchResult result = Fetch(server.port(), "/big");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 200);
+  EXPECT_EQ(result.body.size(), big.size());
+  server.Stop();
+}
+
+TEST(HttpServerTest, StopCutsInFlightConnectionLoose) {
+  serve::HttpServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  const int silent = ConnectOnly(server.port());
+  ASSERT_GE(silent, 0);
+  // Give the accept loop a moment to pick the connection up so Stop()
+  // exercises the in-flight shutdown path rather than the listen socket.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const auto t0 = std::chrono::steady_clock::now();
+  server.Stop();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // Well under the 2s socket timeout: Stop() shut the connection down
+  // instead of waiting it out.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(1500));
+  EXPECT_FALSE(server.running());
+  ::close(silent);
 }
 
 }  // namespace

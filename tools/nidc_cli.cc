@@ -610,8 +610,10 @@ Result<std::string> HttpGet(const std::string& url) {
                               "\r\nConnection: close\r\n\r\n";
   size_t offset = 0;
   while (offset < request.size()) {
-    const ssize_t n =
-        ::write(fd, request.data() + offset, request.size() - offset);
+    // MSG_NOSIGNAL: a server that hangs up mid-request must surface as an
+    // IOError, not kill the CLI with SIGPIPE.
+    const ssize_t n = ::send(fd, request.data() + offset,
+                             request.size() - offset, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       ::close(fd);
