@@ -95,11 +95,22 @@ struct ExtendedKMeansOptions {
   /// Ignored when use_rep_index is false.
   bool move_only_sweep = true;
 
+  /// With the slotted sweep, score documents through the fp16-quantized
+  /// kernel pass first (see core/kernels): the fp32 scan touches half the
+  /// posting bytes, and a certified error margin (derived from the
+  /// per-cluster absolute-sum accumulators) proves which cluster the exact
+  /// path would pick. Ambiguous documents — and documents touching
+  /// mid-sweep overlay terms — are re-scored exactly, so every clustering
+  /// decision stays bit-identical to the unquantized sweep. Ignored
+  /// outside kSlotted scoring.
+  bool quantized_scoring = true;
+
   /// Concurrency for the read-only scans (ψ-vector construction in
-  /// SimilarityContext when driven through the clusterers, and the seeded
-  /// assignment pass against fixed representatives). 0 = hardware
-  /// concurrency. Results are bit-identical for every value — parallel
-  /// lanes write disjoint slots and assignments are applied in sweep order.
+  /// SimilarityContext when driven through the clusterers, the seeded
+  /// assignment pass against fixed representatives, and the per-cluster
+  /// refresh + CSR rebuild in RefreshAll). 0 = hardware concurrency.
+  /// Results are bit-identical for every value — parallel lanes write
+  /// disjoint slots and assignments are applied in sweep order.
   size_t num_threads = 0;
 
   /// Telemetry sink for the run (see obs/metrics.h): iteration counts,
@@ -138,6 +149,24 @@ struct KMeansProfile {
   double maintenance_seconds = 0.0;
   double refresh_seconds = 0.0;
   double score_seconds() const { return sweep_seconds - maintenance_seconds; }
+
+  /// Scoring-kernel telemetry (slotted sweeps only; see core/kernels).
+  /// Bytes/entry counters come from the flat index's scan stats; the
+  /// quantized counters split certified fast-path docs from exact
+  /// re-checks.
+  const char* kernel = "";          // active kernel name (scalar/avx2/...)
+  uint64_t score_bytes = 0;         // posting + row bytes streamed
+  uint64_t entries_scanned = 0;     // posting entries touched
+  uint64_t docs_scored = 0;         // ScoreAll* calls
+  uint64_t quantized_docs = 0;      // docs scored via the fp16 pass
+  uint64_t quantized_fallbacks = 0;  // margin-ambiguous exact re-checks
+  uint64_t delta_fallbacks = 0;      // overlay-forced scalar fallbacks
+
+  /// Effective scoring bandwidth in GB/s (0 when nothing was timed).
+  double score_gbps() const {
+    const double s = score_seconds();
+    return s > 0.0 ? static_cast<double>(score_bytes) / s / 1e9 : 0.0;
+  }
 };
 
 /// Seeding payload for the incremental modes.

@@ -1,10 +1,35 @@
 #include "nidc/core/rep_index.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "nidc/core/kernels/kernels.h"
 #include "nidc/util/logging.h"
+#include "nidc/util/thread_pool.h"
 
 namespace nidc {
+
+namespace {
+
+// Bytes a scan reads per posting entry: cluster id (4) + fp64 weight (8)
+// on the exact path, cluster id (4) + fp16 shadow weight (2) on the
+// quantized path; every path also streams the document row itself
+// (4-byte term + 8-byte value per term).
+constexpr uint64_t kExactEntryBytes = 12;
+constexpr uint64_t kQuantizedEntryBytes = 6;
+constexpr uint64_t kRowBytesPerTerm = 12;
+
+void CountScan(FlatRepIndex::ScanStats* stats, uint64_t entries,
+               size_t row_terms, uint64_t entry_bytes) {
+  stats->docs_scored.fetch_add(1, std::memory_order_relaxed);
+  stats->entries_scanned.fetch_add(entries, std::memory_order_relaxed);
+  stats->bytes_scanned.fetch_add(
+      entries * entry_bytes +
+          static_cast<uint64_t>(row_terms) * kRowBytesPerTerm,
+      std::memory_order_relaxed);
+}
+
+}  // namespace
 
 void ClusterRepIndex::Reset(size_t num_clusters) {
   postings_.clear();
@@ -122,11 +147,39 @@ void FlatRepIndex::PrepareBuild(const SimilarityContext& ctx) {
   built_ = true;
 }
 
+void FlatRepIndex::ResizeEntries(size_t n) {
+  // The SIMD kernels read full vectors past a posting tail; the padding
+  // slots are zeroed (cluster 0, weight 0.0) and masked off in-register,
+  // so they never reach an accumulator.
+  clusters_.assign(n + kernels::kPostingPadding, 0);
+  refs_.assign(n, 0);
+  weights_.assign(n + kernels::kPostingPadding, 0.0);
+  qweights_.assign(n + kernels::kPostingPadding, 0);
+}
+
+void FlatRepIndex::QuantizeAll() {
+  const size_t n = offsets_.empty() ? 0 : offsets_.back();
+  for (size_t e = 0; e < n; ++e) {
+    qweights_[e] = kernels::HalfFromDouble(weights_[e]);
+  }
+}
+
 void FlatRepIndex::BuildFromClusters(const SimilarityContext& ctx,
-                                     const std::vector<Cluster>& clusters) {
+                                     const std::vector<Cluster>& clusters,
+                                     ThreadPool* pool) {
   k_ = clusters.size();
   PrepareBuild(ctx);
+  if (pool != nullptr && pool->num_threads() > 1 && k_ > 1) {
+    BuildFromClustersParallel(ctx, clusters, pool);
+  } else {
+    BuildFromClustersSerial(ctx, clusters);
+  }
+  QuantizeAll();
+  stats_.live_entries = offsets_.empty() ? 0 : offsets_.back();
+}
 
+void FlatRepIndex::BuildFromClustersSerial(
+    const SimilarityContext& ctx, const std::vector<Cluster>& clusters) {
   // Pass 1: count distinct (term, cluster) pairs per term. Clusters are
   // visited in ascending order, so a per-term marker of the last touching
   // cluster suffices to dedupe.
@@ -149,7 +202,7 @@ void FlatRepIndex::BuildFromClusters(const SimilarityContext& ctx,
   const size_t terms = counts_.size();
   offsets_.assign(terms + 1, 0);
   for (size_t t = 0; t < terms; ++t) offsets_[t + 1] = offsets_[t] + counts_[t];
-  entries_.assign(offsets_[terms], Entry{});
+  ResizeEntries(offsets_[terms]);
   for (size_t t = 0; t < terms; ++t) counts_[t] = offsets_[t];
 
   // Pass 2: accumulate member ψ values per entry, in member order — the
@@ -164,18 +217,80 @@ void FlatRepIndex::BuildFromClusters(const SimilarityContext& ctx,
       for (size_t i = 0; i < row.size; ++i) {
         const uint32_t t = row.terms[i];
         const size_t cursor = counts_[t];
-        if (cursor > offsets_[t] && entries_[cursor - 1].cluster == cluster &&
-            entries_[cursor - 1].refs > 0) {
-          entries_[cursor - 1].refs += 1;
-          entries_[cursor - 1].weight += row.values[i];
+        if (cursor > offsets_[t] && clusters_[cursor - 1] == cluster &&
+            refs_[cursor - 1] > 0) {
+          refs_[cursor - 1] += 1;
+          weights_[cursor - 1] += row.values[i];
         } else {
-          entries_[cursor] = {cluster, 1, row.values[i]};
+          clusters_[cursor] = cluster;
+          refs_[cursor] = 1;
+          weights_[cursor] = row.values[i];
           counts_[t] = cursor + 1;
         }
       }
     }
   }
-  stats_.live_entries = entries_.size();
+}
+
+void FlatRepIndex::BuildFromClustersParallel(
+    const SimilarityContext& ctx, const std::vector<Cluster>& clusters,
+    ThreadPool* pool) {
+  // Phase A (parallel, one lane per cluster range): accumulate each
+  // cluster's (term, refs, weight) list independently. Within one
+  // (term, cluster) pair the member ψ values are added in member order —
+  // the serial build's exact addition sequence — so phase B can lay the
+  // accumulated triples out without any further arithmetic.
+  struct PairAccum {
+    uint32_t term;
+    uint32_t refs;
+    double weight;
+  };
+  const size_t terms = counts_.size();
+  std::vector<std::vector<PairAccum>> per_cluster(k_);
+  pool->ParallelFor(k_, /*grain=*/1, [&](size_t begin, size_t end) {
+    // Chunk-local scratch: term → position in the current cluster's list,
+    // tagged per cluster so clearing is O(1).
+    std::vector<uint32_t> tag(terms, 0);
+    std::vector<uint32_t> pos(terms, 0);
+    for (size_t p = begin; p < end; ++p) {
+      const uint32_t cluster_tag = static_cast<uint32_t>(p) + 1;
+      std::vector<PairAccum>& list = per_cluster[p];
+      for (DocId id : clusters[p].members()) {
+        const SimilarityContext::Row row = ctx.RowAt(ctx.SlotOf(id));
+        for (size_t i = 0; i < row.size; ++i) {
+          const uint32_t t = row.terms[i];
+          if (tag[t] == cluster_tag) {
+            list[pos[t]].refs += 1;
+            list[pos[t]].weight += row.values[i];
+          } else {
+            tag[t] = cluster_tag;
+            pos[t] = static_cast<uint32_t>(list.size());
+            list.push_back({t, 1, row.values[i]});
+          }
+        }
+      }
+    }
+  });
+
+  // Phase B (serial): count, prefix-sum, then fill in ascending cluster
+  // order — reproducing the serial build's per-term entry order (ascending
+  // cluster ids) and therefore a bit-identical CSR.
+  for (size_t p = 0; p < k_; ++p) {
+    for (const PairAccum& a : per_cluster[p]) ++counts_[a.term];
+  }
+  offsets_.assign(terms + 1, 0);
+  for (size_t t = 0; t < terms; ++t) offsets_[t + 1] = offsets_[t] + counts_[t];
+  ResizeEntries(offsets_[terms]);
+  for (size_t t = 0; t < terms; ++t) counts_[t] = offsets_[t];
+  for (size_t p = 0; p < k_; ++p) {
+    const uint32_t cluster = static_cast<uint32_t>(p);
+    for (const PairAccum& a : per_cluster[p]) {
+      const size_t cursor = counts_[a.term]++;
+      clusters_[cursor] = cluster;
+      refs_[cursor] = a.refs;
+      weights_[cursor] = a.weight;
+    }
+  }
 }
 
 void FlatRepIndex::BuildFromRepresentatives(
@@ -194,66 +309,62 @@ void FlatRepIndex::BuildFromRepresentatives(
   }
   offsets_.assign(terms + 1, 0);
   for (size_t t = 0; t < terms; ++t) offsets_[t + 1] = offsets_[t] + counts_[t];
-  entries_.assign(offsets_[terms], Entry{});
+  ResizeEntries(offsets_[terms]);
   for (size_t t = 0; t < terms; ++t) counts_[t] = offsets_[t];
   for (size_t p = 0; p < k_; ++p) {
     for (const auto& e : reps[p].entries()) {
       if (e.value == 0.0) continue;
       const uint32_t t = ctx.LocalTerm(e.id);
       if (t == SimilarityContext::kNoLocalTerm) continue;
-      entries_[counts_[t]++] = {static_cast<uint32_t>(p), 1, e.value};
+      const size_t cursor = counts_[t]++;
+      clusters_[cursor] = static_cast<uint32_t>(p);
+      refs_[cursor] = 1;
+      weights_[cursor] = e.value;
     }
   }
-  stats_.live_entries = entries_.size();
+  QuantizeAll();
+  stats_.live_entries = offsets_[terms];
 }
 
-void FlatRepIndex::ScoreAll(const SimilarityContext& ctx,
-                            SimilarityContext::Slot slot,
-                            std::vector<double>* scores) const {
-  NIDC_CHECK(built_) << "FlatRepIndex scored before a build";
-  scores->assign(k_, 0.0);
-  const SimilarityContext::Row row = ctx.RowAt(slot);
+bool FlatRepIndex::NeedsDeltaFallback(
+    const SimilarityContext::Row& row) const {
+  if (delta_.empty()) return false;
   for (size_t i = 0; i < row.size; ++i) {
-    const uint32_t t = row.terms[i];
-    const double v = row.values[i];
-    for (size_t e = offsets_[t]; e < offsets_[t + 1]; ++e) {
-      (*scores)[entries_[e].cluster] += entries_[e].weight * v;
-    }
-    if (has_delta_[t]) {
-      for (const Entry& entry : delta_.at(t)) {
-        (*scores)[entry.cluster] += entry.weight * v;
-      }
-    }
+    if (has_delta_[row.terms[i]]) return true;
   }
+  return false;
 }
 
-void FlatRepIndex::ScoreAllDetached(const SimilarityContext& ctx,
-                                    SimilarityContext::Slot slot, size_t home,
-                                    std::vector<double>* scores,
-                                    double* home_attached) const {
-  NIDC_CHECK(built_) << "FlatRepIndex scored before a build";
-  scores->assign(k_, 0.0);
-  const uint32_t home_cluster = static_cast<uint32_t>(home);
+// The pre-kernel scalar loop over base + overlay, with the per-term
+// base-then-overlay interleaving the overlay semantics require. `home` is
+// kernels::kNoHome for a plain (no detached cluster) scan. Returns posting
+// entries touched.
+uint64_t FlatRepIndex::ScoreAllDeltaFallback(const SimilarityContext::Row& row,
+                                             uint32_t home,
+                                             std::vector<double>* scores,
+                                             double* home_attached) const {
   double attached = 0.0;
-  const SimilarityContext::Row row = ctx.RowAt(slot);
+  uint64_t entries = 0;
   for (size_t i = 0; i < row.size; ++i) {
     const uint32_t t = row.terms[i];
     const double v = row.values[i];
+    entries += offsets_[t + 1] - offsets_[t];
     for (size_t e = offsets_[t]; e < offsets_[t + 1]; ++e) {
-      const Entry& entry = entries_[e];
-      if (entry.cluster == home_cluster) {
+      if (clusters_[e] == home) {
         // Detached home score: the posting weight the physical remove
         // would leave is fl(w − v); multiplying by v afterwards replays
         // the removed-then-rescored arithmetic exactly.
-        attached += entry.weight * v;
-        (*scores)[home] += (entry.weight - v) * v;
+        attached += weights_[e] * v;
+        (*scores)[home] += (weights_[e] - v) * v;
       } else {
-        (*scores)[entry.cluster] += entry.weight * v;
+        (*scores)[clusters_[e]] += weights_[e] * v;
       }
     }
     if (has_delta_[t]) {
-      for (const Entry& entry : delta_.at(t)) {
-        if (entry.cluster == home_cluster) {
+      const std::vector<Entry>& overlay = delta_.at(t);
+      entries += overlay.size();
+      for (const Entry& entry : overlay) {
+        if (entry.cluster == home) {
           attached += entry.weight * v;
           (*scores)[home] += (entry.weight - v) * v;
         } else {
@@ -263,17 +374,114 @@ void FlatRepIndex::ScoreAllDetached(const SimilarityContext& ctx,
     }
   }
   *home_attached = attached;
+  return entries;
 }
 
-FlatRepIndex::Entry* FlatRepIndex::FindEntry(uint32_t local_term, size_t p) {
+void FlatRepIndex::ScoreAll(const SimilarityContext& ctx,
+                            SimilarityContext::Slot slot,
+                            std::vector<double>* scores) const {
+  NIDC_CHECK(built_) << "FlatRepIndex scored before a build";
+  const SimilarityContext::Row row = ctx.RowAt(slot);
+  double attached = 0.0;
+  if (NeedsDeltaFallback(row)) {
+    scores->assign(k_, 0.0);
+    const uint64_t entries =
+        ScoreAllDeltaFallback(row, kernels::kNoHome, scores, &attached);
+    CountScan(&scan_stats_, entries, row.size, kExactEntryBytes);
+    scan_stats_.delta_fallback_docs.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  scores->resize(k_);  // the kernel zeroes every lane itself
+  const kernels::ScoreKernel& kern = kernels::Active();
+  const uint64_t entries =
+      kern.score(View(), DocRowOf(row), kernels::kNoHome, scores->data(),
+                 &attached);
+  CountScan(&scan_stats_, entries, row.size, kExactEntryBytes);
+}
+
+void FlatRepIndex::ScoreAllDetached(const SimilarityContext& ctx,
+                                    SimilarityContext::Slot slot, size_t home,
+                                    std::vector<double>* scores,
+                                    double* home_attached) const {
+  NIDC_CHECK(built_) << "FlatRepIndex scored before a build";
+  const SimilarityContext::Row row = ctx.RowAt(slot);
+  const uint32_t home_cluster = static_cast<uint32_t>(home);
+  if (NeedsDeltaFallback(row)) {
+    scores->assign(k_, 0.0);
+    const uint64_t entries =
+        ScoreAllDeltaFallback(row, home_cluster, scores, home_attached);
+    CountScan(&scan_stats_, entries, row.size, kExactEntryBytes);
+    scan_stats_.delta_fallback_docs.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  scores->resize(k_);  // the kernel zeroes every lane itself
+  const kernels::ScoreKernel& kern = kernels::Active();
+  const uint64_t entries = kern.score(View(), DocRowOf(row), home_cluster,
+                                      scores->data(), home_attached);
+  CountScan(&scan_stats_, entries, row.size, kExactEntryBytes);
+}
+
+bool FlatRepIndex::ScoreAllQuantized(const SimilarityContext& ctx,
+                                     SimilarityContext::Slot slot, int home,
+                                     std::vector<float>* scores_f32,
+                                     std::vector<float>* abs_f32,
+                                     double* home_attached,
+                                     double* home_detached) const {
+  NIDC_CHECK(built_) << "FlatRepIndex scored before a build";
+  const SimilarityContext::Row row = ctx.RowAt(slot);
+  scores_f32->resize(k_);  // the kernel zeroes every lane itself
+  abs_f32->resize(k_);
+  const uint32_t home_cluster =
+      home < 0 ? kernels::kNoHome : static_cast<uint32_t>(home);
+  const kernels::ScoreKernel& kern = kernels::Active();
+  uint64_t entries = kern.score_quantized(
+      View(), DocRowOf(row), home_cluster, scores_f32->data(),
+      abs_f32->data(), home_attached, home_detached);
+  // Overlay entries (mid-sweep moves) carry no fp16 shadow; fold them in
+  // fp32 after the base scan. Base and overlay are disjoint per
+  // (term, cluster) pair, so every accumulator still sees at most one
+  // contribution per row term and the certified margin's R-term summation
+  // bound — which holds for any fp32 accumulation order — stays sound.
+  // Overlay weights are exact fp64, so their conversion error is strictly
+  // below the fp16 allowance already in the margin. Only a home-cluster
+  // overlay entry forces the exact path: it would have to enter the exact
+  // fp64 side-channel mid-sequence to reproduce the legacy interleaved
+  // accumulation order bit-for-bit.
+  if (!delta_.empty()) {
+    float* scores = scores_f32->data();
+    float* abs_sums = abs_f32->data();
+    for (size_t i = 0; i < row.size; ++i) {
+      const uint32_t t = row.terms[i];
+      if (!has_delta_[t]) continue;
+      const float vf = static_cast<float>(row.values[i]);
+      const std::vector<Entry>& overlay = delta_.at(t);
+      entries += overlay.size();
+      for (const Entry& entry : overlay) {
+        if (entry.cluster == home_cluster) return false;
+        const float p = static_cast<float>(entry.weight) * vf;
+        scores[entry.cluster] += p;
+        abs_sums[entry.cluster] += std::fabs(p);
+      }
+    }
+  }
+  CountScan(&scan_stats_, entries, row.size, kQuantizedEntryBytes);
+  scan_stats_.quantized_docs.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+size_t FlatRepIndex::FindBase(uint32_t local_term, size_t p) const {
   const uint32_t cluster = static_cast<uint32_t>(p);
   for (size_t e = offsets_[local_term]; e < offsets_[local_term + 1]; ++e) {
-    if (entries_[e].cluster == cluster) return &entries_[e];
+    if (clusters_[e] == cluster) return e;
   }
-  if (has_delta_[local_term]) {
-    for (Entry& entry : delta_[local_term]) {
-      if (entry.cluster == cluster) return &entry;
-    }
+  return kNoEntry;
+}
+
+FlatRepIndex::Entry* FlatRepIndex::FindDelta(uint32_t local_term, size_t p) {
+  if (!has_delta_[local_term]) return nullptr;
+  const uint32_t cluster = static_cast<uint32_t>(p);
+  for (Entry& entry : delta_[local_term]) {
+    if (entry.cluster == cluster) return &entry;
   }
   return nullptr;
 }
@@ -286,14 +494,32 @@ void FlatRepIndex::ApplyRemove(const SimilarityContext& ctx,
   const SimilarityContext::Row row = ctx.RowAt(slot);
   for (size_t i = 0; i < row.size; ++i) {
     if (row.values[i] == 0.0) continue;
-    Entry* entry = FindEntry(row.terms[i], p);
+    const uint32_t t = row.terms[i];
+    const size_t e = FindBase(t, p);
+    if (e != kNoEntry) {
+      NIDC_CHECK(refs_[e] > 0)
+          << "removing term " << ctx.GlobalTerm(t) << " never added to "
+          << "cluster " << p;
+      weights_[e] -= row.values[i];
+      if (--refs_[e] == 0) {
+        // Last contributor gone: snap the residual to exact zero (the
+        // posting-side analogue of Cluster::Clear) and tombstone.
+        weights_[e] = 0.0;
+        qweights_[e] = 0;
+        --stats_.live_entries;
+        ++stats_.dead_entries;
+        ++stats_.tombstones_created;
+      } else {
+        qweights_[e] = kernels::HalfFromDouble(weights_[e]);
+      }
+      continue;
+    }
+    Entry* entry = FindDelta(t, p);
     NIDC_CHECK(entry != nullptr && entry->refs > 0)
-        << "removing term " << ctx.GlobalTerm(row.terms[i])
-        << " never added to cluster " << p;
+        << "removing term " << ctx.GlobalTerm(t) << " never added to "
+        << "cluster " << p;
     entry->weight -= row.values[i];
     if (--entry->refs == 0) {
-      // Last contributor gone: snap the residual to exact zero (the
-      // posting-side analogue of Cluster::Clear) and tombstone.
       entry->weight = 0.0;
       --stats_.live_entries;
       ++stats_.dead_entries;
@@ -311,7 +537,19 @@ void FlatRepIndex::ApplyAdd(const SimilarityContext& ctx,
   for (size_t i = 0; i < row.size; ++i) {
     if (row.values[i] == 0.0) continue;
     const uint32_t t = row.terms[i];
-    Entry* entry = FindEntry(t, p);
+    const size_t e = FindBase(t, p);
+    if (e != kNoEntry) {
+      if (refs_[e] == 0) {
+        --stats_.dead_entries;
+        ++stats_.live_entries;
+        ++stats_.tombstones_revived;
+      }
+      ++refs_[e];
+      weights_[e] += row.values[i];
+      qweights_[e] = kernels::HalfFromDouble(weights_[e]);
+      continue;
+    }
+    Entry* entry = FindDelta(t, p);
     if (entry == nullptr) {
       // First (term, cluster) pairing since the last rebuild — the base
       // CSR cannot grow in place, so the pair lives in the overlay until
@@ -338,8 +576,7 @@ std::vector<std::pair<size_t, double>> FlatRepIndex::PostingsOf(
   const uint32_t t = ctx.LocalTerm(term);
   if (!built_ || t == SimilarityContext::kNoLocalTerm) return out;
   for (size_t e = offsets_[t]; e < offsets_[t + 1]; ++e) {
-    if (entries_[e].refs > 0) out.emplace_back(entries_[e].cluster,
-                                               entries_[e].weight);
+    if (refs_[e] > 0) out.emplace_back(clusters_[e], weights_[e]);
   }
   if (has_delta_[t]) {
     for (const Entry& entry : delta_.at(t)) {

@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include "nidc/core/kernels/kernels.h"
 #include "nidc/corpus/corpus.h"
 #include "nidc/forgetting/forgetting_model.h"
 #include "nidc/util/random.h"
@@ -23,6 +24,13 @@
 
 namespace nidc {
 namespace {
+
+// Restores the process-global kernel selection on scope exit, so a failing
+// assertion inside a kernel loop cannot leak a SIMD kernel into later tests.
+struct KernelGuard {
+  kernels::Kind saved = kernels::Active().kind;
+  ~KernelGuard() { kernels::Select(saved); }
+};
 
 // A corpus + model + context bundle on the heap (the model and context hold
 // pointers into the corpus, so the bundle must not move).
@@ -216,6 +224,145 @@ TEST(SweepEquivalenceTest, RepresentativeSeedingStaysIdentical) {
   seeds.mode = SeedMode::kRepresentatives;
   seeds.representatives = previous.representatives;
   ExpectAllConfigsIdentical(*env, options, seeds);
+}
+
+TEST(SweepEquivalenceTest, KernelAndQuantizationDimensionsStayIdentical) {
+  // The kernel dimension of the ablation: for every compiled-in scoring
+  // kernel (unavailable ones skipped) × quantized scoring on/off × K on
+  // both sides of the AVX-512 register-resident threshold (K ≤ 16 vs the
+  // gather/scatter spill path) × corpus seed, the slotted sweep must match
+  // the merge reference bit-for-bit. The shared vocabulary makes posting
+  // lengths span 1..K, so odd lengths and vector-tail remainders are
+  // exercised on every scan.
+  KernelGuard guard;
+  const kernels::Kind kinds[] = {kernels::Kind::kScalar,
+                                 kernels::Kind::kAvx2,
+                                 kernels::Kind::kAvx512};
+  for (uint64_t corpus_seed : {41u, 43u}) {
+    auto env = MakeEnv(corpus_seed, /*n_docs=*/70);
+    for (size_t k : {5u, 20u}) {
+      ExtendedKMeansOptions options;
+      options.k = k;
+      options.seed = corpus_seed * 7 + k;
+      options.quantized_scoring = false;
+      kernels::Select(kernels::Kind::kScalar);
+      const ClusteringResult merge =
+          RunConfig(*env, options, /*use_rep_index=*/false,
+                    /*move_only=*/false, std::nullopt);
+      for (kernels::Kind kind : kinds) {
+        if (!kernels::Available(kind)) continue;
+        for (bool quantized : {false, true}) {
+          SCOPED_TRACE("seed=" + std::to_string(corpus_seed) +
+                       " k=" + std::to_string(k) + " kernel=" +
+                       kernels::KindName(kind) +
+                       " quantized=" + std::to_string(quantized));
+          kernels::Select(kind);
+          ExtendedKMeansOptions opts = options;
+          opts.quantized_scoring = quantized;
+          const ClusteringResult slotted =
+              RunConfig(*env, opts, /*use_rep_index=*/true,
+                        /*move_only=*/true, std::nullopt);
+          EXPECT_EQ(merge.clusters, slotted.clusters);
+          EXPECT_EQ(merge.outliers, slotted.outliers);
+          EXPECT_EQ(merge.g_history, slotted.g_history);
+          EXPECT_EQ(merge.iterations, slotted.iterations);
+        }
+      }
+    }
+  }
+}
+
+TEST(SweepEquivalenceTest, KernelsStayIdenticalAcrossThreadCounts) {
+  // Kernel × thread-count cross product: the parallel RefreshAll and
+  // context build must not perturb any kernel's scoring decisions.
+  KernelGuard guard;
+  kernels::Select(kernels::Kind::kScalar);
+  auto serial = MakeEnv(47, /*n_docs=*/60, 8, /*num_threads=*/1);
+  ExtendedKMeansOptions options;
+  options.k = 6;
+  options.seed = 19;
+  options.quantized_scoring = false;
+  const ClusteringResult base =
+      RunConfig(*serial, options, true, true, std::nullopt);
+  for (kernels::Kind kind : {kernels::Kind::kScalar, kernels::Kind::kAvx2,
+                             kernels::Kind::kAvx512}) {
+    if (!kernels::Available(kind)) continue;
+    for (size_t threads : {2u, 0u}) {
+      for (bool quantized : {false, true}) {
+        SCOPED_TRACE(std::string("kernel=") + kernels::KindName(kind) +
+                     " threads=" + std::to_string(threads) +
+                     " quantized=" + std::to_string(quantized));
+        kernels::Select(kind);
+        auto env = MakeEnv(47, /*n_docs=*/60, 8, threads);
+        ExtendedKMeansOptions opts = options;
+        opts.num_threads = threads;
+        opts.quantized_scoring = quantized;
+        const ClusteringResult got =
+            RunConfig(*env, opts, true, true, std::nullopt);
+        EXPECT_EQ(base.clusters, got.clusters);
+        EXPECT_EQ(base.outliers, got.outliers);
+        EXPECT_EQ(base.g_history, got.g_history);
+      }
+    }
+  }
+}
+
+TEST(SweepEquivalenceTest, NearTieArgmaxTriggersExactRecheckNotDrift) {
+  // A corpus of near-duplicate documents: clusters end up with nearly
+  // identical gains, so the quantized margins cannot strictly separate the
+  // argmax. The certification must refuse (exact re-checks fire) rather
+  // than guess — and the decisions must stay bit-identical to both the
+  // un-quantized slotted sweep and the merge reference.
+  KernelGuard guard;
+  auto env = std::make_unique<Env>();
+  for (size_t i = 0; i < 24; ++i) {
+    // Three groups of near-duplicates; the i % 3 == 0 group is exactly
+    // duplicated text, producing exact score ties between clusters.
+    std::string text = "common core words shared by every doc";
+    if (i % 3 == 1) text += " tilt";
+    if (i % 3 == 2) text += " other";
+    env->corpus.AddText(text, 0.25 + 0.001 * static_cast<double>(i),
+                        static_cast<TopicId>(i % 3));
+  }
+  ForgettingParams params;
+  params.half_life_days = 7.0;
+  params.life_span_days = 365.0;
+  env->model = std::make_unique<ForgettingModel>(&env->corpus, params);
+  env->model->AdvanceTo(1.0);
+  env->docs.resize(24);
+  for (DocId d = 0; d < 24; ++d) env->docs[d] = d;
+  env->model->AddDocuments(env->docs);
+  env->ctx = std::make_unique<SimilarityContext>(*env->model);
+
+  ExtendedKMeansOptions options;
+  options.k = 4;
+  options.seed = 11;
+  const ClusteringResult merge =
+      RunConfig(*env, options, /*use_rep_index=*/false, /*move_only=*/false,
+                std::nullopt);
+  size_t total_fallbacks = 0;
+  for (kernels::Kind kind :
+       {kernels::Kind::kScalar, kernels::Kind::kAvx2,
+        kernels::Kind::kAvx512}) {
+    if (!kernels::Available(kind)) continue;
+    SCOPED_TRACE(kernels::KindName(kind));
+    kernels::Select(kind);
+    KMeansProfile profile;
+    ExtendedKMeansOptions opts = options;
+    opts.quantized_scoring = true;
+    opts.profile = &profile;
+    opts.use_rep_index = true;
+    opts.move_only_sweep = true;
+    auto result = RunExtendedKMeans(*env->ctx, env->docs, opts);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(merge.clusters, result->clusters);
+    EXPECT_EQ(merge.outliers, result->outliers);
+    EXPECT_EQ(merge.g_history, result->g_history);
+    total_fallbacks += profile.quantized_fallbacks;
+  }
+  // The margin logic must actually have hit ambiguous ties somewhere —
+  // otherwise this test exercises nothing.
+  EXPECT_GT(total_fallbacks, 0u);
 }
 
 TEST(SweepEquivalenceTest, DegenerateRepresentativeSeedsStayIdentical) {

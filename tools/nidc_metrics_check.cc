@@ -5,9 +5,11 @@
 //
 // Every line must parse as a JSON object and carry the step digest keys,
 // a non-empty G trajectory, and the expected metric families (K-means,
-// rep-index, thread-pool, term-statistics, cluster health, event log).
-// Every metric name must also belong to a known family prefix — a typo'd
-// or undocumented family fails validation instead of silently shipping.
+// rep-index, scoring-kernel, thread-pool, term-statistics, cluster health,
+// event log). Every metric name must also belong to a known family
+// prefix — a typo'd or undocumented family fails validation instead of
+// silently shipping — and the kernel.dispatch.<name> gauge must be present
+// and name a real scoring kernel (scalar / avx2 / avx512).
 // Exit 0 when every record passes; 1 with a per-line diagnosis otherwise.
 // CI runs this after a stream replay so exporter regressions fail the
 // build instead of silently producing unparseable telemetry.
@@ -44,6 +46,14 @@ constexpr const char* kMetricKeys[] = {
     "kmeans.g_final",
     "kmeans.sweep_seconds",
     "kmeans.refresh_seconds",
+    "kmeans.score_gbps",
+    "kernel.bytes_scanned",
+    "kernel.entries_scanned",
+    "kernel.docs_scored",
+    "kernel.quantized_docs",
+    "kernel.quantized_certified",
+    "kernel.quantized_fallbacks",
+    "kernel.delta_fallbacks",
     "rep_index.live_entries",
     "rep_index.tombstones",
     "rep_index.compactions",
@@ -78,8 +88,13 @@ constexpr const char* kMetricKeys[] = {
 constexpr const char* kKnownPrefixes[] = {
     "kmeans.",      "rep_index.", "thread_pool.", "term_stats.",
     "step.",        "corpus.",    "store.",       "health.",
-    "events.",      "serve.",
+    "events.",      "serve.",     "kernel.",
 };
+
+// The kernel.dispatch.<name> gauge family is closed: its suffix must be a
+// kernel the dispatch table can actually name. An unknown suffix means a
+// renamed or misspelled kernel leaked into telemetry.
+constexpr const char* kKernelNames[] = {"scalar", "avx2", "avx512"};
 
 // Appends the problems of one record to `problems` (empty = record ok).
 void CheckRecord(const obs::JsonValue& record, bool require_trace,
@@ -108,6 +123,7 @@ void CheckRecord(const obs::JsonValue& record, bool require_trace,
         problems->push_back(std::string("missing metric '") + key + "'");
       }
     }
+    size_t dispatch_gauges = 0;
     for (const auto& [name, value] : metrics->object) {
       bool known = false;
       for (const char* prefix : kKnownPrefixes) {
@@ -120,6 +136,26 @@ void CheckRecord(const obs::JsonValue& record, bool require_trace,
         problems->push_back("metric '" + name +
                             "' has no known family prefix");
       }
+      constexpr const char* kDispatchPrefix = "kernel.dispatch.";
+      if (name.compare(0, std::strlen(kDispatchPrefix), kDispatchPrefix) ==
+          0) {
+        ++dispatch_gauges;
+        const std::string suffix = name.substr(std::strlen(kDispatchPrefix));
+        bool valid = false;
+        for (const char* kernel : kKernelNames) {
+          if (suffix == kernel) {
+            valid = true;
+            break;
+          }
+        }
+        if (!valid) {
+          problems->push_back("metric '" + name +
+                              "' names an unknown scoring kernel");
+        }
+      }
+    }
+    if (dispatch_gauges == 0) {
+      problems->push_back("missing kernel.dispatch.<kernel> gauge");
     }
   }
   if (require_trace) {
