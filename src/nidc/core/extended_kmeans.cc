@@ -11,6 +11,7 @@
 #include "nidc/core/rep_index.h"
 #include "nidc/obs/event_log.h"
 #include "nidc/obs/metrics.h"
+#include "nidc/obs/provenance.h"
 #include "nidc/obs/trace.h"
 #include "nidc/util/stopwatch.h"
 #include "nidc/util/thread_pool.h"
@@ -52,6 +53,37 @@ class ScopedSeconds {
   Stopwatch timer_;
 };
 
+// Sampled variant for the per-document maintenance slices: timing every
+// mutation costs two clock reads per document per sweep, which was the
+// single largest line item in the instrumentation-overhead budget. One
+// mutation in kStride is timed and the sum scaled back up on destruction —
+// document order is uncorrelated with the stride phase, so the estimate
+// stays within a few percent of the exhaustive sum at 1/kStride of the
+// clock cost. A null sink samples nothing, exactly like ScopedSeconds.
+class SampledSeconds {
+ public:
+  static constexpr uint32_t kStride = 16;
+
+  explicit SampledSeconds(double* acc) : acc_(acc) {}
+  ~SampledSeconds() {
+    if (acc_ != nullptr) *acc_ += sampled_ * kStride;
+  }
+  SampledSeconds(const SampledSeconds&) = delete;
+  SampledSeconds& operator=(const SampledSeconds&) = delete;
+
+  /// Sink for one timed slice: the sampled accumulator on every
+  /// kStride-th call, null (skip the clocks) otherwise.
+  double* Next() {
+    if (acc_ == nullptr) return nullptr;
+    return (tick_++ % kStride) == 0 ? &sampled_ : nullptr;
+  }
+
+ private:
+  double* acc_;
+  double sampled_ = 0.0;
+  uint32_t tick_ = 0;
+};
+
 // Shared per-document telemetry of one sweep iteration.
 struct SweepCounters {
   size_t moves = 0;
@@ -62,6 +94,22 @@ struct SweepCounters {
   size_t quantized_certified = 0;
   /// Documents the quantized margins could not separate — re-scored exactly.
   size_t quantized_fallbacks = 0;
+};
+
+// Per-slot provenance capture of a document's latest sweep decision,
+// indexed by ctx.SlotOf(id) and overwritten every sweep — so after the
+// loop the buffer holds exactly the run's settled decisions, flushed to
+// the ProvenanceLog in one batch (no extra scoring pass). Gains are
+// decision-bar relative: both floored at the sweeps' `> 0` outlier bar,
+// so margin = best - runner_up is >= 0 and path-independent.
+struct ProvCapture {
+  int best = kUnassigned;
+  int runner_up = kUnassigned;
+  double best_gain = 0.0;
+  double runner_up_gain = 0.0;
+  obs::ProvenanceVerdict verdict = obs::ProvenanceVerdict::kOutlier;
+  obs::QuantizedOutcome quantized = obs::QuantizedOutcome::kOff;
+  uint32_t iteration = 0;
 };
 
 // Per-slot constants of the quantized error bound, filled lazily and
@@ -88,8 +136,14 @@ struct QuantMargins {
 // empty slot (if the reseed branch fired). Cluster ids are read *after*
 // the assignment — an emptied cluster keeps its id until reseeded, and a
 // reseeded cluster's fresh id is exactly what the event should carry.
-void EmitSweepEvents(obs::EventLog* events, const ClusterSet& clusters,
-                     DocId id, int previous, int best, bool reseeded) {
+// Stages the events of one settled document into `buffer` — the sweeps
+// flush the whole buffer through EventLog::EmitBatch once per sweep, so
+// the per-document cost is plain stores instead of a mutex + clock read
+// per move (which showed up in the instrumentation-overhead budget on
+// first sweeps, where every document "moves" from unassigned).
+void EmitSweepEvents(std::vector<obs::Event>* buffer,
+                     const ClusterSet& clusters, DocId id, int previous,
+                     int best, bool reseeded) {
   if (best == previous) return;
   obs::Event moved;
   moved.type = obs::EventType::kDocMoved;
@@ -100,19 +154,19 @@ void EmitSweepEvents(obs::EventLog* events, const ClusterSet& clusters,
   if (best != kUnassigned) {
     moved.cluster_id = clusters.cluster_id(static_cast<size_t>(best));
   }
-  events->Emit(moved);
+  buffer->push_back(std::move(moved));
   if (previous != kUnassigned &&
       clusters.cluster(static_cast<size_t>(previous)).empty()) {
     obs::Event emptied;
     emptied.type = obs::EventType::kClusterEmptied;
     emptied.cluster_id = clusters.cluster_id(static_cast<size_t>(previous));
-    events->Emit(emptied);
+    buffer->push_back(std::move(emptied));
   }
   if (reseeded && best != kUnassigned) {
     obs::Event reseed;
     reseed.type = obs::EventType::kClusterReseeded;
     reseed.cluster_id = clusters.cluster_id(static_cast<size_t>(best));
-    events->Emit(reseed);
+    buffer->push_back(std::move(reseed));
   }
 }
 
@@ -133,19 +187,25 @@ std::vector<DocId> SweepAssignLegacy(const std::vector<DocId>& order,
                                      ClusterSet* clusters,
                                      SweepCounters* counters,
                                      obs::EventLog* events,
-                                     double* maintenance_seconds) {
+                                     double* maintenance_seconds,
+                                     std::vector<ProvCapture>* capture,
+                                     uint32_t iteration) {
   std::vector<DocId> outliers;
   std::vector<double> t_scores;
+  std::vector<obs::Event> staged_events;
+  SampledSeconds maint_sampler(maintenance_seconds);
   const bool indexed = clusters->rep_index_enabled();
   for (DocId id : order) {
     const int previous = clusters->ClusterOf(id);
     bool reseeded = false;
     {
-      ScopedSeconds maint(maintenance_seconds);
+      ScopedSeconds maint(maint_sampler.Next());
       clusters->Assign(id, kUnassigned, ctx);
     }
     int best = kUnassigned;
     double best_gain = 0.0;
+    int runner_up = kUnassigned;
+    double runner_up_gain = 0.0;
     if (indexed) {
       clusters->ScoreAllClusters(ctx.Psi(id), &t_scores);
       for (size_t p = 0; p < clusters->num_clusters(); ++p) {
@@ -155,8 +215,13 @@ std::vector<DocId> SweepAssignLegacy(const std::vector<DocId>& order,
                                 ? c.GainInGGivenT(t_scores[p])
                                 : c.GainGivenT(t_scores[p]);
         if (gain > best_gain) {
+          runner_up_gain = best_gain;
+          runner_up = best;
           best_gain = gain;
           best = static_cast<int>(p);
+        } else if (gain > runner_up_gain) {
+          runner_up_gain = gain;
+          runner_up = static_cast<int>(p);
         }
       }
     } else {
@@ -166,10 +231,22 @@ std::vector<DocId> SweepAssignLegacy(const std::vector<DocId>& order,
                                 ? c.GainInGIfAdded(id, ctx)
                                 : c.GainIfAdded(id, ctx);
         if (gain > best_gain) {
+          runner_up_gain = best_gain;
+          runner_up = best;
           best_gain = gain;
           best = static_cast<int>(p);
+        } else if (gain > runner_up_gain) {
+          runner_up_gain = gain;
+          runner_up = static_cast<int>(p);
         }
       }
+    }
+    if (capture != nullptr) {
+      ProvCapture& pc = (*capture)[ctx.SlotOf(id)];
+      pc.best_gain = best_gain;
+      pc.runner_up = runner_up;
+      pc.runner_up_gain = runner_up_gain;
+      pc.quantized = obs::QuantizedOutcome::kOff;
     }
     if (best == kUnassigned) {
       // No assignment increases any cluster's quality. Before declaring the
@@ -188,7 +265,7 @@ std::vector<DocId> SweepAssignLegacy(const std::vector<DocId>& order,
     if (best == kUnassigned) {
       outliers.push_back(id);
     } else {
-      ScopedSeconds maint(maintenance_seconds);
+      ScopedSeconds maint(maint_sampler.Next());
       clusters->Assign(id, best, ctx);
     }
     if (best != previous) {
@@ -197,10 +274,21 @@ std::vector<DocId> SweepAssignLegacy(const std::vector<DocId>& order,
       // cluster's identity — only cross-cluster reseeds count.
       if (reseeded) ++counters->reseeds;
     }
+    if (capture != nullptr) {
+      ProvCapture& pc = (*capture)[ctx.SlotOf(id)];
+      pc.best = best;
+      pc.verdict = reseeded ? obs::ProvenanceVerdict::kReseeded
+                   : best == kUnassigned
+                       ? obs::ProvenanceVerdict::kOutlier
+                       : obs::ProvenanceVerdict::kAssigned;
+      pc.iteration = iteration;
+    }
     if (events != nullptr) {
-      EmitSweepEvents(events, *clusters, id, previous, best, reseeded);
+      EmitSweepEvents(&staged_events, *clusters, id, previous, best,
+                      reseeded);
     }
   }
+  if (events != nullptr) events->EmitBatch(&staged_events);
   return outliers;
 }
 
@@ -223,10 +311,14 @@ std::vector<DocId> SweepAssignMoveOnly(const std::vector<DocId>& order,
                                        SweepCounters* counters,
                                        QuantMargins* margins,
                                        obs::EventLog* events,
-                                       double* maintenance_seconds) {
+                                       double* maintenance_seconds,
+                                       std::vector<ProvCapture>* capture,
+                                       uint32_t iteration) {
   std::vector<DocId> outliers;
   if (quantized) margins->EnsureSize(ctx.size());
   std::vector<double> t_scores;
+  std::vector<obs::Event> staged_events;
+  SampledSeconds maint_sampler(maintenance_seconds);
   std::vector<float> q_scores;
   std::vector<float> q_abs;
   std::vector<double> g_lo;
@@ -390,6 +482,34 @@ std::vector<DocId> SweepAssignMoveOnly(const std::vector<DocId>& order,
         } else {
           ++counters->quantized_fallbacks;
         }
+        if (capture != nullptr && decided) {
+          // Certified decisions have interval bounds, not exact gains:
+          // record the winner's certified lower bound against the best
+          // rival's certified upper bound (a conservative margin that is
+          // >= 0 by the separation proof), marked kCertified so
+          // consumers know these are bounds. Certified outliers record
+          // the bar itself (0/0) — no cluster's best case cleared it.
+          ProvCapture& pc = (*capture)[slot];
+          pc.quantized = obs::QuantizedOutcome::kCertified;
+          if (best == kUnassigned) {
+            pc.best_gain = 0.0;
+            pc.runner_up = kUnassigned;
+            pc.runner_up_gain = 0.0;
+          } else {
+            pc.best_gain = cand_lo;
+            int rival = kUnassigned;
+            double rival_hi = 0.0;
+            for (size_t p = 0; p < k; ++p) {
+              if (static_cast<int>(p) == best) continue;
+              if (g_hi[p] > rival_hi) {
+                rival_hi = g_hi[p];
+                rival = static_cast<int>(p);
+              }
+            }
+            pc.runner_up = rival;
+            pc.runner_up_gain = rival_hi;
+          }
+        }
       }
     }
 
@@ -405,6 +525,8 @@ std::vector<DocId> SweepAssignMoveOnly(const std::vector<DocId>& order,
         derive_home();
       }
       double best_gain = 0.0;
+      int runner_up = kUnassigned;
+      double runner_up_gain = 0.0;
       for (size_t p = 0; p < k; ++p) {
         double gain;
         if (static_cast<int>(p) == previous) {
@@ -419,9 +541,22 @@ std::vector<DocId> SweepAssignMoveOnly(const std::vector<DocId>& order,
           gain = gain_of(c, t_scores[p]);
         }
         if (gain > best_gain) {
+          runner_up_gain = best_gain;
+          runner_up = best;
           best_gain = gain;
           best = static_cast<int>(p);
+        } else if (gain > runner_up_gain) {
+          runner_up_gain = gain;
+          runner_up = static_cast<int>(p);
         }
+      }
+      if (capture != nullptr) {
+        ProvCapture& pc = (*capture)[slot];
+        pc.best_gain = best_gain;
+        pc.runner_up = runner_up;
+        pc.runner_up_gain = runner_up_gain;
+        pc.quantized = quantized ? obs::QuantizedOutcome::kRecheck
+                                 : obs::QuantizedOutcome::kOff;
       }
     }
 
@@ -443,12 +578,12 @@ std::vector<DocId> SweepAssignMoveOnly(const std::vector<DocId>& order,
 
     if (best == kUnassigned) {
       if (previous != kUnassigned) {
-        ScopedSeconds maint(maintenance_seconds);
+        ScopedSeconds maint(maint_sampler.Next());
         clusters->Assign(id, kUnassigned, ctx);
       }
       outliers.push_back(id);
     } else if (best == previous) {
-      ScopedSeconds maint(maintenance_seconds);
+      ScopedSeconds maint(maint_sampler.Next());
       if (n_detached == 0.0) {
         // Re-seeding its own emptied cluster: replay the physical
         // round-trip so Clear() purges accumulated drift exactly as the
@@ -465,17 +600,28 @@ std::vector<DocId> SweepAssignMoveOnly(const std::vector<DocId>& order,
     } else {
       // An actual move: delegate to the legacy mutation path (its internal
       // dot products equal the scanned cross terms bit-for-bit).
-      ScopedSeconds maint(maintenance_seconds);
+      ScopedSeconds maint(maint_sampler.Next());
       clusters->Assign(id, best, ctx);
     }
     if (best != previous) {
       ++counters->moves;
       if (reseeded) ++counters->reseeds;
     }
+    if (capture != nullptr) {
+      ProvCapture& pc = (*capture)[slot];
+      pc.best = best;
+      pc.verdict = reseeded ? obs::ProvenanceVerdict::kReseeded
+                   : best == kUnassigned
+                       ? obs::ProvenanceVerdict::kOutlier
+                       : obs::ProvenanceVerdict::kAssigned;
+      pc.iteration = iteration;
+    }
     if (events != nullptr) {
-      EmitSweepEvents(events, *clusters, id, previous, best, reseeded);
+      EmitSweepEvents(&staged_events, *clusters, id, previous, best,
+                      reseeded);
     }
   }
+  if (events != nullptr) events->EmitBatch(&staged_events);
   return outliers;
 }
 
@@ -484,14 +630,16 @@ std::vector<DocId> SweepAssign(const std::vector<DocId>& order,
                                AssignmentCriterion criterion, bool quantized,
                                ClusterSet* clusters, SweepCounters* counters,
                                QuantMargins* margins, obs::EventLog* events,
-                               double* maintenance_seconds) {
+                               double* maintenance_seconds,
+                               std::vector<ProvCapture>* capture,
+                               uint32_t iteration) {
   if (clusters->scoring() == ClusterScoring::kSlotted) {
     return SweepAssignMoveOnly(order, ctx, criterion, quantized, clusters,
                                counters, margins, events,
-                               maintenance_seconds);
+                               maintenance_seconds, capture, iteration);
   }
   return SweepAssignLegacy(order, ctx, criterion, clusters, counters, events,
-                           maintenance_seconds);
+                           maintenance_seconds, capture, iteration);
 }
 
 // Populates clusters from fixed representative vectors: each document joins
@@ -705,6 +853,14 @@ Result<ClusteringResult> RunExtendedKMeans(
   size_t total_quantized_certified = 0;
   size_t total_quantized_fallbacks = 0;
   QuantMargins quant_margins;
+  // Slot-indexed provenance capture, overwritten every sweep; the final
+  // sweep's contents are the run's settled decisions (flushed below).
+  std::vector<ProvCapture> prov_capture;
+  std::vector<ProvCapture>* capture = nullptr;
+  if (options.provenance != nullptr) {
+    prov_capture.resize(ctx.size());
+    capture = &prov_capture;
+  }
   Stopwatch phase_timer;
   while (iterations < options.max_iterations) {
     if (options.shuffle_each_iteration) rng.Shuffle(&order);
@@ -715,7 +871,8 @@ Result<ClusteringResult> RunExtendedKMeans(
       outliers = SweepAssign(order, ctx, options.criterion,
                              options.quantized_scoring, &clusters, &counters,
                              &quant_margins, options.events,
-                             maintenance_seconds);
+                             maintenance_seconds, capture,
+                             static_cast<uint32_t>(iterations + 1));
       if (time_phases) {
         const double seconds = phase_timer.ElapsedSeconds();
         if (sweep_seconds_hist != nullptr) {
@@ -851,6 +1008,44 @@ Result<ClusteringResult> RunExtendedKMeans(
           ->Increment(profile->delta_fallbacks);
       metrics->GetGauge("kmeans.score_gbps")->Set(profile->score_gbps());
     }
+  }
+
+  // Flush the final sweep's per-slot captures as decision records, one
+  // batch under one log lock. Cluster indices resolve to the stable ids
+  // the slots carry *now* (end of run) — exactly the ids the result and
+  // the event log report.
+  if (options.provenance != nullptr) {
+    std::vector<obs::DecisionRecord> records;
+    records.reserve(docs.size());
+    const char* kernel =
+        scoring == ClusterScoring::kSlotted ? kernels::Active().name : "";
+    const obs::ProvenancePath path =
+        scoring == ClusterScoring::kMerge     ? obs::ProvenancePath::kMerge
+        : scoring == ClusterScoring::kIndexed ? obs::ProvenancePath::kIndexed
+                                              : obs::ProvenancePath::kSlotted;
+    for (DocId id : docs) {
+      const ProvCapture& pc = prov_capture[ctx.SlotOf(id)];
+      obs::DecisionRecord record;
+      record.doc = id;
+      record.iteration = pc.iteration;
+      record.verdict = pc.verdict;
+      record.path = path;
+      record.quantized = pc.quantized;
+      record.kernel = kernel;
+      if (pc.best != kUnassigned) {
+        record.cluster_id =
+            clusters.cluster_id(static_cast<size_t>(pc.best));
+      }
+      if (pc.runner_up != kUnassigned) {
+        record.runner_up_id =
+            clusters.cluster_id(static_cast<size_t>(pc.runner_up));
+      }
+      record.best_gain = pc.best_gain;
+      record.runner_up_gain = pc.runner_up_gain;
+      record.margin = pc.best_gain - pc.runner_up_gain;
+      records.push_back(record);
+    }
+    options.provenance->RecordBatch(records);
   }
 
   return ClusteringResult::FromClusterSet(clusters, std::move(outliers),

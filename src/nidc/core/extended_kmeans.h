@@ -21,6 +21,7 @@
 namespace nidc::obs {
 class EventLog;
 class MetricsRegistry;
+class ProvenanceLog;
 }  // namespace nidc::obs
 
 namespace nidc {
@@ -135,6 +136,14 @@ struct ExtendedKMeansOptions {
   /// moves — see obs/event_log.h). Null (the default) emits nothing and
   /// adds no work to the sweeps.
   obs::EventLog* events = nullptr;
+
+  /// Decision-provenance sink (see obs/provenance.h): the sweeps capture
+  /// each document's top-2 gains, margin, scoring path/kernel and
+  /// quantized outcome into a per-slot buffer (a few scalar stores per
+  /// decision), and the run flushes one DecisionRecord per document —
+  /// the *final* sweep's decision — at the end. Null (the default) adds
+  /// no work to the sweeps.
+  obs::ProvenanceLog* provenance = nullptr;
 
   Status Validate() const;
 };

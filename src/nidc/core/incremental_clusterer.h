@@ -65,6 +65,13 @@ struct IncrementalOptions {
   /// builds a StepObservation from every completed step and feeds it; null
   /// (the default) skips the observation build entirely.
   obs::ClusterHealthMonitor* health = nullptr;
+
+  /// Decision-provenance sink (see obs/provenance.h): stamped with the
+  /// step number and propagated to the K-means run unless
+  /// `kmeans.provenance` is set explicitly, so every record answers "why
+  /// did doc D land in cluster C at step S". Null (the default) records
+  /// nothing.
+  obs::ProvenanceLog* provenance = nullptr;
 };
 
 /// Stateful on-line clusterer (§5.2).

@@ -33,6 +33,8 @@ const char* EventTypeName(EventType type) {
       return "checkpoint_committed";
     case EventType::kWalRotated:
       return "wal_rotated";
+    case EventType::kMetricAnomaly:
+      return "metric_anomaly";
   }
   return "unknown";
 }
@@ -54,6 +56,11 @@ std::string RenderEventJson(const Event& event) {
       event.type == EventType::kWalRotated) {
     record.Add("generation", event.detail);
   }
+  if (event.type == EventType::kMetricAnomaly) {
+    record.Add("metric", event.label)
+        .Add("value", event.value)
+        .Add("zscore", event.zscore);
+  }
   return record.Render();
 }
 
@@ -65,6 +72,9 @@ EventLog::EventLog(size_t capacity, MetricsRegistry* metrics)
     emitted_counter_ = metrics_->GetCounter("events.emitted");
     dropped_counter_ = metrics_->GetCounter("events.dropped");
   }
+  // Reserving the full ring at construction keeps push_back growth (and
+  // its reallocation copies) out of the emitters' timed paths.
+  ring_.reserve(capacity_);
 }
 
 void EventLog::Emit(Event event) {
@@ -75,14 +85,40 @@ void EventLog::Emit(Event event) {
     event.step = current_step_;
     event.seconds = SteadySeconds() - epoch_seconds_;
     if (ring_.size() < capacity_) {
-      ring_.push_back(event);
+      ring_.push_back(std::move(event));
     } else {
-      ring_[event.sequence % capacity_] = event;
+      ring_[event.sequence % capacity_] = std::move(event);
       dropped = true;
     }
   }
   if (emitted_counter_ != nullptr) emitted_counter_->Increment();
   if (dropped && dropped_counter_ != nullptr) dropped_counter_->Increment();
+}
+
+void EventLog::EmitBatch(std::vector<Event>* events) {
+  if (events->empty()) return;
+  const uint64_t count = events->size();
+  uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const double seconds = SteadySeconds() - epoch_seconds_;
+    for (Event& event : *events) {
+      event.sequence = next_sequence_++;
+      event.step = current_step_;
+      event.seconds = seconds;
+      if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(event));
+      } else {
+        ring_[event.sequence % capacity_] = std::move(event);
+        ++dropped;
+      }
+    }
+  }
+  if (emitted_counter_ != nullptr) emitted_counter_->Increment(count);
+  if (dropped > 0 && dropped_counter_ != nullptr) {
+    dropped_counter_->Increment(dropped);
+  }
+  events->clear();
 }
 
 void EventLog::SetStep(uint64_t step) {

@@ -5,8 +5,8 @@
 // The log answers the question metrics aggregates cannot: *which* cluster
 // was reseeded at step 412, *which* document bounced between clusters.
 // Events are fixed-size records (no allocation per emit beyond the ring
-// slot), tagged with a monotone sequence number and the pipeline step that
-// was active when they were emitted. When the ring wraps, the oldest
+// slot, except the metric_anomaly label), tagged with a monotone sequence
+// number and the pipeline step that was active when they were emitted. When the ring wraps, the oldest
 // events are overwritten and counted as dropped — the log is a window, not
 // an archive; pair it with `ExportJsonl` (or `nidc_cli stream
 // --events-out`) when the tail matters.
@@ -44,6 +44,10 @@ enum class EventType {
   kCheckpointCommitted,
   /// The write-ahead log rotated to a fresh generation file.
   kWalRotated,
+  /// The time-series anomaly detector flagged a metric sample (see
+  /// obs/timeseries.h); `label` names the series, `value` the offending
+  /// sample, `zscore` its deviation.
+  kMetricAnomaly,
 };
 
 /// Stable lower_snake_case name of an event type (the JSON `type` field).
@@ -70,6 +74,14 @@ struct Event {
   /// Type-specific detail: snapshot generation for kCheckpointCommitted /
   /// kWalRotated, unused otherwise.
   uint64_t detail = 0;
+  /// kMetricAnomaly: the anomalous series' name (the one non-fixed-size
+  /// field; anomaly emission happens at most once per series per step,
+  /// far off the scoring hot loops).
+  std::string label;
+  /// kMetricAnomaly: the offending sample value and its z-score against
+  /// the series' EWMA mean/variance.
+  double value = 0.0;
+  double zscore = 0.0;
 };
 
 /// Renders one event as a JSON object (omitting kNoId fields).
@@ -90,6 +102,14 @@ class EventLog {
   /// Appends `event`, assigning its sequence number, step tag and
   /// timestamp. The oldest event is overwritten when the ring is full.
   void Emit(Event event);
+
+  /// Appends every event in `events` under one lock with one shared
+  /// timestamp, then clears the vector (capacity is retained, so a hot
+  /// loop can stage events locally and flush per sweep instead of paying
+  /// a mutex + clock read per emission). Events in a batch are ordered
+  /// exactly as staged; their `seconds` is the flush time, not the
+  /// staging time.
+  void EmitBatch(std::vector<Event>* events);
 
   /// Tags subsequent emissions with `step` (the drivers call this at the
   /// start of each pipeline step).

@@ -57,24 +57,89 @@ std::string RenderTraceJson(const TraceNode& node) {
 
 namespace {
 
-// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted
-// names map onto that by flattening separators to '_'.
-std::string PrometheusName(const std::string& name) {
-  std::string out = name;
-  for (char& c : out) {
-    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9') || c == '_' || c == ':';
-    if (!ok) c = '_';
-  }
-  return out;
+bool IsPrometheusChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+// Generic one-liner for metrics without explicit help: derived from the
+// family prefix so dashboards at least learn where a metric comes from.
+std::string DefaultMetricHelp(const std::string& name) {
+  const size_t dot = name.find('.');
+  const std::string family = dot == std::string::npos
+                                 ? std::string("misc")
+                                 : name.substr(0, dot);
+  return "nidc " + family + " family metric " + name +
+         " (see docs/observability.md)";
 }
 
 }  // namespace
 
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (!IsPrometheusChar(c)) c = '_';
+  }
+  if (out.empty()) return "_";
+  if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+bool IsValidPrometheusName(const std::string& name) {
+  if (name.empty()) return false;
+  if (name[0] >= '0' && name[0] <= '9') return false;
+  for (char c : name) {
+    if (!IsPrometheusChar(c)) return false;
+  }
+  return true;
+}
+
+std::string PrometheusEscapeHelp(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusEscapeLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 std::string RenderPrometheus(const std::vector<MetricSample>& samples) {
+  static const std::map<std::string, std::string> kNoHelp;
+  return RenderPrometheus(samples, kNoHelp);
+}
+
+std::string RenderPrometheus(const std::vector<MetricSample>& samples,
+                             const std::map<std::string, std::string>& help) {
   std::string out;
   for (const MetricSample& sample : samples) {
     const std::string name = PrometheusName(sample.name);
+    auto it = help.find(sample.name);
+    const std::string help_text = PrometheusEscapeHelp(
+        it != help.end() ? it->second : DefaultMetricHelp(sample.name));
+    out += "# HELP " + name + " " + help_text + "\n";
     switch (sample.kind) {
       case MetricSample::Kind::kCounter:
         out += "# TYPE " + name + " counter\n";
@@ -87,8 +152,9 @@ std::string RenderPrometheus(const std::vector<MetricSample>& samples) {
       case MetricSample::Kind::kHistogram:
         out += "# TYPE " + name + " histogram\n";
         for (const auto& [le, count] : sample.buckets) {
-          out += name + "_bucket{le=\"" + JsonNumber(le) +
-                 "\"} " + std::to_string(count) + "\n";
+          out += name + "_bucket{le=\"" +
+                 PrometheusEscapeLabel(JsonNumber(le)) + "\"} " +
+                 std::to_string(count) + "\n";
         }
         out += name + "_bucket{le=\"+Inf\"} " + std::to_string(sample.count) +
                "\n";

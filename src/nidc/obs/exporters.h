@@ -12,6 +12,7 @@
 #define NIDC_OBS_EXPORTERS_H_
 
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -31,10 +32,31 @@ std::string RenderMetricsJson(const std::vector<MetricSample>& samples);
 /// `{"name":..,"count":..,"seconds":..,"children":[...]}`.
 std::string RenderTraceJson(const TraceNode& node);
 
+/// Flattens a registry name into the Prometheus exposition charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: invalid characters become '_' and a
+/// leading digit gains a '_' prefix, so the result always validates.
+std::string PrometheusName(const std::string& name);
+
+/// True when `name` matches the exposition charset above (non-empty, no
+/// leading digit).
+bool IsValidPrometheusName(const std::string& name);
+
+/// Escapes HELP text for the exposition format: `\` -> `\\` and a line
+/// feed -> the two characters `\n` (a HELP line must stay one line).
+std::string PrometheusEscapeHelp(const std::string& text);
+
+/// Escapes a label value for the exposition format: `\` -> `\\`,
+/// `"` -> `\"` and line feed -> `\n`.
+std::string PrometheusEscapeLabel(const std::string& value);
+
 /// Renders a snapshot in the Prometheus text exposition format (metric
-/// names have `.` rewritten to `_`; histograms expand to _bucket/_sum/
-/// _count families).
+/// names flattened via PrometheusName; histograms expand to _bucket/
+/// _sum/_count families). Every metric gets a `# HELP` line — from
+/// `help` when it carries the (registry, unflattened) name, otherwise a
+/// family-derived default — escaped via PrometheusEscapeHelp.
 std::string RenderPrometheus(const std::vector<MetricSample>& samples);
+std::string RenderPrometheus(const std::vector<MetricSample>& samples,
+                             const std::map<std::string, std::string>& help);
 
 /// Line-per-record sink for JSONL telemetry. Opens lazily on the first
 /// append, streaming into `path.tmp`; Close() (also run by the

@@ -61,7 +61,9 @@ ScopedTracerInstall::~ScopedTracerInstall() {
   t_current_tracer = previous_;
 }
 
-ScopedSpan::ScopedSpan(const char* name) : tracer_(t_current_tracer) {
+ScopedSpan::ScopedSpan(const char* name)
+    : tracer_(t_current_tracer),
+      profiled_(internal::ProfilerSpanBegin(name)) {
   if (tracer_ == nullptr) return;
   node_ = tracer_->stack_.back()->FindOrAddChild(name);
   tracer_->stack_.push_back(node_);
@@ -69,6 +71,7 @@ ScopedSpan::ScopedSpan(const char* name) : tracer_(t_current_tracer) {
 }
 
 ScopedSpan::~ScopedSpan() {
+  if (profiled_) internal::ProfilerSpanEnd();
   if (tracer_ == nullptr) return;
   node_->seconds +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)

@@ -29,6 +29,16 @@
 
 namespace nidc::obs {
 
+namespace internal {
+/// Bridge from NIDC_SPAN into the ambient PhaseProfiler (see
+/// obs/profiler.h; implemented in profiler.cc so trace.h stays light).
+/// Begin returns false when no profiler is installed on the thread; End
+/// must be called exactly when Begin returned true — ScopedSpan pairs
+/// them RAII-style, and spans are strictly nested per thread.
+bool ProfilerSpanBegin(const char* name);
+void ProfilerSpanEnd();
+}  // namespace internal
+
 /// One aggregated node of the trace tree.
 struct TraceNode {
   std::string name;
@@ -85,7 +95,8 @@ class ScopedTracerInstall {
 
 /// RAII span: opens a named child of the innermost open span on the
 /// thread's tracer (no-op when none is installed); closes and accumulates
-/// wall time on destruction.
+/// wall time on destruction. Also feeds the ambient PhaseProfiler when
+/// one is installed — the two sinks are independent.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name);
@@ -98,6 +109,7 @@ class ScopedSpan {
   Tracer* tracer_;  // null = inactive
   TraceNode* node_ = nullptr;
   std::chrono::steady_clock::time_point start_;
+  bool profiled_ = false;  // a profiler frame is open for this span
 };
 
 }  // namespace nidc::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <optional>
 
 #include "nidc/obs/exporters.h"
 #include "nidc/obs/json_util.h"
@@ -35,6 +36,26 @@ size_t ParseCountParam(const std::string& query, size_t fallback) {
     pos = end + 1;
   }
   return fallback;
+}
+
+// Returns the raw value of `key` ("key=value") in the query string, or an
+// empty optional when the key is absent. Values are returned verbatim —
+// registry metric names never need percent-escapes.
+std::optional<std::string> ParseStringParam(const std::string& query,
+                                            const std::string& key) {
+  const std::string prefix = key + "=";
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    const std::string pair = query.substr(pos, end - pos);
+    if (pair.size() >= prefix.size() &&
+        pair.compare(0, prefix.size(), prefix) == 0) {
+      return pair.substr(prefix.size());
+    }
+    pos = end + 1;
+  }
+  return std::nullopt;
 }
 
 std::string RenderJsonArray(const std::vector<std::string>& elements) {
@@ -272,6 +293,109 @@ void RegisterIntrospectionEndpoints(HttpServer* server,
       builder.Add("emitted", events->total_emitted());
       builder.Add("dropped", events->dropped());
       builder.AddRaw("events", RenderJsonArray(rendered));
+      return JsonResponse(200, builder.Render());
+    });
+  }
+  if (options.timeseries != nullptr) {
+    const obs::TimeSeriesStore* store = options.timeseries;
+    server->Handle("/timeseriesz", [store](const HttpRequest& request) {
+      const std::optional<std::string> metric =
+          ParseStringParam(request.query, "metric");
+      if (!metric.has_value()) {
+        return JsonResponse(200, obs::RenderTimeSeriesListJson(*store));
+      }
+      if (!store->Has(*metric)) {
+        return JsonResponse(404, obs::JsonObjectBuilder()
+                                     .Add("error", "unknown metric")
+                                     .Add("metric", *metric)
+                                     .Render());
+      }
+      size_t resolution = 1;
+      const std::optional<std::string> res =
+          ParseStringParam(request.query, "res");
+      if (res.has_value()) {
+        char* parse_end = nullptr;
+        const unsigned long long parsed =
+            std::strtoull(res->c_str(), &parse_end, 10);
+        resolution = (parse_end != nullptr && *parse_end == '\0' &&
+                      !res->empty())
+                         ? static_cast<size_t>(parsed)
+                         : 0;
+      }
+      const std::vector<size_t> known = store->Resolutions();
+      if (std::find(known.begin(), known.end(), resolution) == known.end()) {
+        return JsonResponse(
+            404, obs::JsonObjectBuilder()
+                     .Add("error", "unknown resolution (see /timeseriesz)")
+                     .Render());
+      }
+      return JsonResponse(
+          200, obs::RenderTimeSeriesJson(*store, *metric, resolution));
+    });
+  }
+  if (options.profiler != nullptr) {
+    const obs::PhaseProfiler* profiler = options.profiler;
+    server->Handle("/profilez", [profiler](const HttpRequest& request) {
+      const std::string format =
+          ParseStringParam(request.query, "format").value_or("json");
+      if (format == "collapsed") {
+        HttpResponse response;
+        response.content_type = "text/plain";
+        response.body = profiler->RenderCollapsed();
+        return response;
+      }
+      if (format == "chrome") {
+        return JsonResponse(200, profiler->RenderChromeTrace());
+      }
+      if (format == "json") {
+        return JsonResponse(200, profiler->RenderJson());
+      }
+      return JsonResponse(
+          404, obs::JsonObjectBuilder()
+                   .Add("error", "unknown format (collapsed|json|chrome)")
+                   .Render());
+    });
+  }
+  if (options.provenance != nullptr) {
+    const obs::ProvenanceLog* provenance = options.provenance;
+    const size_t max_records = options.max_provenance_records;
+    server->Handle("/explainz", [provenance, max_records](
+                                    const HttpRequest& request) {
+      const std::optional<std::string> doc_param =
+          ParseStringParam(request.query, "doc");
+      if (doc_param.has_value()) {
+        char* parse_end = nullptr;
+        const unsigned long long doc =
+            std::strtoull(doc_param->c_str(), &parse_end, 10);
+        if (doc_param->empty() || parse_end == nullptr ||
+            *parse_end != '\0') {
+          return JsonResponse(404, obs::JsonObjectBuilder()
+                                       .Add("error", "malformed doc id")
+                                       .Render());
+        }
+        const std::optional<obs::DecisionRecord> record =
+            provenance->Lookup(doc);
+        if (!record.has_value()) {
+          return JsonResponse(
+              404, obs::JsonObjectBuilder()
+                       .Add("error", "no retained decision for doc")
+                       .Add("doc", static_cast<uint64_t>(doc))
+                       .Render());
+        }
+        return JsonResponse(200, obs::RenderDecisionJson(*record));
+      }
+      const size_t n = std::min(
+          max_records, ParseCountParam(request.query, max_records));
+      std::vector<std::string> rendered;
+      for (const obs::DecisionRecord& record : provenance->Recent(n)) {
+        rendered.push_back(obs::RenderDecisionJson(record));
+      }
+      obs::JsonObjectBuilder builder;
+      builder.Add("recorded", provenance->total_recorded());
+      builder.Add("dropped", provenance->dropped());
+      builder.Add("retained", static_cast<uint64_t>(provenance->size()));
+      builder.Add("capacity", static_cast<uint64_t>(provenance->capacity()));
+      builder.AddRaw("recent", RenderJsonArray(rendered));
       return JsonResponse(200, builder.Render());
     });
   }

@@ -10,7 +10,18 @@
 //                   (stable id, size, avg_sim, age, drift), churn/EWMA
 //                   summary, durability lag and rep-index build stats;
 //   GET /eventsz  — the recent lifecycle events (obs/event_log.h) as a
-//                   JSON array, newest last; `?n=` caps the count.
+//                   JSON array, newest last; `?n=` caps the count;
+//   GET /timeseriesz — the in-process time-series store
+//                   (obs/timeseries.h): without parameters the series
+//                   index, with `?metric=NAME&res=R` the retained windows
+//                   of one series at one resolution;
+//   GET /profilez — the continuous self-profiler (obs/profiler.h):
+//                   `?format=json` (default) the phase table,
+//                   `?format=collapsed` flamegraph collapsed-stack text,
+//                   `?format=chrome` trace-event JSON;
+//   GET /explainz — decision provenance (obs/provenance.h): `?doc=ID`
+//                   answers why a document landed where it did; without
+//                   a doc the log summary plus the `?n=` newest records.
 //
 // The pipeline side of the contract is StatusBoard: the driver calls
 // RecordStep after every completed step (and RecordDurability after each
@@ -28,6 +39,9 @@
 #include "nidc/obs/cluster_health.h"
 #include "nidc/obs/event_log.h"
 #include "nidc/obs/metrics.h"
+#include "nidc/obs/profiler.h"
+#include "nidc/obs/provenance.h"
+#include "nidc/obs/timeseries.h"
 #include "nidc/serve/http_server.h"
 
 namespace nidc::serve {
@@ -99,14 +113,23 @@ struct IntrospectionOptions {
   const obs::EventLog* events = nullptr;
   const obs::ClusterHealthMonitor* health = nullptr;
   const StatusBoard* board = nullptr;
+  /// /timeseriesz source; null leaves the endpoint unregistered.
+  const obs::TimeSeriesStore* timeseries = nullptr;
+  /// /profilez source; null leaves the endpoint unregistered.
+  const obs::PhaseProfiler* profiler = nullptr;
+  /// /explainz source; null leaves the endpoint unregistered.
+  const obs::ProvenanceLog* provenance = nullptr;
   /// /healthz turns 503 when the last step is older than this.
   double stale_after_seconds = 600.0;
   /// Default (and maximum) event count served by /eventsz.
   size_t max_events = 256;
+  /// Default (and maximum) record count served by /explainz summaries.
+  size_t max_provenance_records = 64;
 };
 
-/// Registers /metrics, /healthz, /statusz and /eventsz on `server`. Call
-/// before HttpServer::Start.
+/// Registers /metrics, /healthz, /statusz, /eventsz, /timeseriesz,
+/// /profilez and /explainz on `server` (endpoints whose source pointer is
+/// null are skipped). Call before HttpServer::Start.
 void RegisterIntrospectionEndpoints(HttpServer* server,
                                     const IntrospectionOptions& options);
 

@@ -99,6 +99,40 @@ TEST(EventLogTest, EveryTypeHasAStableName) {
                "checkpoint_committed");
   EXPECT_STREQ(obs::EventTypeName(obs::EventType::kWalRotated),
                "wal_rotated");
+  EXPECT_STREQ(obs::EventTypeName(obs::EventType::kMetricAnomaly),
+               "metric_anomaly");
+}
+
+TEST(EventLogTest, MetricAnomalyRendersSeriesValueAndZscore) {
+  obs::Event anomaly;
+  anomaly.type = obs::EventType::kMetricAnomaly;
+  anomaly.label = "kmeans.moves";
+  anomaly.value = 512.0;
+  anomaly.zscore = 6.25;
+  const std::string json = obs::RenderEventJson(anomaly);
+  const Result<obs::JsonValue> parsed = obs::ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << json;
+  EXPECT_EQ(parsed->Find("type")->string_value, "metric_anomaly");
+  EXPECT_EQ(parsed->Find("metric")->string_value, "kmeans.moves");
+  EXPECT_DOUBLE_EQ(parsed->Find("value")->number, 512.0);
+  EXPECT_DOUBLE_EQ(parsed->Find("zscore")->number, 6.25);
+  // Cluster/doc fields stay omitted — the anomaly names a series.
+  EXPECT_EQ(json.find("cluster"), std::string::npos);
+  EXPECT_EQ(json.find("doc"), std::string::npos);
+}
+
+TEST(EventLogTest, DroppedCountSurvivesManyWraps) {
+  // Regression for the events.dropped exposure: dropped() must equal
+  // total_emitted() - retained across arbitrarily many wraps, and the
+  // counter must match.
+  obs::MetricsRegistry registry;
+  obs::EventLog log(8, &registry);
+  for (uint64_t i = 0; i < 1000; ++i) log.Emit(MoveEvent(i, 0, 1));
+  EXPECT_EQ(log.total_emitted(), 1000u);
+  EXPECT_EQ(log.size(), 8u);
+  EXPECT_EQ(log.dropped(), 992u);
+  EXPECT_EQ(registry.GetCounter("events.dropped")->Value(), 992u);
+  EXPECT_EQ(log.Recent().front().doc, 992u);
 }
 
 TEST(EventLogTest, ExportJsonlWritesParseableLines) {

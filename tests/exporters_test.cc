@@ -116,6 +116,100 @@ TEST(ExportersTest, PrometheusFlattensNamesAndExpandsHistograms) {
   EXPECT_NE(text.find("step_seconds_count 2"), std::string::npos);
 }
 
+TEST(ExportersTest, PrometheusNameValidatesAndFlattensMalformedNames) {
+  // The flattened form of any registry name must pass the exposition
+  // charset check — including names with spaces, leading digits, unicode
+  // and empties.
+  const char* kMalformed[] = {"9kmeans.bad name", "a b", "Ω.metric",
+                              "", "kmeans.ok", "trailing dot."};
+  for (const char* name : kMalformed) {
+    EXPECT_TRUE(IsValidPrometheusName(PrometheusName(name)))
+        << "'" << name << "' -> '" << PrometheusName(name) << "'";
+  }
+  EXPECT_EQ(PrometheusName("9kmeans.bad name"), "_9kmeans_bad_name");
+  EXPECT_EQ(PrometheusName(""), "_");
+  EXPECT_FALSE(IsValidPrometheusName("9leading"));
+  EXPECT_FALSE(IsValidPrometheusName("has space"));
+  EXPECT_FALSE(IsValidPrometheusName(""));
+  EXPECT_TRUE(IsValidPrometheusName("kmeans_runs:rate"));
+}
+
+TEST(ExportersTest, PrometheusEscapesHelpAndLabelText) {
+  EXPECT_EQ(PrometheusEscapeHelp("plain help"), "plain help");
+  EXPECT_EQ(PrometheusEscapeHelp("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(PrometheusEscapeHelp("back\\slash"), "back\\\\slash");
+  // HELP text keeps quotes verbatim (only label values escape them).
+  EXPECT_EQ(PrometheusEscapeHelp("say \"hi\""), "say \"hi\"");
+  EXPECT_EQ(PrometheusEscapeLabel("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(PrometheusEscapeLabel("a\\b\nc"), "a\\\\b\\nc");
+}
+
+TEST(ExportersTest, PrometheusEmitsEscapedHelpForEveryMetric) {
+  std::map<std::string, std::string> help;
+  help["kmeans.runs"] = "RunExtendedKMeans calls\nsecond line \\ slash";
+  const std::string text = RenderPrometheus(SampleRegistry(), help);
+  // Explicit help: escaped onto one line.
+  EXPECT_NE(
+      text.find(
+          "# HELP kmeans_runs RunExtendedKMeans calls\\nsecond line "
+          "\\\\ slash\n"),
+      std::string::npos);
+  // Metrics without explicit help still get a HELP line (family default).
+  EXPECT_NE(text.find("# HELP kmeans_g_final "), std::string::npos);
+  EXPECT_NE(text.find("# HELP step_seconds "), std::string::npos);
+  // No raw newline may survive inside any HELP line: every line must
+  // start with a name, '#', or be a sample — i.e. parse as exposition.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0)
+          << line;
+      continue;
+    }
+    // Sample line: the token before ' ' or '{' must validate.
+    const size_t cut = line.find_first_of(" {");
+    ASSERT_NE(cut, std::string::npos) << line;
+    EXPECT_TRUE(IsValidPrometheusName(line.substr(0, cut))) << line;
+  }
+}
+
+TEST(ExportersTest, PrometheusMalformedRegistryNamesStillValidate) {
+  // Regression: a registry name outside the exposition charset must be
+  // flattened everywhere it appears — TYPE/HELP lines and samples alike.
+  MetricsRegistry registry;
+  registry.GetCounter("9kmeans.bad name")->Increment(3);
+  registry.GetHistogram("2nd histogram", {1.0})->Observe(0.5);
+  const std::string text = RenderPrometheus(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE _9kmeans_bad_name counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("_9kmeans_bad_name 3"), std::string::npos);
+  EXPECT_NE(text.find("_2nd_histogram_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Comment lines may mention the original registry name in their
+      // free-text HELP, but the *exposition name* after HELP/TYPE must
+      // be the flattened one.
+      EXPECT_EQ(line.find("# HELP 9"), std::string::npos) << line;
+      EXPECT_EQ(line.find("# TYPE 9"), std::string::npos) << line;
+      continue;
+    }
+    // Sample lines must carry only valid flattened names — the raw
+    // registry spellings may never reach a scrapeable sample.
+    EXPECT_EQ(line.find("9kmeans."), std::string::npos) << line;
+    EXPECT_EQ(line.find("bad name"), std::string::npos) << line;
+    const size_t cut = line.find_first_of(" {");
+    ASSERT_NE(cut, std::string::npos) << line;
+    EXPECT_TRUE(IsValidPrometheusName(line.substr(0, cut))) << line;
+  }
+}
+
 TEST(ExportersTest, JsonlWriterEmitsOneParseableRecordPerLine) {
   const std::string path = testing::TempDir() + "exporters_test.jsonl";
   {

@@ -17,6 +17,9 @@
 #include "nidc/obs/event_log.h"
 #include "nidc/obs/json_util.h"
 #include "nidc/obs/metrics.h"
+#include "nidc/obs/profiler.h"
+#include "nidc/obs/provenance.h"
+#include "nidc/obs/timeseries.h"
 #include "nidc/serve/http_server.h"
 #include "nidc/serve/introspection.h"
 
@@ -85,6 +88,13 @@ TEST_F(ServeSmokeTest, EndpointsServeALiveRun) {
   health_options.metrics = &registry;
   obs::ClusterHealthMonitor health(health_options);
   serve::StatusBoard board;
+  obs::TimeSeriesStore::Options ts_options;
+  ts_options.metrics = &registry;
+  ts_options.events = &events;
+  obs::TimeSeriesStore timeseries(ts_options);
+  obs::PhaseProfiler profiler;
+  obs::ScopedProfilerInstall install_profiler(&profiler);
+  obs::ProvenanceLog provenance(256, &registry);
 
   serve::HttpServer server(&registry);
   serve::IntrospectionOptions introspection;
@@ -92,6 +102,9 @@ TEST_F(ServeSmokeTest, EndpointsServeALiveRun) {
   introspection.events = &events;
   introspection.health = &health;
   introspection.board = &board;
+  introspection.timeseries = &timeseries;
+  introspection.profiler = &profiler;
+  introspection.provenance = &provenance;
   serve::RegisterIntrospectionEndpoints(&server, introspection);
   ASSERT_TRUE(server.Start(0).ok());
 
@@ -104,13 +117,16 @@ TEST_F(ServeSmokeTest, EndpointsServeALiveRun) {
   options.metrics = &registry;
   options.events = &events;
   options.health = &health;
+  options.provenance = &provenance;
   IncrementalClusterer clusterer(&corpus_, params, options);
 
   const std::vector<std::vector<DocId>> batches = {{0, 1}, {2, 3}, {4, 5}};
   uint64_t step_index = 0;
   for (const std::vector<DocId>& batch : batches) {
+    profiler.SetStep(step_index);
     auto result = clusterer.Step(batch, static_cast<double>(step_index));
     ASSERT_TRUE(result.ok()) << result.status().ToString();
+    timeseries.ObserveStep(step_index);
     serve::StatusBoard::StepRecord record;
     record.step = step_index;
     record.num_new = result->num_new;
@@ -178,6 +194,93 @@ TEST_F(ServeSmokeTest, EndpointsServeALiveRun) {
   const obs::JsonValue* capped_events = capped_json->Find("events");
   ASSERT_NE(capped_events, nullptr);
   EXPECT_EQ(capped_events->array.size(), 1u);
+
+  // /timeseriesz: series list, then one metric's raw windows — the run
+  // observed 3 steps, so the per-step resolution holds 3 windows.
+  const FetchResult ts_list = Fetch(server.port(), "/timeseriesz");
+  ASSERT_TRUE(ts_list.ok);
+  EXPECT_EQ(ts_list.status, 200);
+  const Result<obs::JsonValue> ts_list_json = obs::ParseJson(ts_list.body);
+  ASSERT_TRUE(ts_list_json.ok()) << ts_list.body;
+  const obs::JsonValue* series_names = ts_list_json->Find("series");
+  ASSERT_NE(series_names, nullptr);
+  EXPECT_FALSE(series_names->array.empty());
+  EXPECT_EQ(ts_list_json->Find("observations")->number, 3.0);
+  const FetchResult ts_metric =
+      Fetch(server.port(), "/timeseriesz?metric=step.docs_new&res=1");
+  ASSERT_TRUE(ts_metric.ok);
+  EXPECT_EQ(ts_metric.status, 200);
+  const Result<obs::JsonValue> ts_json = obs::ParseJson(ts_metric.body);
+  ASSERT_TRUE(ts_json.ok()) << ts_metric.body;
+  EXPECT_EQ(ts_json->Find("metric")->string_value, "step.docs_new");
+  const obs::JsonValue* windows = ts_json->Find("windows");
+  ASSERT_NE(windows, nullptr);
+  ASSERT_EQ(windows->array.size(), 3u);
+  // Two fresh documents arrived every step.
+  EXPECT_DOUBLE_EQ(windows->array[0].Find("mean")->number, 2.0);
+  EXPECT_DOUBLE_EQ(windows->array[2].Find("max")->number, 2.0);
+  const FetchResult ts_unknown =
+      Fetch(server.port(), "/timeseriesz?metric=no.such.series");
+  ASSERT_TRUE(ts_unknown.ok);
+  EXPECT_EQ(ts_unknown.status, 404);
+  const FetchResult ts_bad_res =
+      Fetch(server.port(), "/timeseriesz?metric=step.docs_new&res=7");
+  ASSERT_TRUE(ts_bad_res.ok);
+  EXPECT_EQ(ts_bad_res.status, 404);
+
+  // /profilez: phase table JSON, collapsed flamegraph text, chrome trace.
+  const FetchResult profilez = Fetch(server.port(), "/profilez");
+  ASSERT_TRUE(profilez.ok);
+  EXPECT_EQ(profilez.status, 200);
+  const Result<obs::JsonValue> profile_json = obs::ParseJson(profilez.body);
+  ASSERT_TRUE(profile_json.ok()) << profilez.body;
+  EXPECT_GT(profile_json->Find("spans")->number, 0.0);
+  const obs::JsonValue* totals = profile_json->Find("totals");
+  ASSERT_NE(totals, nullptr);
+  ASSERT_FALSE(totals->array.empty());
+  EXPECT_NE(totals->array[0].Find("path"), nullptr);
+  const FetchResult collapsed =
+      Fetch(server.port(), "/profilez?format=collapsed");
+  ASSERT_TRUE(collapsed.ok);
+  EXPECT_EQ(collapsed.status, 200);
+  EXPECT_NE(collapsed.body.find("kmeans.run"), std::string::npos);
+  const FetchResult chrome = Fetch(server.port(), "/profilez?format=chrome");
+  ASSERT_TRUE(chrome.ok);
+  EXPECT_EQ(chrome.status, 200);
+  const Result<obs::JsonValue> chrome_json = obs::ParseJson(chrome.body);
+  ASSERT_TRUE(chrome_json.ok()) << chrome.body;
+  EXPECT_FALSE(chrome_json->Find("traceEvents")->array.empty());
+  const FetchResult bad_format =
+      Fetch(server.port(), "/profilez?format=bogus");
+  ASSERT_TRUE(bad_format.ok);
+  EXPECT_EQ(bad_format.status, 404);
+
+  // /explainz: summary, per-doc lookup, and the 404 paths.
+  const FetchResult explain_summary = Fetch(server.port(), "/explainz");
+  ASSERT_TRUE(explain_summary.ok);
+  EXPECT_EQ(explain_summary.status, 200);
+  const Result<obs::JsonValue> summary_json =
+      obs::ParseJson(explain_summary.body);
+  ASSERT_TRUE(summary_json.ok()) << explain_summary.body;
+  EXPECT_GT(summary_json->Find("recorded")->number, 0.0);
+  ASSERT_NE(summary_json->Find("recent"), nullptr);
+  EXPECT_FALSE(summary_json->Find("recent")->array.empty());
+  const FetchResult explain_doc = Fetch(server.port(), "/explainz?doc=0");
+  ASSERT_TRUE(explain_doc.ok);
+  EXPECT_EQ(explain_doc.status, 200);
+  const Result<obs::JsonValue> doc_json = obs::ParseJson(explain_doc.body);
+  ASSERT_TRUE(doc_json.ok()) << explain_doc.body;
+  EXPECT_EQ(doc_json->Find("doc")->number, 0.0);
+  ASSERT_NE(doc_json->Find("verdict"), nullptr);
+  ASSERT_NE(doc_json->Find("margin"), nullptr);
+  const FetchResult explain_missing =
+      Fetch(server.port(), "/explainz?doc=99999");
+  ASSERT_TRUE(explain_missing.ok);
+  EXPECT_EQ(explain_missing.status, 404);
+  const FetchResult explain_malformed =
+      Fetch(server.port(), "/explainz?doc=banana");
+  ASSERT_TRUE(explain_malformed.ok);
+  EXPECT_EQ(explain_malformed.status, 404);
 
   server.Stop();
 }

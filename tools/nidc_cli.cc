@@ -29,19 +29,26 @@
 //       --state is still honored as a final snapshot destination.
 //       --serve starts the embedded introspection server on
 //       127.0.0.1:PORT for the duration of the replay (GET /metrics,
-//       /healthz, /statusz, /eventsz — see docs/observability.md);
+//       /healthz, /statusz, /eventsz, /timeseriesz, /profilez,
+//       /explainz — see docs/observability.md);
 //       --events-out writes the retained lifecycle events (cluster
 //       created/emptied/reseeded, doc moves/expiries, checkpoints) as
-//       JSONL when the replay ends. Either flag — like any metrics flag —
-//       turns the full telemetry stack on (registry + event log + cluster
-//       health monitor).
+//       JSONL when the replay ends; --provenance-out writes the retained
+//       per-document decision records (obs/provenance.h) as JSONL;
+//       --trace-chrome writes the self-profiler's span ring as Chrome
+//       trace-event JSON (load in chrome://tracing or Perfetto). Any of
+//       these flags — like any metrics flag — turns the full telemetry
+//       stack on (registry + event log + cluster health monitor +
+//       time-series store + continuous profiler + provenance log).
 //   eval --corpus FILE [--beta D] [--gamma D] [--k N] [--from D --to D]
 //       Cluster and score against the corpus's topic labels (micro/macro
 //       F1, purity, NMI, ARI).
 //   inspect URL
 //       Fetch /statusz from a serving nidc_cli (e.g.
 //       `nidc_cli inspect http://127.0.0.1:8080`) and pretty-print the
-//       pipeline status: step digest, G tail, per-cluster health rows.
+//       pipeline status: step digest, G tail, per-cluster health rows —
+//       plus, when the peer serves them, sparklines of the key
+//       /timeseriesz series and the top /profilez phases.
 //
 // All subcommands accept --lenient: skip malformed corpus records (counted
 // and reported, and exported as the corpus.bad_records metric) instead of
@@ -53,6 +60,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -74,6 +82,9 @@
 #include "nidc/obs/exporters.h"
 #include "nidc/obs/json_util.h"
 #include "nidc/obs/metrics.h"
+#include "nidc/obs/profiler.h"
+#include "nidc/obs/provenance.h"
+#include "nidc/obs/timeseries.h"
 #include "nidc/obs/trace.h"
 #include "nidc/serve/http_server.h"
 #include "nidc/serve/introspection.h"
@@ -120,6 +131,7 @@ int Usage() {
       "           [--checkpoint-dir DIR] [--checkpoint-every N]\n"
       "           [--wal-fsync every|none]\n"
       "           [--serve PORT] [--events-out FILE.jsonl]\n"
+      "           [--provenance-out FILE.jsonl] [--trace-chrome FILE.json]\n"
       "  eval     --corpus FILE [--beta D] [--gamma D] [--k N]\n"
       "           [--from D --to D]\n"
       "  inspect  URL (pretty-prints /statusz of a serving stream)\n"
@@ -293,26 +305,44 @@ int RunStream(const Args& args) {
   const std::string metrics_csv = args.Get("metrics-csv", "");
   const std::string metrics_prom = args.Get("metrics-prom", "");
   const std::string events_out = args.Get("events-out", "");
+  const std::string provenance_out = args.Get("provenance-out", "");
+  const std::string trace_chrome = args.Get("trace-chrome", "");
   const bool tracing = args.Has("trace");
   const bool serving = args.Has("serve");
   const bool telemetry = !metrics_out.empty() || !metrics_csv.empty() ||
                          !metrics_prom.empty() || !events_out.empty() ||
+                         !provenance_out.empty() || !trace_chrome.empty() ||
                          tracing || serving;
   std::unique_ptr<obs::EventLog> events;
   std::unique_ptr<obs::ClusterHealthMonitor> health;
+  std::unique_ptr<obs::TimeSeriesStore> timeseries;
+  std::unique_ptr<obs::PhaseProfiler> profiler;
+  std::unique_ptr<obs::ProvenanceLog> provenance;
   if (telemetry) {
     options.metrics = &registry;
     registry.GetCounter("corpus.bad_records")
         ->Increment(corpus_stats.bad_records);
     // The full stack rides along with any telemetry flag: the event log
     // backs /eventsz and --events-out, the health monitor publishes the
-    // health.* families the metrics exports carry.
+    // health.* families the metrics exports carry, the time-series store
+    // backs /timeseriesz, the profiler /profilez and --trace-chrome, and
+    // the provenance log /explainz and --provenance-out.
     events = std::make_unique<obs::EventLog>(/*capacity=*/4096, &registry);
     obs::ClusterHealthOptions health_options;
     health_options.metrics = &registry;
     health = std::make_unique<obs::ClusterHealthMonitor>(health_options);
+    obs::TimeSeriesStore::Options ts_options;
+    ts_options.metrics = &registry;
+    ts_options.events = events.get();
+    timeseries = std::make_unique<obs::TimeSeriesStore>(ts_options);
+    obs::PhaseProfiler::Options profiler_options;
+    profiler_options.metrics = &registry;
+    profiler = std::make_unique<obs::PhaseProfiler>(profiler_options);
+    provenance =
+        std::make_unique<obs::ProvenanceLog>(/*capacity=*/4096, &registry);
     options.events = events.get();
     options.health = health.get();
+    options.provenance = provenance.get();
   }
   std::unique_ptr<obs::JsonlWriter> jsonl;
   if (!metrics_out.empty()) {
@@ -321,6 +351,10 @@ int RunStream(const Args& args) {
   obs::MetricsCsvSeries csv_series;
   obs::Tracer tracer;
   obs::ScopedTracerInstall install_tracer(tracing ? &tracer : nullptr);
+  // The continuous profiler listens to the same NIDC_SPAN sites as the
+  // tracer, always-on whenever telemetry is (the overhead budget covers
+  // it — see bench_sweep_hotpath).
+  obs::ScopedProfilerInstall install_profiler(profiler.get());
 
   // The introspection server (--serve) reads the board the step loop
   // writes; everything else it serves is the telemetry stack above.
@@ -333,6 +367,9 @@ int RunStream(const Args& args) {
     introspection.events = events.get();
     introspection.health = health.get();
     introspection.board = &board;
+    introspection.timeseries = timeseries.get();
+    introspection.profiler = profiler.get();
+    introspection.provenance = provenance.get();
     serve::RegisterIntrospectionEndpoints(server.get(), introspection);
     const Status started =
         server->Start(static_cast<uint16_t>(args.GetSize("serve", 0)));
@@ -341,7 +378,8 @@ int RunStream(const Args& args) {
       return 1;
     }
     std::printf("serving on http://127.0.0.1:%u "
-                "(/metrics /healthz /statusz /eventsz)\n",
+                "(/metrics /healthz /statusz /eventsz /timeseriesz "
+                "/profilez /explainz)\n",
                 server->port());
   }
 
@@ -420,7 +458,12 @@ int RunStream(const Args& args) {
   uint64_t step_index = 0;
   while (auto batch = stream.Next()) {
     if (tracing) tracer.Reset();
+    if (profiler != nullptr) profiler->SetStep(step_index);
     auto result = do_step(batch->docs, batch->end);
+    // Fold the step's registry deltas into the time-series store before
+    // anything renders a snapshot, so the JSONL record and the server both
+    // see this step's windows.
+    if (timeseries != nullptr) timeseries->ObserveStep(step_index);
     if (!result.ok()) {
       std::printf("day %7.2f | +%3zu docs | (%s)\n", batch->end,
                   batch->docs.size(), result.status().ToString().c_str());
@@ -514,6 +557,27 @@ int RunStream(const Args& args) {
                 events->size(),
                 static_cast<unsigned long long>(events->total_emitted()),
                 events_out.c_str());
+  }
+  if (!provenance_out.empty()) {
+    if (const Status s = provenance->ExportJsonl(provenance_out); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("provenance: %zu retained (%llu recorded) -> %s\n",
+                provenance->size(),
+                static_cast<unsigned long long>(provenance->total_recorded()),
+                provenance_out.c_str());
+  }
+  if (!trace_chrome.empty()) {
+    if (const Status s = AtomicWriteFile(Env::Default(), trace_chrome,
+                                         profiler->RenderChromeTrace());
+        !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("profile: %llu spans -> %s\n",
+                static_cast<unsigned long long>(profiler->spans_recorded()),
+                trace_chrome.c_str());
   }
   if (server != nullptr) {
     const uint64_t served = server->requests_served();
@@ -645,6 +709,92 @@ double NumberOr(const obs::JsonValue* value, double fallback) {
   return value != nullptr && value->is_number() ? value->number : fallback;
 }
 
+// "http://host:port/anything" -> "http://host:port" (the prefix the extra
+// introspection endpoints are appended to).
+std::string BaseUrl(std::string url) {
+  std::string prefix;
+  if (url.rfind("http://", 0) == 0) {
+    prefix = "http://";
+    url = url.substr(7);
+  }
+  if (const size_t slash = url.find('/'); slash != std::string::npos) {
+    url = url.substr(0, slash);
+  }
+  return prefix + url;
+}
+
+// Renders `values` as a unicode sparkline: each value maps min→max onto
+// the eight block heights.
+std::string Sparkline(const std::vector<double>& values) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  double lo = values.front();
+  double hi = values.front();
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  for (double v : values) {
+    size_t level = 0;
+    if (hi > lo) {
+      level = static_cast<size_t>((v - lo) / (hi - lo) * 7.0 + 0.5);
+      if (level > 7) level = 7;
+    }
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+// Sparklines of the derived /timeseriesz series plus the top /profilez
+// phases. Best-effort: a peer without the endpoints (or without the
+// series yet) prints nothing extra.
+void PrintTimeSeriesAndProfile(const std::string& base) {
+  static const char* kSparkSeries[] = {
+      "timeseries.docs_per_sec", "timeseries.moves_per_step",
+      "timeseries.certified_fraction", "timeseries.durability_lag"};
+  for (const char* series : kSparkSeries) {
+    Result<std::string> body = HttpGet(base + "/timeseriesz?metric=" +
+                                       std::string(series) + "&res=1");
+    if (!body.ok()) continue;
+    Result<obs::JsonValue> parsed = obs::ParseJson(*body);
+    if (!parsed.ok() || !parsed->is_object()) continue;
+    const obs::JsonValue* windows = parsed->Find("windows");
+    if (windows == nullptr || !windows->is_array() ||
+        windows->array.empty()) {
+      continue;
+    }
+    std::vector<double> means;
+    const size_t start =
+        windows->array.size() > 32 ? windows->array.size() - 32 : 0;
+    for (size_t i = start; i < windows->array.size(); ++i) {
+      means.push_back(NumberOr(windows->array[i].Find("mean"), 0));
+    }
+    std::printf("%-30s %s %.4g\n", series, Sparkline(means).c_str(),
+                means.back());
+  }
+  Result<std::string> body = HttpGet(base + "/profilez?format=json");
+  if (!body.ok()) return;
+  Result<obs::JsonValue> parsed = obs::ParseJson(*body);
+  if (!parsed.ok() || !parsed->is_object()) return;
+  const obs::JsonValue* totals = parsed->Find("totals");
+  if (totals == nullptr || !totals->is_array() || totals->array.empty()) {
+    return;
+  }
+  std::printf("profile (top phases by wall time):\n");
+  size_t shown = 0;
+  for (const obs::JsonValue& row : totals->array) {
+    if (shown++ == 5) break;
+    const obs::JsonValue* path = row.Find("path");
+    std::printf("  %-46s %9.0f us  cpu %9.0f us  x%.0f\n",
+                path != nullptr && path->kind == obs::JsonValue::Kind::kString
+                    ? path->string_value.c_str()
+                    : "?",
+                NumberOr(row.Find("wall_us"), 0),
+                NumberOr(row.Find("cpu_us"), 0),
+                NumberOr(row.Find("count"), 0));
+  }
+}
+
 int RunInspect(const Args& args) {
   if (args.positional.empty()) {
     std::fprintf(stderr,
@@ -729,6 +879,7 @@ int RunInspect(const Args& args) {
                 NumberOr(events->Find("emitted"), 0),
                 NumberOr(events->Find("dropped"), 0));
   }
+  PrintTimeSeriesAndProfile(BaseUrl(args.positional.front()));
   return 0;
 }
 

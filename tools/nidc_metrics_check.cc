@@ -6,7 +6,7 @@
 // Every line must parse as a JSON object and carry the step digest keys,
 // a non-empty G trajectory, and the expected metric families (K-means,
 // rep-index, scoring-kernel, thread-pool, term-statistics, cluster health,
-// event log). Every metric name must also belong to a known family
+// event log, time-series store, self-profiler, decision provenance). Every metric name must also belong to a known family
 // prefix — a typo'd or undocumented family fails validation instead of
 // silently shipping — and the kernel.dispatch.<name> gauge must be present
 // and name a real scoring kernel (scalar / avx2 / avx512).
@@ -80,15 +80,24 @@ constexpr const char* kMetricKeys[] = {
     "health.drift_per_cluster",
     "events.emitted",
     "events.dropped",
+    "timeseries.observations",
+    "timeseries.anomalies",
+    "timeseries.tracked",
+    "profile.spans",
+    "profile.phases",
+    "provenance.records",
+    "provenance.dropped",
+    "provenance.retained",
 };
 
 // Every exported metric must carry one of these family prefixes; names
 // outside them are either typos or new families that docs/observability.md
 // (and this list) have not caught up with yet — both should fail CI.
 constexpr const char* kKnownPrefixes[] = {
-    "kmeans.",      "rep_index.", "thread_pool.", "term_stats.",
-    "step.",        "corpus.",    "store.",       "health.",
-    "events.",      "serve.",     "kernel.",
+    "kmeans.",      "rep_index.",  "thread_pool.", "term_stats.",
+    "step.",        "corpus.",     "store.",       "health.",
+    "events.",      "serve.",      "kernel.",      "timeseries.",
+    "profile.",     "provenance.",
 };
 
 // The kernel.dispatch.<name> gauge family is closed: its suffix must be a
