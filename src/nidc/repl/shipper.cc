@@ -1,0 +1,330 @@
+#include "nidc/repl/shipper.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "nidc/util/logging.h"
+
+namespace nidc::repl {
+
+WalShipper::WalShipper(ShipperOptions options) : options_(std::move(options)) {
+  if (options_.env == nullptr) options_.env = Env::Default();
+  if (options_.max_queue_records == 0) options_.max_queue_records = 1;
+  last_ship_seconds_ = NowSeconds();
+  if (obs::MetricsRegistry* metrics = options_.metrics; metrics != nullptr) {
+    // Register the whole family up front so the metrics surface carries
+    // "repl.*" keys (and nidc_metrics_check can require them) even before
+    // the first follower connects.
+    metrics->GetCounter("repl.records_shipped");
+    metrics->GetCounter("repl.snapshots_shipped");
+    metrics->GetCounter("repl.seals_shipped");
+    metrics->GetCounter("repl.heartbeats_shipped");
+    metrics->GetCounter("repl.ship_errors");
+    metrics->GetCounter("repl.queue_dropped_records");
+    metrics->GetGauge("repl.followers");
+    metrics->GetGauge("repl.queue_depth");
+  }
+}
+
+WalShipper::~WalShipper() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  heartbeat_cv_.notify_all();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+}
+
+void WalShipper::OnWalRecord(uint64_t generation, uint64_t sequence,
+                             uint64_t leader_steps,
+                             std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  current_generation_ = generation;
+  current_records_ = sequence;
+  head_steps_ = leader_steps;
+  queue_.emplace_back(payload);
+  while (queue_.size() > options_.max_queue_records) {
+    queue_.pop_front();
+    ++first_queued_seq_;
+    ++counters_.queue_dropped_records;
+    BumpLocked("repl.queue_dropped_records");
+  }
+
+  ReplFrame frame;
+  frame.type = FrameType::kWalRecord;
+  frame.generation = generation;
+  frame.sequence = sequence;
+  frame.leader_steps = leader_steps;
+  frame.payload.assign(payload.data(), payload.size());
+  for (auto& [id, session] : sessions_) {
+    if (session.state != Session::State::kInSync) continue;
+    if (SendLocked(session, frame, "repl.records_shipped",
+                   &counters_.records_shipped)) {
+      session.sequence = sequence;
+      session.steps = leader_steps;
+    }
+  }
+  UpdateGaugesLocked();
+}
+
+void WalShipper::OnRotate(uint64_t generation, uint64_t sealed_records,
+                          uint64_t leader_steps,
+                          const std::string& snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t sealed_generation = current_generation_;
+  current_generation_ = generation;
+  current_records_ = 0;
+  base_steps_ = leader_steps;
+  head_steps_ = std::max(head_steps_, leader_steps);
+  snapshot_ = snapshot;
+  queue_.clear();
+  first_queued_seq_ = 1;
+
+  ReplFrame seal;
+  seal.type = FrameType::kSeal;
+  seal.generation = sealed_generation;
+  seal.sequence = sealed_records;
+  seal.leader_steps = leader_steps;
+  for (auto& [id, session] : sessions_) {
+    if (session.state == Session::State::kInSync) {
+      // An in-sync follower sits exactly at the sealed watermark; the
+      // seal lets it rotate locally without re-shipping any state.
+      if (SendLocked(session, seal, "repl.seals_shipped",
+                     &counters_.seals_shipped)) {
+        session.generation = generation;
+        session.sequence = 0;
+        session.steps = leader_steps;
+      }
+    } else if (session.state == Session::State::kParked) {
+      // The fresh snapshot is the re-base parked followers waited for.
+      session.state = Session::State::kCatchUp;
+      AdvanceSessionLocked(session);
+    }
+  }
+  UpdateGaugesLocked();
+}
+
+uint64_t WalShipper::AddFollower(FollowerLink* link, const ReplFrame& hello) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_session_id_++;
+  Session& session = sessions_[id];
+  session.link = link;
+  session.state = Session::State::kCatchUp;
+  session.generation = hello.generation;
+  session.sequence = hello.sequence;
+  session.steps = hello.leader_steps;
+  AdvanceSessionLocked(session);
+  UpdateGaugesLocked();
+  return id;
+}
+
+void WalShipper::RemoveFollower(uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.erase(session_id);
+  UpdateGaugesLocked();
+}
+
+bool WalShipper::FollowerAlive(uint64_t session_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  return it != sessions_.end() &&
+         it->second.state != Session::State::kDead;
+}
+
+void WalShipper::StartHeartbeats(double interval_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (heartbeat_thread_.joinable() || interval_s <= 0.0) return;
+  heartbeat_thread_ = std::thread([this, interval_s] {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stopping_) {
+      heartbeat_cv_.wait_for(
+          lock, std::chrono::duration<double>(interval_s),
+          [this] { return stopping_; });
+      if (stopping_) return;
+      if (current_generation_ == 0) continue;  // leader not open yet
+      ReplFrame beat;
+      beat.type = FrameType::kHeartbeat;
+      beat.generation = current_generation_;
+      beat.sequence = current_records_;
+      beat.leader_steps = head_steps_;
+      for (auto& [id, session] : sessions_) {
+        if (session.state != Session::State::kInSync) continue;
+        SendLocked(session, beat, "repl.heartbeats_shipped",
+                   &counters_.heartbeats_shipped);
+      }
+    }
+  });
+}
+
+ShipperStats WalShipper::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ShipperStats stats = counters_;
+  stats.followers = 0;
+  stats.in_sync = 0;
+  stats.parked = 0;
+  stats.max_follower_lag_records = 0;
+  for (const auto& [id, session] : sessions_) {
+    if (session.state == Session::State::kDead) continue;
+    ++stats.followers;
+    if (session.state == Session::State::kInSync) ++stats.in_sync;
+    if (session.state == Session::State::kParked) ++stats.parked;
+    const uint64_t lag =
+        head_steps_ > session.steps ? head_steps_ - session.steps : 0;
+    stats.max_follower_lag_records =
+        std::max(stats.max_follower_lag_records, lag);
+  }
+  stats.queue_depth = queue_.size();
+  stats.head_steps = head_steps_;
+  stats.last_ship_age_seconds =
+      std::max(0.0, NowSeconds() - last_ship_seconds_);
+  return stats;
+}
+
+void WalShipper::AdvanceSessionLocked(Session& session) {
+  while (session.state == Session::State::kCatchUp) {
+    if (current_generation_ == 0) {
+      // No committed base yet — nothing shippable until the leader's
+      // first rotation.
+      session.state = Session::State::kParked;
+      return;
+    }
+    if (session.generation == current_generation_) {
+      if (session.sequence == current_records_) {
+        session.state = Session::State::kInSync;
+        return;
+      }
+      if (session.sequence < current_records_ &&
+          first_queued_seq_ <= session.sequence + 1) {
+        // Bridge the gap from the in-memory record queue.
+        while (session.sequence < current_records_) {
+          const size_t index = static_cast<size_t>(
+              session.sequence + 1 - first_queued_seq_);
+          ReplFrame frame;
+          frame.type = FrameType::kWalRecord;
+          frame.generation = session.generation;
+          frame.sequence = session.sequence + 1;
+          frame.leader_steps = base_steps_ + session.sequence + 1;
+          frame.payload = queue_[index];
+          if (!SendLocked(session, frame, "repl.records_shipped",
+                          &counters_.records_shipped)) {
+            return;
+          }
+          ++session.sequence;
+          session.steps = frame.leader_steps;
+        }
+        continue;
+      }
+      // Live-WAL records the queue no longer holds (or a watermark ahead
+      // of the leader, after a failover elsewhere) cannot be served: the
+      // live WAL is never read back while being written. Park until the
+      // next rotation re-bases.
+      session.state = Session::State::kParked;
+      return;
+    }
+    if (session.generation > current_generation_) {
+      session.state = Session::State::kParked;
+      return;
+    }
+
+    // Follower is generations behind. Prefer replaying the sealed
+    // segment it is inside, if it survived pruning and reads back clean.
+    bool advanced = false;
+    if (session.generation >= 1) {
+      const std::string wal_path =
+          options_.dir + "/" + WalFileName(session.generation);
+      if (options_.env->FileExists(wal_path)) {
+        Result<WalReadResult> wal = ReadWal(options_.env, wal_path);
+        if (wal.ok() && wal->clean &&
+            wal->records.size() >= session.sequence) {
+          const uint64_t gen_base_steps = session.steps - session.sequence;
+          for (size_t i = session.sequence; i < wal->records.size(); ++i) {
+            ReplFrame frame;
+            frame.type = FrameType::kWalRecord;
+            frame.generation = session.generation;
+            frame.sequence = i + 1;
+            frame.leader_steps = gen_base_steps + i + 1;
+            frame.payload = wal->records[i];
+            if (!SendLocked(session, frame, "repl.records_shipped",
+                            &counters_.records_shipped)) {
+              return;
+            }
+            session.sequence = i + 1;
+            session.steps = frame.leader_steps;
+          }
+          ReplFrame seal;
+          seal.type = FrameType::kSeal;
+          seal.generation = session.generation;
+          seal.sequence = wal->records.size();
+          seal.leader_steps = session.steps;
+          if (!SendLocked(session, seal, "repl.seals_shipped",
+                          &counters_.seals_shipped)) {
+            return;
+          }
+          ++session.generation;
+          session.sequence = 0;
+          advanced = true;
+        }
+      }
+    }
+    if (advanced) continue;
+
+    // Segment gone (pruned, torn, or the follower predates generation 1):
+    // re-base with the cached snapshot of the current generation.
+    ReplFrame snapshot;
+    snapshot.type = FrameType::kSnapshot;
+    snapshot.generation = current_generation_;
+    snapshot.sequence = 0;
+    snapshot.leader_steps = base_steps_;
+    snapshot.payload = snapshot_;
+    if (!SendLocked(session, snapshot, "repl.snapshots_shipped",
+                    &counters_.snapshots_shipped)) {
+      return;
+    }
+    session.generation = current_generation_;
+    session.sequence = 0;
+    session.steps = base_steps_;
+  }
+}
+
+bool WalShipper::SendLocked(Session& session, const ReplFrame& frame,
+                            const char* counter, uint64_t* tally) {
+  const Status sent = session.link->Send(frame);
+  if (!sent.ok()) {
+    NIDC_LOG(Warning) << "follower send (" << FrameTypeName(frame.type)
+                      << ") failed: " << sent.ToString();
+    session.state = Session::State::kDead;
+    ++counters_.ship_errors;
+    BumpLocked("repl.ship_errors");
+    return false;
+  }
+  ++*tally;
+  BumpLocked(counter);
+  last_ship_seconds_ = NowSeconds();
+  return true;
+}
+
+void WalShipper::BumpLocked(const char* name, uint64_t delta) {
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetCounter(name)->Increment(delta);
+  }
+}
+
+void WalShipper::UpdateGaugesLocked() {
+  if (options_.metrics == nullptr) return;
+  size_t alive = 0;
+  for (const auto& [id, session] : sessions_) {
+    if (session.state != Session::State::kDead) ++alive;
+  }
+  options_.metrics->GetGauge("repl.followers")
+      ->Set(static_cast<double>(alive));
+  options_.metrics->GetGauge("repl.queue_depth")
+      ->Set(static_cast<double>(queue_.size()));
+}
+
+double WalShipper::NowSeconds() const {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace nidc::repl

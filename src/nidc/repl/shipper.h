@@ -1,0 +1,181 @@
+// Leader-side WAL shipper: the ReplicationSink installed into a
+// DurableClusterer (DurableOptions::sink) that streams the durability
+// commit stream to follower sessions.
+//
+// Data paths, in preference order per follower:
+//
+//   * live stream — a follower whose watermark equals the leader's head
+//     receives every OnWalRecord as a kWalRecord frame and every rotation
+//     as a kSeal frame, staying in lockstep;
+//   * bounded record queue — the current generation's records are retained
+//     in memory (capped at `max_queue_records`); a follower reconnecting
+//     within the window replays the gap from the queue and rejoins the
+//     live stream. Overflow drops the oldest records (counted in
+//     repl.queue_dropped_records) and pushes affected followers to the
+//     snapshot path;
+//   * sealed segments — a follower a few generations behind is fed the
+//     sealed wal-GGGGGG files straight from the leader's checkpoint
+//     directory (read through the Env, so fault injection covers this
+//     path), each closed with a kSeal that rotates the follower locally;
+//   * snapshot re-base — when the gap is not bridgeable (segments pruned,
+//     queue overflowed, brand-new follower), the cached base snapshot of
+//     the current generation re-bases the follower at (generation, 0).
+//
+// A follower the queue cannot serve *parks* until the next rotation
+// produces a fresh snapshot — the leader's live WAL is never read back
+// while it is being written. Parking therefore bounds follower staleness
+// by the checkpoint cadence, and a follower outage degrades shipping only:
+// the ingest path never blocks and never fails because of replication
+// (the ReplicationSink contract).
+//
+// Thread safety: one mutex guards all session and queue state. Sink
+// callbacks run on the leader's Step thread; AddFollower/RemoveFollower
+// run on transport threads; an optional heartbeat thread keeps follower
+// lag readings fresh while the leader is idle. Sends happen under the
+// lock — follower links are expected to either fail fast or bound their
+// blocking time (TCP links use send timeouts).
+
+#ifndef NIDC_REPL_SHIPPER_H_
+#define NIDC_REPL_SHIPPER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "nidc/repl/wire.h"
+#include "nidc/store/durable_clusterer.h"
+
+namespace nidc::repl {
+
+/// One follower transport. Send() delivers a frame to the follower;
+/// returning an error marks the session dead (the shipper never retries a
+/// link — reconnection is the transport's job, and arrives as a fresh
+/// AddFollower with a fresh hello watermark).
+class FollowerLink {
+ public:
+  virtual ~FollowerLink() = default;
+  virtual Status Send(const ReplFrame& frame) = 0;
+};
+
+struct ShipperOptions {
+  /// Leader checkpoint directory (the DurableClusterer's dir); sealed
+  /// segments are read from here for catch-up. Required.
+  std::string dir;
+
+  /// Filesystem for segment reads; null selects Env::Default(). The
+  /// torture harness passes the same FaultInjectionEnv as the leader, so
+  /// an injected crash kills shipping and serving alike.
+  Env* env = nullptr;
+
+  /// "repl.*" counters/gauges, registered eagerly so the metrics surface
+  /// always carries the family; null disables them.
+  obs::MetricsRegistry* metrics = nullptr;
+
+  /// Current-generation records retained for reconnect catch-up. Must be
+  /// >= 1; beyond it the oldest records are dropped and late followers
+  /// fall back to snapshot catch-up at the next rotation.
+  size_t max_queue_records = 1024;
+};
+
+struct ShipperStats {
+  size_t followers = 0;
+  size_t in_sync = 0;
+  size_t parked = 0;
+  uint64_t records_shipped = 0;
+  uint64_t snapshots_shipped = 0;
+  uint64_t seals_shipped = 0;
+  uint64_t heartbeats_shipped = 0;
+  uint64_t ship_errors = 0;
+  uint64_t queue_dropped_records = 0;
+  size_t queue_depth = 0;
+  /// Leader head (total applied steps at the newest commit shipped).
+  uint64_t head_steps = 0;
+  /// Largest (head_steps - follower watermark) over live sessions.
+  uint64_t max_follower_lag_records = 0;
+  /// Seconds since the last successful send (since construction before
+  /// any).
+  double last_ship_age_seconds = 0.0;
+};
+
+class WalShipper : public ReplicationSink {
+ public:
+  explicit WalShipper(ShipperOptions options);
+  ~WalShipper() override;
+
+  WalShipper(const WalShipper&) = delete;
+  WalShipper& operator=(const WalShipper&) = delete;
+
+  // ReplicationSink — called by the leader's DurableClusterer.
+  void OnWalRecord(uint64_t generation, uint64_t sequence,
+                   uint64_t leader_steps, std::string_view payload) override;
+  void OnRotate(uint64_t generation, uint64_t sealed_records,
+                uint64_t leader_steps, const std::string& snapshot) override;
+
+  /// Registers a follower session at the watermark its kHello frame
+  /// declares and immediately ships whatever catch-up it needs. Returns a
+  /// session id for RemoveFollower. `link` must stay valid until removed.
+  uint64_t AddFollower(FollowerLink* link, const ReplFrame& hello);
+
+  void RemoveFollower(uint64_t session_id);
+
+  /// True while the session exists and its link has not failed.
+  bool FollowerAlive(uint64_t session_id) const;
+
+  /// Starts a background thread that sends kHeartbeat to in-sync
+  /// followers every `interval_s`, keeping their lag and last-ship-age
+  /// fresh across idle stretches. Stopped by the destructor.
+  void StartHeartbeats(double interval_s);
+
+  ShipperStats stats() const;
+
+ private:
+  struct Session {
+    FollowerLink* link = nullptr;
+    enum class State { kCatchUp, kInSync, kParked, kDead } state =
+        State::kCatchUp;
+    // Watermark as shipped: (generation, sequence) plus total steps.
+    uint64_t generation = 0;
+    uint64_t sequence = 0;
+    uint64_t steps = 0;
+  };
+
+  /// Drives a session from its watermark toward the leader's head until
+  /// it is in sync, parked, or dead. See the class comment for the path
+  /// order.
+  void AdvanceSessionLocked(Session& session);
+  bool SendLocked(Session& session, const ReplFrame& frame,
+                  const char* counter, uint64_t* tally);
+  void BumpLocked(const char* name, uint64_t delta = 1);
+  void UpdateGaugesLocked();
+  double NowSeconds() const;
+
+  ShipperOptions options_;
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, Session> sessions_;
+  uint64_t next_session_id_ = 1;
+  /// Leader commit state as observed through the sink callbacks. A
+  /// current generation of 0 means no rotation has been seen yet (the
+  /// leader is not open) and every follower parks.
+  uint64_t current_generation_ = 0;
+  uint64_t current_records_ = 0;
+  uint64_t base_steps_ = 0;
+  uint64_t head_steps_ = 0;
+  std::string snapshot_;
+  std::deque<std::string> queue_;
+  uint64_t first_queued_seq_ = 1;
+  double last_ship_seconds_ = 0.0;
+  ShipperStats counters_;
+
+  std::thread heartbeat_thread_;
+  std::condition_variable heartbeat_cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace nidc::repl
+
+#endif  // NIDC_REPL_SHIPPER_H_

@@ -1,0 +1,326 @@
+#include "nidc/repl/tcp.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "nidc/util/logging.h"
+
+namespace nidc::repl {
+
+namespace {
+
+void SetSocketTimeouts(int fd, double seconds) {
+  timeval timeout{};
+  timeout.tv_sec = static_cast<time_t>(seconds);
+  timeout.tv_usec = static_cast<suseconds_t>(
+      (seconds - static_cast<double>(timeout.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+}
+
+Status WriteAll(int fd, const std::string& data) {
+  size_t offset = 0;
+  while (offset < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + offset, data.size() - offset,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    if (n == 0) return Status::IOError("send: connection closed");
+    offset += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Sends one encoded frame over `fd`, serialized by `mu` (the shipper may
+/// call Send from its own lock, but the hangup-watch thread never writes,
+/// so the mutex only orders sends against each other).
+class TcpFollowerLink : public FollowerLink {
+ public:
+  explicit TcpFollowerLink(int fd) : fd_(fd) {}
+
+  Status Send(const ReplFrame& frame) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return WriteAll(fd_, EncodeFrame(frame));
+  }
+
+ private:
+  std::mutex mu_;
+  const int fd_;
+};
+
+}  // namespace
+
+ReplListener::ReplListener(WalShipper* shipper) : shipper_(shipper) {}
+
+ReplListener::~ReplListener() { Stop(); }
+
+Status ReplListener::Start(uint16_t port) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("listener is already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("bind 127.0.0.1:" + std::to_string(port) + ": " +
+                           err);
+  }
+  if (::listen(fd, /*backlog=*/16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("listen: " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("getsockname: " + err);
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ReplListener::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void ReplListener::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listening socket shut down (Stop) or unusable
+    }
+    if (!running_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    SetSocketTimeouts(fd, /*seconds=*/5.0);
+    const int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void ReplListener::ServeConnection(int fd) {
+  // Handshake: the first frame must be the follower's hello watermark.
+  FrameParser parser;
+  ReplFrame hello;
+  bool have_hello = false;
+  char buf[4096];
+  while (!have_hello) {
+    Result<std::optional<ReplFrame>> next = parser.Next();
+    if (!next.ok()) break;  // damaged handshake; drop
+    if (next->has_value()) {
+      if ((*next)->type != FrameType::kHello) break;
+      hello = std::move(**next);
+      have_hello = true;
+      break;
+    }
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // timeout, error, or hangup before hello
+    parser.Feed(std::string_view(buf, static_cast<size_t>(n)));
+  }
+  if (!have_hello) {
+    ::close(fd);
+    return;
+  }
+
+  TcpFollowerLink link(fd);
+  const uint64_t session = shipper_->AddFollower(&link, hello);
+  // Watch for hangup (or shutdown from Stop): followers never send after
+  // the hello, so any read completion means the connection is over. The
+  // read timeout doubles as a liveness poll for a shipper-side send
+  // failure having marked the session dead.
+  while (running_.load(std::memory_order_acquire) &&
+         shipper_->FollowerAlive(session)) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                  errno == EWOULDBLOCK)) {
+      continue;
+    }
+    break;
+  }
+  shipper_->RemoveFollower(session);
+  ::close(fd);
+}
+
+TcpReplClient::TcpReplClient(ReplicaClusterer* replica,
+                             TcpReplClientOptions options)
+    : replica_(replica), options_(options) {}
+
+TcpReplClient::~TcpReplClient() { Stop(); }
+
+Status TcpReplClient::Start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) {
+    return Status::FailedPrecondition("client is already running");
+  }
+  if (options_.port == 0) {
+    running_.store(false, std::memory_order_release);
+    return Status::InvalidArgument("TcpReplClientOptions::port is required");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = false;
+  }
+  pump_thread_ = std::thread([this] { PumpLoop(); });
+  return Status::OK();
+}
+
+void TcpReplClient::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && !pump_thread_.joinable()) return;
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  const int fd = conn_fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  if (pump_thread_.joinable()) pump_thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+Status TcpReplClient::fatal_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fatal_;
+}
+
+void TcpReplClient::PumpLoop() {
+  double backoff = options_.initial_backoff_s;
+  while (RunConnection()) {
+    // A completed handshake resets the backoff; consecutive failures
+    // double it up to the cap.
+    backoff = connected_.load(std::memory_order_acquire)
+                  ? options_.initial_backoff_s
+                  : std::min(backoff * 2.0, options_.max_backoff_s);
+    connected_.store(false, std::memory_order_release);
+    if (!SleepBackoff(backoff)) return;
+  }
+  connected_.store(false, std::memory_order_release);
+}
+
+bool TcpReplClient::RunConnection() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return false;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return true;
+  SetSocketTimeouts(fd, options_.recv_timeout_s);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return true;  // leader not up (yet); retry with backoff
+  }
+  conn_fd_.store(fd, std::memory_order_release);
+  connects_.fetch_add(1, std::memory_order_relaxed);
+
+  bool keep_running = true;
+  if (WriteAll(fd, EncodeFrame(replica_->HelloFrame())).ok()) {
+    connected_.store(true, std::memory_order_release);
+    FrameParser parser;
+    char buf[4096];
+    bool drop = false;
+    while (!drop) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) {
+          keep_running = false;
+          break;
+        }
+      }
+      Result<std::optional<ReplFrame>> next = parser.Next();
+      if (!next.ok()) {
+        NIDC_LOG(Warning) << "replication stream damaged: "
+                          << next.status().ToString() << "; reconnecting";
+        break;
+      }
+      if (next->has_value()) {
+        const Status applied = replica_->Apply(**next);
+        if (applied.ok()) continue;
+        if (applied.code() == StatusCode::kIOError) {
+          std::lock_guard<std::mutex> lock(mu_);
+          fatal_ = applied;
+          keep_running = false;
+        } else {
+          // FailedPrecondition: the shipper must re-derive what we need
+          // from a fresh hello. Anything else is a protocol surprise;
+          // reconnecting is the safe recovery for it too.
+          NIDC_LOG(Warning) << "frame not applicable ("
+                            << applied.ToString() << "); reconnecting";
+        }
+        break;
+      }
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                    errno == EWOULDBLOCK)) {
+        continue;  // receive timeout: loop to re-check the stop flag
+      }
+      if (n <= 0) break;  // hangup or hard error
+      parser.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    }
+  }
+  conn_fd_.store(-1, std::memory_order_release);
+  ::close(fd);
+  return keep_running;
+}
+
+bool TcpReplClient::SleepBackoff(double seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  stop_cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+                    [this] { return stopping_; });
+  return !stopping_;
+}
+
+}  // namespace nidc::repl

@@ -1,0 +1,150 @@
+// TCP transport for the replication protocol (loopback only, like
+// serve/http_server.h): a leader-side listener that feeds accepted
+// follower connections into a WalShipper, and a follower-side client that
+// maintains one connection to the leader with capped exponential backoff.
+//
+// Connection lifecycle:
+//
+//   follower                       leader
+//   --------                       ------
+//   connect ───────────────────▶   accept (per-connection thread)
+//   kHello(watermark) ─────────▶   WalShipper::AddFollower
+//                    ◀───────────  catch-up + live frames ...
+//
+// The follower applies every received frame to its ReplicaClusterer. A
+// FailedPrecondition from Apply (record gap, unexpected seal) or a framing
+// error from FrameParser drops the connection; the next reconnect's hello
+// carries the follower's current watermark, which is the whole
+// resynchronization story — no state machine spans connections. An
+// IOError from Apply is fatal: the client stops and reports it (the
+// replica must be reopened).
+//
+// Both sides bound every socket operation: accepted connections carry
+// send/receive timeouts, the client polls its stop flag on receive
+// timeouts, and a slow or dead peer therefore costs at most one timeout
+// interval, never a hang.
+
+#ifndef NIDC_REPL_TCP_H_
+#define NIDC_REPL_TCP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "nidc/repl/replica.h"
+#include "nidc/repl/shipper.h"
+
+namespace nidc::repl {
+
+/// Leader-side acceptor. Each accepted connection gets its own thread
+/// that performs the hello handshake, registers the connection with the
+/// shipper, and then watches the socket for hangup so the session is
+/// removed promptly when the follower goes away.
+class ReplListener {
+ public:
+  /// `shipper` must outlive the listener.
+  explicit ReplListener(WalShipper* shipper);
+  ~ReplListener();
+
+  ReplListener(const ReplListener&) = delete;
+  ReplListener& operator=(const ReplListener&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts accepting.
+  Status Start(uint16_t port);
+
+  /// Shuts down the listener and every live connection, joining all
+  /// threads. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Follower connections accepted so far (including ones since closed).
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  WalShipper* const shipper_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<int> connection_fds_;
+};
+
+struct TcpReplClientOptions {
+  /// Leader port on 127.0.0.1. Required.
+  uint16_t port = 0;
+
+  /// Reconnect backoff: starts at `initial_backoff_s`, doubles per failed
+  /// attempt, capped at `max_backoff_s`, reset by a successful handshake.
+  double initial_backoff_s = 0.05;
+  double max_backoff_s = 2.0;
+
+  /// Receive timeout; also the granularity at which Stop() is observed
+  /// while the connection is idle.
+  double recv_timeout_s = 1.0;
+};
+
+/// Follower-side client: one background thread that connects, says hello,
+/// and pumps received frames into the replica until stopped or the
+/// replica reports a fatal storage error.
+class TcpReplClient {
+ public:
+  /// `replica` must outlive the client.
+  TcpReplClient(ReplicaClusterer* replica, TcpReplClientOptions options);
+  ~TcpReplClient();
+
+  TcpReplClient(const TcpReplClient&) = delete;
+  TcpReplClient& operator=(const TcpReplClient&) = delete;
+
+  Status Start();
+
+  /// Stops the pump thread (drops any live connection). Idempotent.
+  void Stop();
+
+  bool connected() const { return connected_.load(std::memory_order_acquire); }
+
+  /// Connection attempts that reached the hello handshake.
+  uint64_t connects() const { return connects_.load(std::memory_order_relaxed); }
+
+  /// Non-OK when the pump stopped on a fatal replica error.
+  Status fatal_status() const;
+
+ private:
+  void PumpLoop();
+  /// One connection: dial, hello, apply frames until drop. Returns false
+  /// when the pump should stop (Stop() or fatal error).
+  bool RunConnection();
+  bool SleepBackoff(double seconds);
+
+  ReplicaClusterer* const replica_;
+  const TcpReplClientOptions options_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> connected_{false};
+  std::atomic<uint64_t> connects_{0};
+  std::atomic<int> conn_fd_{-1};
+  std::thread pump_thread_;
+
+  mutable std::mutex mu_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  Status fatal_ = Status::OK();
+};
+
+}  // namespace nidc::repl
+
+#endif  // NIDC_REPL_TCP_H_

@@ -1,0 +1,136 @@
+#include "nidc/repl/wire.h"
+
+#include <cstring>
+
+#include "nidc/util/crc32.h"
+
+namespace nidc::repl {
+
+namespace {
+
+constexpr size_t kFrameHeaderSize = 8;  // u32 length + u32 masked crc
+constexpr size_t kBodyFixedSize = 1 + 3 * 8;
+
+// A frame body larger than this is framing damage, not an allocation
+// request (snapshots are the largest legitimate payload by far).
+constexpr uint32_t kMaxFrameSize = 1u << 30;
+
+void PutU32(std::string* out, uint32_t v) {
+  char bytes[4] = {static_cast<char>(v & 0xFF),
+                   static_cast<char>((v >> 8) & 0xFF),
+                   static_cast<char>((v >> 16) & 0xFF),
+                   static_cast<char>((v >> 24) & 0xFF)};
+  out->append(bytes, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+bool ValidType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kHello) &&
+         type <= static_cast<uint8_t>(FrameType::kHeartbeat);
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "hello";
+    case FrameType::kSnapshot:
+      return "snapshot";
+    case FrameType::kWalRecord:
+      return "wal_record";
+    case FrameType::kSeal:
+      return "seal";
+    case FrameType::kHeartbeat:
+      return "heartbeat";
+  }
+  return "unknown";
+}
+
+std::string EncodeFrame(const ReplFrame& frame) {
+  std::string body;
+  body.reserve(kBodyFixedSize + frame.payload.size());
+  body.push_back(static_cast<char>(frame.type));
+  PutU64(&body, frame.generation);
+  PutU64(&body, frame.sequence);
+  PutU64(&body, frame.leader_steps);
+  body.append(frame.payload);
+
+  std::string out;
+  out.reserve(kFrameHeaderSize + body.size());
+  PutU32(&out, static_cast<uint32_t>(body.size()));
+  PutU32(&out, MaskCrc32c(Crc32c(body)));
+  out.append(body);
+  return out;
+}
+
+Result<ReplFrame> DecodeFrameBody(std::string_view body) {
+  if (body.size() < kBodyFixedSize) {
+    return Status::InvalidArgument("replication frame body too short");
+  }
+  const uint8_t type = static_cast<uint8_t>(body[0]);
+  if (!ValidType(type)) {
+    return Status::InvalidArgument("unknown replication frame type " +
+                                   std::to_string(type));
+  }
+  ReplFrame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.generation = GetU64(body.data() + 1);
+  frame.sequence = GetU64(body.data() + 9);
+  frame.leader_steps = GetU64(body.data() + 17);
+  frame.payload.assign(body.data() + kBodyFixedSize,
+                       body.size() - kBodyFixedSize);
+  return frame;
+}
+
+Result<std::optional<ReplFrame>> FrameParser::Next() {
+  // Compact lazily so a long-lived connection does not grow the buffer.
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > (1u << 16) && consumed_ > buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderSize) return std::optional<ReplFrame>();
+  const char* base = buffer_.data() + consumed_;
+  const uint32_t length = GetU32(base);
+  if (length > kMaxFrameSize) {
+    return Status::InvalidArgument("oversized replication frame (" +
+                                   std::to_string(length) + " bytes)");
+  }
+  if (available - kFrameHeaderSize < length) return std::optional<ReplFrame>();
+  const uint32_t stored_crc = UnmaskCrc32c(GetU32(base + 4));
+  const std::string_view body(base + kFrameHeaderSize, length);
+  if (Crc32c(body) != stored_crc) {
+    return Status::InvalidArgument("replication frame checksum mismatch");
+  }
+  Result<ReplFrame> frame = DecodeFrameBody(body);
+  if (!frame.ok()) return frame.status();
+  consumed_ += kFrameHeaderSize + length;
+  return std::optional<ReplFrame>(std::move(frame).value());
+}
+
+}  // namespace nidc::repl

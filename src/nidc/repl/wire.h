@@ -1,0 +1,98 @@
+// Replication wire protocol (repl/ subsystem).
+//
+// The leader ships its durability stream to followers as a sequence of
+// CRC-framed, length-prefixed frames — the same framing discipline as the
+// on-disk WAL (store/wal.h), so a torn TCP stream degrades exactly like a
+// torn WAL tail: everything before the damage is usable, the first bad
+// frame kills the connection and the reconnect handshake resynchronizes.
+//
+// Frame layout on the stream:
+//   u32-le body length | u32-le masked CRC-32C of the body | body
+// Body layout:
+//   u8 type | u64-le generation | u64-le sequence | u64-le leader_steps |
+//   payload bytes
+//
+// Frame types and their (generation, sequence, payload) semantics:
+//   kHello      follower -> leader, once per connection: the follower's
+//               watermark (current generation, applied WAL sequence within
+//               it, total applied steps). The leader resumes shipping
+//               from exactly this point, re-ships sealed segments, or
+//               re-bases the follower with a snapshot.
+//   kSnapshot   leader -> follower: serialized ClustererState that is the
+//               base of `generation` (leader state when the generation
+//               began). Installing it re-bases the follower at
+//               (generation, 0).
+//   kWalRecord  leader -> follower: one WAL step record; `sequence` is
+//               1-based within `generation`. Applied iff it is the
+//               follower's next expected record; duplicates are skipped
+//               idempotently, gaps force a snapshot catch-up.
+//   kSeal       leader -> follower: `generation` is sealed at `sequence`
+//               records; a follower sitting exactly at that watermark
+//               rotates locally (writes its own bit-identical snapshot)
+//               and advances to generation+1.
+//   kHeartbeat  leader -> follower when idle: carries the leader's head
+//               position so follower lag / last-ship-age stay fresh.
+//
+// `leader_steps` on every leader frame is the leader's total applied step
+// count at send time — followers derive replication lag from it.
+
+#ifndef NIDC_REPL_WIRE_H_
+#define NIDC_REPL_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "nidc/util/status.h"
+
+namespace nidc::repl {
+
+enum class FrameType : uint8_t {
+  kHello = 1,
+  kSnapshot = 2,
+  kWalRecord = 3,
+  kSeal = 4,
+  kHeartbeat = 5,
+};
+
+/// Human-readable frame-type name ("wal_record"), for logs and errors.
+const char* FrameTypeName(FrameType type);
+
+struct ReplFrame {
+  FrameType type = FrameType::kHeartbeat;
+  uint64_t generation = 0;
+  uint64_t sequence = 0;
+  uint64_t leader_steps = 0;
+  std::string payload;
+};
+
+/// Serializes one frame to its on-stream bytes.
+std::string EncodeFrame(const ReplFrame& frame);
+
+/// Decodes a frame body (the bytes the CRC covers). Exposed for tests.
+Result<ReplFrame> DecodeFrameBody(std::string_view body);
+
+/// Incremental frame decoder over a byte stream. Feed() appends received
+/// bytes; Next() yields complete frames. A return of nullopt means "need
+/// more bytes" (a cleanly truncated tail is not an error until the peer
+/// hangs up); a non-OK status means the stream is damaged (bad CRC,
+/// oversized length, unknown type) and the connection must be dropped —
+/// resynchronization happens via the reconnect handshake, never by
+/// scanning forward.
+class FrameParser {
+ public:
+  void Feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  Result<std::optional<ReplFrame>> Next();
+
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;
+};
+
+}  // namespace nidc::repl
+
+#endif  // NIDC_REPL_WIRE_H_

@@ -5,7 +5,9 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 namespace nidc::serve {
@@ -26,6 +28,12 @@ const char* ReasonPhrase(int status) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 409:
+      return "Conflict";
+    case 411:
+      return "Length Required";
+    case 413:
+      return "Payload Too Large";
     case 503:
       return "Service Unavailable";
     default:
@@ -68,6 +76,44 @@ bool ReadRequestHead(int fd, std::string* head) {
     }
   }
   return false;
+}
+
+// Offset of the first body byte (one past the blank line ending the
+// head), or npos when the head is not yet complete.
+size_t BodyOffset(const std::string& raw) {
+  if (const size_t crlf = raw.find("\r\n\r\n"); crlf != std::string::npos) {
+    return crlf + 4;
+  }
+  if (const size_t lf = raw.find("\n\n"); lf != std::string::npos) {
+    return lf + 2;
+  }
+  return std::string::npos;
+}
+
+// The Content-Length header value (case-insensitive name), or -1 when the
+// header is absent or malformed.
+long long ParseContentLength(const std::string& head) {
+  size_t pos = 0;
+  while (pos < head.size()) {
+    size_t line_end = head.find('\n', pos);
+    if (line_end == std::string::npos) line_end = head.size();
+    const std::string line = head.substr(pos, line_end - pos);
+    const size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string name = line.substr(0, colon);
+      for (char& c : name) c = static_cast<char>(std::tolower(c));
+      if (name == "content-length") {
+        const char* value = line.c_str() + colon + 1;
+        while (*value == ' ' || *value == '\t') ++value;
+        char* parse_end = nullptr;
+        const long long n = std::strtoll(value, &parse_end, 10);
+        if (parse_end == value || n < 0) return -1;
+        return n;
+      }
+    }
+    pos = line_end + 1;
+  }
+  return -1;
 }
 
 // Parses "GET /path?query HTTP/1.1" out of the head's first line.
@@ -187,22 +233,63 @@ void HttpServer::AcceptLoop() {
 }
 
 void HttpServer::ServeConnection(int fd) {
-  std::string head;
+  // `raw` accumulates everything received: the head plus whatever body
+  // prefix arrived in the same segments.
+  std::string raw;
   HttpRequest request;
   HttpResponse response;
-  if (!ReadRequestHead(fd, &head) || !ParseRequestLine(head, &request)) {
+  bool dispatch = false;
+  if (!ReadRequestHead(fd, &raw) || !ParseRequestLine(raw, &request)) {
     response.status = 400;
     response.body = "malformed request\n";
     if (bad_request_counter_ != nullptr) bad_request_counter_->Increment();
-  } else if (request.method != "GET") {
+  } else if (request.method != "GET" && request.method != "POST") {
     response.status = 405;
-    response.body = "only GET is supported\n";
-  } else if (auto it = handlers_.find(request.path); it != handlers_.end()) {
-    response = it->second(request);
+    response.body = "only GET and POST are supported\n";
+  } else if (request.method == "POST") {
+    const size_t body_offset = BodyOffset(raw);
+    const long long length =
+        ParseContentLength(raw.substr(0, body_offset));
+    if (length < 0) {
+      response.status = 411;
+      response.body = "POST requires Content-Length\n";
+    } else if (static_cast<size_t>(length) > kMaxBodyBytes) {
+      // Refuse before buffering: the connection is closed after the
+      // response, so the unread remainder is simply discarded.
+      response.status = 413;
+      response.body = "body exceeds " + std::to_string(kMaxBodyBytes) +
+                      " bytes\n";
+    } else {
+      while (raw.size() - body_offset < static_cast<size_t>(length)) {
+        char buf[1024];
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) break;  // hangup or recv timeout mid-body
+        raw.append(buf, static_cast<size_t>(n));
+      }
+      if (raw.size() - body_offset < static_cast<size_t>(length)) {
+        response.status = 400;
+        response.body = "truncated request body\n";
+        if (bad_request_counter_ != nullptr) {
+          bad_request_counter_->Increment();
+        }
+      } else {
+        request.body =
+            raw.substr(body_offset, static_cast<size_t>(length));
+        dispatch = true;
+      }
+    }
   } else {
-    response.status = 404;
-    response.body = "no handler for " + request.path + "\n";
-    if (not_found_counter_ != nullptr) not_found_counter_->Increment();
+    dispatch = true;
+  }
+  if (dispatch) {
+    if (auto it = handlers_.find(request.path); it != handlers_.end()) {
+      response = it->second(request);
+    } else {
+      response.status = 404;
+      response.body = "no handler for " + request.path + "\n";
+      if (not_found_counter_ != nullptr) not_found_counter_->Increment();
+    }
   }
   requests_served_.fetch_add(1, std::memory_order_relaxed);
   if (requests_counter_ != nullptr) requests_counter_->Increment();

@@ -1,11 +1,17 @@
 // Dependency-free embedded HTTP/1.1 server for live introspection.
 //
 // Deliberately minimal: plain POSIX sockets, a blocking accept loop on one
-// background thread, GET only, connections served one at a time and closed
-// after each response (the backlog queues concurrent scrapers). That is
-// exactly enough for a Prometheus scrape or a curl against /statusz, and
-// nothing more — no TLS, no keep-alive, no request bodies, bound to
-// 127.0.0.1 only.
+// background thread, GET and POST only, connections served one at a time
+// and closed after each response (the backlog queues concurrent scrapers).
+// That is exactly enough for a Prometheus scrape, a curl against /statusz,
+// or an operator POST to /promotez, and nothing more — no TLS, no
+// keep-alive, bound to 127.0.0.1 only.
+//
+// POST bodies require a Content-Length header (411 without one) and are
+// bounded: anything longer than kMaxBodyBytes is answered 413 without
+// being buffered. The method is dispatched to the same per-path handler
+// table as GET; handlers that only make sense for one method check
+// HttpRequest::method and answer 405 themselves.
 //
 // Handlers are registered per exact path before Start and run on the
 // server thread, so they must be safe to call concurrently with the
@@ -28,11 +34,15 @@
 
 namespace nidc::serve {
 
-/// The parsed request line of one incoming request.
+/// Request bodies larger than this are refused with 413.
+inline constexpr size_t kMaxBodyBytes = 1 << 16;
+
+/// The parsed request line (and, for POST, body) of one incoming request.
 struct HttpRequest {
-  std::string method;  ///< "GET" (anything else is answered 405).
+  std::string method;  ///< "GET" or "POST" (anything else is answered 405).
   std::string path;    ///< Path component, without the query string.
   std::string query;   ///< Raw query string ("" when absent).
+  std::string body;    ///< POST body ("" for GET).
 };
 
 /// What a handler returns; the server adds the status line and framing

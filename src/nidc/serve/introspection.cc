@@ -113,6 +113,11 @@ void StatusBoard::RecordDurability(const DurabilityStatus& durability) {
   durability_ = durability;
 }
 
+void StatusBoard::RecordReplication(const ReplicationStatus& replication) {
+  std::lock_guard<std::mutex> lock(mu_);
+  replication_ = replication;
+}
+
 StatusBoard::StepRecord StatusBoard::last_step() const {
   std::lock_guard<std::mutex> lock(mu_);
   return last_;
@@ -126,6 +131,11 @@ bool StatusBoard::valid() const {
 DurabilityStatus StatusBoard::durability() const {
   std::lock_guard<std::mutex> lock(mu_);
   return durability_;
+}
+
+ReplicationStatus StatusBoard::replication() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return replication_;
 }
 
 std::vector<double> StatusBoard::g_tail() const {
@@ -158,10 +168,20 @@ std::string RenderHealthJson(const IntrospectionOptions& options,
                 stepped ? options.board->last_step().step + 1 : uint64_t{0});
     builder.Add("last_step_age_seconds", age);
     builder.Add("uptime_seconds", options.board->uptime_seconds());
+    const ReplicationStatus replication = options.board->replication();
+    builder.Add("role", replication.role);
+    builder.Add("replication_lag_records",
+                replication.replication_lag_records);
+    builder.Add("last_ship_age_s", replication.last_ship_age_seconds);
+    if (replication.enabled) {
+      builder.Add("replication_generation", replication.generation);
+      builder.Add("followers", replication.followers);
+    }
     builder.AddRaw("durability",
                    RenderDurabilityJson(options.board->durability()));
   } else {
     builder.Add("status", "ok");
+    builder.Add("role", "standalone");
   }
   if (healthy != nullptr) *healthy = ok;
   return builder.Render();

@@ -2,9 +2,11 @@
 //
 //   GET /metrics  — the full MetricsRegistry in Prometheus text format;
 //   GET /healthz  — liveness JSON: last-step age, step count, WAL records
-//                   since the last checkpoint vs the rotation cadence.
-//                   200 while stepping, 503 once the last step is older
-//                   than `stale_after_seconds`;
+//                   since the last checkpoint vs the rotation cadence,
+//                   plus the replication role ("standalone" / "leader" /
+//                   "follower"), replication_lag_records and
+//                   last_ship_age_s. 200 while stepping, 503 once the
+//                   last step is older than `stale_after_seconds`;
 //   GET /statusz  — pipeline status JSON: step counter, document counts,
 //                   the G trajectory tail, per-cluster health rows
 //                   (stable id, size, avg_sim, age, drift), churn/EWMA
@@ -57,6 +59,23 @@ struct DurabilityStatus {
   uint64_t checkpoint_every = 0;
 };
 
+/// Replication role and lag as /healthz reports it. A leader publishes
+/// from its WalShipper stats (lag = slowest follower behind the head), a
+/// follower from its ReplicaClusterer stats (lag = records behind the
+/// leader head it last heard about).
+struct ReplicationStatus {
+  bool enabled = false;
+  /// "standalone", "leader", or "follower".
+  std::string role = "standalone";
+  uint64_t generation = 0;
+  uint64_t replication_lag_records = 0;
+  /// Seconds since a frame last moved (leader: last successful send;
+  /// follower: last received frame).
+  double last_ship_age_seconds = 0.0;
+  /// Live follower sessions (leader side; 0 on a follower).
+  uint64_t followers = 0;
+};
+
 /// Thread-safe blackboard between the step loop and the server thread.
 class StatusBoard {
  public:
@@ -82,10 +101,15 @@ class StatusBoard {
   /// Publishes the durability lag after a durable step.
   void RecordDurability(const DurabilityStatus& durability);
 
+  /// Publishes the replication role + lag (leaders after each step or
+  /// rotation, followers after each applied frame).
+  void RecordReplication(const ReplicationStatus& replication);
+
   /// Copy of the newest step record; valid() is false before any step.
   StepRecord last_step() const;
   bool valid() const;
   DurabilityStatus durability() const;
+  ReplicationStatus replication() const;
   /// The retained G trajectory tail, oldest first (most recent 64 steps).
   std::vector<double> g_tail() const;
   /// Seconds since the last RecordStep (since construction before any).
@@ -100,6 +124,7 @@ class StatusBoard {
   bool valid_ = false;
   StepRecord last_;
   DurabilityStatus durability_;
+  ReplicationStatus replication_;
   std::deque<double> g_tail_;
   double start_seconds_ = 0.0;
   double last_step_seconds_ = 0.0;

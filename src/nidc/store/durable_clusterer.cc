@@ -7,36 +7,6 @@
 
 namespace nidc {
 
-namespace {
-
-// Candidate generations to try recovering from, newest first: the
-// manifest's generation leads (it is only updated after its snapshot is
-// durable), then every snapshot found by the directory scan.
-std::vector<uint64_t> RecoveryCandidates(Env* env, const std::string& dir) {
-  std::vector<uint64_t> candidates;
-  if (Result<Manifest> manifest = ReadManifest(env, dir); manifest.ok()) {
-    candidates.push_back(manifest->generation);
-  }
-  if (Result<std::vector<uint64_t>> scanned =
-          ListSnapshotGenerations(env, dir);
-      scanned.ok()) {
-    for (uint64_t generation : *scanned) {
-      if (std::find(candidates.begin(), candidates.end(), generation) ==
-          candidates.end()) {
-        candidates.push_back(generation);
-      }
-    }
-  }
-  // Keep the manifest's generation first, but order the rest descending.
-  if (candidates.size() > 1) {
-    std::sort(candidates.begin() + 1, candidates.end(),
-              std::greater<uint64_t>());
-  }
-  return candidates;
-}
-
-}  // namespace
-
 Result<std::unique_ptr<DurableClusterer>> DurableClusterer::Open(
     const Corpus* corpus, ForgettingParams params,
     IncrementalOptions options, DurableOptions durable) {
@@ -69,7 +39,7 @@ Result<std::unique_ptr<DurableClusterer>> DurableClusterer::Open(
   RecoveryInfo recovery;
   std::unique_ptr<IncrementalClusterer> inner;
   uint64_t newest_seen = 0;
-  for (uint64_t generation : RecoveryCandidates(env, durable.dir)) {
+  for (uint64_t generation : ListRecoveryCandidates(env, durable.dir)) {
     newest_seen = std::max(newest_seen, generation);
     const std::string snapshot_path =
         durable.dir + "/" + SnapshotFileName(generation);
@@ -166,11 +136,18 @@ Result<StepResult> DurableClusterer::Step(const std::vector<DocId>& new_docs,
   WalStepRecord record;
   record.tau = tau;
   record.new_docs = new_docs;
+  const std::string payload = EncodeStepRecord(record);
   const uint64_t bytes_before = wal_->bytes_appended();
-  NIDC_RETURN_NOT_OK(wal_->AppendRecord(EncodeStepRecord(record)));
+  NIDC_RETURN_NOT_OK(wal_->AppendRecord(payload));
   ++records_since_checkpoint_;
   BumpCounter("store.wal_records");
   BumpCounter("store.wal_bytes", wal_->bytes_appended() - bytes_before);
+  if (durable_.sink != nullptr) {
+    // Ship only after the record is durably appended locally: a follower
+    // never holds a record this leader could lose in a crash it survives.
+    durable_.sink->OnWalRecord(generation_, records_since_checkpoint_,
+                               inner_->step_count() + 1, payload);
+  }
 
   Result<StepResult> result = inner_->Step(new_docs, tau);
   // FailedPrecondition (no active documents) leaves the instance — and
@@ -195,14 +172,16 @@ Status DurableClusterer::Checkpoint() {
 Status DurableClusterer::Rotate() {
   Env* env = durable_.env;
   const uint64_t next = generation_ + 1;
+  const uint64_t sealed_records = records_since_checkpoint_;
   const std::string snapshot_name = SnapshotFileName(next);
   const std::string wal_name = WalFileName(next);
 
   // Order matters: snapshot first, then a fresh WAL, then the manifest
   // flip. A crash between any two leaves the previous generation (still
   // on disk, still current in the manifest) fully recoverable.
-  NIDC_RETURN_NOT_OK(SaveState(CaptureState(*inner_),
-                               durable_.dir + "/" + snapshot_name, env));
+  const std::string snapshot_text = SerializeState(CaptureState(*inner_));
+  NIDC_RETURN_NOT_OK(AtomicWriteFile(env, durable_.dir + "/" + snapshot_name,
+                                     snapshot_text));
   if (wal_ != nullptr) {
     wal_->Close();  // superseded; any unsynced tail is covered by the snapshot
   }
@@ -219,6 +198,12 @@ Status DurableClusterer::Rotate() {
 
   generation_ = next;
   records_since_checkpoint_ = 0;
+  if (durable_.sink != nullptr) {
+    // The manifest flip above is the commit point; followers only learn
+    // about generations that recovery on this node would itself pick.
+    durable_.sink->OnRotate(generation_, sealed_records,
+                            inner_->step_count(), snapshot_text);
+  }
   BumpCounter("store.snapshots");
   if (metrics_ != nullptr) {
     metrics_->GetGauge("store.generation")

@@ -41,6 +41,33 @@
 
 namespace nidc {
 
+/// Observer of the durability layer's commit points, the attachment point
+/// for WAL shipping (src/nidc/repl/). Callbacks run on the Step thread
+/// *after* the corresponding bytes are durably on local storage, so a
+/// sink never observes a record the leader could lose in a crash it
+/// survives. Implementations must not fail the step path: a follower
+/// outage degrades replication (queueing, drop-oldest, snapshot
+/// catch-up), never ingest.
+class ReplicationSink {
+ public:
+  virtual ~ReplicationSink() = default;
+
+  /// One WAL record was appended (and fsynced, under kEveryRecord).
+  /// `sequence` is 1-based within `generation`; `leader_steps` is the
+  /// total step count once this record is applied.
+  virtual void OnWalRecord(uint64_t generation, uint64_t sequence,
+                           uint64_t leader_steps,
+                           std::string_view payload) = 0;
+
+  /// A checkpoint rotation committed: generation `generation` is now
+  /// current, its base state is `snapshot` (serialized ClustererState),
+  /// and the previous generation's WAL was sealed at `sealed_records`
+  /// records.
+  virtual void OnRotate(uint64_t generation, uint64_t sealed_records,
+                        uint64_t leader_steps,
+                        const std::string& snapshot) = 0;
+};
+
 /// Configuration of the durability wrapper.
 struct DurableOptions {
   /// Checkpoint directory (created if missing). Required.
@@ -65,6 +92,10 @@ struct DurableOptions {
   /// Recovery / IO counters ("store.*"); null falls back to the inner
   /// IncrementalOptions::metrics, and disables them when that is null too.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Replication hook; null disables shipping. Must outlive the
+  /// clusterer. See ReplicationSink for the callback contract.
+  ReplicationSink* sink = nullptr;
 };
 
 /// What Open() found and did while recovering.

@@ -91,4 +91,27 @@ Result<std::vector<uint64_t>> ListSnapshotGenerations(
   return generations;
 }
 
+std::vector<uint64_t> ListRecoveryCandidates(Env* env,
+                                             const std::string& dir) {
+  std::vector<uint64_t> candidates;
+  if (Result<Manifest> manifest = ReadManifest(env, dir); manifest.ok()) {
+    candidates.push_back(manifest->generation);
+  }
+  if (Result<std::vector<uint64_t>> scanned = ListSnapshotGenerations(env, dir);
+      scanned.ok()) {
+    for (uint64_t generation : *scanned) {
+      if (std::find(candidates.begin(), candidates.end(), generation) ==
+          candidates.end()) {
+        candidates.push_back(generation);
+      }
+    }
+  }
+  // Keep the manifest's generation first, but order the rest descending.
+  if (candidates.size() > 1) {
+    std::sort(candidates.begin() + 1, candidates.end(),
+              std::greater<uint64_t>());
+  }
+  return candidates;
+}
+
 }  // namespace nidc

@@ -53,6 +53,14 @@ Result<Manifest> ReadManifest(Env* env, const std::string& dir);
 Result<std::vector<uint64_t>> ListSnapshotGenerations(Env* env,
                                                       const std::string& dir);
 
+/// Candidate generations to try recovering from, best first: the
+/// manifest's generation leads (it is only updated after its snapshot is
+/// durable), then every other snapshot found by the directory scan in
+/// descending order. Used by DurableClusterer::Open and the follower-side
+/// ReplicaClusterer, so both sides recover through the same policy.
+std::vector<uint64_t> ListRecoveryCandidates(Env* env,
+                                             const std::string& dir);
+
 }  // namespace nidc
 
 #endif  // NIDC_STORE_MANIFEST_H_

@@ -20,6 +20,8 @@ constexpr size_t kFrameHeaderSize = 8;  // u32 length + u32 masked crc
 // than an allocation request (a torn length field can decode to garbage).
 constexpr uint32_t kMaxRecordSize = 1u << 30;
 
+void AppendFrame(std::string* out, std::string_view payload);
+
 void PutU32(std::string* out, uint32_t v) {
   char bytes[4] = {static_cast<char>(v & 0xFF),
                    static_cast<char>((v >> 8) & 0xFF),
@@ -33,6 +35,12 @@ uint32_t GetU32(const char* p) {
          static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
          static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
          static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+void AppendFrame(std::string* out, std::string_view payload) {
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, MaskCrc32c(Crc32c(payload)));
+  out->append(payload);
 }
 
 }  // namespace
@@ -61,9 +69,7 @@ Status WalWriter::AppendRecord(std::string_view payload) {
   }
   std::string frame;
   frame.reserve(kFrameHeaderSize + payload.size());
-  PutU32(&frame, static_cast<uint32_t>(payload.size()));
-  PutU32(&frame, MaskCrc32c(Crc32c(payload)));
-  frame.append(payload);
+  AppendFrame(&frame, payload);
   NIDC_RETURN_NOT_OK(file_->Append(frame));
   if (mode_ == WalSyncMode::kEveryRecord) {
     NIDC_RETURN_NOT_OK(file_->Sync());
@@ -130,6 +136,30 @@ Result<WalReadResult> ReadWal(Env* env, const std::string& path) {
     pos += kFrameHeaderSize + length;
   }
   return result;
+}
+
+Status RewriteWal(Env* env, const std::string& path,
+                  const std::vector<std::string>& records) {
+  std::string contents(kWalMagic, kMagicSize);
+  for (const std::string& record : records) {
+    if (record.size() > kMaxRecordSize) {
+      return Status::InvalidArgument("WAL record exceeds maximum size");
+    }
+    AppendFrame(&contents, record);
+  }
+  return AtomicWriteFile(env, path, contents);
+}
+
+Result<std::unique_ptr<WalWriter>> OpenWalForAppend(Env* env,
+                                                    const std::string& path,
+                                                    WalSyncMode mode,
+                                                    uint64_t existing_records) {
+  auto file = env->NewWritableFile(path, /*truncate=*/false);
+  if (!file.ok()) return file.status();
+  std::unique_ptr<WalWriter> writer(
+      new WalWriter(path, std::move(file).value(), mode));
+  writer->records_appended_ = existing_records;
+  return writer;
 }
 
 std::string EncodeStepRecord(const WalStepRecord& record) {

@@ -57,6 +57,10 @@ class WalWriter {
   const std::string& path() const { return path_; }
 
  private:
+  friend Result<std::unique_ptr<WalWriter>> OpenWalForAppend(
+      Env* env, const std::string& path, WalSyncMode mode,
+      uint64_t existing_records);
+
   WalWriter(std::string path, std::unique_ptr<WritableFile> file,
             WalSyncMode mode)
       : path_(std::move(path)), file_(std::move(file)), mode_(mode) {}
@@ -83,6 +87,22 @@ struct WalReadResult {
 /// Reads every valid record of `path`. Returns IOError only when the file
 /// cannot be read at all; framing damage is reported via WalReadResult.
 Result<WalReadResult> ReadWal(Env* env, const std::string& path);
+
+/// Atomically rewrites `path` to contain exactly `records` (header
+/// included). Used to repair a torn tail before reopening a WAL for
+/// append: records past the damage are discarded, records before it are
+/// kept byte-identical.
+Status RewriteWal(Env* env, const std::string& path,
+                  const std::vector<std::string>& records);
+
+/// Reopens an existing WAL for appending (no header is written). The file
+/// must end on a record boundary — callers that found a torn tail repair
+/// it with RewriteWal first. `existing_records` seeds records_appended()
+/// so sequence numbers continue where the file left off.
+Result<std::unique_ptr<WalWriter>> OpenWalForAppend(Env* env,
+                                                    const std::string& path,
+                                                    WalSyncMode mode,
+                                                    uint64_t existing_records);
 
 /// One logical clusterer step as logged in the WAL.
 struct WalStepRecord {

@@ -105,15 +105,141 @@ TEST(HttpServerTest, UnknownPathIs404) {
   server.Stop();
 }
 
-TEST(HttpServerTest, NonGetIs405) {
+TEST(HttpServerTest, UnsupportedMethodIs405) {
   serve::HttpServer server;
   server.Handle("/hello", [](const serve::HttpRequest&) {
     return serve::HttpResponse{};
   });
   ASSERT_TRUE(server.Start(0).ok());
-  const FetchResult result = Fetch(server.port(), "/hello", "POST");
+  const FetchResult result = Fetch(server.port(), "/hello", "PUT");
   ASSERT_TRUE(result.ok);
   EXPECT_EQ(result.status, 405);
+  server.Stop();
+}
+
+// Sends a raw request string and returns the parsed response.
+FetchResult FetchRaw(uint16_t port, const std::string& request) {
+  FetchResult result;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return result;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return result;
+  }
+  (void)!::write(fd, request.data(), request.size());
+  // EOF the write side so a server waiting for more body bytes sees the
+  // hangup immediately instead of waiting out its receive timeout.
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t space = response.find(' ');
+  if (space == std::string::npos) return result;
+  result.status = std::atoi(response.c_str() + space + 1);
+  const size_t body_start = response.find("\r\n\r\n");
+  if (body_start != std::string::npos) {
+    result.body = response.substr(body_start + 4);
+  }
+  result.ok = true;
+  return result;
+}
+
+FetchResult Post(uint16_t port, const std::string& target,
+                 const std::string& body) {
+  return FetchRaw(port, "POST " + target +
+                            " HTTP/1.1\r\nHost: localhost\r\n"
+                            "Content-Length: " +
+                            std::to_string(body.size()) +
+                            "\r\nConnection: close\r\n\r\n" + body);
+}
+
+TEST(HttpServerTest, PostDeliversTheBodyToTheHandler) {
+  serve::HttpServer server;
+  server.Handle("/submit", [](const serve::HttpRequest& request) {
+    serve::HttpResponse response;
+    response.body = request.method + " got [" + request.body + "]";
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  const FetchResult result = Post(server.port(), "/submit", "hello body");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 200);
+  EXPECT_EQ(result.body, "POST got [hello body]");
+  // An empty body is fine too.
+  const FetchResult empty = Post(server.port(), "/submit", "");
+  ASSERT_TRUE(empty.ok);
+  EXPECT_EQ(empty.status, 200);
+  EXPECT_EQ(empty.body, "POST got []");
+  server.Stop();
+}
+
+TEST(HttpServerTest, PostWithoutContentLengthIs411) {
+  serve::HttpServer server;
+  server.Handle("/submit", [](const serve::HttpRequest&) {
+    return serve::HttpResponse{};
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  const FetchResult result =
+      FetchRaw(server.port(),
+               "POST /submit HTTP/1.1\r\nHost: localhost\r\n"
+               "Connection: close\r\n\r\n");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 411);
+  server.Stop();
+}
+
+TEST(HttpServerTest, OversizedPostBodyIs413) {
+  serve::HttpServer server;
+  bool handler_ran = false;
+  server.Handle("/submit", [&handler_ran](const serve::HttpRequest&) {
+    handler_ran = true;
+    return serve::HttpResponse{};
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  // The refusal happens on the declared length alone — before any body
+  // bytes are buffered — so an over-limit upload costs no memory.
+  const FetchResult result = FetchRaw(
+      server.port(),
+      "POST /submit HTTP/1.1\r\nHost: localhost\r\nContent-Length: " +
+          std::to_string(serve::kMaxBodyBytes + 1) +
+          "\r\nConnection: close\r\n\r\n");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 413);
+  EXPECT_FALSE(handler_ran);
+  // A body exactly at the cap is accepted.
+  const FetchResult at_cap =
+      Post(server.port(), "/submit", std::string(serve::kMaxBodyBytes, 'x'));
+  ASSERT_TRUE(at_cap.ok);
+  EXPECT_EQ(at_cap.status, 200);
+  EXPECT_TRUE(handler_ran);
+  server.Stop();
+}
+
+TEST(HttpServerTest, TruncatedPostBodyIs400) {
+  obs::MetricsRegistry registry;
+  serve::HttpServer server(&registry);
+  server.Handle("/submit", [](const serve::HttpRequest&) {
+    return serve::HttpResponse{};
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  // Declares 100 bytes but hangs up after 5: the read loop must give up
+  // (peer EOF) and reject, not dispatch a short body.
+  const FetchResult result =
+      FetchRaw(server.port(),
+               "POST /submit HTTP/1.1\r\nHost: localhost\r\n"
+               "Content-Length: 100\r\nConnection: close\r\n\r\nhello");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 400);
+  EXPECT_EQ(registry.GetCounter("serve.bad_requests")->Value(), 1u);
   server.Stop();
 }
 

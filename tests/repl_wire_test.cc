@@ -1,0 +1,138 @@
+#include "nidc/repl/wire.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nidc::repl {
+namespace {
+
+ReplFrame MakeFrame(FrameType type, uint64_t generation, uint64_t sequence,
+                    uint64_t leader_steps, std::string payload) {
+  ReplFrame frame;
+  frame.type = type;
+  frame.generation = generation;
+  frame.sequence = sequence;
+  frame.leader_steps = leader_steps;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+void ExpectFramesEqual(const ReplFrame& a, const ReplFrame& b) {
+  EXPECT_EQ(a.type, b.type);
+  EXPECT_EQ(a.generation, b.generation);
+  EXPECT_EQ(a.sequence, b.sequence);
+  EXPECT_EQ(a.leader_steps, b.leader_steps);
+  EXPECT_EQ(a.payload, b.payload);
+}
+
+TEST(ReplWireTest, EveryFrameTypeRoundTrips) {
+  const std::vector<ReplFrame> frames = {
+      MakeFrame(FrameType::kHello, 3, 17, 45, ""),
+      MakeFrame(FrameType::kSnapshot, 4, 0, 48, "serialized state bytes"),
+      MakeFrame(FrameType::kWalRecord, 4, 1, 49, std::string(1000, 'r')),
+      MakeFrame(FrameType::kSeal, 4, 8, 56, ""),
+      MakeFrame(FrameType::kHeartbeat, 4, 8, 56, ""),
+  };
+  for (const ReplFrame& frame : frames) {
+    FrameParser parser;
+    parser.Feed(EncodeFrame(frame));
+    Result<std::optional<ReplFrame>> decoded = parser.Next();
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ASSERT_TRUE(decoded->has_value());
+    ExpectFramesEqual(**decoded, frame);
+    // Nothing trails the frame.
+    Result<std::optional<ReplFrame>> next = parser.Next();
+    ASSERT_TRUE(next.ok());
+    EXPECT_FALSE(next->has_value());
+    EXPECT_EQ(parser.buffered_bytes(), 0u);
+  }
+}
+
+TEST(ReplWireTest, ByteAtATimeFeedYieldsTheSameFrames) {
+  const ReplFrame a =
+      MakeFrame(FrameType::kWalRecord, 2, 5, 12, "payload-a");
+  const ReplFrame b = MakeFrame(FrameType::kSeal, 2, 5, 12, "");
+  const std::string stream = EncodeFrame(a) + EncodeFrame(b);
+  FrameParser parser;
+  std::vector<ReplFrame> out;
+  for (char byte : stream) {
+    parser.Feed(std::string_view(&byte, 1));
+    for (;;) {
+      Result<std::optional<ReplFrame>> next = parser.Next();
+      ASSERT_TRUE(next.ok()) << next.status().ToString();
+      if (!next->has_value()) break;
+      out.push_back(**next);
+    }
+  }
+  ASSERT_EQ(out.size(), 2u);
+  ExpectFramesEqual(out[0], a);
+  ExpectFramesEqual(out[1], b);
+}
+
+TEST(ReplWireTest, TruncatedTailIsNeedMoreBytesNotAnError) {
+  const std::string encoded =
+      EncodeFrame(MakeFrame(FrameType::kWalRecord, 1, 1, 1, "abcdef"));
+  // Every proper prefix — mid-header, mid-CRC, mid-body — must read as a
+  // cleanly truncated stream (the torn-TCP analogue of a torn WAL tail).
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    FrameParser parser;
+    parser.Feed(std::string_view(encoded).substr(0, cut));
+    Result<std::optional<ReplFrame>> next = parser.Next();
+    ASSERT_TRUE(next.ok()) << "cut at " << cut << ": "
+                           << next.status().ToString();
+    EXPECT_FALSE(next->has_value()) << "cut at " << cut;
+  }
+}
+
+TEST(ReplWireTest, CorruptedBodyFailsTheStream) {
+  std::string encoded =
+      EncodeFrame(MakeFrame(FrameType::kWalRecord, 1, 1, 1, "abcdef"));
+  encoded[encoded.size() - 3] ^= 0x40;  // flip one payload bit
+  FrameParser parser;
+  parser.Feed(encoded);
+  Result<std::optional<ReplFrame>> next = parser.Next();
+  EXPECT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ReplWireTest, CorruptedHeaderLengthFailsTheStream) {
+  std::string encoded =
+      EncodeFrame(MakeFrame(FrameType::kHeartbeat, 1, 0, 1, ""));
+  encoded[3] = '\xff';  // body length far beyond the frame-size cap
+  FrameParser parser;
+  parser.Feed(encoded);
+  Result<std::optional<ReplFrame>> next = parser.Next();
+  EXPECT_FALSE(next.ok());
+}
+
+TEST(ReplWireTest, UnknownFrameTypeIsRejected) {
+  std::string body;
+  body.push_back('\x09');  // no such FrameType
+  body.append(24, '\0');
+  Result<ReplFrame> decoded = DecodeFrameBody(body);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(ReplWireTest, BodyShorterThanFixedFieldsIsRejected) {
+  EXPECT_FALSE(DecodeFrameBody("").ok());
+  EXPECT_FALSE(DecodeFrameBody(std::string(10, '\0')).ok());
+}
+
+TEST(ReplWireTest, InterleavedDamageStopsAtTheDamagedFrame) {
+  const ReplFrame good = MakeFrame(FrameType::kWalRecord, 1, 1, 1, "ok");
+  std::string bad = EncodeFrame(good);
+  bad[bad.size() - 1] ^= 0x01;
+  FrameParser parser;
+  parser.Feed(EncodeFrame(good));
+  parser.Feed(bad);
+  Result<std::optional<ReplFrame>> first = parser.Next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_value());
+  ExpectFramesEqual(**first, good);
+  EXPECT_FALSE(parser.Next().ok());
+}
+
+}  // namespace
+}  // namespace nidc::repl

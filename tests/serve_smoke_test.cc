@@ -154,6 +154,32 @@ TEST_F(ServeSmokeTest, EndpointsServeALiveRun) {
   EXPECT_EQ(health_json->Find("status")->string_value, "ok");
   ASSERT_NE(health_json->Find("steps"), nullptr);
   EXPECT_EQ(health_json->Find("steps")->number, 3.0);
+  // Replication fields are always present; without a RecordReplication
+  // the role is standalone with zero lag.
+  ASSERT_NE(health_json->Find("role"), nullptr);
+  EXPECT_EQ(health_json->Find("role")->string_value, "standalone");
+  ASSERT_NE(health_json->Find("replication_lag_records"), nullptr);
+  EXPECT_EQ(health_json->Find("replication_lag_records")->number, 0.0);
+  ASSERT_NE(health_json->Find("last_ship_age_s"), nullptr);
+
+  // A published replication status shows up on the next scrape.
+  serve::ReplicationStatus replication;
+  replication.enabled = true;
+  replication.role = "leader";
+  replication.generation = 4;
+  replication.replication_lag_records = 2;
+  replication.last_ship_age_seconds = 0.25;
+  replication.followers = 1;
+  board.RecordReplication(replication);
+  const FetchResult repl_healthz = Fetch(server.port(), "/healthz");
+  ASSERT_TRUE(repl_healthz.ok);
+  const Result<obs::JsonValue> repl_json = obs::ParseJson(repl_healthz.body);
+  ASSERT_TRUE(repl_json.ok()) << repl_healthz.body;
+  ASSERT_NE(repl_json->Find("role"), nullptr);
+  EXPECT_EQ(repl_json->Find("role")->string_value, "leader");
+  EXPECT_EQ(repl_json->Find("replication_lag_records")->number, 2.0);
+  EXPECT_EQ(repl_json->Find("replication_generation")->number, 4.0);
+  EXPECT_EQ(repl_json->Find("followers")->number, 1.0);
 
   // /statusz: step digest, G tail, health section with cluster rows.
   const FetchResult statusz = Fetch(server.port(), "/statusz");

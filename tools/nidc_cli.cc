@@ -31,6 +31,11 @@
 //       127.0.0.1:PORT for the duration of the replay (GET /metrics,
 //       /healthz, /statusz, /eventsz, /timeseriesz, /profilez,
 //       /explainz — see docs/observability.md);
+//       --ship-port starts the replication listener on 127.0.0.1:PORT
+//       (requires --checkpoint-dir): every durable WAL record and
+//       checkpoint rotation is streamed to connected `follow` processes,
+//       and /healthz reports the leader role and follower lag — see
+//       docs/replication.md;
 //       --events-out writes the retained lifecycle events (cluster
 //       created/emptied/reseeded, doc moves/expiries, checkpoints) as
 //       JSONL when the replay ends; --provenance-out writes the retained
@@ -43,6 +48,16 @@
 //   eval --corpus FILE [--beta D] [--gamma D] [--k N] [--from D --to D]
 //       Cluster and score against the corpus's topic labels (micro/macro
 //       F1, purity, NMI, ARI).
+//   follow --corpus FILE --dir DIR --leader-port PORT [--serve PORT]
+//          [--beta D] [--gamma D] [--k N] [--wal-fsync every|none]
+//          [--checkpoint-every N] [--max-seconds S]
+//       Run a replication follower: connect to a `stream --ship-port`
+//       leader on 127.0.0.1:PORT, replay the shipped WAL into DIR (the
+//       same on-disk format as a leader checkpoint directory), and keep
+//       following until promoted or --max-seconds elapses (0 = forever).
+//       --serve exposes /healthz (role "follower", replication lag) and
+//       POST /promotez, which seals the local WAL and flips DIR into a
+//       writable leader checkpoint directory (see docs/replication.md).
 //   inspect URL
 //       Fetch /statusz from a serving nidc_cli (e.g.
 //       `nidc_cli inspect http://127.0.0.1:8080`) and pretty-print the
@@ -61,12 +76,15 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "nidc/core/incremental_clusterer.h"
@@ -86,6 +104,9 @@
 #include "nidc/obs/provenance.h"
 #include "nidc/obs/timeseries.h"
 #include "nidc/obs/trace.h"
+#include "nidc/repl/replica.h"
+#include "nidc/repl/shipper.h"
+#include "nidc/repl/tcp.h"
 #include "nidc/serve/http_server.h"
 #include "nidc/serve/introspection.h"
 #include "nidc/synth/tdt2_like_generator.h"
@@ -119,7 +140,7 @@ struct Args {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: nidc_cli <generate|cluster|stream|eval|inspect> "
+      "usage: nidc_cli <generate|cluster|stream|eval|follow|inspect> "
       "[--flag value]...\n"
       "  generate --out FILE [--scale S] [--seed N]\n"
       "  cluster  --corpus FILE [--beta D] [--gamma D] [--k N]\n"
@@ -130,10 +151,15 @@ int Usage() {
       "           [--metrics-prom FILE] [--trace]\n"
       "           [--checkpoint-dir DIR] [--checkpoint-every N]\n"
       "           [--wal-fsync every|none]\n"
-      "           [--serve PORT] [--events-out FILE.jsonl]\n"
+      "           [--serve PORT] [--ship-port PORT]\n"
+      "           [--events-out FILE.jsonl]\n"
       "           [--provenance-out FILE.jsonl] [--trace-chrome FILE.json]\n"
       "  eval     --corpus FILE [--beta D] [--gamma D] [--k N]\n"
       "           [--from D --to D]\n"
+      "  follow   --corpus FILE --dir DIR --leader-port PORT\n"
+      "           [--serve PORT] [--beta D] [--gamma D] [--k N]\n"
+      "           [--wal-fsync every|none] [--checkpoint-every N]\n"
+      "           [--max-seconds S]\n"
       "  inspect  URL (pretty-prints /statusz of a serving stream)\n"
       "all subcommands: [--lenient] skips malformed corpus records\n");
   return 2;
@@ -383,12 +409,23 @@ int RunStream(const Args& args) {
                 server->port());
   }
 
+  // Replication (--ship-port) rides on the durability commit stream: the
+  // shipper is the DurableClusterer's sink, the listener feeds follower
+  // connections into it. Declared before `durable` so the clusterer (and
+  // its sink pointer) is destroyed first.
+  std::unique_ptr<repl::WalShipper> shipper;
+  std::unique_ptr<repl::ReplListener> repl_listener;
   std::unique_ptr<IncrementalClusterer> clusterer;
   std::unique_ptr<DurableClusterer> durable;
   const std::string state_path = args.Get("state", "");
   const std::string checkpoint_dir = args.Get("checkpoint-dir", "");
+  const bool shipping = args.Has("ship-port");
   double resume_from = args.GetDouble("from", (*corpus)->MinTime());
 
+  if (shipping && checkpoint_dir.empty()) {
+    std::fprintf(stderr, "stream: --ship-port requires --checkpoint-dir\n");
+    return 2;
+  }
   if (!checkpoint_dir.empty()) {
     // Durable mode: the checkpoint directory is the authoritative resume
     // source; every step is WAL-logged and snapshots rotate periodically.
@@ -405,6 +442,15 @@ int RunStream(const Args& args) {
       return 2;
     }
     if (telemetry) durable_options.metrics = &registry;
+    if (shipping) {
+      // The shipper must exist before Open: the opening rotation is the
+      // OnRotate that caches the base snapshot followers catch up from.
+      repl::ShipperOptions ship_options;
+      ship_options.dir = checkpoint_dir;
+      if (telemetry) ship_options.metrics = &registry;
+      shipper = std::make_unique<repl::WalShipper>(ship_options);
+      durable_options.sink = shipper.get();
+    }
     auto opened = DurableClusterer::Open(corpus->get(), ParamsFrom(args),
                                          options, durable_options);
     if (!opened.ok()) {
@@ -428,6 +474,19 @@ int RunStream(const Args& args) {
       std::printf("checkpointing to %s (every %zu steps, fsync %s)\n",
                   checkpoint_dir.c_str(),
                   args.GetSize("checkpoint-every", 16), fsync.c_str());
+    }
+    if (shipping) {
+      repl_listener = std::make_unique<repl::ReplListener>(shipper.get());
+      const Status started = repl_listener->Start(
+          static_cast<uint16_t>(args.GetSize("ship-port", 0)));
+      if (!started.ok()) {
+        std::fprintf(stderr, "%s\n", started.ToString().c_str());
+        return 1;
+      }
+      shipper->StartHeartbeats(/*interval_s=*/1.0);
+      std::printf("shipping WAL on 127.0.0.1:%u (connect with "
+                  "nidc_cli follow --leader-port %u)\n",
+                  repl_listener->port(), repl_listener->port());
     }
   } else if (!state_path.empty()) {
     if (Result<ClustererState> state = LoadState(state_path); state.ok()) {
@@ -495,6 +554,17 @@ int RunStream(const Args& args) {
         lag.checkpoint_every = durable->checkpoint_every();
         board.RecordDurability(lag);
       }
+      if (shipper != nullptr) {
+        const repl::ShipperStats ship = shipper->stats();
+        serve::ReplicationStatus repl_status;
+        repl_status.enabled = true;
+        repl_status.role = "leader";
+        repl_status.generation = durable->generation();
+        repl_status.replication_lag_records = ship.max_follower_lag_records;
+        repl_status.last_ship_age_seconds = ship.last_ship_age_seconds;
+        repl_status.followers = ship.followers;
+        board.RecordReplication(repl_status);
+      }
     }
     if (tracing) {
       std::printf("%s", tracer.Render().c_str());
@@ -515,6 +585,8 @@ int RunStream(const Args& args) {
   }
   if (durable != nullptr) {
     // Final checkpoint rotation; the stream is fully durable after this.
+    // The closing rotation also seals in-sync followers at the final step
+    // before the listener goes away.
     if (const Status closed = durable->Close(); !closed.ok()) {
       std::fprintf(stderr, "%s\n", closed.ToString().c_str());
       return 1;
@@ -522,6 +594,18 @@ int RunStream(const Args& args) {
     std::printf("checkpoint: %llu steps durable in %s\n",
                 static_cast<unsigned long long>(durable->applied_steps()),
                 checkpoint_dir.c_str());
+  }
+  if (repl_listener != nullptr) {
+    const repl::ShipperStats ship = shipper->stats();
+    repl_listener->Stop();
+    std::printf(
+        "replication: %llu records + %llu snapshots + %llu seals shipped "
+        "over %llu connections (%llu send errors)\n",
+        static_cast<unsigned long long>(ship.records_shipped),
+        static_cast<unsigned long long>(ship.snapshots_shipped),
+        static_cast<unsigned long long>(ship.seals_shipped),
+        static_cast<unsigned long long>(repl_listener->connections_accepted()),
+        static_cast<unsigned long long>(ship.ship_errors));
   }
   if (jsonl != nullptr) {
     if (const Status closed = jsonl->Close(); !closed.ok()) {
@@ -596,6 +680,188 @@ int RunStream(const Args& args) {
     std::printf("state saved to %s\n", state_path.c_str());
   }
   return 0;
+}
+
+// Runs a replication follower until promoted (POST /promotez) or
+// --max-seconds elapses. The replica directory uses the leader's on-disk
+// checkpoint format throughout, so promotion is just a mode flip.
+int RunFollow(const Args& args) {
+  auto corpus = LoadCorpusArg(args);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  const std::string dir = args.Get("dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "follow: --dir DIR is required\n");
+    return 2;
+  }
+  if (!args.Has("leader-port")) {
+    std::fprintf(stderr, "follow: --leader-port PORT is required\n");
+    return 2;
+  }
+  WalSyncMode wal_sync = WalSyncMode::kEveryRecord;
+  const std::string fsync = args.Get("wal-fsync", "every");
+  if (fsync == "none") {
+    wal_sync = WalSyncMode::kNone;
+  } else if (fsync != "every") {
+    std::fprintf(stderr, "follow: --wal-fsync must be every or none\n");
+    return 2;
+  }
+
+  obs::MetricsRegistry registry;
+  IncrementalOptions options;
+  options.kmeans.k = args.GetSize("k", 24);
+  options.metrics = &registry;
+
+  repl::ReplicaOptions replica_options;
+  replica_options.dir = dir;
+  replica_options.wal_sync = wal_sync;
+  replica_options.metrics = &registry;
+  auto replica = repl::ReplicaClusterer::Open(corpus->get(), ParamsFrom(args),
+                                              options, replica_options);
+  if (!replica.ok()) {
+    std::fprintf(stderr, "%s\n", replica.status().ToString().c_str());
+    return 1;
+  }
+  {
+    const repl::ReplicaStats stats = (*replica)->stats();
+    std::printf("replica %s at generation %llu, %llu steps applied\n",
+                dir.c_str(),
+                static_cast<unsigned long long>(stats.generation),
+                static_cast<unsigned long long>(stats.applied_steps));
+  }
+
+  repl::TcpReplClientOptions client_options;
+  client_options.port =
+      static_cast<uint16_t>(args.GetSize("leader-port", 0));
+  repl::TcpReplClient client(replica->get(), client_options);
+  if (const Status started = client.Start(); !started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("following 127.0.0.1:%u\n", client_options.port);
+
+  serve::StatusBoard board;
+  std::unique_ptr<serve::HttpServer> server;
+  std::atomic<bool> promote_requested{false};
+  if (args.Has("serve")) {
+    server = std::make_unique<serve::HttpServer>(&registry);
+    serve::IntrospectionOptions introspection;
+    introspection.metrics = &registry;
+    introspection.board = &board;
+    serve::RegisterIntrospectionEndpoints(server.get(), introspection);
+    server->Handle("/promotez",
+                   [&promote_requested](const serve::HttpRequest& request) {
+                     serve::HttpResponse response;
+                     if (request.method != "POST") {
+                       response.status = 405;
+                       response.body = "/promotez requires POST\n";
+                     } else if (promote_requested.exchange(true)) {
+                       response.status = 409;
+                       response.body = "promotion already requested\n";
+                     } else {
+                       response.body = "promotion initiated\n";
+                     }
+                     return response;
+                   });
+    const Status started =
+        server->Start(static_cast<uint16_t>(args.GetSize("serve", 0)));
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("serving on http://127.0.0.1:%u "
+                "(/metrics /healthz /statusz, POST /promotez)\n",
+                server->port());
+  }
+
+  // Poll the replica watermark: print progress, keep /healthz fresh, and
+  // watch for the promotion flag or the deadline.
+  const double max_seconds = args.GetDouble("max-seconds", 0.0);
+  const auto started_at = std::chrono::steady_clock::now();
+  uint64_t printed_steps = ~uint64_t{0};
+  while (!promote_requested.load(std::memory_order_acquire)) {
+    if (const Status fatal = client.fatal_status(); !fatal.ok()) {
+      std::fprintf(stderr, "follower stopped: %s\n",
+                   fatal.ToString().c_str());
+      return 1;
+    }
+    const repl::ReplicaStats stats = (*replica)->stats();
+    if (stats.applied_steps != printed_steps) {
+      printed_steps = stats.applied_steps;
+      std::printf("replica | gen %4llu | %6llu steps | lag %4llu | "
+                  "+%llu applied, %llu skipped\n",
+                  static_cast<unsigned long long>(stats.generation),
+                  static_cast<unsigned long long>(stats.applied_steps),
+                  static_cast<unsigned long long>(stats.lag_records),
+                  static_cast<unsigned long long>(stats.records_applied),
+                  static_cast<unsigned long long>(stats.records_skipped));
+      if (stats.applied_steps > 0) {
+        // /healthz renders step + 1 (StepRecord carries the 0-based
+        // index); applied_steps is already a count.
+        serve::StatusBoard::StepRecord record;
+        record.step = stats.applied_steps - 1;
+        board.RecordStep(record);
+      }
+    }
+    serve::ReplicationStatus repl_status;
+    repl_status.enabled = true;
+    repl_status.role = "follower";
+    repl_status.generation = stats.generation;
+    repl_status.replication_lag_records = stats.lag_records;
+    repl_status.last_ship_age_seconds = stats.last_frame_age_seconds;
+    board.RecordReplication(repl_status);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started_at)
+            .count();
+    if (max_seconds > 0.0 && elapsed >= max_seconds) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  // Stop the frame pump before touching the replica's fate: nothing may
+  // append once the WAL tail is sealed for promotion (or Close).
+  client.Stop();
+  int exit_code = 0;
+  if (promote_requested.load(std::memory_order_acquire)) {
+    DurableOptions durable_options;  // dir/env/metrics default to replica's
+    durable_options.checkpoint_every = args.GetSize("checkpoint-every", 16);
+    durable_options.wal_sync = wal_sync;
+    auto promoted = (*replica)->Promote(durable_options);
+    if (!promoted.ok()) {
+      std::fprintf(stderr, "promotion failed: %s\n",
+                   promoted.status().ToString().c_str());
+      exit_code = 1;
+    } else {
+      std::printf("promoted: %llu steps writable at generation %llu in %s\n",
+                  static_cast<unsigned long long>((*promoted)->applied_steps()),
+                  static_cast<unsigned long long>((*promoted)->generation()),
+                  dir.c_str());
+      if (const Status closed = (*promoted)->Close(); !closed.ok()) {
+        std::fprintf(stderr, "%s\n", closed.ToString().c_str());
+        exit_code = 1;
+      }
+    }
+  } else {
+    const repl::ReplicaStats stats = (*replica)->stats();
+    std::printf("follower done: generation %llu, %llu steps applied, "
+                "lag %llu\n",
+                static_cast<unsigned long long>(stats.generation),
+                static_cast<unsigned long long>(stats.applied_steps),
+                static_cast<unsigned long long>(stats.lag_records));
+    if (const Status closed = (*replica)->Close(); !closed.ok()) {
+      std::fprintf(stderr, "%s\n", closed.ToString().c_str());
+      exit_code = 1;
+    }
+  }
+  if (server != nullptr) {
+    const uint64_t served = server->requests_served();
+    server->Stop();
+    std::printf("served %llu introspection requests\n",
+                static_cast<unsigned long long>(served));
+  }
+  return exit_code;
 }
 
 int RunEval(const Args& args) {
@@ -893,6 +1159,7 @@ int Main(int argc, char** argv) {
   if (args->command == "cluster") return RunCluster(*args);
   if (args->command == "stream") return RunStream(*args);
   if (args->command == "eval") return RunEval(*args);
+  if (args->command == "follow") return RunFollow(*args);
   if (args->command == "inspect") return RunInspect(*args);
   return Usage();
 }

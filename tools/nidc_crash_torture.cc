@@ -8,9 +8,17 @@
 // run. See src/nidc/store/torture.h for the driver and docs/durability.md
 // for the protocol being verified.
 //
+// With --leader-kill the same matrix runs against a *replicated* pair
+// instead: the leader ships its WAL to a live follower while being killed
+// at every replication step, the follower is promoted in the leader's
+// place, resumes the stream, and must still end bit-identical to the
+// uninterrupted run. See src/nidc/repl/torture.h and docs/replication.md.
+//
 // usage: nidc_crash_torture [--dir DIR] [--steps N] [--docs-per-step N]
 //                           [--checkpoint-every N] [--wal-fsync every|none]
 //                           [--max-kill-points N] [--quiet]
+//                           [--leader-kill] [--follower-dir DIR]
+//                           [--queue-records N]
 //
 // Exit code 0 = every kill point recovered bit-identically.
 
@@ -19,6 +27,7 @@
 #include <cstring>
 #include <string>
 
+#include "nidc/repl/torture.h"
 #include "nidc/store/torture.h"
 
 namespace nidc {
@@ -28,6 +37,9 @@ int Main(int argc, char** argv) {
   TortureOptions options;
   options.dir = "nidc_crash_torture.ckpt";
   options.report_every = 25;
+  bool leader_kill = false;
+  std::string follower_dir = "nidc_crash_torture.follower";
+  size_t queue_records = 64;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     auto value = [&]() -> const char* {
@@ -59,6 +71,12 @@ int Main(int argc, char** argv) {
       options.max_kill_points = std::strtoull(value(), nullptr, 10);
     } else if (flag == "--quiet") {
       options.report_every = 0;
+    } else if (flag == "--leader-kill") {
+      leader_kill = true;
+    } else if (flag == "--follower-dir") {
+      follower_dir = value();
+    } else if (flag == "--queue-records") {
+      queue_records = std::strtoull(value(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return 2;
@@ -66,12 +84,22 @@ int Main(int argc, char** argv) {
   }
 
   std::printf(
-      "crash torture: %zu steps x %zu docs, checkpoint every %llu, "
+      "%s torture: %zu steps x %zu docs, checkpoint every %llu, "
       "fsync %s\n",
-      options.num_steps, options.docs_per_step,
+      leader_kill ? "leader-kill" : "crash", options.num_steps,
+      options.docs_per_step,
       static_cast<unsigned long long>(options.checkpoint_every),
       options.wal_sync == WalSyncMode::kEveryRecord ? "every" : "none");
-  Result<TortureReport> report = RunCrashTorture(options);
+  Result<TortureReport> report = [&]() -> Result<TortureReport> {
+    if (leader_kill) {
+      repl::LeaderKillOptions leader_options;
+      leader_options.torture = options;
+      leader_options.follower_dir = follower_dir;
+      leader_options.max_queue_records = queue_records;
+      return repl::RunLeaderKillTorture(leader_options);
+    }
+    return RunCrashTorture(options);
+  }();
   if (!report.ok()) {
     std::fprintf(stderr, "torture setup failed: %s\n",
                  report.status().ToString().c_str());
@@ -82,10 +110,11 @@ int Main(int argc, char** argv) {
     return 1;
   }
   std::printf(
-      "PASS: %llu kill points exercised, %llu recoveries, all "
+      "PASS: %llu kill points exercised, %llu %s, all "
       "bit-identical to the uninterrupted run\n",
       static_cast<unsigned long long>(report->kill_points_exercised),
-      static_cast<unsigned long long>(report->recoveries));
+      static_cast<unsigned long long>(report->recoveries),
+      leader_kill ? "promotions" : "recoveries");
   return 0;
 }
 

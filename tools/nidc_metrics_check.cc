@@ -1,7 +1,7 @@
 // nidc_metrics_check — validates a telemetry JSONL file produced by
 // `nidc_cli stream --metrics-out=...`.
 //
-//   $ nidc_metrics_check run.jsonl [--require-trace]
+//   $ nidc_metrics_check run.jsonl [--require-trace] [--require-repl]
 //
 // Every line must parse as a JSON object and carry the step digest keys,
 // a non-empty G trajectory, and the expected metric families (K-means,
@@ -10,6 +10,8 @@
 // prefix — a typo'd or undocumented family fails validation instead of
 // silently shipping — and the kernel.dispatch.<name> gauge must be present
 // and name a real scoring kernel (scalar / avx2 / avx512).
+// --require-repl additionally requires the repl.* replication family
+// (a stream run with a WalShipper attached — see docs/replication.md).
 // Exit 0 when every record passes; 1 with a per-line diagnosis otherwise.
 // CI runs this after a stream replay so exporter regressions fail the
 // build instead of silently producing unparseable telemetry.
@@ -97,7 +99,16 @@ constexpr const char* kKnownPrefixes[] = {
     "kmeans.",      "rep_index.",  "thread_pool.", "term_stats.",
     "step.",        "corpus.",     "store.",       "health.",
     "events.",      "serve.",      "kernel.",      "timeseries.",
-    "profile.",     "provenance.",
+    "profile.",     "provenance.", "repl.",
+};
+
+// The leader-side WalShipper registers these eagerly, so any stream run
+// with replication attached must export the whole family from step 0.
+constexpr const char* kReplKeys[] = {
+    "repl.records_shipped",      "repl.snapshots_shipped",
+    "repl.seals_shipped",        "repl.heartbeats_shipped",
+    "repl.ship_errors",          "repl.queue_dropped_records",
+    "repl.followers",            "repl.queue_depth",
 };
 
 // The kernel.dispatch.<name> gauge family is closed: its suffix must be a
@@ -107,7 +118,7 @@ constexpr const char* kKernelNames[] = {"scalar", "avx2", "avx512"};
 
 // Appends the problems of one record to `problems` (empty = record ok).
 void CheckRecord(const obs::JsonValue& record, bool require_trace,
-                 std::vector<std::string>* problems) {
+                 bool require_repl, std::vector<std::string>* problems) {
   if (!record.is_object()) {
     problems->push_back("record is not a JSON object");
     return;
@@ -130,6 +141,14 @@ void CheckRecord(const obs::JsonValue& record, bool require_trace,
     for (const char* key : kMetricKeys) {
       if (metrics->Find(key) == nullptr) {
         problems->push_back(std::string("missing metric '") + key + "'");
+      }
+    }
+    if (require_repl) {
+      for (const char* key : kReplKeys) {
+        if (metrics->Find(key) == nullptr) {
+          problems->push_back(std::string("missing replication metric '") +
+                              key + "'");
+        }
       }
     }
     size_t dispatch_gauges = 0;
@@ -179,13 +198,16 @@ void CheckRecord(const obs::JsonValue& record, bool require_trace,
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: nidc_metrics_check FILE.jsonl [--require-trace]\n");
+                 "usage: nidc_metrics_check FILE.jsonl [--require-trace] "
+                 "[--require-repl]\n");
     return 2;
   }
   const char* path = argv[1];
   bool require_trace = false;
+  bool require_repl = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--require-trace") == 0) require_trace = true;
+    if (std::strcmp(argv[i], "--require-repl") == 0) require_repl = true;
   }
 
   std::ifstream in(path);
@@ -204,7 +226,7 @@ int Main(int argc, char** argv) {
     if (!parsed.ok()) {
       problems.push_back(parsed.status().ToString());
     } else {
-      CheckRecord(*parsed, require_trace, &problems);
+      CheckRecord(*parsed, require_trace, require_repl, &problems);
     }
     if (!problems.empty()) {
       ++bad_records;
