@@ -5,24 +5,68 @@
 
 namespace nidc {
 
-DocumentStream::DocumentStream(const Corpus* corpus, DayTime start,
-                               DayTime end, double step_days)
-    : corpus_(corpus),
-      start_(start),
-      end_(end),
-      step_(step_days),
-      cursor_(start) {
+TimeBatcher::TimeBatcher(DayTime start, double step_days)
+    : step_(step_days), cursor_(start) {
   assert(step_days > 0.0);
 }
 
-std::optional<DocumentBatch> DocumentStream::Next() {
-  if (Done()) return std::nullopt;
+void TimeBatcher::CloseWindow(DayTime end, std::vector<DocumentBatch>* closed) {
   DocumentBatch batch;
   batch.begin = cursor_;
-  batch.end = std::min(cursor_ + step_, end_);
+  batch.end = end;
+  batch.docs = std::move(pending_);
+  pending_.clear();
+  cursor_ = end;
+  closed->push_back(std::move(batch));
+}
+
+Status TimeBatcher::Add(DocId id, DayTime time,
+                        std::vector<DocumentBatch>* closed) {
+  if (!(time >= cursor_)) {  // also rejects NaN
+    return Status::InvalidArgument(
+        "document time " + std::to_string(time) +
+        " is before the open window start " + std::to_string(cursor_));
+  }
+  while (time >= cursor_ + step_) CloseWindow(cursor_ + step_, closed);
+  pending_.push_back(id);
+  return Status::OK();
+}
+
+void TimeBatcher::FlushUntil(DayTime until,
+                             std::vector<DocumentBatch>* closed) {
+  while (cursor_ + step_ <= until) CloseWindow(cursor_ + step_, closed);
+  if (cursor_ < until) CloseWindow(until, closed);
+}
+
+Status TimeBatcher::SeekTo(DayTime cursor) {
+  if (!pending_.empty()) {
+    return Status::FailedPrecondition(
+        "cannot seek a TimeBatcher with documents pending in the open window");
+  }
+  cursor_ = cursor;
+  return Status::OK();
+}
+
+DocumentStream::DocumentStream(const Corpus* corpus, DayTime start,
+                               DayTime end, double step_days)
+    : corpus_(corpus), start_(start), end_(end), batcher_(start, step_days) {}
+
+std::optional<DocumentBatch> DocumentStream::Next() {
+  if (Done()) return std::nullopt;
+  // Flushing to min(cursor + step, end) closes exactly one window — the
+  // next full window, or the clamped final partial — through the same
+  // boundary accumulation a push-mode TimeBatcher performs.
+  std::vector<DocumentBatch> closed;
+  batcher_.FlushUntil(
+      std::min(batcher_.cursor() + batcher_.step_days(), end_), &closed);
+  assert(closed.size() == 1);
+  DocumentBatch batch = std::move(closed.front());
   batch.docs = corpus_->DocsInRange(batch.begin, batch.end);
-  cursor_ = batch.end;
   return batch;
+}
+
+void DocumentStream::Reset() {
+  batcher_ = TimeBatcher(start_, batcher_.step_days());
 }
 
 }  // namespace nidc

@@ -1,6 +1,17 @@
 // On-line delivery simulation: documents of a corpus are replayed in
 // chronological batches (e.g. one batch per day — "one news program which
 // includes multiple news articles" per the paper's windowing discussion).
+//
+// Two front ends share one windowing core:
+//   * DocumentStream — pull: replay a fully-loaded corpus (the CLI path);
+//   * TimeBatcher    — push: documents arrive one at a time (the sharded
+//     ingest service path, src/nidc/shard/), and completed windows are
+//     emitted as they close.
+// Both advance the window cursor through the *same* accumulation
+// (`cursor = cursor + step`, final window clamped at the end time), so a
+// CLI replay and a server ingest of the same feed produce bit-identical
+// batch sequences — the property the shard layer's equivalence tests
+// assert.
 
 #ifndef NIDC_CORPUS_STREAM_H_
 #define NIDC_CORPUS_STREAM_H_
@@ -9,6 +20,7 @@
 #include <vector>
 
 #include "nidc/corpus/corpus.h"
+#include "nidc/util/status.h"
 
 namespace nidc {
 
@@ -21,9 +33,61 @@ struct DocumentBatch {
   bool empty() const { return docs.empty(); }
 };
 
+/// The shared fixed-step windowing core. Windows are half-open
+/// [cursor, cursor + step) intervals; the cursor starts at `start` and
+/// advances by accumulation, never by multiplication, so floating-point
+/// boundaries are identical however the windows are driven.
+///
+/// Push mode (the ingest service): Add() appends a document to the open
+/// window and emits every window its arrival time closes — including
+/// empty ones, because time passing on quiet days matters to the decay
+/// model. FlushUntil() closes the remaining windows up to an end time,
+/// final partial window included, exactly like a DocumentStream replay
+/// that ends there.
+class TimeBatcher {
+ public:
+  /// `step_days` must be > 0.
+  TimeBatcher(DayTime start, double step_days);
+
+  /// Appends one document to the open window. Every window that `time`
+  /// closes (all windows ending at or before `time`) is appended to
+  /// `closed`, oldest first, carrying the documents accumulated for it.
+  /// A document older than the open window start is rejected with
+  /// InvalidArgument and changes nothing.
+  Status Add(DocId id, DayTime time, std::vector<DocumentBatch>* closed);
+
+  /// Closes every complete window up to `until`, then — when the open
+  /// window start is still before `until` — a final partial window
+  /// [cursor, until). Afterwards cursor() == max(cursor(), until) and
+  /// pending() is empty. `until` earlier than the cursor is a no-op.
+  void FlushUntil(DayTime until, std::vector<DocumentBatch>* closed);
+
+  /// Repositions the cursor without emitting anything; `cursor` must be a
+  /// window boundary a previous run produced (a recovered clusterer's
+  /// clock). Requires an empty pending window.
+  Status SeekTo(DayTime cursor);
+
+  /// Start of the open (not yet emitted) window.
+  DayTime cursor() const { return cursor_; }
+
+  /// Documents accumulated in the open window so far.
+  size_t pending() const { return pending_.size(); }
+
+  double step_days() const { return step_; }
+
+ private:
+  /// Emits [cursor_, end) with the pending documents and advances.
+  void CloseWindow(DayTime end, std::vector<DocumentBatch>* closed);
+
+  double step_;
+  DayTime cursor_;
+  std::vector<DocId> pending_;
+};
+
 /// Replays `corpus` in fixed-length time steps. Batches with no documents
 /// are still produced (time passes even on quiet days), which matters for
-/// the decay model.
+/// the decay model. Window boundaries come from a TimeBatcher, so a
+/// replay is bit-identical to pushing the same documents through one.
 class DocumentStream {
  public:
   /// Steps of `step_days` starting at `start` and ending once `end` is
@@ -35,17 +99,16 @@ class DocumentStream {
   std::optional<DocumentBatch> Next();
 
   /// True when no batches remain.
-  bool Done() const { return cursor_ >= end_; }
+  bool Done() const { return batcher_.cursor() >= end_; }
 
   /// Restarts the stream from the beginning.
-  void Reset() { cursor_ = start_; }
+  void Reset();
 
  private:
   const Corpus* corpus_;
   DayTime start_;
   DayTime end_;
-  double step_;
-  DayTime cursor_;
+  TimeBatcher batcher_;
 };
 
 }  // namespace nidc

@@ -1,0 +1,47 @@
+// The sharded service's HTTP surface (see docs/serving.md for schemas):
+//
+//   POST /ingest?tenant=NAME   — body: JSONL documents (ingest.h). 202 on
+//       accept (the batch is queued, not yet applied), 400 on a malformed
+//       body, 404 unknown tenant, 429 + Retry-After when the owning
+//       shard's queue is full, 503 when the tenant's storage failed;
+//   GET  /tenantz              — tenant list (name, shard, docs, steps,
+//       clock, failed) plus shard/queue summary;
+//   POST /tenantz?op=...&tenant=NAME — control plane: op=create (optional
+//       k/half_life/life_span/step/start/seed overrides of the server's
+//       default TenantConfig), evict, reopen, checkpoint,
+//       flush (&until=DAY), drain (no tenant);
+//   GET  /digestz?tenant=NAME  — the serialized clusterer state, rendered
+//       on the owning shard (the equivalence-test currency);
+//   GET  /statusz?tenant=NAME  — the tenant's pipeline status JSON (same
+//       renderer as the single-stream server); without ?tenant= an
+//       aggregate per-tenant/per-shard view;
+//   GET  /healthz              — 200 while every tenant is healthy, 503
+//       once any tenant failed; aggregate durability lag;
+//   GET  /metrics?tenant=NAME  — the tenant's registry in Prometheus
+//       text; without ?tenant= the server-wide registry (serve.* +
+//       shard.* families);
+//   GET  /metricsz             — the server-wide registry as one JSON
+//       object (RenderMetricsJson), consumed by
+//       `nidc_metrics_check --shard-snapshot`.
+
+#ifndef NIDC_SHARD_HTTP_H_
+#define NIDC_SHARD_HTTP_H_
+
+#include "nidc/serve/http_server.h"
+#include "nidc/shard/service.h"
+
+namespace nidc::shard {
+
+/// Registers every endpoint above on `server`. `default_config` seeds
+/// op=create (query parameters override individual fields). Call before
+/// HttpServer::Start; `service` must outlive the server.
+void RegisterShardHandlers(serve::HttpServer* server, ShardService* service,
+                           const TenantConfig& default_config);
+
+/// Maps a service Status to the HTTP status the handlers answer with
+/// (OutOfRange → 429, NotFound → 404, AlreadyExists → 409, ...).
+int HttpStatusFor(const Status& status);
+
+}  // namespace nidc::shard
+
+#endif  // NIDC_SHARD_HTTP_H_

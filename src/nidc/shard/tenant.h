@@ -1,0 +1,181 @@
+// One tenant of the sharded service: a topic feed owning a full private
+// pipeline — corpus, DurableClusterer (WAL + checkpoints), TimeBatcher,
+// metrics registry, event log, health monitor and StatusBoard. Tenants
+// share nothing mutable; the owning shard worker is the only thread that
+// calls the mutating interface (Ingest/FlushUntil/Checkpoint/Close),
+// while the introspection accessors (board(), metrics(), health()) are
+// internally synchronized and safe from HTTP worker threads.
+//
+// On-disk layout under the tenant directory (see docs/serving.md):
+//   TENANT.json   — the persisted TenantConfig (identity of the feed);
+//   corpus.tsv    — append-only raw documents, corpus_io TSV, fsynced
+//                   before any Step that references the new ids (the WAL
+//                   must never get ahead of the corpus, or replay would
+//                   meet unknown DocIds);
+//   store/        — the DurableClusterer's WAL + generation snapshots.
+//
+// Reopen (Tenant::Open) recovers bit-identically: LoadCorpus re-analyzes
+// corpus.tsv in file order (ids are stable because appends are ordered),
+// DurableClusterer::Open restores the newest durable state, and the
+// TimeBatcher seeks to the recovered clock; documents the WAL had not yet
+// stepped (time >= recovered clock — an invariant, since a stepped
+// document's time is strictly below its window end) are re-primed into
+// the open window, re-running any window that closed but never reached
+// the WAL. A crash between the corpus append and the WAL append therefore
+// heals instead of diverging.
+
+#ifndef NIDC_SHARD_TENANT_H_
+#define NIDC_SHARD_TENANT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nidc/corpus/corpus_io.h"
+#include "nidc/corpus/stream.h"
+#include "nidc/obs/cluster_health.h"
+#include "nidc/obs/event_log.h"
+#include "nidc/obs/metrics.h"
+#include "nidc/serve/introspection.h"
+#include "nidc/store/durable_clusterer.h"
+
+namespace nidc::shard {
+
+/// The persisted identity of a tenant feed — everything that must be
+/// equal between a live tenant and its reopened successor (or a CLI
+/// replay of the same feed) for the states to be bit-identical.
+struct TenantConfig {
+  /// Forgetting model (β half-life, γ life span).
+  ForgettingParams params;
+  /// Cluster count K of every step.
+  size_t k = 8;
+  /// Batching window length in days.
+  double step_days = 1.0;
+  /// Start of the first window.
+  DayTime start_time = 0.0;
+  /// K-means seed (per-step stream offset is part of durable state).
+  uint64_t seed = 42;
+
+  Status Validate() const;
+
+  /// TENANT.json round trip.
+  std::string ToJson() const;
+  static Result<TenantConfig> FromJson(const std::string& json);
+};
+
+/// Host-side (non-persisted) wiring a tenant runs with.
+struct TenantRuntime {
+  /// Filesystem; null selects Env::Default().
+  Env* env = nullptr;
+  /// DurableClusterer rotation cadence.
+  uint64_t checkpoint_every = 16;
+  WalSyncMode wal_sync = WalSyncMode::kEveryRecord;
+  /// K-means thread budget for this tenant's steps — the shard's share of
+  /// the machine, so shard parallelism and K-means parallelism compose
+  /// without oversubscription. 1 = serial.
+  size_t kmeans_threads = 1;
+  /// Cross-tenant `shard.*` family (doc counters, step counters); null
+  /// disables. Per-tenant pipeline metrics always go to the tenant's own
+  /// registry regardless.
+  obs::MetricsRegistry* shared_metrics = nullptr;
+};
+
+class Tenant {
+ public:
+  /// Creates a fresh tenant directory (AlreadyExists when `dir` already
+  /// holds a TENANT.json) and opens it.
+  static Result<std::unique_ptr<Tenant>> Create(const std::string& name,
+                                                const std::string& dir,
+                                                const TenantConfig& config,
+                                                const TenantRuntime& runtime);
+
+  /// Reopens a tenant from disk, recovering as described above
+  /// (NotFound when `dir` has no TENANT.json).
+  static Result<std::unique_ptr<Tenant>> Open(const std::string& name,
+                                              const std::string& dir,
+                                              const TenantRuntime& runtime);
+
+  Tenant(const Tenant&) = delete;
+  Tenant& operator=(const Tenant&) = delete;
+  ~Tenant();
+
+  /// Ingests one batch: validates (times non-decreasing and not before
+  /// anything already ingested — the feed is chronological end to end),
+  /// appends to corpus.tsv, syncs, analyzes into the corpus, pushes
+  /// through the TimeBatcher and steps every window that closes.
+  /// InvalidArgument rejections change nothing; an IOError marks the
+  /// tenant failed (storage in unknown state — evict and reopen).
+  Status Ingest(const std::vector<RawDocument>& docs);
+
+  /// Closes and steps every window up to `until` (final partial window
+  /// included), exactly like a DocumentStream replay ending at `until`.
+  Status FlushUntil(DayTime until);
+
+  /// Forces a checkpoint rotation.
+  Status Checkpoint();
+
+  /// Final checkpoint + WAL close; the destructor calls it too.
+  Status Close();
+
+  /// Serialized ClustererState of the current model — the bit-identity
+  /// currency of the equivalence tests.
+  std::string StateDigest() const;
+
+  const std::string& name() const { return name_; }
+  const TenantConfig& config() const { return config_; }
+  /// Storage hit an unknown state; the tenant refuses further work.
+  bool failed() const { return failed_; }
+  /// Start of the open (not yet stepped) window.
+  DayTime now() const { return batcher_.cursor(); }
+  uint64_t docs_ingested() const { return docs_ingested_; }
+  uint64_t steps_applied() const;
+  /// Windows skipped because they were empty with no active documents.
+  uint64_t empty_windows_skipped() const { return empty_windows_skipped_; }
+  const RecoveryInfo& recovery() const;
+
+  // Introspection surfaces (thread-safe; read by HTTP workers).
+  const serve::StatusBoard& board() const { return board_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::ClusterHealthMonitor& health() const { return *health_; }
+  const obs::EventLog& events() const { return *events_; }
+  const DurableClusterer& durable() const { return *durable_; }
+
+ private:
+  Tenant(std::string name, std::string dir, TenantConfig config,
+         TenantRuntime runtime);
+
+  /// Shared tail of Create/Open: builds the clusterer over the loaded
+  /// corpus, recovers, seeks the batcher and re-primes unstepped docs.
+  Status Boot(std::unique_ptr<Corpus> corpus, bool fresh);
+
+  /// Steps every closed window, skipping benign empty-window
+  /// FailedPreconditions and publishing telemetry.
+  Status StepWindows(std::vector<DocumentBatch>& closed);
+
+  void PublishStep(const DocumentBatch& window, const StepResult& result);
+
+  std::string name_;
+  std::string dir_;
+  TenantConfig config_;
+  TenantRuntime runtime_;
+
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::EventLog> events_;
+  std::unique_ptr<obs::ClusterHealthMonitor> health_;
+  serve::StatusBoard board_;
+
+  std::unique_ptr<Corpus> corpus_;
+  std::unique_ptr<DurableClusterer> durable_;
+  std::unique_ptr<WritableFile> corpus_file_;
+  TimeBatcher batcher_;
+  /// Newest ingested document time; the chronological floor.
+  DayTime last_time_ = 0.0;
+  uint64_t docs_ingested_ = 0;
+  uint64_t empty_windows_skipped_ = 0;
+  bool failed_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace nidc::shard
+
+#endif  // NIDC_SHARD_TENANT_H_

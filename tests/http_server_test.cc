@@ -182,7 +182,28 @@ TEST(HttpServerTest, PostDeliversTheBodyToTheHandler) {
   server.Stop();
 }
 
-TEST(HttpServerTest, PostWithoutContentLengthIs411) {
+TEST(HttpServerTest, PostWithoutContentLengthIsAnEmptyBody) {
+  // RFC 7230 §3.3.3: no Content-Length on a request means a zero-length
+  // body (`curl -X POST` control-plane calls look like this). The
+  // connection must close afterwards so unframed stray bytes can never
+  // be parsed as a pipelined next request.
+  serve::HttpServer server;
+  std::string seen_body = "unset";
+  server.Handle("/submit", [&seen_body](const serve::HttpRequest& request) {
+    seen_body = request.body;
+    return serve::HttpResponse{};
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  const FetchResult result =
+      FetchRaw(server.port(),
+               "POST /submit HTTP/1.1\r\nHost: localhost\r\n\r\n");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 200);
+  EXPECT_EQ(seen_body, "");
+  server.Stop();
+}
+
+TEST(HttpServerTest, PostWithMalformedContentLengthIs411) {
   serve::HttpServer server;
   server.Handle("/submit", [](const serve::HttpRequest&) {
     return serve::HttpResponse{};
@@ -191,7 +212,7 @@ TEST(HttpServerTest, PostWithoutContentLengthIs411) {
   const FetchResult result =
       FetchRaw(server.port(),
                "POST /submit HTTP/1.1\r\nHost: localhost\r\n"
-               "Connection: close\r\n\r\n");
+               "Content-Length: banana\r\nConnection: close\r\n\r\n");
   ASSERT_TRUE(result.ok);
   EXPECT_EQ(result.status, 411);
   server.Stop();
@@ -412,6 +433,146 @@ TEST(HttpServerTest, StopCutsInFlightConnectionLoose) {
   EXPECT_LT(elapsed, std::chrono::milliseconds(1500));
   EXPECT_FALSE(server.running());
   ::close(silent);
+}
+
+TEST(HttpServerTest, KeepAliveServesPipelinedRequestsOnOneConnection) {
+  obs::MetricsRegistry registry;
+  serve::HttpServer server(&registry);
+  server.Handle("/ping", [](const serve::HttpRequest&) {
+    serve::HttpResponse response;
+    response.body = "pong";
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  // Three requests up front on one socket; only the last asks to close.
+  // The worker must answer all three before hanging up (the leftover
+  // buffer carries each pipelined request into the next loop turn).
+  const std::string one =
+      "GET /ping HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  const std::string last =
+      "GET /ping HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+  const int fd = ConnectOnly(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string wire = one + one + last;
+  ASSERT_GT(::write(fd, wire.data(), wire.size()), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  size_t answers = 0;
+  for (size_t pos = response.find("HTTP/1.1 200");
+       pos != std::string::npos;
+       pos = response.find("HTTP/1.1 200", pos + 1)) {
+    ++answers;
+  }
+  EXPECT_EQ(answers, 3u) << response;
+  EXPECT_EQ(server.requests_served(), 3u);
+  EXPECT_EQ(registry.GetCounter("serve.keepalive_reuses")->Value(), 2u);
+  server.Stop();
+}
+
+TEST(HttpServerTest, Http10ClientGetsOneResponseAndAPromptClose) {
+  serve::HttpServer server;
+  server.Handle("/ping", [](const serve::HttpRequest&) {
+    serve::HttpResponse response;
+    response.body = "pong";
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  const auto t0 = std::chrono::steady_clock::now();
+  const FetchResult result =
+      FetchRaw(server.port(), "GET /ping HTTP/1.0\r\n\r\n");
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 200);
+  EXPECT_EQ(result.body, "pong");
+  // The server closed right after the response instead of keeping the
+  // socket open until its 2s receive timeout fired.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(1500));
+  server.Stop();
+}
+
+TEST(HttpServerTest, KeepAliveOffClosesAfterEveryResponse) {
+  serve::HttpServerOptions options;
+  options.keep_alive = false;
+  serve::HttpServer server(options);
+  server.Handle("/ping", [](const serve::HttpRequest&) {
+    serve::HttpResponse response;
+    response.body = "pong";
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  const int fd = ConnectOnly(server.port());
+  ASSERT_GE(fd, 0);
+  // No Connection: close from the client — the server volunteers it.
+  const std::string request =
+      "GET /ping HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  ASSERT_GT(::write(fd, request.data(), request.size()), 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_NE(response.find("Connection: close"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("pong"), std::string::npos);
+  EXPECT_LT(elapsed, std::chrono::milliseconds(1500));
+  server.Stop();
+}
+
+TEST(HttpServerTest, ExtraHeadersAreEmitted) {
+  serve::HttpServer server;
+  server.Handle("/throttled", [](const serve::HttpRequest&) {
+    serve::HttpResponse response;
+    response.status = 429;
+    response.extra_headers.emplace_back("Retry-After", "7");
+    response.body = "slow down";
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  const int fd = ConnectOnly(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string request =
+      "GET /throttled HTTP/1.1\r\nHost: localhost\r\n"
+      "Connection: close\r\n\r\n";
+  ASSERT_GT(::write(fd, request.data(), request.size()), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("429"), std::string::npos);
+  EXPECT_NE(response.find("Retry-After: 7"), std::string::npos)
+      << response;
+  server.Stop();
+}
+
+TEST(HttpServerTest, SingleWorkerPoolStillServesEveryClient) {
+  serve::HttpServerOptions options;
+  options.num_workers = 1;
+  serve::HttpServer server(options);
+  server.Handle("/ping", [](const serve::HttpRequest&) {
+    serve::HttpResponse response;
+    response.body = "pong";
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_EQ(server.num_workers(), 1u);
+  for (int i = 0; i < 6; ++i) {
+    const FetchResult result = Fetch(server.port(), "/ping");
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.body, "pong");
+  }
+  server.Stop();
 }
 
 }  // namespace

@@ -1,0 +1,426 @@
+#include "nidc/shard/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nidc/obs/metrics.h"
+#include "nidc/shard/ingest.h"
+#include "nidc/shard/service.h"
+#include "nidc/shard/tenant.h"
+
+namespace nidc::shard {
+namespace {
+
+struct FetchResult {
+  bool ok = false;
+  int status = 0;
+  std::string headers;  // raw header block, for Retry-After assertions
+  std::string body;
+};
+
+// Minimal blocking HTTP client: one request, Connection: close, reads to
+// EOF (mirrors the client in http_server_test.cc, plus header capture).
+FetchResult Request(uint16_t port, const std::string& method,
+                    const std::string& target, const std::string& body) {
+  FetchResult result;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return result;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return result;
+  }
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: localhost\r\nConnection: close\r\n";
+  if (!body.empty() || method == "POST") {
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "\r\n";
+  request += body;
+  (void)!::write(fd, request.data(), request.size());
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t space = response.find(' ');
+  if (space == std::string::npos) return result;
+  result.status = std::atoi(response.c_str() + space + 1);
+  const size_t body_start = response.find("\r\n\r\n");
+  if (body_start != std::string::npos) {
+    result.headers = response.substr(0, body_start);
+    result.body = response.substr(body_start + 4);
+  }
+  result.ok = true;
+  return result;
+}
+
+FetchResult Get(uint16_t port, const std::string& target) {
+  return Request(port, "GET", target, "");
+}
+
+FetchResult Post(uint16_t port, const std::string& target,
+                 const std::string& body = "") {
+  return Request(port, "POST", target, body);
+}
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TenantConfig SmallConfig() {
+  TenantConfig config;
+  config.params.half_life_days = 7.0;
+  config.params.life_span_days = 30.0;
+  config.k = 3;
+  config.step_days = 1.0;
+  config.start_time = 0.0;
+  config.seed = 42;
+  return config;
+}
+
+std::vector<RawDocument> MakeFeed(const std::string& salt, int days,
+                                  int per_day) {
+  std::vector<RawDocument> docs;
+  for (int d = 0; d < days; ++d) {
+    for (int i = 0; i < per_day; ++i) {
+      RawDocument doc;
+      doc.time = d + 0.1 + 0.8 * i / per_day;
+      doc.topic = i % 3;
+      doc.text = salt + "term" + std::to_string(i % 5) + " " + salt +
+                 "word" + std::to_string((i + d) % 7) + " shared common " +
+                 salt + "tail" + std::to_string(i % 2);
+      docs.push_back(std::move(doc));
+    }
+  }
+  auto parsed = ParseIngestJsonl(FormatIngestJsonl(docs));
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(parsed).value();
+}
+
+std::vector<std::string> WireBatches(const std::vector<RawDocument>& docs,
+                                     size_t batch_docs) {
+  std::vector<std::string> batches;
+  for (size_t off = 0; off < docs.size(); off += batch_docs) {
+    const size_t n = std::min(batch_docs, docs.size() - off);
+    batches.push_back(FormatIngestJsonl(
+        std::vector<RawDocument>(docs.begin() + off,
+                                 docs.begin() + off + n)));
+  }
+  return batches;
+}
+
+// The single-stream reference the HTTP path must reproduce bit for bit:
+// the same wire batches through a standalone Tenant (the CLI's ingest
+// path), no server, no queues, no shard threads.
+std::string ReferenceDigest(const std::string& dir,
+                            const TenantConfig& config,
+                            const std::vector<std::string>& wire_batches,
+                            DayTime flush_until) {
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  TenantRuntime runtime;
+  auto tenant = Tenant::Create("reference", dir, config, runtime);
+  EXPECT_TRUE(tenant.ok()) << tenant.status().ToString();
+  for (const std::string& body : wire_batches) {
+    auto docs = ParseIngestJsonl(body);
+    EXPECT_TRUE(docs.ok());
+    EXPECT_TRUE((*tenant)->Ingest(*docs).ok());
+  }
+  EXPECT_TRUE((*tenant)->FlushUntil(flush_until).ok());
+  return (*tenant)->StateDigest();
+}
+
+// One sharded server wired exactly like `nidc_cli serve`: a shared
+// registry feeding both the service (shard.*) and the server (serve.*).
+class ShardHttpTest : public testing::Test {
+ protected:
+  ~ShardHttpTest() override { TearDownServer(); }
+
+  std::string Root(const std::string& name) {
+    const std::string root =
+        testing::TempDir() + "/nidc_shard_http_" + name;
+    std::filesystem::remove_all(root);
+    return root;
+  }
+
+  uint16_t StartServer(const std::string& root, size_t shards,
+                       size_t queue_capacity = 64) {
+    ShardServiceOptions options;
+    options.root = root;
+    options.num_shards = shards;
+    options.threads_per_shard = 1;
+    options.queue_capacity = queue_capacity;
+    options.wal_sync = WalSyncMode::kNone;
+    options.metrics = &registry_;
+    auto service = ShardService::Start(std::move(options));
+    EXPECT_TRUE(service.ok()) << service.status().ToString();
+    service_ = std::move(service).value();
+    server_ = std::make_unique<serve::HttpServer>(&registry_);
+    RegisterShardHandlers(server_.get(), service_.get(), SmallConfig());
+    EXPECT_TRUE(server_->Start(0).ok());
+    return server_->port();
+  }
+
+  void TearDownServer() {
+    if (server_ != nullptr) server_->Stop();
+    if (service_ != nullptr) service_->Stop();
+    server_.reset();
+    service_.reset();
+  }
+
+  obs::MetricsRegistry registry_;
+  std::unique_ptr<ShardService> service_;
+  std::unique_ptr<serve::HttpServer> server_;
+};
+
+TEST_F(ShardHttpTest, ServerStateMatchesSingleStreamReference) {
+  const std::string root = Root("equiv");
+  const auto feed = MakeFeed("equiv", 5, 8);
+  const auto batches = WireBatches(feed, 16);
+  const DayTime flush_until = 6.0;
+  const std::string expected =
+      ReferenceDigest(root + "_ref", SmallConfig(), batches, flush_until);
+
+  const uint16_t port = StartServer(root, 2);
+  auto created = Post(port, "/tenantz?op=create&tenant=alpha");
+  ASSERT_TRUE(created.ok);
+  ASSERT_EQ(created.status, 200) << created.body;
+  EXPECT_TRUE(Contains(created.body, "\"ok\":true")) << created.body;
+
+  for (const std::string& body : batches) {
+    auto accepted = Post(port, "/ingest?tenant=alpha", body);
+    ASSERT_TRUE(accepted.ok);
+    ASSERT_EQ(accepted.status, 202) << accepted.body;
+    EXPECT_TRUE(Contains(accepted.body, "\"tenant\":\"alpha\""));
+    EXPECT_TRUE(Contains(accepted.body, "\"accepted\":"));
+    EXPECT_TRUE(Contains(accepted.body, "\"queued\":"));
+  }
+  auto flushed =
+      Post(port, "/tenantz?op=flush&tenant=alpha&until=6");
+  ASSERT_EQ(flushed.status, 200) << flushed.body;
+
+  auto digest = Get(port, "/digestz?tenant=alpha");
+  ASSERT_TRUE(digest.ok);
+  ASSERT_EQ(digest.status, 200);
+  EXPECT_EQ(digest.body, expected)
+      << "HTTP-ingested state diverged from the single-stream reference";
+
+  // The tenant list reflects the ingest.
+  auto tenants = Get(port, "/tenantz");
+  ASSERT_EQ(tenants.status, 200);
+  EXPECT_TRUE(Contains(tenants.body, "\"name\":\"alpha\""));
+  EXPECT_TRUE(Contains(
+      tenants.body,
+      "\"docs_ingested\":" + std::to_string(feed.size())));
+}
+
+TEST_F(ShardHttpTest, IngestErrorsMapToHttpStatuses) {
+  const uint16_t port = StartServer(Root("errors"), 1);
+  ASSERT_EQ(Post(port, "/tenantz?op=create&tenant=alpha").status, 200);
+
+  // Missing ?tenant=.
+  EXPECT_EQ(Post(port, "/ingest", "{\"time\":1,\"text\":\"x\"}").status,
+            400);
+  // Unknown tenant.
+  auto unknown =
+      Post(port, "/ingest?tenant=ghost", "{\"time\":1,\"text\":\"x\"}");
+  EXPECT_EQ(unknown.status, 404);
+  EXPECT_TRUE(Contains(unknown.body, "error")) << unknown.body;
+  // Malformed body: nothing is enqueued, the error names the line.
+  auto malformed = Post(port, "/ingest?tenant=alpha",
+                        "{\"time\": 1.0, \"text\": \"ok\"}\n{broken\n");
+  EXPECT_EQ(malformed.status, 400);
+  EXPECT_TRUE(Contains(malformed.body, "line 2")) << malformed.body;
+  // Wrong method.
+  EXPECT_EQ(Get(port, "/ingest?tenant=alpha").status, 405);
+  EXPECT_EQ(Post(port, "/digestz?tenant=alpha").status, 405);
+
+  // The malformed batch never reached the tenant.
+  service_->Drain();
+  auto tenants = Get(port, "/tenantz");
+  EXPECT_TRUE(Contains(tenants.body, "\"docs_ingested\":0"))
+      << tenants.body;
+}
+
+TEST_F(ShardHttpTest, ControlPlaneValidatesOpsAndConflicts) {
+  const uint16_t port = StartServer(Root("ops"), 1);
+  ASSERT_EQ(Post(port, "/tenantz?op=create&tenant=alpha").status, 200);
+  // Duplicate create → 409 (AlreadyExists).
+  EXPECT_EQ(Post(port, "/tenantz?op=create&tenant=alpha").status, 409);
+  // Bad tenant name → 400.
+  EXPECT_EQ(Post(port, "/tenantz?op=create&tenant=.hidden").status, 400);
+  // Unknown op → 400; op without tenant → 400.
+  EXPECT_EQ(Post(port, "/tenantz?op=explode&tenant=alpha").status, 400);
+  EXPECT_EQ(Post(port, "/tenantz?op=evict").status, 400);
+  // flush requires ?until=.
+  EXPECT_EQ(Post(port, "/tenantz?op=flush&tenant=alpha").status, 400);
+  // Ops on a missing tenant → 404.
+  EXPECT_EQ(Post(port, "/tenantz?op=evict&tenant=ghost").status, 404);
+  EXPECT_EQ(
+      Post(port, "/tenantz?op=flush&tenant=ghost&until=3").status, 404);
+  EXPECT_EQ(Get(port, "/digestz?tenant=ghost").status, 404);
+  EXPECT_EQ(Get(port, "/digestz").status, 400);
+  EXPECT_EQ(Get(port, "/statusz?tenant=ghost").status, 404);
+  // drain is tenant-less and always succeeds.
+  EXPECT_EQ(Post(port, "/tenantz?op=drain").status, 200);
+  // checkpoint works over HTTP.
+  EXPECT_EQ(Post(port, "/tenantz?op=checkpoint&tenant=alpha").status, 200);
+}
+
+TEST_F(ShardHttpTest, CreateAcceptsQueryOverrides) {
+  const std::string root = Root("overrides");
+  const uint16_t port = StartServer(root, 1);
+  ASSERT_EQ(Post(port,
+                 "/tenantz?op=create&tenant=custom&k=5&half_life=3.5"
+                 "&life_span=14&step=0.5&start=2&seed=7")
+                .status,
+            200);
+  service_->Drain();
+  // The persisted TENANT.json carries the overridden fields.
+  std::ifstream file(root + "/tenants/custom/TENANT.json");
+  std::string json((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  auto config = TenantConfig::FromJson(json);
+  ASSERT_TRUE(config.ok()) << config.status().ToString() << " " << json;
+  EXPECT_EQ(config->k, 5u);
+  EXPECT_DOUBLE_EQ(config->params.half_life_days, 3.5);
+  EXPECT_DOUBLE_EQ(config->params.life_span_days, 14.0);
+  EXPECT_DOUBLE_EQ(config->step_days, 0.5);
+  EXPECT_DOUBLE_EQ(config->start_time, 2.0);
+  EXPECT_EQ(config->seed, 7u);
+}
+
+TEST_F(ShardHttpTest, FullQueueAnswers429WithRetryAfter) {
+  const std::string root = Root("backpressure");
+  // Heavy first batch (many windows) keeps the single shard worker busy
+  // while the client stacks more batches behind it.
+  const auto feed = MakeFeed("press", 16, 12);
+  const auto batches = WireBatches(feed, 48);
+  const DayTime flush_until = 17.0;
+  const std::string expected =
+      ReferenceDigest(root + "_ref", SmallConfig(), batches, flush_until);
+
+  const uint16_t port = StartServer(root, 1, /*queue_capacity=*/1);
+  ASSERT_EQ(Post(port, "/tenantz?op=create&tenant=alpha").status, 200);
+
+  size_t rejections = 0;
+  for (const std::string& body : batches) {
+    for (;;) {
+      auto response = Post(port, "/ingest?tenant=alpha", body);
+      ASSERT_TRUE(response.ok);
+      if (response.status == 202) break;
+      ASSERT_EQ(response.status, 429) << response.body;
+      EXPECT_TRUE(Contains(response.headers, "Retry-After: 1"))
+          << response.headers;
+      ++rejections;
+    }
+  }
+  EXPECT_GT(rejections, 0u)
+      << "queue_capacity=1 never pushed back; backpressure is broken";
+
+  // Rejected batches were retried, so nothing is lost or reordered.
+  ASSERT_EQ(
+      Post(port, "/tenantz?op=flush&tenant=alpha&until=17").status, 200);
+  auto digest = Get(port, "/digestz?tenant=alpha");
+  ASSERT_EQ(digest.status, 200);
+  EXPECT_EQ(digest.body, expected);
+  EXPECT_EQ(registry_.GetCounter("shard.ingest.rejected_batches")->Value(),
+            rejections);
+}
+
+TEST_F(ShardHttpTest, EvictThenReopenKeepsStateAcrossHttp) {
+  const std::string root = Root("evict");
+  const uint16_t port = StartServer(root, 2);
+  ASSERT_EQ(Post(port, "/tenantz?op=create&tenant=alpha").status, 200);
+  for (const std::string& body : WireBatches(MakeFeed("ev", 3, 6), 9)) {
+    ASSERT_EQ(Post(port, "/ingest?tenant=alpha", body).status, 202);
+  }
+  ASSERT_EQ(Post(port, "/tenantz?op=flush&tenant=alpha&until=4").status,
+            200);
+  auto before = Get(port, "/digestz?tenant=alpha");
+  ASSERT_EQ(before.status, 200);
+
+  ASSERT_EQ(Post(port, "/tenantz?op=evict&tenant=alpha").status, 200);
+  EXPECT_EQ(Get(port, "/digestz?tenant=alpha").status, 404);
+  EXPECT_EQ(
+      Post(port, "/ingest?tenant=alpha", "{\"time\":9,\"text\":\"x\"}")
+          .status,
+      404);
+  // Still on disk: reopen restores the exact state.
+  ASSERT_EQ(Post(port, "/tenantz?op=reopen&tenant=alpha").status, 200);
+  auto after = Get(port, "/digestz?tenant=alpha");
+  ASSERT_EQ(after.status, 200);
+  EXPECT_EQ(after.body, before.body);
+}
+
+TEST_F(ShardHttpTest, IntrospectionEndpointsRender) {
+  const uint16_t port = StartServer(Root("introspect"), 2);
+  ASSERT_EQ(Post(port, "/tenantz?op=create&tenant=alpha").status, 200);
+  ASSERT_EQ(Post(port, "/tenantz?op=create&tenant=bravo").status, 200);
+  for (const std::string& body : WireBatches(MakeFeed("in", 3, 6), 9)) {
+    ASSERT_EQ(Post(port, "/ingest?tenant=alpha", body).status, 202);
+  }
+  ASSERT_EQ(Post(port, "/tenantz?op=flush&tenant=alpha&until=4").status,
+            200);
+
+  auto health = Get(port, "/healthz");
+  ASSERT_EQ(health.status, 200);
+  EXPECT_TRUE(Contains(health.body, "\"healthy\":true")) << health.body;
+  EXPECT_TRUE(Contains(health.body, "\"num_tenants\":2")) << health.body;
+  EXPECT_TRUE(Contains(health.body, "\"failed_tenants\":[]"))
+      << health.body;
+
+  // Aggregate /statusz is the tenant list; per-tenant is the pipeline
+  // status the single-stream server renders.
+  auto aggregate = Get(port, "/statusz");
+  ASSERT_EQ(aggregate.status, 200);
+  EXPECT_TRUE(Contains(aggregate.body, "\"queue_depths\""));
+  EXPECT_TRUE(Contains(aggregate.body, "\"name\":\"bravo\""));
+  auto status = Get(port, "/statusz?tenant=alpha");
+  ASSERT_EQ(status.status, 200);
+  EXPECT_TRUE(Contains(status.body, "\"num_clusters\"")) << status.body;
+  EXPECT_TRUE(Contains(status.body, "\"durability\"")) << status.body;
+
+  // Server-wide Prometheus text carries both families.
+  auto metrics = Get(port, "/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_TRUE(Contains(metrics.body, "shard_ingest_docs"))
+      << metrics.body.substr(0, 400);
+  EXPECT_TRUE(Contains(metrics.body, "serve_requests"))
+      << metrics.body.substr(0, 400);
+  // Per-tenant registry serves the pipeline families.
+  auto tenant_metrics = Get(port, "/metrics?tenant=alpha");
+  ASSERT_EQ(tenant_metrics.status, 200);
+  EXPECT_TRUE(Contains(tenant_metrics.body, "shard_tenant_docs"))
+      << tenant_metrics.body.substr(0, 400);
+  EXPECT_EQ(Get(port, "/metrics?tenant=ghost").status, 404);
+
+  // /metricsz is one JSON object with the same counters.
+  auto metricsz = Get(port, "/metricsz");
+  ASSERT_EQ(metricsz.status, 200);
+  EXPECT_EQ(metricsz.body.front(), '{');
+  EXPECT_TRUE(Contains(metricsz.body, "\"shard.ingest.docs\""))
+      << metricsz.body.substr(0, 400);
+}
+
+}  // namespace
+}  // namespace nidc::shard

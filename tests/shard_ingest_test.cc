@@ -1,0 +1,115 @@
+#include "nidc/shard/ingest.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "nidc/corpus/corpus_io.h"
+
+namespace nidc::shard {
+namespace {
+
+TEST(ShardIngestTest, ParsesWellFormedJsonl) {
+  const std::string body =
+      "{\"time\": 1.5, \"text\": \"first article\", \"topic\": 3, "
+      "\"source\": \"ap\"}\n"
+      "{\"time\": 2.25, \"text\": \"second article\"}\n";
+  auto docs = ParseIngestJsonl(body);
+  ASSERT_TRUE(docs.ok()) << docs.status().ToString();
+  ASSERT_EQ(docs->size(), 2u);
+  EXPECT_DOUBLE_EQ((*docs)[0].time, 1.5);
+  EXPECT_EQ((*docs)[0].text, "first article");
+  EXPECT_EQ((*docs)[0].topic, 3);
+  EXPECT_EQ((*docs)[0].source, "ap");
+  EXPECT_EQ((*docs)[1].topic, kNoTopic);
+  EXPECT_EQ((*docs)[1].source, "");
+}
+
+TEST(ShardIngestTest, BlankLinesAreSkippedAndEmptyBodyIsValid) {
+  auto docs = ParseIngestJsonl("\n\n{\"time\": 1.0, \"text\": \"x\"}\n\n");
+  ASSERT_TRUE(docs.ok());
+  EXPECT_EQ(docs->size(), 1u);
+  auto empty = ParseIngestJsonl("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(ShardIngestTest, MalformedLineFailsWithLineDiagnostic) {
+  const std::string body =
+      "{\"time\": 1.0, \"text\": \"fine\"}\n"
+      "{\"time\": oops}\n";
+  auto docs = ParseIngestJsonl(body);
+  ASSERT_FALSE(docs.ok());
+  EXPECT_EQ(docs.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(docs.status().ToString().find("line 2"), std::string::npos)
+      << docs.status().ToString();
+}
+
+TEST(ShardIngestTest, RejectsMissingOrInvalidRequiredFields) {
+  EXPECT_FALSE(ParseIngestJsonl("{\"text\": \"no time\"}").ok());
+  EXPECT_FALSE(ParseIngestJsonl("{\"time\": 1.0}").ok());
+  EXPECT_FALSE(ParseIngestJsonl("{\"time\": 1.0, \"text\": \"\"}").ok());
+  // Whitespace-only text sanitizes to nothing analyzable either.
+  EXPECT_FALSE(
+      ParseIngestJsonl("{\"time\": 1.0, \"text\": \"\\t\\n\"}").ok());
+  // Non-finite time.
+  EXPECT_FALSE(
+      ParseIngestJsonl("{\"time\": \"nan\", \"text\": \"x\"}").ok());
+  // Unknown fields are rejected, not ignored: a typoed "topc" silently
+  // dropping the label would corrupt evaluation feeds.
+  EXPECT_FALSE(ParseIngestJsonl(
+                   "{\"time\": 1.0, \"text\": \"x\", \"topc\": 1}")
+                   .ok());
+}
+
+TEST(ShardIngestTest, SanitizesTextLikeCorpusIo) {
+  EXPECT_EQ(SanitizeText("a\tb\nc\rd"), "a b c d");
+  auto docs = ParseIngestJsonl(
+      "{\"time\": 1.0, \"text\": \"tab\\there\\nand newline\"}");
+  ASSERT_TRUE(docs.ok());
+  EXPECT_EQ((*docs)[0].text, "tab here and newline");
+}
+
+TEST(ShardIngestTest, TimesSnapToTheTsvPrecisionGrid) {
+  // corpus.tsv stores times as %.6f; a live time must equal what a
+  // reopen re-reads, or recovered state diverges from live state.
+  const double raw = 1.23456789123;
+  char rendered[64];
+  std::snprintf(rendered, sizeof(rendered), "%.6f", raw);
+  const double expected = std::strtod(rendered, nullptr);
+  auto docs = ParseIngestJsonl("{\"time\": 1.23456789123, \"text\": \"x\"}");
+  ASSERT_TRUE(docs.ok());
+  EXPECT_EQ((*docs)[0].time, expected);
+  EXPECT_NE((*docs)[0].time, raw);
+}
+
+TEST(ShardIngestTest, FormatParseRoundTripIsIdentity) {
+  std::vector<RawDocument> docs(3);
+  docs[0].time = 0.125;
+  docs[0].text = "plain text";
+  docs[0].topic = 7;
+  docs[0].source = "wire \"svc\"";
+  docs[1].time = 1.000001;
+  docs[1].text = "quotes \" and backslash \\ and unicode \xc3\xa9";
+  docs[2].time = 2.5;
+  docs[2].text = "already\tdirty\ntext";
+
+  const std::string body = FormatIngestJsonl(docs);
+  auto parsed = ParseIngestJsonl(body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].time, docs[i].time) << i;
+    EXPECT_EQ((*parsed)[i].text, SanitizeText(docs[i].text)) << i;
+    EXPECT_EQ((*parsed)[i].topic, docs[i].topic) << i;
+    EXPECT_EQ((*parsed)[i].source, docs[i].source) << i;
+  }
+  // A second round trip is a fixed point: parse(format(parse(x))) ==
+  // parse(x) — the property that makes CLI and HTTP clients equivalent.
+  EXPECT_EQ(FormatIngestJsonl(*parsed), body);
+}
+
+}  // namespace
+}  // namespace nidc::shard

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nidc/corpus/stream.h"
+
+namespace nidc {
+namespace {
+
+std::vector<DocumentBatch> AddOk(TimeBatcher* batcher, DocId id,
+                                 DayTime time) {
+  std::vector<DocumentBatch> closed;
+  EXPECT_TRUE(batcher->Add(id, time, &closed).ok());
+  return closed;
+}
+
+TEST(TimeBatcherTest, AccumulatesWithinOpenWindow) {
+  TimeBatcher batcher(0.0, 1.0);
+  EXPECT_TRUE(AddOk(&batcher, 0, 0.1).empty());
+  EXPECT_TRUE(AddOk(&batcher, 1, 0.9).empty());
+  EXPECT_EQ(batcher.pending(), 2u);
+  EXPECT_DOUBLE_EQ(batcher.cursor(), 0.0);
+}
+
+TEST(TimeBatcherTest, ArrivalPastBoundaryClosesWindow) {
+  TimeBatcher batcher(0.0, 1.0);
+  AddOk(&batcher, 0, 0.5);
+  const auto closed = AddOk(&batcher, 1, 1.2);
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_DOUBLE_EQ(closed[0].begin, 0.0);
+  EXPECT_DOUBLE_EQ(closed[0].end, 1.0);
+  EXPECT_EQ(closed[0].docs, (std::vector<DocId>{0}));
+  EXPECT_EQ(batcher.pending(), 1u);  // doc 1 sits in the new open window
+  EXPECT_DOUBLE_EQ(batcher.cursor(), 1.0);
+}
+
+TEST(TimeBatcherTest, LongGapEmitsEmptyWindows) {
+  TimeBatcher batcher(0.0, 1.0);
+  AddOk(&batcher, 0, 0.5);
+  const auto closed = AddOk(&batcher, 1, 3.5);
+  ASSERT_EQ(closed.size(), 3u);  // [0,1) with doc 0, then empty [1,2), [2,3)
+  EXPECT_EQ(closed[0].docs, (std::vector<DocId>{0}));
+  EXPECT_TRUE(closed[1].empty());
+  EXPECT_TRUE(closed[2].empty());
+  EXPECT_DOUBLE_EQ(closed[2].end, 3.0);
+}
+
+TEST(TimeBatcherTest, RejectsDocumentOlderThanOpenWindow) {
+  TimeBatcher batcher(0.0, 1.0);
+  AddOk(&batcher, 0, 2.5);  // cursor now 2.0
+  std::vector<DocumentBatch> closed;
+  const Status late = batcher.Add(1, 1.5, &closed);
+  EXPECT_EQ(late.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(closed.empty());
+  EXPECT_EQ(batcher.pending(), 1u);  // nothing changed
+}
+
+TEST(TimeBatcherTest, RejectsNaNTime) {
+  TimeBatcher batcher(0.0, 1.0);
+  std::vector<DocumentBatch> closed;
+  EXPECT_EQ(batcher.Add(0, std::nan(""), &closed).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TimeBatcherTest, ExactBoundaryArrivalOpensNextWindow) {
+  // Windows are half-open: a document at exactly cursor + step belongs to
+  // the next window and closes the current one.
+  TimeBatcher batcher(0.0, 1.0);
+  const auto closed = AddOk(&batcher, 0, 1.0);
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_TRUE(closed[0].empty());
+  EXPECT_EQ(batcher.pending(), 1u);
+}
+
+TEST(TimeBatcherTest, FlushUntilClosesPartialFinalWindow) {
+  TimeBatcher batcher(0.0, 1.0);
+  AddOk(&batcher, 0, 2.2);
+  std::vector<DocumentBatch> closed;
+  batcher.FlushUntil(2.6, &closed);
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_DOUBLE_EQ(closed[0].begin, 2.0);
+  EXPECT_DOUBLE_EQ(closed[0].end, 2.6);  // clamped, like a stream's end
+  EXPECT_EQ(closed[0].docs, (std::vector<DocId>{0}));
+  EXPECT_DOUBLE_EQ(batcher.cursor(), 2.6);
+  EXPECT_EQ(batcher.pending(), 0u);
+}
+
+TEST(TimeBatcherTest, FlushUntilBeforeCursorIsNoOp) {
+  TimeBatcher batcher(5.0, 1.0);
+  std::vector<DocumentBatch> closed;
+  batcher.FlushUntil(3.0, &closed);
+  EXPECT_TRUE(closed.empty());
+  EXPECT_DOUBLE_EQ(batcher.cursor(), 5.0);
+}
+
+TEST(TimeBatcherTest, SeekRequiresEmptyPendingWindow) {
+  TimeBatcher batcher(0.0, 1.0);
+  AddOk(&batcher, 0, 0.5);
+  EXPECT_EQ(batcher.SeekTo(4.0).code(), StatusCode::kFailedPrecondition);
+  std::vector<DocumentBatch> closed;
+  batcher.FlushUntil(1.0, &closed);
+  EXPECT_TRUE(batcher.SeekTo(4.0).ok());
+  EXPECT_DOUBLE_EQ(batcher.cursor(), 4.0);
+}
+
+TEST(TimeBatcherTest, CursorAdvancesByAccumulationNotMultiplication) {
+  // 0.1 is not representable in binary; repeated addition and
+  // multiplication disagree after enough steps. Both front ends must use
+  // the accumulated value — this pins the batcher to it.
+  TimeBatcher batcher(0.0, 0.1);
+  std::vector<DocumentBatch> closed;
+  batcher.FlushUntil(10.0, &closed);
+  DayTime accumulated = 0.0;
+  for (int i = 0; i < 100; ++i) accumulated += 0.1;
+  // The last full window boundary the batcher produced must equal the
+  // accumulated sum bit for bit (no 0.1 * k rounding).
+  ASSERT_GE(closed.size(), 100u);
+  EXPECT_EQ(closed[99].end, accumulated);
+}
+
+TEST(TimeBatcherTest, PushMatchesPullBitIdentically) {
+  // The equivalence the shard layer is built on: pushing a corpus's
+  // documents through a TimeBatcher produces the same window sequence as
+  // pulling it through a DocumentStream.
+  Corpus corpus;
+  corpus.AddText("alpha bravo", 0.25);
+  corpus.AddText("charlie delta", 1.17);
+  corpus.AddText("echo foxtrot", 1.93);
+  corpus.AddText("golf hotel", 4.61);
+  corpus.AddText("india juliet", 4.62);
+  const DayTime start = 0.0;
+  const DayTime end = 5.3;
+  const double step = 0.7;
+
+  std::vector<DocumentBatch> pulled;
+  DocumentStream stream(&corpus, start, end, step);
+  while (auto batch = stream.Next()) pulled.push_back(std::move(*batch));
+
+  std::vector<DocumentBatch> pushed;
+  TimeBatcher batcher(start, step);
+  for (DocId id = 0; id < static_cast<DocId>(corpus.size()); ++id) {
+    ASSERT_TRUE(batcher.Add(id, corpus.doc(id).time, &pushed).ok());
+  }
+  batcher.FlushUntil(end, &pushed);
+
+  ASSERT_EQ(pushed.size(), pulled.size());
+  for (size_t i = 0; i < pushed.size(); ++i) {
+    EXPECT_EQ(pushed[i].begin, pulled[i].begin) << "window " << i;
+    EXPECT_EQ(pushed[i].end, pulled[i].end) << "window " << i;
+    EXPECT_EQ(pushed[i].docs, pulled[i].docs) << "window " << i;
+  }
+}
+
+}  // namespace
+}  // namespace nidc

@@ -58,6 +58,19 @@
 //       --serve exposes /healthz (role "follower", replication lag) and
 //       POST /promotez, which seals the local WAL and flips DIR into a
 //       writable leader checkpoint directory (see docs/replication.md).
+//   serve --root DIR [--port N] [--shards N] [--threads-per-shard N]
+//         [--queue-capacity N] [--checkpoint-every N]
+//         [--wal-fsync every|none] [--http-workers N] [--max-seconds S]
+//         [--beta D] [--gamma D] [--k N] [--step D] [--start D] [--seed N]
+//       Run the multi-tenant sharded ingest service (docs/serving.md):
+//       every tenant directory under DIR/tenants/ is recovered on boot,
+//       then the HTTP front door accepts POST /ingest?tenant= batches,
+//       /tenantz control-plane operations, and the per-tenant
+//       introspection endpoints (/statusz, /metrics, /digestz, /healthz).
+//       --shards 0 (the default) uses one shard worker per hardware
+//       thread; --max-seconds 0 serves until SIGINT/SIGTERM. The --beta
+//       .. --seed flags set the default TenantConfig that
+//       POST /tenantz?op=create starts from.
 //   inspect URL
 //       Fetch /statusz from a serving nidc_cli (e.g.
 //       `nidc_cli inspect http://127.0.0.1:8080`) and pretty-print the
@@ -79,6 +92,7 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -109,6 +123,8 @@
 #include "nidc/repl/tcp.h"
 #include "nidc/serve/http_server.h"
 #include "nidc/serve/introspection.h"
+#include "nidc/shard/http.h"
+#include "nidc/shard/service.h"
 #include "nidc/synth/tdt2_like_generator.h"
 
 namespace nidc {
@@ -140,7 +156,7 @@ struct Args {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: nidc_cli <generate|cluster|stream|eval|follow|inspect> "
+      "usage: nidc_cli <generate|cluster|stream|eval|follow|serve|inspect> "
       "[--flag value]...\n"
       "  generate --out FILE [--scale S] [--seed N]\n"
       "  cluster  --corpus FILE [--beta D] [--gamma D] [--k N]\n"
@@ -160,6 +176,12 @@ int Usage() {
       "           [--serve PORT] [--beta D] [--gamma D] [--k N]\n"
       "           [--wal-fsync every|none] [--checkpoint-every N]\n"
       "           [--max-seconds S]\n"
+      "  serve    --root DIR [--port N] [--shards N]\n"
+      "           [--threads-per-shard N] [--queue-capacity N]\n"
+      "           [--checkpoint-every N] [--wal-fsync every|none]\n"
+      "           [--http-workers N] [--max-seconds S]\n"
+      "           [--beta D] [--gamma D] [--k N] [--step D] [--start D]\n"
+      "           [--seed N]  (defaults for op=create)\n"
       "  inspect  URL (pretty-prints /statusz of a serving stream)\n"
       "all subcommands: [--lenient] skips malformed corpus records\n");
   return 2;
@@ -864,6 +886,99 @@ int RunFollow(const Args& args) {
   return exit_code;
 }
 
+// SIGINT/SIGTERM flip this; the serve loop polls it. A plain signal
+// handler may only touch lock-free atomics, so shutdown itself happens
+// back on the main thread.
+std::atomic<bool> g_serve_stop{false};
+void ServeSignalHandler(int) { g_serve_stop.store(true); }
+
+int RunServe(const Args& args) {
+  if (!args.Has("root")) {
+    std::fprintf(stderr, "serve: --root DIR is required\n");
+    return 2;
+  }
+  obs::MetricsRegistry registry;
+
+  shard::ShardServiceOptions options;
+  options.root = args.Get("root", "");
+  options.num_shards = args.GetSize("shards", 0);
+  options.threads_per_shard = args.GetSize("threads-per-shard", 0);
+  options.queue_capacity =
+      args.GetSize("queue-capacity", options.queue_capacity);
+  options.checkpoint_every =
+      args.GetSize("checkpoint-every", options.checkpoint_every);
+  const std::string fsync = args.Get("wal-fsync", "every");
+  if (fsync == "every") {
+    options.wal_sync = WalSyncMode::kEveryRecord;
+  } else if (fsync == "none") {
+    options.wal_sync = WalSyncMode::kNone;
+  } else {
+    std::fprintf(stderr, "serve: --wal-fsync must be every or none\n");
+    return 2;
+  }
+  options.metrics = &registry;
+  auto service = shard::ShardService::Start(std::move(options));
+  if (!service.ok()) {
+    std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
+    return 1;
+  }
+
+  shard::TenantConfig default_config;
+  default_config.params = ParamsFrom(args);
+  default_config.k = args.GetSize("k", default_config.k);
+  default_config.step_days = args.GetDouble("step", default_config.step_days);
+  default_config.start_time =
+      args.GetDouble("start", default_config.start_time);
+  default_config.seed = args.GetSize("seed", default_config.seed);
+  if (Status valid = default_config.Validate(); !valid.ok()) {
+    std::fprintf(stderr, "serve: %s\n", valid.ToString().c_str());
+    return 2;
+  }
+
+  serve::HttpServerOptions http_options;
+  http_options.num_workers =
+      args.GetSize("http-workers", http_options.num_workers);
+  serve::HttpServer server(http_options, &registry);
+  shard::RegisterShardHandlers(&server, service->get(), default_config);
+  if (Status started =
+          server.Start(static_cast<uint16_t>(args.GetSize("port", 0)));
+      !started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  const double max_seconds = args.GetDouble("max-seconds", 0.0);
+  std::printf(
+      "serving on 127.0.0.1:%u | root %s | %zu shards x %zu kmeans "
+      "threads | %zu http workers | %zu tenants recovered\n",
+      server.port(), (*service)->root().c_str(), (*service)->num_shards(),
+      (*service)->threads_per_shard(), server.num_workers(),
+      (*service)->TenantNames().size());
+  std::fflush(stdout);
+
+  g_serve_stop.store(false);
+  std::signal(SIGINT, ServeSignalHandler);
+  std::signal(SIGTERM, ServeSignalHandler);
+  const auto started_at = std::chrono::steady_clock::now();
+  while (!g_serve_stop.load()) {
+    if (max_seconds > 0.0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - started_at;
+      if (elapsed.count() >= max_seconds) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  const uint64_t served = server.requests_served();
+  server.Stop();
+  (*service)->Stop();
+  std::printf("served %llu requests; all tenants checkpointed\n",
+              static_cast<unsigned long long>(served));
+  return 0;
+}
+
 int RunEval(const Args& args) {
   auto corpus = LoadCorpusArg(args);
   if (!corpus.ok()) {
@@ -1160,6 +1275,7 @@ int Main(int argc, char** argv) {
   if (args->command == "stream") return RunStream(*args);
   if (args->command == "eval") return RunEval(*args);
   if (args->command == "follow") return RunFollow(*args);
+  if (args->command == "serve") return RunServe(*args);
   if (args->command == "inspect") return RunInspect(*args);
   return Usage();
 }

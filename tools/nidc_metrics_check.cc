@@ -2,6 +2,12 @@
 // `nidc_cli stream --metrics-out=...`.
 //
 //   $ nidc_metrics_check run.jsonl [--require-trace] [--require-repl]
+//   $ nidc_metrics_check --shard-snapshot metricsz.json
+//
+// The second form validates one `GET /metricsz` body scraped from a
+// sharded server (`nidc_cli serve`): a single JSON object whose names
+// must all carry known family prefixes and which must contain the whole
+// eagerly-registered shard.* family plus the serve.* request counters.
 //
 // Every line must parse as a JSON object and carry the step digest keys,
 // a non-empty G trajectory, and the expected metric families (K-means,
@@ -99,7 +105,28 @@ constexpr const char* kKnownPrefixes[] = {
     "kmeans.",      "rep_index.",  "thread_pool.", "term_stats.",
     "step.",        "corpus.",     "store.",       "health.",
     "events.",      "serve.",      "kernel.",      "timeseries.",
-    "profile.",     "provenance.", "repl.",
+    "profile.",     "provenance.", "repl.",        "shard.",
+};
+
+// The sharded service registers these at Start (see ShardService::Init),
+// so any /metricsz scrape must carry them — a missing name means the
+// eager registration regressed or the scrape hit the wrong registry.
+constexpr const char* kShardKeys[] = {
+    "shard.tenants",
+    "shard.shards",
+    "shard.steps",
+    "shard.ingest.docs",
+    "shard.ingest.batches",
+    "shard.ingest.rejected_batches",
+    "shard.ingest.failed",
+    "shard.ingest.dropped",
+    "shard.ingest.latency_seconds",
+    "shard.queue.0.depth",
+    "serve.requests",
+    "serve.not_found",
+    "serve.bad_requests",
+    "serve.keepalive_reuses",
+    "serve.connections_shed",
 };
 
 // The leader-side WalShipper registers these eagerly, so any stream run
@@ -195,12 +222,70 @@ void CheckRecord(const obs::JsonValue& record, bool require_trace,
   }
 }
 
+// Validates one /metricsz body from a sharded server. Exit-code style
+// matches the JSONL mode: 0 ok, 1 with diagnostics otherwise.
+int CheckShardSnapshot(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::vector<std::string> problems;
+  const Result<obs::JsonValue> parsed = obs::ParseJson(body);
+  if (!parsed.ok()) {
+    problems.push_back(parsed.status().ToString());
+  } else if (!parsed->is_object()) {
+    problems.push_back("snapshot is not a JSON object");
+  } else {
+    for (const char* key : kShardKeys) {
+      if (parsed->Find(key) == nullptr) {
+        problems.push_back(std::string("missing shard metric '") + key +
+                           "'");
+      }
+    }
+    for (const auto& [name, value] : parsed->object) {
+      bool known = false;
+      for (const char* prefix : kKnownPrefixes) {
+        if (name.compare(0, std::strlen(prefix), prefix) == 0) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        problems.push_back("metric '" + name +
+                           "' has no known family prefix");
+      }
+    }
+  }
+  if (!problems.empty()) {
+    for (const std::string& problem : problems) {
+      std::fprintf(stderr, "%s: %s\n", path, problem.c_str());
+    }
+    std::fprintf(stderr, "%s: shard snapshot failed validation\n", path);
+    return 1;
+  }
+  std::printf("%s: shard snapshot ok (%zu metrics)\n", path,
+              parsed->object.size());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: nidc_metrics_check FILE.jsonl [--require-trace] "
-                 "[--require-repl]\n");
+                 "[--require-repl]\n"
+                 "       nidc_metrics_check --shard-snapshot FILE.json\n");
     return 2;
+  }
+  if (std::strcmp(argv[1], "--shard-snapshot") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr,
+                   "usage: nidc_metrics_check --shard-snapshot FILE.json\n");
+      return 2;
+    }
+    return CheckShardSnapshot(argv[2]);
   }
   const char* path = argv[1];
   bool require_trace = false;

@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# Regenerate the committed BENCH_*.json files at the repository root.
+#
+# Usage (from anywhere inside the checkout):
+#   tools/regen_bench.sh [build-dir]
+#
+# The build directory defaults to ./build. The script configures and
+# builds the two bench targets if the binaries are missing, then runs
+# them with NIDC_BENCH_JSON_DIR pointed at the repo root so the JSON
+# lands where it is committed:
+#
+#   BENCH_sweep_hotpath.json   bench_sweep_hotpath  (hot-path sweep ladder)
+#   BENCH_capacity.json        bench_capacity       (multi-tenant capacity)
+#
+# Knobs (see the doc comment at the top of each bench .cc for the rest):
+#   NIDC_SWEEP_SCALE      sweep corpus scale   (default 1.0 = paper scale)
+#   NIDC_CAPACITY_SCALE   capacity corpus scale (default 0.3)
+#   NIDC_CAPACITY_TENANTS tenant count          (default 8)
+#
+# Numbers are machine-dependent: regenerate on a quiet box and eyeball
+# `git diff BENCH_*.json` before committing — the shapes (speedup ratios,
+# identical:true) matter, the absolute seconds do not. The CI gates
+# (NIDC_REQUIRE_*_SPEEDUP, NIDC_REQUIRE_SHARD_SPEEDUP=2.5) run against
+# freshly-built binaries, not these files; the committed JSON is the
+# human-readable record.
+
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+if [ ! -x "$build_dir/bench/bench_sweep_hotpath" ] || \
+   [ ! -x "$build_dir/bench/bench_capacity" ]; then
+  echo "regen_bench: building bench targets in $build_dir" >&2
+  cmake -B "$build_dir" -S "$repo_root" >/dev/null
+  cmake --build "$build_dir" --target bench_sweep_hotpath bench_capacity -j
+fi
+
+export NIDC_BENCH_JSON_DIR="$repo_root"
+
+echo "== bench_sweep_hotpath =="
+"$build_dir/bench/bench_sweep_hotpath"
+
+echo "== bench_capacity =="
+"$build_dir/bench/bench_capacity"
+
+echo
+echo "Wrote $repo_root/BENCH_sweep_hotpath.json"
+echo "      $repo_root/BENCH_capacity.json"
+echo "Review with: git diff -- BENCH_sweep_hotpath.json BENCH_capacity.json"
