@@ -20,6 +20,11 @@
 // batch latency p50/p99 (TakeLatencySamples), and backpressure retries
 // (OutOfRange answers the driver slept on). WAL fsync is off for every
 // row so the ratio measures compute scaling, not one disk's fsync queue.
+// Every batch also carries a request trace through the pipeline, so each
+// row breaks the end-to-end latency into stages: enqueue-wait (enqueue →
+// worker dequeue), apply (dequeue → clusterer step) and checkpoint (step
+// → snapshot rotation, when one happened) — the split that says whether a
+// layout is queue-bound or compute-bound.
 //
 // Env knobs:
 //   NIDC_CAPACITY_SCALE    corpus scale (default 0.3)
@@ -46,6 +51,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "nidc/obs/reqtrace.h"
 #include "nidc/shard/ingest.h"
 #include "nidc/shard/service.h"
 #include "nidc/shard/tenant.h"
@@ -60,6 +66,15 @@ struct RowConfig {
   size_t threads_per_shard;  // 0 = hardware concurrency
 };
 
+// One stage interval's percentile pair, milliseconds. count is how many
+// completed traces actually crossed the interval (checkpoints only happen
+// on snapshot rotation, so their count is a fraction of the others).
+struct StageSplit {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  size_t count = 0;
+};
+
 struct RowResult {
   double seconds = 0.0;
   double docs_per_sec = 0.0;
@@ -68,6 +83,10 @@ struct RowResult {
   uint64_t retries = 0;
   bool identical = true;
   std::vector<std::string> digests;
+  StageSplit enqueue_wait;  // enqueue -> worker dequeue
+  StageSplit apply;         // dequeue -> clusterer step
+  StageSplit checkpoint;    // step -> snapshot rotation
+  size_t traces_completed = 0;
 };
 
 std::string TenantName(size_t i) { return "feed" + std::to_string(i); }
@@ -159,11 +178,20 @@ RowResult RunRow(const RowConfig& row, const std::string& root,
                      batches,
                  DayTime flush_until,
                  const std::vector<std::string>& reference) {
+  // Every batch rides a request trace, so the row can split its latency
+  // into pipeline stages afterwards. Declared before the service so the
+  // workers' stage stamps never outlive it.
+  obs::RequestTracer::Options trace_options;
+  trace_options.max_records = 1 << 14;
+  trace_options.ring_capacity = 1 << 15;
+  obs::RequestTracer tracer(trace_options);
+
   shard::ShardServiceOptions options;
   options.root = root;
   options.num_shards = row.shards;
   options.threads_per_shard = row.threads_per_shard;
   options.wal_sync = WalSyncMode::kNone;
+  options.tracer = &tracer;
   auto service = shard::ShardService::Start(std::move(options));
   if (!service.ok()) {
     std::fprintf(stderr, "[%s] start: %s\n", row.name,
@@ -193,8 +221,12 @@ RowResult RunRow(const RowConfig& row, const std::string& root,
   for (size_t r = 0; r < rounds; ++r) {
     for (size_t t = 0; t < tenants; ++t) {
       if (r >= batches[t].size()) continue;
+      obs::TraceContext trace = tracer.Mint();
+      tracer.Begin(trace, TenantName(t));
+      tracer.RecordStage(trace, obs::Stage::kIngest);
       for (;;) {
-        Status s = (*service)->EnqueueIngest(TenantName(t), batches[t][r]);
+        Status s = (*service)->EnqueueIngest(TenantName(t), batches[t][r],
+                                             trace);
         if (s.ok()) break;
         if (s.code() != StatusCode::kOutOfRange) {
           std::fprintf(stderr, "[%s] enqueue: %s\n", row.name,
@@ -221,6 +253,43 @@ RowResult RunRow(const RowConfig& row, const std::string& root,
   const std::vector<double> samples = (*service)->TakeLatencySamples();
   result.p50_ms = Percentile(samples, 0.50) * 1e3;
   result.p99_ms = Percentile(samples, 0.99) * 1e3;
+
+  // Split the end-to-end latency into stages from the completed trace
+  // records: enqueue-wait is time spent in the shard queue, apply is the
+  // worker's ingest + window step, checkpoint is the snapshot rotation
+  // (stamped only on the steps where one ran).
+  const auto interval = [](const obs::TraceRecord& rec, obs::Stage from,
+                           obs::Stage to) {
+    const double a = rec.StageSeconds(from);
+    const double b = rec.StageSeconds(to);
+    return (a >= 0.0 && b >= a) ? b - a : -1.0;
+  };
+  std::vector<double> enqueue_wait_s;
+  std::vector<double> apply_s;
+  std::vector<double> checkpoint_s;
+  for (const obs::TraceRecord& rec :
+       tracer.Completed(trace_options.max_records)) {
+    ++result.traces_completed;
+    const double wait =
+        interval(rec, obs::Stage::kEnqueue, obs::Stage::kDequeue);
+    if (wait >= 0.0) enqueue_wait_s.push_back(wait);
+    const double apply =
+        interval(rec, obs::Stage::kDequeue, obs::Stage::kStep);
+    if (apply >= 0.0) apply_s.push_back(apply);
+    const double checkpoint =
+        interval(rec, obs::Stage::kStep, obs::Stage::kCheckpoint);
+    if (checkpoint >= 0.0) checkpoint_s.push_back(checkpoint);
+  }
+  const auto split = [](const std::vector<double>& s) {
+    StageSplit out;
+    out.count = s.size();
+    out.p50_ms = Percentile(s, 0.50) * 1e3;
+    out.p99_ms = Percentile(s, 0.99) * 1e3;
+    return out;
+  };
+  result.enqueue_wait = split(enqueue_wait_s);
+  result.apply = split(apply_s);
+  result.checkpoint = split(checkpoint_s);
 
   for (size_t t = 0; t < tenants; ++t) {
     auto digest = (*service)->StateDigest(TenantName(t));
@@ -266,17 +335,28 @@ void WriteJson(const std::string& path, double scale, size_t tenants,
                speedup);
   std::fprintf(f, "  \"rows\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
+    const RowResult& r = results[i];
     std::fprintf(f,
                  "    {\"config\": \"%s\", \"shards\": %zu, "
                  "\"threads_per_shard\": %zu, \"seconds\": %.4f, "
                  "\"docs_per_sec\": %.1f, \"latency_p50_ms\": %.3f, "
                  "\"latency_p99_ms\": %.3f, \"backpressure_retries\": "
-                 "%llu}%s\n",
+                 "%llu, \"traces_completed\": %zu,\n"
+                 "     \"stages\": {"
+                 "\"enqueue_wait\": {\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+                 "\"count\": %zu}, "
+                 "\"apply\": {\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+                 "\"count\": %zu}, "
+                 "\"checkpoint\": {\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+                 "\"count\": %zu}}}%s\n",
                  rows[i].name, rows[i].shards,
-                 ThreadPool::Resolve(rows[i].threads_per_shard),
-                 results[i].seconds, results[i].docs_per_sec,
-                 results[i].p50_ms, results[i].p99_ms,
-                 static_cast<unsigned long long>(results[i].retries),
+                 ThreadPool::Resolve(rows[i].threads_per_shard), r.seconds,
+                 r.docs_per_sec, r.p50_ms, r.p99_ms,
+                 static_cast<unsigned long long>(r.retries),
+                 r.traces_completed, r.enqueue_wait.p50_ms,
+                 r.enqueue_wait.p99_ms, r.enqueue_wait.count, r.apply.p50_ms,
+                 r.apply.p99_ms, r.apply.count, r.checkpoint.p50_ms,
+                 r.checkpoint.p99_ms, r.checkpoint.count,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n");
@@ -368,6 +448,23 @@ int Main() {
   }
   std::printf("\n");
   table.Print(std::cout);
+
+  // Where each layout spends its latency: queue wait vs worker apply vs
+  // checkpoint rotation, from the per-batch request traces.
+  std::printf("\nper-stage latency from request traces (ms):\n");
+  TablePrinter stages({"config", "traces", "enq-wait p50", "enq-wait p99",
+                       "apply p50", "apply p99", "ckpt p50", "ckpt p99",
+                       "ckpts"});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const RowResult& r = results[i];
+    stages.AddRow({rows[i].name, std::to_string(r.traces_completed),
+                   Fmt(r.enqueue_wait.p50_ms, 2),
+                   Fmt(r.enqueue_wait.p99_ms, 2), Fmt(r.apply.p50_ms, 2),
+                   Fmt(r.apply.p99_ms, 2), Fmt(r.checkpoint.p50_ms, 2),
+                   Fmt(r.checkpoint.p99_ms, 2),
+                   std::to_string(r.checkpoint.count)});
+  }
+  stages.Print(std::cout);
 
   bool identical = true;
   for (const RowResult& r : results) identical &= r.identical;

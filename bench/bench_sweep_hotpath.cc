@@ -22,8 +22,9 @@
 //
 // It also measures the observability overhead: the same clustering run
 // with the full telemetry stack attached (MetricsRegistry, Tracer,
-// EventLog, PhaseProfiler, ProvenanceLog, TimeSeriesStore) vs the default
-// null registry (median of paired back-to-back repetitions).
+// EventLog, PhaseProfiler, ProvenanceLog, TimeSeriesStore, RequestTracer,
+// SloEngine) vs the default null registry (median of paired back-to-back
+// repetitions).
 //
 // Env knobs:
 //   NIDC_SWEEP_SCALE   corpus scale (1.0 = paper-scale 7,578 docs)
@@ -59,6 +60,8 @@
 #include "nidc/obs/metrics.h"
 #include "nidc/obs/profiler.h"
 #include "nidc/obs/provenance.h"
+#include "nidc/obs/reqtrace.h"
+#include "nidc/obs/slo.h"
 #include "nidc/obs/timeseries.h"
 #include "nidc/obs/trace.h"
 #include "nidc/util/thread_pool.h"
@@ -115,8 +118,9 @@ void ApplyConfig(const Config& config, ExtendedKMeansOptions* kmeans) {
 
 // Instrumented-vs-null overhead of the *full* observability stack on the
 // fast configuration: a registry, tracer, event log, phase profiler,
-// provenance log and time-series store all attached (with a post-run
-// ObserveStep, as the stream driver issues), against everything null.
+// provenance log, time-series store, request tracer and SLO engine all
+// attached (with a post-run ObserveStep and a per-step request trace +
+// SLO evaluation, as the stream driver issues), against everything null.
 // The telemetry objects are constructed once and live across all
 // repetitions, exactly like a long-running stream: the gate measures the
 // steady-state per-step cost, not the one-time ring/series allocations a
@@ -155,6 +159,18 @@ double MeasureInstrumentationOverhead(const ForgettingModel& model,
   ts_options.metrics = &registry;
   ts_options.events = &events;
   obs::TimeSeriesStore timeseries(ts_options);
+  obs::SloEngine::Options slo_options;
+  slo_options.metrics = &registry;
+  slo_options.events = &events;
+  obs::SloEngine slo(slo_options);
+  obs::RequestTracer::Options reqtrace_options;
+  reqtrace_options.metrics = &registry;
+  reqtrace_options.on_complete = [&slo](const std::string& tenant,
+                                        double e2e_seconds,
+                                        double now_seconds) {
+    slo.ObserveLatency(tenant, e2e_seconds, now_seconds);
+  };
+  obs::RequestTracer reqtracer(reqtrace_options);
   uint64_t step = 0;
   const auto run_once = [&](bool instrumented) {
     ExtendedKMeansOptions options = kmeans;
@@ -166,8 +182,28 @@ double MeasureInstrumentationOverhead(const ForgettingModel& model,
                                                              : nullptr);
     if (instrumented) profiler.SetStep(step);
     Stopwatch timer;
-    auto result = RunExtendedKMeans(ctx, docs, options);
-    if (instrumented) timeseries.ObserveStep(step++);
+    // Per-step request trace, stamped exactly like the stream driver's:
+    // mint + begin + ingest/window-close, scope the step, complete it.
+    obs::TraceContext req_trace;
+    if (instrumented) {
+      req_trace = reqtracer.Mint();
+      reqtracer.Begin(req_trace, "bench");
+      reqtracer.RecordStage(req_trace, obs::Stage::kIngest);
+      reqtracer.RecordStage(req_trace, obs::Stage::kWindowClose);
+    }
+    Result<ClusteringResult> result = [&] {
+      obs::RequestTracer::StepScope scope(
+          instrumented ? &reqtracer : nullptr,
+          instrumented ? std::vector<obs::TraceContext>{req_trace}
+                       : std::vector<obs::TraceContext>{});
+      return RunExtendedKMeans(ctx, docs, options);
+    }();
+    if (instrumented) {
+      reqtracer.RecordStage(req_trace, obs::Stage::kStep);
+      timeseries.ObserveStep(step);
+      slo.Evaluate(obs::RequestTracer::NowSeconds());
+      ++step;
+    }
     const double seconds = timer.ElapsedSeconds();
     if (!result.ok()) {
       std::fprintf(stderr, "overhead run failed: %s\n",

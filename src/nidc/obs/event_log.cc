@@ -35,6 +35,8 @@ const char* EventTypeName(EventType type) {
       return "wal_rotated";
     case EventType::kMetricAnomaly:
       return "metric_anomaly";
+    case EventType::kSloBurn:
+      return "slo_burn";
   }
   return "unknown";
 }
@@ -60,6 +62,11 @@ std::string RenderEventJson(const Event& event) {
     record.Add("metric", event.label)
         .Add("value", event.value)
         .Add("zscore", event.zscore);
+  }
+  if (event.type == EventType::kSloBurn) {
+    record.Add("slo", event.label)
+        .Add("burn_rate", event.value)
+        .Add("threshold", event.zscore);
   }
   return record.Render();
 }

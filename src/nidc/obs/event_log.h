@@ -48,6 +48,10 @@ enum class EventType {
   /// obs/timeseries.h); `label` names the series, `value` the offending
   /// sample, `zscore` its deviation.
   kMetricAnomaly,
+  /// An SLO burn-rate pair crossed its alerting threshold (see
+  /// obs/slo.h); `label` is "tenant/objective/speed", `value` the burn
+  /// rate, `zscore` the threshold it crossed.
+  kSloBurn,
 };
 
 /// Stable lower_snake_case name of an event type (the JSON `type` field).

@@ -1,0 +1,164 @@
+// Per-tenant service-level objectives with multi-window burn-rate
+// alerting.
+//
+// Two objectives per tenant, both declarative:
+//   * latency — the fraction of documents whose enqueue-to-applied
+//     latency stays under a threshold (fed by the request tracer's
+//     completion callback);
+//   * availability — the fraction of `/ingest` responses that are not
+//     429/503 (fed by the HTTP front door per response).
+//
+// Each signal is counted good/bad into two wall-clock bucket rings — a
+// fine ring covering the fast windows (5m / 1h) and a coarse ring
+// covering the slow windows (6h / 3d) — and evaluated Google-SRE style:
+// burn rate = (bad fraction) / (error budget), alerting when BOTH
+// windows of a pair exceed the pair's threshold (fast ~14.4x: 2% of a
+// 30-day budget in an hour; slow ~6x: 10% in 6 hours). Requiring both
+// windows keeps a burst from paging (the long window vetoes) while a
+// sustained burn still pages fast.
+//
+// On the not-burning -> burning edge the engine emits an `slo_burn`
+// event into the event log (label = "tenant/objective/speed", value =
+// the burn rate); `/healthz` surfaces the burning set as detail fields
+// and `/slosz` serves the full per-tenant evaluation. Window lengths are
+// configurable so tests (and the CI smoke) can compress days into
+// milliseconds; time always enters through an explicit `now` so clocks
+// are the caller's business.
+
+#ifndef NIDC_OBS_SLO_H_
+#define NIDC_OBS_SLO_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "nidc/obs/event_log.h"
+#include "nidc/obs/metrics.h"
+
+namespace nidc::obs {
+
+/// One tenant's declarative objectives. Targets are fractions of good
+/// events; the error budget is 1 - target.
+struct SloObjective {
+  /// A document is "good" when enqueue-to-applied stays under this.
+  double latency_threshold_seconds = 1.0;
+  double latency_target = 0.999;
+  /// An ingest response is "good" when it is not a 429/503.
+  double availability_target = 0.999;
+};
+
+/// One evaluated objective window pair.
+struct SloBurn {
+  std::string tenant;
+  std::string objective;  ///< "latency" | "availability"
+  double fast_short_burn = 0.0;  ///< e.g. 5m window
+  double fast_long_burn = 0.0;   ///< e.g. 1h window
+  double slow_short_burn = 0.0;  ///< e.g. 6h window
+  double slow_long_burn = 0.0;   ///< e.g. 3d window
+  bool burning = false;
+  uint64_t good = 0;  ///< slow-long window totals, for context
+  uint64_t bad = 0;
+};
+
+class SloEngine {
+ public:
+  struct Options {
+    SloObjective default_objective;
+    /// Window lengths, seconds. Defaults: 5m/1h fast, 6h/3d slow.
+    double fast_short_seconds = 300.0;
+    double fast_long_seconds = 3600.0;
+    double slow_short_seconds = 6.0 * 3600.0;
+    double slow_long_seconds = 3.0 * 24.0 * 3600.0;
+    /// Burn-rate thresholds; a pair alerts when BOTH its windows exceed.
+    double fast_burn_threshold = 14.4;
+    double slow_burn_threshold = 6.0;
+    /// When supplied, the engine eagerly registers the `slo.*` family.
+    MetricsRegistry* metrics = nullptr;
+    /// When supplied, burning edges emit `slo_burn` events.
+    EventLog* events = nullptr;
+  };
+
+  SloEngine();
+  explicit SloEngine(Options options);
+
+  SloEngine(const SloEngine&) = delete;
+  SloEngine& operator=(const SloEngine&) = delete;
+
+  /// Overrides the default objective for one tenant.
+  void SetObjective(const std::string& tenant,
+                    const SloObjective& objective);
+
+  /// Latency feed: one completed document pipeline (the request
+  /// tracer's on_complete callback calls this).
+  void ObserveLatency(const std::string& tenant, double e2e_seconds,
+                      double now_seconds);
+
+  /// Availability feed: one ingest response; `ok` = not 429/503.
+  void ObserveRequest(const std::string& tenant, bool ok,
+                      double now_seconds);
+
+  /// Evaluates every (tenant, objective) pair, emits `slo_burn` events
+  /// on not-burning -> burning edges, and updates the `slo.*` gauges.
+  std::vector<SloBurn> Evaluate(double now_seconds);
+
+  /// Tenants with at least one burning objective, sorted (evaluates).
+  std::vector<std::string> BurningTenants(double now_seconds);
+
+  /// `/slosz` JSON (evaluates).
+  std::string RenderJson(double now_seconds);
+
+  uint64_t burn_events() const;
+
+ private:
+  /// good/bad counts bucketed by wall-clock time: ring[i] covers
+  /// [epoch * width, (epoch + 1) * width) for epoch % size == i.
+  struct BucketRing {
+    double width = 1.0;
+    std::vector<uint64_t> epochs;
+    std::vector<uint64_t> good;
+    std::vector<uint64_t> bad;
+
+    void Init(double bucket_width, size_t buckets);
+    void Observe(double now, bool is_good);
+    /// Sums over the trailing `window` seconds ending at `now`.
+    void WindowCounts(double now, double window, uint64_t* good_out,
+                      uint64_t* bad_out) const;
+  };
+
+  struct Signal {
+    BucketRing fine;    // covers the fast-long window
+    BucketRing coarse;  // covers the slow-long window
+    bool burning = false;
+  };
+
+  struct TenantState {
+    SloObjective objective;
+    bool has_override = false;
+    Signal latency;
+    Signal availability;
+  };
+
+  TenantState& TenantLocked(const std::string& tenant);
+  SloBurn EvaluateSignalLocked(const std::string& tenant,
+                               const char* objective, Signal* signal,
+                               double error_budget, double now);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, TenantState> tenants_;
+  uint64_t burn_events_ = 0;
+
+  Counter* evaluations_counter_ = nullptr;
+  Counter* burn_counter_ = nullptr;
+  Counter* latency_counter_ = nullptr;
+  Counter* requests_counter_ = nullptr;
+  Counter* bad_counter_ = nullptr;
+  Gauge* burning_gauge_ = nullptr;
+  Gauge* objectives_gauge_ = nullptr;
+};
+
+}  // namespace nidc::obs
+
+#endif  // NIDC_OBS_SLO_H_

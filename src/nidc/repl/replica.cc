@@ -222,6 +222,12 @@ Status ReplicaClusterer::ApplyWalRecordLocked(const ReplFrame& frame) {
   ++applied_sequence_;
   ++counters_.records_applied;
   BumpLocked("repl.follower.records_applied");
+  if (replica_.tracer != nullptr) {
+    // Stamps the apply stage for whichever traces the leader's shipper
+    // registered under this watermark (in-process only; the tracer has
+    // its own lock and never calls back into the replica).
+    replica_.tracer->RecordApplied(frame.generation, frame.sequence);
+  }
   return Status::OK();
 }
 

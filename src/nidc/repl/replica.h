@@ -63,6 +63,13 @@ struct ReplicaOptions {
 
   /// "repl.*" follower counters/gauges; null disables them.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Request tracer; null disables stage stamping. A successful record
+  /// apply stamps the apply stage for the traces the (in-process)
+  /// leader's shipper registered under the same (generation, sequence)
+  /// watermark; a cross-process follower has no registrations and the
+  /// stamp is a no-op.
+  obs::RequestTracer* tracer = nullptr;
 };
 
 /// Follower watermark + lag snapshot (all fields are consistent with each

@@ -38,6 +38,12 @@ WalShipper::~WalShipper() {
 void WalShipper::OnWalRecord(uint64_t generation, uint64_t sequence,
                              uint64_t leader_steps,
                              std::string_view payload) {
+  if (options_.tracer != nullptr) {
+    // On the step thread, before taking mu_: the tracer has its own
+    // locking and must not nest inside the shipper's.
+    options_.tracer->RecordActive(obs::Stage::kShip);
+    options_.tracer->RegisterShipment(generation, sequence);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   current_generation_ = generation;
   current_records_ = sequence;

@@ -79,6 +79,12 @@ struct ShipperOptions {
   /// >= 1; beyond it the oldest records are dropped and late followers
   /// fall back to snapshot catch-up at the next rotation.
   size_t max_queue_records = 1024;
+
+  /// Request tracer; null disables stage stamping. OnWalRecord stamps
+  /// the ship stage for the step thread's scoped traces and registers
+  /// them under the (generation, sequence) watermark so an in-process
+  /// follower can stamp apply (see obs/reqtrace.h).
+  obs::RequestTracer* tracer = nullptr;
 };
 
 struct ShipperStats {

@@ -369,6 +369,7 @@ bool HttpServer::ServeOneRequest(int fd, std::string* buffer,
   const size_t body_offset = BodyOffset(*buffer);
   const std::string head = buffer->substr(0, body_offset);
   parsed_head = ParseRequestLine(head, &request, &version);
+  if (parsed_head) request.traceparent = HeaderValue(head, "traceparent");
 
   if (!parsed_head) {
     response.status = 400;

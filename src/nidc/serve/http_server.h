@@ -58,6 +58,9 @@ struct HttpRequest {
   std::string path;    ///< Path component, without the query string.
   std::string query;   ///< Raw query string ("" when absent).
   std::string body;    ///< POST body ("" for GET).
+  /// Raw `traceparent` header value ("" when absent) — the W3C trace
+  /// context the ingest front door propagates (see obs/reqtrace.h).
+  std::string traceparent;
 };
 
 /// What a handler returns; the server adds the status line and framing

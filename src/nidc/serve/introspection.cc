@@ -183,6 +183,21 @@ std::string RenderHealthJson(const IntrospectionOptions& options,
     builder.Add("status", "ok");
     builder.Add("role", "standalone");
   }
+  if (options.slo != nullptr) {
+    // Burning budgets are a paging signal, not a liveness one — detail
+    // fields only, never the 503 verdict.
+    std::string burning = "[";
+    bool first = true;
+    for (const std::string& tenant :
+         options.slo->BurningTenants(obs::RequestTracer::NowSeconds())) {
+      if (!first) burning += ",";
+      first = false;
+      burning += "\"" + obs::JsonEscape(tenant) + "\"";
+    }
+    burning += "]";
+    builder.Add("slo_burning", !first);
+    builder.AddRaw("slo_burning_tenants", burning);
+  }
   if (healthy != nullptr) *healthy = ok;
   return builder.Render();
 }
@@ -275,6 +290,9 @@ std::string RenderStatusJson(const IntrospectionOptions& options) {
   }
   if (options.metrics != nullptr) {
     builder.AddRaw("rep_index", RenderRepIndexSection(options.metrics));
+  }
+  if (options.tracer != nullptr) {
+    builder.AddRaw("pipeline", options.tracer->RenderWaterfallJson());
   }
   return builder.Render();
 }
@@ -417,6 +435,28 @@ void RegisterIntrospectionEndpoints(HttpServer* server,
       builder.Add("capacity", static_cast<uint64_t>(provenance->capacity()));
       builder.AddRaw("recent", RenderJsonArray(rendered));
       return JsonResponse(200, builder.Render());
+    });
+  }
+  if (options.tracer != nullptr) {
+    obs::RequestTracer* tracer = options.tracer;
+    server->Handle("/tracez", [tracer](const HttpRequest& request) {
+      const std::string trace =
+          ParseStringParam(request.query, "trace").value_or("");
+      const std::string tenant =
+          ParseStringParam(request.query, "tenant").value_or("");
+      const size_t n = std::max<size_t>(
+          1, std::min<size_t>(256, ParseCountParam(request.query, 20)));
+      const std::string json = tracer->RenderTracezJson(trace, tenant, n);
+      const int status =
+          !trace.empty() && json.rfind("{\"error\"", 0) == 0 ? 404 : 200;
+      return JsonResponse(status, json);
+    });
+  }
+  if (options.slo != nullptr) {
+    obs::SloEngine* slo = options.slo;
+    server->Handle("/slosz", [slo](const HttpRequest&) {
+      return JsonResponse(200,
+                          slo->RenderJson(obs::RequestTracer::NowSeconds()));
     });
   }
 }

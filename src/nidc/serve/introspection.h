@@ -23,7 +23,11 @@
 //                   `?format=chrome` trace-event JSON;
 //   GET /explainz — decision provenance (obs/provenance.h): `?doc=ID`
 //                   answers why a document landed where it did; without
-//                   a doc the log summary plus the `?n=` newest records.
+//                   a doc the log summary plus the `?n=` newest records;
+//   GET /tracez   — request traces (obs/reqtrace.h): `?trace=ID` one
+//                   trace's stage waterfall, `?tenant=T&n=K` recent
+//                   completed traces, bare the aggregate stage summary;
+//   GET /slosz    — per-tenant SLO burn-rate evaluation (obs/slo.h).
 //
 // The pipeline side of the contract is StatusBoard: the driver calls
 // RecordStep after every completed step (and RecordDurability after each
@@ -43,6 +47,8 @@
 #include "nidc/obs/metrics.h"
 #include "nidc/obs/profiler.h"
 #include "nidc/obs/provenance.h"
+#include "nidc/obs/reqtrace.h"
+#include "nidc/obs/slo.h"
 #include "nidc/obs/timeseries.h"
 #include "nidc/serve/http_server.h"
 
@@ -144,6 +150,14 @@ struct IntrospectionOptions {
   const obs::PhaseProfiler* profiler = nullptr;
   /// /explainz source; null leaves the endpoint unregistered.
   const obs::ProvenanceLog* provenance = nullptr;
+  /// /tracez source (non-const: reading folds the stage-event ring);
+  /// null leaves the endpoint unregistered. Also adds the aggregate
+  /// stage waterfall to /statusz.
+  obs::RequestTracer* tracer = nullptr;
+  /// /slosz source (non-const: reading evaluates the burn rates); null
+  /// leaves the endpoint unregistered. Also adds burning-tenant detail
+  /// fields to /healthz.
+  obs::SloEngine* slo = nullptr;
   /// /healthz turns 503 when the last step is older than this.
   double stale_after_seconds = 600.0;
   /// Default (and maximum) event count served by /eventsz.

@@ -48,15 +48,17 @@ serve::HttpResponse JsonResponse(int status, const std::string& json) {
   return response;
 }
 
-serve::HttpResponse ErrorResponse(const Status& status) {
+serve::HttpResponse ErrorResponse(const Status& status,
+                                  int retry_after_seconds = 1) {
   obs::JsonObjectBuilder builder;
   builder.Add("error", status.ToString());
   serve::HttpResponse response =
       JsonResponse(HttpStatusFor(status), builder.Render());
   if (response.status == 429) {
-    // The queue drains at step cadence; a one-second backoff is the
-    // documented contract (docs/serving.md).
-    response.extra_headers.emplace_back("Retry-After", "1");
+    // Derived from the owning shard's recent queue drain rate when the
+    // caller has one (ShardService::RetryAfterHintSeconds); 1 otherwise.
+    response.extra_headers.emplace_back(
+        "Retry-After", std::to_string(retry_after_seconds));
   }
   return response;
 }
@@ -68,7 +70,8 @@ serve::HttpResponse MethodNotAllowed() {
   return response;
 }
 
-std::string TenantListJson(ShardService* service) {
+std::string TenantListJson(ShardService* service,
+                           obs::RequestTracer* tracer = nullptr) {
   std::string tenants = "[";
   bool first = true;
   for (const TenantInfo& info : service->Tenants()) {
@@ -98,6 +101,10 @@ std::string TenantListJson(ShardService* service) {
               static_cast<uint64_t>(service->threads_per_shard()));
   builder.AddRaw("queue_depths", queues);
   builder.AddRaw("tenants", tenants);
+  if (tracer != nullptr) {
+    // The aggregate per-tenant stage waterfall (the /statusz view).
+    builder.AddRaw("pipeline", tracer->RenderWaterfallJson());
+  }
   return builder.Render();
 }
 
@@ -121,8 +128,10 @@ int HttpStatusFor(const Status& status) {
 }
 
 void RegisterShardHandlers(serve::HttpServer* server, ShardService* service,
-                           const TenantConfig& default_config) {
-  server->Handle("/ingest", [service](const serve::HttpRequest& request) {
+                           const TenantConfig& default_config,
+                           obs::RequestTracer* tracer, obs::SloEngine* slo) {
+  server->Handle("/ingest", [service, tracer,
+                             slo](const serve::HttpRequest& request) {
     if (request.method != "POST") return MethodNotAllowed();
     const std::optional<std::string> tenant =
         QueryParam(request.query, "tenant");
@@ -130,20 +139,44 @@ void RegisterShardHandlers(serve::HttpServer* server, ShardService* service,
       return ErrorResponse(
           Status::InvalidArgument("POST /ingest requires ?tenant="));
     }
+    // Every response with a tenant feeds the availability objective;
+    // good = not pushed back (429) and not failing (503).
+    auto observe = [&](int http_status) {
+      if (slo != nullptr) {
+        slo->ObserveRequest(*tenant, http_status != 429 && http_status != 503,
+                            obs::RequestTracer::NowSeconds());
+      }
+    };
     Result<std::vector<RawDocument>> docs =
         ParseIngestJsonl(request.body);
-    if (!docs.ok()) return ErrorResponse(docs.status());
+    if (!docs.ok()) {
+      observe(HttpStatusFor(docs.status()));
+      return ErrorResponse(docs.status());
+    }
+    obs::TraceContext trace;
+    if (tracer != nullptr) {
+      // Accept the caller's W3C traceparent; mint when absent/malformed.
+      trace = obs::TraceContext::FromTraceparent(request.traceparent);
+      if (!trace.valid()) trace = tracer->Mint();
+      tracer->Begin(trace, *tenant);
+      tracer->RecordStage(trace, obs::Stage::kIngest);
+    }
     const size_t accepted = docs->size();
     if (Status enqueued =
-            service->EnqueueIngest(*tenant, std::move(docs).value());
+            service->EnqueueIngest(*tenant, std::move(docs).value(), trace);
         !enqueued.ok()) {
-      return ErrorResponse(enqueued);
+      observe(HttpStatusFor(enqueued));
+      return ErrorResponse(
+          enqueued,
+          service->RetryAfterHintSeconds(service->ShardOf(*tenant)));
     }
+    observe(202);
     obs::JsonObjectBuilder builder;
     builder.Add("tenant", *tenant);
     builder.Add("accepted", static_cast<uint64_t>(accepted));
     builder.Add("queued",
                 static_cast<uint64_t>(service->TotalQueueDepth()));
+    if (trace.valid()) builder.Add("trace", trace.ToHex());
     return JsonResponse(202, builder.Render());
   });
 
@@ -220,11 +253,12 @@ void RegisterShardHandlers(serve::HttpServer* server, ShardService* service,
     return response;
   });
 
-  server->Handle("/statusz", [service](const serve::HttpRequest& request) {
+  server->Handle("/statusz", [service,
+                              tracer](const serve::HttpRequest& request) {
     const std::string tenant =
         QueryParam(request.query, "tenant").value_or("");
     if (tenant.empty()) {
-      return JsonResponse(200, TenantListJson(service));
+      return JsonResponse(200, TenantListJson(service, tracer));
     }
     std::shared_ptr<Tenant> entry = service->GetTenant(tenant);
     if (entry == nullptr) {
@@ -238,7 +272,7 @@ void RegisterShardHandlers(serve::HttpServer* server, ShardService* service,
     return JsonResponse(200, serve::RenderStatusJson(options));
   });
 
-  server->Handle("/healthz", [service](const serve::HttpRequest&) {
+  server->Handle("/healthz", [service, slo](const serve::HttpRequest&) {
     size_t failed = 0;
     std::string failed_names = "[";
     const std::vector<TenantInfo> tenants = service->Tenants();
@@ -257,6 +291,21 @@ void RegisterShardHandlers(serve::HttpServer* server, ShardService* service,
     builder.Add("queued_batches",
                 static_cast<uint64_t>(service->TotalQueueDepth()));
     builder.AddRaw("failed_tenants", failed_names);
+    if (slo != nullptr) {
+      // SLO burn is a detail field, not a liveness signal: a burning
+      // budget wants paging, not a load balancer pulling the instance.
+      std::string burning = "[";
+      bool first = true;
+      for (const std::string& name :
+           slo->BurningTenants(obs::RequestTracer::NowSeconds())) {
+        if (!first) burning += ",";
+        first = false;
+        burning += "\"" + obs::JsonEscape(name) + "\"";
+      }
+      burning += "]";
+      builder.Add("slo_burning", !first);
+      builder.AddRaw("slo_burning_tenants", burning);
+    }
     return JsonResponse(failed == 0 ? 200 : 503, builder.Render());
   });
 
@@ -281,6 +330,39 @@ void RegisterShardHandlers(serve::HttpServer* server, ShardService* service,
   server->Handle("/metricsz", [service](const serve::HttpRequest&) {
     return JsonResponse(
         200, obs::RenderMetricsJson(service->metrics()->Snapshot()));
+  });
+
+  server->Handle("/tracez", [tracer](const serve::HttpRequest& request) {
+    if (request.method != "GET") return MethodNotAllowed();
+    if (tracer == nullptr) {
+      return ErrorResponse(
+          Status::FailedPrecondition("request tracing is disabled"));
+    }
+    const std::string trace =
+        QueryParam(request.query, "trace").value_or("");
+    const std::string tenant =
+        QueryParam(request.query, "tenant").value_or("");
+    size_t n = 20;
+    if (const std::optional<double> v = QueryNumber(request.query, "n");
+        v.has_value() && *v >= 1.0) {
+      n = static_cast<size_t>(*v);
+    }
+    const std::string json = tracer->RenderTracezJson(trace, tenant, n);
+    // The one-trace lookup renders {"error": ...} when the id is unknown
+    // or no longer retained.
+    const int status =
+        !trace.empty() && json.rfind("{\"error\"", 0) == 0 ? 404 : 200;
+    return JsonResponse(status, json);
+  });
+
+  server->Handle("/slosz", [slo](const serve::HttpRequest& request) {
+    if (request.method != "GET") return MethodNotAllowed();
+    if (slo == nullptr) {
+      return ErrorResponse(
+          Status::FailedPrecondition("SLO engine is disabled"));
+    }
+    return JsonResponse(
+        200, slo->RenderJson(obs::RequestTracer::NowSeconds()));
   });
 }
 

@@ -22,11 +22,26 @@
 //       shard.* families);
 //   GET  /metricsz             — the server-wide registry as one JSON
 //       object (RenderMetricsJson), consumed by
-//       `nidc_metrics_check --shard-snapshot`.
+//       `nidc_metrics_check --shard-snapshot`;
+//   GET  /tracez               — request-trace introspection (when a
+//       tracer is wired): ?trace=ID one trace's stage waterfall,
+//       ?tenant=T&n=K a tenant's recent completed traces, bare the
+//       aggregate per-stage summary plus recent traces;
+//   GET  /slosz                — per-tenant SLO burn-rate evaluation
+//       (when an SLO engine is wired).
+//
+// With a tracer, POST /ingest accepts a W3C `traceparent` header (minting
+// a fresh trace id when absent or malformed), stamps the ingest stage,
+// and echoes the trace id in the 202 body. With an SLO engine, every
+// /ingest response feeds the availability objective (good = not 429/503)
+// and /healthz carries the burning-tenant detail fields. 429 responses
+// derive Retry-After from the owning shard's recent queue drain rate.
 
 #ifndef NIDC_SHARD_HTTP_H_
 #define NIDC_SHARD_HTTP_H_
 
+#include "nidc/obs/reqtrace.h"
+#include "nidc/obs/slo.h"
 #include "nidc/serve/http_server.h"
 #include "nidc/shard/service.h"
 
@@ -34,9 +49,13 @@ namespace nidc::shard {
 
 /// Registers every endpoint above on `server`. `default_config` seeds
 /// op=create (query parameters override individual fields). Call before
-/// HttpServer::Start; `service` must outlive the server.
+/// HttpServer::Start; `service` (and, when supplied, `tracer` and `slo`)
+/// must outlive the server. Null tracer/slo disable the corresponding
+/// endpoints (they answer 503).
 void RegisterShardHandlers(serve::HttpServer* server, ShardService* service,
-                           const TenantConfig& default_config);
+                           const TenantConfig& default_config,
+                           obs::RequestTracer* tracer = nullptr,
+                           obs::SloEngine* slo = nullptr);
 
 /// Maps a service Status to the HTTP status the handlers answer with
 /// (OutOfRange → 429, NotFound → 404, AlreadyExists → 409, ...).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <future>
 
 namespace nidc::shard {
@@ -15,6 +16,11 @@ constexpr size_t kMaxLatencySamples = 1 << 20;
 const std::vector<double> kLatencyBucketsSeconds = {
     0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
     0.1,    0.25,  0.5,    1.0,   2.5,  5.0,   10.0};
+
+// Completion timestamps retained per shard for the Retry-After drain-rate
+// estimate; 32 spans enough history to smooth bursts without remembering
+// a stale rate for long.
+constexpr size_t kMaxCompletionSamples = 32;
 
 }  // namespace
 
@@ -134,6 +140,7 @@ TenantRuntime ShardService::MakeRuntime() const {
   runtime.wal_sync = options_.wal_sync;
   runtime.kmeans_threads = threads_per_shard_;
   runtime.shared_metrics = metrics_;
+  runtime.tracer = options_.tracer;
   return runtime;
 }
 
@@ -165,33 +172,68 @@ void ShardService::WorkerLoop(size_t shard_index) {
       depth_gauge->Set(static_cast<double>(shard.ingest_pending));
     }
     if (job.is_ingest) {
-      RunIngestJob(job);
+      if (options_.tracer != nullptr && job.trace.valid()) {
+        options_.tracer->RecordStage(job.trace, obs::Stage::kDequeue);
+      }
+      RunIngestJob(shard_index, job);
     } else {
       job.call();
     }
   }
 }
 
-void ShardService::RunIngestJob(Job& job) {
+void ShardService::RunIngestJob(size_t shard_index, Job& job) {
   std::shared_ptr<Tenant> tenant = GetTenant(job.tenant);
   Status status = tenant == nullptr
                       ? Status::NotFound("tenant evicted before ingest ran")
-                      : tenant->Ingest(job.docs);
+                      : tenant->Ingest(job.docs, job.trace);
   if (!status.ok()) {
     metrics_->GetCounter(tenant == nullptr ? "shard.ingest.dropped"
                                            : "shard.ingest.failed")
         ->Increment();
   }
-  const double latency = NowSeconds() - job.enqueued_seconds;
+  const double done = NowSeconds();
+  const double latency = done - job.enqueued_seconds;
   metrics_
       ->GetHistogram("shard.ingest.latency_seconds", kLatencyBucketsSeconds)
       ->Observe(latency);
+  {
+    Shard& shard = *shards_[shard_index];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.completion_seconds.push_back(done);
+    while (shard.completion_seconds.size() > kMaxCompletionSamples) {
+      shard.completion_seconds.pop_front();
+    }
+  }
   std::lock_guard<std::mutex> lock(samples_mu_);
   if (latency_samples_.size() >= kMaxLatencySamples) {
     latency_samples_.erase(latency_samples_.begin(),
                            latency_samples_.begin() + kMaxLatencySamples / 2);
   }
   latency_samples_.push_back(latency);
+}
+
+int ShardService::RetryAfterHintSeconds(size_t shard_index) const {
+  if (shard_index >= shards_.size()) return 1;
+  const Shard& shard = *shards_[shard_index];
+  size_t pending;
+  double span;
+  size_t completions;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    pending = shard.ingest_pending;
+    completions = shard.completion_seconds.size();
+    span = completions >= 2 ? shard.completion_seconds.back() -
+                                  shard.completion_seconds.front()
+                            : 0.0;
+  }
+  // Too little history (or all completions inside one tick) to estimate a
+  // rate: keep the old one-second contract.
+  if (completions < 2 || span <= 0.0) return 1;
+  const double rate = static_cast<double>(completions - 1) / span;
+  const double wait = static_cast<double>(pending) / rate;
+  const double clamped = std::min(30.0, std::max(1.0, std::ceil(wait)));
+  return static_cast<int>(clamped);
 }
 
 Status ShardService::RunOnShard(size_t shard_index,
@@ -288,7 +330,8 @@ Status ShardService::EvictTenant(const std::string& name) {
 }
 
 Status ShardService::EnqueueIngest(const std::string& name,
-                                   std::vector<RawDocument> docs) {
+                                   std::vector<RawDocument> docs,
+                                   obs::TraceContext trace) {
   size_t shard_index;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -319,6 +362,7 @@ Status ShardService::EnqueueIngest(const std::string& name,
     job.tenant = name;
     job.docs = std::move(docs);
     job.enqueued_seconds = NowSeconds();
+    job.trace = trace;
     shard.queue.push_back(std::move(job));
     ++shard.ingest_pending;
     metrics_->GetGauge("shard.queue." + std::to_string(shard_index) +
@@ -326,6 +370,9 @@ Status ShardService::EnqueueIngest(const std::string& name,
         ->Set(static_cast<double>(shard.ingest_pending));
     metrics_->GetCounter("shard.ingest.batches")->Increment();
     shard.cv.notify_one();
+  }
+  if (options_.tracer != nullptr && trace.valid()) {
+    options_.tracer->RecordStage(trace, obs::Stage::kEnqueue);
   }
   return Status::OK();
 }

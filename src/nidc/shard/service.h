@@ -38,6 +38,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "nidc/obs/reqtrace.h"
 #include "nidc/shard/tenant.h"
 
 namespace nidc::shard {
@@ -60,6 +61,10 @@ struct ShardServiceOptions {
   /// `shard.*` family sink shared with the HTTP server; null = the
   /// service owns a private registry (exposed via metrics()).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Process-wide request tracer; null disables stage stamping. The
+  /// service stamps enqueue/dequeue and hands the tracer down to every
+  /// tenant (window close, WAL commit, step, checkpoint, ship, apply).
+  obs::RequestTracer* tracer = nullptr;
 };
 
 /// Summary row of one tenant, safe to read from any thread.
@@ -102,8 +107,11 @@ class ShardService {
   /// Asynchronously ingests one batch on the tenant's shard. OutOfRange
   /// = owning shard queue full (HTTP 429); NotFound = no such tenant;
   /// FailedPrecondition = tenant failed (HTTP 503). `docs` must already
-  /// be parsed/sanitized (ParseIngestJsonl output).
-  Status EnqueueIngest(const std::string& name, std::vector<RawDocument> docs);
+  /// be parsed/sanitized (ParseIngestJsonl output). A valid `trace`
+  /// rides the batch through the pipeline; the enqueue stage is stamped
+  /// here on admission.
+  Status EnqueueIngest(const std::string& name, std::vector<RawDocument> docs,
+                       obs::TraceContext trace = obs::TraceContext());
 
   /// Synchronous per-tenant operations (run on the owning shard).
   Status Flush(const std::string& name, DayTime until);
@@ -129,10 +137,16 @@ class ShardService {
   /// the last call — the capacity benchmark's p50/p99 source.
   std::vector<double> TakeLatencySamples();
 
+  /// Suggested Retry-After (whole seconds, clamped to [1, 30]) for a 429
+  /// on `shard`: pending batches divided by the shard's recent drain
+  /// rate. Falls back to 1 before enough completions have been observed.
+  int RetryAfterHintSeconds(size_t shard) const;
+
   size_t num_shards() const { return shards_.size(); }
   size_t threads_per_shard() const { return threads_per_shard_; }
   const std::string& root() const { return options_.root; }
   obs::MetricsRegistry* metrics() { return metrics_; }
+  obs::RequestTracer* tracer() const { return options_.tracer; }
 
   /// Stable shard assignment of a tenant name.
   size_t ShardOf(const std::string& name) const;
@@ -147,6 +161,7 @@ class ShardService {
     std::string tenant;               // ingest only
     std::vector<RawDocument> docs;    // ingest only
     double enqueued_seconds = 0.0;    // ingest only
+    obs::TraceContext trace;          // ingest only (may be invalid)
     std::function<void()> call;       // control jobs
   };
 
@@ -155,6 +170,9 @@ class ShardService {
     std::condition_variable cv;
     std::deque<Job> queue;
     size_t ingest_pending = 0;  // capacity accounting (ingest jobs only)
+    /// Completion timestamps of recent ingest jobs (bounded), the 429
+    /// Retry-After drain-rate estimate.
+    std::deque<double> completion_seconds;
     bool stopping = false;
     std::thread worker;
   };
@@ -168,7 +186,7 @@ class ShardService {
 
   Status Init();
   void WorkerLoop(size_t shard_index);
-  void RunIngestJob(Job& job);
+  void RunIngestJob(size_t shard_index, Job& job);
   /// Runs `fn` on shard `shard_index` and waits for it.
   Status RunOnShard(size_t shard_index, std::function<Status()> fn);
   TenantRuntime MakeRuntime() const;

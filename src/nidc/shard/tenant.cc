@@ -153,6 +153,7 @@ Status Tenant::Boot(std::unique_ptr<Corpus> corpus, bool fresh) {
   durable.wal_sync = runtime_.wal_sync;
   durable.env = runtime_.env;
   durable.metrics = &metrics_;
+  durable.tracer = runtime_.tracer;
 
   Result<std::unique_ptr<DurableClusterer>> opened = DurableClusterer::Open(
       corpus_.get(), config_.params, options, std::move(durable));
@@ -176,9 +177,19 @@ Status Tenant::Boot(std::unique_ptr<Corpus> corpus, bool fresh) {
         std::max(config_.start_time, durable_->recovery().recovered_now);
     NIDC_RETURN_NOT_OK(batcher_.SeekTo(resume_cursor));
     std::vector<DocumentBatch> closed;
+    std::vector<uint64_t> reprimed;
     for (const Document& doc : corpus_->docs()) {
       if (doc.time < resume_cursor) continue;
       NIDC_RETURN_NOT_OK(batcher_.Add(doc.id, doc.time, &closed));
+      reprimed.push_back(static_cast<uint64_t>(doc.id));
+    }
+    if (runtime_.tracer != nullptr && !reprimed.empty()) {
+      // Traces bound before the crash/evict finish their stage records
+      // through this re-drive; flag them so /tracez shows the resume.
+      for (const obs::TraceContext& trace :
+           runtime_.tracer->TracesForDocs(name_, reprimed)) {
+        runtime_.tracer->MarkResumed(trace);
+      }
     }
     NIDC_RETURN_NOT_OK(StepWindows(closed));
   }
@@ -192,7 +203,8 @@ Status Tenant::Boot(std::unique_ptr<Corpus> corpus, bool fresh) {
   return Status::OK();
 }
 
-Status Tenant::Ingest(const std::vector<RawDocument>& docs) {
+Status Tenant::Ingest(const std::vector<RawDocument>& docs,
+                      const obs::TraceContext& trace) {
   if (closed_) return Status::FailedPrecondition("tenant is closed");
   if (failed_) {
     return Status::FailedPrecondition(
@@ -244,6 +256,9 @@ Status Tenant::Ingest(const std::vector<RawDocument>& docs) {
   for (const RawDocument& doc : sanitized) {
     const DocId id =
         corpus_->AddText(doc.text, doc.time, doc.topic, doc.source);
+    if (runtime_.tracer != nullptr && trace.valid()) {
+      runtime_.tracer->BindDoc(name_, static_cast<uint64_t>(id), trace);
+    }
     // Cannot fail: validation pinned every time at or after the cursor.
     NIDC_RETURN_NOT_OK(batcher_.Add(id, doc.time, &closed));
   }
@@ -276,6 +291,26 @@ Status Tenant::FlushUntil(DayTime until) {
 
 Status Tenant::StepWindows(std::vector<DocumentBatch>& closed) {
   for (DocumentBatch& window : closed) {
+    std::vector<obs::TraceContext> traces;
+    if (runtime_.tracer != nullptr && !window.docs.empty()) {
+      std::vector<uint64_t> ids;
+      ids.reserve(window.docs.size());
+      for (DocId doc : window.docs) {
+        ids.push_back(static_cast<uint64_t>(doc));
+      }
+      traces = runtime_.tracer->TracesForDocs(name_, ids);
+      for (const obs::TraceContext& trace : traces) {
+        runtime_.tracer->RecordStage(trace, obs::Stage::kWindowClose);
+      }
+    }
+    // Scope the window's traces onto this thread so the layers below —
+    // WAL commit, ship, step, checkpoint, (in-process) apply — stamp
+    // their stages without knowing trace ids. (The emptiness check must
+    // not be an argument sibling of the move — argument evaluation order
+    // would race it against the move.)
+    obs::RequestTracer* scope_tracer =
+        traces.empty() ? nullptr : runtime_.tracer;
+    obs::RequestTracer::StepScope scope(scope_tracer, std::move(traces));
     Result<StepResult> result = durable_->Step(window.docs, window.end);
     if (!result.ok()) {
       if (result.status().code() == StatusCode::kFailedPrecondition &&

@@ -36,6 +36,7 @@
 #include "nidc/obs/cluster_health.h"
 #include "nidc/obs/event_log.h"
 #include "nidc/obs/metrics.h"
+#include "nidc/obs/reqtrace.h"
 #include "nidc/serve/introspection.h"
 #include "nidc/store/durable_clusterer.h"
 
@@ -78,6 +79,11 @@ struct TenantRuntime {
   /// disables. Per-tenant pipeline metrics always go to the tenant's own
   /// registry regardless.
   obs::MetricsRegistry* shared_metrics = nullptr;
+  /// Process-wide request tracer; null disables stage stamping. The
+  /// tenant binds ingested documents to their batch's trace, stamps
+  /// window close, and scopes the closing window's traces onto the step
+  /// thread so the durability and replication layers stamp their stages.
+  obs::RequestTracer* tracer = nullptr;
 };
 
 class Tenant {
@@ -104,8 +110,11 @@ class Tenant {
   /// appends to corpus.tsv, syncs, analyzes into the corpus, pushes
   /// through the TimeBatcher and steps every window that closes.
   /// InvalidArgument rejections change nothing; an IOError marks the
-  /// tenant failed (storage in unknown state — evict and reopen).
-  Status Ingest(const std::vector<RawDocument>& docs);
+  /// tenant failed (storage in unknown state — evict and reopen). A
+  /// valid `trace` is bound to every document of the batch so the later
+  /// window close can stamp the remaining pipeline stages.
+  Status Ingest(const std::vector<RawDocument>& docs,
+                const obs::TraceContext& trace = obs::TraceContext());
 
   /// Closes and steps every window up to `until` (final partial window
   /// included), exactly like a DocumentStream replay ending at `until`.

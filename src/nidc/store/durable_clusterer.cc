@@ -142,6 +142,9 @@ Result<StepResult> DurableClusterer::Step(const std::vector<DocId>& new_docs,
   ++records_since_checkpoint_;
   BumpCounter("store.wal_records");
   BumpCounter("store.wal_bytes", wal_->bytes_appended() - bytes_before);
+  if (durable_.tracer != nullptr) {
+    durable_.tracer->RecordActive(obs::Stage::kWalCommit);
+  }
   if (durable_.sink != nullptr) {
     // Ship only after the record is durably appended locally: a follower
     // never holds a record this leader could lose in a crash it survives.
@@ -156,8 +159,14 @@ Result<StepResult> DurableClusterer::Step(const std::vector<DocId>& new_docs,
       result.status().code() != StatusCode::kFailedPrecondition) {
     return result;
   }
+  if (durable_.tracer != nullptr) {
+    durable_.tracer->RecordActive(obs::Stage::kStep);
+  }
   if (records_since_checkpoint_ >= durable_.checkpoint_every) {
     NIDC_RETURN_NOT_OK(Rotate());
+    if (durable_.tracer != nullptr) {
+      durable_.tracer->RecordActive(obs::Stage::kCheckpoint);
+    }
   }
   return result;
 }

@@ -38,6 +38,7 @@
 #include "nidc/store/manifest.h"
 #include "nidc/store/wal.h"
 #include "nidc/obs/metrics.h"
+#include "nidc/obs/reqtrace.h"
 
 namespace nidc {
 
@@ -96,6 +97,12 @@ struct DurableOptions {
   /// Replication hook; null disables shipping. Must outlive the
   /// clusterer. See ReplicationSink for the callback contract.
   ReplicationSink* sink = nullptr;
+
+  /// Request tracer; null disables stage stamping. Step stamps the
+  /// wal_commit / step / checkpoint stages for the traces the caller
+  /// scoped onto the thread (RequestTracer::StepScope) — a pure
+  /// side-channel off the deterministic clustering path.
+  obs::RequestTracer* tracer = nullptr;
 };
 
 /// What Open() found and did while recovering.

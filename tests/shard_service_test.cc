@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "nidc/obs/reqtrace.h"
 #include "nidc/shard/ingest.h"
 #include "nidc/shard/tenant.h"
 
@@ -85,14 +86,15 @@ class ShardServiceTest : public testing::Test {
     return root;
   }
 
-  std::unique_ptr<ShardService> StartService(const std::string& root,
-                                             size_t shards,
-                                             size_t queue_capacity = 64) {
+  std::unique_ptr<ShardService> StartService(
+      const std::string& root, size_t shards, size_t queue_capacity = 64,
+      obs::RequestTracer* tracer = nullptr) {
     ShardServiceOptions options;
     options.root = root;
     options.num_shards = shards;
     options.threads_per_shard = 1;
     options.queue_capacity = queue_capacity;
+    options.tracer = tracer;
     auto service = ShardService::Start(std::move(options));
     EXPECT_TRUE(service.ok()) << service.status().ToString();
     return std::move(service).value();
@@ -355,6 +357,101 @@ TEST_F(ShardServiceTest, StopIsIdempotentAndRejectsLateWork) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(service->Flush("alpha", 1.0).code(),
             StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ShardServiceTest, TracedIngestStampsEveryPipelineStage) {
+  obs::RequestTracer tracer;
+  auto service = StartService(Root("traced"), 1, 64, &tracer);
+  ASSERT_TRUE(service->CreateTenant("alpha", SmallConfig()).ok());
+
+  const obs::TraceContext trace = tracer.Mint();
+  tracer.Begin(trace, "alpha");
+  tracer.RecordStage(trace, obs::Stage::kIngest);
+  ASSERT_TRUE(
+      service->EnqueueIngest("alpha", MakeFeed("traced", 1, 4), trace).ok());
+  // Closing the window drives the batch through the whole durable
+  // pipeline: window close, WAL commit, step, checkpoint.
+  ASSERT_TRUE(service->Flush("alpha", 2.0).ok());
+
+  obs::TraceRecord record;
+  ASSERT_TRUE(tracer.Lookup(trace, &record));
+  EXPECT_TRUE(record.completed);
+  EXPECT_FALSE(record.resumed);
+  // The acceptance bar: at least 5 ordered stages on one ingest trace.
+  EXPECT_GE(record.stages.size(), 5u);
+  for (size_t i = 1; i < record.stages.size(); ++i) {
+    EXPECT_GE(record.stages[i].seconds, record.stages[i - 1].seconds);
+  }
+  for (const obs::Stage stage :
+       {obs::Stage::kIngest, obs::Stage::kEnqueue, obs::Stage::kDequeue,
+        obs::Stage::kWindowClose, obs::Stage::kWalCommit,
+        obs::Stage::kStep}) {
+    EXPECT_GE(record.StageSeconds(stage), 0.0)
+        << "missing stage " << obs::StageName(stage);
+  }
+  EXPECT_GE(record.EndToEndSeconds(), 0.0);
+  service->Stop();
+}
+
+TEST_F(ShardServiceTest, TraceSurvivesEvictAndReopen) {
+  // The crash-recovery contract of the tracer: a document bound to a
+  // trace before its tenant goes down still completes its stage record —
+  // flagged resumed — after recovery re-drives the open window.
+  obs::RequestTracer tracer;
+  const std::string root = Root("trace_recover");
+  auto service = StartService(root, 1, 64, &tracer);
+  ASSERT_TRUE(service->CreateTenant("alpha", SmallConfig()).ok());
+
+  const obs::TraceContext trace = tracer.Mint();
+  tracer.Begin(trace, "alpha");
+  tracer.RecordStage(trace, obs::Stage::kIngest);
+  RawDocument doc;
+  doc.time = 0.5;  // inside the open window [0, 1): not yet stepped
+  doc.text = "recoverterm pending window common";
+  ASSERT_TRUE(service->EnqueueIngest("alpha", {doc}, trace).ok());
+  service->Drain();
+  {
+    obs::TraceRecord record;
+    ASSERT_TRUE(tracer.Lookup(trace, &record));
+    EXPECT_FALSE(record.completed);  // window still open
+  }
+
+  // Down and back up. The doc->trace binding lives in the tracer, not
+  // the tenant, so it survives the teardown.
+  ASSERT_TRUE(service->EvictTenant("alpha").ok());
+  ASSERT_TRUE(service->OpenTenant("alpha").ok());
+  // Recovery re-primed the unstepped tail; closing the window now
+  // finishes the trace's pipeline.
+  ASSERT_TRUE(service->Flush("alpha", 2.0).ok());
+
+  obs::TraceRecord record;
+  ASSERT_TRUE(tracer.Lookup(trace, &record));
+  EXPECT_TRUE(record.completed);
+  EXPECT_TRUE(record.resumed);
+  EXPECT_GE(record.StageSeconds(obs::Stage::kWindowClose), 0.0);
+  EXPECT_GE(record.StageSeconds(obs::Stage::kWalCommit), 0.0);
+  EXPECT_GE(record.StageSeconds(obs::Stage::kStep), 0.0);
+  service->Stop();
+}
+
+TEST_F(ShardServiceTest, RetryAfterHintTracksDrainRate) {
+  auto service = StartService(Root("retry_hint"), 1);
+  // Before any completions there is no rate to derive: fall back to 1s.
+  EXPECT_EQ(service->RetryAfterHintSeconds(0), 1);
+
+  ASSERT_TRUE(service->CreateTenant("alpha", SmallConfig()).ok());
+  for (const auto& batch : InBatches(MakeFeed("retry", 3, 6), 4)) {
+    ASSERT_TRUE(service->EnqueueIngest("alpha", batch).ok());
+  }
+  service->Drain();
+  // With completions observed and an empty queue the hint stays at the
+  // floor; it must always be a sane header value.
+  const int hint = service->RetryAfterHintSeconds(0);
+  EXPECT_GE(hint, 1);
+  EXPECT_LE(hint, 30);
+  // Out-of-range shard index is answered with the fallback, not a crash.
+  EXPECT_EQ(service->RetryAfterHintSeconds(99), 1);
+  service->Stop();
 }
 
 TEST_F(ShardServiceTest, IngestErrorsDoNotPoisonTheTenant) {

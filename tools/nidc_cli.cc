@@ -30,7 +30,9 @@
 //       --serve starts the embedded introspection server on
 //       127.0.0.1:PORT for the duration of the replay (GET /metrics,
 //       /healthz, /statusz, /eventsz, /timeseriesz, /profilez,
-//       /explainz — see docs/observability.md);
+//       /explainz, /tracez, /slosz — see docs/observability.md);
+//       --slo-latency-ms sets the latency SLO threshold the per-step
+//       request traces are scored against (default 1000);
 //       --ship-port starts the replication listener on 127.0.0.1:PORT
 //       (requires --checkpoint-dir): every durable WAL record and
 //       checkpoint rotation is streamed to connected `follow` processes,
@@ -61,12 +63,20 @@
 //   serve --root DIR [--port N] [--shards N] [--threads-per-shard N]
 //         [--queue-capacity N] [--checkpoint-every N]
 //         [--wal-fsync every|none] [--http-workers N] [--max-seconds S]
+//         [--slo-latency-ms MS]
 //         [--beta D] [--gamma D] [--k N] [--step D] [--start D] [--seed N]
 //       Run the multi-tenant sharded ingest service (docs/serving.md):
 //       every tenant directory under DIR/tenants/ is recovered on boot,
 //       then the HTTP front door accepts POST /ingest?tenant= batches,
 //       /tenantz control-plane operations, and the per-tenant
 //       introspection endpoints (/statusz, /metrics, /digestz, /healthz).
+//       Every ingest batch carries an end-to-end request trace (W3C
+//       traceparent accepted, a fresh id minted otherwise) riding
+//       enqueue -> dequeue -> window close -> WAL commit -> step ->
+//       checkpoint; GET /tracez serves the stage waterfalls and GET
+//       /slosz the per-tenant SLO burn-rate evaluation.
+//       --slo-latency-ms sets the default latency objective threshold
+//       (default 1000) — see docs/observability.md.
 //       --shards 0 (the default) uses one shard worker per hardware
 //       thread; --max-seconds 0 serves until SIGINT/SIGTERM. The --beta
 //       .. --seed flags set the default TenantConfig that
@@ -116,6 +126,8 @@
 #include "nidc/obs/metrics.h"
 #include "nidc/obs/profiler.h"
 #include "nidc/obs/provenance.h"
+#include "nidc/obs/reqtrace.h"
+#include "nidc/obs/slo.h"
 #include "nidc/obs/timeseries.h"
 #include "nidc/obs/trace.h"
 #include "nidc/repl/replica.h"
@@ -167,7 +179,7 @@ int Usage() {
       "           [--metrics-prom FILE] [--trace]\n"
       "           [--checkpoint-dir DIR] [--checkpoint-every N]\n"
       "           [--wal-fsync every|none]\n"
-      "           [--serve PORT] [--ship-port PORT]\n"
+      "           [--serve PORT] [--ship-port PORT] [--slo-latency-ms MS]\n"
       "           [--events-out FILE.jsonl]\n"
       "           [--provenance-out FILE.jsonl] [--trace-chrome FILE.json]\n"
       "  eval     --corpus FILE [--beta D] [--gamma D] [--k N]\n"
@@ -180,6 +192,7 @@ int Usage() {
       "           [--threads-per-shard N] [--queue-capacity N]\n"
       "           [--checkpoint-every N] [--wal-fsync every|none]\n"
       "           [--http-workers N] [--max-seconds S]\n"
+      "           [--slo-latency-ms MS]\n"
       "           [--beta D] [--gamma D] [--k N] [--step D] [--start D]\n"
       "           [--seed N]  (defaults for op=create)\n"
       "  inspect  URL (pretty-prints /statusz of a serving stream)\n"
@@ -366,6 +379,10 @@ int RunStream(const Args& args) {
   std::unique_ptr<obs::TimeSeriesStore> timeseries;
   std::unique_ptr<obs::PhaseProfiler> profiler;
   std::unique_ptr<obs::ProvenanceLog> provenance;
+  // Declared before the tracer: its on_complete callback feeds the SLO
+  // engine, so the engine must be destroyed after the tracer.
+  std::unique_ptr<obs::SloEngine> slo;
+  std::unique_ptr<obs::RequestTracer> reqtracer;
   if (telemetry) {
     options.metrics = &registry;
     registry.GetCounter("corpus.bad_records")
@@ -388,6 +405,24 @@ int RunStream(const Args& args) {
     profiler = std::make_unique<obs::PhaseProfiler>(profiler_options);
     provenance =
         std::make_unique<obs::ProvenanceLog>(/*capacity=*/4096, &registry);
+    // One request trace per step batch: the stream loop is the front door
+    // here, so it mints the trace, the durability/replication layers stamp
+    // their stages through the StepScope, and completed traces score the
+    // latency SLO — same pipeline.*/slo.* families as the sharded server.
+    obs::SloEngine::Options slo_options;
+    slo_options.default_objective.latency_threshold_seconds =
+        args.GetDouble("slo-latency-ms", 1000.0) / 1000.0;
+    slo_options.metrics = &registry;
+    slo_options.events = events.get();
+    slo = std::make_unique<obs::SloEngine>(slo_options);
+    obs::RequestTracer::Options trace_options;
+    trace_options.metrics = &registry;
+    trace_options.on_complete = [engine = slo.get()](
+                                    const std::string& tenant,
+                                    double e2e_seconds, double now_seconds) {
+      engine->ObserveLatency(tenant, e2e_seconds, now_seconds);
+    };
+    reqtracer = std::make_unique<obs::RequestTracer>(trace_options);
     options.events = events.get();
     options.health = health.get();
     options.provenance = provenance.get();
@@ -418,6 +453,8 @@ int RunStream(const Args& args) {
     introspection.timeseries = timeseries.get();
     introspection.profiler = profiler.get();
     introspection.provenance = provenance.get();
+    introspection.tracer = reqtracer.get();
+    introspection.slo = slo.get();
     serve::RegisterIntrospectionEndpoints(server.get(), introspection);
     const Status started =
         server->Start(static_cast<uint16_t>(args.GetSize("serve", 0)));
@@ -427,7 +464,7 @@ int RunStream(const Args& args) {
     }
     std::printf("serving on http://127.0.0.1:%u "
                 "(/metrics /healthz /statusz /eventsz /timeseriesz "
-                "/profilez /explainz)\n",
+                "/profilez /explainz /tracez /slosz)\n",
                 server->port());
   }
 
@@ -464,12 +501,14 @@ int RunStream(const Args& args) {
       return 2;
     }
     if (telemetry) durable_options.metrics = &registry;
+    durable_options.tracer = reqtracer.get();
     if (shipping) {
       // The shipper must exist before Open: the opening rotation is the
       // OnRotate that caches the base snapshot followers catch up from.
       repl::ShipperOptions ship_options;
       ship_options.dir = checkpoint_dir;
       if (telemetry) ship_options.metrics = &registry;
+      ship_options.tracer = reqtracer.get();
       shipper = std::make_unique<repl::WalShipper>(ship_options);
       durable_options.sink = shipper.get();
     }
@@ -540,7 +579,28 @@ int RunStream(const Args& args) {
   while (auto batch = stream.Next()) {
     if (tracing) tracer.Reset();
     if (profiler != nullptr) profiler->SetStep(step_index);
+    // One request trace per step batch: the stream loop is both the front
+    // door (ingest) and the batcher (window close); the layers below stamp
+    // wal_commit/ship/step/checkpoint through the StepScope.
+    obs::TraceContext req_trace;
+    if (reqtracer != nullptr && !batch->docs.empty()) {
+      req_trace = reqtracer->Mint();
+      reqtracer->Begin(req_trace, "stream");
+      reqtracer->RecordStage(req_trace, obs::Stage::kIngest);
+      reqtracer->RecordStage(req_trace, obs::Stage::kWindowClose);
+    }
+    obs::RequestTracer::StepScope req_scope(
+        req_trace.valid() ? reqtracer.get() : nullptr,
+        req_trace.valid() ? std::vector<obs::TraceContext>{req_trace}
+                          : std::vector<obs::TraceContext>{});
     auto result = do_step(batch->docs, batch->end);
+    // The non-durable clusterer has no WAL layer to stamp the completion,
+    // so the loop stamps it — the e2e histogram and the SLO latency feed
+    // fire either way.
+    if (req_trace.valid() && durable == nullptr && result.ok()) {
+      reqtracer->RecordStage(req_trace, obs::Stage::kStep);
+    }
+    if (slo != nullptr) slo->Evaluate(obs::RequestTracer::NowSeconds());
     // Fold the step's registry deltas into the time-series store before
     // anything renders a snapshot, so the JSONL record and the server both
     // see this step's windows.
@@ -736,10 +796,19 @@ int RunFollow(const Args& args) {
   options.kmeans.k = args.GetSize("k", 24);
   options.metrics = &registry;
 
+  // The follower's tracer stamps the apply stage for traces shipped by an
+  // in-process leader (tests/benches); a cross-process leader's traces
+  // have no shipment registration here and the stamp is a no-op — the
+  // pipeline.* families are still exported for /metrics parity.
+  obs::RequestTracer::Options trace_options;
+  trace_options.metrics = &registry;
+  obs::RequestTracer reqtracer(trace_options);
+
   repl::ReplicaOptions replica_options;
   replica_options.dir = dir;
   replica_options.wal_sync = wal_sync;
   replica_options.metrics = &registry;
+  replica_options.tracer = &reqtracer;
   auto replica = repl::ReplicaClusterer::Open(corpus->get(), ParamsFrom(args),
                                               options, replica_options);
   if (!replica.ok()) {
@@ -772,6 +841,7 @@ int RunFollow(const Args& args) {
     serve::IntrospectionOptions introspection;
     introspection.metrics = &registry;
     introspection.board = &board;
+    introspection.tracer = &reqtracer;
     serve::RegisterIntrospectionEndpoints(server.get(), introspection);
     server->Handle("/promotez",
                    [&promote_requested](const serve::HttpRequest& request) {
@@ -899,6 +969,25 @@ int RunServe(const Args& args) {
   }
   obs::MetricsRegistry registry;
 
+  // One tracer + SLO engine for the whole service: every POST /ingest
+  // batch is traced end to end (enqueue -> dequeue -> window close ->
+  // wal commit -> step -> checkpoint), completed traces feed the latency
+  // objective, and the front door feeds availability. The engine is
+  // declared first so the tracer's completion callback outlives nothing.
+  obs::SloEngine::Options slo_options;
+  slo_options.default_objective.latency_threshold_seconds =
+      args.GetDouble("slo-latency-ms", 1000.0) / 1000.0;
+  slo_options.metrics = &registry;
+  obs::SloEngine slo(slo_options);
+  obs::RequestTracer::Options trace_options;
+  trace_options.metrics = &registry;
+  trace_options.on_complete = [&slo](const std::string& tenant,
+                                     double e2e_seconds,
+                                     double now_seconds) {
+    slo.ObserveLatency(tenant, e2e_seconds, now_seconds);
+  };
+  obs::RequestTracer reqtracer(trace_options);
+
   shard::ShardServiceOptions options;
   options.root = args.Get("root", "");
   options.num_shards = args.GetSize("shards", 0);
@@ -917,6 +1006,7 @@ int RunServe(const Args& args) {
     return 2;
   }
   options.metrics = &registry;
+  options.tracer = &reqtracer;
   auto service = shard::ShardService::Start(std::move(options));
   if (!service.ok()) {
     std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
@@ -939,7 +1029,8 @@ int RunServe(const Args& args) {
   http_options.num_workers =
       args.GetSize("http-workers", http_options.num_workers);
   serve::HttpServer server(http_options, &registry);
-  shard::RegisterShardHandlers(&server, service->get(), default_config);
+  shard::RegisterShardHandlers(&server, service->get(), default_config,
+                               &reqtracer, &slo);
   if (Status started =
           server.Start(static_cast<uint16_t>(args.GetSize("port", 0)));
       !started.ok()) {
@@ -960,11 +1051,18 @@ int RunServe(const Args& args) {
   std::signal(SIGINT, ServeSignalHandler);
   std::signal(SIGTERM, ServeSignalHandler);
   const auto started_at = std::chrono::steady_clock::now();
+  uint64_t ticks = 0;
   while (!g_serve_stop.load()) {
     if (max_seconds > 0.0) {
       const std::chrono::duration<double> elapsed =
           std::chrono::steady_clock::now() - started_at;
       if (elapsed.count() >= max_seconds) break;
+    }
+    // Burn-rate evaluation once a second: /slosz evaluates on read too,
+    // but the periodic pass keeps the slo.* gauges (and the slo_burn
+    // event edge) fresh even when nobody is polling.
+    if (++ticks % 20 == 0) {
+      slo.Evaluate(obs::RequestTracer::NowSeconds());
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
@@ -1259,6 +1357,54 @@ int RunInspect(const Args& args) {
     std::printf("events: %.0f emitted, %.0f dropped\n",
                 NumberOr(events->Find("emitted"), 0),
                 NumberOr(events->Find("dropped"), 0));
+  }
+  // The request-trace stage waterfall (peers with a tracer embed it in
+  // /statusz as "pipeline"): per-stage p50/p99 plus the p99 exemplar
+  // trace id to pull up at /tracez?trace=.
+  if (const obs::JsonValue* pipeline = status.Find("pipeline");
+      pipeline != nullptr && pipeline->is_object()) {
+    std::printf("pipeline: %.0f traces started, %.0f completed, "
+                "%.0f stage events dropped\n",
+                NumberOr(pipeline->Find("traces_started"), 0),
+                NumberOr(pipeline->Find("traces_completed"), 0),
+                NumberOr(pipeline->Find("stage_events_dropped"), 0));
+    if (const obs::JsonValue* waterfall = pipeline->Find("waterfall");
+        waterfall != nullptr && waterfall->is_array()) {
+      for (const obs::JsonValue& entry : waterfall->array) {
+        const obs::JsonValue* tenant = entry.Find("tenant");
+        const obs::JsonValue* stages = entry.Find("stages");
+        if (stages == nullptr || !stages->is_array() ||
+            stages->array.empty()) {
+          continue;
+        }
+        std::printf("  tenant %s:\n",
+                    tenant != nullptr &&
+                            tenant->kind == obs::JsonValue::Kind::kString
+                        ? tenant->string_value.c_str()
+                        : "?");
+        for (const obs::JsonValue& row : stages->array) {
+          const obs::JsonValue* stage = row.Find("stage");
+          const obs::JsonValue* exemplar = row.Find("p99_exemplar");
+          std::printf(
+              "    %-14s x%-7.0f p50 %8.3f ms  p99 %8.3f ms%s%s\n",
+              stage != nullptr &&
+                      stage->kind == obs::JsonValue::Kind::kString
+                  ? stage->string_value.c_str()
+                  : "?",
+              NumberOr(row.Find("count"), 0),
+              NumberOr(row.Find("p50_ms"), 0),
+              NumberOr(row.Find("p99_ms"), 0),
+              exemplar != nullptr &&
+                      exemplar->kind == obs::JsonValue::Kind::kString
+                  ? "  trace "
+                  : "",
+              exemplar != nullptr &&
+                      exemplar->kind == obs::JsonValue::Kind::kString
+                  ? exemplar->string_value.c_str()
+                  : "");
+        }
+      }
+    }
   }
   PrintTimeSeriesAndProfile(BaseUrl(args.positional.front()));
   return 0;

@@ -12,7 +12,8 @@
 // Every line must parse as a JSON object and carry the step digest keys,
 // a non-empty G trajectory, and the expected metric families (K-means,
 // rep-index, scoring-kernel, thread-pool, term-statistics, cluster health,
-// event log, time-series store, self-profiler, decision provenance). Every metric name must also belong to a known family
+// event log, time-series store, self-profiler, decision provenance,
+// request-trace pipeline, SLO engine). Every metric name must also belong to a known family
 // prefix — a typo'd or undocumented family fails validation instead of
 // silently shipping — and the kernel.dispatch.<name> gauge must be present
 // and name a real scoring kernel (scalar / avx2 / avx512).
@@ -96,6 +97,22 @@ constexpr const char* kMetricKeys[] = {
     "provenance.records",
     "provenance.dropped",
     "provenance.retained",
+    "pipeline.traces_started",
+    "pipeline.traces_completed",
+    "pipeline.traces_dropped",
+    "pipeline.stage_events",
+    "pipeline.stage_events_dropped",
+    "pipeline.open_traces",
+    "pipeline.e2e_seconds",
+    "pipeline.stage_seconds.ingest",
+    "pipeline.stage_seconds.step",
+    "slo.evaluations",
+    "slo.burn_events",
+    "slo.latency_observations",
+    "slo.requests_observed",
+    "slo.bad_events",
+    "slo.tenants_burning",
+    "slo.objectives",
 };
 
 // Every exported metric must carry one of these family prefixes; names
@@ -106,6 +123,7 @@ constexpr const char* kKnownPrefixes[] = {
     "step.",        "corpus.",     "store.",       "health.",
     "events.",      "serve.",      "kernel.",      "timeseries.",
     "profile.",     "provenance.", "repl.",        "shard.",
+    "pipeline.",    "slo.",
 };
 
 // The sharded service registers these at Start (see ShardService::Init),
@@ -122,6 +140,18 @@ constexpr const char* kShardKeys[] = {
     "shard.ingest.dropped",
     "shard.ingest.latency_seconds",
     "shard.queue.0.depth",
+    "pipeline.traces_started",
+    "pipeline.traces_completed",
+    "pipeline.stage_events",
+    "pipeline.open_traces",
+    "pipeline.e2e_seconds",
+    "pipeline.stage_seconds.enqueue",
+    "pipeline.stage_seconds.step",
+    "slo.evaluations",
+    "slo.burn_events",
+    "slo.latency_observations",
+    "slo.requests_observed",
+    "slo.tenants_burning",
     "serve.requests",
     "serve.not_found",
     "serve.bad_requests",
